@@ -1,0 +1,64 @@
+//! **Experiment F1 — Figure 1**: contraction (hypergraph minors,
+//! Def. 3.3) vs merging (dilutions, Def. 3.1) on the figure's example:
+//! contraction raises the degree, merging raises the rank, and neither
+//! framework simulates the other.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cqd2::dilution::adler::{figure1_example, AdlerOp};
+use cqd2::dilution::DilutionOp;
+use cqd2::hypergraph::VertexId;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let h = figure1_example();
+    let (contracted, _) = AdlerOp::Contract(VertexId(0), VertexId(1)).apply(&h).unwrap();
+    let (merged, _) = DilutionOp::MergeOnVertex(VertexId(1)).apply(&h).unwrap();
+    println!("\n=== F1: Figure 1 — contraction vs merging ===");
+    println!(
+        "H:            degree = {}, rank = {}  ({} edges)",
+        h.max_degree(),
+        h.rank(),
+        h.num_edges()
+    );
+    println!(
+        "contraction:  degree = {}, rank = {}  (degree increased: {})",
+        contracted.max_degree(),
+        contracted.rank(),
+        contracted.max_degree() > h.max_degree()
+    );
+    println!(
+        "merging:      degree = {}, rank = {}  (rank increased: {})",
+        merged.max_degree(),
+        merged.rank(),
+        merged.rank() > h.rank()
+    );
+    assert!(contracted.max_degree() > h.max_degree());
+    assert!(merged.rank() > h.rank());
+    assert!(merged.max_degree() <= h.max_degree());
+
+    c.bench_function("fig1/contraction", |b| {
+        b.iter(|| {
+            black_box(
+                AdlerOp::Contract(VertexId(0), VertexId(1))
+                    .apply(black_box(&h))
+                    .unwrap(),
+            )
+        })
+    });
+    c.bench_function("fig1/merging", |b| {
+        b.iter(|| {
+            black_box(
+                DilutionOp::MergeOnVertex(VertexId(1))
+                    .apply(black_box(&h))
+                    .unwrap(),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = cqd2_bench::quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! **Experiment F2 — Figure 2**: the example dilution of a degree-2
+//! hypergraph to the 3×2 jigsaw — mergings followed by vertex deletions,
+//! exactly the figure's two phases. Prints the sequence and benches the
+//! extraction pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cqd2::dilution::decide::{decide_dilution_to_graph_dual, verify_dilution};
+use cqd2::dilution::DilutionOp;
+use cqd2::hypergraph::generators::grid_graph;
+use cqd2::jigsaw::extract::figure2_hypergraph;
+use cqd2::jigsaw::jigsaw;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let h = figure2_hypergraph();
+    let seq = decide_dilution_to_graph_dual(&h, &grid_graph(3, 2), 3_000_000)
+        .expect("degree-2 host")
+        .sequence()
+        .expect("Figure 2's jigsaw is a dilution");
+    verify_dilution(&h, &jigsaw(3, 2), &seq).unwrap();
+    let merges = seq
+        .ops
+        .iter()
+        .filter(|op| matches!(op, DilutionOp::MergeOnVertex(_)))
+        .count();
+    let deletions = seq.len() - merges;
+    println!("\n=== F2: Figure 2 — example dilution to the 3×2 jigsaw ===");
+    println!(
+        "host: |V| = {}, |E| = {}, degree = {}",
+        h.num_vertices(),
+        h.num_edges(),
+        h.max_degree()
+    );
+    println!(
+        "sequence: {} operations ({merges} mergings, {deletions} vertex/subedge deletions)",
+        seq.len()
+    );
+    println!("paper figure: 3 mergings, then vertex deletions — same two-phase shape");
+
+    c.bench_function("fig2/find_and_verify_dilution", |b| {
+        b.iter(|| {
+            let s = decide_dilution_to_graph_dual(black_box(&h), &grid_graph(3, 2), 3_000_000)
+                .unwrap()
+                .sequence()
+                .unwrap();
+            black_box(s)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = cqd2_bench::quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

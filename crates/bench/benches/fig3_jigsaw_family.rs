@@ -1,0 +1,63 @@
+//! **Experiment F3 — Figure 3**: the jigsaw family (Definition 4.2),
+//! including the 3×4 jigsaw of the figure. Prints the structural series
+//! (counts and certified ghw brackets — `ghw(J_{n,n}) ∈ [n, n+1]`) and
+//! benches construction, recognition, and exact ghw.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqd2::decomp::widths::ghw_exact;
+use cqd2::hyperbench::recognize::recognize_jigsaw;
+use cqd2::jigsaw::jigsaw;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== F3: Figure 3 — the jigsaw family ===");
+    let j34 = jigsaw(3, 4);
+    println!(
+        "3×4 jigsaw (the figure): |E| = {}, |V| = {}, degree = {}",
+        j34.num_edges(),
+        j34.num_vertices(),
+        j34.max_degree()
+    );
+    println!("  n | edges | vertices | ghw bracket");
+    for n in 1..=6 {
+        if n == 1 {
+            println!("  1 |     2 |        1 | [1, 1] (1×2 jigsaw)");
+            continue;
+        }
+        let j = jigsaw(n, n);
+        let bracket = if n <= 3 {
+            let w = ghw_exact(&j).expect("small");
+            format!("[{w}, {w}] (exact)")
+        } else {
+            format!("[{n}, {}] (separator lb / Lemma 4.6 ub)", n + 1)
+        };
+        println!(
+            "  {n} | {:>5} | {:>8} | {bracket}",
+            j.num_edges(),
+            j.num_vertices()
+        );
+    }
+
+    let mut g = c.benchmark_group("fig3");
+    for n in [3usize, 6, 10] {
+        g.bench_with_input(BenchmarkId::new("construct", n), &n, |b, &n| {
+            b.iter(|| black_box(jigsaw(n, n)))
+        });
+        let j = jigsaw(n, n);
+        g.bench_with_input(BenchmarkId::new("recognize", n), &j, |b, j| {
+            b.iter(|| black_box(recognize_jigsaw(black_box(j))))
+        });
+    }
+    let j3 = jigsaw(3, 3);
+    g.bench_function("ghw_exact_J3", |b| {
+        b.iter(|| black_box(ghw_exact(black_box(&j3))))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = cqd2_bench::quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! **Experiment V1 — Theorems 3.4 / 4.15**: the fpt-reduction along
+//! dilution sequences. Measures the database blowup per step (the proof
+//! bounds it by `c · degree(H)` per operation) and benches the reduction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqd2::cq::generate::planted_database;
+use cqd2::cq::Database;
+use cqd2::dilution::decide::decide_dilution_to_graph_dual;
+use cqd2::hypergraph::generators::grid_graph;
+use cqd2::jigsaw::jigsaw;
+use cqd2::reduction::reverse::max_step_growth;
+use cqd2::reduction::{reduce_along, Instance};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== V1: reduction blowup along dilution sequences ===");
+    println!("  host    | ops ℓ | ‖D_q‖ | ‖D_p‖ | total × | max step × | deg(H)");
+    let mut cases = Vec::new();
+    for (n, m, tn, tm) in [(3usize, 3usize, 2usize, 2usize), (3, 4, 2, 2), (4, 4, 3, 3)] {
+        let host = jigsaw(n, m);
+        let seq = decide_dilution_to_graph_dual(&host, &grid_graph(tn, tm), 5_000_000)
+            .expect("degree-2 host")
+            .sequence()
+            .expect("smaller jigsaw is a dilution");
+        let target = seq.apply(&host).unwrap();
+        let proto = Instance::canonical(&target, Database::new(), "Q");
+        let db = planted_database(&proto.query, 8, 40, 7);
+        let instance = Instance::canonical(&target, db, "Q");
+        let report = reduce_along(&host, &seq, &instance).unwrap();
+        let dq = report.step_weights[0] as f64;
+        let dp = *report.step_weights.last().unwrap() as f64;
+        println!(
+            "  J({n},{m})  | {:>5} | {:>5} | {:>5} | {:>7.2} | {:>10.2} | {}",
+            seq.len(),
+            dq,
+            dp,
+            dp / dq,
+            max_step_growth(&report),
+            host.max_degree()
+        );
+        cases.push((host, seq, instance));
+    }
+    println!("paper bound: ‖D_p‖ ≤ (c·degree(H))^ℓ · ‖D_q‖ with degree(H) = 2");
+
+    let mut g = c.benchmark_group("reduction");
+    for (i, (host, seq, instance)) in cases.iter().enumerate() {
+        g.bench_with_input(BenchmarkId::new("reduce_along", i), &i, |b, _| {
+            b.iter(|| black_box(reduce_along(host, seq, instance).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = cqd2_bench::quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! **Experiment T1 — Table 1**: the degree-2 ghw census over the
+//! HyperBench-like corpus. Prints the regenerated table next to the
+//! paper's numbers and benches the census itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cqd2::hyperbench::census::census;
+use cqd2::hyperbench::corpus::generate_corpus;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let corpus = generate_corpus();
+    let report = census(&corpus);
+    println!("\n=== T1: Table 1 — degree-2 hypergraphs with ghw > k ===");
+    println!("{}", report.render());
+    println!("paper:  k=1: 649, k=2: 575, k=3: 506, k=4: 452, k=5: 389");
+    let paper = [649, 575, 506, 452, 389];
+    for (row, want) in report.rows.iter().zip(paper) {
+        assert_eq!(row.amount, want, "Table 1 row k={} diverged", row.k);
+    }
+
+    // Bench the census classifier on the degree-2 slice.
+    let degree2: Vec<_> = corpus
+        .iter()
+        .filter(|e| e.hypergraph.max_degree() <= 2)
+        .cloned()
+        .collect();
+    c.bench_function("table1/census_degree2_slice", |b| {
+        b.iter(|| black_box(census(black_box(&degree2))))
+    });
+    // And corpus generation.
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.bench_function("generate_corpus", |b| b.iter(|| black_box(generate_corpus())));
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = cqd2_bench::quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

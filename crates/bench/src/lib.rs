@@ -1,0 +1,16 @@
+//! Shared helpers for the benchmark harness. The benches themselves live
+//! in `benches/`; each regenerates one table or figure of the paper (see
+//! DESIGN.md §4 for the experiment index and EXPERIMENTS.md for the
+//! paper-vs-measured record).
+
+use std::time::Duration;
+
+/// Criterion configuration tuned so the full suite finishes in minutes:
+/// the benches exist to show *shape* (who wins, by what factor), not to
+/// squeeze nanosecond precision.
+pub fn quick_criterion() -> criterion::Criterion {
+    criterion::Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}

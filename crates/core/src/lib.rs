@@ -1,0 +1,133 @@
+//! # cqd2 — The Complexity of Conjunctive Queries with Degree 2
+//!
+//! A from-scratch Rust reproduction of Matthias Lanzinger's PODS 2022
+//! paper. The facade re-exports all subsystem crates and provides a small
+//! high-level API for the most common workflows:
+//!
+//! - [`analyze`]: structural analysis of a hypergraph — degree, rank,
+//!   certified ghw interval, and (for degree-2 inputs) the jigsaw dilution
+//!   extracted by the Theorem 4.7 pipeline.
+//! - [`solve_bcq`] / [`count_answers`]: Boolean CQ evaluation and
+//!   full-CQ answer counting, using a GHD when one is computable
+//!   (Props. 2.2 and 4.14) and naive join otherwise.
+//! - [`reduce_instance`]: the Theorem 3.4 fpt-reduction along a dilution
+//!   sequence.
+//!
+//! ## Crate map
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`hypergraph`] | hypergraph/graph ADTs, duals, reduced form, isomorphism, generators |
+//! | [`decomp`] | tree decompositions, exact tw/ghw/fhw, GHDs, Lemma 4.6 dual bound |
+//! | [`minors`] | minor maps, exact minor search, grid minors, expressive minors |
+//! | [`dilution`] | Definition 3.1 operations, Lemma 3.6, Theorem 3.5 decision, Lemmas 4.4/B.1 |
+//! | [`jigsaw`] | jigsaws, pre-jigsaws (Def. 5.1, Lemma D.4), Theorem 4.7 extraction |
+//! | [`cq`] | conjunctive queries, databases, BCQ / #CQ evaluation, cores, semantic ghw |
+//! | [`reduction`] | Theorem 3.4 / 4.15 instance reduction with parsimony verification |
+//! | [`hyperbench`] | Table 1 corpus, census, recognizers, `.hg` parser |
+
+pub use cqd2_cq as cq;
+pub use cqd2_decomp as decomp;
+pub use cqd2_dilution as dilution;
+pub use cqd2_hyperbench as hyperbench;
+pub use cqd2_hypergraph as hypergraph;
+pub use cqd2_jigsaw as jigsaw;
+pub use cqd2_minors as minors;
+pub use cqd2_reduction as reduction;
+
+use cqd2_cq::{ConjunctiveQuery, Database};
+use cqd2_hypergraph::Hypergraph;
+
+/// Structural analysis of a hypergraph (the "what does the paper say about
+/// this query structure?" entry point).
+#[derive(Debug, Clone)]
+pub struct StructureReport {
+    /// Maximum vertex degree.
+    pub degree: usize,
+    /// Maximum edge size.
+    pub rank: usize,
+    /// Certified ghw interval `[lower, upper]`.
+    pub ghw_lower: usize,
+    /// Certified ghw interval `[lower, upper]`.
+    pub ghw_upper: usize,
+    /// For degree-2 inputs: the largest square jigsaw the Theorem 4.7
+    /// pipeline extracted, with the verified dilution sequence length.
+    pub jigsaw: Option<(usize, usize)>,
+}
+
+/// Analyze a hypergraph: certified ghw interval plus, for degree-2 inputs,
+/// a verified jigsaw dilution (Theorem 4.7).
+pub fn analyze(h: &Hypergraph) -> StructureReport {
+    let stats = cqd2_hyperbench::census::analyze(h);
+    let jigsaw = if h.max_degree() <= 2 {
+        cqd2_jigsaw::extract_jigsaw(h, 5, 2_000_000)
+            .ok()
+            .flatten()
+            .map(|e| (e.n, e.sequence.len()))
+    } else {
+        None
+    };
+    StructureReport {
+        degree: stats.degree,
+        rank: stats.rank,
+        ghw_lower: stats.ghw_lower,
+        ghw_upper: stats.ghw_upper,
+        jigsaw,
+    }
+}
+
+/// Decide `q(D) ≠ ∅`, preferring the GHD route (Prop. 2.2).
+pub fn solve_bcq(q: &ConjunctiveQuery, db: &Database) -> bool {
+    cqd2_cq::eval::bcq_auto(q, db)
+}
+
+/// Count `|q(D)|` for a full CQ, preferring the GHD route (Prop. 4.14).
+pub fn count_answers(q: &ConjunctiveQuery, db: &Database) -> u128 {
+    cqd2_cq::eval::count_auto(q, db)
+}
+
+/// Run the Theorem 3.4 reduction of an instance bound to the result of a
+/// dilution sequence back to the sequence's start hypergraph.
+pub fn reduce_instance(
+    h: &Hypergraph,
+    seq: &cqd2_dilution::DilutionSequence,
+    instance: &cqd2_reduction::Instance,
+) -> Result<cqd2_reduction::ReductionReport, String> {
+    cqd2_reduction::reduce_along(h, seq, instance)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqd2_hypergraph::generators::{hyperchain, hypercycle};
+
+    #[test]
+    fn analyze_chain() {
+        let r = analyze(&hyperchain(4, 3));
+        assert_eq!(r.degree, 2);
+        assert_eq!((r.ghw_lower, r.ghw_upper), (1, 1));
+        assert!(r.jigsaw.is_none());
+    }
+
+    #[test]
+    fn analyze_jigsaw() {
+        let j = cqd2_jigsaw::jigsaw(3, 3);
+        let r = analyze(&j);
+        assert_eq!(r.degree, 2);
+        assert!(r.ghw_lower >= 3);
+        let (n, len) = r.jigsaw.expect("pipeline finds the jigsaw");
+        assert_eq!(n, 3);
+        let _ = len;
+    }
+
+    #[test]
+    fn bcq_and_count_roundtrip() {
+        let q = ConjunctiveQuery::parse(&[("R", &["?x", "?y"]), ("S", &["?y", "?z"])]);
+        let mut db = Database::new();
+        db.insert_all("R", &[vec![1, 2]]);
+        db.insert_all("S", &[vec![2, 3], vec![2, 4]]);
+        assert!(solve_bcq(&q, &db));
+        assert_eq!(count_answers(&q, &db), 2);
+        let _ = analyze(&hypercycle(4, 2));
+    }
+}

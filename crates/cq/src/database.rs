@@ -1,0 +1,104 @@
+//! Databases: sets of ground relational atoms, stored per relation.
+
+use std::collections::BTreeMap;
+
+/// A stored relation: a set of tuples of a fixed arity.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StoredRelation {
+    /// Arity (all tuples have this length).
+    pub arity: usize,
+    /// Distinct tuples.
+    pub tuples: Vec<Vec<u64>>,
+}
+
+/// A database: named relations over `u64` constants.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Database {
+    relations: BTreeMap<String, StoredRelation>,
+}
+
+impl Database {
+    /// Empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a ground atom. Creates the relation on first use; panics on
+    /// arity mismatch (schema error). Duplicate tuples are ignored.
+    pub fn insert(&mut self, relation: &str, tuple: &[u64]) {
+        let rel = self
+            .relations
+            .entry(relation.to_string())
+            .or_insert_with(|| StoredRelation {
+                arity: tuple.len(),
+                tuples: Vec::new(),
+            });
+        assert_eq!(
+            rel.arity,
+            tuple.len(),
+            "arity mismatch for relation {relation}"
+        );
+        if !rel.tuples.iter().any(|t| t == tuple) {
+            rel.tuples.push(tuple.to_vec());
+        }
+    }
+
+    /// Bulk insert.
+    pub fn insert_all(&mut self, relation: &str, tuples: &[Vec<u64>]) {
+        for t in tuples {
+            self.insert(relation, t);
+        }
+    }
+
+    /// The relation, if present.
+    pub fn relation(&self, name: &str) -> Option<&StoredRelation> {
+        self.relations.get(name)
+    }
+
+    /// Iterate over `(name, relation)` pairs.
+    pub fn relations(&self) -> impl Iterator<Item = (&str, &StoredRelation)> {
+        self.relations.iter().map(|(n, r)| (n.as_str(), r))
+    }
+
+    /// Total number of tuples (`‖D‖` up to constant factors).
+    pub fn size(&self) -> usize {
+        self.relations.values().map(|r| r.tuples.len()).sum()
+    }
+
+    /// The set of all constants appearing anywhere (the active domain).
+    pub fn active_domain(&self) -> Vec<u64> {
+        let mut d: Vec<u64> = self
+            .relations
+            .values()
+            .flat_map(|r| r.tuples.iter().flatten().copied())
+            .collect();
+        d.sort_unstable();
+        d.dedup();
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_query() {
+        let mut db = Database::new();
+        db.insert("R", &[1, 2]);
+        db.insert("R", &[2, 3]);
+        db.insert("R", &[1, 2]); // duplicate
+        assert_eq!(db.relation("R").unwrap().tuples.len(), 2);
+        assert_eq!(db.size(), 2);
+        assert!(db.relation("S").is_none());
+        assert_eq!(db.active_domain(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_mismatch_panics() {
+        let mut db = Database::new();
+        db.insert("R", &[1, 2]);
+        db.insert("R", &[1]);
+    }
+}

@@ -1,0 +1,454 @@
+//! BCQ evaluation and #CQ counting.
+//!
+//! Three evaluation strategies:
+//!
+//! - [`bcq_naive`] / [`enumerate_naive`] / [`count_naive`]: backtracking
+//!   join — correct for every CQ, exponential in general. The baseline the
+//!   paper's lower bounds are about.
+//! - [`bcq_via_ghd`]: Prop. 2.2 — materialize one relation per GHD bag
+//!   (joining the `λ` cover and the atoms assigned to the bag), then run a
+//!   Yannakakis semijoin pass over the decomposition tree. Polynomial
+//!   `O(‖D‖^k)` for width-`k` GHDs.
+//! - [`count_via_ghd`]: Prop. 4.14 — junction-tree counting DP over the
+//!   bag relations, computing `|q(D)|` for *full* CQs without enumerating.
+//!
+//! `bcq_auto` / `count_auto` pick the GHD route when an exact
+//! decomposition is computable and fall back to naive otherwise.
+
+use crate::database::Database;
+use crate::query::{ConjunctiveQuery, Var};
+use crate::relation::VRelation;
+use cqd2_decomp::widths::ghw_decomposition;
+use cqd2_decomp::Ghd;
+use cqd2_hypergraph::VertexId;
+use std::collections::HashMap;
+
+// ---------------------------------------------------------------------
+// Naive backtracking evaluation.
+// ---------------------------------------------------------------------
+
+/// Decide `q(D) ≠ ∅` by backtracking join.
+pub fn bcq_naive(q: &ConjunctiveQuery, db: &Database) -> bool {
+    let mut found = false;
+    backtrack(q, db, &mut |_| {
+        found = true;
+        false // stop at the first solution
+    });
+    found
+}
+
+/// Count `|q(D)|` (all-variable assignments) by backtracking.
+pub fn count_naive(q: &ConjunctiveQuery, db: &Database) -> u128 {
+    let mut n: u128 = 0;
+    backtrack(q, db, &mut |_| {
+        n += 1;
+        true
+    });
+    n
+}
+
+/// Enumerate all solutions as assignments in `Var` id order. Intended for
+/// tests/verification on small instances.
+pub fn enumerate_naive(q: &ConjunctiveQuery, db: &Database) -> Vec<Vec<u64>> {
+    let mut out = Vec::new();
+    backtrack(q, db, &mut |sol| {
+        out.push(sol.to_vec());
+        true
+    });
+    out.sort_unstable();
+    out
+}
+
+/// Core backtracking loop. `on_solution` receives the full assignment
+/// (indexed by `Var` id) and returns `false` to stop the search.
+fn backtrack(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    on_solution: &mut dyn FnMut(&[u64]) -> bool,
+) {
+    let bound: Vec<VRelation> = q.atoms.iter().map(|a| VRelation::bind(a, db)).collect();
+    if bound.iter().any(VRelation::is_empty) {
+        return;
+    }
+    // A variable in no atom cannot be assigned — such queries do not arise
+    // from our constructors; guard anyway.
+    let mut covered = vec![false; q.num_vars()];
+    for r in &bound {
+        for v in &r.vars {
+            covered[v.idx()] = true;
+        }
+    }
+    if covered.iter().any(|c| !c) {
+        return;
+    }
+    // Atom order: connected, smallest-relation-first.
+    let order = atom_order(q, &bound);
+    let mut assignment: Vec<Option<u64>> = vec![None; q.num_vars()];
+    let _ = dfs(&bound, &order, 0, &mut assignment, on_solution);
+}
+
+fn atom_order(q: &ConjunctiveQuery, bound: &[VRelation]) -> Vec<usize> {
+    let n = q.atoms.len();
+    let mut order = Vec::with_capacity(n);
+    let mut placed = vec![false; n];
+    let mut seen_vars: std::collections::HashSet<Var> = std::collections::HashSet::new();
+    for _ in 0..n {
+        let next = (0..n)
+            .filter(|&i| !placed[i])
+            .min_by_key(|&i| {
+                let overlap = bound[i].vars.iter().filter(|v| seen_vars.contains(v)).count();
+                (std::cmp::Reverse(overlap), bound[i].tuples.len(), i)
+            })
+            .expect("unplaced atom");
+        placed[next] = true;
+        seen_vars.extend(bound[next].vars.iter().copied());
+        order.push(next);
+    }
+    order
+}
+
+fn dfs(
+    bound: &[VRelation],
+    order: &[usize],
+    depth: usize,
+    assignment: &mut Vec<Option<u64>>,
+    on_solution: &mut dyn FnMut(&[u64]) -> bool,
+) -> bool {
+    if depth == order.len() {
+        let sol: Vec<u64> = assignment.iter().map(|a| a.expect("all assigned")).collect();
+        return on_solution(&sol);
+    }
+    let rel = &bound[order[depth]];
+    'tuples: for t in &rel.tuples {
+        let mut newly = Vec::new();
+        for (i, v) in rel.vars.iter().enumerate() {
+            match assignment[v.idx()] {
+                Some(val) => {
+                    if val != t[i] {
+                        for v in newly {
+                            assignment[v] = None;
+                        }
+                        continue 'tuples;
+                    }
+                }
+                None => {
+                    assignment[v.idx()] = Some(t[i]);
+                    newly.push(v.idx());
+                }
+            }
+        }
+        if !dfs(bound, order, depth + 1, assignment, on_solution) {
+            return false;
+        }
+        for v in newly {
+            assignment[v] = None;
+        }
+    }
+    true
+}
+
+// ---------------------------------------------------------------------
+// GHD-guided evaluation (Prop. 2.2 / Prop. 4.14).
+// ---------------------------------------------------------------------
+
+/// Materialized bag relations plus a rooted tree, shared by the Boolean
+/// and counting evaluators.
+struct BagTree {
+    relations: Vec<VRelation>,
+    children: Vec<Vec<usize>>,
+    post_order: Vec<usize>,
+    root: usize,
+}
+
+fn build_bag_tree(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    ghd: &Ghd,
+) -> Result<BagTree, String> {
+    let h = q.hypergraph();
+    ghd.validate(&h).map_err(|e| e.to_string())?;
+    let bound: Vec<VRelation> = q.atoms.iter().map(|a| VRelation::bind(a, db)).collect();
+    // Representative atom for each hypergraph edge (same variable set).
+    let edge_rep: Vec<usize> = h
+        .edge_ids()
+        .map(|e| {
+            let edge_vars: Vec<Var> = h.edge(e).iter().map(|v| Var(v.0)).collect();
+            q.atoms
+                .iter()
+                .position(|a| {
+                    let mut vs = a.vars();
+                    vs.sort_unstable();
+                    let mut ev = edge_vars.clone();
+                    ev.sort_unstable();
+                    vs == ev
+                })
+                .ok_or_else(|| format!("edge e{} has no source atom", e.idx()))
+        })
+        .collect::<Result<_, String>>()?;
+    // Assign every atom to one node whose bag contains its variables.
+    let bag_contains = |u: usize, vars: &[Var]| {
+        vars.iter()
+            .all(|v| ghd.td.bags[u].binary_search(&VertexId(v.0)).is_ok())
+    };
+    let mut assigned: Vec<Vec<usize>> = vec![Vec::new(); ghd.td.bags.len()];
+    for (ai, atom) in q.atoms.iter().enumerate() {
+        let vars = atom.vars();
+        let u = (0..ghd.td.bags.len())
+            .find(|&u| bag_contains(u, &vars))
+            .ok_or_else(|| format!("atom #{ai} fits in no bag"))?;
+        assigned[u].push(ai);
+    }
+    // Materialize each bag: join cover representatives, project to bag,
+    // then join all assigned atoms.
+    let mut relations = Vec::with_capacity(ghd.td.bags.len());
+    for (u, bag) in ghd.td.bags.iter().enumerate() {
+        let bag_vars: Vec<Var> = bag.iter().map(|v| Var(v.0)).collect();
+        let mut rel = VRelation::unit();
+        for &e in &ghd.covers[u] {
+            rel = rel.join(&bound[edge_rep[e.idx()]]);
+        }
+        // Project to bag variables (cover may reach outside the bag).
+        let keep: Vec<Var> = bag_vars
+            .iter()
+            .copied()
+            .filter(|v| rel.vars.contains(v))
+            .collect();
+        rel = rel.project(&keep);
+        for &ai in &assigned[u] {
+            rel = rel.join(&bound[ai]);
+        }
+        relations.push(rel);
+    }
+    // Root the tree at node 0 and compute a post-order.
+    let adj = ghd.td.adjacency();
+    let n = ghd.td.bags.len();
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut post_order = Vec::with_capacity(n);
+    let mut visited = vec![false; n];
+    // Iterative DFS computing children and post-order.
+    let root = 0usize;
+    let mut stack = vec![(root, usize::MAX, false)];
+    while let Some((u, parent, processed)) = stack.pop() {
+        if processed {
+            post_order.push(u);
+            continue;
+        }
+        if visited[u] {
+            continue;
+        }
+        visited[u] = true;
+        stack.push((u, parent, true));
+        for &w in &adj[u] {
+            if w != parent && !visited[w] {
+                children[u].push(w);
+                stack.push((w, u, false));
+            }
+        }
+    }
+    Ok(BagTree {
+        relations,
+        children,
+        post_order,
+        root,
+    })
+}
+
+/// Decide `q(D) ≠ ∅` using a GHD of the query's hypergraph
+/// (Prop. 2.2: polynomial for bounded-width GHDs).
+pub fn bcq_via_ghd(q: &ConjunctiveQuery, db: &Database, ghd: &Ghd) -> Result<bool, String> {
+    let mut bt = build_bag_tree(q, db, ghd)?;
+    // Bottom-up semijoin pass.
+    for &u in &bt.post_order.clone() {
+        if bt.relations[u].is_empty() {
+            return Ok(false);
+        }
+        for c in bt.children[u].clone() {
+            let filtered = bt.relations[u].semijoin(&bt.relations[c]);
+            bt.relations[u] = filtered;
+            if bt.relations[u].is_empty() {
+                return Ok(false);
+            }
+        }
+    }
+    Ok(!bt.relations[bt.root].is_empty())
+}
+
+/// Count `|q(D)|` for a full CQ using the junction-tree DP over a GHD
+/// (Prop. 4.14: polynomial for bounded-width GHDs).
+pub fn count_via_ghd(q: &ConjunctiveQuery, db: &Database, ghd: &Ghd) -> Result<u128, String> {
+    let bt = build_bag_tree(q, db, ghd)?;
+    // counts[u]: per-tuple extension counts for the subtree rooted at u.
+    let mut counts: Vec<HashMap<Vec<u64>, u128>> = bt
+        .relations
+        .iter()
+        .map(|r| r.tuples.iter().map(|t| (t.clone(), 1u128)).collect())
+        .collect();
+    for &u in &bt.post_order {
+        for &c in &bt.children[u] {
+            // Shared variables between bags u and c.
+            let shared: Vec<Var> = bt.relations[u]
+                .vars
+                .iter()
+                .copied()
+                .filter(|v| bt.relations[c].vars.contains(v))
+                .collect();
+            let c_pos: Vec<usize> = shared
+                .iter()
+                .map(|v| bt.relations[c].vars.iter().position(|w| w == v).expect("shared"))
+                .collect();
+            let u_pos: Vec<usize> = shared
+                .iter()
+                .map(|v| bt.relations[u].vars.iter().position(|w| w == v).expect("shared"))
+                .collect();
+            // Aggregate child counts by shared projection.
+            let mut agg: HashMap<Vec<u64>, u128> = HashMap::new();
+            for (t, &cnt) in &counts[c] {
+                let key: Vec<u64> = c_pos.iter().map(|&p| t[p]).collect();
+                *agg.entry(key).or_insert(0) += cnt;
+            }
+            // Multiply into parent tuples (0 if no match).
+            let u_tuples: Vec<Vec<u64>> = counts[u].keys().cloned().collect();
+            for t in u_tuples {
+                let key: Vec<u64> = u_pos.iter().map(|&p| t[p]).collect();
+                match agg.get(&key) {
+                    Some(&s) => {
+                        let e = counts[u].get_mut(&t).expect("present");
+                        *e *= s;
+                    }
+                    None => {
+                        counts[u].remove(&t);
+                    }
+                }
+            }
+        }
+    }
+    Ok(counts[bt.root].values().sum())
+}
+
+/// Decide BCQ, choosing the GHD route when an exact decomposition is
+/// available (small hypergraph) and falling back to naive search.
+pub fn bcq_auto(q: &ConjunctiveQuery, db: &Database) -> bool {
+    match ghw_decomposition(&q.hypergraph()) {
+        Some(ghd) => bcq_via_ghd(q, db, &ghd).expect("ghd is valid for this query"),
+        None => bcq_naive(q, db),
+    }
+}
+
+/// Count answers, choosing the GHD route when possible.
+pub fn count_auto(q: &ConjunctiveQuery, db: &Database) -> u128 {
+    match ghw_decomposition(&q.hypergraph()) {
+        Some(ghd) => count_via_ghd(q, db, &ghd).expect("ghd is valid for this query"),
+        None => count_naive(q, db),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{canonical_query, planted_database, random_database};
+    use cqd2_hypergraph::generators::{hyperchain, hypercycle};
+
+    fn path_query() -> ConjunctiveQuery {
+        ConjunctiveQuery::parse(&[("R", &["?x", "?y"]), ("S", &["?y", "?z"])])
+    }
+
+    #[test]
+    fn naive_path_query() {
+        let q = path_query();
+        let mut db = Database::new();
+        db.insert_all("R", &[vec![1, 2], vec![4, 5]]);
+        db.insert_all("S", &[vec![2, 3], vec![2, 9]]);
+        assert!(bcq_naive(&q, &db));
+        assert_eq!(count_naive(&q, &db), 2);
+        let sols = enumerate_naive(&q, &db);
+        assert_eq!(sols, vec![vec![1, 2, 3], vec![1, 2, 9]]);
+    }
+
+    #[test]
+    fn naive_no_solution() {
+        let q = path_query();
+        let mut db = Database::new();
+        db.insert("R", &[1, 2]);
+        db.insert("S", &[3, 4]);
+        assert!(!bcq_naive(&q, &db));
+        assert_eq!(count_naive(&q, &db), 0);
+    }
+
+    #[test]
+    fn ghd_agrees_with_naive_on_path() {
+        let q = path_query();
+        let mut db = Database::new();
+        db.insert_all("R", &[vec![1, 2], vec![4, 5], vec![7, 8]]);
+        db.insert_all("S", &[vec![2, 3], vec![5, 6]]);
+        let ghd = ghw_decomposition(&q.hypergraph()).unwrap();
+        assert!(bcq_via_ghd(&q, &db, &ghd).unwrap());
+        assert_eq!(count_via_ghd(&q, &db, &ghd).unwrap(), 2);
+    }
+
+    #[test]
+    fn triangle_query_with_planted_solution() {
+        let q = ConjunctiveQuery::parse(&[
+            ("R", &["?x", "?y"]),
+            ("S", &["?y", "?z"]),
+            ("T", &["?z", "?x"]),
+        ]);
+        let db = planted_database(&q, 20, 30, 3);
+        assert!(bcq_naive(&q, &db));
+        assert!(bcq_auto(&q, &db));
+        assert_eq!(count_auto(&q, &db), count_naive(&q, &db));
+    }
+
+    #[test]
+    fn evaluators_agree_on_random_instances() {
+        for seed in 0..8 {
+            let h = if seed % 2 == 0 {
+                hyperchain(3, 3)
+            } else {
+                hypercycle(4, 2)
+            };
+            let q = canonical_query(&h);
+            let db = random_database(&q, 6, 25, seed);
+            let naive = bcq_naive(&q, &db);
+            let ghd = ghw_decomposition(&q.hypergraph()).unwrap();
+            let via = bcq_via_ghd(&q, &db, &ghd).unwrap();
+            assert_eq!(naive, via, "BCQ mismatch on seed {seed}");
+            let cn = count_naive(&q, &db);
+            let cg = count_via_ghd(&q, &db, &ghd).unwrap();
+            assert_eq!(cn, cg, "#CQ mismatch on seed {seed}");
+        }
+    }
+
+    #[test]
+    fn constants_and_repeats_in_evaluation() {
+        let q = ConjunctiveQuery::parse(&[("R", &["?x", "?x", "5"]), ("S", &["?x", "?y"])]);
+        let mut db = Database::new();
+        db.insert_all("R", &[vec![1, 1, 5], vec![2, 3, 5], vec![4, 4, 6]]);
+        db.insert_all("S", &[vec![1, 10], vec![1, 11], vec![4, 12]]);
+        assert!(bcq_naive(&q, &db));
+        assert_eq!(count_naive(&q, &db), 2); // x=1 with y in {10,11}
+        assert_eq!(count_auto(&q, &db), 2);
+    }
+
+    #[test]
+    fn empty_query_edge_cases() {
+        // All-constant atom: acts as an existence check.
+        let q = ConjunctiveQuery::parse(&[("R", &["1", "2"])]);
+        let mut db = Database::new();
+        db.insert("R", &[1, 2]);
+        assert!(bcq_naive(&q, &db));
+        assert_eq!(count_naive(&q, &db), 1); // the empty assignment
+        let mut db2 = Database::new();
+        db2.insert("R", &[9, 9]);
+        assert!(!bcq_naive(&q, &db2));
+    }
+
+    #[test]
+    fn cartesian_product_counting() {
+        let q = ConjunctiveQuery::parse(&[("R", &["?x"]), ("S", &["?y"])]);
+        let mut db = Database::new();
+        db.insert_all("R", &[vec![1], vec![2], vec![3]]);
+        db.insert_all("S", &[vec![7], vec![8]]);
+        assert_eq!(count_naive(&q, &db), 6);
+        assert_eq!(count_auto(&q, &db), 6);
+    }
+}

@@ -1,0 +1,132 @@
+//! Query and database generators for tests and benchmarks.
+
+use crate::database::Database;
+use crate::query::{Atom, ConjunctiveQuery, Term, Var};
+use cqd2_hypergraph::Hypergraph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The canonical self-join-free query of a hypergraph: one atom `R_e` per
+/// edge, whose arguments are the edge's vertices (no repeated variables).
+/// The query's hypergraph is the input hypergraph (up to isolated
+/// vertices, which carry no atom).
+pub fn canonical_query(h: &Hypergraph) -> ConjunctiveQuery {
+    let var_names: Vec<String> = h
+        .vertices()
+        .map(|v| h.vertex_name(v).trim_start_matches('?').to_string())
+        .collect();
+    let atoms = h
+        .edge_ids()
+        .map(|e| Atom {
+            relation: format!("R{}", e.idx()),
+            terms: h.edge(e).iter().map(|&v| Term::Var(Var(v.0))).collect(),
+        })
+        .collect();
+    ConjunctiveQuery { atoms, var_names }
+}
+
+/// A seeded random database for `q`'s schema: each relation receives
+/// `tuples_per_relation` uniform tuples over `[0, domain)`.
+pub fn random_database(
+    q: &ConjunctiveQuery,
+    domain: u64,
+    tuples_per_relation: usize,
+    seed: u64,
+) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    for atom in &q.atoms {
+        for _ in 0..tuples_per_relation {
+            let t: Vec<u64> = (0..atom.terms.len())
+                .map(|_| rng.gen_range(0..domain))
+                .collect();
+            db.insert(&atom.relation, &t);
+        }
+    }
+    db
+}
+
+/// A seeded database guaranteed to contain at least one solution: a random
+/// assignment is planted (its atom images inserted), then noise tuples are
+/// added as in [`random_database`].
+pub fn planted_database(
+    q: &ConjunctiveQuery,
+    domain: u64,
+    noise_per_relation: usize,
+    seed: u64,
+) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9E3779B97F4A7C15);
+    let assignment: Vec<u64> = (0..q.num_vars())
+        .map(|_| rng.gen_range(0..domain))
+        .collect();
+    let mut db = random_database(q, domain, noise_per_relation, seed);
+    for atom in &q.atoms {
+        let t: Vec<u64> = atom
+            .terms
+            .iter()
+            .map(|term| match term {
+                Term::Var(v) => assignment[v.idx()],
+                Term::Const(c) => *c,
+            })
+            .collect();
+        db.insert(&atom.relation, &t);
+    }
+    db
+}
+
+/// A database on which the canonical query of a jigsaw-like degree-2
+/// hypergraph is *hard for naive join but easy with a GHD*: `k` planted
+/// partial matches that almost-join pairwise, creating a large
+/// intermediate result, plus one real solution.
+pub fn adversarial_database(q: &ConjunctiveQuery, k: u64, seed: u64) -> Database {
+    let mut db = planted_database(q, 2 * k, 0, seed);
+    // Per-relation combinatorial padding: tuples agreeing on "even" values
+    // so partial joins multiply but rarely complete.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xABCDEF);
+    for atom in &q.atoms {
+        for _ in 0..k {
+            let t: Vec<u64> = (0..atom.terms.len())
+                .map(|_| 2 * rng.gen_range(0..k))
+                .collect();
+            db.insert(&atom.relation, &t);
+        }
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::bcq_naive;
+    use cqd2_hypergraph::generators::{hyperchain, hypercycle};
+
+    #[test]
+    fn canonical_query_roundtrip() {
+        let h = hypercycle(4, 3);
+        let q = canonical_query(&h);
+        assert!(q.is_self_join_free());
+        assert_eq!(q.atoms.len(), h.num_edges());
+        let h2 = q.hypergraph();
+        assert!(cqd2_hypergraph::are_isomorphic(&h, &h2));
+    }
+
+    #[test]
+    fn planted_always_satisfiable() {
+        for seed in 0..6 {
+            let q = canonical_query(&hyperchain(4, 3));
+            let db = planted_database(&q, 10, 15, seed);
+            assert!(bcq_naive(&q, &db), "seed {seed} lost its plant");
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let q = canonical_query(&hyperchain(3, 2));
+        let a = random_database(&q, 9, 20, 7);
+        let b = random_database(&q, 9, 20, 7);
+        assert_eq!(a, b);
+        let c = adversarial_database(&q, 8, 3);
+        let d = adversarial_database(&q, 8, 3);
+        assert_eq!(c, d);
+    }
+}

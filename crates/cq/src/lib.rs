@@ -1,0 +1,35 @@
+//! Conjunctive queries and their evaluation.
+//!
+//! This crate is the database substrate of the reproduction: it provides
+//! CQs, databases, and the evaluation algorithms whose complexity the
+//! paper characterizes.
+//!
+//! - [`query`]: function-free conjunctive queries with named variables and
+//!   constants; the hypergraph of a query (Section 2).
+//! - [`database`]: databases as sets of ground atoms, stored per-relation.
+//! - [`relation`]: the variable-columned relations and the hash-join /
+//!   semijoin / projection operators used by all evaluators.
+//! - [`eval`]: **BCQ** evaluation three ways — naive backtracking join
+//!   (exponential, the baseline), Yannakakis semijoin passes over a join
+//!   tree, and GHD-guided evaluation (Prop. 2.2: polynomial for bounded
+//!   ghw) — plus **#CQ** counting for full CQs by the junction-tree DP
+//!   (Prop. 4.14).
+//! - [`hom`]: homomorphisms between queries, cores, Boolean equivalence,
+//!   and semantic generalized hypertree width (`ghw` of the core,
+//!   Section 4.3).
+//! - [`generate`]: canonical queries from hypergraphs and seeded database
+//!   generators (uniform and planted-solution), used by tests and the
+//!   benchmark harness.
+
+pub mod database;
+pub mod eval;
+pub mod generate;
+pub mod hom;
+pub mod query;
+pub mod relation;
+
+pub use database::Database;
+pub use eval::{bcq_naive, bcq_via_ghd, count_naive, count_via_ghd};
+pub use hom::{core_of, find_homomorphism, semantic_ghw};
+pub use query::{Atom, ConjunctiveQuery, Term, Var};
+pub use relation::VRelation;

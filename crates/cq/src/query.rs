@@ -1,0 +1,259 @@
+//! Conjunctive queries (Section 2 of the paper).
+
+use cqd2_hypergraph::{Hypergraph, HypergraphBuilder};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A query variable (dense id within one query).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// The id as an index.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "?{}", self.0)
+    }
+}
+
+/// A term: a variable or a constant.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Term {
+    /// A query variable.
+    Var(Var),
+    /// A database constant.
+    Const(u64),
+}
+
+/// A relational atom `R(t_1, …, t_k)`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Atom {
+    /// Relation symbol.
+    pub relation: String,
+    /// Terms in position order.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// The distinct variables of the atom, in first-occurrence order.
+    pub fn vars(&self) -> Vec<Var> {
+        let mut out = Vec::new();
+        for t in &self.terms {
+            if let Term::Var(v) = t {
+                if !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Does the atom repeat a variable?
+    pub fn has_repeated_vars(&self) -> bool {
+        let vs: Vec<Var> = self
+            .terms
+            .iter()
+            .filter_map(|t| match t {
+                Term::Var(v) => Some(*v),
+                Term::Const(_) => None,
+            })
+            .collect();
+        let mut sorted = vs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        sorted.len() != vs.len()
+    }
+}
+
+/// A function-free conjunctive query: a conjunction of atoms.
+///
+/// All results in the paper concern Boolean evaluation (existential
+/// quantification is immaterial for `BCQ`) except counting, which is
+/// defined for *full* CQs — we therefore treat every query as full and
+/// leave projections to the caller.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ConjunctiveQuery {
+    /// Atoms of the conjunction.
+    pub atoms: Vec<Atom>,
+    /// Names for variables (index = `Var` id).
+    pub var_names: Vec<String>,
+}
+
+impl ConjunctiveQuery {
+    /// Build a query from atoms given as `(relation, terms-as-names)`;
+    /// names starting with `?` are variables, anything else parses as a
+    /// `u64` constant.
+    ///
+    /// ```
+    /// use cqd2_cq::ConjunctiveQuery;
+    /// let q = ConjunctiveQuery::parse(&[("R", &["?x", "?y"]), ("S", &["?y", "42"])]);
+    /// assert_eq!(q.num_vars(), 2);
+    /// ```
+    pub fn parse(atoms: &[(&str, &[&str])]) -> ConjunctiveQuery {
+        let mut var_ids: BTreeMap<String, Var> = BTreeMap::new();
+        let mut var_names: Vec<String> = Vec::new();
+        let mut out_atoms = Vec::new();
+        for (rel, terms) in atoms {
+            let ts = terms
+                .iter()
+                .map(|t| {
+                    if let Some(name) = t.strip_prefix('?') {
+                        let v = *var_ids.entry(name.to_string()).or_insert_with(|| {
+                            let v = Var(var_names.len() as u32);
+                            var_names.push(name.to_string());
+                            v
+                        });
+                        Term::Var(v)
+                    } else {
+                        Term::Const(t.parse().expect("constant must be u64"))
+                    }
+                })
+                .collect();
+            out_atoms.push(Atom {
+                relation: rel.to_string(),
+                terms: ts,
+            });
+        }
+        ConjunctiveQuery {
+            atoms: out_atoms,
+            var_names,
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.var_names.len()
+    }
+
+    /// All variables.
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        (0..self.num_vars() as u32).map(Var)
+    }
+
+    /// The arity: maximum atom arity.
+    pub fn arity(&self) -> usize {
+        self.atoms.iter().map(|a| a.terms.len()).max().unwrap_or(0)
+    }
+
+    /// Is the query self-join free (no relation symbol occurs twice)?
+    pub fn is_self_join_free(&self) -> bool {
+        let mut rels: Vec<&str> = self.atoms.iter().map(|a| a.relation.as_str()).collect();
+        rels.sort_unstable();
+        rels.windows(2).all(|w| w[0] != w[1])
+    }
+
+    /// The hypergraph of the query: vertices are variables, one edge per
+    /// distinct atom variable-set (Section 2; note `R(x,y) ∧ S(x,y)`
+    /// yields a single edge).
+    pub fn hypergraph(&self) -> Hypergraph {
+        let mut b = HypergraphBuilder::new();
+        // Intern all variables first so vertex ids equal Var ids.
+        for name in &self.var_names {
+            b.vertex(&format!("?{name}"));
+        }
+        for (i, atom) in self.atoms.iter().enumerate() {
+            let vars = atom.vars();
+            let names: Vec<String> = vars
+                .iter()
+                .map(|v| format!("?{}", self.var_names[v.idx()]))
+                .collect();
+            let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+            b = b.edge(&format!("{}#{}", atom.relation, i), &refs);
+        }
+        b.build().expect("edge names are unique")
+    }
+
+    /// The degree of the query = degree of its hypergraph.
+    pub fn degree(&self) -> usize {
+        self.hypergraph().max_degree()
+    }
+
+    /// Pretty-print, e.g. `R(?x, ?y) ∧ S(?y, 42)`.
+    pub fn display(&self) -> String {
+        self.atoms
+            .iter()
+            .map(|a| {
+                let ts: Vec<String> = a
+                    .terms
+                    .iter()
+                    .map(|t| match t {
+                        Term::Var(v) => format!("?{}", self.var_names[v.idx()]),
+                        Term::Const(c) => c.to_string(),
+                    })
+                    .collect();
+                format!("{}({})", a.relation, ts.join(", "))
+            })
+            .collect::<Vec<_>>()
+            .join(" ∧ ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_accessors() {
+        let q = ConjunctiveQuery::parse(&[
+            ("R", &["?x", "?y", "?z"]),
+            ("S", &["?z", "?w"]),
+            ("T", &["?w", "7"]),
+        ]);
+        assert_eq!(q.num_vars(), 4);
+        assert_eq!(q.arity(), 3);
+        assert!(q.is_self_join_free());
+        assert_eq!(q.display(), "R(?x, ?y, ?z) ∧ S(?z, ?w) ∧ T(?w, 7)");
+    }
+
+    #[test]
+    fn hypergraph_extraction() {
+        let q = ConjunctiveQuery::parse(&[("R", &["?x", "?y"]), ("S", &["?y", "?z"])]);
+        let h = q.hypergraph();
+        assert_eq!(h.num_vertices(), 2 + 1);
+        assert_eq!(h.num_edges(), 2);
+        assert_eq!(h.max_degree(), 2);
+    }
+
+    #[test]
+    fn duplicate_var_sets_collapse_in_hypergraph() {
+        // The paper's example: R(x,y) ∧ S(x,y) ∧ T(x,z) has degree 2.
+        let q = ConjunctiveQuery::parse(&[
+            ("R", &["?x", "?y"]),
+            ("S", &["?x", "?y"]),
+            ("T", &["?x", "?z"]),
+        ]);
+        let h = q.hypergraph();
+        assert_eq!(h.num_edges(), 2);
+        assert_eq!(h.max_degree(), 2);
+        assert_eq!(q.degree(), 2);
+    }
+
+    #[test]
+    fn constants_are_not_vertices() {
+        // Both atoms have variable set {x}: a single hypergraph edge.
+        let q = ConjunctiveQuery::parse(&[("R", &["?x", "5"]), ("S", &["?x", "?x"])]);
+        let h = q.hypergraph();
+        assert_eq!(h.num_vertices(), 1);
+        assert_eq!(h.num_edges(), 1);
+        let q2 = ConjunctiveQuery::parse(&[("R", &["?x", "5"]), ("S", &["?x", "?y"])]);
+        assert_eq!(q2.hypergraph().num_edges(), 2);
+    }
+
+    #[test]
+    fn repeated_vars_detected() {
+        let q = ConjunctiveQuery::parse(&[("R", &["?x", "?x"])]);
+        assert!(q.atoms[0].has_repeated_vars());
+        assert_eq!(q.atoms[0].vars(), vec![Var(0)]);
+    }
+
+    #[test]
+    fn self_join_detection() {
+        let q = ConjunctiveQuery::parse(&[("R", &["?x", "?y"]), ("R", &["?y", "?z"])]);
+        assert!(!q.is_self_join_free());
+    }
+}

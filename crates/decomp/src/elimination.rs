@@ -1,0 +1,241 @@
+//! Elimination orderings: fill bags, heuristics, and conversion to tree
+//! decompositions.
+//!
+//! Every elimination ordering `π` of (the primal graph of) a hypergraph
+//! yields a tree decomposition whose bags are the *fill bags*
+//! `B_v = {v} ∪ N⁺(v)` (the neighbours of `v` at the moment it is
+//! eliminated); conversely every tree decomposition induces an ordering
+//! whose fill bags are subsets of its bags. For any *monotone* bag-cost
+//! function this makes the minimum over orderings equal to the minimum over
+//! all tree decompositions — the fact the exact solver in [`crate::exact`]
+//! relies on.
+
+use cqd2_hypergraph::{Graph, VertexId};
+
+use crate::tree_decomposition::TreeDecomposition;
+
+/// Compute the fill bags of eliminating `order` in `g`.
+///
+/// Returns `bags[i]` = sorted bag of the vertex `order[i]` (containing the
+/// vertex itself). `order` must be a permutation of `0..n`.
+pub fn fill_bags(g: &Graph, order: &[u32]) -> Vec<Vec<u32>> {
+    let n = g.num_vertices();
+    assert_eq!(order.len(), n, "order must cover all vertices");
+    // Working adjacency as sets for fill-in.
+    let mut adj: Vec<std::collections::BTreeSet<u32>> = (0..n)
+        .map(|v| g.neighbors(v as u32).iter().copied().collect())
+        .collect();
+    let mut eliminated = vec![false; n];
+    let mut bags = Vec::with_capacity(n);
+    for &v in order {
+        let nb: Vec<u32> = adj[v as usize]
+            .iter()
+            .copied()
+            .filter(|&u| !eliminated[u as usize])
+            .collect();
+        let mut bag = nb.clone();
+        bag.push(v);
+        bag.sort_unstable();
+        bags.push(bag);
+        // Make the remaining neighbourhood a clique.
+        for i in 0..nb.len() {
+            for j in (i + 1)..nb.len() {
+                adj[nb[i] as usize].insert(nb[j]);
+                adj[nb[j] as usize].insert(nb[i]);
+            }
+        }
+        eliminated[v as usize] = true;
+    }
+    bags
+}
+
+/// Build a valid tree decomposition from an elimination ordering.
+///
+/// Node `i` carries the fill bag of `order[i]`; its parent is the node of
+/// the earliest-eliminated later vertex in its bag. Roots (vertices whose
+/// bag is a singleton) are chained together so the result is a single tree.
+pub fn order_to_td(g: &Graph, order: &[u32]) -> TreeDecomposition {
+    let n = g.num_vertices();
+    if n == 0 {
+        // A single empty bag: valid for vertex-less hypergraphs (covers
+        // the empty edge, trivially connected).
+        return TreeDecomposition {
+            bags: vec![vec![]],
+            tree: vec![],
+        };
+    }
+    let bags_raw = fill_bags(g, order);
+    let mut pos = vec![0usize; n];
+    for (i, &v) in order.iter().enumerate() {
+        pos[v as usize] = i;
+    }
+    let mut tree = Vec::new();
+    let mut roots = Vec::new();
+    for (i, bag) in bags_raw.iter().enumerate() {
+        let parent = bag
+            .iter()
+            .filter(|&&u| pos[u as usize] > i)
+            .min_by_key(|&&u| pos[u as usize]);
+        match parent {
+            Some(&u) => tree.push((i, pos[u as usize])),
+            None => roots.push(i),
+        }
+    }
+    for w in roots.windows(2) {
+        tree.push((w[0], w[1]));
+    }
+    let bags = bags_raw
+        .into_iter()
+        .map(|b| b.into_iter().map(VertexId).collect())
+        .collect();
+    TreeDecomposition { bags, tree }
+}
+
+/// Min-fill elimination ordering: repeatedly eliminate the vertex whose
+/// elimination adds the fewest fill edges (ties: smaller degree, then id).
+pub fn min_fill_order(g: &Graph) -> Vec<u32> {
+    greedy_order(g, |adj, eliminated, v| {
+        let nb: Vec<u32> = adj[v as usize]
+            .iter()
+            .copied()
+            .filter(|&u| !eliminated[u as usize])
+            .collect();
+        let mut fill = 0usize;
+        for i in 0..nb.len() {
+            for j in (i + 1)..nb.len() {
+                if !adj[nb[i] as usize].contains(&nb[j]) {
+                    fill += 1;
+                }
+            }
+        }
+        (fill, nb.len())
+    })
+}
+
+/// Min-degree elimination ordering.
+pub fn min_degree_order(g: &Graph) -> Vec<u32> {
+    greedy_order(g, |adj, eliminated, v| {
+        let d = adj[v as usize]
+            .iter()
+            .filter(|&&u| !eliminated[u as usize])
+            .count();
+        (d, 0)
+    })
+}
+
+fn greedy_order(
+    g: &Graph,
+    mut score: impl FnMut(&[std::collections::BTreeSet<u32>], &[bool], u32) -> (usize, usize),
+) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut adj: Vec<std::collections::BTreeSet<u32>> = (0..n)
+        .map(|v| g.neighbors(v as u32).iter().copied().collect())
+        .collect();
+    let mut eliminated = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    for _ in 0..n {
+        let v = (0..n as u32)
+            .filter(|&v| !eliminated[v as usize])
+            .min_by_key(|&v| {
+                let (a, b) = score(&adj, &eliminated, v);
+                (a, b, v)
+            })
+            .expect("some vertex remains");
+        let nb: Vec<u32> = adj[v as usize]
+            .iter()
+            .copied()
+            .filter(|&u| !eliminated[u as usize])
+            .collect();
+        for i in 0..nb.len() {
+            for j in (i + 1)..nb.len() {
+                adj[nb[i] as usize].insert(nb[j]);
+                adj[nb[j] as usize].insert(nb[i]);
+            }
+        }
+        eliminated[v as usize] = true;
+        order.push(v);
+    }
+    order
+}
+
+/// Treewidth upper bound from an ordering: `max |fill bag| - 1`.
+pub fn order_width(g: &Graph, order: &[u32]) -> usize {
+    fill_bags(g, order)
+        .iter()
+        .map(|b| b.len())
+        .max()
+        .unwrap_or(1)
+        .saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqd2_hypergraph::generators::{complete_graph, cycle_graph, grid_graph, path_graph};
+
+    #[test]
+    fn path_has_width_one() {
+        let g = path_graph(6);
+        let order = min_fill_order(&g);
+        assert_eq!(order_width(&g, &order), 1);
+        let td = order_to_td(&g, &order);
+        td.validate(&g.to_hypergraph()).unwrap();
+        assert_eq!(td.width(), 1);
+    }
+
+    #[test]
+    fn cycle_has_width_two() {
+        let g = cycle_graph(7);
+        let order = min_fill_order(&g);
+        assert_eq!(order_width(&g, &order), 2);
+        let td = order_to_td(&g, &order);
+        td.validate(&g.to_hypergraph()).unwrap();
+    }
+
+    #[test]
+    fn clique_has_width_n_minus_one() {
+        let g = complete_graph(5);
+        let order = min_degree_order(&g);
+        assert_eq!(order_width(&g, &order), 4);
+    }
+
+    #[test]
+    fn grid_heuristic_reasonable() {
+        // tw(grid 3xm) = 3; min-fill typically finds it.
+        let g = grid_graph(3, 5);
+        let order = min_fill_order(&g);
+        let w = order_width(&g, &order);
+        assert!(w >= 3, "cannot beat true treewidth");
+        assert!(w <= 5, "heuristic should be close, got {w}");
+        let td = order_to_td(&g, &order);
+        td.validate(&g.to_hypergraph()).unwrap();
+    }
+
+    #[test]
+    fn disconnected_graph_yields_tree() {
+        let mut g = path_graph(3);
+        // add isolated vertices
+        g = Graph::from_edges(6, &g.edges().collect::<Vec<_>>());
+        let order = min_degree_order(&g);
+        let td = order_to_td(&g, &order);
+        td.validate(&g.to_hypergraph()).unwrap();
+    }
+
+    #[test]
+    fn fill_bags_contain_self() {
+        let g = grid_graph(2, 3);
+        let order = min_fill_order(&g);
+        let bags = fill_bags(&g, &order);
+        for (i, bag) in bags.iter().enumerate() {
+            assert!(bag.contains(&order[i]));
+        }
+    }
+
+    #[test]
+    fn arbitrary_order_still_valid_td() {
+        let g = grid_graph(3, 3);
+        let order: Vec<u32> = (0..9).collect();
+        let td = order_to_td(&g, &order);
+        td.validate(&g.to_hypergraph()).unwrap();
+    }
+}

@@ -1,0 +1,264 @@
+//! Exact *f-width* via a memoized DP over elimination orderings.
+//!
+//! For a monotone bag-cost `f` (meaning `A ⊆ B ⇒ f(A) ≤ f(B)`), the
+//! `f`-width of a hypergraph equals
+//!
+//! ```text
+//!   min over elimination orders π of primal(H) of  max_v f(B_π(v))
+//! ```
+//!
+//! where `B_π(v)` is the fill bag of `v`. Soundness: each ordering yields a
+//! valid tree decomposition with exactly those bags
+//! ([`crate::elimination::order_to_td`]). Completeness: every tree
+//! decomposition induces an elimination ordering whose fill bags are each
+//! contained in one of its bags, so by monotonicity no optimum is missed.
+//!
+//! The DP state is the *set of already-eliminated vertices* (as a bitmask):
+//! the fill bag of eliminating `v` after set `S` depends only on `(S, v)` —
+//! it is `{v}` plus every vertex outside `S` reachable from `v` through
+//! `S`. An optional static upper bound prunes branches whose bag already
+//! costs more; the memo stays consistent because the bound is fixed for the
+//! whole run.
+
+use cqd2_hypergraph::Graph;
+use std::collections::HashMap;
+
+/// Hard cap on vertex count for the exact DP (bitmask width and memory).
+pub const MAX_EXACT_VERTICES: usize = 26;
+
+/// Result of an exact f-width computation: the optimal width and a witness
+/// elimination order achieving it.
+#[derive(Debug, Clone)]
+pub struct ExactWidth<W> {
+    /// The optimal `f`-width.
+    pub width: W,
+    /// An elimination order whose fill bags achieve it.
+    pub order: Vec<u32>,
+}
+
+/// Compute the exact f-width of `g` under monotone bag-cost `cost`.
+///
+/// * `cost` receives a sorted bag (vertex ids of `g`) including the
+///   eliminated vertex itself, and must be monotone.
+/// * `prune_above`: branches whose bag cost exceeds this are discarded.
+///   Pass the cost of a heuristic decomposition to accelerate the search
+///   (the result is still exact because the heuristic witness survives).
+///
+/// Returns `None` when `g` has more than [`MAX_EXACT_VERTICES`] vertices or
+/// when `prune_above` removed every solution (which cannot happen if the
+/// bound comes from a real decomposition of `g`).
+pub fn f_width_exact<W: PartialOrd + Copy>(
+    g: &Graph,
+    cost: &mut dyn FnMut(&[u32]) -> W,
+    prune_above: Option<W>,
+) -> Option<ExactWidth<W>> {
+    let n = g.num_vertices();
+    if n > MAX_EXACT_VERTICES {
+        return None;
+    }
+    if n == 0 {
+        // Width of the empty graph: cost of the empty bag.
+        return Some(ExactWidth {
+            width: cost(&[]),
+            order: vec![],
+        });
+    }
+    let adj: Vec<u64> = (0..n)
+        .map(|v| {
+            g.neighbors(v as u32)
+                .iter()
+                .fold(0u64, |acc, &u| acc | (1u64 << u))
+        })
+        .collect();
+    let full: u64 = if n == 64 { !0 } else { (1u64 << n) - 1 };
+    let mut memo: HashMap<u64, Option<(W, u32)>> = HashMap::new();
+    let result = {
+        let mut solver = Solver {
+            n,
+            adj,
+            full,
+            memo: &mut memo,
+            cost,
+            prune_above,
+        };
+        solver.best(0)?
+    };
+    // Reconstruct the order from the memo.
+    let mut order = Vec::with_capacity(n);
+    let mut s = 0u64;
+    while s != full {
+        let (_, v) = memo.get(&s).copied().flatten().expect("memoized path");
+        order.push(v);
+        s |= 1u64 << v;
+    }
+    Some(ExactWidth {
+        width: result.0,
+        order,
+    })
+}
+
+struct Solver<'a, W> {
+    n: usize,
+    adj: Vec<u64>,
+    full: u64,
+    memo: &'a mut HashMap<u64, Option<(W, u32)>>,
+    cost: &'a mut dyn FnMut(&[u32]) -> W,
+    prune_above: Option<W>,
+}
+
+impl<W: PartialOrd + Copy> Solver<'_, W> {
+    /// Fill bag of eliminating `v` after eliminating set `s`, as a bitmask
+    /// over the *remaining* vertices (including `v`).
+    fn bag_mask(&self, s: u64, v: u32) -> u64 {
+        // Vertices of s reachable from v through s.
+        let vbit = 1u64 << v;
+        let mut region = vbit;
+        loop {
+            let mut frontier = 0u64;
+            let mut rest = region;
+            while rest != 0 {
+                let u = rest.trailing_zeros();
+                rest &= rest - 1;
+                frontier |= self.adj[u as usize];
+            }
+            let grow = (frontier & s) & !region;
+            if grow == 0 {
+                // Bag = v plus neighbours of the region outside s.
+                return vbit | (frontier & !s & !vbit);
+            }
+            region |= grow;
+        }
+    }
+
+    fn best(&mut self, s: u64) -> Option<(W, u32)> {
+        if s == self.full {
+            return None; // handled by caller: max over empty = skip
+        }
+        if let Some(&r) = self.memo.get(&s) {
+            return r;
+        }
+        let mut best: Option<(W, u32)> = None;
+        for v in 0..self.n as u32 {
+            if s & (1u64 << v) != 0 {
+                continue;
+            }
+            let bag_mask = self.bag_mask(s, v);
+            let bag = mask_to_vec(bag_mask);
+            let w = (self.cost)(&bag);
+            if let Some(limit) = self.prune_above {
+                if w > limit {
+                    continue;
+                }
+            }
+            // Prune against incumbent for this state.
+            if let Some((bw, _)) = best {
+                if w >= bw {
+                    // This branch's width is at least max(w, subtree) >= bw.
+                    continue;
+                }
+            }
+            let s2 = s | (1u64 << v);
+            let sub = if s2 == self.full {
+                Some(w)
+            } else {
+                self.best(s2).map(|(sw, _)| if sw > w { sw } else { w })
+            };
+            if let Some(total) = sub {
+                if best.map_or(true, |(bw, _)| total < bw) {
+                    best = Some((total, v));
+                }
+            }
+        }
+        self.memo.insert(s, best);
+        best
+    }
+}
+
+fn mask_to_vec(mut mask: u64) -> Vec<u32> {
+    let mut out = Vec::with_capacity(mask.count_ones() as usize);
+    while mask != 0 {
+        out.push(mask.trailing_zeros());
+        mask &= mask - 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqd2_hypergraph::generators::{
+        complete_graph, cycle_graph, grid_graph, path_graph, random_graph,
+    };
+
+    fn tw(g: &Graph) -> usize {
+        f_width_exact(g, &mut |bag: &[u32]| bag.len().saturating_sub(1), None)
+            .expect("small graph")
+            .width
+    }
+
+    #[test]
+    fn treewidth_of_standard_graphs() {
+        assert_eq!(tw(&path_graph(7)), 1);
+        assert_eq!(tw(&cycle_graph(6)), 2);
+        assert_eq!(tw(&complete_graph(5)), 4);
+        assert_eq!(tw(&grid_graph(2, 4)), 2);
+        assert_eq!(tw(&grid_graph(3, 3)), 3);
+        assert_eq!(tw(&grid_graph(4, 4)), 4);
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        assert_eq!(tw(&Graph::empty(0)), 0);
+        assert_eq!(tw(&Graph::empty(3)), 0);
+        assert_eq!(tw(&path_graph(1)), 0);
+        assert_eq!(tw(&path_graph(2)), 1);
+    }
+
+    #[test]
+    fn witness_order_achieves_width() {
+        let g = grid_graph(3, 4);
+        let r = f_width_exact(&g, &mut |b: &[u32]| b.len().saturating_sub(1), None).unwrap();
+        assert_eq!(r.width, 3);
+        let achieved = crate::elimination::order_width(&g, &r.order);
+        assert_eq!(achieved, 3);
+    }
+
+    #[test]
+    fn pruning_preserves_exactness() {
+        let g = grid_graph(3, 3);
+        let ub = crate::elimination::order_width(&g, &crate::elimination::min_fill_order(&g));
+        let pruned = f_width_exact(&g, &mut |b: &[u32]| b.len().saturating_sub(1), Some(ub))
+            .unwrap()
+            .width;
+        assert_eq!(pruned, 3);
+    }
+
+    #[test]
+    fn random_graphs_heuristic_never_beats_exact() {
+        for seed in 0..6 {
+            let g = random_graph(9, 0.35, seed);
+            let exact = tw(&g);
+            let heur = crate::elimination::order_width(
+                &g,
+                &crate::elimination::min_fill_order(&g),
+            );
+            assert!(heur >= exact, "heuristic {heur} < exact {exact}");
+        }
+    }
+
+    #[test]
+    fn too_large_returns_none() {
+        let g = Graph::empty(MAX_EXACT_VERTICES + 1);
+        assert!(f_width_exact(&g, &mut |b: &[u32]| b.len(), None).is_none());
+    }
+
+    #[test]
+    fn disconnected_graph_width_is_max_of_components() {
+        // K4 plus a disjoint path: width 3.
+        let mut edges: Vec<(u32, u32)> = complete_graph(4).edges().collect();
+        edges.push((4, 5));
+        edges.push((5, 6));
+        let g = Graph::from_edges(7, &edges);
+        assert_eq!(tw(&g), 3);
+    }
+}

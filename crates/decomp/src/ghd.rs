@@ -1,0 +1,156 @@
+//! Generalized hypertree decompositions (GHDs).
+//!
+//! A GHD `⟨T, (B_u), (λ_u)⟩` is a tree decomposition together with, for
+//! every node `u`, an explicit edge cover `λ_u ⊆ E(H)` of the bag `B_u`
+//! (paper, Appendix C). Its width is `max_u |λ_u|`; the minimum width over
+//! all GHDs of `H` is `ghw(H)`.
+
+use cqd2_hypergraph::{EdgeId, Hypergraph, VertexId};
+use serde::{Deserialize, Serialize};
+
+use crate::cover::{exact_cover, greedy_cover, is_cover};
+use crate::tree_decomposition::{TdError, TreeDecomposition};
+
+/// A generalized hypertree decomposition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ghd {
+    /// The underlying tree decomposition.
+    pub td: TreeDecomposition,
+    /// `covers[u]` is the edge cover `λ_u` of bag `u`.
+    pub covers: Vec<Vec<EdgeId>>,
+}
+
+/// Reasons a GHD can be invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GhdError {
+    /// The underlying tree decomposition is invalid.
+    Td(TdError),
+    /// `covers` has the wrong length.
+    CoverCountMismatch,
+    /// Bag `u` is not covered by `λ_u`.
+    BagNotCovered(usize),
+    /// A cover references an edge outside the hypergraph.
+    UnknownEdge(u32),
+}
+
+impl std::fmt::Display for GhdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GhdError::Td(e) => write!(f, "invalid tree decomposition: {e}"),
+            GhdError::CoverCountMismatch => write!(f, "covers.len() != bags.len()"),
+            GhdError::BagNotCovered(u) => write!(f, "bag {u} not covered by its λ"),
+            GhdError::UnknownEdge(e) => write!(f, "cover references unknown edge e{e}"),
+        }
+    }
+}
+
+impl std::error::Error for GhdError {}
+
+impl Ghd {
+    /// The width `max_u |λ_u|` (0 for a single empty bag).
+    pub fn width(&self) -> usize {
+        self.covers.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Validate against `h`: the tree decomposition must be valid and every
+    /// bag covered by its `λ`.
+    pub fn validate(&self, h: &Hypergraph) -> Result<(), GhdError> {
+        self.td.validate(h).map_err(GhdError::Td)?;
+        if self.covers.len() != self.td.bags.len() {
+            return Err(GhdError::CoverCountMismatch);
+        }
+        for (u, cover) in self.covers.iter().enumerate() {
+            for e in cover {
+                if e.idx() >= h.num_edges() {
+                    return Err(GhdError::UnknownEdge(e.0));
+                }
+            }
+            if !is_cover(h, &self.td.bags[u], cover) {
+                return Err(GhdError::BagNotCovered(u));
+            }
+        }
+        Ok(())
+    }
+
+    /// Equip a tree decomposition with minimum-cardinality covers
+    /// (exact per-bag set cover). The GHD's width is then the `ρ`-width of
+    /// the given decomposition.
+    pub fn from_td_exact(h: &Hypergraph, td: TreeDecomposition) -> Ghd {
+        let covers = td.bags.iter().map(|b| exact_cover(h, b)).collect();
+        Ghd { td, covers }
+    }
+
+    /// Equip a tree decomposition with greedy covers (fast, possibly
+    /// suboptimal width).
+    pub fn from_td_greedy(h: &Hypergraph, td: TreeDecomposition) -> Ghd {
+        let covers = td.bags.iter().map(|b| greedy_cover(h, b)).collect();
+        Ghd { td, covers }
+    }
+
+    /// The bag of node `u`.
+    pub fn bag(&self, u: usize) -> &[VertexId] {
+        &self.td.bags[u]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vid(v: u32) -> VertexId {
+        VertexId(v)
+    }
+
+    #[test]
+    fn chain_ghd_width_one() {
+        use cqd2_hypergraph::generators::hyperchain;
+        let h = hyperchain(4, 3);
+        // One node per edge, chained: bags = edges.
+        let bags: Vec<Vec<VertexId>> = h.edge_ids().map(|e| h.edge(e).to_vec()).collect();
+        let tree = (0..bags.len() - 1).map(|i| (i, i + 1)).collect();
+        let td = TreeDecomposition { bags, tree };
+        let ghd = Ghd::from_td_exact(&h, td);
+        ghd.validate(&h).unwrap();
+        assert_eq!(ghd.width(), 1);
+    }
+
+    #[test]
+    fn invalid_cover_detected() {
+        let h = Hypergraph::new(3, &[vec![0, 1], vec![1, 2]]).unwrap();
+        let td = TreeDecomposition::trivial(&h);
+        let ghd = Ghd {
+            td,
+            covers: vec![vec![EdgeId(0)]], // does not cover vertex 2
+        };
+        assert_eq!(ghd.validate(&h), Err(GhdError::BagNotCovered(0)));
+    }
+
+    #[test]
+    fn unknown_edge_detected() {
+        let h = Hypergraph::new(2, &[vec![0, 1]]).unwrap();
+        let ghd = Ghd {
+            td: TreeDecomposition::trivial(&h),
+            covers: vec![vec![EdgeId(7)]],
+        };
+        assert_eq!(ghd.validate(&h), Err(GhdError::UnknownEdge(7)));
+    }
+
+    #[test]
+    fn cover_count_mismatch_detected() {
+        let h = Hypergraph::new(2, &[vec![0, 1]]).unwrap();
+        let ghd = Ghd {
+            td: TreeDecomposition::trivial(&h),
+            covers: vec![],
+        };
+        assert_eq!(ghd.validate(&h), Err(GhdError::CoverCountMismatch));
+    }
+
+    #[test]
+    fn trivial_td_cover_width_is_rho_of_everything() {
+        let h = Hypergraph::new(4, &[vec![0, 1], vec![2, 3], vec![1, 2]]).unwrap();
+        let ghd = Ghd::from_td_exact(&h, TreeDecomposition::trivial(&h));
+        ghd.validate(&h).unwrap();
+        assert_eq!(ghd.width(), 2); // {0,1} and {2,3} cover all four vertices
+        let _ = vid(0);
+    }
+}

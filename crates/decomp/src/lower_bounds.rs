@@ -1,0 +1,71 @@
+//! Cheap lower bounds for treewidth (and, derived, for ghw).
+
+use cqd2_hypergraph::Graph;
+
+/// The *maximum minimum degree* (MMD) lower bound for treewidth, equal to
+/// the degeneracy of the graph: repeatedly delete a minimum-degree vertex
+/// and record the largest minimum degree observed. `tw(G) ≥ MMD(G)`.
+pub fn mmd_lower_bound(g: &Graph) -> usize {
+    let n = g.num_vertices();
+    if n == 0 {
+        return 0;
+    }
+    let mut deg: Vec<usize> = (0..n).map(|v| g.degree(v as u32)).collect();
+    let mut alive = vec![true; n];
+    let mut best = 0usize;
+    for _ in 0..n {
+        let v = (0..n)
+            .filter(|&v| alive[v])
+            .min_by_key(|&v| deg[v])
+            .expect("some vertex alive");
+        best = best.max(deg[v]);
+        alive[v] = false;
+        for &u in g.neighbors(v as u32) {
+            if alive[u as usize] {
+                deg[u as usize] -= 1;
+            }
+        }
+    }
+    best
+}
+
+/// A treewidth lower bound specialised to nothing: the maximum clique
+/// found greedily minus one. Useful on dense graphs where MMD is weak.
+pub fn greedy_clique_lower_bound(g: &Graph) -> usize {
+    let n = g.num_vertices();
+    let mut best = 0usize;
+    for s in 0..n as u32 {
+        let mut clique = vec![s];
+        let mut candidates: Vec<u32> = g.neighbors(s).to_vec();
+        candidates.sort_by_key(|&v| std::cmp::Reverse(g.degree(v)));
+        for v in candidates {
+            if clique.iter().all(|&c| g.has_edge(c, v)) {
+                clique.push(v);
+            }
+        }
+        best = best.max(clique.len());
+    }
+    best.saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqd2_hypergraph::generators::{complete_graph, cycle_graph, grid_graph, path_graph};
+
+    #[test]
+    fn mmd_on_standard_graphs() {
+        assert_eq!(mmd_lower_bound(&path_graph(6)), 1);
+        assert_eq!(mmd_lower_bound(&cycle_graph(6)), 2);
+        assert_eq!(mmd_lower_bound(&complete_graph(5)), 4);
+        assert_eq!(mmd_lower_bound(&grid_graph(4, 4)), 2); // weak on grids
+        assert_eq!(mmd_lower_bound(&Graph::empty(0)), 0);
+        assert_eq!(mmd_lower_bound(&Graph::empty(4)), 0);
+    }
+
+    #[test]
+    fn clique_bound_on_cliques() {
+        assert_eq!(greedy_clique_lower_bound(&complete_graph(6)), 5);
+        assert_eq!(greedy_clique_lower_bound(&path_graph(4)), 1);
+    }
+}

@@ -1,0 +1,303 @@
+//! A small dense two-phase simplex solver, used for fractional edge covers
+//! (the `ρ*` cost of fractional hypertree width).
+//!
+//! The LPs solved here are tiny (variables = edges touching a bag,
+//! constraints = bag vertices), so a textbook tableau implementation with
+//! Bland's anti-cycling rule is entirely adequate and keeps the repository
+//! dependency-free.
+
+use cqd2_hypergraph::{EdgeId, Hypergraph, VertexId};
+
+const EPS: f64 = 1e-9;
+
+/// Outcome of an LP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpOutcome {
+    /// Optimal value and primal solution.
+    Optimal { value: f64, solution: Vec<f64> },
+    /// No feasible point.
+    Infeasible,
+    /// Objective unbounded below.
+    Unbounded,
+}
+
+/// Minimize `c·x` subject to `A x ≥ b`, `x ≥ 0`, with `b ≥ 0`.
+///
+/// `a` is row-major (`a[i]` is constraint row `i`). Uses the two-phase
+/// method: phase 1 minimizes the sum of artificial variables, phase 2 the
+/// real objective. Bland's rule guarantees termination on degenerate
+/// instances.
+pub fn simplex_min_ge(c: &[f64], a: &[Vec<f64>], b: &[f64]) -> LpOutcome {
+    let m = a.len();
+    let n = c.len();
+    assert!(b.iter().all(|&x| x >= 0.0), "requires b >= 0");
+    assert!(a.iter().all(|row| row.len() == n));
+    assert_eq!(b.len(), m);
+    if m == 0 {
+        return LpOutcome::Optimal {
+            value: 0.0,
+            solution: vec![0.0; n],
+        };
+    }
+
+    // Columns: [x (n)] [surplus s (m)] [artificial t (m)] | rhs.
+    let total = n + 2 * m;
+    let mut tab: Vec<Vec<f64>> = vec![vec![0.0; total + 1]; m];
+    for i in 0..m {
+        for j in 0..n {
+            tab[i][j] = a[i][j];
+        }
+        tab[i][n + i] = -1.0; // surplus: Ax - s = b
+        tab[i][n + m + i] = 1.0; // artificial
+        tab[i][total] = b[i];
+    }
+    let mut basis: Vec<usize> = (0..m).map(|i| n + m + i).collect();
+
+    // Phase 1: minimize sum of artificials.
+    let mut phase1_cost = vec![0.0; total];
+    for j in (n + m)..total {
+        phase1_cost[j] = 1.0;
+    }
+    if !run_simplex(&mut tab, &mut basis, &phase1_cost, total, usize::MAX) {
+        return LpOutcome::Unbounded; // cannot happen in phase 1, defensive
+    }
+    let phase1_value: f64 = basis
+        .iter()
+        .enumerate()
+        .map(|(i, &bv)| phase1_cost[bv] * tab[i][total])
+        .sum();
+    if phase1_value > 1e-7 {
+        return LpOutcome::Infeasible;
+    }
+    // Drive any zero-level artificials out of the basis where possible.
+    for i in 0..m {
+        if basis[i] >= n + m {
+            if let Some(j) = (0..n + m).find(|&j| tab[i][j].abs() > EPS) {
+                pivot(&mut tab, &mut basis, i, j);
+            }
+            // If no pivot column exists the row is all-zero: harmless.
+        }
+    }
+
+    // Phase 2: real objective, artificials forbidden from entering.
+    let mut phase2_cost = vec![0.0; total];
+    phase2_cost[..n].copy_from_slice(c);
+    if !run_simplex(&mut tab, &mut basis, &phase2_cost, n + m, usize::MAX) {
+        return LpOutcome::Unbounded;
+    }
+    let mut solution = vec![0.0; n];
+    for (i, &bv) in basis.iter().enumerate() {
+        if bv < n {
+            solution[bv] = tab[i][total];
+        }
+    }
+    let value = solution.iter().zip(c).map(|(x, c)| x * c).sum();
+    LpOutcome::Optimal { value, solution }
+}
+
+/// Run primal simplex with Bland's rule on the tableau. Only columns
+/// `< allowed_cols` may enter the basis. Returns `false` on unboundedness.
+fn run_simplex(
+    tab: &mut [Vec<f64>],
+    basis: &mut [usize],
+    cost: &[f64],
+    allowed_cols: usize,
+    max_iters: usize,
+) -> bool {
+    let m = tab.len();
+    let total = tab[0].len() - 1;
+    let allowed = allowed_cols.min(total);
+    for _ in 0..max_iters {
+        // Reduced costs r_j = c_j - c_B^T T_j.
+        let mut entering = None;
+        for j in 0..allowed {
+            if basis.contains(&j) {
+                continue;
+            }
+            let mut r = cost[j];
+            for i in 0..m {
+                r -= cost[basis[i]] * tab[i][j];
+            }
+            if r < -EPS {
+                entering = Some(j); // Bland: first (smallest) index
+                break;
+            }
+        }
+        let Some(j) = entering else {
+            return true; // optimal
+        };
+        // Ratio test (Bland tie-break on smallest basis index).
+        let mut leave: Option<(usize, f64)> = None;
+        for i in 0..m {
+            if tab[i][j] > EPS {
+                let ratio = tab[i][total] / tab[i][j];
+                match leave {
+                    None => leave = Some((i, ratio)),
+                    Some((li, lr)) => {
+                        if ratio < lr - EPS
+                            || (ratio < lr + EPS && basis[i] < basis[li])
+                        {
+                            leave = Some((i, ratio));
+                        }
+                    }
+                }
+            }
+        }
+        let Some((i, _)) = leave else {
+            return false; // unbounded
+        };
+        pivot(tab, basis, i, j);
+    }
+    true
+}
+
+fn pivot(tab: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize) {
+    let m = tab.len();
+    let width = tab[0].len();
+    let p = tab[row][col];
+    debug_assert!(p.abs() > EPS);
+    for x in tab[row].iter_mut() {
+        *x /= p;
+    }
+    for i in 0..m {
+        if i == row {
+            continue;
+        }
+        let factor = tab[i][col];
+        if factor.abs() > EPS {
+            for j in 0..width {
+                tab[i][j] -= factor * tab[row][j];
+            }
+        }
+    }
+    basis[row] = col;
+}
+
+/// The fractional edge cover number `ρ*(bag)` together with the optimal
+/// weights. Vertices with no incident edge are ignored (cannot be covered).
+pub fn fractional_cover(h: &Hypergraph, bag: &[VertexId]) -> (f64, Vec<(EdgeId, f64)>) {
+    let mut targets: Vec<VertexId> = bag
+        .iter()
+        .copied()
+        .filter(|&v| h.degree(v) > 0)
+        .collect();
+    targets.sort_unstable();
+    targets.dedup();
+    if targets.is_empty() {
+        return (0.0, vec![]);
+    }
+    // Restrict to edges that touch the bag (others are never useful).
+    let cols: Vec<EdgeId> = h
+        .edge_ids()
+        .filter(|&e| targets.iter().any(|&v| h.edge_contains(e, v)))
+        .collect();
+    let n = cols.len();
+    let m = targets.len();
+    let c = vec![1.0; n];
+    let mut a = vec![vec![0.0; n]; m];
+    for (i, &v) in targets.iter().enumerate() {
+        for (j, &e) in cols.iter().enumerate() {
+            if h.edge_contains(e, v) {
+                a[i][j] = 1.0;
+            }
+        }
+    }
+    let b = vec![1.0; m];
+    match simplex_min_ge(&c, &a, &b) {
+        LpOutcome::Optimal { value, solution } => {
+            let weights = cols
+                .into_iter()
+                .zip(solution)
+                .filter(|(_, w)| *w > EPS)
+                .collect();
+            (value, weights)
+        }
+        // Every target has an incident edge, so the LP is feasible
+        // (weight 1 on each incident edge) and bounded below by 0.
+        other => unreachable!("cover LP must be solvable: {other:?}"),
+    }
+}
+
+/// Just the value `ρ*(bag)`.
+pub fn fractional_cover_number(h: &Hypergraph, bag: &[VertexId]) -> f64 {
+    fractional_cover(h, bag).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vids(vs: &[u32]) -> Vec<VertexId> {
+        vs.iter().map(|&v| VertexId(v)).collect()
+    }
+
+    #[test]
+    fn generic_lp() {
+        // min x + y s.t. x + 2y >= 4, 3x + y >= 3  => optimum at (0.4, 1.8): 2.2
+        let out = simplex_min_ge(
+            &[1.0, 1.0],
+            &[vec![1.0, 2.0], vec![3.0, 1.0]],
+            &[4.0, 3.0],
+        );
+        match out {
+            LpOutcome::Optimal { value, .. } => assert!((value - 2.2).abs() < 1e-6),
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x >= 1 and -x >= 0 (i.e. x <= 0) cannot both hold...
+        // encode -x >= 0 as row [-1] with b 0: but b must be >= 0: fine.
+        let out = simplex_min_ge(&[1.0], &[vec![1.0], vec![-1.0]], &[1.0, 0.0]);
+        assert_eq!(out, LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn triangle_fractional_cover_is_three_halves() {
+        // The triangle: ρ*({0,1,2}) = 3/2 with weight 1/2 on each edge.
+        let h = Hypergraph::new(3, &[vec![0, 1], vec![1, 2], vec![0, 2]]).unwrap();
+        let (v, w) = fractional_cover(&h, &vids(&[0, 1, 2]));
+        assert!((v - 1.5).abs() < 1e-6, "got {v}");
+        assert_eq!(w.len(), 3);
+        for (_, x) in w {
+            assert!((x - 0.5).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn integral_instance_matches_integer_cover() {
+        let h = Hypergraph::new(4, &[vec![0, 1], vec![2, 3]]).unwrap();
+        let v = fractional_cover_number(&h, &vids(&[0, 1, 2, 3]));
+        assert!((v - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn single_big_edge() {
+        let h = Hypergraph::new(4, &[vec![0, 1, 2, 3], vec![0, 1]]).unwrap();
+        let v = fractional_cover_number(&h, &vids(&[0, 1, 2, 3]));
+        assert!((v - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_bag() {
+        let h = Hypergraph::new(2, &[vec![0, 1]]).unwrap();
+        assert_eq!(fractional_cover_number(&h, &[]), 0.0);
+    }
+
+    #[test]
+    fn fractional_at_most_integral() {
+        use cqd2_hypergraph::generators::random_degree_bounded;
+        use crate::cover::cover_number;
+        for seed in 0..8 {
+            let h = random_degree_bounded(8, 3, 3, 0.5, seed);
+            let bag: Vec<VertexId> = h.vertices().collect();
+            let f = fractional_cover_number(&h, &bag);
+            let i = cover_number(&h, &bag) as f64;
+            assert!(
+                f <= i + 1e-6,
+                "fractional {f} exceeds integral {i} (seed {seed})"
+            );
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Balanced edge separators and the §4.2 ghw lower bound.
+//!
+//! The paper's lower bound for jigsaws: a hypergraph of ghw `k` can always
+//! be *balanced-separated* by at most `k` edges (Adler, Gottlob & Grohe
+//! [3]) — removing the vertices of some ≤ k edges splits it into
+//! components of at most half the vertices. Contrapositive: if **no** set
+//! of `k` edges balanced-separates `H`, then `ghw(H) > k`. This module
+//! implements the check by exhaustive search over edge subsets
+//! (exponential in `k`; used for small `k` as a certified lower bound).
+
+use cqd2_hypergraph::{EdgeId, Hypergraph, VertexId};
+
+/// Does deleting the vertices of `edges` split `h` into components that
+/// each touch at most half of `H`'s edges? (Component size is measured in
+/// *edges* — "components at most half the size of the original
+/// hypergraph", §4.2; the separator edges themselves belong to no
+/// component.)
+pub fn is_balanced_edge_separator(h: &Hypergraph, edges: &[EdgeId]) -> bool {
+    let mut removed = vec![false; h.num_vertices()];
+    let mut in_sep = vec![false; h.num_edges()];
+    for &e in edges {
+        in_sep[e.idx()] = true;
+        for &v in h.edge(e) {
+            removed[v.idx()] = true;
+        }
+    }
+    let m = h.num_edges();
+    let mut seen = removed.clone();
+    for s in h.vertices() {
+        if seen[s.idx()] {
+            continue;
+        }
+        // BFS the component of s in H minus the separator vertices,
+        // counting the distinct non-separator edges it touches.
+        let mut touched: std::collections::BTreeSet<EdgeId> = std::collections::BTreeSet::new();
+        let mut stack = vec![s];
+        seen[s.idx()] = true;
+        while let Some(v) = stack.pop() {
+            for &e in h.incident_edges(v) {
+                if in_sep[e.idx()] {
+                    continue;
+                }
+                touched.insert(e);
+                for &w in h.edge(e) {
+                    if !seen[w.idx()] {
+                        seen[w.idx()] = true;
+                        stack.push(w);
+                    }
+                }
+            }
+        }
+        if 2 * touched.len() > m {
+            return false;
+        }
+    }
+    true
+}
+
+/// Search for a balanced separator of at most `k` edges. Returns a witness
+/// or `None` if none exists (exhaustive; exponential in `k`).
+pub fn find_balanced_edge_separator(h: &Hypergraph, k: usize) -> Option<Vec<EdgeId>> {
+    let edges: Vec<EdgeId> = h.edge_ids().collect();
+    let mut chosen: Vec<EdgeId> = Vec::new();
+    fn rec(
+        h: &Hypergraph,
+        edges: &[EdgeId],
+        start: usize,
+        k: usize,
+        chosen: &mut Vec<EdgeId>,
+    ) -> bool {
+        if is_balanced_edge_separator(h, chosen) {
+            return true;
+        }
+        if chosen.len() == k {
+            return false;
+        }
+        for i in start..edges.len() {
+            chosen.push(edges[i]);
+            if rec(h, edges, i + 1, k, chosen) {
+                return true;
+            }
+            chosen.pop();
+        }
+        false
+    }
+    if rec(h, &edges, 0, k, &mut chosen) {
+        Some(chosen)
+    } else {
+        None
+    }
+}
+
+/// A certified ghw lower bound via balanced separation: the largest
+/// `k + 1 ≤ limit` such that no `k` edges balanced-separate `H`
+/// (`ghw(H) ≥ k + 1` then). Exponential in `limit`; keep it small.
+pub fn separator_ghw_lower_bound(h: &Hypergraph, limit: usize) -> usize {
+    if h.num_edges() == 0 {
+        return 0;
+    }
+    for k in 0..limit {
+        if find_balanced_edge_separator(h, k).is_some() {
+            return k.max(1);
+        }
+    }
+    limit
+}
+
+/// Convenience: the witness that a separator of `k` edges exists, exposed
+/// for the GHD construction literature cross-checks in tests.
+pub fn separator_witness(h: &Hypergraph, k: usize) -> Option<Vec<VertexId>> {
+    let sep = find_balanced_edge_separator(h, k)?;
+    let mut vs: Vec<VertexId> = sep.iter().flat_map(|&e| h.edge(e).to_vec()).collect();
+    vs.sort_unstable();
+    vs.dedup();
+    Some(vs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::widths::ghw_exact;
+    use cqd2_hypergraph::generators::{grid_graph, hyperchain, hypercycle};
+    use cqd2_hypergraph::{dual, reduce};
+
+    fn jigsaw(n: usize, m: usize) -> Hypergraph {
+        let (d, _) = dual(&grid_graph(n, m).to_hypergraph());
+        let (r, _) = reduce::reduce(&d);
+        r
+    }
+
+    #[test]
+    fn chains_separate_with_one_edge() {
+        let h = hyperchain(6, 3);
+        assert!(find_balanced_edge_separator(&h, 1).is_some());
+        assert_eq!(separator_ghw_lower_bound(&h, 3), 1);
+    }
+
+    #[test]
+    fn cycles_need_two_edges() {
+        let h = hypercycle(8, 3);
+        // One edge cannot balance-split a long cycle...
+        assert!(find_balanced_edge_separator(&h, 1).is_none());
+        assert!(find_balanced_edge_separator(&h, 2).is_some());
+        assert_eq!(separator_ghw_lower_bound(&h, 4), 2);
+    }
+
+    #[test]
+    fn jigsaw_separator_bound_matches_paper() {
+        // §4.2: the n×n jigsaw cannot be balanced-separated by < n edges,
+        // so ghw(J_n) ≥ n.
+        for n in 2..=3 {
+            let j = jigsaw(n, n);
+            let lb = separator_ghw_lower_bound(&j, n + 1);
+            assert!(lb >= n, "separator lower bound {lb} < {n} on J_{n}");
+            // Consistent with the exact solver.
+            let exact = ghw_exact(&j).unwrap();
+            assert!(lb <= exact);
+        }
+    }
+
+    #[test]
+    fn lower_bound_never_exceeds_ghw() {
+        // Soundness of the contrapositive on assorted instances.
+        use cqd2_hypergraph::generators::random_degree_bounded;
+        for seed in 0..6 {
+            let h = random_degree_bounded(6, 3, 2, 0.6, seed);
+            if h.num_edges() == 0 {
+                continue;
+            }
+            let lb = separator_ghw_lower_bound(&h, 3);
+            let exact = ghw_exact(&h).unwrap();
+            assert!(
+                lb <= exact,
+                "separator bound {lb} exceeds ghw {exact} (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_separator_for_tiny_inputs() {
+        let h = Hypergraph::new(2, &[vec![0, 1]]).unwrap();
+        // Removing the single edge's vertices leaves nothing: balanced.
+        assert!(is_balanced_edge_separator(&h, &[EdgeId(0)]));
+        assert!(find_balanced_edge_separator(&h, 1).is_some());
+        assert!(separator_witness(&h, 1).is_some());
+    }
+}

@@ -1,0 +1,290 @@
+//! Public width API: treewidth, ghw, fhw — exact on small instances,
+//! bounded intervals on larger ones.
+
+use cqd2_hypergraph::{Graph, Hypergraph, VertexId};
+
+use crate::cover::CoverCache;
+use crate::elimination::{min_degree_order, min_fill_order, order_to_td, order_width};
+use crate::exact::{f_width_exact, ExactWidth};
+use crate::ghd::Ghd;
+use crate::lower_bounds::mmd_lower_bound;
+use crate::lp::fractional_cover_number;
+use crate::tree_decomposition::TreeDecomposition;
+
+/// The primal (Gaifman) graph of a hypergraph: vertices of `H`, an edge
+/// between any two vertices sharing a hyperedge.
+pub fn primal_graph(h: &Hypergraph) -> Graph {
+    let mut g = Graph::empty(h.num_vertices());
+    for e in h.edge_ids() {
+        let vs = h.edge(e);
+        for i in 0..vs.len() {
+            for j in (i + 1)..vs.len() {
+                g.add_edge(vs[i].0, vs[j].0);
+            }
+        }
+    }
+    g
+}
+
+/// An interval estimate for a width parameter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WidthEstimate {
+    /// Certified lower bound.
+    pub lower: f64,
+    /// Certified upper bound (achieved by a real decomposition).
+    pub upper: f64,
+}
+
+impl WidthEstimate {
+    /// Is the interval a point (the width is known exactly)?
+    pub fn is_exact(&self) -> bool {
+        (self.upper - self.lower).abs() < 1e-9
+    }
+}
+
+/// Exact treewidth (`None` when the graph exceeds the exact-DP size cap).
+pub fn treewidth_exact(g: &Graph) -> Option<usize> {
+    let ub = treewidth_upper_bound(g);
+    f_width_exact(g, &mut |b: &[u32]| b.len().saturating_sub(1), Some(ub))
+        .map(|r| r.width)
+}
+
+/// Heuristic treewidth upper bound: best of min-fill and min-degree.
+pub fn treewidth_upper_bound(g: &Graph) -> usize {
+    let mf = order_width(g, &min_fill_order(g));
+    let md = order_width(g, &min_degree_order(g));
+    mf.min(md)
+}
+
+/// A valid tree decomposition: exact-width when feasible, heuristic
+/// otherwise.
+pub fn treewidth_decomposition(g: &Graph) -> TreeDecomposition {
+    match f_width_exact(g, &mut |b: &[u32]| b.len().saturating_sub(1), None) {
+        Some(ExactWidth { order, .. }) => order_to_td(g, &order),
+        None => order_to_td(g, &min_fill_order(g)),
+    }
+}
+
+/// Treewidth interval for graphs of any size.
+pub fn treewidth_estimate(g: &Graph) -> WidthEstimate {
+    if let Some(w) = treewidth_exact(g) {
+        return WidthEstimate {
+            lower: w as f64,
+            upper: w as f64,
+        };
+    }
+    WidthEstimate {
+        lower: mmd_lower_bound(g) as f64,
+        upper: treewidth_upper_bound(g) as f64,
+    }
+}
+
+/// Exact generalized hypertree width (`None` when the primal graph exceeds
+/// the exact-DP cap). Hypergraphs with no edges have ghw 0.
+pub fn ghw_exact(h: &Hypergraph) -> Option<usize> {
+    if h.num_edges() == 0 || h.edge_ids().all(|e| h.edge(e).is_empty()) {
+        return Some(0);
+    }
+    let g = primal_graph(h);
+    // Warm-start upper bound: ρ-width of a heuristic TD, and the Lemma 4.6
+    // dual route — whichever is smaller.
+    let ub = ghw_upper_bound(h);
+    let mut cache = CoverCache::new(h);
+    let mut cost = |bag: &[u32]| {
+        let vids: Vec<VertexId> = bag.iter().map(|&v| VertexId(v)).collect();
+        cache.cover_number(&vids)
+    };
+    f_width_exact(&g, &mut cost, Some(ub)).map(|r| r.width)
+}
+
+/// An optimal-width GHD (`None` beyond the exact cap).
+pub fn ghw_decomposition(h: &Hypergraph) -> Option<Ghd> {
+    if h.num_edges() == 0 {
+        let td = TreeDecomposition::trivial(h);
+        return Some(Ghd {
+            covers: vec![vec![]; td.bags.len()],
+            td,
+        });
+    }
+    let g = primal_graph(h);
+    let ub = ghw_upper_bound(h);
+    let mut cache = CoverCache::new(h);
+    let mut cost = |bag: &[u32]| {
+        let vids: Vec<VertexId> = bag.iter().map(|&v| VertexId(v)).collect();
+        cache.cover_number(&vids)
+    };
+    let r = f_width_exact(&g, &mut cost, Some(ub))?;
+    let td = order_to_td(&g, &r.order);
+    let ghd = Ghd::from_td_exact(h, td);
+    debug_assert!(ghd.validate(h).is_ok());
+    Some(ghd)
+}
+
+/// Heuristic ghw upper bound: minimum of (a) exact covers over a min-fill
+/// tree decomposition of the primal graph and (b) the Lemma 4.6 dual-route
+/// GHD. Both produce *valid* GHDs, so the bound is certified.
+pub fn ghw_upper_bound(h: &Hypergraph) -> usize {
+    if h.num_edges() == 0 {
+        return 0;
+    }
+    let g = primal_graph(h);
+    let td = order_to_td(&g, &min_fill_order(&g));
+    let direct = Ghd::from_td_exact(h, td).width();
+    let via_dual = crate::dual_bound::ghd_via_dual(h).width();
+    direct.min(via_dual)
+}
+
+/// A certified ghw lower bound for any size: the ceiling of the fhw lower
+/// bound `ρ*(bag)` is unavailable without a decomposition, so we use
+/// `max(1 [if an edge exists], ceil((tw_lb(primal) + 1) / rank))` — every
+/// bag of any decomposition of the primal graph has some bag of size
+/// ≥ tw+1, which needs at least `(tw+1)/rank` edges to cover.
+pub fn ghw_lower_bound(h: &Hypergraph) -> usize {
+    if h.num_edges() == 0 || h.rank() == 0 {
+        return 0;
+    }
+    let g = primal_graph(h);
+    let tw_lb = mmd_lower_bound(&g);
+    let by_rank = (tw_lb + 1).div_ceil(h.rank());
+    by_rank.max(1)
+}
+
+/// ghw interval for hypergraphs of any size.
+pub fn ghw_estimate(h: &Hypergraph) -> WidthEstimate {
+    if let Some(w) = ghw_exact(h) {
+        return WidthEstimate {
+            lower: w as f64,
+            upper: w as f64,
+        };
+    }
+    WidthEstimate {
+        lower: ghw_lower_bound(h) as f64,
+        upper: ghw_upper_bound(h) as f64,
+    }
+}
+
+/// Total order wrapper for f64 widths (our LP values never produce NaN).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+struct F64Width(f64);
+
+/// Exact fractional hypertree width (`None` beyond the exact cap).
+pub fn fhw_exact(h: &Hypergraph) -> Option<f64> {
+    if h.num_edges() == 0 || h.edge_ids().all(|e| h.edge(e).is_empty()) {
+        return Some(0.0);
+    }
+    let g = primal_graph(h);
+    let mut cache: std::collections::HashMap<Vec<u32>, f64> = std::collections::HashMap::new();
+    let mut cost = |bag: &[u32]| {
+        let key = bag.to_vec();
+        if let Some(&v) = cache.get(&key) {
+            return F64Width(v);
+        }
+        let vids: Vec<VertexId> = bag.iter().map(|&v| VertexId(v)).collect();
+        let v = fractional_cover_number(h, &vids);
+        cache.insert(key, v);
+        F64Width(v)
+    };
+    f_width_exact(&g, &mut cost, None).map(|r| r.width.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqd2_hypergraph::generators::{
+        grid_graph, hyperchain, hypercycle, hyperstar, random_degree_bounded,
+    };
+    use cqd2_hypergraph::{dual, reduce};
+
+    #[test]
+    fn acyclic_hypergraphs_have_ghw_one() {
+        assert_eq!(ghw_exact(&hyperchain(5, 3)), Some(1));
+        assert_eq!(ghw_exact(&hyperstar(4, 3)), Some(1));
+    }
+
+    #[test]
+    fn hypercycle_has_ghw_two() {
+        assert_eq!(ghw_exact(&hypercycle(5, 3)), Some(2));
+        assert_eq!(ghw_exact(&hypercycle(7, 2)), Some(2));
+    }
+
+    #[test]
+    fn jigsaw_ghw_bracket() {
+        // ghw(J_n) ∈ [n, n+1]: the paper's anchor family.
+        for n in 2..=3 {
+            let grid = grid_graph(n, n);
+            let (jig, _) = dual(&grid.to_hypergraph());
+            let (jig, _) = reduce(&jig);
+            let w = ghw_exact(&jig).expect("small jigsaw");
+            assert!(w >= n, "ghw(J_{n}) = {w} < {n}");
+            assert!(w <= n + 1, "ghw(J_{n}) = {w} > {}", n + 1);
+        }
+    }
+
+    #[test]
+    fn ghw_decomposition_is_valid_and_optimal() {
+        let h = hypercycle(5, 3);
+        let ghd = ghw_decomposition(&h).unwrap();
+        ghd.validate(&h).unwrap();
+        assert_eq!(ghd.width(), 2);
+    }
+
+    #[test]
+    fn fhw_le_ghw_and_triangle_case() {
+        // Triangle hypergraph: ghw = 2, fhw = 3/2.
+        let h = Hypergraph::new(3, &[vec![0, 1], vec![1, 2], vec![0, 2]]).unwrap();
+        assert_eq!(ghw_exact(&h), Some(2));
+        let f = fhw_exact(&h).unwrap();
+        assert!((f - 1.5).abs() < 1e-6, "fhw(triangle) = {f}");
+    }
+
+    #[test]
+    fn fhw_never_exceeds_ghw_on_random_instances() {
+        for seed in 0..6 {
+            let h = random_degree_bounded(7, 3, 2, 0.6, seed);
+            if h.num_vertices() == 0 {
+                continue;
+            }
+            let g = ghw_exact(&h).unwrap() as f64;
+            let f = fhw_exact(&h).unwrap();
+            assert!(f <= g + 1e-6, "seed {seed}: fhw {f} > ghw {g}");
+        }
+    }
+
+    #[test]
+    fn estimates_are_consistent_intervals() {
+        for seed in 0..6 {
+            let h = random_degree_bounded(10, 3, 2, 0.6, seed);
+            let est = ghw_estimate(&h);
+            assert!(est.lower <= est.upper + 1e-9);
+            if let Some(w) = ghw_exact(&h) {
+                assert!(est.lower <= w as f64 + 1e-9);
+                assert!(est.upper + 1e-9 >= w as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn upper_bound_is_certified() {
+        for seed in 0..4 {
+            let h = random_degree_bounded(9, 4, 2, 0.5, seed);
+            let ub = ghw_upper_bound(&h);
+            if let Some(w) = ghw_exact(&h) {
+                assert!(ub >= w);
+            }
+        }
+    }
+
+    #[test]
+    fn treewidth_estimate_exact_on_small() {
+        let est = treewidth_estimate(&grid_graph(3, 3));
+        assert!(est.is_exact());
+        assert_eq!(est.lower, 3.0);
+    }
+
+    #[test]
+    fn edgeless_hypergraph_widths() {
+        let h = Hypergraph::new(3, &[]).unwrap();
+        assert_eq!(ghw_exact(&h), Some(0));
+        assert_eq!(fhw_exact(&h), Some(0.0));
+    }
+}

@@ -1,0 +1,239 @@
+//! Hypergraph minors of Adler et al. (Definition 3.3), for comparison with
+//! dilutions.
+//!
+//! Operations: vertex deletion, subedge deletion, *contraction* of two
+//! vertices sharing a hyperedge, and addition of a hyperedge over an
+//! existing primal clique. Figure 1 of the paper contrasts contraction
+//! (which can raise the degree) with merging (which can raise the rank);
+//! [`figure1_example`] reconstructs that example and the accompanying
+//! tests verify both observations.
+
+use cqd2_hypergraph::{HgError, Hypergraph, OpTrace, VertexId};
+
+/// One hypergraph-minor operation (Definition 3.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdlerOp {
+    /// Delete a vertex.
+    DeleteVertex(VertexId),
+    /// Delete an edge that is a proper subset of another edge.
+    DeleteSubedge(cqd2_hypergraph::EdgeId),
+    /// Contract two vertices contained in a common hyperedge: replace both
+    /// by a fresh vertex adjacent to the union of their incidences.
+    Contract(VertexId, VertexId),
+    /// Add a hyperedge whose vertices already form a clique in the primal
+    /// graph.
+    AddCliqueEdge(Vec<VertexId>),
+}
+
+impl AdlerOp {
+    /// Apply the operation.
+    pub fn apply(&self, h: &Hypergraph) -> Result<(Hypergraph, OpTrace), HgError> {
+        match self {
+            AdlerOp::DeleteVertex(v) => h.delete_vertex(*v),
+            AdlerOp::DeleteSubedge(e) => h.delete_edge(*e, true),
+            AdlerOp::Contract(x, y) => contract(h, *x, *y),
+            AdlerOp::AddCliqueEdge(vs) => add_clique_edge(h, vs),
+        }
+    }
+}
+
+/// Contract vertices `x` and `y` (must share a hyperedge): `y` is merged
+/// into `x`, i.e. `x` replaces `y` in all edges.
+fn contract(h: &Hypergraph, x: VertexId, y: VertexId) -> Result<(Hypergraph, OpTrace), HgError> {
+    if x.idx() >= h.num_vertices() {
+        return Err(HgError::VertexOutOfRange(x.0));
+    }
+    if y.idx() >= h.num_vertices() {
+        return Err(HgError::VertexOutOfRange(y.0));
+    }
+    let share = h
+        .incident_edges(x)
+        .iter()
+        .any(|&e| h.edge_contains(e, y));
+    if !share || x == y {
+        return Err(HgError::Precondition(format!(
+            "v{} and v{} do not share a hyperedge",
+            x.0, y.0
+        )));
+    }
+    // Build edge list with y replaced by x, then drop y from the vertex set.
+    let edges: Vec<Vec<u32>> = h
+        .edge_ids()
+        .map(|e| {
+            let mut vs: Vec<u32> = h
+                .edge(e)
+                .iter()
+                .map(|&v| if v == y { x.0 } else { v.0 })
+                .collect();
+            vs.sort_unstable();
+            vs.dedup();
+            vs
+        })
+        .collect();
+    // Deduplicate edges that became equal; build via intermediate
+    // hypergraph that keeps y as an isolated vertex, then delete it.
+    let mut seen = std::collections::BTreeMap::new();
+    let mut dedup_edges: Vec<Vec<u32>> = Vec::new();
+    let mut edge_map: Vec<Option<cqd2_hypergraph::EdgeId>> = Vec::new();
+    for e in edges {
+        match seen.get(&e) {
+            Some(&id) => edge_map.push(Some(id)),
+            None => {
+                let id = cqd2_hypergraph::EdgeId(dedup_edges.len() as u32);
+                seen.insert(e.clone(), id);
+                dedup_edges.push(e);
+                edge_map.push(Some(id));
+            }
+        }
+    }
+    let with_isolated = Hypergraph::new(h.num_vertices(), &dedup_edges)
+        .expect("dedup keeps edges distinct");
+    let (result, del_trace) = with_isolated.delete_vertex(y)?;
+    let vertex_map: Vec<Option<VertexId>> = (0..h.num_vertices() as u32)
+        .map(|v| {
+            let v = if v == y.0 { x.0 } else { v };
+            del_trace.vertex_map[v as usize]
+        })
+        .collect();
+    let edge_map = edge_map
+        .into_iter()
+        .map(|e| e.and_then(|e| del_trace.edge_map[e.idx()]))
+        .collect();
+    Ok((
+        result,
+        OpTrace {
+            vertex_map,
+            edge_map,
+        },
+    ))
+}
+
+fn add_clique_edge(
+    h: &Hypergraph,
+    vs: &[VertexId],
+) -> Result<(Hypergraph, OpTrace), HgError> {
+    // Verify the clique condition in the primal graph.
+    for i in 0..vs.len() {
+        if vs[i].idx() >= h.num_vertices() {
+            return Err(HgError::VertexOutOfRange(vs[i].0));
+        }
+        for j in (i + 1)..vs.len() {
+            let adjacent = h
+                .incident_edges(vs[i])
+                .iter()
+                .any(|&e| h.edge_contains(e, vs[j]));
+            if !adjacent {
+                return Err(HgError::Precondition(format!(
+                    "v{} and v{} are not adjacent in the primal graph",
+                    vs[i].0, vs[j].0
+                )));
+            }
+        }
+    }
+    let mut edges: Vec<Vec<u32>> = h
+        .edge_ids()
+        .map(|e| h.edge(e).iter().map(|v| v.0).collect())
+        .collect();
+    let mut new_edge: Vec<u32> = vs.iter().map(|v| v.0).collect();
+    new_edge.sort_unstable();
+    new_edge.dedup();
+    if edges.iter().any(|e| {
+        let mut s = e.clone();
+        s.sort_unstable();
+        s == new_edge
+    }) {
+        return Err(HgError::Precondition("edge already present".into()));
+    }
+    edges.push(new_edge);
+    let hg = Hypergraph::new(h.num_vertices(), &edges)?;
+    let mut trace = OpTrace::identity(h.num_vertices(), h.num_edges());
+    trace.edge_map = (0..h.num_edges() as u32)
+        .map(|i| Some(cqd2_hypergraph::EdgeId(i)))
+        .collect();
+    Ok((hg, trace))
+}
+
+/// The hypergraph `H` of Figure 1: a degree-2 hypergraph where contraction
+/// and merging diverge.
+///
+/// `x` and `y` share the edge `{x, y, c}`; each has one further incident
+/// edge. Contracting `x, y` yields a vertex of degree 3 (> 2, so the
+/// result cannot be a dilution); merging on `y` yields the rank-4 edge
+/// `{x, c, d, e}` (so the result cannot be reached by hypergraph-minor
+/// operations, which can only add edges over existing primal cliques).
+pub fn figure1_example() -> Hypergraph {
+    // x=0, y=1, a=2, b=3, c=4, d=5, e=6.
+    Hypergraph::new(
+        7,
+        &[
+            vec![0, 1, 4],    // {x, y, c}
+            vec![0, 2, 3],    // {x, a, b}
+            vec![1, 5, 6],    // {y, d, e}
+        ],
+    )
+    .expect("distinct edges")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqd2_hypergraph::EdgeId;
+
+    #[test]
+    fn contraction_can_increase_degree() {
+        // Figure 1, left: contracting x,y puts the merged vertex in all
+        // three edges — degree 3 > degree(H) = 2.
+        let h = figure1_example();
+        assert_eq!(h.max_degree(), 2);
+        let (c, _) = AdlerOp::Contract(VertexId(0), VertexId(1)).apply(&h).unwrap();
+        let vxy = VertexId(0);
+        assert!(c.degree(vxy) > 2, "contraction must raise the degree here");
+        assert_eq!(c.rank(), 3);
+    }
+
+    #[test]
+    fn merging_can_increase_rank() {
+        use crate::ops::DilutionOp;
+        // Figure 1, right: merging on y creates (⋃ I_y) \ {y} =
+        // {x, c, d, e} of rank 4 > rank(H) = 3. Degree stays ≤ 2.
+        let h = figure1_example();
+        let (m, _) = DilutionOp::MergeOnVertex(VertexId(1)).apply(&h).unwrap();
+        assert!(m.max_degree() <= 2, "merging never raises the degree");
+        assert_eq!(m.rank(), 4, "merging created a rank-4 edge");
+    }
+
+    #[test]
+    fn contraction_requires_common_edge() {
+        let h = figure1_example();
+        // a (2) and d (5) share no edge.
+        assert!(AdlerOp::Contract(VertexId(2), VertexId(5)).apply(&h).is_err());
+    }
+
+    #[test]
+    fn clique_edge_addition_checks_primal() {
+        let h = Hypergraph::new(3, &[vec![0, 1], vec![1, 2], vec![0, 2]]).unwrap();
+        // {0,1,2} is a primal clique: addition allowed.
+        let (h2, _) = AdlerOp::AddCliqueEdge(vec![VertexId(0), VertexId(1), VertexId(2)])
+            .apply(&h)
+            .unwrap();
+        assert_eq!(h2.num_edges(), 4);
+        assert_eq!(h2.rank(), 3);
+        // Non-clique rejected.
+        let h3 = Hypergraph::new(3, &[vec![0, 1], vec![1, 2]]).unwrap();
+        assert!(
+            AdlerOp::AddCliqueEdge(vec![VertexId(0), VertexId(1), VertexId(2)])
+                .apply(&h3)
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn contraction_traces_are_consistent() {
+        let h = figure1_example();
+        let (c, t) = AdlerOp::Contract(VertexId(0), VertexId(1)).apply(&h).unwrap();
+        assert_eq!(t.vertex_map[0], t.vertex_map[1]);
+        assert_eq!(t.vertex_map.len(), 7);
+        assert!(c.num_vertices() == 6);
+        let _ = EdgeId(0);
+    }
+}

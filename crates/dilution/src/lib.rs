@@ -1,0 +1,40 @@
+//! Hypergraph dilutions — the paper's central structural notion
+//! (Definition 3.1).
+//!
+//! `H` is a *dilution* of `H'` when `H` is isomorphic to a hypergraph
+//! reachable from `H'` by (1) vertex deletions, (2) deletions of edges that
+//! are proper subsets of other edges, and (3) *mergings*: replacing the
+//! incident edges `I_v` of a vertex `v` by the single edge `(⋃ I_v) \ {v}`.
+//!
+//! This crate implements:
+//!
+//! - [`ops`]: the three operations, dilution sequences with provenance
+//!   traces, and the Lemma 3.2 invariants (degree non-increasing,
+//!   `|V| + |E|` strictly decreasing, `ghw` non-increasing).
+//! - [`reduce_seq`]: Lemma 3.6 — the polynomial-time dilution sequence from
+//!   any hypergraph to its reduced hypergraph.
+//! - [`adler`]: the *hypergraph minors* of Adler et al. (Definition 3.3),
+//!   implemented for the Figure 1 comparison of contraction vs merging.
+//! - [`decide`]: the dilution decision problem (NP-complete, Theorem 3.5):
+//!   direct budgeted search, plus the degree-2 duality shortcut.
+//! - [`duality`]: the constructive degree-2 duality — Lemma 4.4 (a minor
+//!   map of `G` into `H^d` yields a dilution sequence from `H` to `G^d`)
+//!   and Lemma B.1 (the converse, via edge-label tracking).
+//!
+//! One representational choice, documented once here: our merging operation
+//! also deletes the merged-on vertex `v` (which Definition 3.1 leaves
+//! behind as an isolated vertex). This is required for Lemma 3.2(2)'s
+//! strict decrease of `|V| + |E|` to hold for mergings with `|I_v| = 1`,
+//! and is equivalent for all reduced targets — the leftover vertex is
+//! isolated and removable by operation (1).
+
+pub mod adler;
+pub mod decide;
+pub mod duality;
+pub mod ops;
+pub mod reduce_seq;
+
+pub use decide::{decide_dilution, DilutionSearch};
+pub use duality::{dilution_from_minor_map, minor_map_from_dilution};
+pub use ops::{DilutionOp, DilutionSequence};
+pub use reduce_seq::reduction_sequence;

@@ -1,0 +1,286 @@
+//! Dilution operations and sequences (Definition 3.1).
+
+use cqd2_hypergraph::{EdgeId, HgError, Hypergraph, OpTrace, VertexId};
+
+/// One dilution operation, referring to vertex/edge ids of the hypergraph
+/// it is applied to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DilutionOp {
+    /// Delete a vertex from the vertex set and all edges.
+    DeleteVertex(VertexId),
+    /// Delete an edge that is a proper subset of another edge.
+    DeleteSubedge(EdgeId),
+    /// Merge on a vertex: replace `I_v` by `(⋃ I_v) \ {v}` and drop `v`
+    /// (see the crate docs for why `v` is consumed).
+    MergeOnVertex(VertexId),
+}
+
+impl DilutionOp {
+    /// Apply the operation, returning the successor hypergraph and the id
+    /// trace.
+    pub fn apply(&self, h: &Hypergraph) -> Result<(Hypergraph, OpTrace), HgError> {
+        match *self {
+            DilutionOp::DeleteVertex(v) => h.delete_vertex(v),
+            DilutionOp::DeleteSubedge(e) => h.delete_edge(e, true),
+            DilutionOp::MergeOnVertex(v) => {
+                let (h1, t1) = h.merge_on_vertex(v)?;
+                let (h2, t2) = h1.delete_vertex(v)?;
+                Ok((h2, t1.then(&t2)))
+            }
+        }
+    }
+
+    /// Would this operation be legal on `h`?
+    pub fn is_applicable(&self, h: &Hypergraph) -> bool {
+        match *self {
+            DilutionOp::DeleteVertex(v) => v.idx() < h.num_vertices(),
+            DilutionOp::DeleteSubedge(e) => {
+                e.idx() < h.num_edges()
+                    && h.edge_ids().any(|f| f != e && h.edge_proper_subset(e, f))
+            }
+            DilutionOp::MergeOnVertex(v) => {
+                v.idx() < h.num_vertices() && h.degree(v) >= 1
+            }
+        }
+    }
+}
+
+/// A sequence of dilution operations, each expressed in the ids of the
+/// hypergraph produced by the previous step.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DilutionSequence {
+    /// The operations in application order.
+    pub ops: Vec<DilutionOp>,
+}
+
+/// The full unfolding of a dilution sequence: every intermediate
+/// hypergraph plus the step traces.
+#[derive(Debug, Clone)]
+pub struct DilutionRun {
+    /// `hypergraphs[0]` is the start; `hypergraphs[i+1]` results from
+    /// `ops[i]`.
+    pub hypergraphs: Vec<Hypergraph>,
+    /// `traces[i]` maps ids of `hypergraphs[i]` to ids of
+    /// `hypergraphs[i+1]`.
+    pub traces: Vec<OpTrace>,
+}
+
+impl DilutionRun {
+    /// The final hypergraph.
+    pub fn result(&self) -> &Hypergraph {
+        self.hypergraphs.last().expect("at least the start")
+    }
+
+    /// Composite trace from the start hypergraph to the result.
+    pub fn total_trace(&self) -> OpTrace {
+        let start = &self.hypergraphs[0];
+        let mut acc = OpTrace::identity(start.num_vertices(), start.num_edges());
+        for t in &self.traces {
+            acc = acc.then(t);
+        }
+        acc
+    }
+}
+
+impl DilutionSequence {
+    /// The empty sequence.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Is the sequence empty?
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Apply all operations to `h`, returning the full run.
+    pub fn run(&self, h: &Hypergraph) -> Result<DilutionRun, HgError> {
+        let mut hypergraphs = vec![h.clone()];
+        let mut traces = Vec::with_capacity(self.ops.len());
+        for op in &self.ops {
+            let cur = hypergraphs.last().expect("nonempty");
+            let (next, trace) = op.apply(cur)?;
+            hypergraphs.push(next);
+            traces.push(trace);
+        }
+        Ok(DilutionRun {
+            hypergraphs,
+            traces,
+        })
+    }
+
+    /// Apply all operations, returning just the final hypergraph.
+    pub fn apply(&self, h: &Hypergraph) -> Result<Hypergraph, HgError> {
+        Ok(self.run(h)?.hypergraphs.pop().expect("nonempty"))
+    }
+}
+
+/// Check the Lemma 3.2 invariants across one operation:
+/// degree non-increasing and `|V| + |E|` strictly decreasing.
+/// (The third invariant, `ghw` non-increasing, is exercised in tests via
+/// the exact solver — it is too expensive for a runtime check.)
+pub fn check_step_invariants(before: &Hypergraph, after: &Hypergraph) -> Result<(), String> {
+    if after.max_degree() > before.max_degree() {
+        return Err(format!(
+            "degree increased: {} -> {}",
+            before.max_degree(),
+            after.max_degree()
+        ));
+    }
+    let (b, a) = (
+        before.num_vertices() + before.num_edges(),
+        after.num_vertices() + after.num_edges(),
+    );
+    if a >= b {
+        return Err(format!("|V|+|E| did not strictly decrease: {b} -> {a}"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqd2_hypergraph::generators::{hyperchain, hypercycle, random_degree_bounded};
+
+    #[test]
+    fn delete_vertex_op() {
+        let h = hyperchain(3, 3);
+        let op = DilutionOp::DeleteVertex(VertexId(0));
+        assert!(op.is_applicable(&h));
+        let (h2, _) = op.apply(&h).unwrap();
+        check_step_invariants(&h, &h2).unwrap();
+        assert_eq!(h2.num_vertices(), h.num_vertices() - 1);
+    }
+
+    #[test]
+    fn subedge_deletion_requires_superset() {
+        let h = Hypergraph::new(3, &[vec![0, 1], vec![0, 1, 2]]).unwrap();
+        let ok = DilutionOp::DeleteSubedge(EdgeId(0));
+        let bad = DilutionOp::DeleteSubedge(EdgeId(1));
+        assert!(ok.is_applicable(&h));
+        assert!(!bad.is_applicable(&h));
+        let (h2, _) = ok.apply(&h).unwrap();
+        check_step_invariants(&h, &h2).unwrap();
+        assert!(bad.apply(&h).is_err());
+    }
+
+    #[test]
+    fn merge_consumes_vertex() {
+        let h = Hypergraph::new(4, &[vec![0, 1], vec![1, 2], vec![1, 3]]).unwrap();
+        let op = DilutionOp::MergeOnVertex(VertexId(1));
+        let (h2, trace) = op.apply(&h).unwrap();
+        check_step_invariants(&h, &h2).unwrap();
+        assert_eq!(h2.num_vertices(), 3);
+        assert_eq!(h2.num_edges(), 1);
+        assert_eq!(h2.edge(EdgeId(0)).len(), 3);
+        assert_eq!(trace.vertex_map[1], None);
+    }
+
+    #[test]
+    fn merge_on_degree_one_vertex_shrinks_edge() {
+        // |I_v| = 1: merging replaces e by e \ {v} and consumes v —
+        // |V|+|E| still strictly decreases (the Lemma 3.2(2) edge case).
+        let h = Hypergraph::new(3, &[vec![0, 1, 2]]).unwrap();
+        let op = DilutionOp::MergeOnVertex(VertexId(2));
+        let (h2, _) = op.apply(&h).unwrap();
+        check_step_invariants(&h, &h2).unwrap();
+        assert_eq!(h2.num_vertices(), 2);
+        assert_eq!(h2.num_edges(), 1);
+        assert_eq!(h2.edge(EdgeId(0)).len(), 2);
+    }
+
+    #[test]
+    fn sequence_run_records_intermediates() {
+        let h = hypercycle(4, 3);
+        let seq = DilutionSequence {
+            ops: vec![
+                DilutionOp::MergeOnVertex(VertexId(0)),
+                DilutionOp::DeleteVertex(VertexId(0)),
+            ],
+        };
+        let run = seq.run(&h).unwrap();
+        assert_eq!(run.hypergraphs.len(), 3);
+        for w in run.hypergraphs.windows(2) {
+            check_step_invariants(&w[0], &w[1]).unwrap();
+        }
+        let total = run.total_trace();
+        assert_eq!(total.vertex_map.len(), h.num_vertices());
+    }
+
+    #[test]
+    fn invariants_hold_for_random_ops() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        for seed in 0..10 {
+            let mut h = random_degree_bounded(8, 4, 3, 0.6, seed);
+            for _ in 0..6 {
+                if h.num_vertices() == 0 {
+                    break;
+                }
+                // Pick a random applicable op.
+                let v = VertexId(rng.gen_range(0..h.num_vertices() as u32));
+                let op = match rng.gen_range(0..3) {
+                    0 => DilutionOp::DeleteVertex(v),
+                    1 => DilutionOp::MergeOnVertex(v),
+                    _ => {
+                        let candidates: Vec<EdgeId> = h
+                            .edge_ids()
+                            .filter(|&e| DilutionOp::DeleteSubedge(e).is_applicable(&h))
+                            .collect();
+                        match candidates.first() {
+                            Some(&e) => DilutionOp::DeleteSubedge(e),
+                            None => DilutionOp::DeleteVertex(v),
+                        }
+                    }
+                };
+                if !op.is_applicable(&h) {
+                    continue;
+                }
+                let (h2, _) = op.apply(&h).unwrap();
+                check_step_invariants(&h, &h2).unwrap();
+                h = h2;
+            }
+        }
+    }
+
+    #[test]
+    fn ghw_never_increases_along_dilutions() {
+        // Lemma 3.2 (3), checked with the exact solver on small instances.
+        use cqd2_decomp::widths::ghw_exact;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        for seed in 0..6 {
+            let mut h = random_degree_bounded(6, 3, 2, 0.6, seed);
+            let mut prev = ghw_exact(&h).expect("small");
+            for _ in 0..4 {
+                if h.num_vertices() == 0 {
+                    break;
+                }
+                let v = VertexId(rng.gen_range(0..h.num_vertices() as u32));
+                let op = if rng.gen_bool(0.5) {
+                    DilutionOp::DeleteVertex(v)
+                } else {
+                    DilutionOp::MergeOnVertex(v)
+                };
+                if !op.is_applicable(&h) {
+                    continue;
+                }
+                let (h2, _) = op.apply(&h).unwrap();
+                let cur = ghw_exact(&h2).expect("small");
+                assert!(
+                    cur <= prev,
+                    "ghw increased {prev} -> {cur} by {op:?} on {h:?}"
+                );
+                h = h2;
+                prev = cur;
+            }
+        }
+    }
+}

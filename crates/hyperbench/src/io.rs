@@ -1,0 +1,108 @@
+//! Parser for the HyperBench `.hg` hypergraph format, so the census can be
+//! pointed at the genuine benchmark when it is available.
+//!
+//! The format lists one edge per line (comma- or newline-separated):
+//!
+//! ```text
+//! e1(v1,v2,v3),
+//! e2(v3,v4),
+//! ```
+//!
+//! Vertex and edge names are arbitrary identifiers. `%`-prefixed lines are
+//! comments.
+
+use cqd2_hypergraph::{HgError, Hypergraph, HypergraphBuilder};
+
+/// Parse a `.hg`-format string into a hypergraph.
+pub fn parse_hg(input: &str) -> Result<Hypergraph, HgError> {
+    let mut builder = HypergraphBuilder::new();
+    // Edges may be separated by ',' at line ends; normalize and split on
+    // the closing parenthesis.
+    for raw_line in input.lines() {
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with('%') || line.starts_with('#') {
+            continue;
+        }
+        for chunk in line.split(')') {
+            let chunk = chunk.trim().trim_start_matches(',').trim();
+            if chunk.is_empty() {
+                continue;
+            }
+            let Some((name, args)) = chunk.split_once('(') else {
+                return Err(HgError::Precondition(format!(
+                    "malformed edge declaration: {chunk:?}"
+                )));
+            };
+            let vars: Vec<&str> = args
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .collect();
+            builder = builder.edge(name.trim(), &vars);
+        }
+    }
+    builder.build()
+}
+
+/// Load every `.hg` file in a directory (sorted by name). Intended for
+/// running the census against a local copy of the real HyperBench data.
+pub fn load_directory(dir: &std::path::Path) -> std::io::Result<Vec<(String, Hypergraph)>> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .filter(|e| e.path().extension().is_some_and(|x| x == "hg"))
+        .collect();
+    entries.sort_by_key(|e| e.file_name());
+    let mut out = Vec::new();
+    for entry in entries {
+        let text = std::fs::read_to_string(entry.path())?;
+        match parse_hg(&text) {
+            Ok(h) => out.push((entry.file_name().to_string_lossy().into_owned(), h)),
+            Err(e) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("{}: {e}", entry.path().display()),
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple() {
+        let h = parse_hg("e1(a,b,c),\ne2(c,d),\n").unwrap();
+        assert_eq!(h.num_edges(), 2);
+        assert_eq!(h.num_vertices(), 4);
+        assert_eq!(h.rank(), 3);
+        let c = h.vertex_by_name("c").unwrap();
+        assert_eq!(h.degree(c), 2);
+    }
+
+    #[test]
+    fn parse_multiple_edges_per_line() {
+        let h = parse_hg("e1(a,b), e2(b,c)").unwrap();
+        assert_eq!(h.num_edges(), 2);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let h = parse_hg("% header\n\ne1(x,y)\n# trailing\n").unwrap();
+        assert_eq!(h.num_edges(), 1);
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(parse_hg("oops").is_err());
+    }
+
+    #[test]
+    fn duplicate_edge_contents_collapse() {
+        // Set semantics, matching the paper's E(H) ⊆ 2^V.
+        let h = parse_hg("e1(a,b)\ne2(b,a)\n").unwrap();
+        assert_eq!(h.num_edges(), 1);
+    }
+}

@@ -1,0 +1,308 @@
+//! Structural recognizers used by the census: GYO α-acyclicity, grid
+//! graphs, and jigsaw hypergraphs.
+
+use cqd2_hypergraph::{Graph, Hypergraph};
+use std::collections::BTreeSet;
+
+/// GYO reduction: a hypergraph is α-acyclic iff repeatedly (a) deleting
+/// vertices that occur in exactly one edge and (b) deleting edges
+/// contained in other edges empties it to at most one edge.
+/// α-acyclic hypergraphs with at least one edge have `ghw = 1` exactly.
+pub fn is_alpha_acyclic(h: &Hypergraph) -> bool {
+    let mut edges: Vec<BTreeSet<u32>> = h
+        .edge_ids()
+        .map(|e| h.edge(e).iter().map(|v| v.0).collect())
+        .collect();
+    loop {
+        let mut changed = false;
+        // Vertex occurrence counts.
+        let mut count: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+        for e in &edges {
+            for &v in e {
+                *count.entry(v).or_insert(0) += 1;
+            }
+        }
+        for e in &mut edges {
+            let before = e.len();
+            e.retain(|v| count[v] > 1);
+            if e.len() != before {
+                changed = true;
+            }
+        }
+        // Remove edges contained in others (including duplicates/empties).
+        let mut keep: Vec<bool> = vec![true; edges.len()];
+        for i in 0..edges.len() {
+            if !keep[i] {
+                continue;
+            }
+            for j in 0..edges.len() {
+                if i == j || !keep[j] {
+                    continue;
+                }
+                if edges[i].is_subset(&edges[j]) && (edges[i] != edges[j] || i > j) {
+                    keep[i] = false;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+        let new_edges: Vec<BTreeSet<u32>> = edges
+            .into_iter()
+            .zip(&keep)
+            .filter(|(_, k)| **k)
+            .map(|(e, _)| e)
+            .collect();
+        edges = new_edges;
+        if edges.len() <= 1 {
+            return true;
+        }
+        if !changed {
+            return false;
+        }
+    }
+}
+
+/// Per-vertex grid coordinates produced by [`recognize_grid`].
+pub type GridCoords = Vec<(usize, usize)>;
+
+/// Recognize a grid graph: returns `(rows, cols)` with `rows ≤ cols` and
+/// the coordinate of each vertex, if `g` is an `rows × cols` grid.
+pub fn recognize_grid(g: &Graph) -> Option<(usize, usize, GridCoords)> {
+    let n = g.num_vertices();
+    if n == 0 || !g.is_connected() {
+        return None;
+    }
+    if n == 1 {
+        return (g.num_edges() == 0).then(|| (1, 1, vec![(0, 0)]));
+    }
+    // 1 × m grids are paths.
+    if let Some(order) = path_order(g) {
+        let coords = {
+            let mut c = vec![(0usize, 0usize); n];
+            for (j, &v) in order.iter().enumerate() {
+                c[v as usize] = (0, j);
+            }
+            c
+        };
+        return Some((1, n, coords));
+    }
+    // General grids: exactly 4 corners of degree 2.
+    let corners: Vec<u32> = (0..n as u32).filter(|&v| g.degree(v) == 2).collect();
+    if corners.len() != 4 {
+        return None;
+    }
+    let c1 = corners[0];
+    let d1 = bfs_distances(g, c1);
+    for &c2 in &corners[1..] {
+        let width = d1[c2 as usize];
+        // Candidate: c2 is the corner in the same row, at distance m-1.
+        let m = width + 1;
+        if n % m != 0 {
+            continue;
+        }
+        let rows = n / m;
+        let d2 = bfs_distances(g, c2);
+        // coords: j = (d1 + (m-1) - d2)/2, i = d1 - j.
+        let mut coords = vec![(usize::MAX, usize::MAX); n];
+        let mut ok = true;
+        for v in 0..n {
+            let (a, b) = (d1[v], d2[v]);
+            if (a + width) < b || (a + width - b) % 2 != 0 {
+                ok = false;
+                break;
+            }
+            let j = (a + width - b) / 2;
+            if j > a {
+                ok = false;
+                break;
+            }
+            let i = a - j;
+            if i >= rows || j >= m {
+                ok = false;
+                break;
+            }
+            coords[v] = (i, j);
+        }
+        if !ok {
+            continue;
+        }
+        // Verify bijectivity and exact grid adjacency.
+        let mut seen = vec![false; n];
+        for &(i, j) in &coords {
+            let idx = i * m + j;
+            if seen[idx] {
+                ok = false;
+                break;
+            }
+            seen[idx] = true;
+        }
+        if !ok {
+            continue;
+        }
+        let expected_edges = rows * (m - 1) + (rows - 1) * m;
+        if g.num_edges() != expected_edges {
+            continue;
+        }
+        let all_grid_edges = g.edges().all(|(u, v)| {
+            let (iu, ju) = coords[u as usize];
+            let (iv, jv) = coords[v as usize];
+            iu.abs_diff(iv) + ju.abs_diff(jv) == 1
+        });
+        if all_grid_edges {
+            let (r, c) = (rows.min(m), rows.max(m));
+            // Normalize coords to rows ≤ cols orientation.
+            let coords = if rows <= m {
+                coords
+            } else {
+                coords.into_iter().map(|(i, j)| (j, i)).collect()
+            };
+            return Some((r, c, coords));
+        }
+    }
+    None
+}
+
+fn path_order(g: &Graph) -> Option<Vec<u32>> {
+    let n = g.num_vertices();
+    if g.num_edges() != n - 1 {
+        return None;
+    }
+    let ends: Vec<u32> = (0..n as u32).filter(|&v| g.degree(v) == 1).collect();
+    if ends.len() != 2 || (0..n as u32).any(|v| g.degree(v) > 2) {
+        return None;
+    }
+    let mut order = vec![ends[0]];
+    let mut prev = ends[0];
+    let mut cur = ends[0];
+    while order.len() < n {
+        let next = *g
+            .neighbors(cur)
+            .iter()
+            .find(|&&w| w != prev)?;
+        order.push(next);
+        prev = cur;
+        cur = next;
+    }
+    Some(order)
+}
+
+fn bfs_distances(g: &Graph, s: u32) -> Vec<usize> {
+    let mut d = vec![usize::MAX; g.num_vertices()];
+    let mut q = std::collections::VecDeque::new();
+    d[s as usize] = 0;
+    q.push_back(s);
+    while let Some(v) = q.pop_front() {
+        for &w in g.neighbors(v) {
+            if d[w as usize] == usize::MAX {
+                d[w as usize] = d[v as usize] + 1;
+                q.push_back(w);
+            }
+        }
+    }
+    d
+}
+
+/// Recognize a jigsaw hypergraph structurally (no isomorphism search):
+/// all vertices have degree exactly 2, pairwise edge intersections have
+/// size ≤ 1, the cell-adjacency graph is a grid, and the vertex count
+/// equals the number of adjacent cell pairs. Returns `(n, m)`, `n ≤ m`.
+pub fn recognize_jigsaw(h: &Hypergraph) -> Option<(usize, usize)> {
+    if h.num_edges() < 2 {
+        return None;
+    }
+    if h.vertices().any(|v| h.degree(v) != 2) {
+        return None;
+    }
+    let k = h.num_edges();
+    let mut adj = Graph::empty(k);
+    let mut pairs = 0usize;
+    for i in 0..k {
+        for j in (i + 1)..k {
+            let s = h.edge_intersection_size(
+                cqd2_hypergraph::EdgeId(i as u32),
+                cqd2_hypergraph::EdgeId(j as u32),
+            );
+            match s {
+                0 => {}
+                1 => {
+                    adj.add_edge(i as u32, j as u32);
+                    pairs += 1;
+                }
+                _ => return None,
+            }
+        }
+    }
+    if h.num_vertices() != pairs {
+        return None;
+    }
+    let (n, m, _) = recognize_grid(&adj)?;
+    Some((n, m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqd2_hypergraph::generators::{
+        grid_graph, hyperchain, hypercycle, hyperstar, path_graph,
+    };
+    use cqd2_hypergraph::{dual, reduce};
+
+    fn jigsaw(n: usize, m: usize) -> Hypergraph {
+        let (d, _) = dual(&grid_graph(n, m).to_hypergraph());
+        let (r, _) = reduce(&d);
+        r
+    }
+
+    #[test]
+    fn acyclicity() {
+        assert!(is_alpha_acyclic(&hyperchain(6, 3)));
+        assert!(is_alpha_acyclic(&hyperstar(5, 3)));
+        assert!(!is_alpha_acyclic(&hypercycle(4, 3)));
+        assert!(!is_alpha_acyclic(&jigsaw(2, 2)));
+        // The classic: triangle is cyclic, but adding the full edge makes
+        // it acyclic.
+        let tri = Hypergraph::new(3, &[vec![0, 1], vec![1, 2], vec![0, 2]]).unwrap();
+        assert!(!is_alpha_acyclic(&tri));
+        let tri_plus =
+            Hypergraph::new(3, &[vec![0, 1], vec![1, 2], vec![0, 2], vec![0, 1, 2]]).unwrap();
+        assert!(is_alpha_acyclic(&tri_plus));
+    }
+
+    #[test]
+    fn grid_recognition() {
+        for (n, m) in [(2, 2), (2, 5), (3, 3), (3, 7), (4, 4), (1, 6)] {
+            let g = grid_graph(n, m);
+            let (rn, rm, coords) = recognize_grid(&g).unwrap_or_else(|| {
+                panic!("failed to recognize {n}x{m} grid");
+            });
+            assert_eq!((rn, rm), (n.min(m), n.max(m)));
+            assert_eq!(coords.len(), n * m);
+        }
+        assert!(recognize_grid(&path_graph(5)).is_some()); // 1x5
+        assert!(recognize_grid(&cqd2_hypergraph::generators::cycle_graph(6)).is_none());
+        assert!(recognize_grid(&cqd2_hypergraph::generators::complete_graph(4)).is_none());
+        // Grid plus a chord is not a grid.
+        let mut g = grid_graph(3, 3);
+        g.add_edge(0, 4);
+        assert!(recognize_grid(&g).is_none());
+    }
+
+    #[test]
+    fn jigsaw_recognition() {
+        for (n, m) in [(2, 2), (2, 4), (3, 3), (3, 5), (6, 8)] {
+            assert_eq!(
+                recognize_jigsaw(&jigsaw(n, m)),
+                Some((n.min(m), n.max(m))),
+                "jigsaw {n}x{m}"
+            );
+        }
+        assert_eq!(recognize_jigsaw(&hypercycle(5, 2)), None); // cycle ≠ grid
+        assert_eq!(recognize_jigsaw(&hyperchain(4, 3)), None); // degree-1 vertices
+    }
+
+    #[test]
+    fn large_jigsaw_recognition_is_fast() {
+        let j = jigsaw(8, 20);
+        assert_eq!(recognize_jigsaw(&j), Some((8, 20)));
+    }
+}

@@ -1,0 +1,121 @@
+//! A convenience builder for hypergraphs with named vertices and edges.
+
+use crate::hypergraph::{EdgeId, HgError, Hypergraph, VertexId};
+use std::collections::BTreeMap;
+
+/// Incremental construction of a [`Hypergraph`] with string-named vertices.
+///
+/// Unlike [`Hypergraph::new`], adding an edge whose vertex set duplicates an
+/// existing edge is *silently collapsed* (set semantics), which is the right
+/// behaviour when deriving hypergraphs from conjunctive queries where two
+/// atoms may share a variable set.
+#[derive(Debug, Default, Clone)]
+pub struct HypergraphBuilder {
+    vertex_ids: BTreeMap<String, VertexId>,
+    vertex_names: Vec<String>,
+    edges: Vec<(String, Vec<VertexId>)>,
+}
+
+impl HypergraphBuilder {
+    /// Fresh empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a vertex by name, returning its id.
+    pub fn vertex(&mut self, name: &str) -> VertexId {
+        if let Some(&v) = self.vertex_ids.get(name) {
+            return v;
+        }
+        let v = VertexId(self.vertex_names.len() as u32);
+        self.vertex_ids.insert(name.to_string(), v);
+        self.vertex_names.push(name.to_string());
+        v
+    }
+
+    /// Add an edge over the named vertices (interning them), with an edge
+    /// name. Returns the builder for chaining.
+    pub fn edge(mut self, name: &str, vertices: &[&str]) -> Self {
+        let vs: Vec<VertexId> = vertices.iter().map(|v| self.vertex(v)).collect();
+        self.edges.push((name.to_string(), vs));
+        self
+    }
+
+    /// Add an isolated named vertex.
+    pub fn isolated(mut self, name: &str) -> Self {
+        self.vertex(name);
+        self
+    }
+
+    /// Finish building. Duplicate edge *contents* collapse to the first
+    /// occurrence; duplicate edge *names* are an error.
+    pub fn build(self) -> Result<Hypergraph, HgError> {
+        let mut names_seen = BTreeMap::new();
+        for (i, (name, _)) in self.edges.iter().enumerate() {
+            if let Some(prev) = names_seen.insert(name.clone(), i) {
+                return Err(HgError::Precondition(format!(
+                    "duplicate edge name {name:?} (edges #{prev} and #{i})"
+                )));
+            }
+        }
+        let mut contents_seen: BTreeMap<Vec<VertexId>, EdgeId> = BTreeMap::new();
+        let mut edge_names = Vec::new();
+        let mut edge_sets = Vec::new();
+        for (name, mut vs) in self.edges {
+            vs.sort_unstable();
+            vs.dedup();
+            if contents_seen.contains_key(&vs) {
+                continue;
+            }
+            contents_seen.insert(vs.clone(), EdgeId(edge_sets.len() as u32));
+            edge_names.push(name);
+            edge_sets.push(vs);
+        }
+        Ok(Hypergraph::from_parts(
+            self.vertex_names,
+            edge_names,
+            edge_sets,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_construction() {
+        let h = HypergraphBuilder::new()
+            .edge("R", &["x", "y", "z"])
+            .edge("S", &["z", "w"])
+            .isolated("lonely")
+            .build()
+            .unwrap();
+        assert_eq!(h.num_vertices(), 5);
+        assert_eq!(h.num_edges(), 2);
+        let z = h.vertex_by_name("z").unwrap();
+        assert_eq!(h.degree(z), 2);
+        assert_eq!(h.edge_by_name("S"), Some(EdgeId(1)));
+        assert_eq!(h.degree(h.vertex_by_name("lonely").unwrap()), 0);
+    }
+
+    #[test]
+    fn duplicate_contents_collapse() {
+        let h = HypergraphBuilder::new()
+            .edge("R", &["x", "y"])
+            .edge("S", &["y", "x"])
+            .build()
+            .unwrap();
+        assert_eq!(h.num_edges(), 1);
+        assert_eq!(h.edge_name(EdgeId(0)), "R");
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let r = HypergraphBuilder::new()
+            .edge("R", &["x", "y"])
+            .edge("R", &["y", "z"])
+            .build();
+        assert!(r.is_err());
+    }
+}

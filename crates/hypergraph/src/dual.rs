@@ -1,0 +1,132 @@
+//! The dual hypergraph `H^d`.
+//!
+//! `V(H^d) = E(H)` and `E(H^d) = { I_v | v ∈ V(H) }`. Because `E(H^d)` is a
+//! *set*, two vertices of `H` with the same vertex type contribute a single
+//! dual edge — this is why `(H^d)^d = H` holds exactly for *reduced*
+//! hypergraphs (Section 2 of the paper).
+
+use crate::hypergraph::{EdgeId, Hypergraph, VertexId};
+use std::collections::BTreeMap;
+
+/// Correspondence between a hypergraph and its dual.
+#[derive(Debug, Clone)]
+pub struct DualMap {
+    /// `edge_to_vertex[e]` = the dual vertex representing edge `e` of `H`.
+    /// This is always the identity on indices (edge `e` becomes vertex `e`),
+    /// kept explicit for readability at call sites.
+    pub edge_to_vertex: Vec<VertexId>,
+    /// `vertex_to_edge[v]` = the dual edge representing `I_v`. Vertices with
+    /// equal types share a dual edge; isolated vertices map to `None`
+    /// (an empty `I_v` would be the empty dual edge, which we do not emit —
+    /// it carries no incidence information and `reduce` removes such
+    /// vertices anyway).
+    pub vertex_to_edge: Vec<Option<EdgeId>>,
+}
+
+/// Construct the dual hypergraph `H^d` together with the index
+/// correspondence.
+pub fn dual(h: &Hypergraph) -> (Hypergraph, DualMap) {
+    let n_dual_vertices = h.num_edges();
+    let mut dual_edges: Vec<Vec<VertexId>> = Vec::new();
+    let mut dual_edge_names: Vec<String> = Vec::new();
+    let mut seen: BTreeMap<Vec<VertexId>, EdgeId> = BTreeMap::new();
+    let mut vertex_to_edge: Vec<Option<EdgeId>> = Vec::with_capacity(h.num_vertices());
+
+    for v in h.vertices() {
+        let iv = h.incident_edges(v);
+        if iv.is_empty() {
+            vertex_to_edge.push(None);
+            continue;
+        }
+        let content: Vec<VertexId> = iv.iter().map(|e| VertexId(e.0)).collect();
+        match seen.get(&content) {
+            Some(&id) => vertex_to_edge.push(Some(id)),
+            None => {
+                let id = EdgeId(dual_edges.len() as u32);
+                seen.insert(content.clone(), id);
+                dual_edge_names.push(format!("I({})", h.vertex_name(v)));
+                dual_edges.push(content);
+                vertex_to_edge.push(Some(id));
+            }
+        }
+    }
+
+    let dual_vertex_names: Vec<String> = h
+        .edge_ids()
+        .map(|e| h.edge_name(e).to_string())
+        .collect();
+    debug_assert_eq!(dual_vertex_names.len(), n_dual_vertices);
+    let hd = Hypergraph::from_parts(dual_vertex_names, dual_edge_names, dual_edges);
+    let map = DualMap {
+        edge_to_vertex: (0..n_dual_vertices as u32).map(VertexId).collect(),
+        vertex_to_edge,
+    };
+    (hd, map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iso::are_isomorphic;
+    use crate::reduce::reduce;
+
+    #[test]
+    fn dual_of_triangle_graph() {
+        // Triangle as a 2-uniform hypergraph: dual is again a triangle
+        // (3 edges -> 3 vertices, 3 degree-2 vertices -> 3 rank-2 edges).
+        let h = Hypergraph::new(3, &[vec![0, 1], vec![1, 2], vec![0, 2]]).unwrap();
+        let (hd, map) = dual(&h);
+        assert_eq!(hd.num_vertices(), 3);
+        assert_eq!(hd.num_edges(), 3);
+        assert_eq!(hd.rank(), 2);
+        assert_eq!(hd.max_degree(), 2);
+        assert!(map.vertex_to_edge.iter().all(Option::is_some));
+        assert!(are_isomorphic(&h, &hd));
+    }
+
+    #[test]
+    fn dual_degree_rank_swap() {
+        // For a reduced hypergraph (no duplicate vertex types):
+        // degree(H^d) = rank(H) and rank(H^d) = degree(H).
+        let h = Hypergraph::new(
+            5,
+            &[vec![0, 1, 2], vec![2, 3], vec![2, 4], vec![3, 4], vec![0, 3]],
+        )
+        .unwrap();
+        assert!(crate::reduce::is_reduced(&h));
+        let (hd, _) = dual(&h);
+        assert_eq!(hd.max_degree(), h.rank());
+        assert_eq!(hd.rank(), h.max_degree());
+    }
+
+    #[test]
+    fn isolated_vertex_has_no_dual_edge() {
+        let h = Hypergraph::new(3, &[vec![0, 1], vec![1]]).unwrap();
+        let (hd, map) = dual(&h);
+        assert_eq!(map.vertex_to_edge[2], None);
+        assert_eq!(hd.num_edges(), 2);
+    }
+
+    #[test]
+    fn duplicate_vertex_types_collapse_in_dual() {
+        // Vertices 0 and 1 both belong to exactly edges {e0}: same type.
+        let h = Hypergraph::new(3, &[vec![0, 1, 2], vec![2]]).unwrap();
+        let (hd, map) = dual(&h);
+        assert_eq!(map.vertex_to_edge[0], map.vertex_to_edge[1]);
+        assert_eq!(hd.num_edges(), 2); // {e0} (shared) and {e0,e1} for vertex 2
+    }
+
+    #[test]
+    fn double_dual_of_reduced_is_identity() {
+        // (H^d)^d = H for reduced H (paper, Section 2).
+        let h = Hypergraph::new(
+            6,
+            &[vec![0, 1, 2], vec![2, 3], vec![3, 4, 5], vec![0, 5]],
+        )
+        .unwrap();
+        let (hr, _) = reduce(&h);
+        let (hd, _) = dual(&hr);
+        let (hdd, _) = dual(&hd);
+        assert!(are_isomorphic(&hr, &hdd));
+    }
+}

@@ -1,0 +1,283 @@
+//! Deterministic and seeded generators for graphs and hypergraphs.
+//!
+//! These produce the structured families used throughout the paper's
+//! examples (grids and their duals, degree-2 chains and cycles) and the
+//! randomized families used by the synthetic HyperBench corpus.
+
+use crate::graph::Graph;
+use crate::hypergraph::Hypergraph;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// The `n × m` grid graph: vertices `(i, j)` with `0 ≤ i < n`, `0 ≤ j < m`,
+/// row-major ids `i * m + j`, edges between horizontal and vertical
+/// neighbours.
+pub fn grid_graph(n: usize, m: usize) -> Graph {
+    let mut g = Graph::empty(n * m);
+    let id = |i: usize, j: usize| (i * m + j) as u32;
+    for i in 0..n {
+        for j in 0..m {
+            if i + 1 < n {
+                g.add_edge(id(i, j), id(i + 1, j));
+            }
+            if j + 1 < m {
+                g.add_edge(id(i, j), id(i, j + 1));
+            }
+        }
+    }
+    g
+}
+
+/// Path graph on `n` vertices.
+pub fn path_graph(n: usize) -> Graph {
+    let mut g = Graph::empty(n);
+    for i in 1..n {
+        g.add_edge((i - 1) as u32, i as u32);
+    }
+    g
+}
+
+/// Cycle graph on `n ≥ 3` vertices.
+pub fn cycle_graph(n: usize) -> Graph {
+    assert!(n >= 3, "cycle needs at least 3 vertices");
+    let mut g = path_graph(n);
+    g.add_edge((n - 1) as u32, 0);
+    g
+}
+
+/// Complete graph on `n` vertices.
+pub fn complete_graph(n: usize) -> Graph {
+    let mut g = Graph::empty(n);
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+/// A chain of `k` hyperedges of size `rank`, consecutive edges sharing one
+/// vertex. Degree 2, α-acyclic (ghw = 1).
+pub fn hyperchain(k: usize, rank: usize) -> Hypergraph {
+    assert!(rank >= 2 && k >= 1);
+    let mut edges: Vec<Vec<u32>> = Vec::with_capacity(k);
+    let mut next = 0u32;
+    let mut last_shared = 0u32;
+    for i in 0..k {
+        let mut e = Vec::with_capacity(rank);
+        if i > 0 {
+            e.push(last_shared);
+        }
+        while e.len() < rank {
+            e.push(next);
+            next += 1;
+        }
+        last_shared = *e.last().unwrap();
+        edges.push(e);
+    }
+    Hypergraph::new(next as usize, &edges).expect("chain edges are distinct")
+}
+
+/// A cycle of `k ≥ 3` hyperedges of size `rank`, consecutive edges sharing
+/// one vertex (also first/last). Degree 2, ghw = 2 for rank ≥ 2.
+pub fn hypercycle(k: usize, rank: usize) -> Hypergraph {
+    assert!(rank >= 2 && k >= 3);
+    let mut edges: Vec<Vec<u32>> = Vec::with_capacity(k);
+    let mut next = 0u32;
+    let first_shared = 0u32;
+    let mut last_shared = 0u32;
+    for i in 0..k {
+        let mut e = Vec::with_capacity(rank);
+        if i == 0 {
+            e.push(first_shared);
+            next = 1;
+        } else {
+            e.push(last_shared);
+        }
+        if i == k - 1 {
+            e.push(first_shared);
+        }
+        while e.len() < rank {
+            e.push(next);
+            next += 1;
+        }
+        last_shared = *e.last().unwrap();
+        edges.push(e);
+    }
+    Hypergraph::new(next as usize, &edges).expect("cycle edges are distinct")
+}
+
+/// A star: `k` edges of size `rank` all sharing one central vertex.
+/// Degree `k` at the centre; α-acyclic.
+pub fn hyperstar(k: usize, rank: usize) -> Hypergraph {
+    assert!(rank >= 2 && k >= 1);
+    let mut edges: Vec<Vec<u32>> = Vec::with_capacity(k);
+    let mut next = 1u32;
+    for _ in 0..k {
+        let mut e = vec![0u32];
+        while e.len() < rank {
+            e.push(next);
+            next += 1;
+        }
+        edges.push(e);
+    }
+    Hypergraph::new(next as usize, &edges).expect("star edges are distinct")
+}
+
+/// Seeded random hypergraph with `m` edges of size up to `rank`, where no
+/// vertex exceeds `max_degree`. Vertices are allocated greedily: each edge
+/// picks `rank` slots; with probability `reuse` a slot reuses an existing
+/// vertex that still has spare degree, otherwise a fresh vertex is created.
+///
+/// The result is connected-ish but not guaranteed connected; callers that
+/// need connectivity should check. Duplicate edges are avoided by retry.
+pub fn random_degree_bounded(
+    m: usize,
+    rank: usize,
+    max_degree: usize,
+    reuse: f64,
+    seed: u64,
+) -> Hypergraph {
+    assert!(rank >= 2 && max_degree >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut degree: Vec<usize> = Vec::new();
+    let mut edges: Vec<Vec<u32>> = Vec::new();
+    let mut edge_set: std::collections::BTreeSet<Vec<u32>> = std::collections::BTreeSet::new();
+    for _ in 0..m {
+        let mut attempt = 0;
+        loop {
+            attempt += 1;
+            let size = rng.gen_range(2..=rank);
+            let mut e: Vec<u32> = Vec::with_capacity(size);
+            for _ in 0..size {
+                let candidates: Vec<u32> = (0..degree.len() as u32)
+                    .filter(|&v| degree[v as usize] < max_degree && !e.contains(&v))
+                    .collect();
+                if !candidates.is_empty() && rng.gen_bool(reuse) {
+                    e.push(*candidates.choose(&mut rng).unwrap());
+                } else {
+                    e.push(degree.len() as u32);
+                    degree.push(0);
+                }
+            }
+            e.sort_unstable();
+            e.dedup();
+            if e.len() >= 2 && !edge_set.contains(&e) {
+                for &v in &e {
+                    degree[v as usize] += 1;
+                }
+                edge_set.insert(e.clone());
+                edges.push(e);
+                break;
+            }
+            // Roll back fresh vertices created during a failed attempt is
+            // unnecessary: they stay as spare capacity; but avoid unbounded
+            // growth of isolated vertices by capping retries.
+            if attempt > 50 {
+                break;
+            }
+        }
+    }
+    // Drop any vertices that ended up unused (degree 0) to keep instances
+    // tidy; renumber densely.
+    let mut remap: Vec<Option<u32>> = vec![None; degree.len()];
+    let mut next = 0u32;
+    for (v, &d) in degree.iter().enumerate() {
+        if d > 0 {
+            remap[v] = Some(next);
+            next += 1;
+        }
+    }
+    let edges: Vec<Vec<u32>> = edges
+        .iter()
+        .map(|e| e.iter().map(|&v| remap[v as usize].unwrap()).collect())
+        .collect();
+    Hypergraph::new(next as usize, &edges).expect("deduped edges")
+}
+
+/// Seeded Erdős–Rényi-style graph `G(n, p)`.
+pub fn random_graph(n: usize, p: f64, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::empty(n);
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            if rng.gen_bool(p) {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_counts() {
+        let g = grid_graph(3, 4);
+        assert_eq!(g.num_vertices(), 12);
+        assert_eq!(g.num_edges(), 3 * 3 + 2 * 4); // n(m-1) + (n-1)m
+        assert!(g.is_connected());
+        assert_eq!(g.max_degree(), 4);
+        let g1 = grid_graph(1, 5);
+        assert_eq!(g1.num_edges(), 4);
+    }
+
+    #[test]
+    fn small_graphs() {
+        assert_eq!(path_graph(5).num_edges(), 4);
+        assert_eq!(cycle_graph(5).num_edges(), 5);
+        assert_eq!(complete_graph(5).num_edges(), 10);
+        assert!(cycle_graph(3).is_connected());
+    }
+
+    #[test]
+    fn chain_properties() {
+        let h = hyperchain(4, 3);
+        assert_eq!(h.num_edges(), 4);
+        assert_eq!(h.max_degree(), 2);
+        assert_eq!(h.rank(), 3);
+        assert!(h.is_connected());
+        // 4 edges of size 3, 3 shared vertices: 12 - 3 = 9 vertices.
+        assert_eq!(h.num_vertices(), 9);
+    }
+
+    #[test]
+    fn cycle_properties() {
+        let h = hypercycle(5, 3);
+        assert_eq!(h.num_edges(), 5);
+        assert_eq!(h.max_degree(), 2);
+        assert!(h.is_connected());
+        // Every edge shares exactly one vertex with the next.
+        assert_eq!(h.num_vertices(), 5 * 3 - 5);
+    }
+
+    #[test]
+    fn star_properties() {
+        let h = hyperstar(4, 3);
+        assert_eq!(h.max_degree(), 4);
+        assert_eq!(h.num_vertices(), 1 + 4 * 2);
+    }
+
+    #[test]
+    fn random_hypergraph_respects_bounds() {
+        for seed in 0..5 {
+            let h = random_degree_bounded(12, 4, 2, 0.6, seed);
+            assert!(h.max_degree() <= 2, "degree bound violated");
+            assert!(h.rank() <= 4);
+            assert!(h.num_edges() <= 12);
+            // Generators must be deterministic per seed.
+            let h2 = random_degree_bounded(12, 4, 2, 0.6, seed);
+            assert_eq!(h.signature(), h2.signature());
+        }
+    }
+
+    #[test]
+    fn random_graph_deterministic() {
+        let a = random_graph(10, 0.3, 7);
+        let b = random_graph(10, 0.3, 7);
+        assert_eq!(a, b);
+    }
+}

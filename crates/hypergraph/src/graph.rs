@@ -1,0 +1,387 @@
+//! Simple undirected graphs (2-uniform hypergraphs).
+//!
+//! The paper treats graphs as hypergraphs where every edge has size 2. The
+//! minor machinery and treewidth solvers work on this lighter representation;
+//! conversions to/from [`Hypergraph`] are provided.
+
+use crate::hypergraph::{Hypergraph, VertexId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A simple undirected graph with dense `u32` vertex ids.
+///
+/// Self-loops and parallel edges are not representable: edges are stored as
+/// ordered pairs `(u, v)` with `u < v` in a sorted set, with a redundant
+/// adjacency list for traversal.
+#[derive(Clone, Serialize, Deserialize)]
+pub struct Graph {
+    n: usize,
+    edges: BTreeSet<(u32, u32)>,
+    adj: Vec<Vec<u32>>,
+}
+
+/// Graphs compare by vertex count and edge set; adjacency-list order is an
+/// implementation detail.
+impl PartialEq for Graph {
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n && self.edges == other.edges
+    }
+}
+
+impl Eq for Graph {}
+
+impl Graph {
+    /// An edgeless graph on `n` vertices.
+    pub fn empty(n: usize) -> Graph {
+        Graph {
+            n,
+            edges: BTreeSet::new(),
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Build from an edge list; duplicate edges and self-loops are ignored.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Graph {
+        let mut g = Graph::empty(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Add edge `{u, v}` (no-op for self-loops and duplicates).
+    pub fn add_edge(&mut self, u: u32, v: u32) {
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "vertex out of range"
+        );
+        if u == v {
+            return;
+        }
+        let key = (u.min(v), u.max(v));
+        if self.edges.insert(key) {
+            self.adj[u as usize].push(v);
+            self.adj[v as usize].push(u);
+        }
+    }
+
+    /// Are `u` and `v` adjacent?
+    #[inline]
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        self.edges.contains(&(u.min(v), u.max(v)))
+    }
+
+    /// Neighbours of `v` (unsorted).
+    #[inline]
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        &self.adj[v as usize]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: u32) -> usize {
+        self.adj[v as usize].len()
+    }
+
+    /// Maximum degree.
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Iterator over edges as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// Is the graph connected (true for the empty graph)?
+    pub fn is_connected(&self) -> bool {
+        self.connected_components().len() <= 1
+    }
+
+    /// Connected components as sorted vertex lists.
+    pub fn connected_components(&self) -> Vec<Vec<u32>> {
+        let mut seen = vec![false; self.n];
+        let mut comps = Vec::new();
+        for s in 0..self.n as u32 {
+            if seen[s as usize] {
+                continue;
+            }
+            let mut comp = vec![];
+            let mut stack = vec![s];
+            seen[s as usize] = true;
+            while let Some(v) = stack.pop() {
+                comp.push(v);
+                for &w in self.neighbors(v) {
+                    if !seen[w as usize] {
+                        seen[w as usize] = true;
+                        stack.push(w);
+                    }
+                }
+            }
+            comp.sort_unstable();
+            comps.push(comp);
+        }
+        comps
+    }
+
+    /// Is the vertex set `s` connected in the graph (true for |s| ≤ 1)?
+    pub fn is_vertex_set_connected(&self, s: &[u32]) -> bool {
+        if s.len() <= 1 {
+            return true;
+        }
+        let inset: BTreeSet<u32> = s.iter().copied().collect();
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![s[0]];
+        seen.insert(s[0]);
+        while let Some(v) = stack.pop() {
+            for &w in self.neighbors(v) {
+                if inset.contains(&w) && seen.insert(w) {
+                    stack.push(w);
+                }
+            }
+        }
+        seen.len() == inset.len()
+    }
+
+    /// BFS shortest path from `from` to `to` restricted to vertices in
+    /// `allowed` (both endpoints must be allowed). Returns the vertex
+    /// sequence, or `None` if unreachable.
+    pub fn path_within(&self, from: u32, to: u32, allowed: &BTreeSet<u32>) -> Option<Vec<u32>> {
+        if !allowed.contains(&from) || !allowed.contains(&to) {
+            return None;
+        }
+        if from == to {
+            return Some(vec![from]);
+        }
+        let mut prev: Vec<Option<u32>> = vec![None; self.n];
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(from);
+        prev[from as usize] = Some(from);
+        while let Some(v) = queue.pop_front() {
+            for &w in self.neighbors(v) {
+                if allowed.contains(&w) && prev[w as usize].is_none() {
+                    prev[w as usize] = Some(v);
+                    if w == to {
+                        let mut path = vec![to];
+                        let mut cur = to;
+                        while cur != from {
+                            cur = prev[cur as usize].unwrap();
+                            path.push(cur);
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(w);
+                }
+            }
+        }
+        None
+    }
+
+    /// Contract edge `{u, v}`: merge `v` into `u`, then compact vertex ids.
+    /// Returns the new graph and the mapping old-id → new-id.
+    pub fn contract_edge(&self, u: u32, v: u32) -> (Graph, Vec<u32>) {
+        assert!(self.has_edge(u, v), "cannot contract a non-edge");
+        let mut map = vec![0u32; self.n];
+        let mut next = 0u32;
+        for i in 0..self.n as u32 {
+            if i == v {
+                continue;
+            }
+            map[i as usize] = next;
+            next += 1;
+        }
+        map[v as usize] = map[u as usize];
+        let mut g = Graph::empty(self.n - 1);
+        for (a, b) in self.edges() {
+            let (na, nb) = (map[a as usize], map[b as usize]);
+            g.add_edge(na, nb);
+        }
+        (g, map)
+    }
+
+    /// Delete a vertex, compacting ids. Returns the new graph and the map
+    /// old-id → Some(new-id) (None for the deleted vertex).
+    pub fn delete_vertex(&self, v: u32) -> (Graph, Vec<Option<u32>>) {
+        let mut map: Vec<Option<u32>> = vec![None; self.n];
+        let mut next = 0u32;
+        for i in 0..self.n as u32 {
+            if i == v {
+                continue;
+            }
+            map[i as usize] = Some(next);
+            next += 1;
+        }
+        let mut g = Graph::empty(self.n - 1);
+        for (a, b) in self.edges() {
+            if let (Some(na), Some(nb)) = (map[a as usize], map[b as usize]) {
+                g.add_edge(na, nb);
+            }
+        }
+        (g, map)
+    }
+
+    /// The subgraph induced by `keep` (ids compacted in `keep` order must be
+    /// sorted ascending). Returns the graph and the old→new map.
+    pub fn induced(&self, keep: &[u32]) -> (Graph, Vec<Option<u32>>) {
+        let mut map: Vec<Option<u32>> = vec![None; self.n];
+        let mut sorted = keep.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        for (new, &old) in sorted.iter().enumerate() {
+            map[old as usize] = Some(new as u32);
+        }
+        let mut g = Graph::empty(sorted.len());
+        for (a, b) in self.edges() {
+            if let (Some(na), Some(nb)) = (map[a as usize], map[b as usize]) {
+                g.add_edge(na, nb);
+            }
+        }
+        (g, map)
+    }
+
+    /// View this graph as a 2-uniform [`Hypergraph`]. Isolated vertices are
+    /// kept; each graph edge becomes a rank-2 hyperedge.
+    pub fn to_hypergraph(&self) -> Hypergraph {
+        let edges: Vec<Vec<u32>> = self.edges().map(|(u, v)| vec![u, v]).collect();
+        Hypergraph::new(self.n, &edges).expect("graph edges are valid hypergraph edges")
+    }
+
+    /// Interpret a hypergraph's *primal* structure as a graph; requires the
+    /// hypergraph to have rank ≤ 2 (edges of size 0/1 are dropped).
+    pub fn from_two_uniform(h: &Hypergraph) -> Graph {
+        let mut g = Graph::empty(h.num_vertices());
+        for e in h.edge_ids() {
+            let vs = h.edge(e);
+            match vs.len() {
+                2 => g.add_edge(vs[0].0, vs[1].0),
+                0 | 1 => {}
+                _ => panic!("hypergraph has rank > 2"),
+            }
+        }
+        g
+    }
+}
+
+/// Convenience conversion matching the paper's convention that graphs *are*
+/// 2-uniform hypergraphs.
+impl From<&Graph> for Hypergraph {
+    fn from(g: &Graph) -> Hypergraph {
+        g.to_hypergraph()
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Graph(n={}, m={}) {:?}", self.n, self.edges.len(), self.edges)
+    }
+}
+
+/// Helper for hypergraph code: convert a `VertexId` slice to raw u32s.
+pub fn raw_ids(vs: &[VertexId]) -> Vec<u32> {
+    vs.iter().map(|v| v.0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (1, 0)]);
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.has_edge(2, 1));
+        assert!(!g.has_edge(0, 3));
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn self_loops_ignored() {
+        let g = Graph::from_edges(2, &[(0, 0), (0, 1)]);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn connectivity_and_components() {
+        let g = Graph::from_edges(5, &[(0, 1), (2, 3)]);
+        assert!(!g.is_connected());
+        let comps = g.connected_components();
+        assert_eq!(comps.len(), 3);
+        assert!(comps.contains(&vec![4]));
+    }
+
+    #[test]
+    fn vertex_set_connected() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert!(g.is_vertex_set_connected(&[0, 1, 2]));
+        assert!(!g.is_vertex_set_connected(&[0, 2]));
+        assert!(g.is_vertex_set_connected(&[3]));
+    }
+
+    #[test]
+    fn path_within_allowed() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (0, 4), (4, 3)]);
+        let all: BTreeSet<u32> = (0..5).collect();
+        let p = g.path_within(0, 3, &all).unwrap();
+        assert_eq!(p.len(), 3); // 0-4-3 is shortest
+        let no4: BTreeSet<u32> = [0, 1, 2, 3].into_iter().collect();
+        let p2 = g.path_within(0, 3, &no4).unwrap();
+        assert_eq!(p2, vec![0, 1, 2, 3]);
+        let tiny: BTreeSet<u32> = [0, 3].into_iter().collect();
+        assert!(g.path_within(0, 3, &tiny).is_none());
+    }
+
+    #[test]
+    fn contraction() {
+        // Path 0-1-2; contracting {0,1} gives a single edge.
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let (c, map) = g.contract_edge(0, 1);
+        assert_eq!(c.num_vertices(), 2);
+        assert_eq!(c.num_edges(), 1);
+        assert_eq!(map[0], map[1]);
+    }
+
+    #[test]
+    fn contraction_merges_neighborhoods() {
+        // Star + edge: contracting the middle creates a triangle-free merge.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (1, 3), (2, 3)]);
+        let (c, _) = g.contract_edge(1, 0);
+        assert_eq!(c.num_vertices(), 3);
+        assert_eq!(c.num_edges(), 3);
+    }
+
+    #[test]
+    fn delete_and_induce() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let (d, map) = g.delete_vertex(1);
+        assert_eq!(d.num_vertices(), 3);
+        assert_eq!(d.num_edges(), 1);
+        assert_eq!(map[1], None);
+        let (i, _) = g.induced(&[1, 2, 3]);
+        assert_eq!(i.num_edges(), 2);
+    }
+
+    #[test]
+    fn hypergraph_roundtrip() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3), (1, 2)]);
+        let h = g.to_hypergraph();
+        assert_eq!(h.num_edges(), 3);
+        assert_eq!(h.rank(), 2);
+        let g2 = Graph::from_two_uniform(&h);
+        assert_eq!(g, g2);
+    }
+}

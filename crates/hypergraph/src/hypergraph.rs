@@ -1,0 +1,770 @@
+//! The core [`Hypergraph`] type and its mutation primitives.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Dense identifier of a vertex in a [`Hypergraph`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VertexId(pub u32);
+
+/// Dense identifier of an edge in a [`Hypergraph`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId(pub u32);
+
+impl VertexId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// Errors produced by hypergraph construction and mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HgError {
+    /// A vertex id was out of range.
+    VertexOutOfRange(u32),
+    /// An edge id was out of range.
+    EdgeOutOfRange(u32),
+    /// Two edges with identical vertex sets were supplied where a set of
+    /// edges was required.
+    DuplicateEdge(usize, usize),
+    /// An operation's precondition was violated (with a description).
+    Precondition(String),
+}
+
+impl fmt::Display for HgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HgError::VertexOutOfRange(v) => write!(f, "vertex id v{v} out of range"),
+            HgError::EdgeOutOfRange(e) => write!(f, "edge id e{e} out of range"),
+            HgError::DuplicateEdge(a, b) => {
+                write!(f, "edges #{a} and #{b} have identical vertex sets")
+            }
+            HgError::Precondition(msg) => write!(f, "precondition violated: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HgError {}
+
+/// Records how vertex and edge ids of a hypergraph map to ids of the
+/// hypergraph produced by a mutation.
+///
+/// `None` means the vertex/edge was deleted. Several old edges may map to the
+/// same new edge when a mutation makes their vertex sets equal (set semantics
+/// of `E(H)`), or when edges are merged.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpTrace {
+    /// For each old vertex id, the corresponding new vertex id, if any.
+    pub vertex_map: Vec<Option<VertexId>>,
+    /// For each old edge id, the corresponding new edge id, if any.
+    pub edge_map: Vec<Option<EdgeId>>,
+}
+
+impl OpTrace {
+    /// Compose two traces: `self` applied first, then `next`.
+    pub fn then(&self, next: &OpTrace) -> OpTrace {
+        let vertex_map = self
+            .vertex_map
+            .iter()
+            .map(|v| v.and_then(|v| next.vertex_map[v.idx()]))
+            .collect();
+        let edge_map = self
+            .edge_map
+            .iter()
+            .map(|e| e.and_then(|e| next.edge_map[e.idx()]))
+            .collect();
+        OpTrace {
+            vertex_map,
+            edge_map,
+        }
+    }
+
+    /// The identity trace for a hypergraph with `n` vertices and `m` edges.
+    pub fn identity(n: usize, m: usize) -> OpTrace {
+        OpTrace {
+            vertex_map: (0..n as u32).map(|i| Some(VertexId(i))).collect(),
+            edge_map: (0..m as u32).map(|i| Some(EdgeId(i))).collect(),
+        }
+    }
+}
+
+/// A hypergraph `H = (V(H), E(H))` with `E(H) ⊆ 2^{V(H)}`.
+///
+/// Edges are stored as sorted, deduplicated vertex lists; the edge *set*
+/// invariant (no two edges with the same vertex set) is maintained by all
+/// constructors and mutations. The empty edge is permitted (the paper uses it
+/// when discussing deletion of connected components); *reduced* hypergraphs
+/// (see [`crate::reduce`]) exclude it.
+///
+/// Vertices and edges carry human-readable names used by pretty-printing and
+/// by the conjunctive-query layer (variable and relation names).
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Hypergraph {
+    vertex_names: Vec<String>,
+    edge_names: Vec<String>,
+    /// `edges[e]` is the sorted list of vertices of edge `e`.
+    edges: Vec<Vec<VertexId>>,
+    /// `incidence[v]` is the sorted list of edges incident to vertex `v`
+    /// (`I_v` in the paper).
+    incidence: Vec<Vec<EdgeId>>,
+}
+
+impl Hypergraph {
+    /// Build a hypergraph with `n` anonymous vertices and the given edges.
+    ///
+    /// Edges are sorted and deduplicated internally; supplying two edges with
+    /// the same vertex set is an error (use [`HypergraphBuilder`] to collapse
+    /// duplicates silently).
+    ///
+    /// [`HypergraphBuilder`]: crate::builder::HypergraphBuilder
+    pub fn new(n: usize, edge_sets: &[Vec<u32>]) -> Result<Hypergraph, HgError> {
+        let vertex_names = (0..n).map(|i| format!("v{i}")).collect();
+        let edge_names = (0..edge_sets.len()).map(|i| format!("e{i}")).collect();
+        let mut edges = Vec::with_capacity(edge_sets.len());
+        for raw in edge_sets {
+            let mut e: Vec<VertexId> = raw.iter().map(|&v| VertexId(v)).collect();
+            e.sort_unstable();
+            e.dedup();
+            if let Some(v) = e.iter().find(|v| v.idx() >= n) {
+                return Err(HgError::VertexOutOfRange(v.0));
+            }
+            edges.push(e);
+        }
+        for i in 0..edges.len() {
+            for j in (i + 1)..edges.len() {
+                if edges[i] == edges[j] {
+                    return Err(HgError::DuplicateEdge(i, j));
+                }
+            }
+        }
+        Ok(Self::from_parts(vertex_names, edge_names, edges))
+    }
+
+    pub(crate) fn from_parts(
+        vertex_names: Vec<String>,
+        edge_names: Vec<String>,
+        edges: Vec<Vec<VertexId>>,
+    ) -> Hypergraph {
+        let mut incidence = vec![Vec::new(); vertex_names.len()];
+        for (ei, e) in edges.iter().enumerate() {
+            for v in e {
+                incidence[v.idx()].push(EdgeId(ei as u32));
+            }
+        }
+        Hypergraph {
+            vertex_names,
+            edge_names,
+            edges,
+            incidence,
+        }
+    }
+
+    /// Number of vertices `|V(H)|`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.vertex_names.len()
+    }
+
+    /// Number of edges `|E(H)|`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterator over all vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.num_vertices() as u32).map(VertexId)
+    }
+
+    /// Iterator over all edge ids.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.num_edges() as u32).map(EdgeId)
+    }
+
+    /// The sorted vertex list of edge `e`.
+    #[inline]
+    pub fn edge(&self, e: EdgeId) -> &[VertexId] {
+        &self.edges[e.idx()]
+    }
+
+    /// The sorted list `I_v` of edges incident to vertex `v`.
+    #[inline]
+    pub fn incident_edges(&self, v: VertexId) -> &[EdgeId] {
+        &self.incidence[v.idx()]
+    }
+
+    /// `degree(v) = |I_v|`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.incidence[v.idx()].len()
+    }
+
+    /// The degree of the hypergraph: the maximum vertex degree (0 if there
+    /// are no vertices).
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_vertices())
+            .map(|v| self.incidence[v].len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The rank: the maximum edge cardinality (0 if there are no edges).
+    pub fn rank(&self) -> usize {
+        self.edges.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Does edge `e` contain vertex `v`?
+    #[inline]
+    pub fn edge_contains(&self, e: EdgeId, v: VertexId) -> bool {
+        self.edges[e.idx()].binary_search(&v).is_ok()
+    }
+
+    /// Name of vertex `v`.
+    pub fn vertex_name(&self, v: VertexId) -> &str {
+        &self.vertex_names[v.idx()]
+    }
+
+    /// Name of edge `e`.
+    pub fn edge_name(&self, e: EdgeId) -> &str {
+        &self.edge_names[e.idx()]
+    }
+
+    /// Rename a vertex (used by builders and pretty-printing helpers).
+    pub fn set_vertex_name(&mut self, v: VertexId, name: impl Into<String>) {
+        self.vertex_names[v.idx()] = name.into();
+    }
+
+    /// Rename an edge.
+    pub fn set_edge_name(&mut self, e: EdgeId, name: impl Into<String>) {
+        self.edge_names[e.idx()] = name.into();
+    }
+
+    /// Look up a vertex by name.
+    pub fn vertex_by_name(&self, name: &str) -> Option<VertexId> {
+        self.vertex_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| VertexId(i as u32))
+    }
+
+    /// Look up an edge by name.
+    pub fn edge_by_name(&self, name: &str) -> Option<EdgeId> {
+        self.edge_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| EdgeId(i as u32))
+    }
+
+    /// The *vertex type* of `v`: its incidence set `I_v`. Two vertices with
+    /// equal types are interchangeable (reduced hypergraphs keep only one).
+    pub fn vertex_type(&self, v: VertexId) -> &[EdgeId] {
+        self.incident_edges(v)
+    }
+
+    /// `|e ∩ f|` for two edges.
+    pub fn edge_intersection_size(&self, e: EdgeId, f: EdgeId) -> usize {
+        let (a, b) = (&self.edges[e.idx()], &self.edges[f.idx()]);
+        let (mut i, mut j, mut n) = (0, 0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    n += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Is `f ⊆ e`?
+    pub fn edge_subset(&self, f: EdgeId, e: EdgeId) -> bool {
+        self.edge_intersection_size(e, f) == self.edges[f.idx()].len()
+    }
+
+    /// Is `f ⊊ e`?
+    pub fn edge_proper_subset(&self, f: EdgeId, e: EdgeId) -> bool {
+        self.edge_subset(f, e) && self.edges[f.idx()].len() < self.edges[e.idx()].len()
+    }
+
+    /// Is the hypergraph connected? Vertices are connected when they share an
+    /// edge; a hypergraph with no vertices is connected by convention. Edges
+    /// (including empty ones) do not affect vertex connectivity, but an empty
+    /// edge makes a hypergraph with ≥1 vertex *disconnected components*-wise
+    /// irrelevant, so only vertices are considered.
+    pub fn is_connected(&self) -> bool {
+        self.connected_components().len() <= 1
+    }
+
+    /// Connected components as sorted vertex lists.
+    pub fn connected_components(&self) -> Vec<Vec<VertexId>> {
+        let n = self.num_vertices();
+        let mut seen = vec![false; n];
+        let mut comps = Vec::new();
+        for s in 0..n {
+            if seen[s] {
+                continue;
+            }
+            let mut comp = Vec::new();
+            let mut stack = vec![VertexId(s as u32)];
+            seen[s] = true;
+            while let Some(v) = stack.pop() {
+                comp.push(v);
+                for &e in self.incident_edges(v) {
+                    for &w in self.edge(e) {
+                        if !seen[w.idx()] {
+                            seen[w.idx()] = true;
+                            stack.push(w);
+                        }
+                    }
+                }
+            }
+            comp.sort_unstable();
+            comps.push(comp);
+        }
+        comps
+    }
+
+    /// Are the edges in `set` connected (in the sense that their union is
+    /// connected via shared vertices, considering only these edges)?
+    pub fn edges_connected(&self, set: &[EdgeId]) -> bool {
+        if set.len() <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; set.len()];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut reached = 1;
+        while let Some(i) = stack.pop() {
+            for (j, done) in seen.iter_mut().enumerate() {
+                if !*done && self.edge_intersection_size(set[i], set[j]) > 0 {
+                    *done = true;
+                    reached += 1;
+                    stack.push(j);
+                }
+            }
+        }
+        reached == set.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Mutation primitives. Each returns a fresh hypergraph plus an OpTrace.
+    // ------------------------------------------------------------------
+
+    /// Delete vertex `v` from the vertex set and from all edges
+    /// (dilution operation (1) of Definition 3.1).
+    ///
+    /// Edges whose vertex sets become equal collapse into a single edge
+    /// (set semantics); an edge may become empty.
+    pub fn delete_vertex(&self, v: VertexId) -> Result<(Hypergraph, OpTrace), HgError> {
+        if v.idx() >= self.num_vertices() {
+            return Err(HgError::VertexOutOfRange(v.0));
+        }
+        // New vertex ids: shift everything after v down by one.
+        let mut vertex_map: Vec<Option<VertexId>> = Vec::with_capacity(self.num_vertices());
+        let mut new_vertex_names = Vec::with_capacity(self.num_vertices() - 1);
+        for u in 0..self.num_vertices() {
+            if u == v.idx() {
+                vertex_map.push(None);
+            } else {
+                vertex_map.push(Some(VertexId(new_vertex_names.len() as u32)));
+                new_vertex_names.push(self.vertex_names[u].clone());
+            }
+        }
+        self.rebuild_with_vertex_map(vertex_map, new_vertex_names)
+    }
+
+    /// Delete every vertex *not* in `keep`, yielding the induced
+    /// subhypergraph `H[keep]` (edges become `e ∩ keep`, collapsing
+    /// duplicates; empty edges collapse to at most one).
+    pub fn induced(&self, keep: &[VertexId]) -> Result<(Hypergraph, OpTrace), HgError> {
+        let mut in_keep = vec![false; self.num_vertices()];
+        for &v in keep {
+            if v.idx() >= self.num_vertices() {
+                return Err(HgError::VertexOutOfRange(v.0));
+            }
+            in_keep[v.idx()] = true;
+        }
+        let mut vertex_map: Vec<Option<VertexId>> = Vec::with_capacity(self.num_vertices());
+        let mut new_vertex_names = Vec::new();
+        for u in 0..self.num_vertices() {
+            if in_keep[u] {
+                vertex_map.push(Some(VertexId(new_vertex_names.len() as u32)));
+                new_vertex_names.push(self.vertex_names[u].clone());
+            } else {
+                vertex_map.push(None);
+            }
+        }
+        self.rebuild_with_vertex_map(vertex_map, new_vertex_names)
+    }
+
+    fn rebuild_with_vertex_map(
+        &self,
+        vertex_map: Vec<Option<VertexId>>,
+        new_vertex_names: Vec<String>,
+    ) -> Result<(Hypergraph, OpTrace), HgError> {
+        let mut new_edges: Vec<Vec<VertexId>> = Vec::new();
+        let mut new_edge_names: Vec<String> = Vec::new();
+        let mut seen: BTreeMap<Vec<VertexId>, EdgeId> = BTreeMap::new();
+        let mut edge_map: Vec<Option<EdgeId>> = Vec::with_capacity(self.num_edges());
+        for (_ei, e) in self.edges.iter().enumerate() {
+            let mut ne: Vec<VertexId> =
+                e.iter().filter_map(|v| vertex_map[v.idx()]).collect();
+            ne.sort_unstable();
+            match seen.get(&ne) {
+                Some(&id) => edge_map.push(Some(id)),
+                None => {
+                    let id = EdgeId(new_edges.len() as u32);
+                    seen.insert(ne.clone(), id);
+                    new_edge_names.push(self.edge_names[_ei].clone());
+                    new_edges.push(ne);
+                    edge_map.push(Some(id));
+                }
+            }
+        }
+        let hg = Hypergraph::from_parts(new_vertex_names, new_edge_names, new_edges);
+        Ok((
+            hg,
+            OpTrace {
+                vertex_map,
+                edge_map,
+            },
+        ))
+    }
+
+    /// Delete edge `f`, which must be a proper subset of some other edge
+    /// (dilution operation (2) of Definition 3.1). Pass `check = false` to
+    /// delete an arbitrary edge (used by non-dilution callers).
+    pub fn delete_edge(&self, f: EdgeId, check: bool) -> Result<(Hypergraph, OpTrace), HgError> {
+        if f.idx() >= self.num_edges() {
+            return Err(HgError::EdgeOutOfRange(f.0));
+        }
+        if check {
+            let has_proper_superset = self
+                .edge_ids()
+                .any(|e| e != f && self.edge_proper_subset(f, e));
+            if !has_proper_superset {
+                return Err(HgError::Precondition(format!(
+                    "edge e{} is not a proper subset of another edge",
+                    f.0
+                )));
+            }
+        }
+        let mut new_edges = Vec::with_capacity(self.num_edges() - 1);
+        let mut new_edge_names = Vec::with_capacity(self.num_edges() - 1);
+        let mut edge_map = Vec::with_capacity(self.num_edges());
+        for ei in 0..self.num_edges() {
+            if ei == f.idx() {
+                edge_map.push(None);
+            } else {
+                edge_map.push(Some(EdgeId(new_edges.len() as u32)));
+                new_edge_names.push(self.edge_names[ei].clone());
+                new_edges.push(self.edges[ei].clone());
+            }
+        }
+        let hg = Hypergraph::from_parts(self.vertex_names.clone(), new_edge_names, new_edges);
+        let vertex_map = (0..self.num_vertices() as u32)
+            .map(|i| Some(VertexId(i)))
+            .collect();
+        Ok((
+            hg,
+            OpTrace {
+                vertex_map,
+                edge_map,
+            },
+        ))
+    }
+
+    /// *Merging on `v`* (dilution operation (3) of Definition 3.1): replace
+    /// all edges of `I_v` by the single new edge `(⋃ I_v) \ {v}`.
+    ///
+    /// The merged edge keeps the position of the first edge of `I_v`; the
+    /// vertex `v` itself becomes isolated (degree 0) and *remains in the
+    /// vertex set* — Definition 3.1 removes it from the edges only. (A
+    /// subsequent vertex deletion removes it; [`crate::reduce`] does this.)
+    /// If the merged edge coincides with an existing edge the two collapse.
+    pub fn merge_on_vertex(&self, v: VertexId) -> Result<(Hypergraph, OpTrace), HgError> {
+        if v.idx() >= self.num_vertices() {
+            return Err(HgError::VertexOutOfRange(v.0));
+        }
+        let iv: Vec<EdgeId> = self.incident_edges(v).to_vec();
+        if iv.is_empty() {
+            return Err(HgError::Precondition(format!(
+                "cannot merge on isolated vertex v{}",
+                v.0
+            )));
+        }
+        let mut merged: Vec<VertexId> = Vec::new();
+        for &e in &iv {
+            merged.extend(self.edge(e).iter().copied());
+        }
+        merged.sort_unstable();
+        merged.dedup();
+        merged.retain(|&u| u != v);
+
+        let mut new_edges: Vec<Vec<VertexId>> = Vec::new();
+        let mut new_edge_names: Vec<String> = Vec::new();
+        let mut seen: BTreeMap<Vec<VertexId>, EdgeId> = BTreeMap::new();
+        let mut edge_map: Vec<Option<EdgeId>> = vec![None; self.num_edges()];
+        let mut merged_id: Option<EdgeId> = None;
+        for ei in 0..self.num_edges() {
+            let e = EdgeId(ei as u32);
+            let in_iv = iv.contains(&e);
+            let content = if in_iv {
+                if let Some(id) = merged_id {
+                    edge_map[ei] = Some(id);
+                    continue;
+                }
+                merged.clone()
+            } else {
+                self.edges[ei].clone()
+            };
+            match seen.get(&content) {
+                Some(&id) => {
+                    edge_map[ei] = Some(id);
+                    if in_iv {
+                        merged_id = Some(id);
+                    }
+                }
+                None => {
+                    let id = EdgeId(new_edges.len() as u32);
+                    seen.insert(content.clone(), id);
+                    new_edge_names.push(if in_iv {
+                        format!("m({})", self.vertex_names[v.idx()])
+                    } else {
+                        self.edge_names[ei].clone()
+                    });
+                    new_edges.push(content);
+                    edge_map[ei] = Some(id);
+                    if in_iv {
+                        merged_id = Some(id);
+                    }
+                }
+            }
+        }
+        let hg = Hypergraph::from_parts(self.vertex_names.clone(), new_edge_names, new_edges);
+        let vertex_map = (0..self.num_vertices() as u32)
+            .map(|i| Some(VertexId(i)))
+            .collect();
+        Ok((
+            hg,
+            OpTrace {
+                vertex_map,
+                edge_map,
+            },
+        ))
+    }
+
+    /// A compact structural summary used for quick inequality checks and
+    /// debugging: `(|V|, |E|, degree, rank, sorted edge sizes)`.
+    pub fn signature(&self) -> (usize, usize, usize, usize, Vec<usize>) {
+        let mut sizes: Vec<usize> = self.edges.iter().map(Vec::len).collect();
+        sizes.sort_unstable();
+        (
+            self.num_vertices(),
+            self.num_edges(),
+            self.max_degree(),
+            self.rank(),
+            sizes,
+        )
+    }
+}
+
+impl fmt::Debug for Hypergraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Hypergraph(|V|={}, |E|={}, degree={}, rank={})",
+            self.num_vertices(),
+            self.num_edges(),
+            self.max_degree(),
+            self.rank()
+        )?;
+        for e in self.edge_ids() {
+            let names: Vec<&str> = self.edge(e).iter().map(|&v| self.vertex_name(v)).collect();
+            writeln!(f, "  {} = {{{}}}", self.edge_name(e), names.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Hypergraph {
+        // Three rank-2 edges forming a triangle.
+        Hypergraph::new(3, &[vec![0, 1], vec![1, 2], vec![0, 2]]).unwrap()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let h = triangle();
+        assert_eq!(h.num_vertices(), 3);
+        assert_eq!(h.num_edges(), 3);
+        assert_eq!(h.max_degree(), 2);
+        assert_eq!(h.rank(), 2);
+        assert_eq!(h.degree(VertexId(1)), 2);
+        assert_eq!(h.incident_edges(VertexId(0)), &[EdgeId(0), EdgeId(2)]);
+        assert!(h.edge_contains(EdgeId(0), VertexId(1)));
+        assert!(!h.edge_contains(EdgeId(0), VertexId(2)));
+    }
+
+    #[test]
+    fn duplicate_edges_rejected() {
+        let err = Hypergraph::new(3, &[vec![0, 1], vec![1, 0]]).unwrap_err();
+        assert_eq!(err, HgError::DuplicateEdge(0, 1));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let err = Hypergraph::new(2, &[vec![0, 5]]).unwrap_err();
+        assert_eq!(err, HgError::VertexOutOfRange(5));
+    }
+
+    #[test]
+    fn edge_within_edge_dedup() {
+        // Repeated vertex inside one edge literal is deduplicated.
+        let h = Hypergraph::new(2, &[vec![0, 1, 0]]).unwrap();
+        assert_eq!(h.edge(EdgeId(0)), &[VertexId(0), VertexId(1)]);
+    }
+
+    #[test]
+    fn delete_vertex_collapses_edges() {
+        // Edges {0,1,2} and {0,1,3}: deleting 2 then 3 makes them equal.
+        let h = Hypergraph::new(4, &[vec![0, 1, 2], vec![0, 1, 3]]).unwrap();
+        let (h2, t2) = h.delete_vertex(VertexId(2)).unwrap();
+        assert_eq!(h2.num_edges(), 2);
+        let v3_new = t2.vertex_map[3].unwrap();
+        let (h3, t3) = h2.delete_vertex(v3_new).unwrap();
+        assert_eq!(h3.num_edges(), 1);
+        assert_eq!(t3.edge_map[0], t3.edge_map[1]);
+        assert_eq!(h3.edge(EdgeId(0)).len(), 2);
+    }
+
+    #[test]
+    fn delete_vertex_can_create_empty_edge() {
+        let h = Hypergraph::new(2, &[vec![0], vec![0, 1]]).unwrap();
+        let (h2, _) = h.delete_vertex(VertexId(0)).unwrap();
+        assert_eq!(h2.num_edges(), 2);
+        assert!(h2.edge(EdgeId(0)).is_empty());
+    }
+
+    #[test]
+    fn delete_subedge_requires_proper_superset() {
+        let h = Hypergraph::new(3, &[vec![0, 1], vec![0, 1, 2]]).unwrap();
+        assert!(h.delete_edge(EdgeId(0), true).is_ok());
+        assert!(h.delete_edge(EdgeId(1), true).is_err());
+        // Unchecked deletion is allowed for non-dilution callers.
+        assert!(h.delete_edge(EdgeId(1), false).is_ok());
+    }
+
+    #[test]
+    fn merge_on_vertex_matches_definition() {
+        // Figure 1-style: merging on y with I_y = {{x,y},{y,a},{y,b}}
+        // produces the single edge {x,a,b}.
+        let h = Hypergraph::new(
+            4, // x=0, y=1, a=2, b=3
+            &[vec![0, 1], vec![1, 2], vec![1, 3]],
+        )
+        .unwrap();
+        let (m, trace) = h.merge_on_vertex(VertexId(1)).unwrap();
+        assert_eq!(m.num_edges(), 1);
+        assert_eq!(
+            m.edge(EdgeId(0)),
+            &[VertexId(0), VertexId(2), VertexId(3)]
+        );
+        // All three old edges map to the merged edge.
+        assert!(trace.edge_map.iter().all(|&e| e == Some(EdgeId(0))));
+        // y is now isolated but still present.
+        assert_eq!(m.num_vertices(), 4);
+        assert_eq!(m.degree(VertexId(1)), 0);
+    }
+
+    #[test]
+    fn merge_collapses_with_existing_edge() {
+        // Edges {0,1} and {1,2} merged on 1 give {0,2}, which already exists.
+        let h = Hypergraph::new(3, &[vec![0, 1], vec![1, 2], vec![0, 2]]).unwrap();
+        let (m, trace) = h.merge_on_vertex(VertexId(1)).unwrap();
+        assert_eq!(m.num_edges(), 1);
+        assert_eq!(trace.edge_map[0], trace.edge_map[2]);
+    }
+
+    #[test]
+    fn merge_on_isolated_vertex_fails() {
+        let h = Hypergraph::new(2, &[vec![0]]).unwrap();
+        assert!(h.merge_on_vertex(VertexId(1)).is_err());
+    }
+
+    #[test]
+    fn connectivity() {
+        let h = Hypergraph::new(4, &[vec![0, 1], vec![2, 3]]).unwrap();
+        assert!(!h.is_connected());
+        assert_eq!(h.connected_components().len(), 2);
+        let h2 = triangle();
+        assert!(h2.is_connected());
+    }
+
+    #[test]
+    fn edges_connected_checks_overlap() {
+        let h = Hypergraph::new(5, &[vec![0, 1], vec![1, 2], vec![3, 4]]).unwrap();
+        assert!(h.edges_connected(&[EdgeId(0), EdgeId(1)]));
+        assert!(!h.edges_connected(&[EdgeId(0), EdgeId(2)]));
+        assert!(h.edges_connected(&[EdgeId(2)]));
+    }
+
+    #[test]
+    fn induced_subhypergraph() {
+        let h = Hypergraph::new(4, &[vec![0, 1, 2], vec![2, 3]]).unwrap();
+        let (h2, t) = h.induced(&[VertexId(0), VertexId(1)]).unwrap();
+        assert_eq!(h2.num_vertices(), 2);
+        assert_eq!(h2.num_edges(), 2); // {0,1} and the empty edge from {2,3}
+        assert_eq!(t.vertex_map[2], None);
+    }
+
+    #[test]
+    fn trace_composition() {
+        let h = Hypergraph::new(3, &[vec![0, 1], vec![1, 2]]).unwrap();
+        let (h2, t1) = h.delete_vertex(VertexId(0)).unwrap();
+        let (_h3, t2) = h2.delete_vertex(t1.vertex_map[1].unwrap()).unwrap();
+        let c = t1.then(&t2);
+        assert_eq!(c.vertex_map[0], None);
+        assert_eq!(c.vertex_map[1], None);
+        assert!(c.vertex_map[2].is_some());
+    }
+
+    #[test]
+    fn intersection_and_subset() {
+        let h = Hypergraph::new(4, &[vec![0, 1, 2], vec![1, 2], vec![2, 3]]).unwrap();
+        assert_eq!(h.edge_intersection_size(EdgeId(0), EdgeId(1)), 2);
+        assert_eq!(h.edge_intersection_size(EdgeId(1), EdgeId(2)), 1);
+        assert!(h.edge_subset(EdgeId(1), EdgeId(0)));
+        assert!(h.edge_proper_subset(EdgeId(1), EdgeId(0)));
+        assert!(!h.edge_subset(EdgeId(2), EdgeId(0)));
+    }
+}

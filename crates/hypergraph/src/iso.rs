@@ -1,0 +1,304 @@
+//! Hypergraph isomorphism testing.
+//!
+//! Dilutions are defined up to isomorphism ("isomorphic to a hypergraph that
+//! can be reached…", Definition 3.1), so the dilution decision procedure and
+//! many tests need an isomorphism check.
+//!
+//! Strategy: search for a bijection `σ` between the *edge* sets (edges are
+//! usually far fewer than vertices in our instances), pruning with edge
+//! cardinalities and pairwise intersection cardinalities, and at each
+//! complete assignment verify that the multiset of *vertex types* (`I_v`)
+//! maps correctly under `σ`. That final check is sound and complete: a
+//! vertex is determined by its type up to type-duplicates, and
+//! `e = { v | e ∈ I_v }`, so a type-multiset-preserving edge bijection
+//! induces a full isomorphism.
+
+use crate::hypergraph::{EdgeId, Hypergraph, VertexId};
+use std::collections::BTreeMap;
+
+/// A witness isomorphism from `H1` to `H2`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Isomorphism {
+    /// `vertex_map[v]` = image of vertex `v` of `H1` in `H2`.
+    pub vertex_map: Vec<VertexId>,
+    /// `edge_map[e]` = image of edge `e` of `H1` in `H2`.
+    pub edge_map: Vec<EdgeId>,
+}
+
+impl Isomorphism {
+    /// Verify that this map really is an isomorphism from `h1` to `h2`.
+    pub fn verify(&self, h1: &Hypergraph, h2: &Hypergraph) -> bool {
+        if self.vertex_map.len() != h1.num_vertices()
+            || self.edge_map.len() != h1.num_edges()
+            || h1.num_vertices() != h2.num_vertices()
+            || h1.num_edges() != h2.num_edges()
+        {
+            return false;
+        }
+        // Bijectivity.
+        let mut seen_v = vec![false; h2.num_vertices()];
+        for &v in &self.vertex_map {
+            if v.idx() >= seen_v.len() || seen_v[v.idx()] {
+                return false;
+            }
+            seen_v[v.idx()] = true;
+        }
+        let mut seen_e = vec![false; h2.num_edges()];
+        for &e in &self.edge_map {
+            if e.idx() >= seen_e.len() || seen_e[e.idx()] {
+                return false;
+            }
+            seen_e[e.idx()] = true;
+        }
+        // Edge preservation.
+        for e in h1.edge_ids() {
+            let mut image: Vec<VertexId> =
+                h1.edge(e).iter().map(|v| self.vertex_map[v.idx()]).collect();
+            image.sort_unstable();
+            if image != h2.edge(self.edge_map[e.idx()]) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Cheap isomorphism-invariant fingerprint; equal for isomorphic
+/// hypergraphs, frequently distinct otherwise. Used for pruning.
+fn invariant(h: &Hypergraph) -> (Vec<usize>, Vec<usize>, Vec<Vec<usize>>) {
+    let mut degrees: Vec<usize> = (0..h.num_vertices())
+        .map(|v| h.degree(VertexId(v as u32)))
+        .collect();
+    degrees.sort_unstable();
+    let mut sizes: Vec<usize> = h.edge_ids().map(|e| h.edge(e).len()).collect();
+    sizes.sort_unstable();
+    // Per-edge profile: sorted multiset of intersection sizes with all edges.
+    let mut profiles: Vec<Vec<usize>> = h
+        .edge_ids()
+        .map(|e| {
+            let mut p: Vec<usize> = h
+                .edge_ids()
+                .filter(|&f| f != e)
+                .map(|f| h.edge_intersection_size(e, f))
+                .collect();
+            p.sort_unstable();
+            p.push(h.edge(e).len());
+            p
+        })
+        .collect();
+    profiles.sort_unstable();
+    (degrees, sizes, profiles)
+}
+
+/// Decide whether `h1 ≅ h2`.
+pub fn are_isomorphic(h1: &Hypergraph, h2: &Hypergraph) -> bool {
+    find_isomorphism(h1, h2).is_some()
+}
+
+/// Find an isomorphism from `h1` to `h2`, if one exists.
+pub fn find_isomorphism(h1: &Hypergraph, h2: &Hypergraph) -> Option<Isomorphism> {
+    if h1.num_vertices() != h2.num_vertices() || h1.num_edges() != h2.num_edges() {
+        return None;
+    }
+    if invariant(h1) != invariant(h2) {
+        return None;
+    }
+    let m = h1.num_edges();
+    if m == 0 {
+        // Pure vertex sets: any bijection works (all vertices isolated).
+        return Some(Isomorphism {
+            vertex_map: h2.vertices().collect(),
+            edge_map: vec![],
+        });
+    }
+
+    // Order h1's edges so each new edge (after the first) intersects a
+    // previously placed one when possible — keeps pruning effective.
+    let order = connectivity_order(h1);
+
+    let mut sigma: Vec<Option<EdgeId>> = vec![None; m];
+    let mut used: Vec<bool> = vec![false; m];
+    let mut result = None;
+    search(h1, h2, &order, 0, &mut sigma, &mut used, &mut result);
+    result
+}
+
+fn connectivity_order(h: &Hypergraph) -> Vec<EdgeId> {
+    let m = h.num_edges();
+    let mut order: Vec<EdgeId> = Vec::with_capacity(m);
+    let mut placed = vec![false; m];
+    while order.len() < m {
+        // Next: an unplaced edge maximizing intersections with placed ones
+        // (ties: larger edge first).
+        let mut best: Option<(usize, usize, EdgeId)> = None;
+        for e in h.edge_ids() {
+            if placed[e.idx()] {
+                continue;
+            }
+            let overlap = order
+                .iter()
+                .filter(|&&f| h.edge_intersection_size(e, f) > 0)
+                .count();
+            let key = (overlap, h.edge(e).len(), e);
+            if best.map_or(true, |b| (key.0, key.1) > (b.0, b.1)) {
+                best = Some(key);
+            }
+        }
+        let (_, _, e) = best.unwrap();
+        placed[e.idx()] = true;
+        order.push(e);
+    }
+    order
+}
+
+fn search(
+    h1: &Hypergraph,
+    h2: &Hypergraph,
+    order: &[EdgeId],
+    depth: usize,
+    sigma: &mut Vec<Option<EdgeId>>,
+    used: &mut Vec<bool>,
+    result: &mut Option<Isomorphism>,
+) -> bool {
+    if result.is_some() {
+        return true;
+    }
+    if depth == order.len() {
+        if let Some(iso) = complete_vertex_map(h1, h2, sigma) {
+            *result = Some(iso);
+            return true;
+        }
+        return false;
+    }
+    let e = order[depth];
+    let esize = h1.edge(e).len();
+    for f in h2.edge_ids() {
+        if used[f.idx()] || h2.edge(f).len() != esize {
+            continue;
+        }
+        // Pairwise intersection consistency with already-mapped edges.
+        let ok = order[..depth].iter().all(|&g| {
+            let fg = sigma[g.idx()].expect("mapped");
+            h1.edge_intersection_size(e, g) == h2.edge_intersection_size(f, fg)
+        });
+        if !ok {
+            continue;
+        }
+        sigma[e.idx()] = Some(f);
+        used[f.idx()] = true;
+        if search(h1, h2, order, depth + 1, sigma, used, result) {
+            return true;
+        }
+        sigma[e.idx()] = None;
+        used[f.idx()] = false;
+    }
+    false
+}
+
+/// Given a complete edge bijection, verify the vertex-type multisets match
+/// and build the induced vertex bijection.
+fn complete_vertex_map(
+    h1: &Hypergraph,
+    h2: &Hypergraph,
+    sigma: &[Option<EdgeId>],
+) -> Option<Isomorphism> {
+    // Group H2's vertices by type.
+    let mut h2_by_type: BTreeMap<Vec<EdgeId>, Vec<VertexId>> = BTreeMap::new();
+    for w in h2.vertices() {
+        h2_by_type
+            .entry(h2.vertex_type(w).to_vec())
+            .or_default()
+            .push(w);
+    }
+    let mut vertex_map: Vec<Option<VertexId>> = vec![None; h1.num_vertices()];
+    for v in h1.vertices() {
+        let mut mapped_type: Vec<EdgeId> = h1
+            .vertex_type(v)
+            .iter()
+            .map(|e| sigma[e.idx()].expect("complete"))
+            .collect();
+        mapped_type.sort_unstable();
+        let bucket = h2_by_type.get_mut(&mapped_type)?;
+        let w = bucket.pop()?;
+        vertex_map[v.idx()] = Some(w);
+    }
+    let iso = Isomorphism {
+        vertex_map: vertex_map.into_iter().map(Option::unwrap).collect(),
+        edge_map: sigma.iter().map(|e| e.expect("complete")).collect(),
+    };
+    debug_assert!(iso.verify(h1, h2));
+    Some(iso)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_hypergraphs() {
+        let h = Hypergraph::new(4, &[vec![0, 1, 2], vec![2, 3]]).unwrap();
+        let iso = find_isomorphism(&h, &h).unwrap();
+        assert!(iso.verify(&h, &h));
+    }
+
+    #[test]
+    fn relabeled_hypergraphs() {
+        let h1 = Hypergraph::new(4, &[vec![0, 1, 2], vec![2, 3]]).unwrap();
+        let h2 = Hypergraph::new(4, &[vec![0, 3], vec![1, 2, 3]]).unwrap();
+        let iso = find_isomorphism(&h1, &h2).unwrap();
+        assert!(iso.verify(&h1, &h2));
+    }
+
+    #[test]
+    fn different_sizes_rejected() {
+        let h1 = Hypergraph::new(3, &[vec![0, 1]]).unwrap();
+        let h2 = Hypergraph::new(3, &[vec![0, 1], vec![1, 2]]).unwrap();
+        assert!(!are_isomorphic(&h1, &h2));
+    }
+
+    #[test]
+    fn same_counts_different_structure() {
+        // Path of 3 edges vs star of 3 edges: same sizes, different types.
+        let path = Hypergraph::new(4, &[vec![0, 1], vec![1, 2], vec![2, 3]]).unwrap();
+        let star = Hypergraph::new(4, &[vec![0, 1], vec![0, 2], vec![0, 3]]).unwrap();
+        assert!(!are_isomorphic(&path, &star));
+    }
+
+    #[test]
+    fn intersection_profile_matters() {
+        // Two rank-3 edges sharing 2 vertices vs sharing 1 vertex.
+        let a = Hypergraph::new(4, &[vec![0, 1, 2], vec![1, 2, 3]]).unwrap();
+        let b = Hypergraph::new(5, &[vec![0, 1, 2], vec![2, 3, 4]]).unwrap();
+        assert!(!are_isomorphic(&a, &b)); // different |V|
+        let b2 = Hypergraph::new(4, &[vec![0, 1, 2], vec![2, 3, 0]]).unwrap();
+        // b2 shares 2 vertices as well -> isomorphic to a.
+        assert!(are_isomorphic(&a, &b2));
+    }
+
+    #[test]
+    fn cycles_of_different_length_rejected() {
+        let c4 = Hypergraph::new(4, &[vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 0]]).unwrap();
+        let two_paths =
+            Hypergraph::new(4, &[vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 1]]).unwrap();
+        assert!(!are_isomorphic(&c4, &two_paths));
+    }
+
+    #[test]
+    fn isolated_vertices_counted() {
+        let h1 = Hypergraph::new(3, &[vec![0, 1]]).unwrap();
+        let h2 = Hypergraph::new(3, &[vec![1, 2]]).unwrap();
+        assert!(are_isomorphic(&h1, &h2));
+        let h3 = Hypergraph::new(2, &[vec![0, 1]]).unwrap();
+        assert!(!are_isomorphic(&h1, &h3));
+    }
+
+    #[test]
+    fn duplicate_vertex_types_handled() {
+        // Both hypergraphs: one rank-3 edge with a pendant rank-2 edge; the
+        // two "private" vertices of the big edge have the same type.
+        let h1 = Hypergraph::new(4, &[vec![0, 1, 2], vec![2, 3]]).unwrap();
+        let h2 = Hypergraph::new(4, &[vec![1, 2, 3], vec![0, 1]]).unwrap();
+        let iso = find_isomorphism(&h1, &h2).unwrap();
+        assert!(iso.verify(&h1, &h2));
+    }
+}

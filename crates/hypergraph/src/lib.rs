@@ -1,0 +1,40 @@
+//! Hypergraph and graph data structures.
+//!
+//! This crate is the foundational substrate for the reproduction of
+//! *The Complexity of Conjunctive Queries with Degree 2* (Lanzinger, PODS 2022).
+//! It provides:
+//!
+//! - [`Hypergraph`]: a hypergraph `H = (V(H), E(H))` with `E(H) ⊆ 2^{V(H)}`
+//!   (edges are *sets*; duplicates collapse), incidence structure, and the
+//!   mutation primitives (vertex deletion, edge deletion, edge merging,
+//!   induced subhypergraphs) that hypergraph dilutions are built from.
+//! - [`Graph`]: simple undirected graphs, treated as 2-uniform hypergraphs
+//!   throughout the paper, with the traversal utilities needed by the minor
+//!   and treewidth machinery.
+//! - [`dual`]: the dual hypergraph `H^d` with `V(H^d) = E(H)` and
+//!   `E(H^d) = { I_v | v ∈ V(H) }`.
+//! - [`reduce`]: *reduced* hypergraphs (no isolated vertices, no empty edges,
+//!   no duplicate vertex types) and the reduction record mapping back.
+//! - [`iso`]: hypergraph isomorphism testing via edge-bijection backtracking
+//!   with vertex-type verification.
+//! - [`generators`]: deterministic and seeded generators for the structured
+//!   families used in the paper's examples and our experiments.
+//!
+//! All indices are dense `u32` newtypes ([`VertexId`], [`EdgeId`]); mutations
+//! return fresh hypergraphs together with an [`OpTrace`] recording how old
+//! indices map to new ones, which the dilution machinery uses for provenance.
+
+pub mod builder;
+pub mod dual;
+pub mod generators;
+pub mod graph;
+pub mod hypergraph;
+pub mod iso;
+pub mod reduce;
+
+pub use builder::HypergraphBuilder;
+pub use dual::{dual, DualMap};
+pub use graph::Graph;
+pub use hypergraph::{EdgeId, HgError, Hypergraph, OpTrace, VertexId};
+pub use iso::{are_isomorphic, find_isomorphism, Isomorphism};
+pub use reduce::{reduce, ReductionRecord};

@@ -1,0 +1,185 @@
+//! The **Theorem 4.7** pipeline: every degree-2 hypergraph with large ghw
+//! dilutes to a large jigsaw.
+//!
+//! `extract_jigsaw` executes the constructive chain
+//!
+//! ```text
+//!   H  —Lemma 3.6→  reduced H  —dual→  H^d  —grid minor→  G_n  —Lemma 4.4→  J_n
+//! ```
+//!
+//! and returns a *verified* dilution sequence from the input hypergraph to
+//! the `n × n` jigsaw, for the largest `n` the budgeted grid-minor search
+//! finds. (The Robertson–Seymour bound `f(n)` relating ghw to `n` is
+//! combinatorial; the pipeline reports what it finds rather than relying
+//! on the galactic bound — see DESIGN.md §5.)
+
+use cqd2_dilution::decide::verify_dilution;
+use cqd2_dilution::duality::{dilution_from_minor_map, dual_as_graph};
+use cqd2_dilution::reduce_seq::reduction_sequence;
+use cqd2_dilution::DilutionSequence;
+use cqd2_hypergraph::{dual, generators::grid_graph, Graph, Hypergraph};
+use cqd2_minors::grid::find_grid_minor;
+
+use crate::jigsaw::jigsaw;
+
+/// Result of the Theorem 4.7 extraction.
+#[derive(Debug, Clone)]
+pub struct JigsawExtraction {
+    /// Dimension of the extracted square jigsaw.
+    pub n: usize,
+    /// A verified dilution sequence from the input hypergraph to
+    /// `jigsaw(n, n)`.
+    pub sequence: DilutionSequence,
+}
+
+/// Extract the largest square jigsaw dilution the budget allows from a
+/// degree-2 hypergraph. `max_n` caps the search. Returns `None` when not
+/// even the 2×2 jigsaw is found (e.g. acyclic inputs, ghw ≤ 1 territory).
+pub fn extract_jigsaw(
+    h: &Hypergraph,
+    max_n: usize,
+    minor_budget: u64,
+) -> Result<Option<JigsawExtraction>, String> {
+    if h.max_degree() > 2 {
+        return Err("Theorem 4.7 pipeline requires degree ≤ 2".into());
+    }
+    let prefix = reduction_sequence(h)?;
+    let reduced = prefix.apply(h).map_err(|e| e.to_string())?;
+    let hd = dual_as_graph(&reduced);
+    // Largest grid first.
+    for n in (2..=max_n).rev() {
+        if n * n > hd.num_vertices() {
+            continue;
+        }
+        let model = match find_grid_minor(&hd, n, n, minor_budget) {
+            cqd2_minors::finder::MinorSearch::Found(m) => m,
+            _ => continue,
+        };
+        let pattern = grid_graph(n, n);
+        let (suffix, run) = dilution_from_minor_map(&reduced, &pattern, &model)?;
+        debug_assert!(cqd2_hypergraph::are_isomorphic(run.result(), &jigsaw(n, n)));
+        let mut ops = prefix.ops.clone();
+        ops.extend(suffix.ops);
+        let sequence = DilutionSequence { ops };
+        verify_dilution(h, &jigsaw(n, n), &sequence)?;
+        return Ok(Some(JigsawExtraction { n, sequence }));
+    }
+    Ok(None)
+}
+
+/// The degree-2 hypergraph of **Figure 2** (left): a hypergraph that
+/// dilutes to the 3 × 2 jigsaw. We realize it as the dual of a decorated
+/// 3 × 2 grid — the figure's hypergraph has extra vertices inside edges
+/// and small protrusions, which dualize to subdivisions and pendants.
+pub fn figure2_hypergraph() -> Hypergraph {
+    // Take the 3x2 grid, subdivide two edges, add a pendant: its dual is a
+    // degree-2 hypergraph requiring three mergings and some vertex
+    // deletions to reach the jigsaw, mirroring the figure.
+    let g = grid_graph(3, 2);
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut next = 6u32;
+    for (i, (u, v)) in g.edges().enumerate() {
+        if i < 3 {
+            // subdivide the first three edges (three mergings in Figure 2)
+            edges.push((u, next));
+            edges.push((next, v));
+            next += 1;
+        } else {
+            edges.push((u, v));
+        }
+    }
+    // one pendant decoration (deleted vertices in Figure 2's second step)
+    edges.push((0, next));
+    let host = Graph::from_edges(next as usize + 1, &edges);
+    let (d, _) = dual(&host.to_hypergraph());
+    let (h, _) = cqd2_hypergraph::reduce(&d);
+    h
+}
+
+/// Generator for the experiment families: the dual of an `n × m` grid with
+/// every edge subdivided `s` times and `pendants` pendant edges attached —
+/// a degree-2 hypergraph whose hidden jigsaw has dimension `min(n, m)`.
+pub fn decorated_jigsaw_dual(n: usize, m: usize, s: usize, pendants: usize) -> Hypergraph {
+    let g = grid_graph(n, m);
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut next = (n * m) as u32;
+    for (u, v) in g.edges() {
+        let mut prev = u;
+        for _ in 0..s {
+            edges.push((prev, next));
+            prev = next;
+            next += 1;
+        }
+        edges.push((prev, v));
+    }
+    for p in 0..pendants {
+        let anchor = (p % (n * m)) as u32;
+        edges.push((anchor, next));
+        next += 1;
+    }
+    let host = Graph::from_edges(next as usize, &edges);
+    let (d, _) = dual(&host.to_hypergraph());
+    let (h, _) = cqd2_hypergraph::reduce(&d);
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqd2_decomp::widths::ghw_exact;
+
+    const BUDGET: u64 = 3_000_000;
+
+    #[test]
+    fn figure2_dilutes_to_3x2_jigsaw() {
+        let h = figure2_hypergraph();
+        assert!(h.max_degree() <= 2);
+        let extraction = extract_jigsaw(&h, 2, BUDGET).unwrap().expect("jigsaw found");
+        assert!(extraction.n >= 2);
+        // Specifically, the 3x2 target of Figure 2 is reachable: check the
+        // rectangular variant explicitly via the duality decision.
+        let g32 = cqd2_hypergraph::generators::grid_graph(3, 2);
+        let r = cqd2_dilution::decide::decide_dilution_to_graph_dual(&h, &g32, BUDGET).unwrap();
+        let seq = r.sequence().expect("3x2 jigsaw is a dilution");
+        verify_dilution(&h, &crate::jigsaw::jigsaw(3, 2), &seq).unwrap();
+    }
+
+    #[test]
+    fn jigsaw_extracts_itself() {
+        let j3 = jigsaw(3, 3);
+        let e = extract_jigsaw(&j3, 3, BUDGET).unwrap().expect("found");
+        assert_eq!(e.n, 3);
+    }
+
+    #[test]
+    fn acyclic_inputs_have_no_jigsaw() {
+        let chain = cqd2_hypergraph::generators::hyperchain(6, 3);
+        let e = extract_jigsaw(&chain, 4, BUDGET).unwrap();
+        assert!(e.is_none(), "acyclic hypergraphs contain no 2x2 jigsaw");
+    }
+
+    #[test]
+    fn decorated_duals_yield_their_grid() {
+        let h = decorated_jigsaw_dual(3, 3, 1, 2);
+        assert!(h.max_degree() <= 2);
+        let e = extract_jigsaw(&h, 3, BUDGET).unwrap().expect("found");
+        assert_eq!(e.n, 3);
+    }
+
+    #[test]
+    fn extraction_dimension_tracks_ghw() {
+        // Theorem 4.7 direction check on small cases: larger hidden grid
+        // ⇒ larger ghw ⇒ larger extracted jigsaw.
+        let h2 = decorated_jigsaw_dual(2, 2, 1, 0);
+        let h3 = decorated_jigsaw_dual(3, 3, 1, 0);
+        let e2 = extract_jigsaw(&h2, 4, BUDGET).unwrap().expect("2x2");
+        let e3 = extract_jigsaw(&h3, 4, BUDGET).unwrap().expect("3x3");
+        assert!(e3.n >= e2.n);
+        let g2 = ghw_exact(&crate::jigsaw::jigsaw(e2.n, e2.n)).unwrap();
+        if let Some(w2) = ghw_exact(&h2) {
+            // The extracted jigsaw's ghw lower-bounds the host's ghw
+            // (Lemma 3.2(3)).
+            assert!(g2 <= w2);
+        }
+    }
+}

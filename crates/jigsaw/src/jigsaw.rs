@@ -1,0 +1,261 @@
+//! Jigsaw hypergraphs (Definition 4.2).
+//!
+//! The `n × m` jigsaw has edges `e_{i,j}` for `(i,j) ∈ [n] × [m]`, every
+//! vertex has degree 2, `|e_{i,j} ∩ e_{i+1,j}| = |e_{i,j} ∩ e_{i,j+1}| = 1`,
+//! and no other pair of edges intersects. It is the hypergraph dual of the
+//! `n × m` grid graph and is unique up to isomorphism. `ghw(J_{n,n}) ≥ n`
+//! (balanced-separator argument, Section 4.2) and `≤ n + 1` (Lemma 4.6).
+
+use cqd2_dilution::{decide::verify_dilution, DilutionOp, DilutionSequence};
+use cqd2_hypergraph::{are_isomorphic, generators::grid_graph, Hypergraph, VertexId};
+
+/// Construct the `n × m` jigsaw. Edge `e_{i,j}` has index `i * m + j`
+/// (row-major) and name `e(i,j)`; vertices are the shared points between
+/// adjacent edges.
+///
+/// Requires `n, m ≥ 1` and `n * m ≥ 2` (a single edge cannot have degree-2
+/// vertices; the 1×1 "jigsaw" would be the empty-edge hypergraph).
+pub fn jigsaw(n: usize, m: usize) -> Hypergraph {
+    assert!(n >= 1 && m >= 1 && n * m >= 2, "jigsaw needs ≥ 2 edges");
+    // Vertices = edges of the n×m grid: horizontal (i,j)-(i,j+1) and
+    // vertical (i,j)-(i+1,j).
+    let mut edges: Vec<Vec<u32>> = vec![Vec::new(); n * m];
+    let mut next_vertex = 0u32;
+    let cell = |i: usize, j: usize| i * m + j;
+    for i in 0..n {
+        for j in 0..m {
+            if j + 1 < m {
+                edges[cell(i, j)].push(next_vertex);
+                edges[cell(i, j + 1)].push(next_vertex);
+                next_vertex += 1;
+            }
+            if i + 1 < n {
+                edges[cell(i, j)].push(next_vertex);
+                edges[cell(i + 1, j)].push(next_vertex);
+                next_vertex += 1;
+            }
+        }
+    }
+    let mut h = Hypergraph::new(next_vertex as usize, &edges).expect("jigsaw edges distinct");
+    for i in 0..n {
+        for j in 0..m {
+            h.set_edge_name(
+                cqd2_hypergraph::EdgeId(cell(i, j) as u32),
+                format!("e({},{})", i + 1, j + 1),
+            );
+        }
+    }
+    h
+}
+
+/// Recognize a jigsaw: returns `(n, m)` with `n ≤ m` if `h` is isomorphic
+/// to the `n × m` jigsaw.
+pub fn jigsaw_dimension(h: &Hypergraph) -> Option<(usize, usize)> {
+    let k = h.num_edges();
+    if k < 2 || h.max_degree() > 2 {
+        return None;
+    }
+    // Vertex count must be n(m-1) + (n-1)m.
+    for n in 1..=k {
+        if k % n != 0 {
+            continue;
+        }
+        let m = k / n;
+        if n > m {
+            break;
+        }
+        let expected_vertices = n * (m.saturating_sub(1)) + n.saturating_sub(1) * m;
+        if h.num_vertices() != expected_vertices {
+            continue;
+        }
+        if are_isomorphic(h, &jigsaw(n, m)) {
+            return Some((n, m));
+        }
+    }
+    None
+}
+
+/// The dilution from the `n × m` jigsaw to the `n × (m-1)` jigsaw
+/// (the paper notes this after Definition 4.2): merge the last two columns
+/// by merging on the vertices joining them, then delete the leftovers.
+///
+/// Returns a verified sequence (requires `m ≥ 3`, so the result is still a
+/// jigsaw with ≥ 2 edges).
+pub fn column_reduction_sequence(n: usize, m: usize) -> DilutionSequence {
+    assert!(m >= 3 && n >= 1 && n * (m - 1) >= 2);
+    let j = jigsaw(n, m);
+    // Vertices joining column m-2 and m-1 (0-based): shared vertex of
+    // e(i, m-2) and e(i, m-1) for each row i. Merging on each fuses the two
+    // last-column edges of that row; leftover degree-1 vertices (the old
+    // verticals between rows within the merged column pair... those become
+    // internal) are cleaned by deleting duplicates via Lemma 3.6-style
+    // vertex deletions. We build the sequence dynamically and verify.
+    let mut ops = Vec::new();
+    let mut cur = j.clone();
+    // Phase 1: merge on every shared vertex between the last two columns.
+    loop {
+        let target = cur.vertices().find(|&v| {
+            let iv = cur.incident_edges(v);
+            iv.len() == 2 && {
+                let n0 = cur.edge_name(iv[0]);
+                let n1 = cur.edge_name(iv[1]);
+                let (c0, r0) = parse_cell(n0);
+                let (c1, r1) = parse_cell(n1);
+                r0 == r1 && ((c0 == m - 1 && c1 == m) || (c0 == m && c1 == m - 1))
+            }
+        });
+        match target {
+            Some(v) => {
+                let op = DilutionOp::MergeOnVertex(v);
+                let (next, _) = op.apply(&cur).expect("legal merge");
+                ops.push(op);
+                cur = next;
+            }
+            None => break,
+        }
+    }
+    // Phase 2: the merged edges may retain vertices that now have degree 1
+    // inside a single edge and duplicate types — delete redundant vertices
+    // until the result is the smaller jigsaw. A vertex is redundant when it
+    // has a duplicate type or degree ≤ 1... here specifically: old
+    // vertical connectors *between the merged edges of adjacent rows* are
+    // now doubled (two parallel connections); drop duplicates.
+    loop {
+        let dup = find_duplicate_type_vertex(&cur);
+        match dup {
+            Some(v) => {
+                let op = DilutionOp::DeleteVertex(v);
+                let (next, _) = op.apply(&cur).expect("legal deletion");
+                ops.push(op);
+                cur = next;
+            }
+            None => break,
+        }
+    }
+    let seq = DilutionSequence { ops };
+    debug_assert!(verify_dilution(&j, &jigsaw(n, m - 1), &seq).is_ok());
+    seq
+}
+
+fn parse_cell(name: &str) -> (usize, usize) {
+    // "e(i,j)" -> (j, i): returns (column, row).
+    let inner = name
+        .trim_start_matches("e(")
+        .trim_start_matches("m(")
+        .trim_end_matches(')');
+    let mut parts = inner.split(',');
+    let i: usize = parts.next().and_then(|s| s.trim().parse().ok()).unwrap_or(0);
+    let j: usize = parts.next().and_then(|s| s.trim().parse().ok()).unwrap_or(0);
+    (j, i)
+}
+
+fn find_duplicate_type_vertex(h: &Hypergraph) -> Option<VertexId> {
+    let mut seen = std::collections::BTreeMap::new();
+    for v in h.vertices() {
+        let t = h.vertex_type(v).to_vec();
+        if t.is_empty() {
+            return Some(v);
+        }
+        if seen.contains_key(&t) {
+            return Some(v);
+        }
+        seen.insert(t, v);
+    }
+    None
+}
+
+/// The jigsaw is the dual of the grid (sanity constructor used by tests
+/// and benches): `dual(grid_graph(n, m))`, reduced.
+pub fn jigsaw_via_dual(n: usize, m: usize) -> Hypergraph {
+    let (d, _) = cqd2_hypergraph::dual(&grid_graph(n, m).to_hypergraph());
+    let (r, _) = cqd2_hypergraph::reduce(&d);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqd2_decomp::widths::ghw_exact;
+
+    #[test]
+    fn jigsaw_counts_match_definition() {
+        // Figure 3: the 3×4 jigsaw.
+        let j = jigsaw(3, 4);
+        assert_eq!(j.num_edges(), 12);
+        assert_eq!(j.max_degree(), 2);
+        // 3*(4-1) + (3-1)*4 = 9 + 8 = 17 vertices.
+        assert_eq!(j.num_vertices(), 17);
+        // Intersection structure: adjacent cells share exactly 1 vertex.
+        for i in 0..3usize {
+            for jdx in 0..4usize {
+                let e = cqd2_hypergraph::EdgeId((i * 4 + jdx) as u32);
+                if jdx + 1 < 4 {
+                    let f = cqd2_hypergraph::EdgeId((i * 4 + jdx + 1) as u32);
+                    assert_eq!(j.edge_intersection_size(e, f), 1);
+                }
+                if i + 1 < 3 {
+                    let f = cqd2_hypergraph::EdgeId(((i + 1) * 4 + jdx) as u32);
+                    assert_eq!(j.edge_intersection_size(e, f), 1);
+                }
+                if jdx + 2 < 4 {
+                    let f = cqd2_hypergraph::EdgeId((i * 4 + jdx + 2) as u32);
+                    assert_eq!(j.edge_intersection_size(e, f), 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn jigsaw_equals_dual_of_grid() {
+        for (n, m) in [(2, 2), (2, 3), (3, 3), (3, 4)] {
+            assert!(
+                are_isomorphic(&jigsaw(n, m), &jigsaw_via_dual(n, m)),
+                "jigsaw({n},{m}) is not the grid dual"
+            );
+        }
+    }
+
+    #[test]
+    fn recognition() {
+        assert_eq!(jigsaw_dimension(&jigsaw(3, 4)), Some((3, 4)));
+        assert_eq!(jigsaw_dimension(&jigsaw(2, 2)), Some((2, 2)));
+        let not_jigsaw = Hypergraph::new(3, &[vec![0, 1], vec![1, 2], vec![0, 2]]).unwrap();
+        assert_eq!(jigsaw_dimension(&not_jigsaw), None);
+        // The 1×4 jigsaw is the dual of the path P4 (end edges have a
+        // single vertex); a rank-2 hyperchain has *private* end vertices
+        // and is therefore NOT a jigsaw.
+        assert_eq!(jigsaw_dimension(&jigsaw(1, 4)), Some((1, 4)));
+        let chain = cqd2_hypergraph::generators::hyperchain(4, 2);
+        assert_eq!(jigsaw_dimension(&chain), None);
+    }
+
+    #[test]
+    fn column_reduction_is_a_dilution() {
+        for (n, m) in [(2, 3), (3, 3), (2, 4)] {
+            let seq = column_reduction_sequence(n, m);
+            verify_dilution(&jigsaw(n, m), &jigsaw(n, m - 1), &seq).unwrap();
+        }
+    }
+
+    #[test]
+    fn jigsaw_ghw_bracket() {
+        // The paper's anchor: n ≤ ghw(J_{n,n}) ≤ n + 1.
+        for n in 2..=3 {
+            let w = ghw_exact(&jigsaw(n, n)).expect("small jigsaw");
+            assert!(w >= n && w <= n + 1, "ghw(J_{n}) = {w}");
+        }
+        // Rectangular: ghw(J_{2,4}) ≥ 2.
+        let w = ghw_exact(&jigsaw(2, 4)).unwrap();
+        assert!((2..=3).contains(&w));
+    }
+
+    #[test]
+    fn unique_up_to_isomorphism() {
+        // Building via different vertex orders yields isomorphic results.
+        let a = jigsaw(3, 2);
+        let b = jigsaw_via_dual(3, 2);
+        let c = jigsaw_via_dual(2, 3);
+        assert!(are_isomorphic(&a, &b));
+        assert!(are_isomorphic(&a, &c)); // transpose symmetry
+    }
+}

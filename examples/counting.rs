@@ -1,0 +1,38 @@
+//! #CQ demo (Prop. 4.14 / Theorem 4.16): counting answers of full
+//! degree-2 CQs — junction-tree DP over a GHD vs naive enumeration.
+//!
+//! Run with: `cargo run --release --example counting`
+
+use cqd2::cq::eval::{count_naive, count_via_ghd};
+use cqd2::cq::generate::{canonical_query, planted_database};
+use cqd2::decomp::widths::ghw_decomposition;
+use cqd2::hypergraph::generators::hypercycle;
+use std::time::Instant;
+
+fn main() {
+    println!("counting answers of degree-2 cycle queries (rank 2)");
+    println!("  edges | answers | naive (ms) | GHD DP (ms) | ghw");
+    for k in [4usize, 6, 8] {
+        let h = hypercycle(k, 2);
+        let q = canonical_query(&h);
+        let db = planted_database(&q, 8, 60, k as u64);
+        let ghd = ghw_decomposition(&h).expect("small degree-2 hypergraph");
+
+        let t0 = Instant::now();
+        let naive = count_naive(&q, &db);
+        let t_naive = t0.elapsed();
+
+        let t1 = Instant::now();
+        let via = count_via_ghd(&q, &db, &ghd).expect("valid GHD");
+        let t_ghd = t1.elapsed();
+
+        assert_eq!(naive, via, "the two counters must agree");
+        println!(
+            "  {k:>5} | {naive:>7} | {:>10.2} | {:>11.2} | {}",
+            t_naive.as_secs_f64() * 1e3,
+            t_ghd.as_secs_f64() * 1e3,
+            ghd.width()
+        );
+    }
+    println!("\nboth counters agree on every instance (Theorem 4.16's FP side).");
+}

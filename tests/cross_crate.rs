@@ -1,0 +1,129 @@
+//! Cross-crate consistency checks: the width identities and dualities the
+//! paper relies on, validated across the solver implementations.
+
+use cqd2::decomp::dual_bound::ghd_via_dual;
+use cqd2::decomp::widths::{fhw_exact, ghw_exact, primal_graph, treewidth_exact};
+use cqd2::dilution::duality::dual_as_graph;
+use cqd2::hypergraph::generators::{grid_graph, hyperchain, hypercycle, random_degree_bounded};
+use cqd2::hypergraph::{dual, reduce};
+use cqd2::jigsaw::jigsaw;
+
+#[test]
+fn lemma_4_6_bound_on_random_degree2_hypergraphs() {
+    // ghw(H) ≤ tw(H^d) + 1 for reduced H.
+    for seed in 0..8 {
+        let h = random_degree_bounded(7, 3, 2, 0.6, seed);
+        let (h, _) = reduce::reduce(&h);
+        if h.num_vertices() == 0 || h.num_edges() == 0 {
+            continue;
+        }
+        let ghw = ghw_exact(&h).expect("small");
+        let (hd, _) = dual(&h);
+        let tw_dual = treewidth_exact(&primal_graph(&hd)).expect("small");
+        assert!(
+            ghw <= tw_dual + 1,
+            "Lemma 4.6 violated on seed {seed}: ghw {ghw} > tw(H^d)+1 = {}",
+            tw_dual + 1
+        );
+        // And the constructive GHD realizes the bound.
+        let ghd = ghd_via_dual(&h);
+        ghd.validate(&h).unwrap();
+        assert!(ghd.width() <= tw_dual + 1);
+    }
+}
+
+#[test]
+fn width_chain_fhw_le_ghw() {
+    for seed in 0..8 {
+        let h = random_degree_bounded(7, 3, 3, 0.6, seed);
+        if h.num_edges() == 0 {
+            continue;
+        }
+        let ghw = ghw_exact(&h).expect("small") as f64;
+        let fhw = fhw_exact(&h).expect("small");
+        assert!(fhw <= ghw + 1e-9, "fhw {fhw} > ghw {ghw} (seed {seed})");
+        assert!(fhw >= 1.0 - 1e-9 || ghw == 0.0);
+    }
+}
+
+#[test]
+fn jigsaw_dual_is_grid_and_widths_match() {
+    for n in 2..=3 {
+        let j = jigsaw(n, n);
+        // dual(J_n) = grid_n.
+        let back = dual_as_graph(&j);
+        assert!(cqd2::hypergraph::are_isomorphic(
+            &back.to_hypergraph(),
+            &grid_graph(n, n).to_hypergraph()
+        ));
+        // tw(grid_n) = n, so Lemma 4.6 gives ghw(J_n) ≤ n+1; the
+        // balanced-separator bound gives ≥ n.
+        let tw = treewidth_exact(&back).unwrap();
+        assert_eq!(tw, n);
+        let w = ghw_exact(&j).unwrap();
+        assert!(w >= n && w <= n + 1);
+    }
+}
+
+#[test]
+fn degree2_fhw_ghw_equivalence_spotcheck() {
+    // Section 2: for bounded degree, bounded fhw ⟺ bounded ghw. Spot
+    // check the quantitative gap on degree-2 instances: ghw ≤ 2·fhw + 1
+    // comfortably holds on our samples.
+    for seed in 0..6 {
+        let h = random_degree_bounded(6, 3, 2, 0.7, seed);
+        if h.num_edges() == 0 {
+            continue;
+        }
+        let g = ghw_exact(&h).unwrap() as f64;
+        let f = fhw_exact(&h).unwrap();
+        assert!(g <= 2.0 * f + 1.0 + 1e-9, "seed {seed}: ghw {g}, fhw {f}");
+    }
+}
+
+#[test]
+fn acyclic_families_have_unit_widths() {
+    for h in [hyperchain(6, 4), hyperchain(3, 2)] {
+        assert_eq!(ghw_exact(&h), Some(1));
+        let f = fhw_exact(&h).unwrap();
+        assert!((f - 1.0).abs() < 1e-9);
+    }
+    let c = hypercycle(5, 3);
+    assert_eq!(ghw_exact(&c), Some(2));
+}
+
+#[test]
+fn semantic_ghw_equals_ghw_of_core() {
+    use cqd2::cq::hom::{core_of, semantic_ghw};
+    use cqd2::cq::ConjunctiveQuery;
+    // A degree-2 cyclic query with a redundant duplicate branch.
+    let q = ConjunctiveQuery::parse(&[
+        ("R", &["?x", "?y"]),
+        ("S", &["?y", "?z"]),
+        ("T", &["?z", "?x"]),
+        ("R", &["?x2", "?y2"]),
+        ("S", &["?y2", "?z2"]),
+    ]);
+    let core = core_of(&q);
+    assert_eq!(core.atoms.len(), 3);
+    assert_eq!(
+        semantic_ghw(&q),
+        ghw_exact(&core.hypergraph()),
+        "sem-ghw must be the core's ghw"
+    );
+    // Full query ghw is ≥ the semantic one.
+    let full = ghw_exact(&q.hypergraph()).unwrap();
+    assert!(full >= semantic_ghw(&q).unwrap());
+}
+
+#[test]
+fn jigsaw_column_reduction_composes_with_extraction() {
+    // J_3,3 → J_3,2 → (transpose ≅ J_2,3) chain of dilutions, verified.
+    use cqd2::jigsaw::jigsaw::column_reduction_sequence;
+    let seq = column_reduction_sequence(3, 3);
+    let j32 = seq.apply(&jigsaw(3, 3)).unwrap();
+    assert!(cqd2::hypergraph::are_isomorphic(&j32, &jigsaw(3, 2)));
+    let ghw_before = ghw_exact(&jigsaw(3, 3)).unwrap();
+    let ghw_after = ghw_exact(&j32).unwrap();
+    assert!(ghw_after <= ghw_before, "Lemma 3.2(3) across columns");
+}
