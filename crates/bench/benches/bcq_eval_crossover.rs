@@ -10,12 +10,12 @@
 //! route materializes `O(s³)` bag tuples and semijoins them away:
 //! polynomial in the database, per Prop. 2.2.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cqd2::cq::eval::{bcq_naive, bcq_via_ghd};
 use cqd2::cq::generate::canonical_query;
 use cqd2::cq::Database;
 use cqd2::decomp::widths::ghw_decomposition;
 use cqd2::hypergraph::generators::hypercycle;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 /// Strictly-increasing pairs over `[0, s)` for the chain relations, and

@@ -2,11 +2,11 @@
 //! CQs — junction-tree counting DP vs naive enumeration. The DP's cost is
 //! polynomial in `‖D‖` for bounded ghw; enumeration pays for every answer.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cqd2::cq::eval::{count_naive, count_via_ghd};
 use cqd2::cq::generate::{canonical_query, planted_database};
 use cqd2::decomp::widths::ghw_decomposition;
 use cqd2::hypergraph::generators::hypercycle;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {

@@ -3,10 +3,10 @@
 //! Lemma 4.4/B.1 duality turns it into a graph-minor search — orders of
 //! magnitude faster than the direct operation-sequence DFS.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cqd2::dilution::decide::{decide_dilution, decide_dilution_to_graph_dual};
 use cqd2::hypergraph::generators::{cycle_graph, grid_graph};
 use cqd2::hypergraph::{dual, reduce, Graph, Hypergraph};
+use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn graph_dual(g: &Graph) -> Hypergraph {

@@ -3,15 +3,17 @@
 //! contraction raises the degree, merging raises the rank, and neither
 //! framework simulates the other.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cqd2::dilution::adler::{figure1_example, AdlerOp};
 use cqd2::dilution::DilutionOp;
 use cqd2::hypergraph::VertexId;
+use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     let h = figure1_example();
-    let (contracted, _) = AdlerOp::Contract(VertexId(0), VertexId(1)).apply(&h).unwrap();
+    let (contracted, _) = AdlerOp::Contract(VertexId(0), VertexId(1))
+        .apply(&h)
+        .unwrap();
     let (merged, _) = DilutionOp::MergeOnVertex(VertexId(1)).apply(&h).unwrap();
     println!("\n=== F1: Figure 1 — contraction vs merging ===");
     println!(

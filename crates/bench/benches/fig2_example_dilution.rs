@@ -3,12 +3,12 @@
 //! exactly the figure's two phases. Prints the sequence and benches the
 //! extraction pipeline.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cqd2::dilution::decide::{decide_dilution_to_graph_dual, verify_dilution};
 use cqd2::dilution::DilutionOp;
 use cqd2::hypergraph::generators::grid_graph;
 use cqd2::jigsaw::extract::figure2_hypergraph;
 use cqd2::jigsaw::jigsaw;
+use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {

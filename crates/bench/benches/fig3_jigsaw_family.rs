@@ -3,10 +3,10 @@
 //! (counts and certified ghw brackets — `ghw(J_{n,n}) ∈ [n, n+1]`) and
 //! benches construction, recognition, and exact ghw.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cqd2::decomp::widths::ghw_exact;
 use cqd2::hyperbench::recognize::recognize_jigsaw;
 use cqd2::jigsaw::jigsaw;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {

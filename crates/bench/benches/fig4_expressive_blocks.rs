@@ -2,10 +2,10 @@
 //! fine grid model grouped into blocks yielding an *expressive* minor
 //! (Definition D.1) with marked connector edges and clean in-block paths.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cqd2::hypergraph::generators::grid_graph;
 use cqd2::minors::expressive::{build_expressive, coarsen_grid_model};
 use cqd2::minors::MinorMap;
+use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
@@ -19,8 +19,8 @@ fn bench(c: &mut Criterion) {
         let coarse = coarsen_grid_model(&mu36, 6, 6, n, n);
         let pattern = grid_graph(n, n);
         coarse.validate(&pattern, &host).unwrap();
-        let witness = build_expressive(&h, &pattern, &coarse, 2_000_000)
-            .expect("marking exists on grids");
+        let witness =
+            build_expressive(&h, &pattern, &coarse, 2_000_000).expect("marking exists on grids");
         println!(
             "6×6 grid → {n}×{n} blocks: block sizes = {:?}, marked edges = {}",
             coarse.branch_sets.iter().map(Vec::len).collect::<Vec<_>>(),

@@ -3,12 +3,12 @@
 //! `tw(H^d) + 1` upper bound — the gap is at most 1 on reduced degree-2
 //! instances, at a fraction of the cost.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cqd2::decomp::dual_bound::ghd_via_dual;
 use cqd2::decomp::widths::{ghw_exact, ghw_upper_bound};
 use cqd2::hypergraph::generators::random_degree_bounded;
 use cqd2::hypergraph::reduce;
 use cqd2::jigsaw::jigsaw;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {

@@ -3,9 +3,9 @@
 //! jigsaw (the executable shape of the `f(n)` relationship between ghw
 //! and jigsaw dimension).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cqd2::jigsaw::extract::decorated_jigsaw_dual;
 use cqd2::jigsaw::extract_jigsaw;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
@@ -32,7 +32,13 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("extract");
     for (n, h) in &cases {
         g.bench_with_input(BenchmarkId::new("decorated", n), h, |b, h| {
-            b.iter(|| black_box(extract_jigsaw(black_box(h), *n, 4_000_000).unwrap().unwrap()))
+            b.iter(|| {
+                black_box(
+                    extract_jigsaw(black_box(h), *n, 4_000_000)
+                        .unwrap()
+                        .unwrap(),
+                )
+            })
         });
     }
     g.finish();

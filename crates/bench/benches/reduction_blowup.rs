@@ -2,7 +2,6 @@
 //! dilution sequences. Measures the database blowup per step (the proof
 //! bounds it by `c · degree(H)` per operation) and benches the reduction.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cqd2::cq::generate::planted_database;
 use cqd2::cq::Database;
 use cqd2::dilution::decide::decide_dilution_to_graph_dual;
@@ -10,6 +9,7 @@ use cqd2::hypergraph::generators::grid_graph;
 use cqd2::jigsaw::jigsaw;
 use cqd2::reduction::reverse::max_step_growth;
 use cqd2::reduction::{reduce_along, Instance};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {

@@ -2,9 +2,9 @@
 //! HyperBench-like corpus. Prints the regenerated table next to the
 //! paper's numbers and benches the census itself.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cqd2::hyperbench::census::census;
 use cqd2::hyperbench::corpus::generate_corpus;
+use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
@@ -30,7 +30,9 @@ fn bench(c: &mut Criterion) {
     // And corpus generation.
     let mut g = c.benchmark_group("table1");
     g.sample_size(10);
-    g.bench_function("generate_corpus", |b| b.iter(|| black_box(generate_corpus())));
+    g.bench_function("generate_corpus", |b| {
+        b.iter(|| black_box(generate_corpus()))
+    });
     g.finish();
 }
 

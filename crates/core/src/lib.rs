@@ -8,10 +8,16 @@
 //!   certified ghw interval, and (for degree-2 inputs) the jigsaw dilution
 //!   extracted by the Theorem 4.7 pipeline.
 //! - [`solve_bcq`] / [`count_answers`]: Boolean CQ evaluation and
-//!   full-CQ answer counting, using a GHD when one is computable
-//!   (Props. 2.2 and 4.14) and naive join otherwise.
+//!   full-CQ answer counting, served through the process-wide
+//!   [`engine::Engine`]: the query's structure is classified once per
+//!   isomorphism class (Props. 2.2 and 4.14, Theorem 4.7), the
+//!   decomposition is cached, and evaluation dispatches to the cheapest
+//!   correct strategy.
 //! - [`reduce_instance`]: the Theorem 3.4 fpt-reduction along a dilution
 //!   sequence.
+//!
+//! Batch serving (many `(query, db)` requests, worker parallelism, plan
+//! provenance) lives on [`engine::Engine::execute_batch`].
 //!
 //! ## Crate map
 //!
@@ -25,10 +31,12 @@
 //! | [`cq`] | conjunctive queries, databases, BCQ / #CQ evaluation, cores, semantic ghw |
 //! | [`reduction`] | Theorem 3.4 / 4.15 instance reduction with parsimony verification |
 //! | [`hyperbench`] | Table 1 corpus, census, recognizers, `.hg` parser |
+//! | [`engine`] | serving layer: structure-aware planner, isomorphism-keyed plan cache, parallel batch executor |
 
 pub use cqd2_cq as cq;
 pub use cqd2_decomp as decomp;
 pub use cqd2_dilution as dilution;
+pub use cqd2_engine as engine;
 pub use cqd2_hyperbench as hyperbench;
 pub use cqd2_hypergraph as hypergraph;
 pub use cqd2_jigsaw as jigsaw;
@@ -55,35 +63,38 @@ pub struct StructureReport {
     pub jigsaw: Option<(usize, usize)>,
 }
 
-/// Analyze a hypergraph: certified ghw interval plus, for degree-2 inputs,
-/// a verified jigsaw dilution (Theorem 4.7).
+/// Analyze a hypergraph: certified ghw interval plus, for degree-2 inputs
+/// of non-trivial width, a verified jigsaw dilution (Theorem 4.7).
+///
+/// Routed through the shared [`engine::Engine`], so the structural
+/// analysis is cached and later evaluations of isomorphic query
+/// structures reuse it.
 pub fn analyze(h: &Hypergraph) -> StructureReport {
     let stats = cqd2_hyperbench::census::analyze(h);
-    let jigsaw = if h.max_degree() <= 2 {
-        cqd2_jigsaw::extract_jigsaw(h, 5, 2_000_000)
-            .ok()
-            .flatten()
-            .map(|e| (e.n, e.sequence.len()))
-    } else {
-        None
-    };
+    let (structure, _cache_hit) = cqd2_engine::Engine::shared().structure_for(h);
     StructureReport {
         degree: stats.degree,
         rank: stats.rank,
         ghw_lower: stats.ghw_lower,
         ghw_upper: stats.ghw_upper,
-        jigsaw,
+        jigsaw: structure
+            .jigsaw
+            .as_ref()
+            .map(|(seq, n)| (*n, seq.ops.len())),
     }
 }
 
-/// Decide `q(D) ≠ ∅`, preferring the GHD route (Prop. 2.2).
+/// Decide `q(D) ≠ ∅` through the shared serving engine: the structure is
+/// classified once per isomorphism class (Prop. 2.2 GHD route when one
+/// exists), then evaluation dispatches to the planned strategy.
 pub fn solve_bcq(q: &ConjunctiveQuery, db: &Database) -> bool {
-    cqd2_cq::eval::bcq_auto(q, db)
+    cqd2_engine::Engine::shared().solve_bcq(q, db)
 }
 
-/// Count `|q(D)|` for a full CQ, preferring the GHD route (Prop. 4.14).
+/// Count `|q(D)|` for a full CQ through the shared serving engine
+/// (Prop. 4.14 counting DP when a GHD exists).
 pub fn count_answers(q: &ConjunctiveQuery, db: &Database) -> u128 {
-    cqd2_cq::eval::count_auto(q, db)
+    cqd2_engine::Engine::shared().count_answers(q, db)
 }
 
 /// Run the Theorem 3.4 reduction of an instance bound to the result of a

@@ -4,6 +4,7 @@ use std::collections::BTreeMap;
 
 /// A stored relation: a set of tuples of a fixed arity.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct StoredRelation {
     /// Arity (all tuples have this length).
     pub arity: usize,
@@ -13,6 +14,7 @@ pub struct StoredRelation {
 
 /// A database: named relations over `u64` constants.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Database {
     relations: BTreeMap<String, StoredRelation>,
 }

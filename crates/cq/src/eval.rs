@@ -61,11 +61,7 @@ pub fn enumerate_naive(q: &ConjunctiveQuery, db: &Database) -> Vec<Vec<u64>> {
 
 /// Core backtracking loop. `on_solution` receives the full assignment
 /// (indexed by `Var` id) and returns `false` to stop the search.
-fn backtrack(
-    q: &ConjunctiveQuery,
-    db: &Database,
-    on_solution: &mut dyn FnMut(&[u64]) -> bool,
-) {
+fn backtrack(q: &ConjunctiveQuery, db: &Database, on_solution: &mut dyn FnMut(&[u64]) -> bool) {
     let bound: Vec<VRelation> = q.atoms.iter().map(|a| VRelation::bind(a, db)).collect();
     if bound.iter().any(VRelation::is_empty) {
         return;
@@ -96,7 +92,11 @@ fn atom_order(q: &ConjunctiveQuery, bound: &[VRelation]) -> Vec<usize> {
         let next = (0..n)
             .filter(|&i| !placed[i])
             .min_by_key(|&i| {
-                let overlap = bound[i].vars.iter().filter(|v| seen_vars.contains(v)).count();
+                let overlap = bound[i]
+                    .vars
+                    .iter()
+                    .filter(|v| seen_vars.contains(v))
+                    .count();
                 (std::cmp::Reverse(overlap), bound[i].tuples.len(), i)
             })
             .expect("unplaced atom");
@@ -115,7 +115,10 @@ fn dfs(
     on_solution: &mut dyn FnMut(&[u64]) -> bool,
 ) -> bool {
     if depth == order.len() {
-        let sol: Vec<u64> = assignment.iter().map(|a| a.expect("all assigned")).collect();
+        let sol: Vec<u64> = assignment
+            .iter()
+            .map(|a| a.expect("all assigned"))
+            .collect();
         return on_solution(&sol);
     }
     let rel = &bound[order[depth]];
@@ -160,11 +163,7 @@ struct BagTree {
     root: usize,
 }
 
-fn build_bag_tree(
-    q: &ConjunctiveQuery,
-    db: &Database,
-    ghd: &Ghd,
-) -> Result<BagTree, String> {
+fn build_bag_tree(q: &ConjunctiveQuery, db: &Database, ghd: &Ghd) -> Result<BagTree, String> {
     let h = q.hypergraph();
     ghd.validate(&h).map_err(|e| e.to_string())?;
     let bound: Vec<VRelation> = q.atoms.iter().map(|a| VRelation::bind(a, db)).collect();
@@ -294,11 +293,23 @@ pub fn count_via_ghd(q: &ConjunctiveQuery, db: &Database, ghd: &Ghd) -> Result<u
                 .collect();
             let c_pos: Vec<usize> = shared
                 .iter()
-                .map(|v| bt.relations[c].vars.iter().position(|w| w == v).expect("shared"))
+                .map(|v| {
+                    bt.relations[c]
+                        .vars
+                        .iter()
+                        .position(|w| w == v)
+                        .expect("shared")
+                })
                 .collect();
             let u_pos: Vec<usize> = shared
                 .iter()
-                .map(|v| bt.relations[u].vars.iter().position(|w| w == v).expect("shared"))
+                .map(|v| {
+                    bt.relations[u]
+                        .vars
+                        .iter()
+                        .position(|w| w == v)
+                        .expect("shared")
+                })
                 .collect();
             // Aggregate child counts by shared projection.
             let mut agg: HashMap<Vec<u64>, u128> = HashMap::new();
@@ -328,17 +339,35 @@ pub fn count_via_ghd(q: &ConjunctiveQuery, db: &Database, ghd: &Ghd) -> Result<u
 /// Decide BCQ, choosing the GHD route when an exact decomposition is
 /// available (small hypergraph) and falling back to naive search.
 pub fn bcq_auto(q: &ConjunctiveQuery, db: &Database) -> bool {
-    match ghw_decomposition(&q.hypergraph()) {
-        Some(ghd) => bcq_via_ghd(q, db, &ghd).expect("ghd is valid for this query"),
-        None => bcq_naive(q, db),
+    bcq_auto_with(q, db, None)
+}
+
+/// [`bcq_auto`] with an optional precomputed GHD: a caller that already
+/// holds a decomposition of `q.hypergraph()` (e.g. a plan cache) skips
+/// the re-decomposition entirely.
+pub fn bcq_auto_with(q: &ConjunctiveQuery, db: &Database, ghd: Option<&Ghd>) -> bool {
+    match ghd {
+        Some(g) => bcq_via_ghd(q, db, g).expect("precomputed ghd is valid for this query"),
+        None => match ghw_decomposition(&q.hypergraph()) {
+            Some(g) => bcq_via_ghd(q, db, &g).expect("ghd is valid for this query"),
+            None => bcq_naive(q, db),
+        },
     }
 }
 
 /// Count answers, choosing the GHD route when possible.
 pub fn count_auto(q: &ConjunctiveQuery, db: &Database) -> u128 {
-    match ghw_decomposition(&q.hypergraph()) {
-        Some(ghd) => count_via_ghd(q, db, &ghd).expect("ghd is valid for this query"),
-        None => count_naive(q, db),
+    count_auto_with(q, db, None)
+}
+
+/// [`count_auto`] with an optional precomputed GHD (see [`bcq_auto_with`]).
+pub fn count_auto_with(q: &ConjunctiveQuery, db: &Database, ghd: Option<&Ghd>) -> u128 {
+    match ghd {
+        Some(g) => count_via_ghd(q, db, g).expect("precomputed ghd is valid for this query"),
+        None => match ghw_decomposition(&q.hypergraph()) {
+            Some(g) => count_via_ghd(q, db, &g).expect("ghd is valid for this query"),
+            None => count_naive(q, db),
+        },
     }
 }
 
@@ -440,6 +469,20 @@ mod tests {
         let mut db2 = Database::new();
         db2.insert("R", &[9, 9]);
         assert!(!bcq_naive(&q, &db2));
+    }
+
+    #[test]
+    fn auto_with_precomputed_ghd_matches_recomputed_route() {
+        // The plan-cache entry point: a caller holding a decomposition
+        // (here: freshly computed, in practice translated from a cache
+        // hit) must get the same answers without re-decomposing.
+        let q = canonical_query(&hypercycle(5, 2));
+        let db = planted_database(&q, 7, 18, 4);
+        let ghd = ghw_decomposition(&q.hypergraph()).unwrap();
+        assert_eq!(bcq_auto_with(&q, &db, Some(&ghd)), bcq_auto(&q, &db));
+        assert_eq!(count_auto_with(&q, &db, Some(&ghd)), count_auto(&q, &db));
+        assert_eq!(bcq_auto_with(&q, &db, None), bcq_auto(&q, &db));
+        assert_eq!(count_auto_with(&q, &db, None), count_auto(&q, &db));
     }
 
     #[test]

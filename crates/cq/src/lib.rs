@@ -29,7 +29,10 @@ pub mod query;
 pub mod relation;
 
 pub use database::Database;
-pub use eval::{bcq_naive, bcq_via_ghd, count_naive, count_via_ghd};
+pub use eval::{
+    bcq_auto, bcq_auto_with, bcq_naive, bcq_via_ghd, count_auto, count_auto_with, count_naive,
+    count_via_ghd,
+};
 pub use hom::{core_of, find_homomorphism, semantic_ghw};
 pub use query::{Atom, ConjunctiveQuery, Term, Var};
 pub use relation::VRelation;

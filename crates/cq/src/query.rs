@@ -6,6 +6,7 @@ use std::fmt;
 
 /// A query variable (dense id within one query).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Var(pub u32);
 
 impl Var {
@@ -23,6 +24,7 @@ impl fmt::Debug for Var {
 
 /// A term: a variable or a constant.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Term {
     /// A query variable.
     Var(Var),
@@ -32,6 +34,7 @@ pub enum Term {
 
 /// A relational atom `R(t_1, …, t_k)`.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Atom {
     /// Relation symbol.
     pub relation: String,
@@ -77,6 +80,7 @@ impl Atom {
 /// defined for *full* CQs — we therefore treat every query as full and
 /// leave projections to the caller.
 #[derive(Clone, PartialEq, Eq, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ConjunctiveQuery {
     /// Atoms of the conjunction.
     pub atoms: Vec<Atom>,

@@ -13,11 +13,7 @@ use std::collections::HashMap;
 /// uncovered bag vertices. Vertices of `bag` incident to no edge are
 /// ignored (they cannot be covered; see crate docs for the convention).
 pub fn greedy_cover(h: &Hypergraph, bag: &[VertexId]) -> Vec<EdgeId> {
-    let mut uncovered: Vec<VertexId> = bag
-        .iter()
-        .copied()
-        .filter(|&v| h.degree(v) > 0)
-        .collect();
+    let mut uncovered: Vec<VertexId> = bag.iter().copied().filter(|&v| h.degree(v) > 0).collect();
     uncovered.sort_unstable();
     uncovered.dedup();
     let mut cover = Vec::new();
@@ -26,10 +22,7 @@ pub fn greedy_cover(h: &Hypergraph, bag: &[VertexId]) -> Vec<EdgeId> {
         let best = h
             .edge_ids()
             .map(|e| {
-                let cnt = uncovered
-                    .iter()
-                    .filter(|&&v| h.edge_contains(e, v))
-                    .count();
+                let cnt = uncovered.iter().filter(|&&v| h.edge_contains(e, v)).count();
                 (cnt, e)
             })
             .max_by_key(|&(cnt, e)| (cnt, std::cmp::Reverse(e)))
@@ -46,11 +39,7 @@ pub fn greedy_cover(h: &Hypergraph, bag: &[VertexId]) -> Vec<EdgeId> {
 /// Returns a witness cover of minimum size. Vertices with no incident edge
 /// are ignored.
 pub fn exact_cover(h: &Hypergraph, bag: &[VertexId]) -> Vec<EdgeId> {
-    let mut targets: Vec<VertexId> = bag
-        .iter()
-        .copied()
-        .filter(|&v| h.degree(v) > 0)
-        .collect();
+    let mut targets: Vec<VertexId> = bag.iter().copied().filter(|&v| h.degree(v) > 0).collect();
     targets.sort_unstable();
     targets.dedup();
     if targets.is_empty() {
@@ -188,8 +177,7 @@ mod tests {
 
     #[test]
     fn disjoint_vertices_need_many_edges() {
-        let h =
-            Hypergraph::new(6, &[vec![0, 1], vec![2, 3], vec![4, 5]]).unwrap();
+        let h = Hypergraph::new(6, &[vec![0, 1], vec![2, 3], vec![4, 5]]).unwrap();
         assert_eq!(cover_number(&h, &vids(&[0, 2, 4])), 3);
         assert_eq!(cover_number(&h, &vids(&[0, 2])), 2);
     }

@@ -122,8 +122,12 @@ mod tests {
         let h = hyperchain(4, 2);
         let (hd, _) = dual(&h);
         let primal_dual = crate::widths::primal_graph(&hd);
-        let r = f_width_exact(&primal_dual, &mut |b: &[u32]| b.len().saturating_sub(1), None)
-            .unwrap();
+        let r = f_width_exact(
+            &primal_dual,
+            &mut |b: &[u32]| b.len().saturating_sub(1),
+            None,
+        )
+        .unwrap();
         let td_dual = order_to_td(&primal_dual, &r.order);
         let ghd = td_of_dual_to_ghd(&h, &td_dual);
         ghd.validate(&h).unwrap();

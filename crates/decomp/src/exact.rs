@@ -164,7 +164,7 @@ impl<W: PartialOrd + Copy> Solver<'_, W> {
                 self.best(s2).map(|(sw, _)| if sw > w { sw } else { w })
             };
             if let Some(total) = sub {
-                if best.map_or(true, |(bw, _)| total < bw) {
+                if best.is_none_or(|(bw, _)| total < bw) {
                     best = Some((total, v));
                 }
             }
@@ -238,10 +238,7 @@ mod tests {
         for seed in 0..6 {
             let g = random_graph(9, 0.35, seed);
             let exact = tw(&g);
-            let heur = crate::elimination::order_width(
-                &g,
-                &crate::elimination::min_fill_order(&g),
-            );
+            let heur = crate::elimination::order_width(&g, &crate::elimination::min_fill_order(&g));
             assert!(heur >= exact, "heuristic {heur} < exact {exact}");
         }
     }

@@ -6,13 +6,13 @@
 //! all GHDs of `H` is `ghw(H)`.
 
 use cqd2_hypergraph::{EdgeId, Hypergraph, VertexId};
-use serde::{Deserialize, Serialize};
 
 use crate::cover::{exact_cover, greedy_cover, is_cover};
 use crate::tree_decomposition::{TdError, TreeDecomposition};
 
 /// A generalized hypertree decomposition.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Ghd {
     /// The underlying tree decomposition.
     pub td: TreeDecomposition,

@@ -55,8 +55,8 @@ pub fn simplex_min_ge(c: &[f64], a: &[Vec<f64>], b: &[f64]) -> LpOutcome {
 
     // Phase 1: minimize sum of artificials.
     let mut phase1_cost = vec![0.0; total];
-    for j in (n + m)..total {
-        phase1_cost[j] = 1.0;
+    for cost in phase1_cost.iter_mut().skip(n + m) {
+        *cost = 1.0;
     }
     if !run_simplex(&mut tab, &mut basis, &phase1_cost, total, usize::MAX) {
         return LpOutcome::Unbounded; // cannot happen in phase 1, defensive
@@ -134,9 +134,7 @@ fn run_simplex(
                 match leave {
                     None => leave = Some((i, ratio)),
                     Some((li, lr)) => {
-                        if ratio < lr - EPS
-                            || (ratio < lr + EPS && basis[i] < basis[li])
-                        {
+                        if ratio < lr - EPS || (ratio < lr + EPS && basis[i] < basis[li]) {
                             leave = Some((i, ratio));
                         }
                     }
@@ -152,21 +150,20 @@ fn run_simplex(
 }
 
 fn pivot(tab: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize) {
-    let m = tab.len();
-    let width = tab[0].len();
     let p = tab[row][col];
     debug_assert!(p.abs() > EPS);
     for x in tab[row].iter_mut() {
         *x /= p;
     }
-    for i in 0..m {
+    let pivot_row = tab[row].clone();
+    for (i, other) in tab.iter_mut().enumerate() {
         if i == row {
             continue;
         }
-        let factor = tab[i][col];
+        let factor = other[col];
         if factor.abs() > EPS {
-            for j in 0..width {
-                tab[i][j] -= factor * tab[row][j];
+            for (x, &pv) in other.iter_mut().zip(&pivot_row) {
+                *x -= factor * pv;
             }
         }
     }
@@ -176,11 +173,7 @@ fn pivot(tab: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize) {
 /// The fractional edge cover number `ρ*(bag)` together with the optimal
 /// weights. Vertices with no incident edge are ignored (cannot be covered).
 pub fn fractional_cover(h: &Hypergraph, bag: &[VertexId]) -> (f64, Vec<(EdgeId, f64)>) {
-    let mut targets: Vec<VertexId> = bag
-        .iter()
-        .copied()
-        .filter(|&v| h.degree(v) > 0)
-        .collect();
+    let mut targets: Vec<VertexId> = bag.iter().copied().filter(|&v| h.degree(v) > 0).collect();
     targets.sort_unstable();
     targets.dedup();
     if targets.is_empty() {
@@ -234,11 +227,7 @@ mod tests {
     #[test]
     fn generic_lp() {
         // min x + y s.t. x + 2y >= 4, 3x + y >= 3  => optimum at (0.4, 1.8): 2.2
-        let out = simplex_min_ge(
-            &[1.0, 1.0],
-            &[vec![1.0, 2.0], vec![3.0, 1.0]],
-            &[4.0, 3.0],
-        );
+        let out = simplex_min_ge(&[1.0, 1.0], &[vec![1.0, 2.0], vec![3.0, 1.0]], &[4.0, 3.0]);
         match out {
             LpOutcome::Optimal { value, .. } => assert!((value - 2.2).abs() < 1e-6),
             other => panic!("expected optimal, got {other:?}"),
@@ -287,8 +276,8 @@ mod tests {
 
     #[test]
     fn fractional_at_most_integral() {
-        use cqd2_hypergraph::generators::random_degree_bounded;
         use crate::cover::cover_number;
+        use cqd2_hypergraph::generators::random_degree_bounded;
         for seed in 0..8 {
             let h = random_degree_bounded(8, 3, 3, 0.5, seed);
             let bag: Vec<VertexId> = h.vertices().collect();

@@ -6,14 +6,14 @@
 //! contains `v` induces a connected subtree of `T`.
 
 use cqd2_hypergraph::{Hypergraph, VertexId};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// A tree decomposition: bags indexed by node id, plus tree edges.
 ///
 /// The tree must be connected and acyclic over `bags.len()` nodes. A
 /// decomposition with a single (possibly empty) bag has no tree edges.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TreeDecomposition {
     /// `bags[u]` is the sorted vertex set of node `u`.
     pub bags: Vec<Vec<VertexId>>,
@@ -67,7 +67,12 @@ impl TreeDecomposition {
     /// decomposition (for the `f`-width with other `f`, apply `f` to
     /// [`Self::bags`] directly).
     pub fn width(&self) -> usize {
-        self.bags.iter().map(|b| b.len()).max().unwrap_or(0).saturating_sub(1)
+        self.bags
+            .iter()
+            .map(|b| b.len())
+            .max()
+            .unwrap_or(0)
+            .saturating_sub(1)
     }
 
     /// Adjacency lists of the node tree.
@@ -158,7 +163,7 @@ impl TreeDecomposition {
         let mut best: Option<W> = None;
         for b in &self.bags {
             let w = f(b);
-            if best.map_or(true, |cur| w > cur) {
+            if best.is_none_or(|cur| w > cur) {
                 best = Some(w);
             }
         }

@@ -45,8 +45,7 @@ impl WidthEstimate {
 /// Exact treewidth (`None` when the graph exceeds the exact-DP size cap).
 pub fn treewidth_exact(g: &Graph) -> Option<usize> {
     let ub = treewidth_upper_bound(g);
-    f_width_exact(g, &mut |b: &[u32]| b.len().saturating_sub(1), Some(ub))
-        .map(|r| r.width)
+    f_width_exact(g, &mut |b: &[u32]| b.len().saturating_sub(1), Some(ub)).map(|r| r.width)
 }
 
 /// Heuristic treewidth upper bound: best of min-fill and min-degree.

@@ -46,10 +46,7 @@ fn contract(h: &Hypergraph, x: VertexId, y: VertexId) -> Result<(Hypergraph, OpT
     if y.idx() >= h.num_vertices() {
         return Err(HgError::VertexOutOfRange(y.0));
     }
-    let share = h
-        .incident_edges(x)
-        .iter()
-        .any(|&e| h.edge_contains(e, y));
+    let share = h.incident_edges(x).iter().any(|&e| h.edge_contains(e, y));
     if !share || x == y {
         return Err(HgError::Precondition(format!(
             "v{} and v{} do not share a hyperedge",
@@ -86,8 +83,8 @@ fn contract(h: &Hypergraph, x: VertexId, y: VertexId) -> Result<(Hypergraph, OpT
             }
         }
     }
-    let with_isolated = Hypergraph::new(h.num_vertices(), &dedup_edges)
-        .expect("dedup keeps edges distinct");
+    let with_isolated =
+        Hypergraph::new(h.num_vertices(), &dedup_edges).expect("dedup keeps edges distinct");
     let (result, del_trace) = with_isolated.delete_vertex(y)?;
     let vertex_map: Vec<Option<VertexId>> = (0..h.num_vertices() as u32)
         .map(|v| {
@@ -108,10 +105,7 @@ fn contract(h: &Hypergraph, x: VertexId, y: VertexId) -> Result<(Hypergraph, OpT
     ))
 }
 
-fn add_clique_edge(
-    h: &Hypergraph,
-    vs: &[VertexId],
-) -> Result<(Hypergraph, OpTrace), HgError> {
+fn add_clique_edge(h: &Hypergraph, vs: &[VertexId]) -> Result<(Hypergraph, OpTrace), HgError> {
     // Verify the clique condition in the primal graph.
     for i in 0..vs.len() {
         if vs[i].idx() >= h.num_vertices() {
@@ -166,9 +160,9 @@ pub fn figure1_example() -> Hypergraph {
     Hypergraph::new(
         7,
         &[
-            vec![0, 1, 4],    // {x, y, c}
-            vec![0, 2, 3],    // {x, a, b}
-            vec![1, 5, 6],    // {y, d, e}
+            vec![0, 1, 4], // {x, y, c}
+            vec![0, 2, 3], // {x, a, b}
+            vec![1, 5, 6], // {y, d, e}
         ],
     )
     .expect("distinct edges")
@@ -185,7 +179,9 @@ mod tests {
         // three edges — degree 3 > degree(H) = 2.
         let h = figure1_example();
         assert_eq!(h.max_degree(), 2);
-        let (c, _) = AdlerOp::Contract(VertexId(0), VertexId(1)).apply(&h).unwrap();
+        let (c, _) = AdlerOp::Contract(VertexId(0), VertexId(1))
+            .apply(&h)
+            .unwrap();
         let vxy = VertexId(0);
         assert!(c.degree(vxy) > 2, "contraction must raise the degree here");
         assert_eq!(c.rank(), 3);
@@ -206,7 +202,9 @@ mod tests {
     fn contraction_requires_common_edge() {
         let h = figure1_example();
         // a (2) and d (5) share no edge.
-        assert!(AdlerOp::Contract(VertexId(2), VertexId(5)).apply(&h).is_err());
+        assert!(AdlerOp::Contract(VertexId(2), VertexId(5))
+            .apply(&h)
+            .is_err());
     }
 
     #[test]
@@ -230,7 +228,9 @@ mod tests {
     #[test]
     fn contraction_traces_are_consistent() {
         let h = figure1_example();
-        let (c, t) = AdlerOp::Contract(VertexId(0), VertexId(1)).apply(&h).unwrap();
+        let (c, t) = AdlerOp::Contract(VertexId(0), VertexId(1))
+            .apply(&h)
+            .unwrap();
         assert_eq!(t.vertex_map[0], t.vertex_map[1]);
         assert_eq!(t.vertex_map.len(), 7);
         assert!(c.num_vertices() == 6);

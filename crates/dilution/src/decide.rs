@@ -229,7 +229,9 @@ pub fn enumerate_dilutions(h: &Hypergraph, max_ops: usize) -> Vec<Hypergraph> {
             }
         }
         for op in candidates {
-            let Ok((next, _)) = op.apply(&cur) else { continue };
+            let Ok((next, _)) = op.apply(&cur) else {
+                continue;
+            };
             if seen.insert(Search::key(&next)) {
                 out.push(next.clone());
                 stack.push((next, depth + 1));
@@ -322,10 +324,7 @@ mod tests {
     fn budget_exhaustion_reported() {
         let j3 = graph_dual(&grid_graph(3, 3));
         let j2 = graph_dual(&grid_graph(2, 2));
-        assert_eq!(
-            decide_dilution(&j3, &j2, 3),
-            DilutionSearch::BudgetExceeded
-        );
+        assert_eq!(decide_dilution(&j3, &j2, 3), DilutionSearch::BudgetExceeded);
     }
 
     #[test]

@@ -218,8 +218,7 @@ pub fn minor_map_from_dilution(
             _ => None,
         };
         let (next, trace) = op.apply(&cur).map_err(|e| e.to_string())?;
-        let mut new_labels: Vec<BTreeSet<EdgeId>> =
-            vec![BTreeSet::new(); next.num_edges()];
+        let mut new_labels: Vec<BTreeSet<EdgeId>> = vec![BTreeSet::new(); next.num_edges()];
         for (old, lbl) in labels.iter().enumerate() {
             if let Some(new) = trace.edge_map[old] {
                 new_labels[new.idx()].extend(lbl.iter().copied());
@@ -235,20 +234,18 @@ pub fn minor_map_from_dilution(
     }
     // Align the final hypergraph with g^d.
     let (gd, dm) = dual(&g.to_hypergraph());
-    let iso = find_isomorphism(&cur, &gd)
-        .ok_or("dilution result is not isomorphic to g^d")?;
+    let iso = find_isomorphism(&cur, &gd).ok_or("dilution result is not isomorphic to g^d")?;
     // For every vertex v of g, find the result edge mapping to v's dual
     // edge, and take its label as the branch set.
     let mut branch_sets: Vec<Vec<u32>> = vec![Vec::new(); g.num_vertices()];
-    for v in 0..g.num_vertices() {
-        let dual_edge = dm.vertex_to_edge[v]
-            .ok_or("pattern has an isolated vertex")?;
+    for (v, branch) in branch_sets.iter_mut().enumerate() {
+        let dual_edge = dm.vertex_to_edge[v].ok_or("pattern has an isolated vertex")?;
         let result_edge = iso
             .edge_map
             .iter()
             .position(|&e| e == dual_edge)
             .ok_or("isomorphism misses a dual edge")?;
-        branch_sets[v] = labels[result_edge].iter().map(|e| e.0).collect();
+        *branch = labels[result_edge].iter().map(|e| e.0).collect();
     }
     let mm = MinorMap { branch_sets };
     let hd_graph = dual_as_graph(h);

@@ -5,6 +5,7 @@ use cqd2_hypergraph::{EdgeId, HgError, Hypergraph, OpTrace, VertexId};
 /// One dilution operation, referring to vertex/edge ids of the hypergraph
 /// it is applied to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum DilutionOp {
     /// Delete a vertex from the vertex set and all edges.
     DeleteVertex(VertexId),
@@ -38,9 +39,7 @@ impl DilutionOp {
                 e.idx() < h.num_edges()
                     && h.edge_ids().any(|f| f != e && h.edge_proper_subset(e, f))
             }
-            DilutionOp::MergeOnVertex(v) => {
-                v.idx() < h.num_vertices() && h.degree(v) >= 1
-            }
+            DilutionOp::MergeOnVertex(v) => v.idx() < h.num_vertices() && h.degree(v) >= 1,
         }
     }
 }
@@ -48,6 +47,7 @@ impl DilutionOp {
 /// A sequence of dilution operations, each expressed in the ids of the
 /// hypergraph produced by the previous step.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DilutionSequence {
     /// The operations in application order.
     pub ops: Vec<DilutionOp>,

@@ -1,0 +1,208 @@
+//! The plan cache: structural analysis amortized across isomorphic
+//! queries.
+//!
+//! Workloads repeat *shapes* far more often than literal queries (the
+//! same join pattern over different relation names and variable names).
+//! Decompositions and jigsaw certificates depend only on the query's
+//! hypergraph up to isomorphism, so the cache keys on
+//! [`cqd2_hypergraph::fingerprint`] and confirms candidates with
+//! [`find_isomorphism`]; on a hit, the stored GHD is translated along
+//! the witness isomorphism into the incoming query's coordinates.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use cqd2_decomp::Ghd;
+use cqd2_hypergraph::{find_isomorphism, fingerprint, Hypergraph, Isomorphism, VertexId};
+
+use crate::planner::PlannedStructure;
+
+/// Translate a GHD of `rep` into the coordinates of an isomorphic
+/// hypergraph via a witness isomorphism `rep → target`.
+///
+/// Bags map vertex-wise, covers map edge-wise; the tree shape is
+/// unchanged. The result is a valid GHD of the target of the same width.
+pub fn translate_ghd(ghd: &Ghd, iso: &Isomorphism) -> Ghd {
+    let mut out = ghd.clone();
+    for bag in &mut out.td.bags {
+        for v in bag.iter_mut() {
+            *v = iso.vertex_map[v.idx()];
+        }
+        bag.sort_unstable();
+    }
+    for cover in &mut out.covers {
+        for e in cover.iter_mut() {
+            *e = iso.edge_map[e.idx()];
+        }
+    }
+    out
+}
+
+/// A cache hit: the stored analysis plus the coordinate translation for
+/// the incoming query.
+#[derive(Debug, Clone)]
+pub struct CachedPlan {
+    /// The stored structure analysis (in representative coordinates for
+    /// the jigsaw certificate; the GHD below is already translated).
+    pub structure: Arc<PlannedStructure>,
+    /// The stored GHD translated into the incoming query's coordinates.
+    pub ghd: Option<Ghd>,
+    /// Vertex renaming `representative → query` that witnessed the hit
+    /// (identity-shaped on a first-party miss-then-insert).
+    pub vertex_map: Vec<VertexId>,
+}
+
+/// Hit/miss counters (snapshot view via [`PlanCache::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that required fresh planning.
+    pub misses: u64,
+    /// Structures currently stored.
+    pub entries: usize,
+}
+
+struct CacheEntry {
+    representative: Hypergraph,
+    structure: Arc<PlannedStructure>,
+}
+
+/// Fingerprint-bucketed store of planned structures.
+pub struct PlanCache {
+    buckets: HashMap<u64, Vec<CacheEntry>>,
+    capacity: usize,
+    entries: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl PlanCache {
+    /// An empty cache holding at most `capacity` structures (0 means
+    /// unbounded). Eviction is whole-cache: workloads that overflow the
+    /// capacity are re-planned, never served stale or mistranslated
+    /// plans.
+    pub fn new(capacity: usize) -> PlanCache {
+        PlanCache {
+            buckets: HashMap::new(),
+            capacity,
+            entries: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Look up the structure class of `h`. On a hit the stored GHD is
+    /// translated into `h`'s coordinates. Counts a miss otherwise.
+    pub fn lookup(&mut self, h: &Hypergraph) -> Option<CachedPlan> {
+        let key = fingerprint(h);
+        if let Some(bucket) = self.buckets.get(&key) {
+            for entry in bucket {
+                if let Some(iso) = find_isomorphism(&entry.representative, h) {
+                    self.hits += 1;
+                    let ghd = entry.structure.ghd.as_ref().map(|g| translate_ghd(g, &iso));
+                    return Some(CachedPlan {
+                        structure: Arc::clone(&entry.structure),
+                        ghd,
+                        vertex_map: iso.vertex_map,
+                    });
+                }
+            }
+        }
+        self.misses += 1;
+        None
+    }
+
+    /// Store the analysis of `h`'s structure class, with `h` as the
+    /// class representative.
+    pub fn insert(&mut self, h: &Hypergraph, structure: PlannedStructure) -> Arc<PlannedStructure> {
+        if self.capacity > 0 && self.entries >= self.capacity {
+            // Whole-cache eviction keeps the implementation obviously
+            // correct; see ROADMAP for the planned LRU refinement.
+            self.buckets.clear();
+            self.entries = 0;
+        }
+        let structure = Arc::new(structure);
+        self.buckets
+            .entry(fingerprint(h))
+            .or_default()
+            .push(CacheEntry {
+                representative: h.clone(),
+                structure: Arc::clone(&structure),
+            });
+        self.entries += 1;
+        structure
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            entries: self.entries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::Planner;
+    use cqd2_hypergraph::generators::{hyperchain, hypercycle};
+
+    fn relabel_reversed(h: &Hypergraph) -> Hypergraph {
+        let n = h.num_vertices() as u32;
+        let edges: Vec<Vec<u32>> = h
+            .edge_ids()
+            .map(|e| h.edge(e).iter().map(|v| n - 1 - v.0).collect())
+            .collect();
+        Hypergraph::new(n as usize, &edges).unwrap()
+    }
+
+    #[test]
+    fn isomorphic_renamings_hit_after_one_miss() {
+        let mut cache = PlanCache::new(0);
+        let planner = Planner::default();
+        let h = hypercycle(5, 2);
+        assert!(cache.lookup(&h).is_none());
+        cache.insert(&h, planner.plan_structure(&h));
+
+        // Identical query: hit.
+        assert!(cache.lookup(&h).is_some());
+        // Renamed-but-isomorphic query: hit, with a translated GHD that
+        // validates against the *renamed* hypergraph.
+        let renamed = relabel_reversed(&h);
+        let hit = cache.lookup(&renamed).expect("isomorphic structure hits");
+        let ghd = hit.ghd.expect("cycle has a ghd");
+        ghd.validate(&renamed).unwrap();
+        assert_eq!(ghd.width(), 2);
+
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (2, 1, 1));
+    }
+
+    #[test]
+    fn different_structures_miss() {
+        let mut cache = PlanCache::new(0);
+        let planner = Planner::default();
+        let chain = hyperchain(4, 2);
+        cache.insert(&chain, planner.plan_structure(&chain));
+        assert!(cache.lookup(&hypercycle(4, 2)).is_none());
+        assert!(cache.lookup(&hyperchain(5, 2)).is_none());
+    }
+
+    #[test]
+    fn capacity_overflow_clears_instead_of_mistranslating() {
+        let mut cache = PlanCache::new(2);
+        let planner = Planner::default();
+        for k in 3..6 {
+            let h = hyperchain(k, 2);
+            cache.insert(&h, planner.plan_structure(&h));
+        }
+        // The first two entries were evicted by the clear; the third
+        // remains resident.
+        assert!(cache.lookup(&hyperchain(5, 2)).is_some());
+        assert!(cache.lookup(&hyperchain(3, 2)).is_none());
+        assert_eq!(cache.stats().entries, 1);
+    }
+}

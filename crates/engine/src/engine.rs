@@ -1,0 +1,388 @@
+//! The serving engine: plan-once, execute-many.
+//!
+//! [`Engine`] ties the planner and plan cache together behind the two
+//! operations a workload needs — solve a Boolean CQ, count answers of a
+//! full CQ — and adds [`Engine::execute_batch`], which fans a slice of
+//! requests out over scoped worker threads. Every response carries
+//! [`PlanProvenance`] so callers can see which regime of the paper their
+//! query landed in and whether planning was amortized.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use cqd2_cq::eval::{bcq_naive, bcq_via_ghd, count_naive, count_via_ghd};
+use cqd2_cq::{ConjunctiveQuery, Database};
+
+use crate::cache::{CacheStats, PlanCache};
+use crate::plan::{PlannedQuery, QueryPlan};
+use crate::planner::{Planner, PlannerConfig};
+
+/// Engine-level configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Planner knobs (see [`PlannerConfig`]).
+    pub planner: PlannerConfig,
+    /// Maximum structures the plan cache holds (0 = unbounded).
+    pub cache_capacity: usize,
+    /// Worker threads for [`Engine::execute_batch`]; 0 means "use
+    /// available parallelism".
+    pub workers: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            planner: PlannerConfig::default(),
+            cache_capacity: 10_000,
+            workers: 0,
+        }
+    }
+}
+
+/// What a request asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Decide `q(D) ≠ ∅`.
+    Boolean,
+    /// Count `|q(D)|` (full-CQ semantics, as everywhere in this repo).
+    Count,
+}
+
+/// One unit of batch work: a query against a database. Databases are
+/// borrowed, so many requests can share one database without copies.
+#[derive(Clone, Copy)]
+pub struct Request<'a> {
+    /// The query to evaluate.
+    pub query: &'a ConjunctiveQuery,
+    /// The database to evaluate against.
+    pub db: &'a Database,
+    /// Boolean evaluation or counting.
+    pub workload: Workload,
+}
+
+/// The result payload of one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Answer {
+    /// Boolean result.
+    Bool(bool),
+    /// Answer count.
+    Count(u128),
+}
+
+impl Answer {
+    /// The Boolean result, if this was a [`Workload::Boolean`] request.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Answer::Bool(b) => Some(*b),
+            Answer::Count(_) => None,
+        }
+    }
+
+    /// The count, if this was a [`Workload::Count`] request.
+    pub fn as_count(&self) -> Option<u128> {
+        match self {
+            Answer::Count(n) => Some(*n),
+            Answer::Bool(_) => None,
+        }
+    }
+}
+
+/// Where a response's plan came from and what it cost.
+#[derive(Debug, Clone)]
+pub struct PlanProvenance {
+    /// The plan that was executed (with cost estimate and notes).
+    pub planned: PlannedQuery,
+    /// Whether the structure analysis came from the cache.
+    pub cache_hit: bool,
+    /// Time spent planning (≈ 0 on cache hits).
+    pub planning: Duration,
+    /// Time spent executing the plan against the database.
+    pub execution: Duration,
+}
+
+/// One request's outcome.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The answer.
+    pub answer: Answer,
+    /// How it was produced.
+    pub provenance: PlanProvenance,
+}
+
+/// The serving engine. Cheap to share: all methods take `&self`; the
+/// plan cache sits behind a mutex and is the only shared mutable state.
+pub struct Engine {
+    planner: Planner,
+    cache: Mutex<PlanCache>,
+    config: EngineConfig,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new(EngineConfig::default())
+    }
+}
+
+impl Engine {
+    /// An engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Engine {
+        Engine {
+            planner: Planner::new(config.planner.clone()),
+            cache: Mutex::new(PlanCache::new(config.cache_capacity)),
+            config,
+        }
+    }
+
+    /// The process-wide shared engine (used by the `cqd2` facade so
+    /// plan caching spans independent calls).
+    pub fn shared() -> &'static Engine {
+        static SHARED: OnceLock<Engine> = OnceLock::new();
+        SHARED.get_or_init(Engine::default)
+    }
+
+    /// The (cached) structural analysis for a hypergraph, translated
+    /// into its coordinates, plus whether the cache answered.
+    pub fn structure_for(
+        &self,
+        h: &cqd2_hypergraph::Hypergraph,
+    ) -> (crate::planner::PlannedStructure, bool) {
+        let mut cache = self.cache.lock().expect("plan cache poisoned");
+        if let Some(hit) = cache.lookup(h) {
+            // Rebuild the analysis around the *translated* GHD.
+            let mut structure = (*hit.structure).clone();
+            structure.ghd = hit.ghd;
+            return (structure, true);
+        }
+        // Miss: plan while holding the lock so concurrent workers do not
+        // duplicate the expensive analysis of one structure class. The
+        // batch executor's parallelism comes from execution, which
+        // dominates planning for warm workloads.
+        let structure = self.planner.plan_structure(h);
+        let stored = cache.insert(h, structure);
+        ((*stored).clone(), false)
+    }
+
+    /// Plan `q` (from cache when its structure class is known) without
+    /// executing anything.
+    pub fn plan(&self, q: &ConjunctiveQuery, workload: Workload) -> (PlannedQuery, bool, Duration) {
+        let start = Instant::now();
+        let (structure, cache_hit) = self.structure_for(&q.hypergraph());
+        let planned = match workload {
+            Workload::Boolean => structure.bool_plan(),
+            Workload::Count => structure.count_plan(),
+        };
+        (planned, cache_hit, start.elapsed())
+    }
+
+    /// Serve one request.
+    pub fn serve(&self, req: &Request<'_>) -> Response {
+        let start = Instant::now();
+        let (structure, cache_hit) = self.structure_for(&req.query.hypergraph());
+        let planned = match req.workload {
+            Workload::Boolean => structure.bool_plan(),
+            Workload::Count => structure.count_plan(),
+        };
+        let planning = start.elapsed();
+        // Which decomposition actually drives evaluation: the plan's own
+        // GHD, or — for a jigsaw hardness certificate — the best GHD the
+        // structure analysis found (the certificate classifies the
+        // structure; it never means "skip a usable decomposition", and
+        // the plan's notes and cost estimate say so).
+        let ghd = match &planned.plan {
+            QueryPlan::GhdYannakakis { .. } | QueryPlan::CountingDp { .. } => planned.plan.ghd(),
+            QueryPlan::JigsawReduce { .. } => structure.ghd.as_ref(),
+            QueryPlan::NaiveJoin => None,
+        };
+        let exec_start = Instant::now();
+        let answer = match req.workload {
+            Workload::Boolean => Answer::Bool(match ghd {
+                Some(ghd) => bcq_via_ghd(req.query, req.db, ghd)
+                    .expect("planned ghd is valid for this query"),
+                None => bcq_naive(req.query, req.db),
+            }),
+            Workload::Count => Answer::Count(match ghd {
+                Some(ghd) => count_via_ghd(req.query, req.db, ghd)
+                    .expect("planned ghd is valid for this query"),
+                None => count_naive(req.query, req.db),
+            }),
+        };
+        Response {
+            answer,
+            provenance: PlanProvenance {
+                planned,
+                cache_hit,
+                planning,
+                execution: exec_start.elapsed(),
+            },
+        }
+    }
+
+    /// Decide `q(D) ≠ ∅` through the engine (planned, cached).
+    pub fn solve_bcq(&self, q: &ConjunctiveQuery, db: &Database) -> bool {
+        let req = Request {
+            query: q,
+            db,
+            workload: Workload::Boolean,
+        };
+        self.serve(&req).answer.as_bool().expect("boolean workload")
+    }
+
+    /// Count `|q(D)|` through the engine (planned, cached).
+    pub fn count_answers(&self, q: &ConjunctiveQuery, db: &Database) -> u128 {
+        let req = Request {
+            query: q,
+            db,
+            workload: Workload::Count,
+        };
+        self.serve(&req).answer.as_count().expect("count workload")
+    }
+
+    /// Evaluate a batch of requests on scoped worker threads, returning
+    /// one response per request, in request order.
+    ///
+    /// Work distribution is a shared atomic cursor (requests vary wildly
+    /// in cost, so static chunking would straggle); results land in
+    /// per-slot cells, so no ordering pass is needed.
+    pub fn execute_batch(&self, requests: &[Request<'_>]) -> Vec<Response> {
+        let n = requests.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = self.effective_workers().min(n);
+        if workers <= 1 {
+            return requests.iter().map(|r| self.serve(r)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<OnceLock<Response>> = (0..n).map(|_| OnceLock::new()).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let response = self.serve(&requests[i]);
+                    slots[i].set(response).expect("slot written once");
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every slot served"))
+            .collect()
+    }
+
+    /// Plan-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().expect("plan cache poisoned").stats()
+    }
+
+    fn effective_workers(&self) -> usize {
+        if self.config.workers > 0 {
+            self.config.workers
+        } else {
+            std::thread::available_parallelism().map_or(1, |p| p.get())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqd2_cq::eval::{bcq_naive, count_naive};
+    use cqd2_cq::generate::{canonical_query, planted_database, random_database};
+    use cqd2_hypergraph::generators::{hyperchain, hypercycle};
+
+    #[test]
+    fn engine_matches_naive_on_mixed_batch() {
+        let engine = Engine::new(EngineConfig {
+            workers: 4,
+            ..EngineConfig::default()
+        });
+        let queries: Vec<_> = (0..6)
+            .map(|i| {
+                let h = if i % 2 == 0 {
+                    hyperchain(3, 2)
+                } else {
+                    hypercycle(4, 2)
+                };
+                canonical_query(&h)
+            })
+            .collect();
+        let dbs: Vec<_> = queries
+            .iter()
+            .enumerate()
+            .map(|(i, q)| {
+                if i % 3 == 0 {
+                    planted_database(q, 6, 12, i as u64)
+                } else {
+                    random_database(q, 5, 10, i as u64)
+                }
+            })
+            .collect();
+        let requests: Vec<Request<'_>> = queries
+            .iter()
+            .zip(&dbs)
+            .enumerate()
+            .map(|(i, (query, db))| Request {
+                query,
+                db,
+                workload: if i % 2 == 0 {
+                    Workload::Boolean
+                } else {
+                    Workload::Count
+                },
+            })
+            .collect();
+        let responses = engine.execute_batch(&requests);
+        assert_eq!(responses.len(), requests.len());
+        for (req, resp) in requests.iter().zip(&responses) {
+            match req.workload {
+                Workload::Boolean => {
+                    assert_eq!(resp.answer, Answer::Bool(bcq_naive(req.query, req.db)));
+                }
+                Workload::Count => {
+                    assert_eq!(resp.answer, Answer::Count(count_naive(req.query, req.db)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_structures_amortize_planning() {
+        let engine = Engine::default();
+        let q = canonical_query(&hypercycle(5, 2));
+        let db = random_database(&q, 4, 8, 1);
+        for _ in 0..5 {
+            engine.solve_bcq(&q, &db);
+        }
+        let stats = engine.cache_stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 4);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        assert!(Engine::default().execute_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn provenance_reports_strategy_and_cache_state() {
+        let engine = Engine::default();
+        let q = canonical_query(&hyperchain(4, 2));
+        let db = random_database(&q, 4, 8, 2);
+        let req = Request {
+            query: &q,
+            db: &db,
+            workload: Workload::Boolean,
+        };
+        let first = engine.serve(&req);
+        assert!(!first.provenance.cache_hit);
+        assert_eq!(first.provenance.planned.plan.strategy(), "ghd-yannakakis");
+        let second = engine.serve(&req);
+        assert!(second.provenance.cache_hit);
+        assert_eq!(first.answer, second.answer);
+    }
+}

@@ -1,0 +1,52 @@
+//! # cqd2-engine — serving layer for CQ workloads
+//!
+//! The paper's central message is that the *structure* of a conjunctive
+//! query (degree 2, acyclicity, bounded ghw, jigsaw reducibility)
+//! determines the right evaluation algorithm. This crate turns that
+//! classification into a serving architecture:
+//!
+//! - [`planner`]: runs the structural analysis once per query structure
+//!   and produces an explainable [`QueryPlan`] with a cost estimate —
+//!   `NaiveJoin`, `GhdYannakakis` (Prop. 2.2), `CountingDp`
+//!   (Prop. 4.14), or `JigsawReduce` (the Theorem 4.7 hardness
+//!   certificate).
+//! - [`cache`]: a plan cache keyed by the query hypergraph's
+//!   isomorphism-invariant fingerprint; repeated-*shape* workloads pay
+//!   for decomposition once, and cached GHDs are translated along a
+//!   witness isomorphism into each incoming query's coordinates.
+//! - [`engine`]: [`Engine::execute_batch`] evaluates batches of
+//!   `(query, db)` requests over shared databases with scoped worker
+//!   threads, returning per-request answers plus plan provenance.
+//! - [`textio`]: a small text format for workload files, shared by the
+//!   `cqd2-analyze eval` subcommand and the examples.
+//!
+//! ```
+//! use cqd2_engine::{Engine, Request, Workload};
+//! use cqd2_cq::{ConjunctiveQuery, Database};
+//!
+//! let q = ConjunctiveQuery::parse(&[("R", &["?x", "?y"]), ("S", &["?y", "?z"])]);
+//! let mut db = Database::new();
+//! db.insert_all("R", &[vec![1, 2]]);
+//! db.insert_all("S", &[vec![2, 3]]);
+//!
+//! let engine = Engine::default();
+//! let responses = engine.execute_batch(&[
+//!     Request { query: &q, db: &db, workload: Workload::Boolean },
+//!     Request { query: &q, db: &db, workload: Workload::Count },
+//! ]);
+//! assert_eq!(responses[0].answer.as_bool(), Some(true));
+//! assert_eq!(responses[1].answer.as_count(), Some(1));
+//! // The second request reused the first one's structural analysis.
+//! assert_eq!(engine.cache_stats().hits, 1);
+//! ```
+
+pub mod cache;
+pub mod engine;
+pub mod plan;
+pub mod planner;
+pub mod textio;
+
+pub use cache::{CacheStats, CachedPlan, PlanCache};
+pub use engine::{Answer, Engine, EngineConfig, PlanProvenance, Request, Response, Workload};
+pub use plan::{CostEstimate, PlannedQuery, QueryPlan};
+pub use planner::{PlannedStructure, Planner, PlannerConfig};

@@ -1,0 +1,171 @@
+//! Query plans: what the planner decided and why.
+//!
+//! A [`QueryPlan`] names the evaluation strategy the paper's dichotomies
+//! single out for a query's structure; a [`CostEstimate`] makes the
+//! choice explainable and lets callers predict scaling before touching a
+//! database.
+
+use cqd2_decomp::Ghd;
+use cqd2_dilution::DilutionSequence;
+
+/// The evaluation strategy chosen for one query structure.
+///
+/// Variants correspond to the algorithmic regimes the paper separates:
+///
+/// - [`QueryPlan::NaiveJoin`] — backtracking join, the only fully general
+///   strategy (exponential in query size).
+/// - [`QueryPlan::GhdYannakakis`] — Prop. 2.2: bag materialization plus a
+///   Yannakakis semijoin pass over a GHD; `O(‖D‖^width)`.
+/// - [`QueryPlan::CountingDp`] — Prop. 4.14: the junction-tree counting
+///   DP over a GHD, for full-CQ answer counting without enumeration.
+/// - [`QueryPlan::JigsawReduce`] — Theorem 4.7 evidence of hardness: a
+///   verified dilution sequence to an `n × n` jigsaw. Evaluation still
+///   falls back to the naive join, but the plan certifies *why* no
+///   bounded-width strategy exists for this structure class.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum QueryPlan {
+    /// Backtracking join over all atoms.
+    NaiveJoin,
+    /// GHD-guided Boolean evaluation (Prop. 2.2).
+    GhdYannakakis {
+        /// The decomposition driving bag materialization and semijoins.
+        ghd: Ghd,
+        /// Its width (`max_u |λ_u|`), the exponent of the data cost.
+        width: usize,
+    },
+    /// GHD-guided counting DP (Prop. 4.14).
+    CountingDp {
+        /// The decomposition driving the junction-tree DP.
+        ghd: Ghd,
+    },
+    /// Theorem 4.7 hardness certificate: the structure dilutes to the
+    /// `n × n` jigsaw, so ghw grows with `n` across the whole
+    /// isomorphism class; evaluation uses the naive join.
+    JigsawReduce {
+        /// The verified dilution sequence (in the coordinates of the
+        /// plan-cache representative of this structure class).
+        sequence: DilutionSequence,
+        /// Dimension of the jigsaw reached.
+        n: usize,
+    },
+}
+
+impl QueryPlan {
+    /// Short strategy tag for logs and provenance.
+    pub fn strategy(&self) -> &'static str {
+        match self {
+            QueryPlan::NaiveJoin => "naive-join",
+            QueryPlan::GhdYannakakis { .. } => "ghd-yannakakis",
+            QueryPlan::CountingDp { .. } => "counting-dp",
+            QueryPlan::JigsawReduce { .. } => "jigsaw-reduce",
+        }
+    }
+
+    /// The GHD the plan carries, if any.
+    pub fn ghd(&self) -> Option<&Ghd> {
+        match self {
+            QueryPlan::GhdYannakakis { ghd, .. } | QueryPlan::CountingDp { ghd } => Some(ghd),
+            _ => None,
+        }
+    }
+}
+
+/// A coarse, explainable cost model: evaluation cost is taken to be
+/// `setup + db_size ^ exponent` up to constants. Good enough to rank
+/// strategies and to explain the ranking; not a cardinality estimator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CostEstimate {
+    /// Exponent of the dominant `‖D‖^k` term (GHD width, or atom count
+    /// for the naive join).
+    pub db_exponent: f64,
+    /// Structure-only setup cost already paid at planning time, in
+    /// arbitrary units (decomposition / extraction work).
+    pub planning_units: f64,
+}
+
+impl CostEstimate {
+    /// Predicted evaluation cost (arbitrary units) at a database size.
+    pub fn predict(&self, db_size: usize) -> f64 {
+        (db_size.max(2) as f64).powf(self.db_exponent)
+    }
+}
+
+/// A plan plus the planner's reasoning — the object the plan cache
+/// stores (per structure class) and provenance reports carry.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PlannedQuery {
+    /// The chosen strategy for Boolean evaluation.
+    pub plan: QueryPlan,
+    /// Cost estimate for the chosen strategy.
+    pub cost: CostEstimate,
+    /// Human-readable planning notes ("acyclic, ghw = 1", "exact ghw
+    /// unavailable above 26 vertices", …).
+    pub notes: Vec<String>,
+}
+
+impl PlannedQuery {
+    /// Multi-line explanation of the decision, for CLIs and logs.
+    pub fn explain(&self) -> String {
+        let mut out = format!(
+            "strategy: {} (cost ≈ ‖D‖^{:.1})",
+            self.plan.strategy(),
+            self.cost.db_exponent
+        );
+        match &self.plan {
+            QueryPlan::GhdYannakakis { width, ghd } => {
+                out.push_str(&format!(
+                    "\n  ghd: width {width}, {} bags",
+                    ghd.td.bags.len()
+                ));
+            }
+            QueryPlan::CountingDp { ghd } => {
+                out.push_str(&format!(
+                    "\n  ghd: width {}, {} bags",
+                    ghd.width(),
+                    ghd.td.bags.len()
+                ));
+            }
+            QueryPlan::JigsawReduce { sequence, n } => {
+                out.push_str(&format!(
+                    "\n  hardness certificate: dilutes to the {n}×{n} jigsaw in {} ops (Theorem 4.7)",
+                    sequence.ops.len()
+                ));
+            }
+            QueryPlan::NaiveJoin => {}
+        }
+        for note in &self.notes {
+            out.push_str("\n  note: ");
+            out.push_str(note);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_prediction_is_monotone_in_size_and_exponent() {
+        let low = CostEstimate {
+            db_exponent: 1.0,
+            planning_units: 0.0,
+        };
+        let high = CostEstimate {
+            db_exponent: 3.0,
+            planning_units: 0.0,
+        };
+        assert!(low.predict(100) < low.predict(1000));
+        assert!(low.predict(100) < high.predict(100));
+    }
+
+    #[test]
+    fn strategy_tags_are_distinct() {
+        let naive = QueryPlan::NaiveJoin;
+        assert_eq!(naive.strategy(), "naive-join");
+        assert!(naive.ghd().is_none());
+    }
+}

@@ -1,0 +1,185 @@
+//! A minimal text format for `(queries, database)` workloads, used by
+//! the `cqd2-analyze eval` subcommand and the serving example.
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! Q: R(?x, ?y), S(?y, ?z)     # one query per `Q:` line (a batch)
+//! R(1, 2)                     # every other line is a ground fact
+//! S(2, 3)
+//! S(2, 4)
+//! ```
+//!
+//! Terms starting with `?` are variables (scoped per query line);
+//! anything else must parse as a `u64` constant.
+
+use cqd2_cq::{ConjunctiveQuery, Database};
+
+/// A parsed workload file: a batch of queries over one shared database.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Queries in file order.
+    pub queries: Vec<ConjunctiveQuery>,
+    /// The shared database.
+    pub db: Database,
+}
+
+/// Parse the workload format. Errors name the offending line (1-based).
+pub fn parse_workload(input: &str) -> Result<Workload, String> {
+    let mut queries = Vec::new();
+    let mut db = Database::new();
+    // First-seen arity per relation: `Database::insert` treats arity
+    // mismatches as schema errors (panic), so catch them here with a
+    // line number instead.
+    let mut arities: std::collections::HashMap<String, (usize, usize)> =
+        std::collections::HashMap::new();
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(qtext) = line.strip_prefix("Q:") {
+            queries.push(parse_query(qtext).map_err(|e| format!("line {}: {e}", lineno + 1))?);
+        } else {
+            let (rel, terms) =
+                parse_atom_text(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            let tuple: Vec<u64> = terms
+                .iter()
+                .map(|t| {
+                    t.parse::<u64>()
+                        .map_err(|_| format!("line {}: fact term `{t}` is not a u64", lineno + 1))
+                })
+                .collect::<Result<_, _>>()?;
+            let (first_arity, first_line) = *arities
+                .entry(rel.clone())
+                .or_insert((tuple.len(), lineno + 1));
+            if tuple.len() != first_arity {
+                return Err(format!(
+                    "line {}: relation `{rel}` has {} terms here but {first_arity} on line {first_line}",
+                    lineno + 1,
+                    tuple.len()
+                ));
+            }
+            db.insert(&rel, &tuple);
+        }
+    }
+    if queries.is_empty() {
+        return Err("no `Q:` line found".to_string());
+    }
+    Ok(Workload { queries, db })
+}
+
+/// Parse one query body: a comma-separated list of atoms.
+pub fn parse_query(text: &str) -> Result<ConjunctiveQuery, String> {
+    let mut atoms: Vec<(String, Vec<String>)> = Vec::new();
+    let mut rest = text.trim();
+    while !rest.is_empty() {
+        let close = rest
+            .find(')')
+            .ok_or_else(|| format!("missing `)` in `{rest}`"))?;
+        let (atom_text, tail) = rest.split_at(close + 1);
+        let (rel, terms) = parse_atom_text(atom_text.trim())?;
+        atoms.push((rel, terms));
+        let tail = tail.trim_start();
+        rest = match tail.strip_prefix(',') {
+            Some(after) => after.trim(),
+            None if tail.is_empty() => tail,
+            None => {
+                return Err(format!("expected `,` between atoms, found `{tail}`"));
+            }
+        };
+    }
+    if atoms.is_empty() {
+        return Err("query has no atoms".to_string());
+    }
+    let borrowed: Vec<(&str, Vec<&str>)> = atoms
+        .iter()
+        .map(|(r, ts)| (r.as_str(), ts.iter().map(String::as_str).collect()))
+        .collect();
+    let for_parse: Vec<(&str, &[&str])> =
+        borrowed.iter().map(|(r, ts)| (*r, ts.as_slice())).collect();
+    Ok(ConjunctiveQuery::parse(&for_parse))
+}
+
+/// Split `R(t1, t2, …)` into the relation name and raw term texts.
+fn parse_atom_text(text: &str) -> Result<(String, Vec<String>), String> {
+    let open = text
+        .find('(')
+        .ok_or_else(|| format!("expected `Rel(…)`, got `{text}`"))?;
+    let rel = text[..open].trim();
+    if rel.is_empty() {
+        return Err(format!("missing relation name in `{text}`"));
+    }
+    let body = text[open + 1..]
+        .strip_suffix(')')
+        .ok_or_else(|| format!("missing `)` in `{text}`"))?;
+    let terms: Vec<String> = if body.trim().is_empty() {
+        Vec::new()
+    } else {
+        body.split(',').map(|t| t.trim().to_string()).collect()
+    };
+    if terms.iter().any(String::is_empty) {
+        return Err(format!("empty term in `{text}`"));
+    }
+    Ok((rel.to_string(), terms))
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqd2_cq::eval::{bcq_naive, count_naive};
+
+    #[test]
+    fn parses_queries_and_facts() {
+        let w = parse_workload(
+            "# demo\n\
+             Q: R(?x, ?y), S(?y, ?z)\n\
+             Q: R(?a, ?a)\n\
+             R(1, 2)   # planted\n\
+             R(3, 3)\n\
+             S(2, 3)\n",
+        )
+        .unwrap();
+        assert_eq!(w.queries.len(), 2);
+        assert_eq!(w.db.size(), 3);
+        assert!(bcq_naive(&w.queries[0], &w.db));
+        assert_eq!(count_naive(&w.queries[0], &w.db), 1);
+        assert!(bcq_naive(&w.queries[1], &w.db)); // R(3,3) matches ?a,?a
+    }
+
+    #[test]
+    fn constants_in_queries() {
+        let w = parse_workload("Q: R(?x, 7)\nR(1, 7)\nR(2, 8)\n").unwrap();
+        assert_eq!(count_naive(&w.queries[0], &w.db), 1);
+    }
+
+    #[test]
+    fn arity_mismatch_is_an_error_not_a_panic() {
+        let err = parse_workload("Q: R(?x)\nR(1)\nR(1, 2)\n").unwrap_err();
+        assert!(
+            err.contains("line 3") && err.contains("line 2"),
+            "should cite both the offending and the first-seen line: {err}"
+        );
+    }
+
+    #[test]
+    fn stray_atom_separator_is_rejected() {
+        let err = parse_workload("Q: R(?x, ?y); S(?y, ?z)\nR(1, 2)\n").unwrap_err();
+        assert!(err.contains("expected `,` between atoms"), "{err}");
+    }
+
+    #[test]
+    fn errors_name_the_line() {
+        let err = parse_workload("Q: R(?x\nR(1)\n").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        let err = parse_workload("Q: R(?x)\nR(banana)\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        assert!(parse_workload("R(1, 2)\n").unwrap_err().contains("no `Q:`"));
+    }
+}

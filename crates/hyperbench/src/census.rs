@@ -146,9 +146,9 @@ pub fn census(corpus: &[CorpusEntry]) -> CensusReport {
             degree2_synthetic += 1;
         }
         let stats = analyze(h);
-        for k in 1..=5 {
+        for (k, count) in exceed.iter_mut().enumerate().take(6).skip(1) {
             if stats.ghw_lower > k {
-                exceed[k] += 1;
+                *count += 1;
             }
         }
     }

@@ -232,9 +232,7 @@ mod tests {
         assert_eq!(degree2, 932, "degree-2 slice size");
         let synthetic_d2 = corpus
             .iter()
-            .filter(|e| {
-                e.hypergraph.max_degree() <= 2 && e.provenance == Provenance::Synthetic
-            })
+            .filter(|e| e.hypergraph.max_degree() <= 2 && e.provenance == Provenance::Synthetic)
             .count();
         assert_eq!(synthetic_d2, 16, "synthetic degree-2 instances");
     }

@@ -97,7 +97,7 @@ pub fn recognize_grid(g: &Graph) -> Option<(usize, usize, GridCoords)> {
         let width = d1[c2 as usize];
         // Candidate: c2 is the corner in the same row, at distance m-1.
         let m = width + 1;
-        if n % m != 0 {
+        if !n.is_multiple_of(m) {
             continue;
         }
         let rows = n / m;
@@ -107,7 +107,7 @@ pub fn recognize_grid(g: &Graph) -> Option<(usize, usize, GridCoords)> {
         let mut ok = true;
         for v in 0..n {
             let (a, b) = (d1[v], d2[v]);
-            if (a + width) < b || (a + width - b) % 2 != 0 {
+            if (a + width) < b || !(a + width - b).is_multiple_of(2) {
                 ok = false;
                 break;
             }
@@ -175,10 +175,7 @@ fn path_order(g: &Graph) -> Option<Vec<u32>> {
     let mut prev = ends[0];
     let mut cur = ends[0];
     while order.len() < n {
-        let next = *g
-            .neighbors(cur)
-            .iter()
-            .find(|&&w| w != prev)?;
+        let next = *g.neighbors(cur).iter().find(|&&w| w != prev)?;
         order.push(next);
         prev = cur;
         cur = next;
@@ -242,9 +239,7 @@ pub fn recognize_jigsaw(h: &Hypergraph) -> Option<(usize, usize)> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cqd2_hypergraph::generators::{
-        grid_graph, hyperchain, hypercycle, hyperstar, path_graph,
-    };
+    use cqd2_hypergraph::generators::{grid_graph, hyperchain, hypercycle, hyperstar, path_graph};
     use cqd2_hypergraph::{dual, reduce};
 
     fn jigsaw(n: usize, m: usize) -> Hypergraph {

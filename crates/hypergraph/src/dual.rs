@@ -51,10 +51,7 @@ pub fn dual(h: &Hypergraph) -> (Hypergraph, DualMap) {
         }
     }
 
-    let dual_vertex_names: Vec<String> = h
-        .edge_ids()
-        .map(|e| h.edge_name(e).to_string())
-        .collect();
+    let dual_vertex_names: Vec<String> = h.edge_ids().map(|e| h.edge_name(e).to_string()).collect();
     debug_assert_eq!(dual_vertex_names.len(), n_dual_vertices);
     let hd = Hypergraph::from_parts(dual_vertex_names, dual_edge_names, dual_edges);
     let map = DualMap {
@@ -90,7 +87,13 @@ mod tests {
         // degree(H^d) = rank(H) and rank(H^d) = degree(H).
         let h = Hypergraph::new(
             5,
-            &[vec![0, 1, 2], vec![2, 3], vec![2, 4], vec![3, 4], vec![0, 3]],
+            &[
+                vec![0, 1, 2],
+                vec![2, 3],
+                vec![2, 4],
+                vec![3, 4],
+                vec![0, 3],
+            ],
         )
         .unwrap();
         assert!(crate::reduce::is_reduced(&h));
@@ -119,11 +122,8 @@ mod tests {
     #[test]
     fn double_dual_of_reduced_is_identity() {
         // (H^d)^d = H for reduced H (paper, Section 2).
-        let h = Hypergraph::new(
-            6,
-            &[vec![0, 1, 2], vec![2, 3], vec![3, 4, 5], vec![0, 5]],
-        )
-        .unwrap();
+        let h =
+            Hypergraph::new(6, &[vec![0, 1, 2], vec![2, 3], vec![3, 4, 5], vec![0, 5]]).unwrap();
         let (hr, _) = reduce(&h);
         let (hd, _) = dual(&hr);
         let (hdd, _) = dual(&hd);

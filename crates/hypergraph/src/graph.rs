@@ -5,7 +5,6 @@
 //! conversions to/from [`Hypergraph`] are provided.
 
 use crate::hypergraph::{Hypergraph, VertexId};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -14,7 +13,8 @@ use std::fmt;
 /// Self-loops and parallel edges are not representable: edges are stored as
 /// ordered pairs `(u, v)` with `u < v` in a sorted set, with a redundant
 /// adjacency list for traversal.
-#[derive(Clone, Serialize, Deserialize)]
+#[derive(Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Graph {
     n: usize,
     edges: BTreeSet<(u32, u32)>,
@@ -286,7 +286,13 @@ impl From<&Graph> for Hypergraph {
 
 impl fmt::Debug for Graph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Graph(n={}, m={}) {:?}", self.n, self.edges.len(), self.edges)
+        write!(
+            f,
+            "Graph(n={}, m={}) {:?}",
+            self.n,
+            self.edges.len(),
+            self.edges
+        )
     }
 }
 

@@ -1,15 +1,16 @@
 //! The core [`Hypergraph`] type and its mutation primitives.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// Dense identifier of a vertex in a [`Hypergraph`].
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct VertexId(pub u32);
 
 /// Dense identifier of an edge in a [`Hypergraph`].
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EdgeId(pub u32);
 
 impl VertexId {
@@ -75,7 +76,8 @@ impl std::error::Error for HgError {}
 /// `None` means the vertex/edge was deleted. Several old edges may map to the
 /// same new edge when a mutation makes their vertex sets equal (set semantics
 /// of `E(H)`), or when edges are merged.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct OpTrace {
     /// For each old vertex id, the corresponding new vertex id, if any.
     pub vertex_map: Vec<Option<VertexId>>,
@@ -121,7 +123,8 @@ impl OpTrace {
 ///
 /// Vertices and edges carry human-readable names used by pretty-printing and
 /// by the conjunctive-query layer (variable and relation names).
-#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Hypergraph {
     vertex_names: Vec<String>,
     edge_names: Vec<String>,
@@ -412,8 +415,8 @@ impl Hypergraph {
         }
         let mut vertex_map: Vec<Option<VertexId>> = Vec::with_capacity(self.num_vertices());
         let mut new_vertex_names = Vec::new();
-        for u in 0..self.num_vertices() {
-            if in_keep[u] {
+        for (u, kept) in in_keep.iter().enumerate() {
+            if *kept {
                 vertex_map.push(Some(VertexId(new_vertex_names.len() as u32)));
                 new_vertex_names.push(self.vertex_names[u].clone());
             } else {
@@ -433,8 +436,7 @@ impl Hypergraph {
         let mut seen: BTreeMap<Vec<VertexId>, EdgeId> = BTreeMap::new();
         let mut edge_map: Vec<Option<EdgeId>> = Vec::with_capacity(self.num_edges());
         for (_ei, e) in self.edges.iter().enumerate() {
-            let mut ne: Vec<VertexId> =
-                e.iter().filter_map(|v| vertex_map[v.idx()]).collect();
+            let mut ne: Vec<VertexId> = e.iter().filter_map(|v| vertex_map[v.idx()]).collect();
             ne.sort_unstable();
             match seen.get(&ne) {
                 Some(&id) => edge_map.push(Some(id)),
@@ -532,12 +534,12 @@ impl Hypergraph {
         let mut seen: BTreeMap<Vec<VertexId>, EdgeId> = BTreeMap::new();
         let mut edge_map: Vec<Option<EdgeId>> = vec![None; self.num_edges()];
         let mut merged_id: Option<EdgeId> = None;
-        for ei in 0..self.num_edges() {
+        for (ei, slot) in edge_map.iter_mut().enumerate() {
             let e = EdgeId(ei as u32);
             let in_iv = iv.contains(&e);
             let content = if in_iv {
                 if let Some(id) = merged_id {
-                    edge_map[ei] = Some(id);
+                    *slot = Some(id);
                     continue;
                 }
                 merged.clone()
@@ -546,7 +548,7 @@ impl Hypergraph {
             };
             match seen.get(&content) {
                 Some(&id) => {
-                    edge_map[ei] = Some(id);
+                    *slot = Some(id);
                     if in_iv {
                         merged_id = Some(id);
                     }
@@ -560,7 +562,7 @@ impl Hypergraph {
                         self.edge_names[ei].clone()
                     });
                     new_edges.push(content);
-                    edge_map[ei] = Some(id);
+                    *slot = Some(id);
                     if in_iv {
                         merged_id = Some(id);
                     }
@@ -695,10 +697,7 @@ mod tests {
         .unwrap();
         let (m, trace) = h.merge_on_vertex(VertexId(1)).unwrap();
         assert_eq!(m.num_edges(), 1);
-        assert_eq!(
-            m.edge(EdgeId(0)),
-            &[VertexId(0), VertexId(2), VertexId(3)]
-        );
+        assert_eq!(m.edge(EdgeId(0)), &[VertexId(0), VertexId(2), VertexId(3)]);
         // All three old edges map to the merged edge.
         assert!(trace.edge_map.iter().all(|&e| e == Some(EdgeId(0))));
         // y is now isolated but still present.

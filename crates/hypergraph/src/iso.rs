@@ -52,8 +52,11 @@ impl Isomorphism {
         }
         // Edge preservation.
         for e in h1.edge_ids() {
-            let mut image: Vec<VertexId> =
-                h1.edge(e).iter().map(|v| self.vertex_map[v.idx()]).collect();
+            let mut image: Vec<VertexId> = h1
+                .edge(e)
+                .iter()
+                .map(|v| self.vertex_map[v.idx()])
+                .collect();
             image.sort_unstable();
             if image != h2.edge(self.edge_map[e.idx()]) {
                 return false;
@@ -88,6 +91,18 @@ fn invariant(h: &Hypergraph) -> (Vec<usize>, Vec<usize>, Vec<Vec<usize>>) {
         .collect();
     profiles.sort_unstable();
     (degrees, sizes, profiles)
+}
+
+/// A 64-bit isomorphism-invariant fingerprint: equal for isomorphic
+/// hypergraphs, usually distinct otherwise. Useful as a hash-table key
+/// for structures defined up to isomorphism (candidates with equal
+/// fingerprints still need [`find_isomorphism`] to confirm).
+pub fn fingerprint(h: &Hypergraph) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    h.num_vertices().hash(&mut hasher);
+    invariant(h).hash(&mut hasher);
+    hasher.finish()
 }
 
 /// Decide whether `h1 ≅ h2`.
@@ -140,7 +155,7 @@ fn connectivity_order(h: &Hypergraph) -> Vec<EdgeId> {
                 .filter(|&&f| h.edge_intersection_size(e, f) > 0)
                 .count();
             let key = (overlap, h.edge(e).len(), e);
-            if best.map_or(true, |b| (key.0, key.1) > (b.0, b.1)) {
+            if best.is_none_or(|b| (key.0, key.1) > (b.0, b.1)) {
                 best = Some(key);
             }
         }

@@ -36,5 +36,5 @@ pub use builder::HypergraphBuilder;
 pub use dual::{dual, DualMap};
 pub use graph::Graph;
 pub use hypergraph::{EdgeId, HgError, Hypergraph, OpTrace, VertexId};
-pub use iso::{are_isomorphic, find_isomorphism, Isomorphism};
+pub use iso::{are_isomorphic, find_isomorphism, fingerprint, Isomorphism};
 pub use reduce::{reduce, ReductionRecord};

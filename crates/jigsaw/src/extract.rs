@@ -134,7 +134,9 @@ mod tests {
     fn figure2_dilutes_to_3x2_jigsaw() {
         let h = figure2_hypergraph();
         assert!(h.max_degree() <= 2);
-        let extraction = extract_jigsaw(&h, 2, BUDGET).unwrap().expect("jigsaw found");
+        let extraction = extract_jigsaw(&h, 2, BUDGET)
+            .unwrap()
+            .expect("jigsaw found");
         assert!(extraction.n >= 2);
         // Specifically, the 3x2 target of Figure 2 is reachable: check the
         // rectangular variant explicitly via the duality decision.

@@ -57,7 +57,7 @@ pub fn jigsaw_dimension(h: &Hypergraph) -> Option<(usize, usize)> {
     }
     // Vertex count must be n(m-1) + (n-1)m.
     for n in 1..=k {
-        if k % n != 0 {
+        if !k.is_multiple_of(n) {
             continue;
         }
         let m = k / n;
@@ -144,8 +144,14 @@ fn parse_cell(name: &str) -> (usize, usize) {
         .trim_start_matches("m(")
         .trim_end_matches(')');
     let mut parts = inner.split(',');
-    let i: usize = parts.next().and_then(|s| s.trim().parse().ok()).unwrap_or(0);
-    let j: usize = parts.next().and_then(|s| s.trim().parse().ok()).unwrap_or(0);
+    let i: usize = parts
+        .next()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(0);
+    let j: usize = parts
+        .next()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(0);
     (j, i)
 }
 

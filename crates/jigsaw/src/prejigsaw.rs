@@ -114,6 +114,7 @@ impl PreJigsawWitness {
         Ok(())
     }
 
+    #[allow(clippy::too_many_arguments)] // the Lemma D.4 witness check naturally takes the whole context
     fn check_path(
         &self,
         h: &Hypergraph,
@@ -426,8 +427,8 @@ mod tests {
             .expect("grid survives subdivision");
         let mut model = model;
         model.make_onto(&hd_graph);
-        let expressive = build_expressive(&hd, &pattern, &model, 2_000_000)
-            .expect("expressive marking exists");
+        let expressive =
+            build_expressive(&hd, &pattern, &model, 2_000_000).expect("expressive marking exists");
         let (trimmed, witness) = prejigsaw_from_expressive(&h, 2, 2, &expressive).unwrap();
         witness.validate(&trimmed).unwrap();
     }

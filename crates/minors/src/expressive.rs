@@ -65,11 +65,7 @@ impl ExpressiveMinor {
         }
         for (i, &(u, v)) in self.pattern_edges.iter().enumerate() {
             let he = self.rho[i];
-            let touches = |set: &[u32]| {
-                h.edge(he)
-                    .iter()
-                    .any(|w| set.contains(&w.0))
-            };
+            let touches = |set: &[u32]| h.edge(he).iter().any(|w| set.contains(&w.0));
             if !touches(&self.mu.branch_sets[u as usize])
                 || !touches(&self.mu.branch_sets[v as usize])
             {
@@ -128,8 +124,7 @@ pub fn edge_path_exists(
     allowed_vertices: &[u32],
     marked: &BTreeSet<EdgeId>,
 ) -> bool {
-    let allowed: BTreeSet<VertexId> =
-        allowed_vertices.iter().map(|&v| VertexId(v)).collect();
+    let allowed: BTreeSet<VertexId> = allowed_vertices.iter().map(|&v| VertexId(v)).collect();
     if from == to {
         return true;
     }
@@ -275,7 +270,17 @@ fn assign(
         *budget -= 1;
         rho[i] = Some(e);
         used.insert(e);
-        if assign(h, pattern, mu, pattern_edges, candidates, i + 1, rho, used, budget) {
+        if assign(
+            h,
+            pattern,
+            mu,
+            pattern_edges,
+            candidates,
+            i + 1,
+            rho,
+            used,
+            budget,
+        ) {
             return true;
         }
         used.remove(&e);
@@ -371,6 +376,12 @@ mod tests {
         assert!(!edge_path_exists(&h, EdgeId(0), EdgeId(2), &all, &marked));
         // Restricting allowed vertices also blocks.
         let marked_empty = BTreeSet::new();
-        assert!(!edge_path_exists(&h, EdgeId(0), EdgeId(2), &[0, 1], &marked_empty));
+        assert!(!edge_path_exists(
+            &h,
+            EdgeId(0),
+            EdgeId(2),
+            &[0, 1],
+            &marked_empty
+        ));
     }
 }

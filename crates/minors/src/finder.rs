@@ -46,18 +46,13 @@ pub fn find_minor(pattern: &Graph, host: &Graph, budget: u64) -> MinorSearch {
 /// model *with branch sets of size ≤ cap*. Iterative deepening over `cap`
 /// is how [`crate::grid::find_grid_minor`] stays fast on hosts where small
 /// models exist.
-pub fn find_minor_capped(
-    pattern: &Graph,
-    host: &Graph,
-    budget: u64,
-    cap: usize,
-) -> MinorSearch {
+pub fn find_minor_capped(pattern: &Graph, host: &Graph, budget: u64, cap: usize) -> MinorSearch {
     if pattern.num_vertices() == 0 {
-        return MinorSearch::Found(MinorMap { branch_sets: vec![] });
+        return MinorSearch::Found(MinorMap {
+            branch_sets: vec![],
+        });
     }
-    if pattern.num_vertices() > host.num_vertices()
-        || pattern.num_edges() > host.num_edges()
-    {
+    if pattern.num_vertices() > host.num_vertices() || pattern.num_edges() > host.num_edges() {
         return MinorSearch::NotMinor;
     }
     let order = placement_order(pattern);
@@ -146,7 +141,9 @@ impl State<'_> {
         }
         let v = self.order[depth];
         // Earlier neighbours whose branch sets we must touch.
-        let anchors: Vec<u32> = self.pattern.neighbors(v)
+        let anchors: Vec<u32> = self
+            .pattern
+            .neighbors(v)
             .iter()
             .copied()
             .filter(|&u| self.order[..depth].contains(&u))
@@ -254,9 +251,7 @@ impl State<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cqd2_hypergraph::generators::{
-        complete_graph, cycle_graph, grid_graph, path_graph,
-    };
+    use cqd2_hypergraph::generators::{complete_graph, cycle_graph, grid_graph, path_graph};
 
     const BUDGET: u64 = 2_000_000;
 

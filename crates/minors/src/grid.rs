@@ -150,8 +150,7 @@ pub fn find_grid_minor(host: &Graph, n: usize, m: usize, budget: u64) -> MinorSe
                 .branch_sets
                 .into_iter()
                 .map(|bs| {
-                    let mut s: Vec<u32> =
-                        bs.into_iter().map(|x| keep[x as usize]).collect();
+                    let mut s: Vec<u32> = bs.into_iter().map(|x| keep[x as usize]).collect();
                     s.sort_unstable();
                     s
                 })
@@ -200,7 +199,12 @@ pub fn find_grid_minor(host: &Graph, n: usize, m: usize, budget: u64) -> MinorSe
 pub fn largest_square_grid_minor(host: &Graph, budget: u64) -> (usize, Option<MinorMap>) {
     let mut best = (0, None);
     if host.num_vertices() > 0 {
-        best = (1, Some(MinorMap { branch_sets: vec![vec![0]] }));
+        best = (
+            1,
+            Some(MinorMap {
+                branch_sets: vec![vec![0]],
+            }),
+        );
     }
     let mut n = 2;
     loop {
@@ -287,7 +291,9 @@ mod tests {
     fn largest_square_in_grids() {
         let (n, m) = largest_square_grid_minor(&grid_graph(3, 3), BUDGET);
         assert_eq!(n, 3);
-        m.unwrap().validate(&grid_graph(3, 3), &grid_graph(3, 3)).unwrap();
+        m.unwrap()
+            .validate(&grid_graph(3, 3), &grid_graph(3, 3))
+            .unwrap();
         let (n2, _) = largest_square_grid_minor(&grid_graph(2, 5), BUDGET);
         assert_eq!(n2, 2);
         let (n3, _) = largest_square_grid_minor(&path_graph(9), BUDGET);

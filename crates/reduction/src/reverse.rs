@@ -329,6 +329,9 @@ mod tests {
         let inst = Instance::canonical(&m, Database::new(), "Q");
         let report = reduce_along(&h, &seq, &inst).unwrap();
         verify_reduction(&inst, &report).unwrap();
-        assert!(!cqd2_cq::bcq_naive(&report.instance.query, &report.instance.db));
+        assert!(!cqd2_cq::bcq_naive(
+            &report.instance.query,
+            &report.instance.db
+        ));
     }
 }

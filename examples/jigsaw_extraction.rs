@@ -26,8 +26,12 @@ fn main() {
     for (i, op) in extraction.sequence.ops.iter().enumerate() {
         println!("  step {:>2}: {op:?}", i + 1);
     }
-    verify_dilution(&h, &jigsaw(extraction.n, extraction.n), &extraction.sequence)
-        .expect("sequence verified");
+    verify_dilution(
+        &h,
+        &jigsaw(extraction.n, extraction.n),
+        &extraction.sequence,
+    )
+    .expect("sequence verified");
     println!("verified: result isomorphic to the jigsaw, Lemma 3.2 invariants hold.\n");
 
     // The f(n) shape of Theorem 4.7: larger hidden grids -> larger

@@ -46,7 +46,10 @@ fn main() {
     let via_ghd = cqd2::cq::eval::bcq_via_ghd(&q, &db, &ghd).expect("valid GHD");
     let count = cqd2::count_answers(&q, &db);
     println!("BCQ naive:  {naive}");
-    println!("BCQ GHD:    {via_ghd} (width-{} decomposition)", ghd.width());
+    println!(
+        "BCQ GHD:    {via_ghd} (width-{} decomposition)",
+        ghd.width()
+    );
     println!("#CQ:        {count}");
     assert_eq!(naive, via_ghd);
 

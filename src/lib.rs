@@ -1,0 +1,7 @@
+//! Stub library for the workspace-root package.
+//!
+//! The repo-level `tests/` and `examples/` directories attach to this
+//! package; the actual code lives in the `crates/` members (start at
+//! `crates/core`, the `cqd2` facade).
+
+pub use cqd2;

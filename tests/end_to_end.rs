@@ -62,8 +62,7 @@ fn hardness_transfer_preserves_unsatisfiability() {
         let instance = Instance::canonical(&concrete, db, "Q");
         let answer = cqd2::cq::eval::bcq_naive(&instance.query, &instance.db);
         let report = reduce_along(&host, &extraction.sequence, &instance).unwrap();
-        let reduced_answer =
-            cqd2::cq::eval::bcq_naive(&report.instance.query, &report.instance.db);
+        let reduced_answer = cqd2::cq::eval::bcq_naive(&report.instance.query, &report.instance.db);
         assert_eq!(answer, reduced_answer, "BCQ answer changed (seed {seed})");
         verify_reduction(&instance, &report).unwrap();
         tested_no |= !answer;

@@ -1,0 +1,240 @@
+//! Integration tests for the `cqd2-engine` serving layer: planner
+//! strategy selection, plan-cache semantics under isomorphic renaming,
+//! batch execution against the end-to-end pipeline fixtures, and plan
+//! persistence through the `serde` feature.
+
+use cqd2::cq::eval::{bcq_naive, count_naive};
+use cqd2::cq::generate::{canonical_query, planted_database, random_database};
+use cqd2::cq::{ConjunctiveQuery, Term, Var};
+use cqd2::engine::{Engine, EngineConfig, PlannerConfig, QueryPlan, Request, Workload};
+use cqd2::hypergraph::generators::{hyperchain, hypercycle, random_degree_bounded};
+use cqd2::jigsaw::extract::decorated_jigsaw_dual;
+use cqd2::jigsaw::jigsaw;
+
+/// An isomorphic copy of `q`: variable ids rotated by `shift`, relations
+/// renamed with a `tag`. Same hypergraph structure, different names and
+/// coordinates — exactly what a repeated-shape workload looks like.
+fn renamed_copy(q: &ConjunctiveQuery, shift: usize, tag: &str) -> ConjunctiveQuery {
+    let n = q.num_vars();
+    let rot = |v: Var| Var(((v.idx() + shift) % n) as u32);
+    let mut var_names = vec![String::new(); n];
+    for (i, name) in q.var_names.iter().enumerate() {
+        var_names[(i + shift) % n] = format!("{name}_{tag}");
+    }
+    let atoms = q
+        .atoms
+        .iter()
+        .map(|a| cqd2::cq::Atom {
+            relation: format!("{}_{tag}", a.relation),
+            terms: a
+                .terms
+                .iter()
+                .map(|t| match t {
+                    Term::Var(v) => Term::Var(rot(*v)),
+                    Term::Const(c) => Term::Const(*c),
+                })
+                .collect(),
+        })
+        .collect();
+    ConjunctiveQuery { atoms, var_names }
+}
+
+/// Rename the database of `q` to match `renamed_copy(q, _, tag)`.
+fn renamed_db(q: &ConjunctiveQuery, db: &cqd2::cq::Database, tag: &str) -> cqd2::cq::Database {
+    let mut out = cqd2::cq::Database::new();
+    for atom in &q.atoms {
+        if let Some(rel) = db.relation(&atom.relation) {
+            out.insert_all(&format!("{}_{tag}", atom.relation), &rel.tuples);
+        }
+    }
+    out
+}
+
+#[test]
+fn planner_routes_acyclic_queries_to_yannakakis() {
+    let engine = Engine::default();
+    let q = canonical_query(&hyperchain(5, 3));
+    let (planned, _, _) = engine.plan(&q, Workload::Boolean);
+    match planned.plan {
+        QueryPlan::GhdYannakakis { width, .. } => assert_eq!(width, 1),
+        other => panic!("expected width-1 Yannakakis for a chain, got {other:?}"),
+    }
+    let (counted, _, _) = engine.plan(&q, Workload::Count);
+    assert!(matches!(counted.plan, QueryPlan::CountingDp { .. }));
+}
+
+#[test]
+fn planner_routes_grid_like_degree2_queries_to_jigsaw() {
+    let engine = Engine::default();
+    let q = canonical_query(&jigsaw(3, 3));
+    let (planned, _, _) = engine.plan(&q, Workload::Boolean);
+    match &planned.plan {
+        QueryPlan::JigsawReduce { n, sequence } => {
+            // The fixture *is* the 3×3 jigsaw, so the verified dilution
+            // sequence to it may legitimately be empty.
+            assert_eq!(*n, 3);
+            let _ = sequence;
+        }
+        other => panic!("expected a jigsaw hardness certificate, got {other:?}"),
+    }
+    // The certificate explains the hard regime in its notes.
+    assert!(
+        planned.explain().contains("jigsaw"),
+        "{}",
+        planned.explain()
+    );
+}
+
+#[test]
+fn planner_routes_wide_oversize_queries_to_naive() {
+    let engine = Engine::new(EngineConfig {
+        planner: PlannerConfig {
+            use_heuristic_ghd: false,
+            jigsaw_max_n: 0,
+            ..PlannerConfig::default()
+        },
+        ..EngineConfig::default()
+    });
+    let h = random_degree_bounded(30, 3, 3, 0.4, 7);
+    assert!(
+        h.num_vertices() > 26,
+        "fixture must exceed the exact-ghw cap"
+    );
+    let q = canonical_query(&h);
+    let (planned, _, _) = engine.plan(&q, Workload::Boolean);
+    assert!(
+        matches!(planned.plan, QueryPlan::NaiveJoin),
+        "got {planned:?}"
+    );
+}
+
+#[test]
+fn plan_cache_hits_isomorphic_renamed_queries() {
+    let engine = Engine::default();
+    let base = canonical_query(&hypercycle(6, 2));
+    let base_db = planted_database(&base, 8, 20, 42);
+
+    // Cold: one miss.
+    assert!(engine.solve_bcq(&base, &base_db));
+    let after_first = engine.cache_stats();
+    assert_eq!((after_first.hits, after_first.misses), (0, 1));
+
+    // Ten isomorphic-but-renamed copies: all hits, no new entries, and
+    // answers agree with naive evaluation on the renamed databases.
+    for i in 1..=10 {
+        let q = renamed_copy(&base, i, &format!("v{i}"));
+        let db = renamed_db(&base, &base_db, &format!("v{i}"));
+        assert_eq!(engine.solve_bcq(&q, &db), bcq_naive(&q, &db));
+    }
+    let warm = engine.cache_stats();
+    assert_eq!(warm.misses, 1, "renamings must not re-plan");
+    assert_eq!(warm.hits, 10);
+    assert_eq!(warm.entries, 1);
+
+    // A structurally different query is a miss.
+    let other = canonical_query(&hyperchain(6, 2));
+    let other_db = random_database(&other, 5, 10, 3);
+    engine.solve_bcq(&other, &other_db);
+    assert_eq!(engine.cache_stats().misses, 2);
+}
+
+#[test]
+fn batch_execution_matches_naive_on_pipeline_fixtures() {
+    // The end-to-end pipeline fixture: a decorated degree-2 host hiding
+    // a 3×3 grid in its dual, exactly as in tests/end_to_end.rs.
+    let host = decorated_jigsaw_dual(3, 3, 1, 1);
+    let host_q = canonical_query(&host);
+    let host_db = planted_database(&host_q, 4, 6, 9);
+
+    let cycle_q = canonical_query(&hypercycle(5, 2));
+    let cycle_db = random_database(&cycle_q, 6, 14, 5);
+    let chain_q = canonical_query(&hyperchain(4, 2));
+    let chain_db = random_database(&chain_q, 6, 14, 6);
+
+    let requests = vec![
+        Request {
+            query: &host_q,
+            db: &host_db,
+            workload: Workload::Boolean,
+        },
+        Request {
+            query: &cycle_q,
+            db: &cycle_db,
+            workload: Workload::Boolean,
+        },
+        Request {
+            query: &chain_q,
+            db: &chain_db,
+            workload: Workload::Count,
+        },
+        Request {
+            query: &cycle_q,
+            db: &cycle_db,
+            workload: Workload::Count,
+        },
+        Request {
+            query: &host_q,
+            db: &host_db,
+            workload: Workload::Count,
+        },
+    ];
+    let engine = Engine::new(EngineConfig {
+        workers: 3,
+        ..EngineConfig::default()
+    });
+    let responses = engine.execute_batch(&requests);
+    assert_eq!(responses.len(), requests.len());
+
+    for (req, resp) in requests.iter().zip(&responses) {
+        match req.workload {
+            Workload::Boolean => assert_eq!(
+                resp.answer.as_bool().unwrap(),
+                bcq_naive(req.query, req.db),
+                "boolean mismatch"
+            ),
+            Workload::Count => assert_eq!(
+                resp.answer.as_count().unwrap(),
+                count_naive(req.query, req.db),
+                "count mismatch"
+            ),
+        }
+    }
+    // The planted host instance must be satisfiable, and its plan must
+    // carry the Theorem 4.7 certificate.
+    assert_eq!(responses[0].answer.as_bool(), Some(true));
+    assert!(matches!(
+        responses[0].provenance.planned.plan,
+        QueryPlan::JigsawReduce { n: 3, .. }
+    ));
+    // Three distinct structures, five requests: two cache hits.
+    let stats = engine.cache_stats();
+    assert_eq!(stats.entries, 3);
+    assert_eq!(stats.hits + stats.misses, 5);
+    assert_eq!(stats.misses, 3);
+}
+
+#[test]
+fn facade_delegates_to_shared_engine() {
+    let q = canonical_query(&hypercycle(4, 2));
+    let db = planted_database(&q, 5, 9, 11);
+    assert_eq!(cqd2::solve_bcq(&q, &db), bcq_naive(&q, &db));
+    assert_eq!(cqd2::count_answers(&q, &db), count_naive(&q, &db));
+    // The shared engine now knows this structure class.
+    let before = Engine::shared().cache_stats();
+    cqd2::solve_bcq(&q, &db);
+    let after = Engine::shared().cache_stats();
+    assert_eq!(after.hits, before.hits + 1);
+    assert_eq!(after.misses, before.misses);
+}
+
+#[test]
+fn plans_roundtrip_through_json() {
+    let engine = Engine::default();
+    for h in [hyperchain(4, 2), hypercycle(5, 2), jigsaw(2, 3)] {
+        let q = canonical_query(&h);
+        let (planned, _, _) = engine.plan(&q, Workload::Boolean);
+        let json = serde::json::to_string_pretty(&planned);
+        let back: cqd2::engine::PlannedQuery = serde::json::from_str(&json).unwrap();
+        assert_eq!(back, planned, "plan JSON roundtrip for {}", q.display());
+    }
+}

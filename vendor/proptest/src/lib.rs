@@ -1,0 +1,315 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! supports the subset of proptest the workspace's property tests use:
+//! the `proptest! { #![proptest_config(…)] #[test] fn f(x in strategy) {…} }`
+//! macro, integer-range and `any::<T>()` strategies,
+//! `proptest::collection::vec`, and `prop_assert!` / `prop_assert_eq!` /
+//! `prop_assume!`. Cases are generated from a PRNG seeded per test-function
+//! name, so runs are deterministic. Failing inputs are reported via
+//! `Debug`; there is **no shrinking** — failures print the raw case.
+
+use rand::rngs::StdRng;
+
+/// Generation source passed to strategies (a seeded PRNG).
+pub type TestRng = StdRng;
+
+/// How a single generated case ended.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case did not satisfy a `prop_assume!` precondition.
+    Reject,
+    /// An assertion failed, with a rendered message.
+    Fail(String),
+}
+
+/// Per-test configuration (`#![proptest_config(…)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` accepted cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value: std::fmt::Debug;
+
+    /// Generate one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized + std::fmt::Debug {
+    /// Generate an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rand::RngCore::next_u64(rng) as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rand::RngCore::next_u64(rng) & 1 == 1
+    }
+}
+
+/// Strategy produced by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The unconstrained strategy for `T` (proptest's `any::<T>()`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `Vec<S::Value>` with length drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// `vec(element, len_range)` as in proptest.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = if self.len.is_empty() {
+                0
+            } else {
+                rand::Rng::gen_range(rng, self.len.clone())
+            };
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Seed a per-test generator from the test's name (deterministic runs).
+pub fn rng_for_test(name: &str) -> TestRng {
+    // FNV-1a over the name; any stable hash works.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    rand::SeedableRng::seed_from_u64(h)
+}
+
+/// Assert within a proptest body; failure reports the generated case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(::std::format!($($fmt)*)));
+        }
+    };
+}
+
+/// Equality assertion within a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let l = $left;
+        let r = $right;
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+}
+
+/// Discard the current case unless the precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// The proptest entry-point macro: expands each `fn` into a `#[test]`
+/// that loops over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run $config; $($rest)*);
+    };
+    (@run $config:expr; $(
+        #[test]
+        fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::rng_for_test(concat!(module_path!(), "::", stringify!($name)));
+                let mut accepted: u32 = 0;
+                let mut attempts: u32 = 0;
+                let max_attempts = config.cases.saturating_mul(20).max(100);
+                while accepted < config.cases && attempts < max_attempts {
+                    attempts += 1;
+                    $(let $arg = $crate::Strategy::sample(&($strategy), &mut rng);)+
+                    let case_desc = || {
+                        let mut s = ::std::string::String::new();
+                        $(
+                            s.push_str(stringify!($arg));
+                            s.push_str(" = ");
+                            s.push_str(&::std::format!("{:?}", $arg));
+                            s.push_str("; ");
+                        )+
+                        s
+                    };
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => accepted += 1,
+                        ::std::result::Result::Err($crate::TestCaseError::Reject) => {}
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest case failed after {} accepted cases: {}\n  case: {}",
+                                accepted, msg, case_desc()
+                            );
+                        }
+                    }
+                }
+                assert!(
+                    accepted > 0,
+                    "proptest: every generated case was rejected by prop_assume! ({} attempts)",
+                    attempts
+                );
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run $crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Everything a test file usually imports.
+pub mod prelude {
+    /// Namespace alias so `proptest::collection::vec` works inside the
+    /// macro-expanded body when the prelude is glob-imported.
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, proptest, Arbitrary, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_respected(x in 3u64..10, v in collection::vec(any::<u8>(), 0..4)) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(v.len() < 4);
+        }
+
+        #[test]
+        fn assume_rejects(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_rng_per_name() {
+        let mut a = crate::rng_for_test("t");
+        let mut b = crate::rng_for_test("t");
+        assert_eq!(
+            rand::RngCore::next_u64(&mut a),
+            rand::RngCore::next_u64(&mut b)
+        );
+    }
+
+    #[test]
+    fn prop_asserts_produce_fail_and_reject() {
+        // The macros communicate through `TestCaseError`; the expansion
+        // turns `Fail` into a panic and `Reject` into a discarded case.
+        fn failing() -> Result<(), TestCaseError> {
+            prop_assert!(1 == 2, "one is not two");
+            Ok(())
+        }
+        assert!(matches!(failing(), Err(TestCaseError::Fail(m)) if m.contains("one is not two")));
+        fn rejecting() -> Result<(), TestCaseError> {
+            prop_assume!(false);
+            Ok(())
+        }
+        assert!(matches!(rejecting(), Err(TestCaseError::Reject)));
+        fn eq_failing() -> Result<(), TestCaseError> {
+            prop_assert_eq!(1 + 1, 3);
+            Ok(())
+        }
+        assert!(matches!(eq_failing(), Err(TestCaseError::Fail(_))));
+    }
+}

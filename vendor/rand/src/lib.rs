@@ -1,0 +1,232 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! provides the *subset* of the rand 0.8 API the workspace uses —
+//! `StdRng::seed_from_u64`, `Rng::{gen_range, gen_bool}`, and
+//! `SliceRandom::{choose, shuffle}` — backed by xoshiro256++ seeded via
+//! SplitMix64. Deterministic for a given seed, which is all the seeded
+//! generators and tests rely on; it makes no statistical-quality claims
+//! beyond "good enough for synthetic test instances".
+
+/// Seeding from a `u64`, as in rand's `SeedableRng` (only the
+/// `seed_from_u64` entry point is provided).
+pub trait SeedableRng: Sized {
+    /// Construct the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a range by [`Rng::gen_range`].
+pub trait SampleUniform: Copy {
+    /// Sample uniformly from `[low, high)` (`high > low`).
+    fn sample_half_open(rng: &mut dyn RngCore, low: Self, high: Self) -> Self;
+}
+
+/// Object-safe core: a source of uniform `u64`s.
+pub trait RngCore {
+    /// The next 64 uniform bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Range argument accepted by [`Rng::gen_range`] (`a..b` and `a..=b`).
+pub trait SampleRange<T> {
+    /// Sample a value from the range.
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+impl<T: SampleUniform + RangeStep> SampleRange<T> for core::ops::Range<T> {
+    fn sample(self, rng: &mut dyn RngCore) -> T {
+        assert!(!self.is_empty(), "gen_range: empty range");
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform + RangeStep> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample(self, rng: &mut dyn RngCore) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_half_open(rng, lo, hi.successor())
+    }
+}
+
+/// Helper for inclusive ranges: the next representable value.
+pub trait RangeStep: PartialOrd {
+    /// `self + 1`, panicking on overflow (never hit by our callers).
+    fn successor(self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(rng: &mut dyn RngCore, low: Self, high: Self) -> Self {
+                let span = (high as i128 - low as i128) as u128;
+                // Multiply-shift rejection-free mapping; bias is < 2^-64,
+                // irrelevant for test-instance generation.
+                let r = rng.next_u64() as u128;
+                low + ((r * span) >> 64) as $t
+            }
+        }
+        impl RangeStep for $t {
+            fn successor(self) -> Self {
+                self.checked_add(1).expect("gen_range: inclusive upper bound at type max")
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The user-facing sampling interface (subset of rand's `Rng`).
+pub trait Rng: RngCore + Sized {
+    /// Uniform sample from `range` (`a..b` or `a..=b`).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// Bernoulli sample with success probability `p ∈ [0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} outside [0, 1]");
+        // 53 uniform mantissa bits, exact for p in [0,1].
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+}
+
+impl<T: RngCore + Sized> Rng for T {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Stand-in for rand's `StdRng`: xoshiro256++ (Blackman–Vigna),
+    /// seeded through SplitMix64 exactly as the reference implementation
+    /// recommends. Not the ChaCha12 stream of the real `StdRng`, but the
+    /// workspace only requires per-seed determinism, not cross-crate
+    /// stream compatibility.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed into the 256-bit state.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence-related helpers (subset of rand's `seq` module).
+pub mod seq {
+    use super::Rng;
+
+    /// Random selection from slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// A uniformly random element, `None` on an empty slice.
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    /// In-place Fisher–Yates shuffle for mutable slices.
+    pub trait SliceRandomMut {
+        /// Shuffle the slice uniformly.
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+
+    impl<T> SliceRandomMut for [T] {
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                self.swap(i, rng.gen_range(0..=i));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        let same: Vec<u64> = (0..8).map(|_| c.gen_range(0..100)).collect();
+        assert_ne!(same, vec![same[0]; 8], "stream should vary");
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3usize..10);
+            assert!((3..10).contains(&x));
+            let y = rng.gen_range(2u32..=5);
+            assert!((2..=5).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn choose_covers_slice() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let xs = [10, 20, 30];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            let &x = xs.choose(&mut rng).unwrap();
+            seen[(x / 10 - 1) as usize] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

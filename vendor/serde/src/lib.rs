@@ -1,0 +1,711 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! provides a compact serialization framework with the same *spelling* as
+//! serde's derive-based surface — `#[derive(Serialize, Deserialize)]`,
+//! `use serde::{Serialize, Deserialize}` — so the workspace's types
+//! persist and reload without the real crate. The data model is a
+//! self-describing [`Value`] tree; [`json`] renders and parses it.
+//!
+//! Differences from real serde, deliberately accepted:
+//! - one data model ([`Value`]), no zero-copy Serializer/Deserializer pair;
+//! - derives support non-generic structs and enums only (all this
+//!   workspace needs);
+//! - enums use external tagging (`{"Variant": …}` / `"Variant"`), the
+//!   same wire shape serde_json's default produces.
+
+// Let this crate's own tests use the derives, which expand to `::serde::…`.
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A self-describing serialized value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absent / `Option::None`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer (always `< 0`; non-negatives normalize to `U64`).
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Seq(Vec<Value>),
+    /// Ordered string-keyed map (struct fields, map entries).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The map entries, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The sequence elements, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Look up a struct field / map key.
+pub fn map_get<'a>(entries: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// An error with the given message.
+    pub fn new(msg: impl Into<String>) -> Error {
+        Error(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can serialize themselves into a [`Value`].
+pub trait Serialize {
+    /// Serialize into the value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can reconstruct themselves from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Deserialize from the value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// --------------------------------------------------------------------
+// Primitive impls.
+// --------------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::new(format!("{n} out of range for {}", stringify!($t)))),
+                    _ => Err(Error::new(concat!("expected unsigned integer for ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                if *self >= 0 {
+                    Value::U64(*self as u64)
+                } else {
+                    Value::I64(*self as i64)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::new(format!("{n} out of range for {}", stringify!($t)))),
+                    Value::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::new(format!("{n} out of range for {}", stringify!($t)))),
+                    _ => Err(Error::new(concat!("expected integer for ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::new("expected bool")),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::F64(x) => Ok(*x),
+            Value::U64(n) => Ok(*n as f64),
+            Value::I64(n) => Ok(*n as f64),
+            _ => Err(Error::new("expected number for f64")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::new("expected string")),
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// Container impls.
+// --------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_seq()
+            .ok_or_else(|| Error::new("expected sequence for Vec"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = v.as_seq().ok_or_else(|| Error::new("expected 2-tuple"))?;
+        if s.len() != 2 {
+            return Err(Error::new(format!(
+                "expected 2-tuple, got {} elements",
+                s.len()
+            )));
+        }
+        Ok((A::from_value(&s[0])?, B::from_value(&s[1])?))
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_seq()
+            .ok_or_else(|| Error::new("expected sequence for BTreeSet"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_map()
+            .ok_or_else(|| Error::new("expected map for BTreeMap"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+// --------------------------------------------------------------------
+// JSON codec.
+// --------------------------------------------------------------------
+
+/// Render and parse [`Value`] trees as JSON text.
+pub mod json {
+    use super::{Deserialize, Error, Serialize, Value};
+    use std::fmt::Write as _;
+
+    /// Serialize to compact JSON.
+    pub fn to_string<T: Serialize>(x: &T) -> String {
+        let mut out = String::new();
+        write_value(&mut out, &x.to_value(), None, 0);
+        out
+    }
+
+    /// Serialize to human-readable, indented JSON.
+    pub fn to_string_pretty<T: Serialize>(x: &T) -> String {
+        let mut out = String::new();
+        write_value(&mut out, &x.to_value(), Some(2), 0);
+        out
+    }
+
+    /// Deserialize from JSON text.
+    pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+        T::from_value(&parse(s)?)
+    }
+
+    /// Parse JSON text into a [`Value`].
+    pub fn parse(s: &str) -> Result<Value, Error> {
+        let bytes = s.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(Error::new(format!("trailing characters at byte {pos}")));
+        }
+        Ok(v)
+    }
+
+    fn write_value(out: &mut String, v: &Value, indent: Option<usize>, level: usize) {
+        match v {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Value::I64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Value::F64(x) => {
+                if x.is_finite() {
+                    // An integral f64 prints without a dot and reloads as an
+                    // integer Value; f64::from_value accepts that, so the
+                    // typed roundtrip is still exact.
+                    let _ = write!(out, "{x}");
+                } else {
+                    out.push_str("null"); // JSON has no NaN/Inf
+                }
+            }
+            Value::Str(s) => write_escaped(out, s),
+            Value::Seq(items) => write_bracketed(
+                out,
+                indent,
+                level,
+                '[',
+                ']',
+                items.len(),
+                |out, i, ind, lvl| write_value(out, &items[i], ind, lvl),
+            ),
+            Value::Map(entries) => write_bracketed(
+                out,
+                indent,
+                level,
+                '{',
+                '}',
+                entries.len(),
+                |out, i, ind, lvl| {
+                    write_escaped(out, &entries[i].0);
+                    out.push(':');
+                    if ind.is_some() {
+                        out.push(' ');
+                    }
+                    write_value(out, &entries[i].1, ind, lvl);
+                },
+            ),
+        }
+    }
+
+    /// Shared layout for `[...]` / `{...}` with optional pretty-printing.
+    fn write_bracketed(
+        out: &mut String,
+        indent: Option<usize>,
+        level: usize,
+        open: char,
+        close: char,
+        n: usize,
+        mut item: impl FnMut(&mut String, usize, Option<usize>, usize),
+    ) {
+        out.push(open);
+        for i in 0..n {
+            if i > 0 {
+                out.push(',');
+            }
+            if let Some(w) = indent {
+                out.push('\n');
+                out.push_str(&" ".repeat(w * (level + 1)));
+            }
+            item(out, i, indent, level + 1);
+        }
+        if n > 0 {
+            if let Some(w) = indent {
+                out.push('\n');
+                out.push_str(&" ".repeat(w * level));
+            }
+        }
+        out.push(close);
+    }
+
+    fn write_escaped(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            None => Err(Error::new("unexpected end of JSON")),
+            Some(b'n') => parse_literal(b, pos, "null", Value::Null),
+            Some(b't') => parse_literal(b, pos, "true", Value::Bool(true)),
+            Some(b'f') => parse_literal(b, pos, "false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(parse_string(b, pos)?)),
+            Some(b'[') => {
+                *pos += 1;
+                let mut items = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                loop {
+                    items.push(parse_value(b, pos)?);
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(Value::Seq(items));
+                        }
+                        _ => return Err(Error::new(format!("expected ',' or ']' at byte {pos}"))),
+                    }
+                }
+            }
+            Some(b'{') => {
+                *pos += 1;
+                let mut entries = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                loop {
+                    skip_ws(b, pos);
+                    let key = parse_string(b, pos)?;
+                    skip_ws(b, pos);
+                    if b.get(*pos) != Some(&b':') {
+                        return Err(Error::new(format!("expected ':' at byte {pos}")));
+                    }
+                    *pos += 1;
+                    let val = parse_value(b, pos)?;
+                    entries.push((key, val));
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(Value::Map(entries));
+                        }
+                        _ => return Err(Error::new(format!("expected ',' or '}}' at byte {pos}"))),
+                    }
+                }
+            }
+            Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+            Some(c) => Err(Error::new(format!(
+                "unexpected character '{}' at byte {pos}",
+                *c as char
+            ))),
+        }
+    }
+
+    fn parse_literal(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, Error> {
+        if b[*pos..].starts_with(lit.as_bytes()) {
+            *pos += lit.len();
+            Ok(v)
+        } else {
+            Err(Error::new(format!("invalid literal at byte {pos}")))
+        }
+    }
+
+    fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, Error> {
+        if b.get(*pos) != Some(&b'"') {
+            return Err(Error::new(format!("expected string at byte {pos}")));
+        }
+        *pos += 1;
+        let mut out = String::new();
+        loop {
+            match b.get(*pos) {
+                None => return Err(Error::new("unterminated string")),
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match b.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = b
+                                .get(*pos + 1..*pos + 5)
+                                .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error::new("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| Error::new("bad \\u escape"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            *pos += 4;
+                        }
+                        _ => return Err(Error::new("bad escape")),
+                    }
+                    *pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character.
+                    let rest =
+                        std::str::from_utf8(&b[*pos..]).map_err(|_| Error::new("invalid UTF-8"))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    *pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+        let start = *pos;
+        if b.get(*pos) == Some(&b'-') {
+            *pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&c) = b.get(*pos) {
+            match c {
+                b'0'..=b'9' => *pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    *pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&b[start..*pos]).expect("ascii");
+        if !is_float {
+            if let Some(stripped) = text.strip_prefix('-') {
+                let n: i64 = text
+                    .parse()
+                    .map_err(|_| Error::new(format!("bad number '{text}'")))?;
+                let _ = stripped;
+                return Ok(Value::I64(n));
+            }
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::new(format!("bad number '{text}'")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        for v in [0u64, 1, u64::MAX] {
+            let j = json::to_string(&v);
+            assert_eq!(json::from_str::<u64>(&j).unwrap(), v);
+        }
+        assert_eq!(json::to_string(&-5i64), "-5");
+        assert_eq!(json::from_str::<i64>("-5").unwrap(), -5);
+        assert!(json::from_str::<bool>("true").unwrap());
+        let s = String::from("line\n\"quoted\" \\ tab\t");
+        assert_eq!(json::from_str::<String>(&json::to_string(&s)).unwrap(), s);
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v: Vec<Option<u32>> = vec![Some(1), None, Some(3)];
+        let j = json::to_string(&v);
+        assert_eq!(j, "[1,null,3]");
+        assert_eq!(json::from_str::<Vec<Option<u32>>>(&j).unwrap(), v);
+        let pairs: Vec<(usize, usize)> = vec![(0, 1), (1, 2)];
+        let j = json::to_string(&pairs);
+        assert_eq!(json::from_str::<Vec<(usize, usize)>>(&j).unwrap(), pairs);
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), vec![1u64, 2]);
+        let j = json::to_string(&m);
+        assert_eq!(j, "{\"a\":[1,2]}");
+        assert_eq!(json::from_str::<BTreeMap<String, Vec<u64>>>(&j).unwrap(), m);
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v: Vec<Vec<u8>> = vec![vec![1, 2], vec![]];
+        let pretty = json::to_string_pretty(&v);
+        assert!(pretty.contains('\n'));
+        assert_eq!(json::from_str::<Vec<Vec<u8>>>(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(json::from_str::<u64>("[1").is_err());
+        assert!(json::from_str::<u64>("12 34").is_err());
+        assert!(json::from_str::<u64>("\"x\"").is_err());
+        assert!(json::from_str::<bool>("maybe").is_err());
+    }
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq)]
+    struct Point {
+        x: u32,
+        y: Vec<i32>,
+    }
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq)]
+    struct Wrapper(u32, String);
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq)]
+    enum Shape {
+        Dot,
+        Line(u32, u32),
+        Poly { sides: Vec<u32>, closed: bool },
+    }
+
+    #[test]
+    fn derived_struct_roundtrip() {
+        let p = Point {
+            x: 7,
+            y: vec![-1, 2],
+        };
+        let j = json::to_string(&p);
+        assert_eq!(j, "{\"x\":7,\"y\":[-1,2]}");
+        assert_eq!(json::from_str::<Point>(&j).unwrap(), p);
+        let w = Wrapper(3, "hi".into());
+        assert_eq!(json::from_str::<Wrapper>(&json::to_string(&w)).unwrap(), w);
+    }
+
+    #[test]
+    fn derived_enum_roundtrip() {
+        for s in [
+            Shape::Dot,
+            Shape::Line(1, 2),
+            Shape::Poly {
+                sides: vec![3, 4],
+                closed: true,
+            },
+        ] {
+            let j = json::to_string(&s);
+            assert_eq!(json::from_str::<Shape>(&j).unwrap(), s);
+        }
+        assert_eq!(json::to_string(&Shape::Dot), "\"Dot\"");
+        assert_eq!(json::to_string(&Shape::Line(1, 2)), "{\"Line\":[1,2]}");
+    }
+}

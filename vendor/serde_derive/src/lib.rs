@@ -1,0 +1,417 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Implemented directly on `proc_macro` token trees (the registry mirror
+//! is unreachable, so `syn`/`quote` are unavailable). Supports exactly
+//! what the workspace derives on: non-generic structs (named, tuple,
+//! unit) and non-generic enums whose variants are unit, tuple, or named.
+//! Anything else fails loudly at compile time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What a `#[derive]` input turned out to be.
+enum Input {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derive `serde::Serialize` (vendored stand-in semantics).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(item: TokenStream) -> TokenStream {
+    let input = parse_input(item);
+    gen_serialize(&input)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize` (vendored stand-in semantics).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(item: TokenStream) -> TokenStream {
+    let input = parse_input(item);
+    gen_deserialize(&input)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// --------------------------------------------------------------------
+// Parsing.
+// --------------------------------------------------------------------
+
+fn parse_input(item: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = item.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let keyword = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected type name, found {other:?}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive (vendored): generic type `{name}` is not supported");
+    }
+    match keyword.as_str() {
+        "struct" => match &tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Input::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Input::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Input::UnitStruct { name },
+            other => panic!("serde derive: malformed struct body: {other:?}"),
+        },
+        "enum" => match &tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Input::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde derive: malformed enum body: {other:?}"),
+        },
+        kw => panic!("serde derive: unsupported item kind `{kw}`"),
+    }
+}
+
+/// Advance past outer attributes (`#[...]` pairs) and a visibility
+/// qualifier (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' then the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Field names of a named-fields body `{ a: T, b: U, ... }`.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let fname = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde derive: expected field name, found {other:?}"),
+        };
+        fields.push(fname);
+        i += 1;
+        assert!(
+            matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':'),
+            "serde derive: expected ':' after field name"
+        );
+        i += 1;
+        skip_type(&tokens, &mut i);
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Advance past one type, stopping at a top-level `,`. Only `<`/`>`
+/// nesting needs tracking — parenthesized/bracketed parts arrive as
+/// single `Group` tokens.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(t) = tokens.get(*i) {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+/// Number of fields in a tuple body `(T, U, ...)`.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        count += 1;
+        skip_type(&tokens, &mut i);
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde derive: expected variant name, found {other:?}"),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let k = VariantKind::Tuple(count_tuple_fields(g.stream()));
+                i += 1;
+                k
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let k = VariantKind::Named(parse_named_fields(g.stream()));
+                i += 1;
+                k
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            panic!("serde derive (vendored): explicit discriminants are not supported");
+        }
+        variants.push(Variant { name, kind });
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    variants
+}
+
+// --------------------------------------------------------------------
+// Code generation (as source text, then re-parsed).
+// --------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    match input {
+        Input::NamedStruct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            impl_serialize(
+                name,
+                &format!("::serde::Value::Map(::std::vec![{}])", entries.join(", ")),
+            )
+        }
+        Input::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            impl_serialize(
+                name,
+                &format!("::serde::Value::Seq(::std::vec![{}])", items.join(", ")),
+            )
+        }
+        Input::UnitStruct { name } => impl_serialize(name, "::serde::Value::Null"),
+        Input::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\"))"
+                        ),
+                        VariantKind::Tuple(arity) => {
+                            let binders: Vec<String> = (0..*arity).map(|k| format!("f{k}")).collect();
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({bs}) => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::Value::Seq(::std::vec![{items}]))])",
+                                bs = binders.join(", "),
+                                items = items.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {fs} }} => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::Value::Map(::std::vec![{entries}]))])",
+                                fs = fields.join(", "),
+                                entries = entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            impl_serialize(name, &format!("match self {{ {} }}", arms.join(", ")))
+        }
+    }
+}
+
+fn impl_serialize(name: &str, body: &str) -> String {
+    format!(
+        "impl ::serde::Serialize for {name} {{\n fn to_value(&self) -> ::serde::Value {{ {body} }}\n}}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let body = match input {
+        Input::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::map_get(m, \"{f}\").ok_or_else(|| ::serde::Error::new(\"missing field `{f}` of {name}\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let m = v.as_map().ok_or_else(|| ::serde::Error::new(\"expected map for struct {name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Input::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|k| format!("::serde::Deserialize::from_value(&s[{k}])?"))
+                .collect();
+            format!(
+                "let s = v.as_seq().ok_or_else(|| ::serde::Error::new(\"expected sequence for struct {name}\"))?;\n\
+                 if s.len() != {arity} {{ return ::std::result::Result::Err(::serde::Error::new(\"wrong arity for {name}\")); }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Input::UnitStruct { name } => format!(
+            "match v {{ ::serde::Value::Null => ::std::result::Result::Ok({name}), _ => ::std::result::Result::Err(::serde::Error::new(\"expected null for unit struct {name}\")) }}"
+        ),
+        Input::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),", vn = v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(arity) => {
+                            let items: Vec<String> = (0..*arity)
+                                .map(|k| format!("::serde::Deserialize::from_value(&s[{k}])?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                   let s = payload.as_seq().ok_or_else(|| ::serde::Error::new(\"expected sequence payload for {name}::{vn}\"))?;\n\
+                                   if s.len() != {arity} {{ return ::std::result::Result::Err(::serde::Error::new(\"wrong arity for {name}::{vn}\")); }}\n\
+                                   ::std::result::Result::Ok({name}::{vn}({items}))\n\
+                                 }}",
+                                items = items.join(", ")
+                            ))
+                        }
+                        VariantKind::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(::serde::map_get(m, \"{f}\").ok_or_else(|| ::serde::Error::new(\"missing field `{f}` of {name}::{vn}\"))?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                   let m = payload.as_map().ok_or_else(|| ::serde::Error::new(\"expected map payload for {name}::{vn}\"))?;\n\
+                                   ::std::result::Result::Ok({name}::{vn} {{ {inits} }})\n\
+                                 }}",
+                                inits = inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                   ::serde::Value::Str(s) => match s.as_str() {{\n\
+                     {unit_arms}\n\
+                     other => ::std::result::Result::Err(::serde::Error::new(::std::format!(\"unknown unit variant `{{other}}` of {name}\"))),\n\
+                   }},\n\
+                   ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                     let (tag, payload) = &entries[0];\n\
+                     let _ = payload; // unused when every variant is a unit variant\n\
+                     match tag.as_str() {{\n\
+                       {data_arms}\n\
+                       other => ::std::result::Result::Err(::serde::Error::new(::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                     }}\n\
+                   }},\n\
+                   _ => ::std::result::Result::Err(::serde::Error::new(\"expected string or single-entry map for enum {name}\")),\n\
+                 }}",
+                unit_arms = unit_arms.join("\n"),
+                data_arms = data_arms.join("\n"),
+            )
+        }
+    };
+    let name = match input {
+        Input::NamedStruct { name, .. }
+        | Input::TupleStruct { name, .. }
+        | Input::UnitStruct { name }
+        | Input::Enum { name, .. } => name,
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n {body}\n }}\n}}"
+    )
+}
