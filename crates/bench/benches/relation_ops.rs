@@ -1,0 +1,148 @@
+//! **Relation-operator micro-benchmarks**: the columnar [`FlatRelation`]
+//! kernel against the reference row store [`VRelation`] on join,
+//! semijoin, and construct+dedup — the three operators every evaluation
+//! path in the repo bottoms out in.
+//!
+//! The headline numbers are measured outside the criterion sampling loop
+//! (best of three single passes each way) and gated: the columnar join
+//! must be at least 2× faster than the row-store baseline, and both
+//! implementations must produce identical tuple sets.
+
+use cqd2::cq::{FlatRelation, VRelation, Var};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Deterministic pseudo-random tuples (xorshift64*; the bench crate has
+/// no rand dependency).
+fn make_tuples(n: usize, arity: usize, domain: u64, seed: u64) -> Vec<Vec<u64>> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    };
+    (0..n)
+        .map(|_| (0..arity).map(|_| next() % domain).collect())
+        .collect()
+}
+
+fn best_of<R>(runs: usize, mut f: impl FnMut() -> R) -> Duration {
+    (0..runs)
+        .map(|_| {
+            let t = Instant::now();
+            black_box(f());
+            t.elapsed()
+        })
+        .min()
+        .expect("at least one run")
+}
+
+fn sorted(mut tuples: Vec<Vec<u64>>) -> Vec<Vec<u64>> {
+    tuples.sort_unstable();
+    tuples
+}
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== relation ops: columnar kernel vs row store ===");
+    // R(x, y): 80k rows; S(y, z): 40k rows; y-domain 20k, so a probe
+    // finds ~2 matches and the join output is ~160k rows.
+    let r_tuples = make_tuples(80_000, 2, 20_000, 7);
+    let s_tuples = make_tuples(40_000, 2, 20_000, 8);
+    let (x, y, z) = (Var(0), Var(1), Var(2));
+    let mut vr = VRelation {
+        vars: vec![x, y],
+        tuples: r_tuples.clone(),
+    };
+    vr.dedup();
+    let mut vs = VRelation {
+        vars: vec![y, z],
+        tuples: s_tuples.clone(),
+    };
+    vs.dedup();
+    let fr = FlatRelation::from_rows(vec![x, y], &r_tuples);
+    let fs = FlatRelation::from_rows(vec![y, z], &s_tuples);
+
+    // Correctness gate: identical tuple sets on every measured operator.
+    assert_eq!(
+        sorted(fr.join(&fs).to_tuples()),
+        sorted(vr.join(&vs).tuples.clone()),
+        "join diverged"
+    );
+    assert_eq!(
+        sorted(fr.semijoin(&fs).to_tuples()),
+        sorted(vr.semijoin(&vs).tuples.clone()),
+        "semijoin diverged"
+    );
+
+    let old_join = best_of(3, || vr.join(&vs));
+    let new_join = best_of(3, || fr.join(&fs));
+    let old_semi = best_of(3, || vr.semijoin(&vs));
+    let new_semi = best_of(3, || fr.semijoin(&fs));
+    // Construct + sort-dedup from raw (duplicate-carrying) tuples: the
+    // row store clones one Vec per tuple, the kernel packs one buffer.
+    let dup_tuples = make_tuples(120_000, 2, 300, 9);
+    let old_dedup = best_of(3, || {
+        let mut rel = VRelation {
+            vars: vec![x, y],
+            tuples: dup_tuples.clone(),
+        };
+        rel.dedup();
+        rel
+    });
+    let new_dedup = best_of(3, || FlatRelation::from_rows(vec![x, y], &dup_tuples));
+
+    let ratio = |old: Duration, new: Duration| old.as_secs_f64() / new.as_secs_f64().max(1e-9);
+    println!(
+        "  join     80k ⋈ 40k : row-store {old_join:?}  columnar {new_join:?}  ({:.1}×)",
+        ratio(old_join, new_join)
+    );
+    println!(
+        "  semijoin 80k ⋉ 40k : row-store {old_semi:?}  columnar {new_semi:?}  ({:.1}×)",
+        ratio(old_semi, new_semi)
+    );
+    println!(
+        "  dedup    120k rows : row-store {old_dedup:?}  columnar {new_dedup:?}  ({:.1}×)",
+        ratio(old_dedup, new_dedup)
+    );
+    assert!(
+        new_join * 2 <= old_join,
+        "columnar join ({new_join:?}) must be ≥ 2× faster than the row store ({old_join:?})"
+    );
+
+    let mut g = c.benchmark_group("relation_ops");
+    g.bench_function("join/row_store_80k_40k", |b| {
+        b.iter(|| black_box(black_box(&vr).join(black_box(&vs))))
+    });
+    g.bench_function("join/columnar_80k_40k", |b| {
+        b.iter(|| black_box(black_box(&fr).join(black_box(&fs))))
+    });
+    g.bench_function("semijoin/row_store_80k_40k", |b| {
+        b.iter(|| black_box(black_box(&vr).semijoin(black_box(&vs))))
+    });
+    g.bench_function("semijoin/columnar_80k_40k", |b| {
+        b.iter(|| black_box(black_box(&fr).semijoin(black_box(&fs))))
+    });
+    g.bench_function("dedup/row_store_120k", |b| {
+        b.iter(|| {
+            let mut rel = VRelation {
+                vars: vec![x, y],
+                tuples: dup_tuples.clone(),
+            };
+            rel.dedup();
+            black_box(rel)
+        })
+    });
+    g.bench_function("dedup/columnar_120k", |b| {
+        b.iter(|| black_box(FlatRelation::from_rows(vec![x, y], &dup_tuples)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = cqd2_bench::quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -8,15 +8,49 @@ use std::collections::BTreeMap;
 pub struct StoredRelation {
     /// Arity (all tuples have this length).
     pub arity: usize,
-    /// Distinct tuples.
+    /// Distinct tuples in lexicographic order (see [`Database::insert`]).
     pub tuples: Vec<Vec<u64>>,
 }
 
 /// A database: named relations over `u64` constants.
+///
+/// Invariant: every relation's tuples are **distinct** and match the
+/// relation's arity. [`Database::insert`] enforces it, and the manual
+/// `Deserialize` impl below re-establishes it for data loaded from
+/// outside — the columnar kernel ([`crate::flat::FlatRelation`]) skips
+/// dedup passes on the strength of this invariant.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct Database {
     relations: BTreeMap<String, StoredRelation>,
+}
+
+#[cfg(feature = "serde")]
+impl serde::Deserialize for Database {
+    /// Mirrors the derived format (`{"relations": …}`) but normalizes on
+    /// the way in: duplicate tuples are dropped and arity-mismatched
+    /// tuples are rejected, so deserialized databases uphold the same
+    /// invariants as ones built through [`Database::insert`].
+    fn from_value(v: &serde::Value) -> Result<Database, serde::Error> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::Error::new("expected map for Database"))?;
+        let mut relations: BTreeMap<String, StoredRelation> = serde::Deserialize::from_value(
+            serde::map_get(m, "relations")
+                .ok_or_else(|| serde::Error::new("missing field `relations` of Database"))?,
+        )?;
+        for (name, rel) in &mut relations {
+            if rel.tuples.iter().any(|t| t.len() != rel.arity) {
+                return Err(serde::Error::new(format!(
+                    "relation `{name}`: tuple length does not match arity {}",
+                    rel.arity
+                )));
+            }
+            rel.tuples.sort_unstable();
+            rel.tuples.dedup();
+        }
+        Ok(Database { relations })
+    }
 }
 
 impl Database {
@@ -27,6 +61,11 @@ impl Database {
 
     /// Insert a ground atom. Creates the relation on first use; panics on
     /// arity mismatch (schema error). Duplicate tuples are ignored.
+    ///
+    /// Tuples are kept in sorted order (binary-search insertion), so
+    /// relation contents are canonical regardless of insertion order —
+    /// serialize/deserialize roundtrips compare equal — and duplicate
+    /// detection costs `O(log n)` probes instead of a linear scan.
     pub fn insert(&mut self, relation: &str, tuple: &[u64]) {
         let rel = self
             .relations
@@ -40,8 +79,8 @@ impl Database {
             tuple.len(),
             "arity mismatch for relation {relation}"
         );
-        if !rel.tuples.iter().any(|t| t == tuple) {
-            rel.tuples.push(tuple.to_vec());
+        if let Err(pos) = rel.tuples.binary_search_by(|t| t.as_slice().cmp(tuple)) {
+            rel.tuples.insert(pos, tuple.to_vec());
         }
     }
 
@@ -102,5 +141,29 @@ mod tests {
         let mut db = Database::new();
         db.insert("R", &[1, 2]);
         db.insert("R", &[1]);
+    }
+
+    #[cfg(feature = "serde")]
+    #[test]
+    fn deserialize_normalizes_duplicates_and_rejects_bad_arity() {
+        // Out-of-order insertion: the sorted-insert invariant makes the
+        // stored form canonical, so the roundtrip compares equal.
+        let mut db = Database::new();
+        db.insert("R", &[3, 4]);
+        db.insert("R", &[1, 2]);
+        assert_eq!(
+            db.relation("R").unwrap().tuples,
+            vec![vec![1, 2], vec![3, 4]]
+        );
+        let back: Database = serde::json::from_str(&serde::json::to_string(&db)).unwrap();
+        assert_eq!(back, db);
+        // Hand-written payload with a duplicate tuple: deduped on load,
+        // so the kernel's distinct-rows invariant holds for loaded data.
+        let dup = r#"{"relations": {"R": {"arity": 2, "tuples": [[1, 2], [1, 2], [3, 4]]}}}"#;
+        let loaded: Database = serde::json::from_str(dup).unwrap();
+        assert_eq!(loaded.relation("R").unwrap().tuples.len(), 2);
+        // Arity-mismatched tuples are a schema error, not a panic later.
+        let bad = r#"{"relations": {"R": {"arity": 2, "tuples": [[1, 2, 3]]}}}"#;
+        assert!(serde::json::from_str::<Database>(bad).is_err());
     }
 }

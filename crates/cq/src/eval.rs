@@ -12,12 +12,22 @@
 //! - [`count_via_ghd`]: Prop. 4.14 — junction-tree counting DP over the
 //!   bag relations, computing `|q(D)|` for *full* CQs without enumerating.
 //!
+//! All strategies run on the columnar [`FlatRelation`] kernel
+//! ([`crate::flat`]): bags materialize through packed-key hash joins, the
+//! counting DP keeps per-row extension counts in a dense `Vec<u128>`
+//! aligned with each bag's row order and aggregates child counts over
+//! packed key slices (no `HashMap<Vec<u64>, _>` per tuple), and — on
+//! databases large enough to pay for the threads — bag materialization
+//! fans out over the decomposition's bags via `std::thread::scope`, since
+//! each bag joins only already-bound atom relations and is independent of
+//! every other bag.
+//!
 //! `bcq_auto` / `count_auto` pick the GHD route when an exact
 //! decomposition is computable and fall back to naive otherwise.
 
 use crate::database::Database;
+use crate::flat::FlatRelation;
 use crate::query::{ConjunctiveQuery, Var};
-use crate::relation::VRelation;
 use cqd2_decomp::widths::ghw_decomposition;
 use cqd2_decomp::Ghd;
 use cqd2_hypergraph::VertexId;
@@ -62,15 +72,15 @@ pub fn enumerate_naive(q: &ConjunctiveQuery, db: &Database) -> Vec<Vec<u64>> {
 /// Core backtracking loop. `on_solution` receives the full assignment
 /// (indexed by `Var` id) and returns `false` to stop the search.
 fn backtrack(q: &ConjunctiveQuery, db: &Database, on_solution: &mut dyn FnMut(&[u64]) -> bool) {
-    let bound: Vec<VRelation> = q.atoms.iter().map(|a| VRelation::bind(a, db)).collect();
-    if bound.iter().any(VRelation::is_empty) {
+    let bound: Vec<FlatRelation> = q.atoms.iter().map(|a| FlatRelation::bind(a, db)).collect();
+    if bound.iter().any(FlatRelation::is_empty) {
         return;
     }
     // A variable in no atom cannot be assigned — such queries do not arise
     // from our constructors; guard anyway.
     let mut covered = vec![false; q.num_vars()];
     for r in &bound {
-        for v in &r.vars {
+        for v in r.vars() {
             covered[v.idx()] = true;
         }
     }
@@ -83,7 +93,7 @@ fn backtrack(q: &ConjunctiveQuery, db: &Database, on_solution: &mut dyn FnMut(&[
     let _ = dfs(&bound, &order, 0, &mut assignment, on_solution);
 }
 
-fn atom_order(q: &ConjunctiveQuery, bound: &[VRelation]) -> Vec<usize> {
+fn atom_order(q: &ConjunctiveQuery, bound: &[FlatRelation]) -> Vec<usize> {
     let n = q.atoms.len();
     let mut order = Vec::with_capacity(n);
     let mut placed = vec![false; n];
@@ -93,22 +103,22 @@ fn atom_order(q: &ConjunctiveQuery, bound: &[VRelation]) -> Vec<usize> {
             .filter(|&i| !placed[i])
             .min_by_key(|&i| {
                 let overlap = bound[i]
-                    .vars
+                    .vars()
                     .iter()
                     .filter(|v| seen_vars.contains(v))
                     .count();
-                (std::cmp::Reverse(overlap), bound[i].tuples.len(), i)
+                (std::cmp::Reverse(overlap), bound[i].len(), i)
             })
             .expect("unplaced atom");
         placed[next] = true;
-        seen_vars.extend(bound[next].vars.iter().copied());
+        seen_vars.extend(bound[next].vars().iter().copied());
         order.push(next);
     }
     order
 }
 
 fn dfs(
-    bound: &[VRelation],
+    bound: &[FlatRelation],
     order: &[usize],
     depth: usize,
     assignment: &mut Vec<Option<u64>>,
@@ -122,9 +132,9 @@ fn dfs(
         return on_solution(&sol);
     }
     let rel = &bound[order[depth]];
-    'tuples: for t in &rel.tuples {
+    'tuples: for t in rel.iter() {
         let mut newly = Vec::new();
-        for (i, v) in rel.vars.iter().enumerate() {
+        for (i, v) in rel.vars().iter().enumerate() {
             match assignment[v.idx()] {
                 Some(val) => {
                     if val != t[i] {
@@ -154,10 +164,36 @@ fn dfs(
 // GHD-guided evaluation (Prop. 2.2 / Prop. 4.14).
 // ---------------------------------------------------------------------
 
+/// Total bound-atom tuples below which bag materialization stays
+/// sequential: scoped-thread setup costs more than the joins it would
+/// parallelize, and the serving layer already parallelizes across
+/// requests.
+const PARALLEL_BAG_THRESHOLD: usize = 4096;
+
+thread_local! {
+    /// When set, bag materialization on this thread stays sequential
+    /// regardless of database size (see [`with_sequential_bags`]).
+    static SEQUENTIAL_BAGS: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Run `f` with intra-query parallel bag materialization disabled on the
+/// current thread. Batch executors that already fan requests out over
+/// worker threads wrap per-request evaluation in this, so a large
+/// database cannot trigger a second layer of thread spawning underneath
+/// an already-saturated pool (threads × bags oversubscription).
+pub fn with_sequential_bags<R>(f: impl FnOnce() -> R) -> R {
+    SEQUENTIAL_BAGS.with(|flag| {
+        let prev = flag.replace(true);
+        let out = f();
+        flag.set(prev);
+        out
+    })
+}
+
 /// Materialized bag relations plus a rooted tree, shared by the Boolean
 /// and counting evaluators.
 struct BagTree {
-    relations: Vec<VRelation>,
+    relations: Vec<FlatRelation>,
     children: Vec<Vec<usize>>,
     post_order: Vec<usize>,
     root: usize,
@@ -166,23 +202,15 @@ struct BagTree {
 fn build_bag_tree(q: &ConjunctiveQuery, db: &Database, ghd: &Ghd) -> Result<BagTree, String> {
     let h = q.hypergraph();
     ghd.validate(&h).map_err(|e| e.to_string())?;
-    let bound: Vec<VRelation> = q.atoms.iter().map(|a| VRelation::bind(a, db)).collect();
-    // Representative atom for each hypergraph edge (same variable set).
-    let edge_rep: Vec<usize> = h
-        .edge_ids()
-        .map(|e| {
-            let edge_vars: Vec<Var> = h.edge(e).iter().map(|v| Var(v.0)).collect();
-            q.atoms
-                .iter()
-                .position(|a| {
-                    let mut vs = a.vars();
-                    vs.sort_unstable();
-                    let mut ev = edge_vars.clone();
-                    ev.sort_unstable();
-                    vs == ev
-                })
-                .ok_or_else(|| format!("edge e{} has no source atom", e.idx()))
-        })
+    let bound: Vec<FlatRelation> = q.atoms.iter().map(|a| FlatRelation::bind(a, db)).collect();
+    // Representative atom for each hypergraph edge (same variable set),
+    // via the shared sorted-varset map on the query (one hash probe per
+    // edge instead of re-sorting every atom's variable list per edge).
+    let edge_rep: Vec<usize> = q
+        .edge_representatives(&h)
+        .into_iter()
+        .enumerate()
+        .map(|(i, rep)| rep.ok_or_else(|| format!("edge e{i} has no source atom")))
         .collect::<Result<_, String>>()?;
     // Assign every atom to one node whose bag contains its variables.
     let bag_contains = |u: usize, vars: &[Var]| {
@@ -198,11 +226,13 @@ fn build_bag_tree(q: &ConjunctiveQuery, db: &Database, ghd: &Ghd) -> Result<BagT
         assigned[u].push(ai);
     }
     // Materialize each bag: join cover representatives, project to bag,
-    // then join all assigned atoms.
-    let mut relations = Vec::with_capacity(ghd.td.bags.len());
-    for (u, bag) in ghd.td.bags.iter().enumerate() {
-        let bag_vars: Vec<Var> = bag.iter().map(|v| Var(v.0)).collect();
-        let mut rel = VRelation::unit();
+    // then join all assigned atoms. Bags depend only on the shared
+    // `bound` relations, never on each other, so on databases big enough
+    // to amortize thread setup the bags materialize concurrently.
+    let n = ghd.td.bags.len();
+    let materialize = |u: usize| -> FlatRelation {
+        let bag_vars: Vec<Var> = ghd.td.bags[u].iter().map(|v| Var(v.0)).collect();
+        let mut rel = FlatRelation::unit();
         for &e in &ghd.covers[u] {
             rel = rel.join(&bound[edge_rep[e.idx()]]);
         }
@@ -210,17 +240,29 @@ fn build_bag_tree(q: &ConjunctiveQuery, db: &Database, ghd: &Ghd) -> Result<BagT
         let keep: Vec<Var> = bag_vars
             .iter()
             .copied()
-            .filter(|v| rel.vars.contains(v))
+            .filter(|v| rel.vars().contains(v))
             .collect();
         rel = rel.project(&keep);
         for &ai in &assigned[u] {
             rel = rel.join(&bound[ai]);
         }
-        relations.push(rel);
-    }
+        rel
+    };
+    // Gate parallelism on the tuples the *query* actually touches (the
+    // bound atom relations), not the whole database — a big unrelated
+    // relation must not trigger thread spawns for a microsecond join.
+    let bound_tuples: usize = bound.iter().map(FlatRelation::len).sum();
+    let parallel = n > 1
+        && bound_tuples >= PARALLEL_BAG_THRESHOLD
+        && !SEQUENTIAL_BAGS.with(std::cell::Cell::get);
+    let workers = if parallel {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        1
+    };
+    let relations: Vec<FlatRelation> = crate::par::scoped_map(n, workers, materialize);
     // Root the tree at node 0 and compute a post-order.
     let adj = ghd.td.adjacency();
-    let n = ghd.td.bags.len();
     let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
     let mut post_order = Vec::with_capacity(n);
     let mut visited = vec![false; n];
@@ -274,66 +316,87 @@ pub fn bcq_via_ghd(q: &ConjunctiveQuery, db: &Database, ghd: &Ghd) -> Result<boo
 
 /// Count `|q(D)|` for a full CQ using the junction-tree DP over a GHD
 /// (Prop. 4.14: polynomial for bounded-width GHDs).
+///
+/// Subtree extension counts live in a dense `Vec<u128>` aligned with
+/// each bag's row order; merging a child aggregates its counts by packed
+/// shared-variable key and rewrites the parent in one pass (rows with no
+/// child match drop out, exactly the Yannakakis filter).
 pub fn count_via_ghd(q: &ConjunctiveQuery, db: &Database, ghd: &Ghd) -> Result<u128, String> {
-    let bt = build_bag_tree(q, db, ghd)?;
-    // counts[u]: per-tuple extension counts for the subtree rooted at u.
-    let mut counts: Vec<HashMap<Vec<u64>, u128>> = bt
-        .relations
-        .iter()
-        .map(|r| r.tuples.iter().map(|t| (t.clone(), 1u128)).collect())
-        .collect();
-    for &u in &bt.post_order {
-        for &c in &bt.children[u] {
-            // Shared variables between bags u and c.
-            let shared: Vec<Var> = bt.relations[u]
-                .vars
-                .iter()
-                .copied()
-                .filter(|v| bt.relations[c].vars.contains(v))
-                .collect();
-            let c_pos: Vec<usize> = shared
-                .iter()
-                .map(|v| {
-                    bt.relations[c]
-                        .vars
-                        .iter()
-                        .position(|w| w == v)
-                        .expect("shared")
-                })
-                .collect();
-            let u_pos: Vec<usize> = shared
-                .iter()
-                .map(|v| {
-                    bt.relations[u]
-                        .vars
-                        .iter()
-                        .position(|w| w == v)
-                        .expect("shared")
-                })
-                .collect();
-            // Aggregate child counts by shared projection.
-            let mut agg: HashMap<Vec<u64>, u128> = HashMap::new();
-            for (t, &cnt) in &counts[c] {
-                let key: Vec<u64> = c_pos.iter().map(|&p| t[p]).collect();
-                *agg.entry(key).or_insert(0) += cnt;
-            }
-            // Multiply into parent tuples (0 if no match).
-            let u_tuples: Vec<Vec<u64>> = counts[u].keys().cloned().collect();
-            for t in u_tuples {
-                let key: Vec<u64> = u_pos.iter().map(|&p| t[p]).collect();
-                match agg.get(&key) {
-                    Some(&s) => {
-                        let e = counts[u].get_mut(&t).expect("present");
-                        *e *= s;
+    let mut bt = build_bag_tree(q, db, ghd)?;
+    let mut counts: Vec<Vec<u128>> = bt.relations.iter().map(|r| vec![1u128; r.len()]).collect();
+    for &u in &bt.post_order.clone() {
+        for &c in &bt.children[u].clone() {
+            let (new_rel, new_counts) = {
+                let parent = &bt.relations[u];
+                let child = &bt.relations[c];
+                // Shared variables between bags u and c, with key
+                // positions resolved once.
+                let shared: Vec<Var> = parent
+                    .vars()
+                    .iter()
+                    .copied()
+                    .filter(|v| child.vars().contains(v))
+                    .collect();
+                let c_pos: Vec<usize> = shared
+                    .iter()
+                    .map(|v| child.vars().iter().position(|w| w == v).expect("shared"))
+                    .collect();
+                let u_pos: Vec<usize> = shared
+                    .iter()
+                    .map(|v| parent.vars().iter().position(|w| w == v).expect("shared"))
+                    .collect();
+                let arity = parent.arity();
+                let mut data: Vec<u64> = Vec::with_capacity(parent.len() * arity);
+                let mut kept: Vec<u128> = Vec::with_capacity(parent.len());
+                if shared.len() == 1 {
+                    // Single-column fast path: aggregate and probe on the
+                    // raw value.
+                    let (cp, up) = (c_pos[0], u_pos[0]);
+                    let mut agg: HashMap<u64, u128> = HashMap::with_capacity(child.len());
+                    for (i, t) in child.iter().enumerate() {
+                        *agg.entry(t[cp]).or_insert(0) += counts[c][i];
                     }
-                    None => {
-                        counts[u].remove(&t);
+                    for (i, t) in parent.iter().enumerate() {
+                        if let Some(&s) = agg.get(&t[up]) {
+                            data.extend_from_slice(t);
+                            kept.push(counts[u][i] * s);
+                        }
+                    }
+                } else {
+                    // General path: packed multi-column keys (also covers
+                    // vacuous sharing, where every key is empty).
+                    let mut agg: HashMap<Box<[u64]>, u128> = HashMap::with_capacity(child.len());
+                    let mut scratch: Vec<u64> = Vec::with_capacity(shared.len());
+                    for (i, t) in child.iter().enumerate() {
+                        scratch.clear();
+                        scratch.extend(c_pos.iter().map(|&p| t[p]));
+                        match agg.get_mut(scratch.as_slice()) {
+                            Some(sum) => *sum += counts[c][i],
+                            None => {
+                                agg.insert(scratch.as_slice().into(), counts[c][i]);
+                            }
+                        }
+                    }
+                    for (i, t) in parent.iter().enumerate() {
+                        scratch.clear();
+                        scratch.extend(u_pos.iter().map(|&p| t[p]));
+                        if let Some(&s) = agg.get(scratch.as_slice()) {
+                            data.extend_from_slice(t);
+                            kept.push(counts[u][i] * s);
+                        }
                     }
                 }
-            }
+                let rows = kept.len();
+                (
+                    FlatRelation::from_parts(parent.vars().to_vec(), rows, data),
+                    kept,
+                )
+            };
+            bt.relations[u] = new_rel;
+            counts[u] = new_counts;
         }
     }
-    Ok(counts[bt.root].values().sum())
+    Ok(counts[bt.root].iter().sum())
 }
 
 /// Decide BCQ, choosing the GHD route when an exact decomposition is
@@ -445,6 +508,30 @@ mod tests {
             let cg = count_via_ghd(&q, &db, &ghd).unwrap();
             assert_eq!(cn, cg, "#CQ mismatch on seed {seed}");
         }
+    }
+
+    #[test]
+    fn ghd_route_crosses_the_parallel_threshold() {
+        // A database above PARALLEL_BAG_THRESHOLD exercises the scoped-
+        // thread materialization path; answers must match a full join
+        // computed with the reference row store (the naive backtracker
+        // has no index and would need ~n³ work at this size).
+        let q = canonical_query(&hyperchain(3, 2));
+        let per_relation = PARALLEL_BAG_THRESHOLD / 3 + 256;
+        let db = random_database(&q, 1000, per_relation, 11);
+        assert!(db.size() >= PARALLEL_BAG_THRESHOLD, "fixture too small");
+        let mut joined = crate::relation::VRelation::unit();
+        for atom in &q.atoms {
+            joined = joined.join(&crate::relation::VRelation::bind(atom, &db));
+        }
+        let expected = joined.tuples.len() as u128;
+        let ghd = ghw_decomposition(&q.hypergraph()).unwrap();
+        assert_eq!(bcq_via_ghd(&q, &db, &ghd).unwrap(), expected > 0);
+        assert_eq!(count_via_ghd(&q, &db, &ghd).unwrap(), expected);
+        // The batch-executor opt-out must force the sequential path and
+        // produce identical answers.
+        let sequential = with_sequential_bags(|| count_via_ghd(&q, &db, &ghd).unwrap());
+        assert_eq!(sequential, expected);
     }
 
     #[test]

@@ -1,0 +1,602 @@
+//! The columnar execution kernel: [`FlatRelation`].
+//!
+//! A [`FlatRelation`] stores all tuples in **one contiguous `Vec<u64>`
+//! buffer** with a fixed stride (the arity): row `i` occupies
+//! `data[i * arity .. (i + 1) * arity]`. Compared with the row-store
+//! [`crate::relation::VRelation`] (`Vec<Vec<u64>>`, kept as the reference
+//! implementation for differential tests), this layout
+//!
+//! - allocates **O(1)** buffers per operator instead of one `Vec` per
+//!   tuple, per hash key, and per projection;
+//! - resolves schemas (shared variables, key positions, output columns)
+//!   **once per operator**, not per tuple;
+//! - probes hash tables with **packed key slices** (a single-column fast
+//!   path keys directly on `u64`; multi-column keys are packed into a
+//!   reusable scratch buffer and probed by `&[u64]`, so the probe side
+//!   allocates nothing);
+//! - runs the sort-based dedup **only where an operator can introduce
+//!   duplicates**: binding an atom that drops positions (constants or
+//!   repeated variables) and projections that drop columns. Joins and
+//!   semijoins of duplicate-free inputs are duplicate-free by
+//!   construction and skip the sort entirely;
+//! - projects **without touching rows** when `keep` equals the column
+//!   list, and by straight prefix copies when `keep` is a prefix.
+//!
+//! Every constructor establishes the invariant that rows are distinct;
+//! all operators preserve it.
+
+use crate::database::Database;
+use crate::query::{Atom, Term, Var};
+use std::collections::{HashMap, HashSet};
+
+/// A columnar relation: variables as columns, tuples packed row-major
+/// into one flat buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlatRelation {
+    /// Column variables (distinct).
+    pub(crate) vars: Vec<Var>,
+    /// Number of rows (tracked explicitly: arity may be 0).
+    pub(crate) rows: usize,
+    /// `rows * vars.len()` values, row-major.
+    pub(crate) data: Vec<u64>,
+}
+
+impl FlatRelation {
+    /// The relation over no variables containing the empty tuple
+    /// (the join identity).
+    pub fn unit() -> FlatRelation {
+        FlatRelation {
+            vars: Vec::new(),
+            rows: 1,
+            data: Vec::new(),
+        }
+    }
+
+    /// The empty relation over `vars`.
+    pub fn empty(vars: Vec<Var>) -> FlatRelation {
+        FlatRelation {
+            vars,
+            rows: 0,
+            data: Vec::new(),
+        }
+    }
+
+    /// Crate-internal constructor from pre-validated parts: the caller
+    /// guarantees `data.len() == rows * vars.len()` and that rows are
+    /// distinct (e.g. a filtered copy of an existing relation).
+    pub(crate) fn from_parts(vars: Vec<Var>, rows: usize, data: Vec<u64>) -> FlatRelation {
+        debug_assert_eq!(data.len(), rows * vars.len());
+        FlatRelation { vars, rows, data }
+    }
+
+    /// Build from explicit rows (each of length `vars.len()`); duplicate
+    /// rows are removed.
+    pub fn from_rows(vars: Vec<Var>, tuples: &[Vec<u64>]) -> FlatRelation {
+        let arity = vars.len();
+        let mut data = Vec::with_capacity(tuples.len() * arity);
+        for t in tuples {
+            assert_eq!(t.len(), arity, "row length must match arity");
+            data.extend_from_slice(t);
+        }
+        let mut rel = FlatRelation {
+            vars,
+            rows: tuples.len(),
+            data,
+        };
+        rel.dedup();
+        rel
+    }
+
+    /// Column variables.
+    pub fn vars(&self) -> &[Var] {
+        &self.vars
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// Is the relation empty (no rows)?
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Row `i` as a slice of the shared buffer.
+    pub fn row(&self, i: usize) -> &[u64] {
+        debug_assert!(i < self.rows);
+        let a = self.vars.len();
+        &self.data[i * a..i * a + a]
+    }
+
+    /// Iterate over rows as slices.
+    pub fn iter(&self) -> impl Iterator<Item = &[u64]> + '_ {
+        (0..self.rows).map(move |i| self.row(i))
+    }
+
+    /// Copy out as owned tuples (tests and compatibility shims).
+    pub fn to_tuples(&self) -> Vec<Vec<u64>> {
+        self.iter().map(<[u64]>::to_vec).collect()
+    }
+
+    /// Position of `v` among the columns.
+    fn col(&self, v: Var) -> Option<usize> {
+        self.vars.iter().position(|&w| w == v)
+    }
+
+    /// Bind `atom` against `db`: select tuples matching the atom's
+    /// constants and repeated variables and project to one column per
+    /// distinct variable. The per-position checks are resolved **once**
+    /// here; the tuple loop is branch-light. A missing relation (or an
+    /// arity mismatch) yields the empty result.
+    pub fn bind(atom: &Atom, db: &Database) -> FlatRelation {
+        let vars = atom.vars();
+        let Some(stored) = db.relation(&atom.relation) else {
+            return FlatRelation::empty(vars);
+        };
+        if stored.arity != atom.terms.len() {
+            return FlatRelation::empty(vars);
+        }
+        // First-occurrence position of each distinct variable: the
+        // projection map.
+        let first_pos: Vec<usize> = vars
+            .iter()
+            .map(|v| {
+                atom.terms
+                    .iter()
+                    .position(|t| matches!(t, Term::Var(w) if w == v))
+                    .expect("var occurs")
+            })
+            .collect();
+        // Per-position selection checks, resolved once.
+        enum Check {
+            Const(usize, u64),
+            SameAs(usize, usize),
+        }
+        let mut checks: Vec<Check> = Vec::new();
+        for (i, term) in atom.terms.iter().enumerate() {
+            match term {
+                Term::Const(c) => checks.push(Check::Const(i, *c)),
+                Term::Var(v) => {
+                    let first = first_pos[vars.iter().position(|w| w == v).expect("var")];
+                    if first != i {
+                        checks.push(Check::SameAs(i, first));
+                    }
+                }
+            }
+        }
+        let arity = vars.len();
+        let mut data = Vec::with_capacity(stored.tuples.len() * arity);
+        let mut rows = 0usize;
+        'tup: for t in &stored.tuples {
+            for check in &checks {
+                match *check {
+                    Check::Const(i, c) => {
+                        if t[i] != c {
+                            continue 'tup;
+                        }
+                    }
+                    Check::SameAs(i, j) => {
+                        if t[i] != t[j] {
+                            continue 'tup;
+                        }
+                    }
+                }
+            }
+            data.extend(first_pos.iter().map(|&p| t[p]));
+            rows += 1;
+        }
+        let mut rel = FlatRelation { vars, rows, data };
+        // Dropping positions (constants / repeated variables) can merge
+        // distinct stored tuples; a full-arity permutation cannot.
+        if arity != atom.terms.len() {
+            rel.dedup();
+        }
+        rel
+    }
+
+    /// Natural join on shared variables. Schema resolution (shared
+    /// variables, key and payload positions) happens once; the build side
+    /// is `other`, probed with packed key slices. Duplicate-free inputs
+    /// produce a duplicate-free output, so no dedup pass runs.
+    pub fn join(&self, other: &FlatRelation) -> FlatRelation {
+        let shared: Vec<Var> = self
+            .vars
+            .iter()
+            .copied()
+            .filter(|&v| other.col(v).is_some())
+            .collect();
+        let other_extra: Vec<usize> = (0..other.vars.len())
+            .filter(|&i| !shared.contains(&other.vars[i]))
+            .collect();
+        let mut out_vars = self.vars.clone();
+        out_vars.extend(other_extra.iter().map(|&i| other.vars[i]));
+        let out_arity = out_vars.len();
+
+        if shared.is_empty() {
+            // Cartesian product (also covers joins with `unit`).
+            let mut data = Vec::with_capacity(self.rows * other.rows * out_arity);
+            for r in self.iter() {
+                for s in other.iter() {
+                    data.extend_from_slice(r);
+                    data.extend(other_extra.iter().map(|&p| s[p]));
+                }
+            }
+            return FlatRelation {
+                vars: out_vars,
+                rows: self.rows * other.rows,
+                data,
+            };
+        }
+
+        let self_key: Vec<usize> = shared
+            .iter()
+            .map(|&v| self.col(v).expect("shared"))
+            .collect();
+        let other_key: Vec<usize> = shared
+            .iter()
+            .map(|&v| other.col(v).expect("shared"))
+            .collect();
+        check_row_index_fits(other.rows);
+        let mut data = Vec::new();
+        let mut rows = 0usize;
+        if shared.len() == 1 {
+            // Single-column fast path: key directly on the value.
+            let (sp, op) = (self_key[0], other_key[0]);
+            let mut index: HashMap<u64, Vec<u32>> = HashMap::with_capacity(other.rows);
+            for (i, s) in other.iter().enumerate() {
+                index.entry(s[op]).or_default().push(i as u32);
+            }
+            for r in self.iter() {
+                if let Some(matches) = index.get(&r[sp]) {
+                    for &j in matches {
+                        let s = other.row(j as usize);
+                        data.extend_from_slice(r);
+                        data.extend(other_extra.iter().map(|&p| s[p]));
+                        rows += 1;
+                    }
+                }
+            }
+        } else {
+            // Multi-column keys packed into a reusable scratch buffer;
+            // the probe side allocates nothing, the build side allocates
+            // one boxed key per *distinct* key.
+            let mut index: HashMap<Box<[u64]>, Vec<u32>> = HashMap::with_capacity(other.rows);
+            let mut scratch: Vec<u64> = Vec::with_capacity(shared.len());
+            for (i, s) in other.iter().enumerate() {
+                pack_key(&mut scratch, s, &other_key);
+                match index.get_mut(scratch.as_slice()) {
+                    Some(bucket) => bucket.push(i as u32),
+                    None => {
+                        index.insert(scratch.as_slice().into(), vec![i as u32]);
+                    }
+                }
+            }
+            for r in self.iter() {
+                pack_key(&mut scratch, r, &self_key);
+                if let Some(matches) = index.get(scratch.as_slice()) {
+                    for &j in matches {
+                        let s = other.row(j as usize);
+                        data.extend_from_slice(r);
+                        data.extend(other_extra.iter().map(|&p| s[p]));
+                        rows += 1;
+                    }
+                }
+            }
+        }
+        FlatRelation {
+            vars: out_vars,
+            rows,
+            data,
+        }
+    }
+
+    /// Semijoin: keep the rows of `self` that join with some row of
+    /// `other`. Key positions resolve once; probing uses packed slices.
+    pub fn semijoin(&self, other: &FlatRelation) -> FlatRelation {
+        let shared: Vec<Var> = self
+            .vars
+            .iter()
+            .copied()
+            .filter(|&v| other.col(v).is_some())
+            .collect();
+        if shared.is_empty() {
+            return if other.is_empty() {
+                FlatRelation::empty(self.vars.clone())
+            } else {
+                self.clone()
+            };
+        }
+        let self_key: Vec<usize> = shared
+            .iter()
+            .map(|&v| self.col(v).expect("shared"))
+            .collect();
+        let other_key: Vec<usize> = shared
+            .iter()
+            .map(|&v| other.col(v).expect("shared"))
+            .collect();
+        let mut data = Vec::new();
+        let mut rows = 0usize;
+        if shared.len() == 1 {
+            let (sp, op) = (self_key[0], other_key[0]);
+            let keys: HashSet<u64> = other.iter().map(|s| s[op]).collect();
+            for r in self.iter() {
+                if keys.contains(&r[sp]) {
+                    data.extend_from_slice(r);
+                    rows += 1;
+                }
+            }
+        } else {
+            let mut keys: HashSet<Box<[u64]>> = HashSet::with_capacity(other.rows);
+            let mut scratch: Vec<u64> = Vec::with_capacity(shared.len());
+            for s in other.iter() {
+                pack_key(&mut scratch, s, &other_key);
+                if !keys.contains(scratch.as_slice()) {
+                    keys.insert(scratch.as_slice().into());
+                }
+            }
+            for r in self.iter() {
+                pack_key(&mut scratch, r, &self_key);
+                if keys.contains(scratch.as_slice()) {
+                    data.extend_from_slice(r);
+                    rows += 1;
+                }
+            }
+        }
+        FlatRelation {
+            vars: self.vars.clone(),
+            rows,
+            data,
+        }
+    }
+
+    /// Project to `keep` (order taken from `keep`; unknown variables are
+    /// an error). Keeping every column in place is zero-copy per row (a
+    /// buffer clone); a strict prefix copies contiguous slices; only
+    /// projections that *drop* columns pay the dedup sort.
+    pub fn project(&self, keep: &[Var]) -> FlatRelation {
+        let pos: Vec<usize> = keep
+            .iter()
+            .map(|&v| self.col(v).expect("projection variable must exist"))
+            .collect();
+        if keep == self.vars.as_slice() {
+            return self.clone();
+        }
+        let arity = self.arity();
+        let k = keep.len();
+        let mut out = FlatRelation {
+            vars: keep.to_vec(),
+            rows: self.rows,
+            data: Vec::with_capacity(self.rows * k),
+        };
+        if pos.iter().enumerate().all(|(i, &p)| i == p) {
+            // Prefix projection: straight per-row prefix copies.
+            for r in self.iter() {
+                out.data.extend_from_slice(&r[..k]);
+            }
+        } else {
+            for r in self.iter() {
+                out.data.extend(pos.iter().map(|&p| r[p]));
+            }
+        }
+        // Only a *permutation* of the columns is guaranteed to keep rows
+        // distinct; dropping a column — or repeating one while another
+        // is dropped — can merge rows and needs the dedup.
+        let mut hit = vec![false; arity];
+        let is_permutation =
+            k == arity && pos.iter().all(|&p| !std::mem::replace(&mut hit[p], true));
+        if !is_permutation {
+            out.dedup();
+        }
+        out
+    }
+
+    /// Sort rows lexicographically and remove duplicates. Operators call
+    /// this only where duplicates can actually arise; it is public so the
+    /// benches can measure it in isolation.
+    pub fn dedup(&mut self) {
+        let a = self.vars.len();
+        if a == 0 {
+            self.rows = self.rows.min(1);
+            return;
+        }
+        if self.rows <= 1 {
+            return;
+        }
+        check_row_index_fits(self.rows);
+        let mut idx: Vec<u32> = (0..self.rows as u32).collect();
+        let data = &self.data;
+        idx.sort_unstable_by(|&i, &j| {
+            data[i as usize * a..i as usize * a + a].cmp(&data[j as usize * a..j as usize * a + a])
+        });
+        let mut out: Vec<u64> = Vec::with_capacity(self.data.len());
+        for &i in &idx {
+            let row = &self.data[i as usize * a..i as usize * a + a];
+            if out.len() < a || &out[out.len() - a..] != row {
+                out.extend_from_slice(row);
+            }
+        }
+        self.rows = out.len() / a;
+        self.data = out;
+    }
+}
+
+/// Pack the key columns of `row` into `scratch` (cleared first).
+fn pack_key(scratch: &mut Vec<u64>, row: &[u64], pos: &[usize]) {
+    scratch.clear();
+    scratch.extend(pos.iter().map(|&p| row[p]));
+}
+
+/// Row indices inside hash buckets and the dedup permutation are `u32`
+/// (halving index-buffer memory); fail loudly rather than silently
+/// truncating on relations beyond 2^32 rows.
+fn check_row_index_fits(rows: usize) {
+    assert!(
+        rows <= u32::MAX as usize,
+        "FlatRelation limited to 2^32 rows (got {rows})"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::ConjunctiveQuery;
+
+    fn v(i: u32) -> Var {
+        Var(i)
+    }
+
+    fn rel(vars: &[u32], tuples: &[&[u64]]) -> FlatRelation {
+        FlatRelation::from_rows(
+            vars.iter().map(|&i| v(i)).collect(),
+            &tuples.iter().map(|t| t.to_vec()).collect::<Vec<_>>(),
+        )
+    }
+
+    fn sorted_tuples(r: &FlatRelation) -> Vec<Vec<u64>> {
+        let mut t = r.to_tuples();
+        t.sort_unstable();
+        t
+    }
+
+    #[test]
+    fn layout_and_accessors() {
+        let r = rel(&[0, 1], &[&[1, 2], &[3, 4]]);
+        assert_eq!(r.arity(), 2);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.row(0).len(), 2);
+        assert_eq!(r.iter().count(), 2);
+    }
+
+    #[test]
+    fn from_rows_dedups() {
+        let r = rel(&[0], &[&[2], &[1], &[2]]);
+        assert_eq!(sorted_tuples(&r), vec![vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn bind_handles_constants_and_repeats() {
+        let mut db = Database::new();
+        db.insert_all(
+            "R",
+            &[vec![1, 1, 5], vec![1, 2, 5], vec![2, 2, 7], vec![3, 3, 5]],
+        );
+        let q = ConjunctiveQuery::parse(&[("R", &["?x", "?x", "5"])]);
+        let r = FlatRelation::bind(&q.atoms[0], &db);
+        assert_eq!(r.arity(), 1);
+        assert_eq!(sorted_tuples(&r), vec![vec![1], vec![3]]);
+    }
+
+    #[test]
+    fn bind_missing_or_mismatched_relation_is_empty() {
+        let q = ConjunctiveQuery::parse(&[("R", &["?x"])]);
+        assert!(FlatRelation::bind(&q.atoms[0], &Database::new()).is_empty());
+        let mut db = Database::new();
+        db.insert("R", &[1, 2]); // arity 2 vs unary atom
+        assert!(FlatRelation::bind(&q.atoms[0], &db).is_empty());
+    }
+
+    #[test]
+    fn join_on_shared_variable() {
+        let a = rel(&[0, 1], &[&[1, 2], &[2, 3]]);
+        let b = rel(&[1, 2], &[&[2, 10], &[2, 11], &[9, 12]]);
+        let j = a.join(&b);
+        assert_eq!(j.vars(), &[v(0), v(1), v(2)]);
+        assert_eq!(sorted_tuples(&j), vec![vec![1, 2, 10], vec![1, 2, 11]]);
+    }
+
+    #[test]
+    fn join_multi_column_key() {
+        let a = rel(&[0, 1, 2], &[&[1, 2, 7], &[1, 3, 8], &[2, 2, 9]]);
+        let b = rel(&[0, 1, 3], &[&[1, 2, 70], &[1, 2, 71], &[2, 3, 72]]);
+        let j = a.join(&b);
+        assert_eq!(j.vars(), &[v(0), v(1), v(2), v(3)]);
+        assert_eq!(
+            sorted_tuples(&j),
+            vec![vec![1, 2, 7, 70], vec![1, 2, 7, 71]]
+        );
+    }
+
+    #[test]
+    fn join_without_shared_is_product() {
+        let a = rel(&[0], &[&[1], &[2]]);
+        let b = rel(&[1], &[&[7], &[8]]);
+        assert_eq!(a.join(&b).len(), 4);
+    }
+
+    #[test]
+    fn join_with_unit() {
+        let a = rel(&[0], &[&[1]]);
+        assert_eq!(a.join(&FlatRelation::unit()), a);
+        assert_eq!(
+            sorted_tuples(&FlatRelation::unit().join(&a)),
+            sorted_tuples(&a)
+        );
+    }
+
+    #[test]
+    fn unit_and_empty_edge_cases() {
+        let u = FlatRelation::unit();
+        assert_eq!(u.len(), 1);
+        assert_eq!(u.arity(), 0);
+        assert_eq!(u.join(&u).len(), 1);
+        let e = FlatRelation::empty(vec![v(0)]);
+        assert!(e.join(&u).is_empty());
+        assert!(u.join(&e).is_empty());
+    }
+
+    #[test]
+    fn project_keep_all_and_prefix_and_scatter() {
+        let a = rel(&[0, 1, 2], &[&[1, 2, 3], &[1, 2, 4]]);
+        assert_eq!(a.project(&[v(0), v(1), v(2)]), a);
+        let p = a.project(&[v(0), v(1)]);
+        assert_eq!(sorted_tuples(&p), vec![vec![1, 2]]);
+        let s = a.project(&[v(2), v(0)]);
+        assert_eq!(sorted_tuples(&s), vec![vec![3, 1], vec![4, 1]]);
+    }
+
+    #[test]
+    fn project_repeating_a_column_still_dedups() {
+        // keep.len() == arity but not a permutation: repeating x while
+        // dropping y merges the two rows; the distinct-rows invariant
+        // must survive.
+        let a = rel(&[0, 1], &[&[1, 2], &[1, 3]]);
+        let p = a.project(&[v(0), v(0)]);
+        assert_eq!(sorted_tuples(&p), vec![vec![1, 1]]);
+    }
+
+    #[test]
+    fn semijoin_filters() {
+        let a = rel(&[0, 1], &[&[1, 2], &[2, 3]]);
+        let b = rel(&[1], &[&[2]]);
+        assert_eq!(sorted_tuples(&a.semijoin(&b)), vec![vec![1, 2]]);
+        // Disjoint semijoin: nonempty other keeps everything.
+        let c = rel(&[9], &[&[5]]);
+        assert_eq!(a.semijoin(&c).len(), 2);
+        // Disjoint semijoin with empty other: empties.
+        let e = FlatRelation::empty(vec![v(9)]);
+        assert!(a.semijoin(&e).is_empty());
+        // Multi-column semijoin key.
+        let d = rel(&[0, 1], &[&[2, 3], &[9, 9]]);
+        assert_eq!(sorted_tuples(&a.semijoin(&d)), vec![vec![2, 3]]);
+    }
+
+    #[test]
+    fn dedup_is_idempotent_and_total() {
+        let mut r = FlatRelation {
+            vars: vec![v(0), v(1)],
+            rows: 4,
+            data: vec![3, 4, 1, 2, 3, 4, 1, 2],
+        };
+        r.dedup();
+        assert_eq!(r.len(), 2);
+        assert_eq!(sorted_tuples(&r), vec![vec![1, 2], vec![3, 4]]);
+        r.dedup();
+        assert_eq!(r.len(), 2);
+    }
+}

@@ -7,13 +7,22 @@
 //! - [`query`]: function-free conjunctive queries with named variables and
 //!   constants; the hypergraph of a query (Section 2).
 //! - [`database`]: databases as sets of ground atoms, stored per-relation.
-//! - [`relation`]: the variable-columned relations and the hash-join /
-//!   semijoin / projection operators used by all evaluators.
+//! - [`flat`]: the **columnar execution kernel** — [`FlatRelation`] packs
+//!   all tuples into one contiguous buffer with a fixed stride, resolves
+//!   schemas once per operator, joins/semijoins on packed key slices, and
+//!   dedups only where an operator can introduce duplicates. All
+//!   evaluators run on it.
+//! - [`relation`]: the original row-store [`VRelation`], kept as the
+//!   reference implementation for differential tests and benchmarks.
+//! - [`stats`]: per-relation cardinality / per-column distinct-count
+//!   statistics ([`Database::stats`]) and the selectivity-based join
+//!   cardinality estimator the `cqd2-engine` cost model consumes.
 //! - [`eval`]: **BCQ** evaluation three ways — naive backtracking join
 //!   (exponential, the baseline), Yannakakis semijoin passes over a join
 //!   tree, and GHD-guided evaluation (Prop. 2.2: polynomial for bounded
 //!   ghw) — plus **#CQ** counting for full CQs by the junction-tree DP
-//!   (Prop. 4.14).
+//!   (Prop. 4.14). Bag materialization parallelizes over the
+//!   decomposition's bags on large databases.
 //! - [`hom`]: homomorphisms between queries, cores, Boolean equivalence,
 //!   and semantic generalized hypertree width (`ghw` of the core,
 //!   Section 4.3).
@@ -23,16 +32,21 @@
 
 pub mod database;
 pub mod eval;
+pub mod flat;
 pub mod generate;
 pub mod hom;
+pub mod par;
 pub mod query;
 pub mod relation;
+pub mod stats;
 
 pub use database::Database;
 pub use eval::{
     bcq_auto, bcq_auto_with, bcq_naive, bcq_via_ghd, count_auto, count_auto_with, count_naive,
-    count_via_ghd,
+    count_via_ghd, with_sequential_bags,
 };
+pub use flat::FlatRelation;
 pub use hom::{core_of, find_homomorphism, semantic_ghw};
 pub use query::{Atom, ConjunctiveQuery, Term, Var};
 pub use relation::VRelation;
+pub use stats::{estimate_join_rows, estimate_naive_cost, DatabaseStats, RelationStats};

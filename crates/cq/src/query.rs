@@ -177,6 +177,30 @@ impl ConjunctiveQuery {
         self.hypergraph().max_degree()
     }
 
+    /// For each edge of `h` — a hypergraph of this query, typically
+    /// [`ConjunctiveQuery::hypergraph`] — the index of a representative
+    /// atom with the same variable set (`None` if no atom matches).
+    /// Built from one sorted-varset → atom-index map, so the whole
+    /// mapping costs one hash probe per edge. Shared by the GHD
+    /// evaluator's bag materialization and the engine's cost estimator,
+    /// which must agree on which relation stands in for an edge.
+    pub fn edge_representatives(&self, h: &Hypergraph) -> Vec<Option<usize>> {
+        let mut atom_by_varset: std::collections::HashMap<Vec<Var>, usize> =
+            std::collections::HashMap::with_capacity(self.atoms.len());
+        for (ai, atom) in self.atoms.iter().enumerate() {
+            let mut vs = atom.vars();
+            vs.sort_unstable();
+            atom_by_varset.entry(vs).or_insert(ai);
+        }
+        h.edge_ids()
+            .map(|e| {
+                let mut ev: Vec<Var> = h.edge(e).iter().map(|v| Var(v.0)).collect();
+                ev.sort_unstable();
+                atom_by_varset.get(&ev).copied()
+            })
+            .collect()
+    }
+
     /// Pretty-print, e.g. `R(?x, ?y) ∧ S(?y, 42)`.
     pub fn display(&self) -> String {
         self.atoms

@@ -1,11 +1,18 @@
-//! Variable-columned relations and the relational operators used by the
-//! evaluators.
+//! The reference row-store relation: one `Vec<u64>` per tuple.
 //!
 //! A [`VRelation`] associates each column with a query variable; all
 //! operators align on variables, so join conditions never need to be
 //! spelled out. Binding an atom against a database resolves constants and
 //! repeated variables up front, after which every evaluator deals only
 //! with distinct-variable columns.
+//!
+//! The evaluators themselves run on the columnar
+//! [`crate::flat::FlatRelation`] kernel; this row store is kept as the
+//! obviously-correct **reference implementation** that the differential
+//! tests (`tests/kernel_differential.rs`) and the `relation_ops`
+//! micro-benchmarks compare the kernel against. Its operators dedup
+//! after every step and allocate per tuple — exactly the costs the flat
+//! kernel exists to avoid.
 
 use crate::database::Database;
 use crate::query::{Atom, Term, Var};

@@ -66,22 +66,29 @@ pub struct CacheStats {
 struct CacheEntry {
     representative: Hypergraph,
     structure: Arc<PlannedStructure>,
+    /// Logical timestamp of the last hit (or the insertion), driving LRU
+    /// eviction.
+    last_used: u64,
 }
 
-/// Fingerprint-bucketed store of planned structures.
+/// Fingerprint-bucketed store of planned structures with per-entry LRU
+/// eviction.
 pub struct PlanCache {
     buckets: HashMap<u64, Vec<CacheEntry>>,
     capacity: usize,
     entries: usize,
     hits: u64,
     misses: u64,
+    /// Monotonic logical clock; bumped on every lookup/insert.
+    tick: u64,
 }
 
 impl PlanCache {
     /// An empty cache holding at most `capacity` structures (0 means
-    /// unbounded). Eviction is whole-cache: workloads that overflow the
-    /// capacity are re-planned, never served stale or mistranslated
-    /// plans.
+    /// unbounded). On overflow the least-recently-used entry is evicted
+    /// from its fingerprint bucket — hot structures survive capacity
+    /// pressure, and a translated plan is never served stale (entries are
+    /// dropped whole, never mutated).
     pub fn new(capacity: usize) -> PlanCache {
         PlanCache {
             buckets: HashMap::new(),
@@ -89,17 +96,21 @@ impl PlanCache {
             entries: 0,
             hits: 0,
             misses: 0,
+            tick: 0,
         }
     }
 
     /// Look up the structure class of `h`. On a hit the stored GHD is
-    /// translated into `h`'s coordinates. Counts a miss otherwise.
+    /// translated into `h`'s coordinates and the entry's LRU stamp is
+    /// refreshed. Counts a miss otherwise.
     pub fn lookup(&mut self, h: &Hypergraph) -> Option<CachedPlan> {
+        self.tick += 1;
         let key = fingerprint(h);
-        if let Some(bucket) = self.buckets.get(&key) {
-            for entry in bucket {
+        if let Some(bucket) = self.buckets.get_mut(&key) {
+            for entry in bucket.iter_mut() {
                 if let Some(iso) = find_isomorphism(&entry.representative, h) {
                     self.hits += 1;
+                    entry.last_used = self.tick;
                     let ghd = entry.structure.ghd.as_ref().map(|g| translate_ghd(g, &iso));
                     return Some(CachedPlan {
                         structure: Arc::clone(&entry.structure),
@@ -114,14 +125,13 @@ impl PlanCache {
     }
 
     /// Store the analysis of `h`'s structure class, with `h` as the
-    /// class representative.
+    /// class representative. At capacity, the least-recently-used entry
+    /// across all fingerprint buckets is evicted first.
     pub fn insert(&mut self, h: &Hypergraph, structure: PlannedStructure) -> Arc<PlannedStructure> {
-        if self.capacity > 0 && self.entries >= self.capacity {
-            // Whole-cache eviction keeps the implementation obviously
-            // correct; see ROADMAP for the planned LRU refinement.
-            self.buckets.clear();
-            self.entries = 0;
+        while self.capacity > 0 && self.entries >= self.capacity {
+            self.evict_lru();
         }
+        self.tick += 1;
         let structure = Arc::new(structure);
         self.buckets
             .entry(fingerprint(h))
@@ -129,9 +139,36 @@ impl PlanCache {
             .push(CacheEntry {
                 representative: h.clone(),
                 structure: Arc::clone(&structure),
+                last_used: self.tick,
             });
         self.entries += 1;
         structure
+    }
+
+    /// Remove the entry with the oldest LRU stamp (no-op on an empty
+    /// cache). Empty buckets are dropped so the bucket map cannot grow
+    /// without bound under churn.
+    fn evict_lru(&mut self) {
+        let victim = self
+            .buckets
+            .iter()
+            .flat_map(|(&key, bucket)| {
+                bucket
+                    .iter()
+                    .enumerate()
+                    .map(move |(i, e)| (e.last_used, key, i))
+            })
+            .min()
+            .map(|(_, key, i)| (key, i));
+        let Some((key, i)) = victim else {
+            return;
+        };
+        let bucket = self.buckets.get_mut(&key).expect("victim bucket exists");
+        bucket.remove(i);
+        if bucket.is_empty() {
+            self.buckets.remove(&key);
+        }
+        self.entries -= 1;
     }
 
     /// Counter snapshot.
@@ -192,17 +229,41 @@ mod tests {
     }
 
     #[test]
-    fn capacity_overflow_clears_instead_of_mistranslating() {
+    fn capacity_overflow_evicts_least_recently_used() {
         let mut cache = PlanCache::new(2);
         let planner = Planner::default();
         for k in 3..6 {
             let h = hyperchain(k, 2);
             cache.insert(&h, planner.plan_structure(&h));
         }
-        // The first two entries were evicted by the clear; the third
-        // remains resident.
-        assert!(cache.lookup(&hyperchain(5, 2)).is_some());
+        // LRU order at the third insert was chain-3 < chain-4, so only
+        // chain-3 was evicted; the cache stays full.
         assert!(cache.lookup(&hyperchain(3, 2)).is_none());
-        assert_eq!(cache.stats().entries, 1);
+        assert!(cache.lookup(&hyperchain(4, 2)).is_some());
+        assert!(cache.lookup(&hyperchain(5, 2)).is_some());
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn hot_structure_survives_capacity_pressure() {
+        let mut cache = PlanCache::new(2);
+        let planner = Planner::default();
+        let hot = hypercycle(5, 2);
+        cache.insert(&hot, planner.plan_structure(&hot));
+        // A stream of one-shot structures churns through the remaining
+        // slot; the hot structure is touched between insertions and must
+        // never be the LRU victim.
+        for k in 3..8 {
+            let cold = hyperchain(k, 2);
+            assert!(cache.lookup(&hot).is_some(), "hot entry evicted at k={k}");
+            cache.insert(&cold, planner.plan_structure(&cold));
+        }
+        assert!(cache.lookup(&hot).is_some());
+        assert_eq!(cache.stats().entries, 2);
+        // The cold structures churned: all but the newest were evicted.
+        for k in 3..7 {
+            assert!(cache.lookup(&hyperchain(k, 2)).is_none(), "k={k}");
+        }
+        assert!(cache.lookup(&hyperchain(7, 2)).is_some());
     }
 }

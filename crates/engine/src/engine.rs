@@ -7,15 +7,15 @@
 //! [`PlanProvenance`] so callers can see which regime of the paper their
 //! query landed in and whether planning was amortized.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
-use cqd2_cq::eval::{bcq_naive, bcq_via_ghd, count_naive, count_via_ghd};
+use cqd2_cq::eval::{bcq_naive, bcq_via_ghd, count_naive, count_via_ghd, with_sequential_bags};
+use cqd2_cq::stats::DatabaseStats;
 use cqd2_cq::{ConjunctiveQuery, Database};
 
 use crate::cache::{CacheStats, PlanCache};
-use crate::plan::{PlannedQuery, QueryPlan};
+use crate::plan::{DataEstimate, PlannedQuery, QueryPlan};
 use crate::planner::{Planner, PlannerConfig};
 
 /// Engine-level configuration.
@@ -164,7 +164,9 @@ impl Engine {
     }
 
     /// Plan `q` (from cache when its structure class is known) without
-    /// executing anything.
+    /// executing anything. Structure-only: no database is consulted, so
+    /// the choice reflects exponents alone (see [`Engine::plan_with_db`]
+    /// for the statistics-refined plan).
     pub fn plan(&self, q: &ConjunctiveQuery, workload: Workload) -> (PlannedQuery, bool, Duration) {
         let start = Instant::now();
         let (structure, cache_hit) = self.structure_for(&q.hypergraph());
@@ -175,13 +177,73 @@ impl Engine {
         (planned, cache_hit, start.elapsed())
     }
 
-    /// Serve one request.
+    /// Plan `q` against a concrete database: the cached structural
+    /// analysis is refined with [`DataEstimate`]s from the database's
+    /// statistics, so the naive-vs-GHD choice follows the data, not just
+    /// the structural exponent. This is the planning path [`Engine::serve`]
+    /// uses.
+    pub fn plan_with_db(
+        &self,
+        q: &ConjunctiveQuery,
+        db: &Database,
+        workload: Workload,
+    ) -> (PlannedQuery, bool, Duration) {
+        let start = Instant::now();
+        let (structure, cache_hit) = self.structure_for(&q.hypergraph());
+        let est = DataEstimate::compute(q, structure.ghd.as_ref(), &db.stats());
+        let planned = match workload {
+            Workload::Boolean => structure.bool_plan_with(Some(&est)),
+            Workload::Count => structure.count_plan_with(Some(&est)),
+        };
+        (planned, cache_hit, start.elapsed())
+    }
+
+    /// Serve one request. Statistics are collected only when the
+    /// structure has a GHD the estimate could override (no GHD means
+    /// nothing to flip, so the `O(‖D‖)` scan is skipped); callers
+    /// serving many requests against one unchanging database should
+    /// snapshot once and use [`Engine::serve_with_stats`].
     pub fn serve(&self, req: &Request<'_>) -> Response {
+        self.serve_impl(req, None)
+    }
+
+    /// [`Engine::serve`] against a precomputed statistics snapshot of
+    /// `req.db`. The batch executor collects one snapshot per distinct
+    /// database instead of re-scanning per request; single-request
+    /// callers with an unchanging database get the same amortization by
+    /// calling `db.stats()` once and passing it here.
+    pub fn serve_with_stats(&self, req: &Request<'_>, stats: &DatabaseStats) -> Response {
+        self.serve_impl(req, Some(stats))
+    }
+
+    fn serve_impl(&self, req: &Request<'_>, stats: Option<&DatabaseStats>) -> Response {
         let start = Instant::now();
         let (structure, cache_hit) = self.structure_for(&req.query.hypergraph());
+        // Refine the cached structural plan with data statistics: on
+        // small databases the estimate flips bounded-width plans back to
+        // the naive join (per-bag setup would dominate), and provenance
+        // records the numbers.
+        let est = match (stats, structure.ghd.is_some()) {
+            (Some(stats), _) => Some(DataEstimate::compute(
+                req.query,
+                structure.ghd.as_ref(),
+                stats,
+            )),
+            // Scan only the relations the query's atoms name — the only
+            // ones the estimate consults — so the per-request cost is
+            // proportional to the data this query can touch.
+            (None, true) => Some(DataEstimate::compute(
+                req.query,
+                structure.ghd.as_ref(),
+                &DatabaseStats::collect_for_query(req.db, req.query),
+            )),
+            // No GHD: the plan is the naive join no matter what the data
+            // says; don't pay a database scan to learn nothing.
+            (None, false) => None,
+        };
         let planned = match req.workload {
-            Workload::Boolean => structure.bool_plan(),
-            Workload::Count => structure.count_plan(),
+            Workload::Boolean => structure.bool_plan_with(est.as_ref()),
+            Workload::Count => structure.count_plan_with(est.as_ref()),
         };
         let planning = start.elapsed();
         // Which decomposition actually drives evaluation: the plan's own
@@ -250,27 +312,29 @@ impl Engine {
             return Vec::new();
         }
         let workers = self.effective_workers().min(n);
-        if workers <= 1 {
-            return requests.iter().map(|r| self.serve(r)).collect();
+        // One statistics snapshot per *distinct* database (batches
+        // typically share a handful of databases across many requests),
+        // keyed by address — the borrows outlive the whole batch.
+        let mut stats_by_db: std::collections::HashMap<usize, DatabaseStats> =
+            std::collections::HashMap::new();
+        for r in requests {
+            stats_by_db
+                .entry(std::ptr::from_ref(r.db) as usize)
+                .or_insert_with(|| r.db.stats());
         }
-        let next = AtomicUsize::new(0);
-        let slots: Vec<OnceLock<Response>> = (0..n).map(|_| OnceLock::new()).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let response = self.serve(&requests[i]);
-                    slots[i].set(response).expect("slot written once");
-                });
-            }
-        });
-        slots
-            .into_iter()
-            .map(|slot| slot.into_inner().expect("every slot served"))
-            .collect()
+        let stats_for = |r: &Request<'_>| &stats_by_db[&(std::ptr::from_ref(r.db) as usize)];
+        if workers <= 1 {
+            // Inline serving keeps intra-query bag parallelism available.
+            return requests
+                .iter()
+                .map(|r| self.serve_with_stats(r, stats_for(r)))
+                .collect();
+        }
+        // The batch already saturates the worker pool: disable nested
+        // intra-query bag parallelism inside each worker.
+        cqd2_cq::par::scoped_map(n, workers, |i| {
+            with_sequential_bags(|| self.serve_with_stats(&requests[i], stats_for(&requests[i])))
+        })
     }
 
     /// Plan-cache counters.

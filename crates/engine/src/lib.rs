@@ -48,5 +48,5 @@ pub mod textio;
 
 pub use cache::{CacheStats, CachedPlan, PlanCache};
 pub use engine::{Answer, Engine, EngineConfig, PlanProvenance, Request, Response, Workload};
-pub use plan::{CostEstimate, PlannedQuery, QueryPlan};
+pub use plan::{CostEstimate, DataEstimate, PlannedQuery, QueryPlan};
 pub use planner::{PlannedStructure, Planner, PlannerConfig};

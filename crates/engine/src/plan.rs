@@ -3,8 +3,13 @@
 //! A [`QueryPlan`] names the evaluation strategy the paper's dichotomies
 //! single out for a query's structure; a [`CostEstimate`] makes the
 //! choice explainable and lets callers predict scaling before touching a
-//! database.
+//! database. When a database is in hand, a [`DataEstimate`] (computed
+//! from [`cqd2_cq::stats::DatabaseStats`]) adds estimated intermediate
+//! cardinalities, letting the engine choose naive-vs-GHD **by data**
+//! rather than by structural exponent alone.
 
+use cqd2_cq::stats::{estimate_join_rows, estimate_naive_cost, DatabaseStats};
+use cqd2_cq::{Atom, ConjunctiveQuery};
 use cqd2_decomp::Ghd;
 use cqd2_dilution::DilutionSequence;
 
@@ -71,9 +76,99 @@ impl QueryPlan {
     }
 }
 
+/// Data-dependent cost estimates, derived from [`DatabaseStats`] for one
+/// `(query, database)` pair.
+///
+/// Units are "tuple touches": the naive side is the product of atom
+/// cardinalities (what the backtracker can visit with no pruning); the
+/// GHD side sums, per bag, a fixed per-bag setup charge
+/// ([`DataEstimate::BAG_SETUP_COST`], modelling hash-table builds and
+/// buffer allocation), the bag's input cardinality, and the
+/// selectivity-estimated cardinality of the materialized bag join. On
+/// small databases the setup charges dominate and the naive join wins;
+/// on large ones the `‖D‖^k` naive product explodes and the GHD route
+/// wins — exactly the crossover the exponent-only model cannot see.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DataEstimate {
+    /// Total tuples in the database (`‖D‖` up to constant factors).
+    pub db_tuples: usize,
+    /// Estimated cost of the naive backtracking join.
+    pub naive_cost: f64,
+    /// Estimated cost of the GHD route (bag materialization), when the
+    /// structure has a GHD whose cover edges all map to query atoms.
+    pub ghd_cost: Option<f64>,
+    /// Largest estimated materialized-bag cardinality (the intermediate
+    /// the GHD route actually builds).
+    pub max_bag_rows: Option<f64>,
+}
+
+impl DataEstimate {
+    /// Fixed per-bag charge (in tuple-touch units) for hash-table builds,
+    /// projections, and buffer setup during bag materialization.
+    pub const BAG_SETUP_COST: f64 = 64.0;
+
+    /// Estimate costs for evaluating `q` with the given (optional) GHD
+    /// against a database summarized by `stats`.
+    pub fn compute(q: &ConjunctiveQuery, ghd: Option<&Ghd>, stats: &DatabaseStats) -> DataEstimate {
+        let naive_cost = estimate_naive_cost(q.atoms.iter(), stats);
+        let mut ghd_cost = None;
+        let mut max_bag_rows = None;
+        if let Some(g) = ghd {
+            // The same edge → representative-atom mapping the evaluator's
+            // bag materialization uses, so estimates cost exactly the
+            // relations that will be joined.
+            let edge_atom = q.edge_representatives(&q.hypergraph());
+            let mut total = 0.0f64;
+            let mut max_rows = 0.0f64;
+            let mut resolvable = true;
+            for cover in &g.covers {
+                let atoms: Vec<&Atom> = cover
+                    .iter()
+                    .filter_map(|e| edge_atom.get(e.idx()).copied().flatten())
+                    .map(|ai| &q.atoms[ai])
+                    .collect();
+                if atoms.len() != cover.len() {
+                    resolvable = false;
+                    break;
+                }
+                let input: f64 = atoms
+                    .iter()
+                    .map(|a| {
+                        stats
+                            .relation(&a.relation)
+                            .map_or(0.0, |r| r.cardinality as f64)
+                    })
+                    .sum();
+                let rows = estimate_join_rows(atoms.iter().copied(), stats);
+                max_rows = max_rows.max(rows);
+                total += Self::BAG_SETUP_COST + input + rows;
+            }
+            if resolvable {
+                ghd_cost = Some(total);
+                max_bag_rows = Some(max_rows);
+            }
+        }
+        DataEstimate {
+            db_tuples: stats.total_tuples(),
+            naive_cost,
+            ghd_cost,
+            max_bag_rows,
+        }
+    }
+
+    /// `Some(true)` when the data says the naive join is no worse than
+    /// the GHD route; `None` when there is no GHD estimate to compare.
+    pub fn naive_beats_ghd(&self) -> Option<bool> {
+        self.ghd_cost.map(|g| self.naive_cost <= g)
+    }
+}
+
 /// A coarse, explainable cost model: evaluation cost is taken to be
 /// `setup + db_size ^ exponent` up to constants. Good enough to rank
-/// strategies and to explain the ranking; not a cardinality estimator.
+/// strategies and to explain the ranking. When the plan was derived with
+/// a database in hand, [`CostEstimate::data`] carries the estimated
+/// intermediate cardinalities that drove the choice.
 #[derive(Debug, Clone, Copy, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CostEstimate {
@@ -83,6 +178,8 @@ pub struct CostEstimate {
     /// Structure-only setup cost already paid at planning time, in
     /// arbitrary units (decomposition / extraction work).
     pub planning_units: f64,
+    /// Data-dependent estimates (present when planning saw a database).
+    pub data: Option<DataEstimate>,
 }
 
 impl CostEstimate {
@@ -114,6 +211,18 @@ impl PlannedQuery {
             self.plan.strategy(),
             self.cost.db_exponent
         );
+        if let Some(est) = &self.cost.data {
+            out.push_str(&format!(
+                "\n  stats: ‖D‖ = {} tuples; est. naive ≈ {:.0} tuple-touches",
+                est.db_tuples, est.naive_cost
+            ));
+            if let Some(g) = est.ghd_cost {
+                out.push_str(&format!(", ghd ≈ {g:.0}"));
+            }
+            if let Some(m) = est.max_bag_rows {
+                out.push_str(&format!(", largest bag ≈ {m:.0} rows"));
+            }
+        }
         match &self.plan {
             QueryPlan::GhdYannakakis { width, ghd } => {
                 out.push_str(&format!(
@@ -153,13 +262,59 @@ mod tests {
         let low = CostEstimate {
             db_exponent: 1.0,
             planning_units: 0.0,
+            data: None,
         };
         let high = CostEstimate {
             db_exponent: 3.0,
             planning_units: 0.0,
+            data: None,
         };
         assert!(low.predict(100) < low.predict(1000));
         assert!(low.predict(100) < high.predict(100));
+    }
+
+    #[test]
+    fn data_estimate_crosses_over_with_database_size() {
+        use cqd2_cq::generate::{canonical_query, random_database};
+        use cqd2_decomp::widths::ghw_decomposition;
+        use cqd2_hypergraph::generators::hypercycle;
+
+        let q = canonical_query(&hypercycle(6, 2));
+        let ghd = ghw_decomposition(&q.hypergraph()).expect("cycle decomposes");
+        // Tiny database: per-bag setup charges dominate, naive wins.
+        let small = random_database(&q, 3, 2, 1).stats();
+        let est = DataEstimate::compute(&q, Some(&ghd), &small);
+        assert_eq!(est.naive_beats_ghd(), Some(true), "{est:?}");
+        // Big database: the ‖D‖^6 naive product explodes, the GHD wins.
+        let big = random_database(&q, 500, 400, 2).stats();
+        let est = DataEstimate::compute(&q, Some(&ghd), &big);
+        assert_eq!(est.naive_beats_ghd(), Some(false), "{est:?}");
+        assert!(est.max_bag_rows.is_some());
+        // No GHD: nothing to compare against.
+        let est = DataEstimate::compute(&q, None, &big);
+        assert_eq!(est.naive_beats_ghd(), None);
+    }
+
+    #[test]
+    fn explain_includes_data_estimates() {
+        let planned = PlannedQuery {
+            plan: QueryPlan::NaiveJoin,
+            cost: CostEstimate {
+                db_exponent: 2.0,
+                planning_units: 0.0,
+                data: Some(DataEstimate {
+                    db_tuples: 12,
+                    naive_cost: 36.0,
+                    ghd_cost: Some(150.0),
+                    max_bag_rows: Some(6.0),
+                }),
+            },
+            notes: vec![],
+        };
+        let text = planned.explain();
+        assert!(text.contains("12 tuples"), "{text}");
+        assert!(text.contains("naive ≈ 36"), "{text}");
+        assert!(text.contains("ghd ≈ 150"), "{text}");
     }
 
     #[test]

@@ -22,7 +22,7 @@ use cqd2_dilution::DilutionSequence;
 use cqd2_hypergraph::Hypergraph;
 use cqd2_jigsaw::extract_jigsaw;
 
-use crate::plan::{CostEstimate, PlannedQuery, QueryPlan};
+use crate::plan::{CostEstimate, DataEstimate, PlannedQuery, QueryPlan};
 
 /// Planner knobs. The defaults suit interactive serving; tests and
 /// experiments tighten them to force specific regimes.
@@ -98,17 +98,31 @@ impl PlannedStructure {
         self.ghd.as_ref().map(Ghd::width)
     }
 
-    /// Derive the Boolean-evaluation plan.
+    /// Derive the Boolean-evaluation plan (structure only).
     pub fn bool_plan(&self) -> PlannedQuery {
-        self.derive_plan(false)
+        self.derive_plan(false, None)
     }
 
-    /// Derive the counting plan.
+    /// Derive the counting plan (structure only).
     pub fn count_plan(&self) -> PlannedQuery {
-        self.derive_plan(true)
+        self.derive_plan(true, None)
     }
 
-    fn derive_plan(&self, counting: bool) -> PlannedQuery {
+    /// Derive the Boolean-evaluation plan, refined with data statistics:
+    /// when the estimate says the naive join is no worse than the GHD
+    /// route (small databases, where per-bag setup dominates), the plan
+    /// flips to [`QueryPlan::NaiveJoin`] and records why.
+    pub fn bool_plan_with(&self, data: Option<&DataEstimate>) -> PlannedQuery {
+        self.derive_plan(false, data)
+    }
+
+    /// Derive the counting plan, refined with data statistics (see
+    /// [`PlannedStructure::bool_plan_with`]).
+    pub fn count_plan_with(&self, data: Option<&DataEstimate>) -> PlannedQuery {
+        self.derive_plan(true, data)
+    }
+
+    fn derive_plan(&self, counting: bool, data: Option<&DataEstimate>) -> PlannedQuery {
         let naive_exponent = self.num_edges.max(1) as f64;
         let mut notes = self.notes.clone();
         // Hard regime certified: report the jigsaw plan. Evaluation still
@@ -132,6 +146,7 @@ impl PlannedStructure {
                 cost: CostEstimate {
                     db_exponent: exponent,
                     planning_units: sequence.ops.len() as f64,
+                    data: data.copied(),
                 },
                 notes,
             };
@@ -139,9 +154,30 @@ impl PlannedStructure {
         match &self.ghd {
             Some(ghd) if (ghd.width() as f64) < naive_exponent => {
                 let width = ghd.width();
+                // Structure says GHD — but on small data the per-bag
+                // setup costs can exceed the whole naive search; the
+                // statistics-based estimate decides.
+                // The numbers themselves live in `cost.data` and are
+                // rendered by `explain()`; the note records only the
+                // decision.
+                if data.and_then(DataEstimate::naive_beats_ghd) == Some(true) {
+                    notes.push(format!(
+                        "stats: small data favors the naive join — overriding the width-{width} ghd plan"
+                    ));
+                    return PlannedQuery {
+                        plan: QueryPlan::NaiveJoin,
+                        cost: CostEstimate {
+                            db_exponent: naive_exponent,
+                            planning_units: 0.0,
+                            data: data.copied(),
+                        },
+                        notes,
+                    };
+                }
                 let cost = CostEstimate {
                     db_exponent: width.max(1) as f64,
                     planning_units: ghd.td.bags.len() as f64,
+                    data: data.copied(),
                 };
                 let plan = if counting {
                     QueryPlan::CountingDp { ghd: ghd.clone() }
@@ -164,6 +200,7 @@ impl PlannedStructure {
                     cost: CostEstimate {
                         db_exponent: naive_exponent,
                         planning_units: 0.0,
+                        data: data.copied(),
                     },
                     notes,
                 }
@@ -173,6 +210,7 @@ impl PlannedStructure {
                 cost: CostEstimate {
                     db_exponent: naive_exponent,
                     planning_units: 0.0,
+                    data: data.copied(),
                 },
                 notes,
             },

@@ -214,6 +214,60 @@ fn batch_execution_matches_naive_on_pipeline_fixtures() {
 }
 
 #[test]
+fn stats_flip_small_data_plans_to_naive_join() {
+    let engine = Engine::default();
+    let q = canonical_query(&hypercycle(6, 2));
+    // Structure alone says GHD (width 2 beats exponent 6)…
+    let (structural, _, _) = engine.plan(&q, Workload::Boolean);
+    assert!(
+        matches!(structural.plan, QueryPlan::GhdYannakakis { .. }),
+        "got {structural:?}"
+    );
+    assert!(structural.cost.data.is_none());
+    // …but on a tiny database the per-bag setup charges dominate, and
+    // the statistics flip the plan to the naive join.
+    let small_db = random_database(&q, 3, 2, 5);
+    let (planned, _, _) = engine.plan_with_db(&q, &small_db, Workload::Boolean);
+    assert!(
+        matches!(planned.plan, QueryPlan::NaiveJoin),
+        "small data must plan naive, got {planned:?}"
+    );
+    let est = planned.cost.data.expect("estimate recorded in provenance");
+    assert_eq!(est.naive_beats_ghd(), Some(true), "{est:?}");
+    assert_eq!(est.db_tuples, small_db.size());
+    assert!(
+        planned.explain().contains("stats:"),
+        "--explain must surface the estimate:\n{}",
+        planned.explain()
+    );
+    // Counting flips the same way, and serving executes the flipped
+    // plan with correct answers.
+    let (counted, _, _) = engine.plan_with_db(&q, &small_db, Workload::Count);
+    assert!(matches!(counted.plan, QueryPlan::NaiveJoin), "{counted:?}");
+    let resp = engine.serve(&Request {
+        query: &q,
+        db: &small_db,
+        workload: Workload::Boolean,
+    });
+    assert_eq!(resp.provenance.planned.plan.strategy(), "naive-join");
+    assert_eq!(resp.answer.as_bool().unwrap(), bcq_naive(&q, &small_db));
+    // On a large database the ‖D‖^6 naive product explodes and the GHD
+    // route stays chosen — the crossover goes both ways.
+    let big_db = random_database(&q, 500, 400, 6);
+    let (planned, _, _) = engine.plan_with_db(&q, &big_db, Workload::Boolean);
+    assert!(
+        matches!(planned.plan, QueryPlan::GhdYannakakis { .. }),
+        "large data must keep the GHD, got {:?}",
+        planned.plan.strategy()
+    );
+    assert_eq!(
+        planned.cost.data.unwrap().naive_beats_ghd(),
+        Some(false),
+        "{planned:?}"
+    );
+}
+
+#[test]
 fn facade_delegates_to_shared_engine() {
     let q = canonical_query(&hypercycle(4, 2));
     let db = planted_database(&q, 5, 9, 11);
@@ -236,5 +290,17 @@ fn plans_roundtrip_through_json() {
         let json = serde::json::to_string_pretty(&planned);
         let back: cqd2::engine::PlannedQuery = serde::json::from_str(&json).unwrap();
         assert_eq!(back, planned, "plan JSON roundtrip for {}", q.display());
+        // Stats-refined plans carry a DataEstimate; it must roundtrip too.
+        let db = random_database(&q, 6, 10, 3);
+        let (planned, _, _) = engine.plan_with_db(&q, &db, Workload::Boolean);
+        assert!(planned.cost.data.is_some());
+        let json = serde::json::to_string_pretty(&planned);
+        let back: cqd2::engine::PlannedQuery = serde::json::from_str(&json).unwrap();
+        assert_eq!(
+            back,
+            planned,
+            "stats plan JSON roundtrip for {}",
+            q.display()
+        );
     }
 }
