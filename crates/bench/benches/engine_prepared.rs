@@ -1,0 +1,81 @@
+//! **Experiment E2 — prepared-query amortization**: re-executing one
+//! query through a warm [`PreparedQuery`] handle (structure analysis,
+//! statistics, and plan all resolved once at prepare time) vs calling
+//! `Engine::serve` per request, which re-resolves the cached structure
+//! (fingerprint + isomorphism translation), re-collects query-scoped
+//! statistics, and re-derives the plan on every call.
+//!
+//! The fixture is the plan-cache bench's rank-3 hypercycle on 16
+//! vertices: planning-side work is substantial relative to execution on
+//! a small database, which is exactly the repeated-query serving shape
+//! the prepared-statement API exists for. The headline numbers are
+//! measured outside the criterion sampling loop and gated at ≥ 2×.
+
+use cqd2::cq::generate::{canonical_query, planted_database};
+use cqd2::engine::{Engine, EngineConfig, Request, Workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== E2: prepared queries — repeated-query batch ===");
+    let q = canonical_query(&cqd2::hypergraph::generators::hypercycle(8, 3));
+    let db = planted_database(&q, 6, 10, 17);
+    let batch = 200usize;
+
+    let engine = Engine::new(EngineConfig::default());
+    let req = Request {
+        query: &q,
+        db: &db,
+        workload: Workload::Boolean,
+    };
+    // Warm the plan cache so the serve side pays translation, never
+    // fresh decomposition — the comparison isolates per-call overhead.
+    let expected = engine.serve(&req).answer.as_bool().expect("boolean");
+    assert!(expected, "planted instance must be satisfiable");
+
+    // Correctness gate: the prepared handle answers exactly like serve,
+    // with zero planning in its run provenance.
+    let session = engine.session(&db);
+    let prepared = session.prepare(&q).expect("planning cannot fail");
+    let resp = prepared.run(Workload::Boolean);
+    assert_eq!(resp.answer.as_bool(), Some(expected));
+    assert_eq!(
+        resp.provenance.planning,
+        std::time::Duration::ZERO,
+        "prepared runs must do no planning"
+    );
+
+    // Headline numbers outside the sampling loop: one full pass each way.
+    let t = Instant::now();
+    for _ in 0..batch {
+        black_box(engine.serve(&req));
+    }
+    let unprepared = t.elapsed();
+    let t = Instant::now();
+    for _ in 0..batch {
+        black_box(prepared.run(Workload::Boolean));
+    }
+    let prepared_time = t.elapsed();
+    let speedup = unprepared.as_secs_f64() / prepared_time.as_secs_f64().max(1e-9);
+    println!(
+        "  unprepared ({batch} × serve):        {unprepared:?}\n  prepared   ({batch} × PreparedQuery::run): {prepared_time:?}\n  speedup: {speedup:.1}×"
+    );
+    assert!(
+        speedup >= 2.0,
+        "prepared re-execution must be at least 2× over per-call serve \
+         (got {speedup:.2}×: {prepared_time:?} vs {unprepared:?})"
+    );
+
+    let mut g = c.benchmark_group("engine_prepared");
+    g.bench_function("unprepared/serve_per_call", |b| {
+        b.iter(|| black_box(engine.serve(&req)));
+    });
+    g.bench_function("prepared/run_warm_handle", |b| {
+        b.iter(|| black_box(prepared.run(Workload::Boolean)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -9,13 +9,18 @@
 //! # evaluate a workload file (queries + facts; see cqd2::engine::textio)
 //! cargo run --release --bin cqd2-analyze -- eval workload.txt
 //! cargo run --release --bin cqd2-analyze -- eval --count workload.txt
+//! cargo run --release --bin cqd2-analyze -- eval --enumerate --limit 10 workload.txt
 //! ```
 //!
 //! `eval` flags: `--count` counts answers instead of deciding
-//! non-emptiness; `--explain` prints the full plan explanation; with the
-//! `serde` feature, `--json` dumps each chosen plan as JSON.
+//! non-emptiness; `--enumerate` streams answer tuples (`--limit N` caps
+//! them); `--explain` prints the full plan explanation; with the `serde`
+//! feature, `--json` dumps each chosen plan as JSON. Per-query
+//! `@boolean` / `@count` / `@enumerate [limit]` directives inside the
+//! workload file override the flag-selected default. Workload parse
+//! errors name their line and exit nonzero.
 
-use cqd2::engine::{Engine, Request, Workload};
+use cqd2::engine::{Answer, Engine, Request, Workload};
 use std::io::Read;
 
 fn main() {
@@ -65,16 +70,28 @@ fn run_analyze(path: Option<&str>) {
 
 fn run_eval(args: &[String]) {
     let mut count = false;
+    let mut enumerate = false;
+    let mut limit: Option<usize> = None;
     let mut explain = false;
     let mut json = false;
     let mut files: Vec<&str> = Vec::new();
-    for arg in args {
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--count" => count = true,
+            "--enumerate" => enumerate = true,
+            "--limit" => {
+                let value = iter
+                    .next()
+                    .unwrap_or_else(|| exit_with("eval: --limit needs a number"));
+                limit = Some(value.parse::<usize>().unwrap_or_else(|_| {
+                    exit_with(&format!("eval: --limit `{value}` is not a number"))
+                }));
+            }
             "--explain" => explain = true,
             "--json" => json = true,
             flag if flag.starts_with("--") => exit_with(&format!(
-                "unknown eval flag {flag} (try --count, --explain, --json)"
+                "unknown eval flag {flag} (try --count, --enumerate, --limit, --explain, --json)"
             )),
             path => files.push(path),
         }
@@ -82,11 +99,19 @@ fn run_eval(args: &[String]) {
     if files.is_empty() {
         exit_with("eval: no workload files given");
     }
+    if count && enumerate {
+        exit_with("eval: --count and --enumerate are mutually exclusive");
+    }
+    if limit.is_some() && !enumerate {
+        exit_with("eval: --limit only applies with --enumerate");
+    }
     if json && cfg!(not(feature = "serde")) {
         exit_with("eval: --json requires building with the `serde` feature");
     }
-    let workload = if count {
+    let default_workload = if count {
         Workload::Count
+    } else if enumerate {
+        Workload::Enumerate { limit }
     } else {
         Workload::Boolean
     };
@@ -94,15 +119,17 @@ fn run_eval(args: &[String]) {
     for path in files {
         let text = std::fs::read_to_string(path)
             .unwrap_or_else(|e| exit_with(&format!("cannot read {path}: {e}")));
+        // Parse errors carry their 1-based line number and exit nonzero.
         let parsed = cqd2::engine::textio::parse_workload(&text)
             .unwrap_or_else(|e| exit_with(&format!("{path}: {e}")));
         let requests: Vec<Request<'_>> = parsed
             .queries
             .iter()
-            .map(|query| Request {
+            .zip(&parsed.modes)
+            .map(|(query, mode)| Request {
                 query,
                 db: &parsed.db,
-                workload,
+                workload: mode.unwrap_or(default_workload),
             })
             .collect();
         let responses = engine.execute_batch(&requests);
@@ -112,9 +139,10 @@ fn run_eval(args: &[String]) {
             parsed.queries.len()
         );
         for (i, resp) in responses.iter().enumerate() {
-            let answer = match resp.answer {
-                cqd2::engine::Answer::Bool(b) => format!("{b}"),
-                cqd2::engine::Answer::Count(n) => format!("{n}"),
+            let answer = match &resp.answer {
+                Answer::Bool(b) => format!("{b}"),
+                Answer::Count(n) => format!("{n}"),
+                Answer::Tuples(t) => format!("{} tuples", t.len()),
             };
             println!(
                 "  q{i}: {answer}  [{} | cache {} | plan {:?} | exec {:?}]",
@@ -127,6 +155,12 @@ fn run_eval(args: &[String]) {
                 resp.provenance.planning,
                 resp.provenance.execution,
             );
+            if let Answer::Tuples(tuples) = &resp.answer {
+                for t in tuples {
+                    let cells: Vec<String> = t.iter().map(u64::to_string).collect();
+                    println!("      ({})", cells.join(", "));
+                }
+            }
             if explain {
                 for line in resp.provenance.planned.explain().lines() {
                     println!("      {line}");

@@ -7,17 +7,23 @@
 //! - [`analyze`]: structural analysis of a hypergraph — degree, rank,
 //!   certified ghw interval, and (for degree-2 inputs) the jigsaw dilution
 //!   extracted by the Theorem 4.7 pipeline.
-//! - [`solve_bcq`] / [`count_answers`]: Boolean CQ evaluation and
-//!   full-CQ answer counting, served through the process-wide
-//!   [`engine::Engine`]: the query's structure is classified once per
-//!   isomorphism class (Props. 2.2 and 4.14, Theorem 4.7), the
-//!   decomposition is cached, and evaluation dispatches to the cheapest
-//!   correct strategy.
+//! - [`solve_bcq`] / [`count_answers`] / [`enumerate_answers`]: Boolean
+//!   CQ evaluation, full-CQ answer counting, and answer enumeration,
+//!   served through the process-wide [`engine::Engine`]: the query's
+//!   structure is classified once per isomorphism class (Props. 2.2 and
+//!   4.14, Theorem 4.7), the decomposition is cached, and evaluation
+//!   dispatches to the cheapest correct strategy.
 //! - [`reduce_instance`]: the Theorem 3.4 fpt-reduction along a dilution
 //!   sequence.
 //!
-//! Batch serving (many `(query, db)` requests, worker parallelism, plan
-//! provenance) lives on [`engine::Engine::execute_batch`].
+//! Serving workloads should use the handle-based API: open an
+//! [`engine::Session`] per database (statistics snapshotted once),
+//! [`engine::Session::prepare`] each query (structure analysis + plan
+//! resolved once, via the cache), then re-run the
+//! [`engine::PreparedQuery`] — including streaming enumeration through
+//! [`engine::PreparedQuery::cursor`]. Batch serving (many `(query, db)`
+//! requests, worker parallelism, plan provenance) lives on
+//! [`engine::Engine::execute_batch`].
 //!
 //! ## Crate map
 //!
@@ -97,6 +103,20 @@ pub fn count_answers(q: &ConjunctiveQuery, db: &Database) -> u128 {
     cqd2_engine::Engine::shared().count_answers(q, db)
 }
 
+/// Enumerate up to `limit` answer tuples of `q(D)` (`None` = all)
+/// through the shared serving engine: on bounded-width structures the
+/// bag tree is semijoin-reduced and answers stream with constant delay.
+/// Tuples are full assignments in `Var` id order, in unspecified order.
+/// Serving loops should prefer [`engine::PreparedQuery::cursor`], which
+/// exposes the stream itself.
+pub fn enumerate_answers(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    limit: Option<usize>,
+) -> Vec<Vec<u64>> {
+    cqd2_engine::Engine::shared().enumerate_answers(q, db, limit)
+}
+
 /// Run the Theorem 3.4 reduction of an instance bound to the result of a
 /// dilution sequence back to the sequence's start hypergraph.
 pub fn reduce_instance(
@@ -139,6 +159,10 @@ mod tests {
         db.insert_all("S", &[vec![2, 3], vec![2, 4]]);
         assert!(solve_bcq(&q, &db));
         assert_eq!(count_answers(&q, &db), 2);
+        let mut tuples = enumerate_answers(&q, &db, None);
+        tuples.sort_unstable();
+        assert_eq!(tuples, vec![vec![1, 2, 3], vec![1, 2, 4]]);
+        assert_eq!(enumerate_answers(&q, &db, Some(1)).len(), 1);
         let _ = analyze(&hypercycle(4, 2));
     }
 }

@@ -1,6 +1,6 @@
-//! BCQ evaluation and #CQ counting.
+//! BCQ evaluation, #CQ counting, and answer enumeration.
 //!
-//! Three evaluation strategies:
+//! Four evaluation strategies:
 //!
 //! - [`bcq_naive`] / [`enumerate_naive`] / [`count_naive`]: backtracking
 //!   join — correct for every CQ, exponential in general. The baseline the
@@ -11,6 +11,17 @@
 //!   `O(‖D‖^k)` for width-`k` GHDs.
 //! - [`count_via_ghd`]: Prop. 4.14 — junction-tree counting DP over the
 //!   bag relations, computing `|q(D)|` for *full* CQs without enumerating.
+//! - [`enumerate_via_ghd`]: answer *enumeration* in the
+//!   preprocessing-then-constant-delay shape of Durand & Grandjean and
+//!   Carmeli & Kröll: semijoin-reduce the bag tree bottom-up **and**
+//!   top-down (so every surviving bag row extends to a full answer), then
+//!   stream answers from a [`GhdEnumerator`] that walks the reduced tree
+//!   top-down with hash-indexed bag lookups — no dead-end backtracking,
+//!   answers on demand.
+//!
+//! GHD-guided entry points return [`EvalError`] (a typed
+//! `std::error::Error`) when the supplied decomposition does not fit the
+//! query, instead of stringly-typed errors.
 //!
 //! All strategies run on the columnar [`FlatRelation`] kernel
 //! ([`crate::flat`]): bags materialize through packed-key hash joins, the
@@ -28,10 +39,57 @@
 use crate::database::Database;
 use crate::flat::FlatRelation;
 use crate::query::{ConjunctiveQuery, Var};
+use cqd2_decomp::ghd::GhdError;
 use cqd2_decomp::widths::ghw_decomposition;
 use cqd2_decomp::Ghd;
 use cqd2_hypergraph::VertexId;
 use std::collections::HashMap;
+
+// ---------------------------------------------------------------------
+// Typed evaluation errors.
+// ---------------------------------------------------------------------
+
+/// Why a GHD-guided evaluation could not run: the supplied decomposition
+/// does not fit the query. All variants are *caller* errors (a plan built
+/// for a different query, or a hand-rolled GHD); a decomposition produced
+/// from `q.hypergraph()` never triggers them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// The decomposition fails [`Ghd::validate`] on the query's hypergraph.
+    InvalidGhd(GhdError),
+    /// Hypergraph edge `edge` has no source atom with the same variable
+    /// set — the GHD's covers reference a relation the query cannot name.
+    EdgeWithoutAtom {
+        /// Index of the uncovered hypergraph edge.
+        edge: usize,
+    },
+    /// Atom `atom`'s variables fit in no bag of the decomposition.
+    AtomFitsNoBag {
+        /// Index of the unplaceable atom.
+        atom: usize,
+    },
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::InvalidGhd(e) => write!(f, "invalid ghd for this query: {e}"),
+            EvalError::EdgeWithoutAtom { edge } => {
+                write!(f, "hypergraph edge e{edge} has no source atom")
+            }
+            EvalError::AtomFitsNoBag { atom } => write!(f, "atom #{atom} fits in no bag"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EvalError::InvalidGhd(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 // ---------------------------------------------------------------------
 // Naive backtracking evaluation.
@@ -66,6 +124,26 @@ pub fn enumerate_naive(q: &ConjunctiveQuery, db: &Database) -> Vec<Vec<u64>> {
         true
     });
     out.sort_unstable();
+    out
+}
+
+/// Enumerate up to `limit` solutions (`None` = all) in backtracking
+/// search order, **unsorted**, stopping the search as soon as the limit
+/// is reached. The engine's naive-plan fallback for `Enumerate`
+/// workloads; [`enumerate_naive`] remains the sorted reference.
+pub fn enumerate_naive_limit(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    limit: Option<usize>,
+) -> Vec<Vec<u64>> {
+    if limit == Some(0) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    backtrack(q, db, &mut |sol| {
+        out.push(sol.to_vec());
+        limit.is_none_or(|l| out.len() < l)
+    });
     out
 }
 
@@ -190,18 +268,76 @@ pub fn with_sequential_bags<R>(f: impl FnOnce() -> R) -> R {
     })
 }
 
-/// Materialized bag relations plus a rooted tree, shared by the Boolean
-/// and counting evaluators.
-struct BagTree {
+/// The materialized bag tree of a `(query, database, GHD)` triple: one
+/// relation per bag (the `λ` cover joined with the bag's assigned
+/// atoms), rooted and ordered for tree passes.
+///
+/// This is the **shared preprocessing** of every GHD-guided evaluator —
+/// the `O(‖D‖^width)` part. Build it once with
+/// [`MaterializedBags::build`] and run as many passes as needed:
+/// [`MaterializedBags::bcq`], [`MaterializedBags::count`], and
+/// [`MaterializedBags::enumerator`] each work on a copy of the bag
+/// relations (a flat-buffer memcpy, far cheaper than re-running the
+/// joins), so a prepared-query handle can re-execute against an
+/// unchanged database without re-materializing. The one-shot
+/// [`bcq_via_ghd`] / [`count_via_ghd`] / [`enumerate_via_ghd`] wrappers
+/// build and consume in place (no copy).
+#[derive(Debug, Clone)]
+pub struct MaterializedBags {
     relations: Vec<FlatRelation>,
     children: Vec<Vec<usize>>,
+    /// Parent of each node (`usize::MAX` at the root).
+    parents: Vec<usize>,
     post_order: Vec<usize>,
     root: usize,
+    /// `q.num_vars()` at build time (answer tuple width).
+    num_vars: usize,
 }
 
-fn build_bag_tree(q: &ConjunctiveQuery, db: &Database, ghd: &Ghd) -> Result<BagTree, String> {
+impl MaterializedBags {
+    /// Materialize the bag tree of `q` against `db` along `ghd`
+    /// (validated against `q.hypergraph()` first).
+    pub fn build(
+        q: &ConjunctiveQuery,
+        db: &Database,
+        ghd: &Ghd,
+    ) -> Result<MaterializedBags, EvalError> {
+        build_bag_tree(q, db, ghd)
+    }
+
+    /// Total rows across all materialized bag relations (the memory the
+    /// handle pins, and the copy cost each pass pays).
+    pub fn total_rows(&self) -> usize {
+        self.relations.iter().map(FlatRelation::len).sum()
+    }
+
+    /// Decide `q(D) ≠ ∅` on a copy of the bag relations (Prop. 2.2
+    /// semijoin pass).
+    pub fn bcq(&self) -> bool {
+        self.clone().into_bcq()
+    }
+
+    /// Count `|q(D)|` on a copy of the bag relations (Prop. 4.14
+    /// junction-tree DP).
+    pub fn count(&self) -> u128 {
+        self.clone().into_count()
+    }
+
+    /// Open a streaming answer enumerator on a copy of the bag
+    /// relations (semijoin-reduce both ways, then constant-delay
+    /// enumeration).
+    pub fn enumerator(&self) -> GhdEnumerator {
+        self.clone().into_enumerator()
+    }
+}
+
+fn build_bag_tree(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    ghd: &Ghd,
+) -> Result<MaterializedBags, EvalError> {
     let h = q.hypergraph();
-    ghd.validate(&h).map_err(|e| e.to_string())?;
+    ghd.validate(&h).map_err(EvalError::InvalidGhd)?;
     let bound: Vec<FlatRelation> = q.atoms.iter().map(|a| FlatRelation::bind(a, db)).collect();
     // Representative atom for each hypergraph edge (same variable set),
     // via the shared sorted-varset map on the query (one hash probe per
@@ -210,8 +346,8 @@ fn build_bag_tree(q: &ConjunctiveQuery, db: &Database, ghd: &Ghd) -> Result<BagT
         .edge_representatives(&h)
         .into_iter()
         .enumerate()
-        .map(|(i, rep)| rep.ok_or_else(|| format!("edge e{i} has no source atom")))
-        .collect::<Result<_, String>>()?;
+        .map(|(i, rep)| rep.ok_or(EvalError::EdgeWithoutAtom { edge: i }))
+        .collect::<Result<_, EvalError>>()?;
     // Assign every atom to one node whose bag contains its variables.
     let bag_contains = |u: usize, vars: &[Var]| {
         vars.iter()
@@ -222,7 +358,7 @@ fn build_bag_tree(q: &ConjunctiveQuery, db: &Database, ghd: &Ghd) -> Result<BagT
         let vars = atom.vars();
         let u = (0..ghd.td.bags.len())
             .find(|&u| bag_contains(u, &vars))
-            .ok_or_else(|| format!("atom #{ai} fits in no bag"))?;
+            .ok_or(EvalError::AtomFitsNoBag { atom: ai })?;
         assigned[u].push(ai);
     }
     // Materialize each bag: join cover representatives, project to bag,
@@ -264,9 +400,10 @@ fn build_bag_tree(q: &ConjunctiveQuery, db: &Database, ghd: &Ghd) -> Result<BagT
     // Root the tree at node 0 and compute a post-order.
     let adj = ghd.td.adjacency();
     let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut parents: Vec<usize> = vec![usize::MAX; n];
     let mut post_order = Vec::with_capacity(n);
     let mut visited = vec![false; n];
-    // Iterative DFS computing children and post-order.
+    // Iterative DFS computing children, parents, and post-order.
     let root = 0usize;
     let mut stack = vec![(root, usize::MAX, false)];
     while let Some((u, parent, processed)) = stack.pop() {
@@ -278,6 +415,7 @@ fn build_bag_tree(q: &ConjunctiveQuery, db: &Database, ghd: &Ghd) -> Result<BagT
             continue;
         }
         visited[u] = true;
+        parents[u] = parent;
         stack.push((u, parent, true));
         for &w in &adj[u] {
             if w != parent && !visited[w] {
@@ -286,32 +424,42 @@ fn build_bag_tree(q: &ConjunctiveQuery, db: &Database, ghd: &Ghd) -> Result<BagT
             }
         }
     }
-    Ok(BagTree {
+    Ok(MaterializedBags {
         relations,
         children,
+        parents,
         post_order,
         root,
+        num_vars: q.num_vars(),
     })
 }
 
 /// Decide `q(D) ≠ ∅` using a GHD of the query's hypergraph
 /// (Prop. 2.2: polynomial for bounded-width GHDs).
-pub fn bcq_via_ghd(q: &ConjunctiveQuery, db: &Database, ghd: &Ghd) -> Result<bool, String> {
-    let mut bt = build_bag_tree(q, db, ghd)?;
-    // Bottom-up semijoin pass.
-    for &u in &bt.post_order.clone() {
-        if bt.relations[u].is_empty() {
-            return Ok(false);
-        }
-        for c in bt.children[u].clone() {
-            let filtered = bt.relations[u].semijoin(&bt.relations[c]);
-            bt.relations[u] = filtered;
+pub fn bcq_via_ghd(q: &ConjunctiveQuery, db: &Database, ghd: &Ghd) -> Result<bool, EvalError> {
+    Ok(build_bag_tree(q, db, ghd)?.into_bcq())
+}
+
+impl MaterializedBags {
+    /// Consuming Boolean pass (bottom-up semijoins, early-out on
+    /// empty): like [`MaterializedBags::bcq`] but runs in place, for
+    /// one-shot callers that will not reuse the tree.
+    pub fn into_bcq(mut self) -> bool {
+        let bt = &mut self;
+        for &u in &bt.post_order.clone() {
             if bt.relations[u].is_empty() {
-                return Ok(false);
+                return false;
+            }
+            for c in bt.children[u].clone() {
+                let filtered = bt.relations[u].semijoin(&bt.relations[c]);
+                bt.relations[u] = filtered;
+                if bt.relations[u].is_empty() {
+                    return false;
+                }
             }
         }
+        !bt.relations[bt.root].is_empty()
     }
-    Ok(!bt.relations[bt.root].is_empty())
 }
 
 /// Count `|q(D)|` for a full CQ using the junction-tree DP over a GHD
@@ -321,82 +469,336 @@ pub fn bcq_via_ghd(q: &ConjunctiveQuery, db: &Database, ghd: &Ghd) -> Result<boo
 /// each bag's row order; merging a child aggregates its counts by packed
 /// shared-variable key and rewrites the parent in one pass (rows with no
 /// child match drop out, exactly the Yannakakis filter).
-pub fn count_via_ghd(q: &ConjunctiveQuery, db: &Database, ghd: &Ghd) -> Result<u128, String> {
-    let mut bt = build_bag_tree(q, db, ghd)?;
-    let mut counts: Vec<Vec<u128>> = bt.relations.iter().map(|r| vec![1u128; r.len()]).collect();
-    for &u in &bt.post_order.clone() {
-        for &c in &bt.children[u].clone() {
-            let (new_rel, new_counts) = {
-                let parent = &bt.relations[u];
-                let child = &bt.relations[c];
-                // Shared variables between bags u and c, with key
-                // positions resolved once.
-                let shared: Vec<Var> = parent
-                    .vars()
-                    .iter()
-                    .copied()
-                    .filter(|v| child.vars().contains(v))
-                    .collect();
-                let c_pos: Vec<usize> = shared
-                    .iter()
-                    .map(|v| child.vars().iter().position(|w| w == v).expect("shared"))
-                    .collect();
-                let u_pos: Vec<usize> = shared
-                    .iter()
-                    .map(|v| parent.vars().iter().position(|w| w == v).expect("shared"))
-                    .collect();
-                let arity = parent.arity();
-                let mut data: Vec<u64> = Vec::with_capacity(parent.len() * arity);
-                let mut kept: Vec<u128> = Vec::with_capacity(parent.len());
-                if shared.len() == 1 {
-                    // Single-column fast path: aggregate and probe on the
-                    // raw value.
-                    let (cp, up) = (c_pos[0], u_pos[0]);
-                    let mut agg: HashMap<u64, u128> = HashMap::with_capacity(child.len());
-                    for (i, t) in child.iter().enumerate() {
-                        *agg.entry(t[cp]).or_insert(0) += counts[c][i];
-                    }
-                    for (i, t) in parent.iter().enumerate() {
-                        if let Some(&s) = agg.get(&t[up]) {
-                            data.extend_from_slice(t);
-                            kept.push(counts[u][i] * s);
+pub fn count_via_ghd(q: &ConjunctiveQuery, db: &Database, ghd: &Ghd) -> Result<u128, EvalError> {
+    Ok(build_bag_tree(q, db, ghd)?.into_count())
+}
+
+impl MaterializedBags {
+    /// Consuming counting DP: like [`MaterializedBags::count`] but
+    /// runs in place, for one-shot callers.
+    pub fn into_count(mut self) -> u128 {
+        let bt = &mut self;
+        let mut counts: Vec<Vec<u128>> =
+            bt.relations.iter().map(|r| vec![1u128; r.len()]).collect();
+        for &u in &bt.post_order.clone() {
+            for &c in &bt.children[u].clone() {
+                let (new_rel, new_counts) = {
+                    let parent = &bt.relations[u];
+                    let child = &bt.relations[c];
+                    // Shared variables between bags u and c, with key
+                    // positions resolved once.
+                    let shared: Vec<Var> = parent
+                        .vars()
+                        .iter()
+                        .copied()
+                        .filter(|v| child.vars().contains(v))
+                        .collect();
+                    let c_pos: Vec<usize> = shared
+                        .iter()
+                        .map(|v| child.vars().iter().position(|w| w == v).expect("shared"))
+                        .collect();
+                    let u_pos: Vec<usize> = shared
+                        .iter()
+                        .map(|v| parent.vars().iter().position(|w| w == v).expect("shared"))
+                        .collect();
+                    let arity = parent.arity();
+                    let mut data: Vec<u64> = Vec::with_capacity(parent.len() * arity);
+                    let mut kept: Vec<u128> = Vec::with_capacity(parent.len());
+                    if shared.len() == 1 {
+                        // Single-column fast path: aggregate and probe on the
+                        // raw value.
+                        let (cp, up) = (c_pos[0], u_pos[0]);
+                        let mut agg: HashMap<u64, u128> = HashMap::with_capacity(child.len());
+                        for (i, t) in child.iter().enumerate() {
+                            *agg.entry(t[cp]).or_insert(0) += counts[c][i];
                         }
-                    }
-                } else {
-                    // General path: packed multi-column keys (also covers
-                    // vacuous sharing, where every key is empty).
-                    let mut agg: HashMap<Box<[u64]>, u128> = HashMap::with_capacity(child.len());
-                    let mut scratch: Vec<u64> = Vec::with_capacity(shared.len());
-                    for (i, t) in child.iter().enumerate() {
-                        scratch.clear();
-                        scratch.extend(c_pos.iter().map(|&p| t[p]));
-                        match agg.get_mut(scratch.as_slice()) {
-                            Some(sum) => *sum += counts[c][i],
-                            None => {
-                                agg.insert(scratch.as_slice().into(), counts[c][i]);
+                        for (i, t) in parent.iter().enumerate() {
+                            if let Some(&s) = agg.get(&t[up]) {
+                                data.extend_from_slice(t);
+                                kept.push(counts[u][i] * s);
+                            }
+                        }
+                    } else {
+                        // General path: packed multi-column keys (also covers
+                        // vacuous sharing, where every key is empty).
+                        let mut agg: HashMap<Box<[u64]>, u128> =
+                            HashMap::with_capacity(child.len());
+                        let mut scratch: Vec<u64> = Vec::with_capacity(shared.len());
+                        for (i, t) in child.iter().enumerate() {
+                            scratch.clear();
+                            scratch.extend(c_pos.iter().map(|&p| t[p]));
+                            match agg.get_mut(scratch.as_slice()) {
+                                Some(sum) => *sum += counts[c][i],
+                                None => {
+                                    agg.insert(scratch.as_slice().into(), counts[c][i]);
+                                }
+                            }
+                        }
+                        for (i, t) in parent.iter().enumerate() {
+                            scratch.clear();
+                            scratch.extend(u_pos.iter().map(|&p| t[p]));
+                            if let Some(&s) = agg.get(scratch.as_slice()) {
+                                data.extend_from_slice(t);
+                                kept.push(counts[u][i] * s);
                             }
                         }
                     }
-                    for (i, t) in parent.iter().enumerate() {
-                        scratch.clear();
-                        scratch.extend(u_pos.iter().map(|&p| t[p]));
-                        if let Some(&s) = agg.get(scratch.as_slice()) {
-                            data.extend_from_slice(t);
-                            kept.push(counts[u][i] * s);
+                    let rows = kept.len();
+                    (
+                        FlatRelation::from_parts(parent.vars().to_vec(), rows, data),
+                        kept,
+                    )
+                };
+                bt.relations[u] = new_rel;
+                counts[u] = new_counts;
+            }
+        }
+        counts[bt.root].iter().sum()
+    }
+}
+
+// ---------------------------------------------------------------------
+// GHD-guided enumeration (preprocessing + constant-delay streaming).
+// ---------------------------------------------------------------------
+
+/// One bag of the reduced decomposition tree, prepared for top-down
+/// enumeration (pre-order position).
+#[derive(Debug)]
+struct EnumLevel {
+    /// The fully semijoin-reduced bag relation.
+    rel: FlatRelation,
+    /// Assignment slot (`Var` id) of each of `rel`'s columns.
+    write: Vec<usize>,
+    /// Assignment slots of the variables shared with the parent bag —
+    /// the probe key. Empty at the root (and for parent-disjoint bags),
+    /// where the index holds every row under the empty key.
+    key_slots: Vec<usize>,
+    /// Row ids grouped by packed parent-key value.
+    index: HashMap<Box<[u64]>, Vec<u32>>,
+}
+
+/// A streaming answer enumerator over a semijoin-reduced GHD bag tree
+/// (created by [`enumerate_via_ghd`]).
+///
+/// After the two reduction passes every bag row extends to at least one
+/// full answer, so the top-down walk never backtracks out of a dead end:
+/// each [`Iterator::next`] call does `O(tree size)` hash probes and row
+/// copies, independent of the database — the constant-delay regime of
+/// Durand & Grandjean / Carmeli & Kröll, with the `O(‖D‖^k)` work
+/// confined to the preprocessing phase.
+///
+/// Answers are full assignments in `Var` id order (the same shape
+/// [`enumerate_naive`] produces) but **not** in sorted order; sort the
+/// collected prefix if a canonical order is needed.
+#[derive(Debug)]
+pub struct GhdEnumerator {
+    /// Bags in pre-order (parents before children).
+    levels: Vec<EnumLevel>,
+    /// Current answer under construction, indexed by `Var` id.
+    assignment: Vec<u64>,
+    /// Current match-list position per level.
+    choice: Vec<usize>,
+    /// Scratch buffer for packed probe keys.
+    scratch: Vec<u64>,
+    started: bool,
+    done: bool,
+}
+
+impl GhdEnumerator {
+    /// An enumerator that yields nothing (empty result set).
+    fn empty() -> GhdEnumerator {
+        GhdEnumerator {
+            levels: Vec::new(),
+            assignment: Vec::new(),
+            choice: Vec::new(),
+            scratch: Vec::new(),
+            started: false,
+            done: true,
+        }
+    }
+
+    /// Move level `d` to match-list position `i`, binding the chosen row
+    /// into the assignment, then settle all deeper levels on their first
+    /// matches. Backtracks on exhaustion; `false` means the walk is done.
+    fn search(&mut self, mut d: usize, mut i: usize) -> bool {
+        loop {
+            self.scratch.clear();
+            for &slot in &self.levels[d].key_slots {
+                self.scratch.push(self.assignment[slot]);
+            }
+            let list: &[u32] = self.levels[d]
+                .index
+                .get(self.scratch.as_slice())
+                .map_or(&[], Vec::as_slice);
+            if i < list.len() {
+                let row = self.levels[d].rel.row(list[i] as usize);
+                for (c, &slot) in self.levels[d].write.iter().enumerate() {
+                    self.assignment[slot] = row[c];
+                }
+                self.choice[d] = i;
+                if d + 1 == self.levels.len() {
+                    return true;
+                }
+                d += 1;
+                i = 0;
+            } else {
+                // Exhausted at `d` (on a reduced tree this only happens
+                // when the whole list is consumed, never on first entry).
+                if d == 0 {
+                    return false;
+                }
+                d -= 1;
+                i = self.choice[d] + 1;
+            }
+        }
+    }
+}
+
+impl Iterator for GhdEnumerator {
+    type Item = Vec<u64>;
+
+    fn next(&mut self) -> Option<Vec<u64>> {
+        if self.done {
+            return None;
+        }
+        let found = if self.started {
+            let last = self.levels.len() - 1;
+            let i = self.choice[last] + 1;
+            self.search(last, i)
+        } else {
+            self.started = true;
+            self.search(0, 0)
+        };
+        if !found {
+            self.done = true;
+            return None;
+        }
+        Some(self.assignment.clone())
+    }
+}
+
+/// Enumerate `q(D)` through a GHD of the query's hypergraph: materialize
+/// the bag tree, semijoin-reduce it bottom-up *and* top-down (after which
+/// every bag row participates in some answer), then return a
+/// [`GhdEnumerator`] streaming the answers with constant delay.
+///
+/// The stream yields each answer exactly once (bag rows are
+/// duplicate-free and an answer determines its row in every bag), in an
+/// order fixed by the decomposition tree — collect and sort to compare
+/// against [`enumerate_naive`].
+pub fn enumerate_via_ghd(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    ghd: &Ghd,
+) -> Result<GhdEnumerator, EvalError> {
+    Ok(build_bag_tree(q, db, ghd)?.into_enumerator())
+}
+
+impl MaterializedBags {
+    /// Consuming enumeration preprocessing (reduce the tree both ways,
+    /// then wire up the per-bag probe indexes): like
+    /// [`MaterializedBags::enumerator`] but runs in place, for one-shot
+    /// callers.
+    pub fn into_enumerator(mut self) -> GhdEnumerator {
+        let bt = &mut self;
+        if bt.relations.is_empty() {
+            return GhdEnumerator::empty();
+        }
+        // Bottom-up semijoin pass (children filter parents).
+        for &u in &bt.post_order.clone() {
+            if bt.relations[u].is_empty() {
+                return GhdEnumerator::empty();
+            }
+            for c in bt.children[u].clone() {
+                let filtered = bt.relations[u].semijoin(&bt.relations[c]);
+                bt.relations[u] = filtered;
+                if bt.relations[u].is_empty() {
+                    return GhdEnumerator::empty();
+                }
+            }
+        }
+        // Top-down pass (parents filter children): afterwards the tree is
+        // globally consistent — every surviving row extends to a full answer.
+        for &u in bt.post_order.clone().iter().rev() {
+            for c in bt.children[u].clone() {
+                let filtered = bt.relations[c].semijoin(&bt.relations[u]);
+                bt.relations[c] = filtered;
+            }
+        }
+        // Every variable must be carried by some bag; a variable outside all
+        // bags (possible only for degenerate hand-built inputs) cannot be
+        // assigned, so — like the naive enumerator — there are no answers.
+        let mut covered = vec![false; bt.num_vars];
+        for rel in &bt.relations {
+            for v in rel.vars() {
+                covered[v.idx()] = true;
+            }
+        }
+        if covered.iter().any(|c| !c) {
+            return GhdEnumerator::empty();
+        }
+        // Pre-order over the rooted tree, parents first.
+        let mut pre_order = Vec::with_capacity(bt.relations.len());
+        let mut stack = vec![bt.root];
+        while let Some(u) = stack.pop() {
+            pre_order.push(u);
+            stack.extend(bt.children[u].iter().copied());
+        }
+        // Each bag relation's columns are exactly its bag's variables,
+        // so parent-shared variables can be read off the relations.
+        let bag_slots: Vec<Vec<usize>> = bt
+            .relations
+            .iter()
+            .map(|r| r.vars().iter().map(|v| v.idx()).collect())
+            .collect();
+        // By the running-intersection property, every variable of bag `u`
+        // already assigned by an earlier (pre-order) bag also lives in `u`'s
+        // parent bag, so indexing each bag by its parent-shared columns is
+        // enough to keep the walk consistent.
+        let num_vars = bt.num_vars;
+        let levels: Vec<EnumLevel> = pre_order
+            .iter()
+            .map(|&u| {
+                let rel = std::mem::replace(&mut bt.relations[u], FlatRelation::unit());
+                let write: Vec<usize> = rel.vars().iter().map(|v| v.idx()).collect();
+                let parent_slots: &[usize] = if bt.parents[u] == usize::MAX {
+                    &[]
+                } else {
+                    &bag_slots[bt.parents[u]]
+                };
+                let key_cols: Vec<usize> = (0..rel.arity())
+                    .filter(|&c| parent_slots.contains(&rel.vars()[c].idx()))
+                    .collect();
+                let key_slots: Vec<usize> = key_cols.iter().map(|&c| rel.vars()[c].idx()).collect();
+                let mut index: HashMap<Box<[u64]>, Vec<u32>> = HashMap::with_capacity(rel.len());
+                let mut scratch: Vec<u64> = Vec::with_capacity(key_cols.len());
+                for (i, t) in rel.iter().enumerate() {
+                    scratch.clear();
+                    scratch.extend(key_cols.iter().map(|&c| t[c]));
+                    match index.get_mut(scratch.as_slice()) {
+                        Some(bucket) => bucket.push(i as u32),
+                        None => {
+                            index.insert(scratch.as_slice().into(), vec![i as u32]);
                         }
                     }
                 }
-                let rows = kept.len();
-                (
-                    FlatRelation::from_parts(parent.vars().to_vec(), rows, data),
-                    kept,
-                )
-            };
-            bt.relations[u] = new_rel;
-            counts[u] = new_counts;
+                EnumLevel {
+                    rel,
+                    write,
+                    key_slots,
+                    index,
+                }
+            })
+            .collect();
+        GhdEnumerator {
+            choice: vec![0; levels.len()],
+            levels,
+            assignment: vec![0; num_vars],
+            scratch: Vec::new(),
+            started: false,
+            done: false,
         }
     }
-    Ok(counts[bt.root].iter().sum())
 }
 
 /// Decide BCQ, choosing the GHD route when an exact decomposition is
@@ -570,6 +972,86 @@ mod tests {
         assert_eq!(count_auto_with(&q, &db, Some(&ghd)), count_auto(&q, &db));
         assert_eq!(bcq_auto_with(&q, &db, None), bcq_auto(&q, &db));
         assert_eq!(count_auto_with(&q, &db, None), count_auto(&q, &db));
+    }
+
+    /// Collected-and-sorted view of the streaming enumerator, for
+    /// comparisons against `enumerate_naive` (which sorts).
+    fn enumerate_ghd_sorted(q: &ConjunctiveQuery, db: &Database, ghd: &Ghd) -> Vec<Vec<u64>> {
+        let mut out: Vec<Vec<u64>> = enumerate_via_ghd(q, db, ghd).unwrap().collect();
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn ghd_enumeration_matches_naive_on_path() {
+        let q = path_query();
+        let mut db = Database::new();
+        db.insert_all("R", &[vec![1, 2], vec![4, 5], vec![7, 8]]);
+        db.insert_all("S", &[vec![2, 3], vec![2, 9], vec![5, 6]]);
+        let ghd = ghw_decomposition(&q.hypergraph()).unwrap();
+        assert_eq!(
+            enumerate_ghd_sorted(&q, &db, &ghd),
+            enumerate_naive(&q, &db)
+        );
+    }
+
+    #[test]
+    fn ghd_enumeration_streams_lazily_and_completely() {
+        let q = canonical_query(&hypercycle(5, 2));
+        let db = planted_database(&q, 7, 30, 13);
+        let ghd = ghw_decomposition(&q.hypergraph()).unwrap();
+        let total = count_via_ghd(&q, &db, &ghd).unwrap();
+        assert!(total > 0, "planted instance must have answers");
+        // A limited pull sees exactly min(limit, total) answers…
+        let mut cursor = enumerate_via_ghd(&q, &db, &ghd).unwrap();
+        let first: Vec<_> = cursor.by_ref().take(2).collect();
+        assert_eq!(first.len() as u128, total.min(2));
+        // …and draining the rest completes the answer set, fused at the end.
+        let rest: Vec<_> = cursor.by_ref().collect();
+        assert_eq!((first.len() + rest.len()) as u128, total);
+        assert_eq!(cursor.next(), None);
+        assert_eq!(cursor.next(), None);
+    }
+
+    #[test]
+    fn ghd_enumeration_empty_results() {
+        let q = path_query();
+        // Entirely empty database.
+        let ghd = ghw_decomposition(&q.hypergraph()).unwrap();
+        let empty = Database::new();
+        assert_eq!(enumerate_via_ghd(&q, &empty, &ghd).unwrap().count(), 0);
+        // Non-empty relations that do not join.
+        let mut db = Database::new();
+        db.insert("R", &[1, 2]);
+        db.insert("S", &[3, 4]);
+        assert_eq!(enumerate_via_ghd(&q, &db, &ghd).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn ghd_enumeration_handles_constants_and_repeats() {
+        let q = ConjunctiveQuery::parse(&[("R", &["?x", "?x", "5"]), ("S", &["?x", "?y"])]);
+        let mut db = Database::new();
+        db.insert_all("R", &[vec![1, 1, 5], vec![2, 3, 5], vec![4, 4, 6]]);
+        db.insert_all("S", &[vec![1, 10], vec![1, 11], vec![4, 12]]);
+        let ghd = ghw_decomposition(&q.hypergraph()).unwrap();
+        assert_eq!(
+            enumerate_ghd_sorted(&q, &db, &ghd),
+            enumerate_naive(&q, &db)
+        );
+    }
+
+    #[test]
+    fn invalid_ghd_is_a_typed_error() {
+        let q = path_query();
+        let other = canonical_query(&hypercycle(6, 2));
+        let foreign = ghw_decomposition(&other.hypergraph()).unwrap();
+        let db = Database::new();
+        let err = enumerate_via_ghd(&q, &db, &foreign).unwrap_err();
+        assert!(matches!(err, EvalError::InvalidGhd(_)), "{err}");
+        // The hierarchy is a real `std::error::Error` with a source chain.
+        let dyn_err: &dyn std::error::Error = &err;
+        assert!(dyn_err.source().is_some());
+        assert_eq!(bcq_via_ghd(&q, &db, &foreign).unwrap_err(), err);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! atom of `q₂`. Two CQs are (Boolean-)equivalent iff homomorphisms exist
 //! both ways; the *core* is the minimal retract, and the semantic
 //! generalized hypertree width is `ghw(core(q))` (Barceló et al.,
-//! reference [4] of the paper).
+//! reference \[4\] of the paper).
 
 use crate::query::{Atom, ConjunctiveQuery, Term, Var};
 use cqd2_decomp::widths::ghw_exact;

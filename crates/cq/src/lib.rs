@@ -43,7 +43,8 @@ pub mod stats;
 pub use database::Database;
 pub use eval::{
     bcq_auto, bcq_auto_with, bcq_naive, bcq_via_ghd, count_auto, count_auto_with, count_naive,
-    count_via_ghd, with_sequential_bags,
+    count_via_ghd, enumerate_naive, enumerate_via_ghd, with_sequential_bags, EvalError,
+    GhdEnumerator, MaterializedBags,
 };
 pub use flat::FlatRelation;
 pub use hom::{core_of, find_homomorphism, semantic_ghw};

@@ -2,7 +2,7 @@
 //!
 //! The paper's lower bound for jigsaws: a hypergraph of ghw `k` can always
 //! be *balanced-separated* by at most `k` edges (Adler, Gottlob & Grohe
-//! [3]) — removing the vertices of some ≤ k edges splits it into
+//! \[3\]) — removing the vertices of some ≤ k edges splits it into
 //! components of at most half the vertices. Contrapositive: if **no** set
 //! of `k` edges balanced-separates `H`, then `ghw(H) > k`. This module
 //! implements the check by exhaustive search over edge subsets

@@ -1,22 +1,36 @@
 //! The serving engine: plan-once, execute-many.
 //!
-//! [`Engine`] ties the planner and plan cache together behind the two
+//! [`Engine`] ties the planner and plan cache together behind the three
 //! operations a workload needs — solve a Boolean CQ, count answers of a
-//! full CQ — and adds [`Engine::execute_batch`], which fans a slice of
-//! requests out over scoped worker threads. Every response carries
-//! [`PlanProvenance`] so callers can see which regime of the paper their
-//! query landed in and whether planning was amortized.
+//! full CQ, enumerate answer tuples — and adds [`Engine::execute_batch`],
+//! which fans a slice of requests out over scoped worker threads. Every
+//! response carries [`PlanProvenance`] so callers can see which regime of
+//! the paper their query landed in and whether planning was amortized.
+//!
+//! The primary serving surface is the handle-based API in
+//! [`crate::session`]: [`Engine::session`] snapshots a database's
+//! statistics once, `Session::prepare` resolves a query's plan once, and
+//! `PreparedQuery::run` re-executes at zero planning cost.
+//! [`Engine::serve`] / [`Engine::serve_with_stats`] /
+//! [`Engine::execute_batch`] are thin compatibility shims over those
+//! handles (one session + one prepared query per call).
 
 use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
-use cqd2_cq::eval::{bcq_naive, bcq_via_ghd, count_naive, count_via_ghd, with_sequential_bags};
+use cqd2_cq::eval::with_sequential_bags;
 use cqd2_cq::stats::DatabaseStats;
 use cqd2_cq::{ConjunctiveQuery, Database};
 
 use crate::cache::{CacheStats, PlanCache};
-use crate::plan::{DataEstimate, PlannedQuery, QueryPlan};
+use crate::error::EngineError;
+use crate::plan::{DataEstimate, PlannedQuery};
 use crate::planner::{Planner, PlannerConfig};
+use crate::session::Session;
+
+/// The process-wide shared engine (see [`Engine::shared`] and
+/// [`Engine::shared_with_config`]).
+static SHARED: OnceLock<Engine> = OnceLock::new();
 
 /// Engine-level configuration.
 #[derive(Debug, Clone)]
@@ -47,6 +61,14 @@ pub enum Workload {
     Boolean,
     /// Count `|q(D)|` (full-CQ semantics, as everywhere in this repo).
     Count,
+    /// Produce answer tuples, at most `limit` of them (`None` = all).
+    /// Served by the semijoin-reduce-then-stream enumerator on GHD
+    /// plans; [`crate::PreparedQuery::cursor`] exposes the stream itself
+    /// instead of a materialized [`Answer::Tuples`].
+    Enumerate {
+        /// Cap on the number of answers produced (`None` = all).
+        limit: Option<usize>,
+    },
 }
 
 /// One unit of batch work: a query against a database. Databases are
@@ -62,12 +84,15 @@ pub struct Request<'a> {
 }
 
 /// The result payload of one request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Answer {
     /// Boolean result.
     Bool(bool),
     /// Answer count.
     Count(u128),
+    /// Answer tuples (full assignments in `Var` id order), as produced
+    /// by a [`Workload::Enumerate`] request. Order is unspecified.
+    Tuples(Vec<Vec<u64>>),
 }
 
 impl Answer {
@@ -75,7 +100,7 @@ impl Answer {
     pub fn as_bool(&self) -> Option<bool> {
         match self {
             Answer::Bool(b) => Some(*b),
-            Answer::Count(_) => None,
+            _ => None,
         }
     }
 
@@ -83,7 +108,23 @@ impl Answer {
     pub fn as_count(&self) -> Option<u128> {
         match self {
             Answer::Count(n) => Some(*n),
-            Answer::Bool(_) => None,
+            _ => None,
+        }
+    }
+
+    /// The tuples, if this was a [`Workload::Enumerate`] request.
+    pub fn as_tuples(&self) -> Option<&[Vec<u64>]> {
+        match self {
+            Answer::Tuples(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Consume the answer into its tuples, if it has any.
+    pub fn into_tuples(self) -> Option<Vec<Vec<u64>>> {
+        match self {
+            Answer::Tuples(t) => Some(t),
+            _ => None,
         }
     }
 }
@@ -135,10 +176,34 @@ impl Engine {
     }
 
     /// The process-wide shared engine (used by the `cqd2` facade so
-    /// plan caching spans independent calls).
+    /// plan caching spans independent calls). Initialized with
+    /// [`EngineConfig::default`] on first use — call
+    /// [`Engine::shared_with_config`] *before* anything touches the
+    /// shared engine to tune it.
     pub fn shared() -> &'static Engine {
-        static SHARED: OnceLock<Engine> = OnceLock::new();
         SHARED.get_or_init(Engine::default)
+    }
+
+    /// First-use initializer for the process-wide shared engine: if no
+    /// caller has touched [`Engine::shared`] yet, the shared engine is
+    /// built with `config` and returned. If the shared engine already
+    /// exists (someone called `shared()` first, or another thread won
+    /// the initialization race — `OnceLock` guarantees exactly one
+    /// winner), the configuration is **not** applied and
+    /// [`EngineError::SharedEngineInitialized`] is returned so the
+    /// caller knows its knobs were ignored instead of silently serving
+    /// with defaults.
+    pub fn shared_with_config(config: EngineConfig) -> Result<&'static Engine, EngineError> {
+        let mut applied = false;
+        let engine = SHARED.get_or_init(|| {
+            applied = true;
+            Engine::new(config)
+        });
+        if applied {
+            Ok(engine)
+        } else {
+            Err(EngineError::SharedEngineInitialized)
+        }
     }
 
     /// The (cached) structural analysis for a hypergraph, translated
@@ -171,7 +236,7 @@ impl Engine {
         let start = Instant::now();
         let (structure, cache_hit) = self.structure_for(&q.hypergraph());
         let planned = match workload {
-            Workload::Boolean => structure.bool_plan(),
+            Workload::Boolean | Workload::Enumerate { .. } => structure.bool_plan(),
             Workload::Count => structure.count_plan(),
         };
         (planned, cache_hit, start.elapsed())
@@ -192,92 +257,55 @@ impl Engine {
         let (structure, cache_hit) = self.structure_for(&q.hypergraph());
         let est = DataEstimate::compute(q, structure.ghd.as_ref(), &db.stats());
         let planned = match workload {
-            Workload::Boolean => structure.bool_plan_with(Some(&est)),
+            Workload::Boolean | Workload::Enumerate { .. } => structure.bool_plan_with(Some(&est)),
             Workload::Count => structure.count_plan_with(Some(&est)),
         };
         (planned, cache_hit, start.elapsed())
     }
 
-    /// Serve one request. Statistics are collected only when the
-    /// structure has a GHD the estimate could override (no GHD means
-    /// nothing to flip, so the `O(‖D‖)` scan is skipped); callers
-    /// serving many requests against one unchanging database should
-    /// snapshot once and use [`Engine::serve_with_stats`].
+    /// Serve one request: a compatibility shim that opens a throwaway
+    /// [`Session`] around query-scoped statistics (only the relations
+    /// the query's atoms name are scanned, so the per-request cost is
+    /// proportional to the data this query can touch), prepares the
+    /// query, and runs it once. Callers serving many requests against
+    /// one database should hold a [`Engine::session`] (one full
+    /// statistics snapshot) and re-run [`crate::PreparedQuery`] handles
+    /// instead — that is where the planning amortization lives.
     pub fn serve(&self, req: &Request<'_>) -> Response {
-        self.serve_impl(req, None)
+        let scan_start = Instant::now();
+        let stats = DatabaseStats::collect_for_query(req.db, req.query);
+        let scan = scan_start.elapsed();
+        let mut resp = Self::serve_on(&self.session_with_stats(req.db, &stats), req);
+        // The statistics scan is planning-side work this call paid.
+        resp.provenance.planning += scan;
+        resp
     }
 
     /// [`Engine::serve`] against a precomputed statistics snapshot of
     /// `req.db`. The batch executor collects one snapshot per distinct
     /// database instead of re-scanning per request; single-request
     /// callers with an unchanging database get the same amortization by
-    /// calling `db.stats()` once and passing it here.
+    /// calling `db.stats()` once and passing it here (or by holding a
+    /// [`Session`], which does exactly that).
     pub fn serve_with_stats(&self, req: &Request<'_>, stats: &DatabaseStats) -> Response {
-        self.serve_impl(req, Some(stats))
+        Self::serve_on(&self.session_with_stats(req.db, stats), req)
     }
 
-    fn serve_impl(&self, req: &Request<'_>, stats: Option<&DatabaseStats>) -> Response {
-        let start = Instant::now();
-        let (structure, cache_hit) = self.structure_for(&req.query.hypergraph());
-        // Refine the cached structural plan with data statistics: on
-        // small databases the estimate flips bounded-width plans back to
-        // the naive join (per-bag setup would dominate), and provenance
-        // records the numbers.
-        let est = match (stats, structure.ghd.is_some()) {
-            (Some(stats), _) => Some(DataEstimate::compute(
-                req.query,
-                structure.ghd.as_ref(),
-                stats,
-            )),
-            // Scan only the relations the query's atoms name — the only
-            // ones the estimate consults — so the per-request cost is
-            // proportional to the data this query can touch.
-            (None, true) => Some(DataEstimate::compute(
-                req.query,
-                structure.ghd.as_ref(),
-                &DatabaseStats::collect_for_query(req.db, req.query),
-            )),
-            // No GHD: the plan is the naive join no matter what the data
-            // says; don't pay a database scan to learn nothing.
-            (None, false) => None,
-        };
-        let planned = match req.workload {
-            Workload::Boolean => structure.bool_plan_with(est.as_ref()),
-            Workload::Count => structure.count_plan_with(est.as_ref()),
-        };
-        let planning = start.elapsed();
-        // Which decomposition actually drives evaluation: the plan's own
-        // GHD, or — for a jigsaw hardness certificate — the best GHD the
-        // structure analysis found (the certificate classifies the
-        // structure; it never means "skip a usable decomposition", and
-        // the plan's notes and cost estimate say so).
-        let ghd = match &planned.plan {
-            QueryPlan::GhdYannakakis { .. } | QueryPlan::CountingDp { .. } => planned.plan.ghd(),
-            QueryPlan::JigsawReduce { .. } => structure.ghd.as_ref(),
-            QueryPlan::NaiveJoin => None,
-        };
-        let exec_start = Instant::now();
-        let answer = match req.workload {
-            Workload::Boolean => Answer::Bool(match ghd {
-                Some(ghd) => bcq_via_ghd(req.query, req.db, ghd)
-                    .expect("planned ghd is valid for this query"),
-                None => bcq_naive(req.query, req.db),
-            }),
-            Workload::Count => Answer::Count(match ghd {
-                Some(ghd) => count_via_ghd(req.query, req.db, ghd)
-                    .expect("planned ghd is valid for this query"),
-                None => count_naive(req.query, req.db),
-            }),
-        };
-        Response {
-            answer,
-            provenance: PlanProvenance {
-                planned,
-                cache_hit,
-                planning,
-                execution: exec_start.elapsed(),
-            },
-        }
+    /// One-shot serve over a session: prepare, consume the handle (no
+    /// bag-tree copy), and fold the planning and preprocessing cost this
+    /// call actually paid back into the provenance (prepared handles
+    /// report zero planning on their runs; preprocessing lands in
+    /// `execution`, where the old monolithic serve counted it).
+    fn serve_on(session: &Session<'_>, req: &Request<'_>) -> Response {
+        let prepared = session
+            .prepare(req.query)
+            .expect("prepared plan is valid for its own query");
+        let planning = prepared.planning_time();
+        let preprocessing = prepared.preprocessing_time();
+        let mut resp = prepared.run_once(req.workload);
+        resp.provenance.planning = planning;
+        resp.provenance.execution += preprocessing;
+        resp
     }
 
     /// Decide `q(D) ≠ ∅` through the engine (planned, cached).
@@ -298,6 +326,26 @@ impl Engine {
             workload: Workload::Count,
         };
         self.serve(&req).answer.as_count().expect("count workload")
+    }
+
+    /// Enumerate up to `limit` answer tuples of `q(D)` (`None` = all)
+    /// through the engine (planned, cached). Tuples are full assignments
+    /// in `Var` id order; the order of tuples is unspecified.
+    pub fn enumerate_answers(
+        &self,
+        q: &ConjunctiveQuery,
+        db: &Database,
+        limit: Option<usize>,
+    ) -> Vec<Vec<u64>> {
+        let req = Request {
+            query: q,
+            db,
+            workload: Workload::Enumerate { limit },
+        };
+        self.serve(&req)
+            .answer
+            .into_tuples()
+            .expect("enumerate workload")
     }
 
     /// Evaluate a batch of requests on scoped worker threads, returning
@@ -354,7 +402,7 @@ impl Engine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cqd2_cq::eval::{bcq_naive, count_naive};
+    use cqd2_cq::eval::{bcq_naive, count_naive, enumerate_naive};
     use cqd2_cq::generate::{canonical_query, planted_database, random_database};
     use cqd2_hypergraph::generators::{hyperchain, hypercycle};
 
@@ -392,10 +440,10 @@ mod tests {
             .map(|(i, (query, db))| Request {
                 query,
                 db,
-                workload: if i % 2 == 0 {
-                    Workload::Boolean
-                } else {
-                    Workload::Count
+                workload: match i % 3 {
+                    0 => Workload::Boolean,
+                    1 => Workload::Count,
+                    _ => Workload::Enumerate { limit: None },
                 },
             })
             .collect();
@@ -408,6 +456,11 @@ mod tests {
                 }
                 Workload::Count => {
                     assert_eq!(resp.answer, Answer::Count(count_naive(req.query, req.db)));
+                }
+                Workload::Enumerate { .. } => {
+                    let mut got = resp.answer.as_tuples().expect("tuples").to_vec();
+                    got.sort_unstable();
+                    assert_eq!(got, enumerate_naive(req.query, req.db));
                 }
             }
         }
@@ -430,6 +483,33 @@ mod tests {
     #[test]
     fn empty_batch_is_fine() {
         assert!(Engine::default().execute_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn shared_engine_configuration_is_first_use_only() {
+        // Touch the shared engine first: any later configuration attempt
+        // must be rejected loudly instead of silently ignored.
+        let shared = Engine::shared();
+        let Err(err) = Engine::shared_with_config(EngineConfig::default()) else {
+            panic!("configuration after first use must be rejected");
+        };
+        assert_eq!(err, crate::error::EngineError::SharedEngineInitialized);
+        // The shared engine itself keeps working.
+        let q = canonical_query(&hyperchain(3, 2));
+        let db = random_database(&q, 4, 8, 5);
+        assert_eq!(shared.solve_bcq(&q, &db), bcq_naive(&q, &db));
+    }
+
+    #[test]
+    fn enumerate_answers_matches_naive() {
+        let engine = Engine::default();
+        let q = canonical_query(&hyperchain(3, 2));
+        let db = planted_database(&q, 6, 18, 8);
+        let mut got = engine.enumerate_answers(&q, &db, None);
+        got.sort_unstable();
+        assert_eq!(got, enumerate_naive(&q, &db));
+        let capped = engine.enumerate_answers(&q, &db, Some(1));
+        assert_eq!(capped.len(), 1.min(got.len()));
     }
 
     #[test]

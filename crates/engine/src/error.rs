@@ -1,0 +1,80 @@
+//! Typed errors for the serving layer.
+//!
+//! Every fallible public surface of `cqd2-engine` reports an
+//! [`EngineError`] (or the [`crate::textio::ParseError`] it wraps) —
+//! a real `std::error::Error` hierarchy with source chains, replacing
+//! the stringly-typed `Result<_, String>` the engine started with.
+
+use cqd2_cq::eval::EvalError;
+
+use crate::textio::ParseError;
+
+/// What can go wrong inside the serving engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// Bag materialization at [`crate::Session::prepare`] rejected the
+    /// resolved plan — the decomposition does not fit the query. This
+    /// indicates an engine bug (cached GHDs are translated into the
+    /// query's coordinates before use), so callers typically `expect`
+    /// it away; it is surfaced as a typed error rather than a panic so
+    /// embedders can choose.
+    Eval(EvalError),
+    /// A workload file failed to parse (line-attributed).
+    Parse(ParseError),
+    /// [`crate::Engine::shared_with_config`] lost the initialization
+    /// race: the process-wide engine already existed (with whatever
+    /// configuration first touched it), so the supplied configuration
+    /// was *not* applied.
+    SharedEngineInitialized,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Eval(e) => write!(f, "evaluation failed: {e}"),
+            EngineError::Parse(e) => write!(f, "workload parse error: {e}"),
+            EngineError::SharedEngineInitialized => write!(
+                f,
+                "the shared engine is already initialized; configuration not applied"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Eval(e) => Some(e),
+            EngineError::Parse(e) => Some(e),
+            EngineError::SharedEngineInitialized => None,
+        }
+    }
+}
+
+impl From<EvalError> for EngineError {
+    fn from(e: EvalError) -> EngineError {
+        EngineError::Eval(e)
+    }
+}
+
+impl From<ParseError> for EngineError {
+    fn from(e: ParseError) -> EngineError {
+        EngineError::Parse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source_chain() {
+        let parse = ParseError::at(3, "fact term `banana` is not a u64");
+        let err = EngineError::from(parse.clone());
+        assert!(err.to_string().contains("line 3"), "{err}");
+        let dyn_err: &dyn std::error::Error = &err;
+        let source = dyn_err.source().expect("parse errors chain");
+        assert_eq!(source.to_string(), parse.to_string());
+        assert!(EngineError::SharedEngineInitialized.to_string().len() > 10);
+    }
+}

@@ -14,39 +14,57 @@
 //!   isomorphism-invariant fingerprint; repeated-*shape* workloads pay
 //!   for decomposition once, and cached GHDs are translated along a
 //!   witness isomorphism into each incoming query's coordinates.
+//! - [`session`]: the **handle-based serving API** — [`Engine::session`]
+//!   wraps one database and snapshots its statistics once;
+//!   [`Session::prepare`] resolves a query's structure analysis and plan
+//!   once (through the cache); [`PreparedQuery::run`] re-executes at zero
+//!   planning cost, and [`PreparedQuery::cursor`] streams `Enumerate`
+//!   answers with constant delay after semijoin-reduction preprocessing.
 //! - [`engine`]: [`Engine::execute_batch`] evaluates batches of
 //!   `(query, db)` requests over shared databases with scoped worker
 //!   threads, returning per-request answers plus plan provenance.
-//! - [`textio`]: a small text format for workload files, shared by the
-//!   `cqd2-analyze eval` subcommand and the examples.
+//!   `Engine::serve` and friends are compatibility shims over sessions.
+//! - [`error`]: the typed [`EngineError`] hierarchy (a real
+//!   `std::error::Error` with source chains).
+//! - [`textio`]: a small text format for workload files (queries, facts,
+//!   and `@boolean` / `@count` / `@enumerate` workload directives),
+//!   shared by the `cqd2-analyze eval` subcommand and the examples.
 //!
 //! ```
-//! use cqd2_engine::{Engine, Request, Workload};
+//! use cqd2_engine::{Engine, Workload};
 //! use cqd2_cq::{ConjunctiveQuery, Database};
 //!
 //! let q = ConjunctiveQuery::parse(&[("R", &["?x", "?y"]), ("S", &["?y", "?z"])]);
 //! let mut db = Database::new();
 //! db.insert_all("R", &[vec![1, 2]]);
-//! db.insert_all("S", &[vec![2, 3]]);
+//! db.insert_all("S", &[vec![2, 3], vec![2, 4]]);
 //!
 //! let engine = Engine::default();
-//! let responses = engine.execute_batch(&[
-//!     Request { query: &q, db: &db, workload: Workload::Boolean },
-//!     Request { query: &q, db: &db, workload: Workload::Count },
-//! ]);
-//! assert_eq!(responses[0].answer.as_bool(), Some(true));
-//! assert_eq!(responses[1].answer.as_count(), Some(1));
-//! // The second request reused the first one's structural analysis.
-//! assert_eq!(engine.cache_stats().hits, 1);
+//! // Statistics snapshotted once per session, plan resolved once per
+//! // prepared query; runs just execute.
+//! let session = engine.session(&db);
+//! let prepared = session.prepare(&q).unwrap();
+//! assert_eq!(prepared.run(Workload::Boolean).answer.as_bool(), Some(true));
+//! assert_eq!(prepared.run(Workload::Count).answer.as_count(), Some(2));
+//! // Enumeration streams tuples (full assignments in Var id order).
+//! let answers: Vec<_> = prepared.cursor(None).collect();
+//! assert_eq!(answers.len(), 2);
+//! // The count run reused the Boolean run's structural analysis.
+//! assert_eq!(engine.cache_stats().misses, 1);
 //! ```
 
 pub mod cache;
 pub mod engine;
+pub mod error;
 pub mod plan;
 pub mod planner;
+pub mod session;
 pub mod textio;
 
 pub use cache::{CacheStats, CachedPlan, PlanCache};
 pub use engine::{Answer, Engine, EngineConfig, PlanProvenance, Request, Response, Workload};
+pub use error::EngineError;
 pub use plan::{CostEstimate, DataEstimate, PlannedQuery, QueryPlan};
 pub use planner::{PlannedStructure, Planner, PlannerConfig};
+pub use session::{AnswerCursor, PreparedQuery, Session};
+pub use textio::ParseError;

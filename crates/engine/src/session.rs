@@ -1,0 +1,453 @@
+//! Sessions and prepared queries: the handle-based serving API.
+//!
+//! The paper's message — and this engine's architecture — is that the
+//! expensive part of query answering is *reusable*: database statistics
+//! depend only on the database, structure analysis only on the query's
+//! hypergraph (up to isomorphism). The original `Engine::serve` surface
+//! re-derived both on every call; this module splits them into handles
+//! that each pay their cost exactly once:
+//!
+//! - [`Session`] wraps one [`Database`] and snapshots its
+//!   [`DatabaseStats`] **once**, at creation. Every query prepared on
+//!   the session reuses the snapshot for its stats-driven plan choice.
+//! - [`PreparedQuery`] resolves the structure analysis (through the
+//!   engine's isomorphism-keyed plan cache), derives the per-workload
+//!   plans, and materializes the GHD bag tree **once**, at
+//!   [`Session::prepare`]. Re-execution via [`PreparedQuery::run`] does
+//!   no planning or re-materialization at all — provenance reports a
+//!   zero planning duration — which is what makes repeated-query
+//!   serving cheap (see `benches/engine_prepared.rs`).
+//! - [`AnswerCursor`] streams `Enumerate` answers on demand: on the GHD
+//!   route the semijoin reduction runs over the already-materialized
+//!   bag tree when the cursor is opened, and each answer then arrives
+//!   with constant delay (Durand & Grandjean / Carmeli & Kröll's
+//!   enumeration regime).
+//!
+//! `Engine::serve` / `serve_with_stats` / `execute_batch` survive as
+//! thin compatibility shims over these handles.
+
+use std::borrow::Cow;
+use std::time::{Duration, Instant};
+
+use cqd2_cq::eval::{
+    bcq_naive, count_naive, enumerate_naive_limit, GhdEnumerator, MaterializedBags,
+};
+use cqd2_cq::stats::DatabaseStats;
+use cqd2_cq::{ConjunctiveQuery, Database};
+
+use crate::engine::{Answer, Engine, PlanProvenance, Response, Workload};
+use crate::error::EngineError;
+use crate::plan::{DataEstimate, PlannedQuery, QueryPlan};
+
+/// A serving session over one database: the engine handle, the database,
+/// and a statistics snapshot computed once at session creation.
+///
+/// Sessions are cheap to keep around and share (`&Session` is all a
+/// [`PreparedQuery`] needs); the database is borrowed, so many sessions
+/// and prepared queries can serve one database without copies. A session
+/// *snapshots* statistics: if the database is mutated afterwards, plan
+/// choices keep following the stale snapshot (open a fresh session to
+/// re-snapshot).
+pub struct Session<'a> {
+    engine: &'a Engine,
+    db: &'a Database,
+    stats: Cow<'a, DatabaseStats>,
+}
+
+impl Engine {
+    /// Open a [`Session`] on `db`, snapshotting its statistics once
+    /// (`O(‖D‖)`). All queries prepared on the session share the
+    /// snapshot.
+    pub fn session<'a>(&'a self, db: &'a Database) -> Session<'a> {
+        Session {
+            engine: self,
+            db,
+            stats: Cow::Owned(db.stats()),
+        }
+    }
+
+    /// A session around a caller-provided statistics snapshot (the batch
+    /// executor amortizes one snapshot per distinct database this way).
+    pub fn session_with_stats<'a>(
+        &'a self,
+        db: &'a Database,
+        stats: &'a DatabaseStats,
+    ) -> Session<'a> {
+        Session {
+            engine: self,
+            db,
+            stats: Cow::Borrowed(stats),
+        }
+    }
+}
+
+impl<'a> Session<'a> {
+    /// The engine this session serves through.
+    pub fn engine(&self) -> &'a Engine {
+        self.engine
+    }
+
+    /// The session's database.
+    pub fn db(&self) -> &'a Database {
+        self.db
+    }
+
+    /// The statistics snapshot taken at session creation.
+    pub fn stats(&self) -> &DatabaseStats {
+        &self.stats
+    }
+
+    /// Prepare `q` for repeated execution: resolve the structure
+    /// analysis (cache-amortized), refine it with the session's
+    /// statistics snapshot, derive the plan for every workload kind, and
+    /// — on GHD plans — run the `O(‖D‖^width)` bag-materialization
+    /// preprocessing, pinning the materialized bag tree in the handle
+    /// (sound because the session borrows the database immutably for its
+    /// whole lifetime). This is the only place planning or preprocessing
+    /// happens; the returned handle re-executes with just the cheap
+    /// per-run pass.
+    ///
+    /// This is also where all errors surface: an
+    /// [`EngineError::Eval`] here means the resolved decomposition did
+    /// not fit the query — an engine bug (cached GHDs are translated
+    /// into the query's coordinates before use), reported as a typed
+    /// error rather than a panic. Once a handle exists, its runs and
+    /// cursors are infallible.
+    pub fn prepare(&self, q: &ConjunctiveQuery) -> Result<PreparedQuery<'_>, EngineError> {
+        let start = Instant::now();
+        let (structure, cache_hit) = self.engine.structure_for(&q.hypergraph());
+        // Bounded-width structures get their plan refined by data: on
+        // small databases the per-bag setup dominates and the estimate
+        // flips the plan back to the naive join, with the numbers kept
+        // in provenance.
+        let est = DataEstimate::compute(q, structure.ghd.as_ref(), &self.stats);
+        let bool_plan = structure.bool_plan_with(Some(&est));
+        let count_plan = structure.count_plan_with(Some(&est));
+        // Which decomposition actually drives evaluation: the plan's own
+        // GHD, or — for a jigsaw hardness certificate — the best GHD the
+        // structure analysis found (the certificate classifies the
+        // structure; it never means "skip a usable decomposition"). The
+        // flip decision is workload-independent, so one GHD serves all
+        // three workloads.
+        let exec_ghd = match &bool_plan.plan {
+            QueryPlan::GhdYannakakis { .. } | QueryPlan::CountingDp { .. } => bool_plan.plan.ghd(),
+            QueryPlan::JigsawReduce { .. } => structure.ghd.as_ref(),
+            QueryPlan::NaiveJoin => None,
+        };
+        let planning = start.elapsed();
+        let preprocess_start = Instant::now();
+        let bags = match exec_ghd {
+            Some(ghd) => Some(MaterializedBags::build(q, self.db, ghd)?),
+            None => None,
+        };
+        Ok(PreparedQuery {
+            session: self,
+            query: q.clone(),
+            bool_plan,
+            count_plan,
+            bags,
+            cache_hit,
+            planning,
+            preprocessing: preprocess_start.elapsed(),
+        })
+    }
+
+    /// Prepare-and-run in one call (one-shot convenience; serving loops
+    /// should hold the [`PreparedQuery`] instead). The planning and
+    /// preprocessing this call pays are folded back into the response's
+    /// provenance.
+    pub fn run(&self, q: &ConjunctiveQuery, workload: Workload) -> Result<Response, EngineError> {
+        let prepared = self.prepare(q)?;
+        let planning = prepared.planning_time();
+        let preprocessing = prepared.preprocessing_time();
+        let mut resp = prepared.run_once(workload);
+        // One-shot semantics: this call *did* plan and materialize.
+        resp.provenance.planning = planning;
+        resp.provenance.execution += preprocessing;
+        Ok(resp)
+    }
+}
+
+/// A query prepared on a [`Session`]: structure analysis resolved (via
+/// the plan cache), plans derived for every workload, and — on GHD
+/// plans — the bag tree materialized, all exactly once at
+/// [`Session::prepare`].
+///
+/// [`PreparedQuery::run`] re-executes against the session's database
+/// with only the per-workload tree pass (semijoins / counting DP /
+/// enumeration) — no planning, no re-materialization;
+/// [`PreparedQuery::cursor`] streams enumeration answers without
+/// materializing the result set. The handle pins the materialized bag
+/// relations in memory (`O(‖D‖^width)` in the worst case); drop it to
+/// release them.
+pub struct PreparedQuery<'s> {
+    session: &'s Session<'s>,
+    query: ConjunctiveQuery,
+    bool_plan: PlannedQuery,
+    count_plan: PlannedQuery,
+    /// The materialized bag tree (`None` = the plan is the naive join).
+    bags: Option<MaterializedBags>,
+    cache_hit: bool,
+    planning: Duration,
+    preprocessing: Duration,
+}
+
+impl<'s> PreparedQuery<'s> {
+    /// The prepared query.
+    pub fn query(&self) -> &ConjunctiveQuery {
+        &self.query
+    }
+
+    /// Whether the structure analysis came from the plan cache.
+    pub fn cache_hit(&self) -> bool {
+        self.cache_hit
+    }
+
+    /// Time spent planning at [`Session::prepare`] (already paid; runs
+    /// report zero).
+    pub fn planning_time(&self) -> Duration {
+        self.planning
+    }
+
+    /// Time spent materializing the bag tree at [`Session::prepare`]
+    /// (zero for naive-join plans).
+    pub fn preprocessing_time(&self) -> Duration {
+        self.preprocessing
+    }
+
+    /// The plan a given workload will execute.
+    pub fn plan(&self, workload: Workload) -> &PlannedQuery {
+        match workload {
+            Workload::Count => &self.count_plan,
+            // Boolean evaluation and enumeration share the Yannakakis
+            // bag machinery, hence the plan.
+            Workload::Boolean | Workload::Enumerate { .. } => &self.bool_plan,
+        }
+    }
+
+    /// Execute the prepared plan for `workload`. No planning happens
+    /// here — provenance carries the resolved plan with a zero planning
+    /// duration (see [`PreparedQuery::planning_time`] for the cost paid
+    /// at prepare time). GHD passes run on a copy of the materialized
+    /// bag tree, leaving the handle reusable; one-shot callers should
+    /// use [`PreparedQuery::run_once`] to skip the copy.
+    ///
+    /// `Enumerate` materializes up to `limit` answers into
+    /// [`Answer::Tuples`]; use [`PreparedQuery::cursor`] to stream
+    /// instead.
+    pub fn run(&self, workload: Workload) -> Response {
+        let (q, db) = (&self.query, self.session.db);
+        let exec_start = Instant::now();
+        let answer = match workload {
+            Workload::Boolean => Answer::Bool(match &self.bags {
+                Some(bags) => bags.bcq(),
+                None => bcq_naive(q, db),
+            }),
+            Workload::Count => Answer::Count(match &self.bags {
+                Some(bags) => bags.count(),
+                None => count_naive(q, db),
+            }),
+            Workload::Enumerate { limit } => Answer::Tuples(self.cursor(limit).collect()),
+        };
+        self.response(workload, answer, exec_start)
+    }
+
+    /// Execute once and consume the handle: the materialized bag tree
+    /// is passed over in place instead of copied. This is what the
+    /// one-shot `Engine::serve` shims use; serving loops keep the
+    /// handle and call [`PreparedQuery::run`].
+    pub fn run_once(mut self, workload: Workload) -> Response {
+        let exec_start = Instant::now();
+        let bags = self.bags.take();
+        let (q, db) = (&self.query, self.session.db);
+        let answer = match workload {
+            Workload::Boolean => Answer::Bool(match bags {
+                Some(bags) => bags.into_bcq(),
+                None => bcq_naive(q, db),
+            }),
+            Workload::Count => Answer::Count(match bags {
+                Some(bags) => bags.into_count(),
+                None => count_naive(q, db),
+            }),
+            Workload::Enumerate { limit } => {
+                let cursor = match bags {
+                    Some(bags) => AnswerCursor {
+                        inner: CursorInner::Streaming(bags.into_enumerator()),
+                        remaining: limit,
+                    },
+                    None => AnswerCursor {
+                        inner: CursorInner::Buffered(
+                            enumerate_naive_limit(q, db, limit).into_iter(),
+                        ),
+                        remaining: limit,
+                    },
+                };
+                Answer::Tuples(cursor.collect())
+            }
+        };
+        self.response(workload, answer, exec_start)
+    }
+
+    /// Assemble the zero-planning per-run provenance.
+    fn response(&self, workload: Workload, answer: Answer, exec_start: Instant) -> Response {
+        Response {
+            answer,
+            provenance: PlanProvenance {
+                planned: self.plan(workload).clone(),
+                cache_hit: self.cache_hit,
+                planning: Duration::ZERO,
+                execution: exec_start.elapsed(),
+            },
+        }
+    }
+
+    /// Open a streaming [`AnswerCursor`] over `q(D)`, yielding at most
+    /// `limit` answers (`None` = all).
+    ///
+    /// On the GHD route this runs the semijoin reduction over a copy of
+    /// the already-materialized bag tree now, and then delivers answers
+    /// with constant delay; on the naive route the backtracking search
+    /// runs eagerly (stopping at `limit`) and the cursor drains the
+    /// buffer.
+    pub fn cursor(&self, limit: Option<usize>) -> AnswerCursor {
+        let inner = match &self.bags {
+            Some(bags) => CursorInner::Streaming(bags.enumerator()),
+            None => CursorInner::Buffered(
+                enumerate_naive_limit(&self.query, self.session.db, limit).into_iter(),
+            ),
+        };
+        AnswerCursor {
+            inner,
+            remaining: limit,
+        }
+    }
+}
+
+enum CursorInner {
+    /// Constant-delay streaming over a semijoin-reduced GHD bag tree.
+    Streaming(GhdEnumerator),
+    /// Pre-materialized answers (naive plans), drained on demand.
+    Buffered(std::vec::IntoIter<Vec<u64>>),
+}
+
+/// A streaming handle over the answers of a prepared `Enumerate`
+/// workload. Each item is a full assignment in `Var` id order (the
+/// layout [`cqd2_cq::eval::enumerate_naive`] uses); the iteration order
+/// is unspecified. The cursor stops after the `limit` it was opened
+/// with.
+pub struct AnswerCursor {
+    inner: CursorInner,
+    remaining: Option<usize>,
+}
+
+impl Iterator for AnswerCursor {
+    type Item = Vec<u64>;
+
+    fn next(&mut self) -> Option<Vec<u64>> {
+        if self.remaining == Some(0) {
+            return None;
+        }
+        let item = match &mut self.inner {
+            CursorInner::Streaming(e) => e.next(),
+            CursorInner::Buffered(b) => b.next(),
+        }?;
+        if let Some(r) = &mut self.remaining {
+            *r -= 1;
+        }
+        Some(item)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match (&self.inner, self.remaining) {
+            (CursorInner::Buffered(b), None) => b.size_hint(),
+            (_, Some(r)) => (0, Some(r)),
+            (CursorInner::Streaming(_), None) => (0, None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqd2_cq::eval::enumerate_naive;
+    use cqd2_cq::generate::{canonical_query, planted_database, random_database};
+    use cqd2_hypergraph::generators::{hyperchain, hypercycle};
+
+    #[test]
+    fn prepared_runs_match_naive_for_all_workloads() {
+        let engine = Engine::default();
+        for (i, h) in [hyperchain(4, 2), hypercycle(5, 2)].into_iter().enumerate() {
+            let q = canonical_query(&h);
+            let db = planted_database(&q, 6, 14, i as u64 + 1);
+            let session = engine.session(&db);
+            let prepared = session.prepare(&q).unwrap();
+            assert_eq!(
+                prepared.run(Workload::Boolean).answer.as_bool(),
+                Some(bcq_naive(&q, &db))
+            );
+            assert_eq!(
+                prepared.run(Workload::Count).answer.as_count(),
+                Some(count_naive(&q, &db))
+            );
+            let resp = prepared.run(Workload::Enumerate { limit: None });
+            let mut got = resp.answer.into_tuples().unwrap();
+            got.sort_unstable();
+            assert_eq!(got, enumerate_naive(&q, &db));
+        }
+    }
+
+    #[test]
+    fn prepared_runs_do_no_planning() {
+        let engine = Engine::default();
+        let q = canonical_query(&hypercycle(6, 2));
+        let db = random_database(&q, 6, 30, 3);
+        let session = engine.session(&db);
+        let prepared = session.prepare(&q).unwrap();
+        assert!(!prepared.cache_hit(), "first prepare plans fresh");
+        assert!(prepared.planning_time() > Duration::ZERO);
+        for _ in 0..3 {
+            let resp = prepared.run(Workload::Boolean);
+            assert_eq!(resp.provenance.planning, Duration::ZERO);
+            assert_eq!(
+                resp.provenance.planned.plan,
+                prepared.plan(Workload::Boolean).plan
+            );
+        }
+        // Re-preparing the same structure hits the cache.
+        let again = session.prepare(&q).unwrap();
+        assert!(again.cache_hit());
+        assert_eq!(engine.cache_stats().misses, 1);
+    }
+
+    #[test]
+    fn cursor_respects_limits_and_streams_everything() {
+        let engine = Engine::default();
+        let q = canonical_query(&hyperchain(3, 2));
+        let db = planted_database(&q, 8, 40, 7);
+        let session = engine.session(&db);
+        let prepared = session.prepare(&q).unwrap();
+        let all: Vec<_> = prepared.cursor(None).collect();
+        let expected = enumerate_naive(&q, &db);
+        assert_eq!(all.len(), expected.len());
+        let mut sorted = all.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, expected);
+        let capped: Vec<_> = prepared.cursor(Some(2)).collect();
+        assert_eq!(capped.len(), expected.len().min(2));
+        assert_eq!(prepared.cursor(Some(0)).count(), 0);
+        // The limit also caps the materialized workload answer.
+        let resp = prepared.run(Workload::Enumerate { limit: Some(1) });
+        assert_eq!(resp.answer.as_tuples().map(<[_]>::len), Some(1));
+    }
+
+    #[test]
+    fn session_one_shot_run_reports_planning() {
+        let engine = Engine::default();
+        let q = canonical_query(&hyperchain(4, 2));
+        let db = random_database(&q, 5, 12, 9);
+        let session = engine.session(&db);
+        let resp = session.run(&q, Workload::Count).unwrap();
+        assert_eq!(resp.answer.as_count(), Some(count_naive(&q, &db)));
+        assert!(resp.provenance.planning > Duration::ZERO);
+    }
+}

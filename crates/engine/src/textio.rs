@@ -4,28 +4,115 @@
 //! ```text
 //! # comments and blank lines are ignored
 //! Q: R(?x, ?y), S(?y, ?z)     # one query per `Q:` line (a batch)
+//! @count                      # workload directive for later `Q:` lines
+//! Q: R(?x, ?y)
+//! @enumerate 10               # …stream up to 10 answer tuples
+//! Q: S(?y, ?z)
 //! R(1, 2)                     # every other line is a ground fact
 //! S(2, 3)
 //! S(2, 4)
 //! ```
 //!
 //! Terms starting with `?` are variables (scoped per query line);
-//! anything else must parse as a `u64` constant.
+//! anything else must parse as a `u64` constant. Directive lines start
+//! with `@` and set the workload for the `Q:` lines that follow:
+//! `@boolean`, `@count`, or `@enumerate [limit]`. Queries before the
+//! first directive carry no mode and fall back to whatever the caller
+//! (e.g. the CLI's flags) chooses.
+//!
+//! All parse errors are typed [`ParseError`]s naming the offending
+//! 1-based line.
 
 use cqd2_cq::{ConjunctiveQuery, Database};
 
-/// A parsed workload file: a batch of queries over one shared database.
+use crate::engine::Workload as QueryWorkload;
+
+/// A workload-file parse error, attributed to a 1-based line when one
+/// line is to blame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based offending line, `None` for file-level errors.
+    pub line: Option<usize>,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    /// An error attributed to a 1-based line.
+    pub fn at(line: usize, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line: Some(line),
+            message: message.into(),
+        }
+    }
+
+    /// A file-level error (no single offending line).
+    pub fn whole_file(message: impl Into<String>) -> ParseError {
+        ParseError {
+            line: None,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.line {
+            Some(n) => write!(f, "line {n}: {}", self.message),
+            None => f.write_str(&self.message),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A parsed workload file: a batch of queries over one shared database,
+/// each query optionally carrying the workload mode the file's
+/// directives selected for it.
 #[derive(Debug, Clone)]
 pub struct Workload {
     /// Queries in file order.
     pub queries: Vec<ConjunctiveQuery>,
+    /// Per-query workload mode from `@…` directives (aligned with
+    /// `queries`; `None` = no directive seen yet, caller decides).
+    pub modes: Vec<Option<QueryWorkload>>,
     /// The shared database.
     pub db: Database,
 }
 
+/// Parse one `@…` directive body (without the `@`).
+fn parse_directive(body: &str) -> Result<QueryWorkload, String> {
+    let mut parts = body.split_whitespace();
+    let mode = match parts.next() {
+        Some("boolean") => QueryWorkload::Boolean,
+        Some("count") => QueryWorkload::Count,
+        Some("enumerate") => {
+            let limit = match parts.next() {
+                None => None,
+                Some(text) => Some(text.parse::<usize>().map_err(|_| {
+                    format!("`@enumerate` limit `{text}` is not a non-negative integer")
+                })?),
+            };
+            QueryWorkload::Enumerate { limit }
+        }
+        Some(other) => {
+            return Err(format!(
+                "unknown directive `@{other}` (try @boolean, @count, @enumerate [limit])"
+            ));
+        }
+        None => return Err("empty directive (`@` with no name)".to_string()),
+    };
+    if let Some(junk) = parts.next() {
+        return Err(format!("unexpected `{junk}` after directive"));
+    }
+    Ok(mode)
+}
+
 /// Parse the workload format. Errors name the offending line (1-based).
-pub fn parse_workload(input: &str) -> Result<Workload, String> {
+pub fn parse_workload(input: &str) -> Result<Workload, ParseError> {
     let mut queries = Vec::new();
+    let mut modes = Vec::new();
+    let mut current_mode: Option<QueryWorkload> = None;
     let mut db = Database::new();
     // First-seen arity per relation: `Database::insert` treats arity
     // mismatches as schema errors (panic), so catch them here with a
@@ -37,45 +124,57 @@ pub fn parse_workload(input: &str) -> Result<Workload, String> {
         if line.is_empty() {
             continue;
         }
-        if let Some(qtext) = line.strip_prefix("Q:") {
-            queries.push(parse_query(qtext).map_err(|e| format!("line {}: {e}", lineno + 1))?);
+        if let Some(body) = line.strip_prefix('@') {
+            current_mode = Some(parse_directive(body).map_err(|e| ParseError::at(lineno + 1, e))?);
+        } else if let Some(qtext) = line.strip_prefix("Q:") {
+            queries.push(parse_query(qtext).map_err(|mut e| {
+                e.line = Some(lineno + 1);
+                e
+            })?);
+            modes.push(current_mode);
         } else {
-            let (rel, terms) =
-                parse_atom_text(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            let (rel, terms) = parse_atom_text(line).map_err(|mut e| {
+                e.line = Some(lineno + 1);
+                e
+            })?;
             let tuple: Vec<u64> = terms
                 .iter()
                 .map(|t| {
-                    t.parse::<u64>()
-                        .map_err(|_| format!("line {}: fact term `{t}` is not a u64", lineno + 1))
+                    t.parse::<u64>().map_err(|_| {
+                        ParseError::at(lineno + 1, format!("fact term `{t}` is not a u64"))
+                    })
                 })
                 .collect::<Result<_, _>>()?;
             let (first_arity, first_line) = *arities
                 .entry(rel.clone())
                 .or_insert((tuple.len(), lineno + 1));
             if tuple.len() != first_arity {
-                return Err(format!(
-                    "line {}: relation `{rel}` has {} terms here but {first_arity} on line {first_line}",
+                return Err(ParseError::at(
                     lineno + 1,
-                    tuple.len()
+                    format!(
+                        "relation `{rel}` has {} terms here but {first_arity} on line {first_line}",
+                        tuple.len()
+                    ),
                 ));
             }
             db.insert(&rel, &tuple);
         }
     }
     if queries.is_empty() {
-        return Err("no `Q:` line found".to_string());
+        return Err(ParseError::whole_file("no `Q:` line found"));
     }
-    Ok(Workload { queries, db })
+    Ok(Workload { queries, modes, db })
 }
 
-/// Parse one query body: a comma-separated list of atoms.
-pub fn parse_query(text: &str) -> Result<ConjunctiveQuery, String> {
+/// Parse one query body: a comma-separated list of atoms. Errors carry
+/// no line number ([`parse_workload`] attributes them to its lines).
+pub fn parse_query(text: &str) -> Result<ConjunctiveQuery, ParseError> {
     let mut atoms: Vec<(String, Vec<String>)> = Vec::new();
     let mut rest = text.trim();
     while !rest.is_empty() {
         let close = rest
             .find(')')
-            .ok_or_else(|| format!("missing `)` in `{rest}`"))?;
+            .ok_or_else(|| ParseError::whole_file(format!("missing `)` in `{rest}`")))?;
         let (atom_text, tail) = rest.split_at(close + 1);
         let (rel, terms) = parse_atom_text(atom_text.trim())?;
         atoms.push((rel, terms));
@@ -84,12 +183,14 @@ pub fn parse_query(text: &str) -> Result<ConjunctiveQuery, String> {
             Some(after) => after.trim(),
             None if tail.is_empty() => tail,
             None => {
-                return Err(format!("expected `,` between atoms, found `{tail}`"));
+                return Err(ParseError::whole_file(format!(
+                    "expected `,` between atoms, found `{tail}`"
+                )));
             }
         };
     }
     if atoms.is_empty() {
-        return Err("query has no atoms".to_string());
+        return Err(ParseError::whole_file("query has no atoms"));
     }
     let borrowed: Vec<(&str, Vec<&str>)> = atoms
         .iter()
@@ -101,24 +202,26 @@ pub fn parse_query(text: &str) -> Result<ConjunctiveQuery, String> {
 }
 
 /// Split `R(t1, t2, …)` into the relation name and raw term texts.
-fn parse_atom_text(text: &str) -> Result<(String, Vec<String>), String> {
+fn parse_atom_text(text: &str) -> Result<(String, Vec<String>), ParseError> {
     let open = text
         .find('(')
-        .ok_or_else(|| format!("expected `Rel(…)`, got `{text}`"))?;
+        .ok_or_else(|| ParseError::whole_file(format!("expected `Rel(…)`, got `{text}`")))?;
     let rel = text[..open].trim();
     if rel.is_empty() {
-        return Err(format!("missing relation name in `{text}`"));
+        return Err(ParseError::whole_file(format!(
+            "missing relation name in `{text}`"
+        )));
     }
     let body = text[open + 1..]
         .strip_suffix(')')
-        .ok_or_else(|| format!("missing `)` in `{text}`"))?;
+        .ok_or_else(|| ParseError::whole_file(format!("missing `)` in `{text}`")))?;
     let terms: Vec<String> = if body.trim().is_empty() {
         Vec::new()
     } else {
         body.split(',').map(|t| t.trim().to_string()).collect()
     };
     if terms.iter().any(String::is_empty) {
-        return Err(format!("empty term in `{text}`"));
+        return Err(ParseError::whole_file(format!("empty term in `{text}`")));
     }
     Ok((rel.to_string(), terms))
 }
@@ -148,6 +251,7 @@ mod tests {
         .unwrap();
         assert_eq!(w.queries.len(), 2);
         assert_eq!(w.db.size(), 3);
+        assert_eq!(w.modes, vec![None, None]);
         assert!(bcq_naive(&w.queries[0], &w.db));
         assert_eq!(count_naive(&w.queries[0], &w.db), 1);
         assert!(bcq_naive(&w.queries[1], &w.db)); // R(3,3) matches ?a,?a
@@ -160,10 +264,60 @@ mod tests {
     }
 
     #[test]
+    fn directives_set_modes_for_following_queries() {
+        let w = parse_workload(
+            "Q: R(?x, ?y)\n\
+             @count\n\
+             Q: R(?x, ?x)\n\
+             @enumerate 5\n\
+             Q: R(?x, ?y)\n\
+             @enumerate\n\
+             Q: R(?y, ?x)\n\
+             @boolean\n\
+             Q: R(?x, ?y)\n\
+             R(1, 2)\n",
+        )
+        .unwrap();
+        assert_eq!(
+            w.modes,
+            vec![
+                None,
+                Some(QueryWorkload::Count),
+                Some(QueryWorkload::Enumerate { limit: Some(5) }),
+                Some(QueryWorkload::Enumerate { limit: None }),
+                Some(QueryWorkload::Boolean),
+            ]
+        );
+    }
+
+    #[test]
+    fn unknown_and_malformed_directives_are_line_errors() {
+        let err = parse_workload("Q: R(?x)\n@frobnicate\nR(1)\n").unwrap_err();
+        assert_eq!(err.line, Some(2));
+        assert!(
+            err.message.contains("unknown directive `@frobnicate`"),
+            "{err}"
+        );
+
+        let err = parse_workload("@enumerate banana\nQ: R(?x)\nR(1)\n").unwrap_err();
+        assert_eq!(err.line, Some(1));
+        assert!(err.message.contains("banana"), "{err}");
+
+        let err = parse_workload("@count 3\nQ: R(?x)\nR(1)\n").unwrap_err();
+        assert_eq!(err.line, Some(1));
+        assert!(err.message.contains("unexpected `3`"), "{err}");
+
+        let err = parse_workload("@\nQ: R(?x)\nR(1)\n").unwrap_err();
+        assert_eq!(err.line, Some(1));
+        assert!(err.message.contains("empty directive"), "{err}");
+    }
+
+    #[test]
     fn arity_mismatch_is_an_error_not_a_panic() {
         let err = parse_workload("Q: R(?x)\nR(1)\nR(1, 2)\n").unwrap_err();
+        assert_eq!(err.line, Some(3), "{err}");
         assert!(
-            err.contains("line 3") && err.contains("line 2"),
+            err.to_string().contains("line 3") && err.message.contains("line 2"),
             "should cite both the offending and the first-seen line: {err}"
         );
     }
@@ -171,15 +325,35 @@ mod tests {
     #[test]
     fn stray_atom_separator_is_rejected() {
         let err = parse_workload("Q: R(?x, ?y); S(?y, ?z)\nR(1, 2)\n").unwrap_err();
-        assert!(err.contains("expected `,` between atoms"), "{err}");
+        assert!(err.message.contains("expected `,` between atoms"), "{err}");
+        assert_eq!(err.line, Some(1));
     }
 
     #[test]
-    fn errors_name_the_line() {
+    fn malformed_lines_name_their_line_number() {
+        // Unclosed query atom.
         let err = parse_workload("Q: R(?x\nR(1)\n").unwrap_err();
-        assert!(err.contains("line 1"), "{err}");
+        assert_eq!(err.line, Some(1), "{err}");
+        // Non-numeric fact term.
         let err = parse_workload("Q: R(?x)\nR(banana)\n").unwrap_err();
-        assert!(err.contains("line 2"), "{err}");
-        assert!(parse_workload("R(1, 2)\n").unwrap_err().contains("no `Q:`"));
+        assert_eq!(err.line, Some(2), "{err}");
+        assert!(err.to_string().starts_with("line 2:"), "{err}");
+        // A fact line that is not an atom at all.
+        let err = parse_workload("Q: R(?x)\njunk without parens\n").unwrap_err();
+        assert_eq!(err.line, Some(2), "{err}");
+        // Empty term inside an atom.
+        let err = parse_workload("Q: R(?x,)\nR(1)\n").unwrap_err();
+        assert_eq!(err.line, Some(1), "{err}");
+        // File-level error: no query at all.
+        let err = parse_workload("R(1, 2)\n").unwrap_err();
+        assert_eq!(err.line, None);
+        assert!(err.to_string().contains("no `Q:`"), "{err}");
+    }
+
+    #[test]
+    fn parse_errors_are_std_errors() {
+        let err = parse_workload("Q: R(?x\n").unwrap_err();
+        let dyn_err: &dyn std::error::Error = &err;
+        assert!(dyn_err.to_string().contains("line 1"));
     }
 }

@@ -17,7 +17,7 @@
 //! (see DESIGN.md §5), so [`corpus`] synthesizes a deterministic corpus of
 //! 3649 hypergraphs from families mirroring HyperBench's provenance mix,
 //! calibrated so the degree-2 slice reproduces the table exactly. The
-//! *census* ([`census`]) is a real classifier — GYO acyclicity, structural
+//! *census* ([`mod@census`]) is a real classifier — GYO acyclicity, structural
 //! jigsaw recognition with the paper's separator lower bound, exact ghw on
 //! small instances, certified intervals otherwise — and [`io`] parses the
 //! genuine HyperBench `.hg` format so the same census can run on the real

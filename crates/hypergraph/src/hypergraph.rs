@@ -119,7 +119,7 @@ impl OpTrace {
 /// invariant (no two edges with the same vertex set) is maintained by all
 /// constructors and mutations. The empty edge is permitted (the paper uses it
 /// when discussing deletion of connected components); *reduced* hypergraphs
-/// (see [`crate::reduce`]) exclude it.
+/// (see [`crate::reduce()`]) exclude it.
 ///
 /// Vertices and edges carry human-readable names used by pretty-printing and
 /// by the conjunctive-query layer (variable and relation names).
@@ -508,7 +508,7 @@ impl Hypergraph {
     /// The merged edge keeps the position of the first edge of `I_v`; the
     /// vertex `v` itself becomes isolated (degree 0) and *remains in the
     /// vertex set* — Definition 3.1 removes it from the edges only. (A
-    /// subsequent vertex deletion removes it; [`crate::reduce`] does this.)
+    /// subsequent vertex deletion removes it; [`crate::reduce()`] does this.)
     /// If the merged edge coincides with an existing edge the two collapse.
     pub fn merge_on_vertex(&self, v: VertexId) -> Result<(Hypergraph, OpTrace), HgError> {
         if v.idx() >= self.num_vertices() {

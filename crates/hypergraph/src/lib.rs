@@ -11,9 +11,9 @@
 //! - [`Graph`]: simple undirected graphs, treated as 2-uniform hypergraphs
 //!   throughout the paper, with the traversal utilities needed by the minor
 //!   and treewidth machinery.
-//! - [`dual`]: the dual hypergraph `H^d` with `V(H^d) = E(H)` and
+//! - [`mod@dual`]: the dual hypergraph `H^d` with `V(H^d) = E(H)` and
 //!   `E(H^d) = { I_v | v ∈ V(H) }`.
-//! - [`reduce`]: *reduced* hypergraphs (no isolated vertices, no empty edges,
+//! - [`mod@reduce`]: *reduced* hypergraphs (no isolated vertices, no empty edges,
 //!   no duplicate vertex types) and the reduction record mapping back.
 //! - [`iso`]: hypergraph isomorphism testing via edge-bijection backtracking
 //!   with vertex-type verification.

@@ -1,7 +1,7 @@
 //! Jigsaw hypergraphs and the excluded-grid analogue for degree 2
 //! (Section 4 of the paper).
 //!
-//! - [`jigsaw`]: the `n × m` jigsaw (Definition 4.2) — the hypergraph dual
+//! - [`mod@jigsaw`]: the `n × m` jigsaw (Definition 4.2) — the hypergraph dual
 //!   of the grid graph — with construction, recognition, and the
 //!   jigsaw-to-smaller-jigsaw dilutions.
 //! - [`prejigsaw`]: pre-jigsaws (Definition 5.1) with witness validation

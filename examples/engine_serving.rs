@@ -1,13 +1,14 @@
-//! Serving demo: a mixed batch of queries through the `cqd2-engine`
-//! planner + plan cache + batch executor, with plan provenance.
+//! Serving demo: sessions and prepared queries through the
+//! `cqd2-engine` planner + plan cache, with plan provenance and
+//! streaming enumeration.
 //!
 //! ```sh
 //! cargo run --release --example engine_serving
 //! ```
 
-use cqd2::cq::generate::{canonical_query, planted_database, random_database};
-use cqd2::cq::{ConjunctiveQuery, Database};
-use cqd2::engine::{Engine, EngineConfig, Request, Workload};
+use cqd2::cq::generate::{canonical_query, planted_database};
+use cqd2::cq::ConjunctiveQuery;
+use cqd2::engine::{Engine, EngineConfig, Workload};
 use cqd2::hypergraph::generators::{hyperchain, hypercycle};
 use cqd2::jigsaw::jigsaw;
 
@@ -22,55 +23,58 @@ fn main() {
         ("cycle", canonical_query(&hypercycle(6, 2))),
         ("jigsaw", canonical_query(&jigsaw(3, 3))),
     ];
-    let mut queries: Vec<(String, ConjunctiveQuery, Database, Workload)> = Vec::new();
-    for round in 0..3u64 {
-        for (tag, q) in &shapes {
-            let db = if round == 0 {
-                planted_database(q, 6, 12, round + 7)
-            } else {
-                random_database(q, 6, 12, round + 7)
-            };
-            let workload = if round == 2 {
-                Workload::Count
-            } else {
-                Workload::Boolean
-            };
-            queries.push((format!("{tag}#{round}"), q.clone(), db, workload));
-        }
-    }
 
     let engine = Engine::new(EngineConfig::default());
-    let requests: Vec<Request<'_>> = queries
-        .iter()
-        .map(|(_, query, db, workload)| Request {
-            query,
-            db,
-            workload: *workload,
-        })
-        .collect();
-    let responses = engine.execute_batch(&requests);
-
     println!(
-        "{:<10} {:>8} {:<16} {:>6} {:>12} {:>12}",
-        "request", "answer", "strategy", "cache", "plan", "exec"
+        "{:<10} {:>4} {:>10} {:<16} {:>6} {:>12} {:>12}",
+        "request", "run", "answer", "strategy", "cache", "plan", "exec"
     );
-    for ((name, _, _, _), resp) in queries.iter().zip(&responses) {
-        let answer = match resp.answer {
-            cqd2::engine::Answer::Bool(b) => b.to_string(),
-            cqd2::engine::Answer::Count(n) => n.to_string(),
-        };
+    for (round, (tag, q)) in shapes.iter().enumerate() {
+        let db = planted_database(q, 6, 12, round as u64 + 7);
+        // One session per database: statistics are snapshotted here,
+        // once, and shared by everything prepared on the session.
+        let session = engine.session(&db);
+        // One prepared query per query: structure analysis + plan are
+        // resolved here, once (through the isomorphism-keyed cache).
+        let prepared = session
+            .prepare(q)
+            .expect("planning cannot fail for a well-formed query");
+        // Re-execution is now planning-free — run the same handle
+        // against all three workloads.
+        for (run, workload) in [
+            Workload::Boolean,
+            Workload::Count,
+            Workload::Enumerate { limit: Some(3) },
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let resp = prepared.run(workload);
+            let answer = match &resp.answer {
+                cqd2::engine::Answer::Bool(b) => b.to_string(),
+                cqd2::engine::Answer::Count(n) => n.to_string(),
+                cqd2::engine::Answer::Tuples(t) => format!("{} tuples", t.len()),
+            };
+            println!(
+                "{:<10} {:>4} {:>10} {:<16} {:>6} {:>12} {:>12}",
+                format!("{tag}#{round}"),
+                run,
+                answer,
+                resp.provenance.planned.plan.strategy(),
+                if prepared.cache_hit() { "hit" } else { "miss" },
+                // Prepared runs do no planning; the cost was paid once,
+                // at prepare time.
+                format!("{:?}", resp.provenance.planning),
+                format!("{:?}", resp.provenance.execution),
+            );
+        }
+        // Streaming enumeration: answers arrive on demand from the
+        // semijoin-reduced bag tree — no materialized result set.
+        let first_two: Vec<Vec<u64>> = prepared.cursor(None).take(2).collect();
         println!(
-            "{:<10} {:>8} {:<16} {:>6} {:>12} {:>12}",
-            name,
-            answer,
-            resp.provenance.planned.plan.strategy(),
-            if resp.provenance.cache_hit {
-                "hit"
-            } else {
-                "miss"
-            },
-            format!("{:?}", resp.provenance.planning),
-            format!("{:?}", resp.provenance.execution),
+            "           └ streamed {} answer(s) via cursor, e.g. {:?}",
+            first_two.len(),
+            first_two.first()
         );
     }
 

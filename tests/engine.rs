@@ -3,7 +3,7 @@
 //! batch execution against the end-to-end pipeline fixtures, and plan
 //! persistence through the `serde` feature.
 
-use cqd2::cq::eval::{bcq_naive, count_naive};
+use cqd2::cq::eval::{bcq_naive, count_naive, enumerate_naive};
 use cqd2::cq::generate::{canonical_query, planted_database, random_database};
 use cqd2::cq::{ConjunctiveQuery, Term, Var};
 use cqd2::engine::{Engine, EngineConfig, PlannerConfig, QueryPlan, Request, Workload};
@@ -177,6 +177,11 @@ fn batch_execution_matches_naive_on_pipeline_fixtures() {
             db: &host_db,
             workload: Workload::Count,
         },
+        Request {
+            query: &chain_q,
+            db: &chain_db,
+            workload: Workload::Enumerate { limit: None },
+        },
     ];
     let engine = Engine::new(EngineConfig {
         workers: 3,
@@ -197,6 +202,11 @@ fn batch_execution_matches_naive_on_pipeline_fixtures() {
                 count_naive(req.query, req.db),
                 "count mismatch"
             ),
+            Workload::Enumerate { .. } => {
+                let mut got = resp.answer.as_tuples().expect("tuples").to_vec();
+                got.sort_unstable();
+                assert_eq!(got, enumerate_naive(req.query, req.db), "tuple mismatch");
+            }
         }
     }
     // The planted host instance must be satisfiable, and its plan must
@@ -206,11 +216,68 @@ fn batch_execution_matches_naive_on_pipeline_fixtures() {
         responses[0].provenance.planned.plan,
         QueryPlan::JigsawReduce { n: 3, .. }
     ));
-    // Three distinct structures, five requests: two cache hits.
+    // Three distinct structures, six requests: three cache hits.
     let stats = engine.cache_stats();
     assert_eq!(stats.entries, 3);
-    assert_eq!(stats.hits + stats.misses, 5);
+    assert_eq!(stats.hits + stats.misses, 6);
     assert_eq!(stats.misses, 3);
+}
+
+#[test]
+fn sessions_amortize_stats_and_prepared_queries_amortize_planning() {
+    let engine = Engine::default();
+    let base = canonical_query(&hypercycle(6, 2));
+    let db = planted_database(&base, 8, 20, 42);
+    let session = engine.session(&db);
+
+    // Preparing ten isomorphic renamings of one structure plans once.
+    let mut prepared = vec![session.prepare(&base).unwrap()];
+    assert!(!prepared[0].cache_hit());
+    for i in 1..=10 {
+        let q = renamed_copy(&base, i, &format!("v{i}"));
+        prepared.push(session.prepare(&q).unwrap());
+        assert!(prepared[i].cache_hit(), "renaming {i} must hit the cache");
+    }
+    assert_eq!(engine.cache_stats().misses, 1);
+
+    // Every prepared handle runs all workloads with zero planning and
+    // answers that match the independent evaluators. (The renamed
+    // queries run against the *base* database on purpose: their renamed
+    // relations are absent, so they exercise the empty-relation path.)
+    let resp = prepared[0].run(Workload::Boolean);
+    assert_eq!(resp.answer.as_bool(), Some(true));
+    assert_eq!(resp.provenance.planning, std::time::Duration::ZERO);
+    let count = prepared[0].run(Workload::Count);
+    assert_eq!(count.answer.as_count(), Some(count_naive(&base, &db)));
+    let mut tuples = prepared[0]
+        .run(Workload::Enumerate { limit: None })
+        .answer
+        .into_tuples()
+        .unwrap();
+    tuples.sort_unstable();
+    assert_eq!(tuples, enumerate_naive(&base, &db));
+    for p in &prepared[1..] {
+        assert_eq!(p.run(Workload::Boolean).answer.as_bool(), Some(false));
+    }
+}
+
+#[test]
+fn prepared_cursor_streams_enumeration_answers() {
+    let engine = Engine::default();
+    let q = canonical_query(&hyperchain(4, 2));
+    let db = planted_database(&q, 7, 25, 17);
+    let session = engine.session(&db);
+    let prepared = session.prepare(&q).unwrap();
+    let expected = enumerate_naive(&q, &db);
+    // Unlimited cursor covers the whole answer set.
+    let mut streamed: Vec<_> = prepared.cursor(None).collect();
+    streamed.sort_unstable();
+    assert_eq!(streamed, expected);
+    // A limit caps the stream; Workload::Enumerate agrees.
+    let capped: Vec<_> = prepared.cursor(Some(3)).collect();
+    assert_eq!(capped.len(), expected.len().min(3));
+    let resp = prepared.run(Workload::Enumerate { limit: Some(3) });
+    assert_eq!(resp.answer.as_tuples().map(<[_]>::len), Some(capped.len()));
 }
 
 #[test]
