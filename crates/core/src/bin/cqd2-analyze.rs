@@ -10,6 +10,12 @@
 //! cargo run --release --bin cqd2-analyze -- eval workload.txt
 //! cargo run --release --bin cqd2-analyze -- eval --count workload.txt
 //! cargo run --release --bin cqd2-analyze -- eval --enumerate --limit 10 workload.txt
+//!
+//! # scripted round-trips against a running cqd2-serve (serde builds)
+//! cargo run --release --bin cqd2-analyze -- client --addr 127.0.0.1:7878 \
+//!     --db main --query 'R(?x, ?y), S(?y, ?z)' --count
+//! cargo run --release --bin cqd2-analyze -- client --addr 127.0.0.1:7878 \
+//!     --db main batch.txt   # Q:/directive lines, facts stay server-side
 //! ```
 //!
 //! `eval` flags: `--count` counts answers instead of deciding
@@ -27,6 +33,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("eval") => run_eval(&args[1..]),
+        Some("client") => run_client(&args[1..]),
         _ => run_analyze(args.first().map(String::as_str)),
     }
 }
@@ -139,13 +146,9 @@ fn run_eval(args: &[String]) {
             parsed.queries.len()
         );
         for (i, resp) in responses.iter().enumerate() {
-            let answer = match &resp.answer {
-                Answer::Bool(b) => format!("{b}"),
-                Answer::Count(n) => format!("{n}"),
-                Answer::Tuples(t) => format!("{} tuples", t.len()),
-            };
             println!(
-                "  q{i}: {answer}  [{} | cache {} | plan {:?} | exec {:?}]",
+                "  q{i}: {}  [{} | cache {} | plan {:?} | exec {:?}]",
+                brief_answer(&resp.answer),
                 resp.provenance.planned.plan.strategy(),
                 if resp.provenance.cache_hit {
                     "hit"
@@ -155,12 +158,7 @@ fn run_eval(args: &[String]) {
                 resp.provenance.planning,
                 resp.provenance.execution,
             );
-            if let Answer::Tuples(tuples) = &resp.answer {
-                for t in tuples {
-                    let cells: Vec<String> = t.iter().map(u64::to_string).collect();
-                    println!("      ({})", cells.join(", "));
-                }
-            }
+            print_tuples(&resp.answer);
             if explain {
                 for line in resp.provenance.planned.explain().lines() {
                     println!("      {line}");
@@ -178,6 +176,111 @@ fn run_eval(args: &[String]) {
     );
 }
 
+/// `client`: scripted round-trips against a running `cqd2-serve`.
+/// Flags: `--addr host:port` (required), `--db name` (required),
+/// `--query 'body'` and/or query-batch files (`Q:` + `@…` lines);
+/// `--count` / `--enumerate [--limit N]` set the mode for `--query`.
+#[cfg(feature = "serde")]
+fn run_client(args: &[String]) {
+    use cqd2::engine::server::client::Client;
+    use cqd2::engine::server::wire;
+
+    let mut addr: Option<String> = None;
+    let mut db: Option<String> = None;
+    let mut inline_query: Option<String> = None;
+    let mut count = false;
+    let mut enumerate = false;
+    let mut limit: Option<usize> = None;
+    let mut files: Vec<&str> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value_of = |flag: &str| -> String {
+            iter.next()
+                .unwrap_or_else(|| exit_with(&format!("client: {flag} needs a value")))
+                .clone()
+        };
+        match arg.as_str() {
+            "--addr" => addr = Some(value_of("--addr")),
+            "--db" => db = Some(value_of("--db")),
+            "--query" => inline_query = Some(value_of("--query")),
+            "--count" => count = true,
+            "--enumerate" => enumerate = true,
+            "--limit" => {
+                let value = value_of("--limit");
+                limit = Some(value.parse::<usize>().unwrap_or_else(|_| {
+                    exit_with(&format!("client: --limit `{value}` is not a number"))
+                }));
+            }
+            flag if flag.starts_with("--") => exit_with(&format!(
+                "client: unknown flag {flag} (try --addr, --db, --query, --count, --enumerate, --limit)"
+            )),
+            path => files.push(path),
+        }
+    }
+    let addr = addr.unwrap_or_else(|| exit_with("client: --addr host:port is required"));
+    let db = db.unwrap_or_else(|| exit_with("client: --db name is required"));
+    if inline_query.is_none() && files.is_empty() {
+        exit_with("client: nothing to send — give --query or a batch file");
+    }
+    if count && enumerate {
+        exit_with("client: --count and --enumerate are mutually exclusive");
+    }
+    if limit.is_some() && !enumerate {
+        exit_with("client: --limit only applies with --enumerate");
+    }
+
+    let mut client = Client::connect(&addr)
+        .unwrap_or_else(|e| exit_with(&format!("client: cannot connect to {addr}: {e}")));
+    let bound = client
+        .bind_db(&db)
+        .unwrap_or_else(|e| exit_with(&format!("client: bind `{db}`: {e}")));
+    println!(
+        "bound to `{}`: {} facts in {} relations",
+        bound.db, bound.facts, bound.relations
+    );
+    let mut batches: Vec<(String, String)> = Vec::new();
+    if let Some(q) = inline_query {
+        let workload = if count {
+            cqd2::engine::Workload::Count
+        } else if enumerate {
+            cqd2::engine::Workload::Enumerate { limit }
+        } else {
+            cqd2::engine::Workload::Boolean
+        };
+        let text = format!("{}\nQ: {q}\n", wire::directive_for(workload));
+        batches.push(("--query".to_string(), text));
+    }
+    for path in files {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| exit_with(&format!("client: cannot read {path}: {e}")));
+        batches.push((path.to_string(), text));
+    }
+    for (tag, text) in batches {
+        let reply = client
+            .request(&text)
+            .unwrap_or_else(|e| exit_with(&format!("client: {tag}: {e}")));
+        println!("{tag}: {} result(s)", reply.results.len());
+        for r in &reply.results {
+            println!(
+                "  q{}: {}  [{} | cache {} | prepared {} | plan {}ns | exec {}ns]",
+                r.index,
+                brief_answer(&r.answer),
+                r.strategy,
+                if r.cache_hit { "hit" } else { "miss" },
+                if r.prepared_hit { "hit" } else { "miss" },
+                r.planning_ns,
+                r.execution_ns,
+            );
+            print_tuples(&r.answer);
+        }
+    }
+}
+
+#[cfg(not(feature = "serde"))]
+fn run_client(_args: &[String]) {
+    exit_with("the client subcommand requires building with the `serde` feature");
+}
+
 #[cfg(feature = "serde")]
 fn print_plan_json(resp: &cqd2::engine::Response) {
     println!(
@@ -189,6 +292,25 @@ fn print_plan_json(resp: &cqd2::engine::Response) {
 #[cfg(not(feature = "serde"))]
 fn print_plan_json(_resp: &cqd2::engine::Response) {
     // Unreachable: run_eval rejects --json on serde-less builds.
+}
+
+/// One-line answer summary shared by `eval` and `client` output.
+fn brief_answer(answer: &Answer) -> String {
+    match answer {
+        Answer::Bool(b) => b.to_string(),
+        Answer::Count(n) => n.to_string(),
+        Answer::Tuples(t) => format!("{} tuples", t.len()),
+    }
+}
+
+/// Print an enumerate answer's tuples, one per indented line.
+fn print_tuples(answer: &Answer) {
+    if let Answer::Tuples(tuples) = answer {
+        for t in tuples {
+            let cells: Vec<String> = t.iter().map(u64::to_string).collect();
+            println!("      ({})", cells.join(", "));
+        }
+    }
 }
 
 fn exit_with(msg: &str) -> ! {

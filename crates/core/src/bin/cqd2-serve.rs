@@ -1,0 +1,170 @@
+//! `cqd2-serve` — the standalone serving daemon.
+//!
+//! Loads one or more named databases at startup, binds a TCP listener,
+//! and serves the `docs/PROTOCOL.md` wire protocol until SIGTERM /
+//! ctrl-c (or stdin EOF with `--shutdown-on-stdin-close`, for harnesses
+//! without signals):
+//!
+//! ```sh
+//! printf 'R(1, 2)\nS(2, 3)\nS(2, 4)\n' > facts.txt
+//! cargo run --release --bin cqd2-serve -- --listen 127.0.0.1:7878 --db main=facts.txt
+//!
+//! # then, from another shell:
+//! cargo run --release --bin cqd2-analyze -- client --addr 127.0.0.1:7878 \
+//!     --db main --query 'R(?x, ?y), S(?y, ?z)' --count
+//! ```
+//!
+//! Flags: `--listen addr:port` (default `127.0.0.1:7878`; port 0 lets
+//! the OS pick and prints the bound address), repeated `--db name=path`
+//! (facts-only files, see `cqd2::engine::textio::parse_database`),
+//! `--workers N` (0 = available parallelism), `--queue N` (bounded
+//! request queue = the backpressure point), `--prepared N` (per-db
+//! prepared-query cache), `--cache N` (engine plan-cache capacity).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use cqd2::engine::server::{signal, DbRegistry, Server, ServerConfig};
+use cqd2::engine::{Engine, EngineConfig};
+
+struct Args {
+    listen: String,
+    dbs: Vec<(String, String)>,
+    config: ServerConfig,
+    cache_capacity: usize,
+    shutdown_on_stdin_close: bool,
+}
+
+fn parse_args(argv: &[String]) -> Args {
+    let mut args = Args {
+        listen: "127.0.0.1:7878".to_string(),
+        dbs: Vec::new(),
+        config: ServerConfig::default(),
+        cache_capacity: EngineConfig::default().cache_capacity,
+        shutdown_on_stdin_close: false,
+    };
+    let mut iter = argv.iter();
+    while let Some(arg) = iter.next() {
+        let mut value_of = |flag: &str| -> String {
+            iter.next()
+                .unwrap_or_else(|| exit_with(&format!("{flag} needs a value")))
+                .clone()
+        };
+        match arg.as_str() {
+            "--listen" => args.listen = value_of("--listen"),
+            "--db" => {
+                let spec = value_of("--db");
+                let Some((name, path)) = spec.split_once('=') else {
+                    exit_with(&format!("--db expects name=path, got `{spec}`"));
+                };
+                args.dbs.push((name.to_string(), path.to_string()));
+            }
+            "--workers" => args.config.workers = parse_num(&value_of("--workers"), "--workers"),
+            "--queue" => {
+                args.config.queue_capacity = parse_num(&value_of("--queue"), "--queue").max(1)
+            }
+            "--prepared" => {
+                args.config.prepared_capacity = parse_num(&value_of("--prepared"), "--prepared")
+            }
+            "--cache" => args.cache_capacity = parse_num(&value_of("--cache"), "--cache"),
+            "--shutdown-on-stdin-close" => args.shutdown_on_stdin_close = true,
+            "--help" | "-h" => {
+                println!(
+                    "cqd2-serve --listen ADDR:PORT --db NAME=PATH [--db NAME=PATH …]\n\
+                     \x20          [--workers N] [--queue N] [--prepared N] [--cache N]\n\
+                     \x20          [--shutdown-on-stdin-close]"
+                );
+                std::process::exit(0);
+            }
+            other => exit_with(&format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    if args.dbs.is_empty() {
+        exit_with("no databases given — at least one --db name=path is required");
+    }
+    args
+}
+
+fn parse_num(text: &str, flag: &str) -> usize {
+    text.parse::<usize>()
+        .unwrap_or_else(|_| exit_with(&format!("{flag} `{text}` is not a number")))
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = parse_args(&argv);
+
+    let mut registry = DbRegistry::new();
+    for (name, path) in &args.dbs {
+        registry
+            .load_file(name, std::path::Path::new(path))
+            .unwrap_or_else(|e| exit_with(&format!("loading --db {name}={path}: {e}")));
+        let db = registry.db(registry.index_of(name).expect("just registered"));
+        eprintln!(
+            "cqd2-serve: loaded `{name}` from {path}: {} facts in {} relations",
+            db.size(),
+            db.relations().count()
+        );
+    }
+
+    let engine = Engine::new(EngineConfig {
+        cache_capacity: args.cache_capacity,
+        ..EngineConfig::default()
+    });
+    let server = Server::bind(&args.listen, args.config.clone())
+        .unwrap_or_else(|e| exit_with(&format!("cannot bind {}: {e}", args.listen)));
+    let addr = server.local_addr().expect("bound listener has an address");
+    let handle = server.handle();
+    if !signal::install_shutdown_signals(&handle) {
+        eprintln!(
+            "cqd2-serve: signal handlers unavailable; stop via --shutdown-on-stdin-close or kill"
+        );
+    }
+    if args.shutdown_on_stdin_close {
+        spawn_stdin_watch(handle.shutdown_flag());
+    }
+    // The line harnesses wait for before connecting.
+    println!("cqd2-serve: listening on {addr} (dbs: {})", {
+        let names: Vec<&str> = registry.names().collect();
+        names.join(", ")
+    });
+
+    let stats = server
+        .run(&engine, &registry)
+        .unwrap_or_else(|e| exit_with(&format!("server failed: {e}")));
+    println!(
+        "cqd2-serve: shutdown complete — {} connections, {} batches ({} queries, {} answered), \
+         {} overload-rejected, {} parse errors, prepared cache {} hits / {} misses",
+        stats.connections,
+        stats.batches,
+        stats.queries,
+        stats.answered,
+        stats.rejected_overload,
+        stats.parse_errors,
+        stats.prepared_hits,
+        stats.prepared_misses,
+    );
+}
+
+/// Flip the shutdown flag when stdin reaches EOF (the parent process
+/// closed the pipe) — a portable stand-in for signals under test
+/// harnesses and CI runners that cannot deliver them.
+fn spawn_stdin_watch(flag: Arc<AtomicBool>) {
+    std::thread::spawn(move || {
+        use std::io::Read;
+        let mut sink = [0u8; 256];
+        let mut stdin = std::io::stdin();
+        loop {
+            match stdin.read(&mut sink) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {}
+            }
+        }
+        flag.store(true, Ordering::SeqCst);
+    });
+}
+
+fn exit_with(msg: &str) -> ! {
+    eprintln!("cqd2-serve: {msg}");
+    std::process::exit(1)
+}

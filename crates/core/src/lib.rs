@@ -37,7 +37,7 @@
 //! | [`cq`] | conjunctive queries, databases, BCQ / #CQ evaluation, cores, semantic ghw |
 //! | [`reduction`] | Theorem 3.4 / 4.15 instance reduction with parsimony verification |
 //! | [`hyperbench`] | Table 1 corpus, census, recognizers, `.hg` parser |
-//! | [`engine`] | serving layer: structure-aware planner, isomorphism-keyed plan cache, parallel batch executor |
+//! | [`engine`] | serving layer: structure-aware planner, isomorphism-keyed plan cache, sessions / prepared queries, parallel batch executor, and (with the `serde` feature) the `cqd2-serve` socket front-end |
 
 pub use cqd2_cq as cq;
 pub use cqd2_decomp as decomp;

@@ -282,6 +282,26 @@ pub fn with_sequential_bags<R>(f: impl FnOnce() -> R) -> R {
 /// unchanged database without re-materializing. The one-shot
 /// [`bcq_via_ghd`] / [`count_via_ghd`] / [`enumerate_via_ghd`] wrappers
 /// build and consume in place (no copy).
+///
+/// ```
+/// use cqd2_cq::eval::MaterializedBags;
+/// use cqd2_cq::{ConjunctiveQuery, Database};
+/// use cqd2_decomp::widths::ghw_decomposition;
+///
+/// let q = ConjunctiveQuery::parse(&[("R", &["?x", "?y"]), ("S", &["?y", "?z"])]);
+/// let mut db = Database::new();
+/// db.insert_all("R", &[vec![1, 2]]);
+/// db.insert_all("S", &[vec![2, 3], vec![2, 4]]);
+/// let ghd = ghw_decomposition(&q.hypergraph()).expect("small instance");
+///
+/// // Pay the O(‖D‖^width) preprocessing once…
+/// let bags = MaterializedBags::build(&q, &db, &ghd)?;
+/// // …then run as many cheap tree passes as needed.
+/// assert!(bags.bcq());
+/// assert_eq!(bags.count(), 2);
+/// assert_eq!(bags.enumerator().count(), 2);
+/// # Ok::<(), cqd2_cq::eval::EvalError>(())
+/// ```
 #[derive(Debug, Clone)]
 pub struct MaterializedBags {
     relations: Vec<FlatRelation>,

@@ -8,6 +8,22 @@
 //! [`cqd2_hypergraph::fingerprint`] and confirms candidates with
 //! [`find_isomorphism`]; on a hit, the stored GHD is translated along
 //! the witness isomorphism into the incoming query's coordinates.
+//!
+//! ```
+//! use cqd2_engine::Engine;
+//! use cqd2_cq::{ConjunctiveQuery, Database};
+//!
+//! let engine = Engine::default();
+//! let db = Database::new();
+//! // Same shape, different relation and variable names: one structure
+//! // class, analyzed once.
+//! let a = ConjunctiveQuery::parse(&[("R", &["?x", "?y"]), ("S", &["?y", "?z"])]);
+//! let b = ConjunctiveQuery::parse(&[("T", &["?p", "?q"]), ("U", &["?q", "?r"])]);
+//! engine.solve_bcq(&a, &db);
+//! engine.solve_bcq(&b, &db);
+//! let stats = engine.cache_stats();
+//! assert_eq!((stats.misses, stats.hits), (1, 1));
+//! ```
 
 use std::collections::HashMap;
 use std::sync::Arc;

@@ -85,6 +85,7 @@ pub struct Request<'a> {
 
 /// The result payload of one request.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Answer {
     /// Boolean result.
     Bool(bool),

@@ -24,6 +24,11 @@
 //!   `(query, db)` requests over shared databases with scoped worker
 //!   threads, returning per-request answers plus plan provenance.
 //!   `Engine::serve` and friends are compatibility shims over sessions.
+//! - [`server`] *(requires the `serde` feature)*: the **socket serving
+//!   front-end** — a thread-pool TCP server (`cqd2-serve`) framing the
+//!   workload text format, with per-database sessions, shared
+//!   prepared-query caches, a bounded queue with typed backpressure,
+//!   and graceful shutdown. See `docs/PROTOCOL.md`.
 //! - [`error`]: the typed [`EngineError`] hierarchy (a real
 //!   `std::error::Error` with source chains).
 //! - [`textio`]: a small text format for workload files (queries, facts,
@@ -58,6 +63,8 @@ pub mod engine;
 pub mod error;
 pub mod plan;
 pub mod planner;
+#[cfg(feature = "serde")]
+pub mod server;
 pub mod session;
 pub mod textio;
 
@@ -66,5 +73,7 @@ pub use engine::{Answer, Engine, EngineConfig, PlanProvenance, Request, Response
 pub use error::EngineError;
 pub use plan::{CostEstimate, DataEstimate, PlannedQuery, QueryPlan};
 pub use planner::{PlannedStructure, Planner, PlannerConfig};
+#[cfg(feature = "serde")]
+pub use server::{DbRegistry, Server, ServerConfig, ServerError, ServerHandle, ServerStats};
 pub use session::{AnswerCursor, PreparedQuery, Session};
 pub use textio::ParseError;

@@ -1,0 +1,161 @@
+//! A blocking client for the `cqd2-serve` wire protocol — what the
+//! `cqd2-analyze client` subcommand, the loopback tests, and the
+//! concurrent-serving bench drive.
+//!
+//! One [`Client`] owns one connection. The usual round-trip:
+//!
+//! ```no_run
+//! use cqd2_engine::server::client::Client;
+//! use cqd2_engine::Workload;
+//!
+//! let mut client = Client::connect("127.0.0.1:7878").unwrap();
+//! let bound = client.bind_db("main").unwrap();
+//! println!("bound to {} ({} facts)", bound.db, bound.facts);
+//! let reply = client.request("@count\nQ: R(?x, ?y)\n").unwrap();
+//! println!("count = {:?}", reply.results[0].answer.as_count());
+//! ```
+//!
+//! Errors the *server* signalled arrive as
+//! [`ServerError::Rejected`] carrying the typed
+//! [`wire::WireError`] (code, message, offending line), so callers can
+//! distinguish backpressure (`Overloaded`) from parse errors from
+//! shutdown.
+
+use std::io::Write as _;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::engine::Workload;
+use crate::server::frame::{read_frame, write_frame, Frame, FrameType};
+use crate::server::wire::{self, WireBound, WireDone, WireResult};
+use crate::server::ServerError;
+
+/// Client-side cap on accepted response payloads (tuples can be big).
+const MAX_RESPONSE_LEN: u32 = 256 * 1024 * 1024;
+
+/// All the answers to one `Query` frame.
+#[derive(Debug, Clone)]
+pub struct BatchReply {
+    /// The request sequence number the server answered.
+    pub request: u64,
+    /// One result per query, in batch order.
+    pub results: Vec<WireResult>,
+}
+
+/// A blocking connection to a `cqd2-serve` server.
+pub struct Client {
+    stream: TcpStream,
+    seq: u64,
+}
+
+impl Client {
+    /// Connect. The socket stays blocking (no read timeout): the server
+    /// answers every frame, so reads always terminate.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ServerError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream, seq: 0 })
+    }
+
+    /// Bind this connection to the named database. Must precede
+    /// [`Client::request`]; may be repeated to switch databases.
+    pub fn bind_db(&mut self, name: &str) -> Result<WireBound, ServerError> {
+        self.send(FrameType::Bind, name.as_bytes())?;
+        let frame = self.read()?;
+        match frame.frame_type {
+            FrameType::Bound => decode(&frame),
+            FrameType::Error => Err(ServerError::Rejected(decode(&frame)?)),
+            other => Err(ServerError::UnexpectedFrame(other)),
+        }
+    }
+
+    /// Send a query batch (`Q:` lines + `@…` directives, the
+    /// [`crate::textio::parse_queries`] syntax) and collect its answers
+    /// until the server's `Done` frame. An error frame — including an
+    /// `Overloaded` backpressure rejection — surfaces as
+    /// [`ServerError::Rejected`].
+    ///
+    /// `request` is strictly request-response: it must not be called
+    /// while earlier [`Client::send`]-pipelined frames are still
+    /// unanswered, because responses to *different* requests may
+    /// interleave and this method awaits exactly one request's frames.
+    /// A frame correlated to a different request therefore fails
+    /// loudly (instead of silently mixing answers across batches);
+    /// pipelining callers correlate by [`wire::WireResult::request`]
+    /// themselves via [`Client::send`] / [`Client::read`], as the
+    /// backpressure tests do.
+    pub fn request(&mut self, text: &str) -> Result<BatchReply, ServerError> {
+        self.send(FrameType::Query, text.as_bytes())?;
+        let request = self.seq;
+        let mut results: Vec<WireResult> = Vec::new();
+        loop {
+            let frame = self.read()?;
+            match frame.frame_type {
+                FrameType::Result => {
+                    let result: WireResult = decode(&frame)?;
+                    if result.request != request {
+                        return Err(ServerError::Decode(format!(
+                            "Result for request {} while awaiting {request} — use send()/read() \
+                             to correlate pipelined requests",
+                            result.request
+                        )));
+                    }
+                    results.push(result);
+                }
+                FrameType::Done => {
+                    let done: WireDone = decode(&frame)?;
+                    if done.request != request {
+                        return Err(ServerError::Decode(format!(
+                            "Done for request {} while awaiting {request} — use send()/read() \
+                             to correlate pipelined requests",
+                            done.request
+                        )));
+                    }
+                    return Ok(BatchReply { request, results });
+                }
+                FrameType::Error => return Err(ServerError::Rejected(decode(&frame)?)),
+                other => return Err(ServerError::UnexpectedFrame(other)),
+            }
+        }
+    }
+
+    /// Single-query convenience: wrap `query_text` (one query body,
+    /// e.g. `R(?x, ?y), S(?y, ?z)`) with the directive for `workload`
+    /// and return its one result.
+    pub fn query(
+        &mut self,
+        query_text: &str,
+        workload: Workload,
+    ) -> Result<WireResult, ServerError> {
+        let batch = format!("{}\nQ: {}\n", wire::directive_for(workload), query_text);
+        let mut reply = self.request(&batch)?;
+        reply
+            .results
+            .pop()
+            .ok_or_else(|| ServerError::Decode("empty batch reply".to_string()))
+    }
+
+    /// The sequence number of the most recent frame sent.
+    pub fn last_request(&self) -> u64 {
+        self.seq
+    }
+
+    /// Send a raw frame without awaiting a response (pipelining; the
+    /// loopback tests also use this to probe protocol edges).
+    pub fn send(&mut self, frame_type: FrameType, payload: &[u8]) -> Result<(), ServerError> {
+        write_frame(&mut self.stream, frame_type, payload)?;
+        self.stream.flush()?;
+        self.seq += 1;
+        Ok(())
+    }
+
+    /// Read the next frame (blocking).
+    pub fn read(&mut self) -> Result<Frame, ServerError> {
+        Ok(read_frame(&mut self.stream, MAX_RESPONSE_LEN)?)
+    }
+}
+
+/// Decode a JSON frame payload.
+fn decode<T: serde::Deserialize>(frame: &Frame) -> Result<T, ServerError> {
+    let text = frame.text()?;
+    serde::json::from_str(text).map_err(|e| ServerError::Decode(format!("{e} in `{text}`")))
+}

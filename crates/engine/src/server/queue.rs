@@ -1,0 +1,147 @@
+//! A bounded MPMC job queue (mutex + condvar) — the server's
+//! backpressure point.
+//!
+//! Connection readers [`JobQueue::try_push`] and *never block*: a full
+//! queue is an immediate [`PushError::Full`], which the reader turns
+//! into an `Overloaded` error frame, so a saturated server stays
+//! responsive instead of buffering unbounded work. Workers block in
+//! [`JobQueue::pop`] until a job arrives or the queue is closed *and*
+//! drained — closing therefore lets in-flight and already-accepted work
+//! finish (graceful shutdown) while refusing new pushes with
+//! [`PushError::Closed`].
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused. The job comes back to the caller in both
+/// cases (so it can be answered with a typed error frame).
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue is at capacity — backpressure.
+    Full(T),
+    /// The queue was closed (server shutting down).
+    Closed(T),
+}
+
+struct State<T> {
+    jobs: VecDeque<T>,
+    closed: bool,
+}
+
+/// The bounded queue. `T` is the server's job type; the queue itself is
+/// job-agnostic.
+pub struct JobQueue<T> {
+    state: Mutex<State<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> JobQueue<T> {
+    /// A queue holding at most `capacity` pending jobs (minimum 1).
+    pub fn new(capacity: usize) -> JobQueue<T> {
+        JobQueue {
+            state: Mutex::new(State {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueue without blocking; a full or closed queue returns the job.
+    pub fn try_push(&self, job: T) -> Result<(), PushError<T>> {
+        let mut st = self.state.lock().expect("job queue poisoned");
+        if st.closed {
+            return Err(PushError::Closed(job));
+        }
+        if st.jobs.len() >= self.capacity {
+            return Err(PushError::Full(job));
+        }
+        st.jobs.push_back(job);
+        drop(st);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Block until a job is available (`Some`) or the queue is closed
+    /// and fully drained (`None`).
+    pub fn pop(&self) -> Option<T> {
+        let mut st = self.state.lock().expect("job queue poisoned");
+        loop {
+            if let Some(job) = st.jobs.pop_front() {
+                return Some(job);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.ready.wait(st).expect("job queue poisoned");
+        }
+    }
+
+    /// Close the queue: pending jobs still drain through [`JobQueue::pop`],
+    /// new pushes fail, and blocked workers wake up.
+    pub fn close(&self) {
+        self.state.lock().expect("job queue poisoned").closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Jobs currently queued (diagnostic).
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("job queue poisoned").jobs.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_push_and_fifo_pop() {
+        let q = JobQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        match q.try_push(3) {
+            Err(PushError::Full(3)) => {}
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn close_drains_then_wakes_blocked_workers() {
+        let q = JobQueue::new(4);
+        q.try_push(10).unwrap();
+        q.close();
+        match q.try_push(11) {
+            Err(PushError::Closed(11)) => {}
+            other => panic!("{other:?}"),
+        }
+        // Already-accepted work still drains.
+        assert_eq!(q.pop(), Some(10));
+        assert_eq!(q.pop(), None);
+        // Blocked workers wake on close.
+        let q = JobQueue::<u32>::new(1);
+        std::thread::scope(|s| {
+            let h = s.spawn(|| q.pop());
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            q.close();
+            assert_eq!(h.join().unwrap(), None);
+        });
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let q = JobQueue::new(0);
+        q.try_push(1).unwrap();
+        assert!(matches!(q.try_push(2), Err(PushError::Full(2))));
+    }
+}

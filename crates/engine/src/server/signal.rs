@@ -1,0 +1,91 @@
+//! SIGINT / SIGTERM → graceful shutdown, without a signal-handling
+//! crate.
+//!
+//! The build environment is offline, so instead of `signal-hook` or
+//! `ctrlc` this module declares libc's `signal(2)` directly (the Rust
+//! standard library already links libc on Unix) and installs a handler
+//! that does the only async-signal-safe thing a shutdown needs: set an
+//! atomic flag. The [`crate::server::Server`] accept loop polls that
+//! flag — via the [`crate::server::ServerHandle`] the caller registered
+//! — every idle tick.
+//!
+//! One process-wide registration: the handler can only reach `static`
+//! state, so the *first* registered handle wins and later calls return
+//! `false`. On non-Unix targets registration is a no-op returning
+//! `false`; drive shutdown through [`crate::server::ServerHandle`]
+//! directly.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use crate::server::ServerHandle;
+
+/// The flag the signal handler flips. A `OnceLock<Arc<_>>` so the
+/// handler body touches only immortal state (the `Arc` is never dropped
+/// once registered).
+static SIGNAL_TARGET: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+#[cfg(unix)]
+mod sys {
+    /// `SIG_ERR`, the error return of `signal(2)`.
+    pub const SIG_ERR: usize = usize::MAX;
+    pub const SIGINT: i32 = 2;
+    pub const SIGTERM: i32 = 15;
+
+    extern "C" {
+        /// libc `signal(2)`. The handler is passed as a raw function
+        /// address, which is what the C ABI expects.
+        pub fn signal(signum: i32, handler: usize) -> usize;
+    }
+}
+
+#[cfg(unix)]
+extern "C" fn on_signal(_signum: i32) {
+    // Async-signal-safe: one atomic load (OnceLock::get) + one store.
+    if let Some(flag) = SIGNAL_TARGET.get() {
+        flag.store(true, Ordering::SeqCst);
+    }
+}
+
+/// Route SIGINT (ctrl-c) and SIGTERM to `handle.shutdown()`. Returns
+/// `true` if this call installed the handlers; `false` if another
+/// handle already owns them (or the target has no Unix signals).
+#[cfg(unix)]
+pub fn install_shutdown_signals(handle: &ServerHandle) -> bool {
+    let flag = handle.shutdown_flag();
+    if SIGNAL_TARGET.set(flag).is_err() {
+        return false;
+    }
+    // SAFETY: `on_signal` only performs async-signal-safe atomic
+    // operations, and `signal(2)` with a valid function pointer is the
+    // documented way to install it.
+    let handler = on_signal as extern "C" fn(i32) as *const () as usize;
+    unsafe {
+        let a = sys::signal(sys::SIGINT, handler);
+        let b = sys::signal(sys::SIGTERM, handler);
+        a != sys::SIG_ERR && b != sys::SIG_ERR
+    }
+}
+
+/// Non-Unix stub: no signals to install.
+#[cfg(not(unix))]
+pub fn install_shutdown_signals(_handle: &ServerHandle) -> bool {
+    false
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use crate::server::{Server, ServerConfig};
+
+    #[test]
+    fn first_registration_wins() {
+        let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let handle = server.handle();
+        let first = install_shutdown_signals(&handle);
+        // Either this test or another in the process registered first;
+        // a second registration must always be refused.
+        let _ = first;
+        assert!(!install_shutdown_signals(&handle));
+    }
+}

@@ -1,0 +1,192 @@
+//! JSON payloads of the server→client frames.
+//!
+//! Every structure here derives the workspace's `serde` traits and
+//! travels as JSON text inside a [`crate::server::frame`] frame. All
+//! response payloads carry `request` — the 1-based sequence number of
+//! the client frame they answer, counted per connection — so clients
+//! may pipeline frames and still correlate responses.
+
+use serde::{Deserialize, Serialize};
+
+use crate::engine::{Answer, Response, Workload};
+
+/// Payload of a [`crate::server::frame::FrameType::Bound`] frame: the
+/// connection is now bound to `db`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireBound {
+    /// Sequence number of the `Bind` frame this answers.
+    pub request: u64,
+    /// The database name the connection is bound to.
+    pub db: String,
+    /// Total facts in the database.
+    pub facts: u64,
+    /// Number of relations in the database.
+    pub relations: u64,
+}
+
+/// Payload of a [`crate::server::frame::FrameType::Result`] frame: one
+/// query's answer plus its plan provenance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireResult {
+    /// Sequence number of the `Query` frame this answers.
+    pub request: u64,
+    /// 0-based index of the query within its batch.
+    pub index: u64,
+    /// The answer (Boolean, count, or tuples).
+    pub answer: Answer,
+    /// The executed plan's strategy name (e.g. `ghd-yannakakis`).
+    pub strategy: String,
+    /// Whether the structure analysis came from the engine's plan cache.
+    pub cache_hit: bool,
+    /// Whether the server reused a prepared-query handle (bag tree
+    /// already materialized) for this execution.
+    pub prepared_hit: bool,
+    /// Nanoseconds of planning this execution paid (0 on prepared
+    /// re-execution — the cost was paid when the handle was prepared).
+    pub planning_ns: u64,
+    /// Nanoseconds of execution (the per-run tree pass).
+    pub execution_ns: u64,
+}
+
+impl WireResult {
+    /// Assemble from an engine [`Response`].
+    pub fn from_response(request: u64, index: u64, prepared_hit: bool, resp: &Response) -> Self {
+        WireResult {
+            request,
+            index,
+            answer: resp.answer.clone(),
+            strategy: resp.provenance.planned.plan.strategy().to_string(),
+            cache_hit: resp.provenance.cache_hit,
+            prepared_hit,
+            planning_ns: u64::try_from(resp.provenance.planning.as_nanos()).unwrap_or(u64::MAX),
+            execution_ns: u64::try_from(resp.provenance.execution.as_nanos()).unwrap_or(u64::MAX),
+        }
+    }
+}
+
+/// Payload of a [`crate::server::frame::FrameType::Done`] frame: the
+/// batch of `results` answers for `request` is complete.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireDone {
+    /// Sequence number of the `Query` frame this answers.
+    pub request: u64,
+    /// How many `Result` frames were sent for the batch.
+    pub results: u64,
+}
+
+/// Machine-readable error classes of a
+/// [`crate::server::frame::FrameType::Error`] frame. An error frame
+/// terminates the request it answers (no `Done` follows); whether the
+/// *connection* survives depends on the code — see `docs/PROTOCOL.md`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorCode {
+    /// The frame's version byte is not this server's protocol version.
+    /// Connection is closed.
+    Version,
+    /// The frame violated the codec (unknown type, oversized payload,
+    /// non-UTF-8 text, truncation). Connection is closed.
+    BadFrame,
+    /// The payload text failed to parse; `line` names the offending
+    /// 1-based line. Connection survives.
+    Parse,
+    /// `Bind` named a database the server does not serve. Connection
+    /// survives (the client may bind another name).
+    UnknownDb,
+    /// `Query` arrived before any successful `Bind`. Connection
+    /// survives.
+    NotBound,
+    /// Backpressure: the server's bounded request queue is full; the
+    /// request was rejected *without* being evaluated. Connection
+    /// survives — retry later.
+    Overloaded,
+    /// The server is shutting down and accepts no new work. Connection
+    /// is closed after this frame.
+    ShuttingDown,
+    /// The engine failed internally while evaluating. Connection
+    /// survives.
+    Internal,
+}
+
+/// Payload of a [`crate::server::frame::FrameType::Error`] frame.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireError {
+    /// Sequence number of the client frame this answers (`None` when
+    /// the error is not attributable to one frame, e.g. a truncated
+    /// header).
+    pub request: Option<u64>,
+    /// The machine-readable error class.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+    /// For [`ErrorCode::Parse`]: the offending 1-based line of the
+    /// payload text.
+    pub line: Option<u64>,
+}
+
+/// Render the workload mode directive for `w` (the inverse of
+/// [`crate::textio::parse_queries`]' directive handling) — used by
+/// clients that assemble query batches programmatically.
+pub fn directive_for(w: Workload) -> String {
+    match w {
+        Workload::Boolean => "@boolean".to_string(),
+        Workload::Count => "@count".to_string(),
+        Workload::Enumerate { limit: None } => "@enumerate".to_string(),
+        Workload::Enumerate { limit: Some(n) } => format!("@enumerate {n}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_structs_round_trip_as_json() {
+        let result = WireResult {
+            request: 3,
+            index: 1,
+            answer: Answer::Tuples(vec![vec![1, 2], vec![3, 4]]),
+            strategy: "ghd-yannakakis".to_string(),
+            cache_hit: true,
+            prepared_hit: false,
+            planning_ns: 0,
+            execution_ns: 12_345,
+        };
+        let json = serde::json::to_string(&result);
+        assert_eq!(serde::json::from_str::<WireResult>(&json).unwrap(), result);
+
+        let err = WireError {
+            request: Some(7),
+            code: ErrorCode::Overloaded,
+            message: "queue full".to_string(),
+            line: None,
+        };
+        let json = serde::json::to_string(&err);
+        assert!(json.contains("Overloaded"), "{json}");
+        assert_eq!(serde::json::from_str::<WireError>(&json).unwrap(), err);
+
+        let big_count = WireResult {
+            answer: Answer::Count(u128::from(u64::MAX) + 5),
+            ..result
+        };
+        let json = serde::json::to_string(&big_count);
+        assert_eq!(
+            serde::json::from_str::<WireResult>(&json).unwrap().answer,
+            big_count.answer
+        );
+    }
+
+    #[test]
+    fn directives_render_parseably() {
+        for (w, text) in [
+            (Workload::Boolean, "@boolean"),
+            (Workload::Count, "@count"),
+            (Workload::Enumerate { limit: None }, "@enumerate"),
+            (Workload::Enumerate { limit: Some(4) }, "@enumerate 4"),
+        ] {
+            assert_eq!(directive_for(w), text);
+            let batch = format!("{text}\nQ: R(?x)\n");
+            let parsed = crate::textio::parse_queries(&batch).unwrap();
+            assert_eq!(parsed[0].1, Some(w));
+        }
+    }
+}

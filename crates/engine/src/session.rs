@@ -58,6 +58,20 @@ impl Engine {
     /// Open a [`Session`] on `db`, snapshotting its statistics once
     /// (`O(‖D‖)`). All queries prepared on the session share the
     /// snapshot.
+    ///
+    /// ```
+    /// use cqd2_engine::Engine;
+    /// use cqd2_cq::Database;
+    ///
+    /// let mut db = Database::new();
+    /// db.insert_all("R", &[vec![1, 2], vec![2, 3]]);
+    /// let engine = Engine::default();
+    /// let session = engine.session(&db);
+    /// // The snapshot is taken here, once, and reused by every
+    /// // `prepare` on this session.
+    /// assert_eq!(session.stats().total_tuples(), 2);
+    /// assert!(std::ptr::eq(session.db(), &db));
+    /// ```
     pub fn session<'a>(&'a self, db: &'a Database) -> Session<'a> {
         Session {
             engine: self,
@@ -113,6 +127,28 @@ impl<'a> Session<'a> {
     /// into the query's coordinates before use), reported as a typed
     /// error rather than a panic. Once a handle exists, its runs and
     /// cursors are infallible.
+    ///
+    /// ```
+    /// use cqd2_engine::{Engine, Workload};
+    /// use cqd2_cq::{ConjunctiveQuery, Database};
+    ///
+    /// let q = ConjunctiveQuery::parse(&[("R", &["?x", "?y"]), ("S", &["?y", "?z"])]);
+    /// let mut db = Database::new();
+    /// db.insert_all("R", &[vec![1, 2]]);
+    /// db.insert_all("S", &[vec![2, 3], vec![2, 4]]);
+    /// let engine = Engine::default();
+    /// let session = engine.session(&db);
+    ///
+    /// // Planning + preprocessing happen here, once…
+    /// let prepared = session.prepare(&q)?;
+    /// // …so repeated runs are planning-free (provenance says so) and
+    /// // one handle serves every workload kind.
+    /// let run = prepared.run(Workload::Count);
+    /// assert_eq!(run.answer.as_count(), Some(2));
+    /// assert_eq!(run.provenance.planning, std::time::Duration::ZERO);
+    /// assert_eq!(prepared.run(Workload::Boolean).answer.as_bool(), Some(true));
+    /// # Ok::<(), cqd2_engine::EngineError>(())
+    /// ```
     pub fn prepare(&self, q: &ConjunctiveQuery) -> Result<PreparedQuery<'_>, EngineError> {
         let start = Instant::now();
         let (structure, cache_hit) = self.engine.structure_for(&q.hypergraph());
@@ -309,6 +345,27 @@ impl<'s> PreparedQuery<'s> {
     /// with constant delay; on the naive route the backtracking search
     /// runs eagerly (stopping at `limit`) and the cursor drains the
     /// buffer.
+    ///
+    /// ```
+    /// use cqd2_engine::Engine;
+    /// use cqd2_cq::{ConjunctiveQuery, Database};
+    ///
+    /// let q = ConjunctiveQuery::parse(&[("R", &["?x", "?y"]), ("S", &["?y", "?z"])]);
+    /// let mut db = Database::new();
+    /// db.insert_all("R", &[vec![1, 2]]);
+    /// db.insert_all("S", &[vec![2, 3], vec![2, 4]]);
+    /// let engine = Engine::default();
+    /// let session = engine.session(&db);
+    /// let prepared = session.prepare(&q)?;
+    ///
+    /// // Answers stream on demand — `take`, `filter`, stop early…
+    /// let first: Vec<Vec<u64>> = prepared.cursor(None).take(1).collect();
+    /// assert_eq!(first.len(), 1);
+    /// // …and a limit caps the stream at open time.
+    /// assert_eq!(prepared.cursor(Some(2)).count(), 2);
+    /// assert_eq!(prepared.cursor(Some(0)).count(), 0);
+    /// # Ok::<(), cqd2_engine::EngineError>(())
+    /// ```
     pub fn cursor(&self, limit: Option<usize>) -> AnswerCursor {
         let inner = match &self.bags {
             Some(bags) => CursorInner::Streaming(bags.enumerator()),

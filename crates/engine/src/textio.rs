@@ -108,17 +108,57 @@ fn parse_directive(body: &str) -> Result<QueryWorkload, String> {
     Ok(mode)
 }
 
+/// Incremental fact-line parser shared by [`parse_workload`] and
+/// [`parse_database`]: accumulates ground facts into a [`Database`],
+/// tracking first-seen arity per relation (`Database::insert` treats
+/// arity mismatches as schema errors and panics, so they are caught
+/// here with a line number instead).
+#[derive(Default)]
+struct FactAccumulator {
+    db: Database,
+    /// relation → (first-seen arity, 1-based line it was seen on).
+    arities: std::collections::HashMap<String, (usize, usize)>,
+}
+
+impl FactAccumulator {
+    /// Parse one non-empty, comment-stripped fact line (1-based
+    /// `lineno`) into the database.
+    fn add_line(&mut self, line: &str, lineno: usize) -> Result<(), ParseError> {
+        let (rel, terms) = parse_atom_text(line).map_err(|mut e| {
+            e.line = Some(lineno);
+            e
+        })?;
+        let tuple: Vec<u64> = terms
+            .iter()
+            .map(|t| {
+                t.parse::<u64>()
+                    .map_err(|_| ParseError::at(lineno, format!("fact term `{t}` is not a u64")))
+            })
+            .collect::<Result<_, _>>()?;
+        let (first_arity, first_line) = *self
+            .arities
+            .entry(rel.clone())
+            .or_insert((tuple.len(), lineno));
+        if tuple.len() != first_arity {
+            return Err(ParseError::at(
+                lineno,
+                format!(
+                    "relation `{rel}` has {} terms here but {first_arity} on line {first_line}",
+                    tuple.len()
+                ),
+            ));
+        }
+        self.db.insert(&rel, &tuple);
+        Ok(())
+    }
+}
+
 /// Parse the workload format. Errors name the offending line (1-based).
 pub fn parse_workload(input: &str) -> Result<Workload, ParseError> {
     let mut queries = Vec::new();
     let mut modes = Vec::new();
     let mut current_mode: Option<QueryWorkload> = None;
-    let mut db = Database::new();
-    // First-seen arity per relation: `Database::insert` treats arity
-    // mismatches as schema errors (panic), so catch them here with a
-    // line number instead.
-    let mut arities: std::collections::HashMap<String, (usize, usize)> =
-        std::collections::HashMap::new();
+    let mut facts = FactAccumulator::default();
     for (lineno, raw) in input.lines().enumerate() {
         let line = strip_comment(raw).trim();
         if line.is_empty() {
@@ -133,41 +173,101 @@ pub fn parse_workload(input: &str) -> Result<Workload, ParseError> {
             })?);
             modes.push(current_mode);
         } else {
-            let (rel, terms) = parse_atom_text(line).map_err(|mut e| {
-                e.line = Some(lineno + 1);
-                e
-            })?;
-            let tuple: Vec<u64> = terms
-                .iter()
-                .map(|t| {
-                    t.parse::<u64>().map_err(|_| {
-                        ParseError::at(lineno + 1, format!("fact term `{t}` is not a u64"))
-                    })
-                })
-                .collect::<Result<_, _>>()?;
-            let (first_arity, first_line) = *arities
-                .entry(rel.clone())
-                .or_insert((tuple.len(), lineno + 1));
-            if tuple.len() != first_arity {
-                return Err(ParseError::at(
-                    lineno + 1,
-                    format!(
-                        "relation `{rel}` has {} terms here but {first_arity} on line {first_line}",
-                        tuple.len()
-                    ),
-                ));
-            }
-            db.insert(&rel, &tuple);
+            facts.add_line(line, lineno + 1)?;
         }
     }
     if queries.is_empty() {
         return Err(ParseError::whole_file("no `Q:` line found"));
     }
-    Ok(Workload { queries, modes, db })
+    Ok(Workload {
+        queries,
+        modes,
+        db: facts.db,
+    })
 }
 
-/// Parse one query body: a comma-separated list of atoms. Errors carry
-/// no line number ([`parse_workload`] attributes them to its lines).
+/// Parse a *database file*: ground facts only, in the same syntax as the
+/// fact lines of a workload file (comments and blank lines ignored).
+/// `Q:` and `@…` lines are rejected — a database file describes data,
+/// not a workload. This is what `cqd2-serve --db name=path` loads at
+/// startup.
+pub fn parse_database(input: &str) -> Result<Database, ParseError> {
+    let mut facts = FactAccumulator::default();
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with("Q:") || line.starts_with('@') {
+            return Err(ParseError::at(
+                lineno + 1,
+                "queries and directives are not allowed in a database file (facts only)",
+            ));
+        }
+        facts.add_line(line, lineno + 1)?;
+    }
+    Ok(facts.db)
+}
+
+/// Render `db` as a facts-only database file — the inverse of
+/// [`parse_database`] (round-trips exactly: tuples are already stored
+/// deduplicated in lexicographic order). This is how programmatically
+/// generated databases are shipped to a `cqd2-serve` instance.
+pub fn render_database(db: &Database) -> String {
+    let mut out = String::new();
+    for (name, rel) in db.relations() {
+        for tuple in &rel.tuples {
+            let cells: Vec<String> = tuple.iter().map(u64::to_string).collect();
+            out.push_str(name);
+            out.push('(');
+            out.push_str(&cells.join(", "));
+            out.push_str(")\n");
+        }
+    }
+    out
+}
+
+/// Parse a *query batch*: `Q:` lines and `@…` workload directives only,
+/// as carried by a `cqd2-serve` `Query` frame (the database is bound
+/// per connection, so ground facts are rejected). Returns the queries
+/// in order, each with the mode its preceding directives selected
+/// (`None` = no directive yet; the server defaults to `@boolean`).
+pub fn parse_queries(
+    input: &str,
+) -> Result<Vec<(ConjunctiveQuery, Option<QueryWorkload>)>, ParseError> {
+    let mut out = Vec::new();
+    let mut current_mode: Option<QueryWorkload> = None;
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(body) = line.strip_prefix('@') {
+            current_mode = Some(parse_directive(body).map_err(|e| ParseError::at(lineno + 1, e))?);
+        } else if let Some(qtext) = line.strip_prefix("Q:") {
+            let q = parse_query(qtext).map_err(|mut e| {
+                e.line = Some(lineno + 1);
+                e
+            })?;
+            out.push((q, current_mode));
+        } else {
+            return Err(ParseError::at(
+                lineno + 1,
+                "ground facts are not allowed in a query batch (the database is bound at \
+                 connection time)",
+            ));
+        }
+    }
+    if out.is_empty() {
+        return Err(ParseError::whole_file("no `Q:` line found"));
+    }
+    Ok(out)
+}
+
+/// Parse one query body: a list of atoms separated by `,` (or `∧`, the
+/// separator [`cqd2_cq::ConjunctiveQuery::display`] prints, so rendered
+/// queries round-trip through this parser). Errors carry no line number
+/// ([`parse_workload`] attributes them to its lines).
 pub fn parse_query(text: &str) -> Result<ConjunctiveQuery, ParseError> {
     let mut atoms: Vec<(String, Vec<String>)> = Vec::new();
     let mut rest = text.trim();
@@ -179,7 +279,7 @@ pub fn parse_query(text: &str) -> Result<ConjunctiveQuery, ParseError> {
         let (rel, terms) = parse_atom_text(atom_text.trim())?;
         atoms.push((rel, terms));
         let tail = tail.trim_start();
-        rest = match tail.strip_prefix(',') {
+        rest = match tail.strip_prefix(',').or_else(|| tail.strip_prefix('∧')) {
             Some(after) => after.trim(),
             None if tail.is_empty() => tail,
             None => {
@@ -348,6 +448,117 @@ mod tests {
         let err = parse_workload("R(1, 2)\n").unwrap_err();
         assert_eq!(err.line, None);
         assert!(err.to_string().contains("no `Q:`"), "{err}");
+    }
+
+    #[test]
+    fn enumerate_limit_zero_is_a_valid_directive() {
+        // `@enumerate 0` is a legal (if odd) cap: the query runs but
+        // yields no tuples — distinct from `@enumerate` (no limit).
+        let w = parse_workload("@enumerate 0\nQ: R(?x)\nR(1)\nR(2)\n").unwrap();
+        assert_eq!(
+            w.modes,
+            vec![Some(QueryWorkload::Enumerate { limit: Some(0) })]
+        );
+        let engine = crate::Engine::default();
+        let session = engine.session(&w.db);
+        let prepared = session.prepare(&w.queries[0]).unwrap();
+        let resp = prepared.run(w.modes[0].unwrap());
+        assert_eq!(resp.answer.as_tuples().map(<[_]>::len), Some(0));
+    }
+
+    #[test]
+    fn directives_after_trailing_blank_lines_still_apply() {
+        // Blank (and comment-only) lines between a directive and the
+        // queries it governs are ignored, including at end of file.
+        let w = parse_workload(
+            "Q: R(?x)\n\
+             \n\
+             \n\
+             @count\n\
+             \n\
+             # a comment island\n\
+             \n\
+             Q: R(?x)\n\
+             R(1)\n\
+             \n\
+             \n",
+        )
+        .unwrap();
+        assert_eq!(w.modes, vec![None, Some(QueryWorkload::Count)]);
+        // A trailing directive with no query after it is harmless.
+        let w = parse_workload("Q: R(?x)\nR(1)\n\n@count\n\n").unwrap();
+        assert_eq!(w.modes, vec![None]);
+    }
+
+    #[test]
+    fn crlf_line_endings_parse_identically() {
+        let unix = "# demo\nQ: R(?x, ?y)\n@count\nQ: R(?x, ?x)\nR(1, 2)\nR(3, 3)\n";
+        let dos = unix.replace('\n', "\r\n");
+        let a = parse_workload(unix).unwrap();
+        let b = parse_workload(&dos).unwrap();
+        assert_eq!(a.queries.len(), b.queries.len());
+        assert_eq!(a.modes, b.modes);
+        assert_eq!(a.db.size(), b.db.size());
+        assert_eq!(
+            count_naive(&a.queries[0], &a.db),
+            count_naive(&b.queries[0], &b.db)
+        );
+        // CRLF database and query-batch files too.
+        let db = parse_database("R(1, 2)\r\nS(2, 3)\r\n").unwrap();
+        assert_eq!(db.size(), 2);
+        let qs = parse_queries("@count\r\nQ: R(?x, ?y)\r\n").unwrap();
+        assert_eq!(qs[0].1, Some(QueryWorkload::Count));
+    }
+
+    #[test]
+    fn database_files_are_facts_only() {
+        let db = parse_database("# facts\nR(1, 2)\nR(2, 3)\nS(7)\n").unwrap();
+        assert_eq!(db.size(), 3);
+        assert!(parse_database("").unwrap().size() == 0);
+        let err = parse_database("R(1)\nQ: R(?x)\n").unwrap_err();
+        assert_eq!(err.line, Some(2));
+        assert!(err.message.contains("facts only"), "{err}");
+        let err = parse_database("@count\n").unwrap_err();
+        assert_eq!(err.line, Some(1));
+        let err = parse_database("R(1)\nR(1, 2)\n").unwrap_err();
+        assert_eq!(err.line, Some(2), "arity mismatch carries its line: {err}");
+    }
+
+    #[test]
+    fn render_database_round_trips() {
+        let db = parse_database("R(1, 2)\nR(3, 4)\nS(9)\n").unwrap();
+        let text = render_database(&db);
+        assert_eq!(parse_database(&text).unwrap(), db);
+        assert_eq!(render_database(&Database::new()), "");
+    }
+
+    #[test]
+    fn query_batches_are_queries_only() {
+        let qs = parse_queries("Q: R(?x, ?y)\n@enumerate 3\nQ: S(?a)\n").unwrap();
+        assert_eq!(qs.len(), 2);
+        assert_eq!(qs[0].1, None);
+        assert_eq!(qs[1].1, Some(QueryWorkload::Enumerate { limit: Some(3) }));
+        let err = parse_queries("Q: R(?x)\nR(1, 2)\n").unwrap_err();
+        assert_eq!(err.line, Some(2));
+        assert!(err.message.contains("bound at"), "{err}");
+        let err = parse_queries("# nothing\n").unwrap_err();
+        assert_eq!(err.line, None);
+    }
+
+    #[test]
+    fn display_rendering_round_trips() {
+        // `ConjunctiveQuery::display` joins atoms with `∧`; the parser
+        // accepts that alongside `,`, so rendered queries are resendable
+        // as query text (what `cqd2-analyze client --query` relies on).
+        let w = parse_workload("Q: R(?x, ?y), S(?y, 7)\nR(1, 2)\nS(2, 7)\n").unwrap();
+        let rendered = w.queries[0].display();
+        assert!(rendered.contains('∧'), "{rendered}");
+        let again = parse_query(&rendered).unwrap();
+        assert_eq!(again.display(), rendered);
+        assert_eq!(
+            count_naive(&again, &w.db),
+            count_naive(&w.queries[0], &w.db)
+        );
     }
 
     #[test]

@@ -1,0 +1,326 @@
+//! End-to-end loopback tests of the `cqd2-serve` socket front-end:
+//! concurrent clients, backpressure rejection, malformed frames, and
+//! graceful shutdown, all against a real TCP listener on 127.0.0.1.
+
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use cqd2::cq::eval::{bcq_naive, count_naive, enumerate_naive};
+use cqd2::cq::generate::{canonical_query, planted_database};
+use cqd2::engine::server::client::Client;
+use cqd2::engine::server::frame::{read_frame, write_frame, FrameType};
+use cqd2::engine::server::wire::{ErrorCode, WireError};
+use cqd2::engine::server::{DbRegistry, Server, ServerConfig, ServerHandle, ServerStats};
+use cqd2::engine::textio::{self, parse_workload};
+use cqd2::engine::{Engine, Workload};
+use cqd2::hypergraph::generators::{hyperchain, hypercycle};
+
+/// Run `f` against a live server, then shut the server down and return
+/// `f`'s result plus the server's final stats.
+fn with_server<R>(
+    config: ServerConfig,
+    registry: &DbRegistry,
+    f: impl FnOnce(SocketAddr, &ServerHandle) -> R,
+) -> (R, ServerStats) {
+    let engine = Engine::default();
+    let server = Server::bind("127.0.0.1:0", config).expect("bind loopback");
+    let addr = server.local_addr().expect("local addr");
+    let handle = server.handle();
+    let mut outcome = None;
+    let mut stats = None;
+    std::thread::scope(|s| {
+        let run = s.spawn(|| server.run(&engine, registry).expect("server run"));
+        outcome = Some(f(addr, &handle));
+        handle.shutdown();
+        stats = Some(run.join().expect("server thread"));
+    });
+    (outcome.unwrap(), stats.unwrap())
+}
+
+/// A fast config for tests: snappy polling, small queue optional via
+/// override.
+fn test_config() -> ServerConfig {
+    ServerConfig {
+        workers: 2,
+        poll_interval: Duration::from_millis(5),
+        drain_timeout: Duration::from_secs(10),
+        ..ServerConfig::default()
+    }
+}
+
+const FACTS: &str = "R(1, 2)\nR(3, 3)\nS(2, 3)\nS(2, 4)\nS(3, 5)\n";
+
+fn small_registry() -> DbRegistry {
+    let mut reg = DbRegistry::new();
+    reg.load_str("main", FACTS).expect("load main");
+    reg.load_str("empty", "T(0)\n").expect("load empty");
+    reg
+}
+
+#[test]
+fn eight_concurrent_clients_get_consistent_answers() {
+    // One workload text is the shared source of truth: the same facts
+    // go to the server registry and into the local naive evaluation.
+    let workload = format!("Q: R(?x, ?y), S(?y, ?z)\nQ: R(?a, ?a)\n{FACTS}");
+    let parsed = parse_workload(&workload).expect("workload parses");
+    let q_join = &parsed.queries[0];
+    let q_loop = &parsed.queries[1];
+    let expect_count = count_naive(q_join, &parsed.db);
+    let expect_bool = bcq_naive(q_loop, &parsed.db);
+    let expect_tuples = enumerate_naive(q_join, &parsed.db);
+
+    let registry = small_registry();
+    let clients = 8;
+    let rounds = 5;
+    let ((), stats) = with_server(test_config(), &registry, |addr, _| {
+        std::thread::scope(|s| {
+            for c in 0..clients {
+                let expect_tuples = &expect_tuples;
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let bound = client.bind_db("main").expect("bind");
+                    assert_eq!(bound.facts, 5);
+                    for _ in 0..rounds {
+                        // A mixed batch in one frame: count + boolean +
+                        // enumerate over repeated structures.
+                        let reply = client
+                            .request(
+                                "@count\nQ: R(?x, ?y), S(?y, ?z)\n\
+                                 @boolean\nQ: R(?a, ?a)\n\
+                                 @enumerate\nQ: R(?x, ?y), S(?y, ?z)\n",
+                            )
+                            .unwrap_or_else(|e| panic!("client {c}: {e}"));
+                        assert_eq!(reply.results.len(), 3);
+                        assert_eq!(reply.results[0].answer.as_count(), Some(expect_count));
+                        assert_eq!(reply.results[1].answer.as_bool(), Some(expect_bool));
+                        let mut tuples = reply.results[2]
+                            .answer
+                            .clone()
+                            .into_tuples()
+                            .expect("tuples");
+                        tuples.sort_unstable();
+                        assert_eq!(&tuples, expect_tuples);
+                    }
+                });
+            }
+        });
+    });
+    assert_eq!(stats.connections, clients);
+    assert_eq!(stats.batches, clients * rounds);
+    assert_eq!(stats.answered, clients * rounds * 3);
+    assert_eq!(stats.rejected_overload, 0);
+    // The per-database prepared cache is shared across connections:
+    // each distinct (query text, workload-relevant) structure is
+    // prepared a bounded number of times (concurrent first-misses can
+    // duplicate work, never more than one prepare per execution), and
+    // the steady state is all hits.
+    assert!(
+        stats.prepared_hits > stats.prepared_misses,
+        "warm serving must be hit-dominated: {stats:?}"
+    );
+    assert_eq!(stats.prepared_hits + stats.prepared_misses, stats.answered);
+}
+
+#[test]
+fn full_queue_rejects_with_typed_overloaded_frames() {
+    // A deliberately expensive fixture so one worker stays busy while
+    // the queue (capacity 1) fills: a rank-2 hypercycle with a planted
+    // database large enough that counting takes real time.
+    let q = canonical_query(&hypercycle(6, 2));
+    let db = planted_database(&q, 40, 4000, 11);
+    let mut registry = DbRegistry::new();
+    registry
+        .load_str("big", &textio::render_database(&db))
+        .expect("load big");
+    let query_line = format!("@count\nQ: {}\n", q.display());
+
+    let config = ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+        ..test_config()
+    };
+    let pipelined = 24;
+    let ((done, overloaded), stats) = with_server(config, &registry, |addr, _| {
+        let mut client = Client::connect(addr).expect("connect");
+        client.bind_db("big").expect("bind");
+        // Pipeline a burst of single-query batches without reading any
+        // response: the first occupies the worker, the second sits in
+        // the queue, the rest must be rejected immediately.
+        for _ in 0..pipelined {
+            client
+                .send(FrameType::Query, query_line.as_bytes())
+                .expect("send");
+        }
+        let mut done = 0u32;
+        let mut overloaded = 0u32;
+        let mut results = 0u32;
+        // Each batch terminates in exactly one Done or one Error frame.
+        while done + overloaded < pipelined {
+            let frame = client.read().expect("read");
+            match frame.frame_type {
+                FrameType::Result => results += 1,
+                FrameType::Done => done += 1,
+                FrameType::Error => {
+                    let err: WireError =
+                        serde::json::from_str(frame.text().expect("utf8")).expect("json");
+                    assert_eq!(err.code, ErrorCode::Overloaded, "{err:?}");
+                    assert!(err.request.is_some());
+                    overloaded += 1;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(results, done, "every completed batch carried 1 result");
+        (done, overloaded)
+    });
+    assert_eq!(done + overloaded, pipelined);
+    assert!(
+        overloaded >= 1,
+        "a 1-slot queue under a {pipelined}-frame burst must reject: {stats:?}"
+    );
+    assert!(done >= 1, "accepted work still completes: {stats:?}");
+    assert_eq!(stats.rejected_overload, u64::from(overloaded));
+    // The server survived the burst and still answers.
+    assert_eq!(stats.answered, u64::from(done));
+}
+
+#[test]
+fn malformed_frames_get_typed_errors() {
+    let registry = small_registry();
+    let max_frame = 4096u32;
+    let config = ServerConfig {
+        max_frame_len: max_frame,
+        ..test_config()
+    };
+    let ((), stats) = with_server(config, &registry, |addr, _| {
+        let read_error = |stream: &mut TcpStream| -> WireError {
+            let frame = read_frame(stream, 1 << 20).expect("error frame");
+            assert_eq!(frame.frame_type, FrameType::Error);
+            serde::json::from_str(std::str::from_utf8(&frame.payload).unwrap()).expect("json")
+        };
+
+        // Wrong version byte: typed Version error, then close.
+        let mut s = TcpStream::connect(addr).unwrap();
+        std::io::Write::write_all(&mut s, &[9, 1, 0, 0, 0, 0]).unwrap();
+        let err = read_error(&mut s);
+        assert_eq!(err.code, ErrorCode::Version, "{err:?}");
+        assert!(read_frame(&mut s, 1 << 20).is_err(), "connection closed");
+
+        // Unknown frame type.
+        let mut s = TcpStream::connect(addr).unwrap();
+        std::io::Write::write_all(&mut s, &[1, 0x55, 0, 0, 0, 0]).unwrap();
+        let err = read_error(&mut s);
+        assert_eq!(err.code, ErrorCode::BadFrame);
+
+        // Oversized declared length.
+        let mut s = TcpStream::connect(addr).unwrap();
+        let mut header = vec![1u8, 0x02];
+        header.extend_from_slice(&(max_frame + 1).to_be_bytes());
+        std::io::Write::write_all(&mut s, &header).unwrap();
+        let err = read_error(&mut s);
+        assert_eq!(err.code, ErrorCode::BadFrame);
+        assert!(err.message.contains("exceeds"), "{err:?}");
+
+        // Server→client frame type sent by the client.
+        let mut s = TcpStream::connect(addr).unwrap();
+        write_frame(&mut s, FrameType::Done, b"{}").unwrap();
+        let err = read_error(&mut s);
+        assert_eq!(err.code, ErrorCode::BadFrame);
+
+        // Request-level errors keep the connection alive.
+        let mut client = Client::connect(addr).expect("connect");
+        // Query before bind.
+        let err = match client.request("Q: R(?x)\n") {
+            Err(cqd2::engine::server::ServerError::Rejected(e)) => e,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(err.code, ErrorCode::NotBound);
+        // Unknown database.
+        let err = match client.bind_db("nope") {
+            Err(cqd2::engine::server::ServerError::Rejected(e)) => e,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(err.code, ErrorCode::UnknownDb);
+        assert!(err.message.contains("main"), "lists served dbs: {err:?}");
+        // Bind failure did not unbind anything: now bind properly.
+        client.bind_db("main").expect("bind");
+        // Parse errors name their line and leave the connection usable.
+        let err = match client.request("@count\nQ: R(?x\n") {
+            Err(cqd2::engine::server::ServerError::Rejected(e)) => e,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(err.code, ErrorCode::Parse);
+        assert_eq!(err.line, Some(2), "{err:?}");
+        // Facts are rejected in query batches.
+        let err = match client.request("Q: R(?x)\nR(1)\n") {
+            Err(cqd2::engine::server::ServerError::Rejected(e)) => e,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(err.code, ErrorCode::Parse);
+        // …and the connection still answers real queries.
+        let result = client.query("R(?x, ?y)", Workload::Count).expect("query");
+        assert_eq!(result.answer.as_count(), Some(2));
+    });
+    assert!(stats.protocol_errors >= 4, "{stats:?}");
+    assert!(stats.parse_errors >= 2, "{stats:?}");
+}
+
+#[test]
+fn graceful_shutdown_drains_and_notifies() {
+    let registry = small_registry();
+    let ((), stats) = with_server(test_config(), &registry, |addr, handle| {
+        let mut client = Client::connect(addr).expect("connect");
+        client.bind_db("main").expect("bind");
+        let reply = client.request("@count\nQ: S(?x, ?y)\n").expect("request");
+        assert_eq!(reply.results[0].answer.as_count(), Some(3));
+        // Shut down while the client is idle-connected.
+        handle.shutdown();
+        assert!(handle.is_shutdown());
+        // The connection is told, then closed: a ShuttingDown error
+        // frame followed by EOF.
+        let frame = client.read().expect("goodbye frame");
+        assert_eq!(frame.frame_type, FrameType::Error);
+        let err: WireError = serde::json::from_str(frame.text().expect("utf8")).expect("json");
+        assert_eq!(err.code, ErrorCode::ShuttingDown, "{err:?}");
+        assert!(client.read().is_err(), "EOF after goodbye");
+    });
+    // `with_server` already proves `run` returned (the scope joined);
+    // the counters survived the trip.
+    assert_eq!(stats.connections, 1);
+    assert_eq!(stats.answered, 1);
+}
+
+#[test]
+fn enumerate_limits_and_rebinding_work_over_the_wire() {
+    let q = canonical_query(&hyperchain(3, 2));
+    let db = planted_database(&q, 6, 24, 7);
+    let expected = enumerate_naive(&q, &db);
+    let mut registry = DbRegistry::new();
+    registry
+        .load_str("chain", &textio::render_database(&db))
+        .expect("load chain");
+    registry
+        .load_str("tiny", "T(1)\nT(2)\n")
+        .expect("load tiny");
+
+    let ((), _) = with_server(test_config(), &registry, |addr, _| {
+        let mut client = Client::connect(addr).expect("connect");
+        client.bind_db("chain").expect("bind");
+        // Full enumeration matches the naive evaluator.
+        let all = client
+            .query(&q.display(), Workload::Enumerate { limit: None })
+            .expect("enumerate");
+        let mut tuples = all.answer.into_tuples().expect("tuples");
+        tuples.sort_unstable();
+        assert_eq!(tuples, expected);
+        // `@enumerate 0` is an explicit empty cap, not "no limit".
+        let capped = client
+            .query(&q.display(), Workload::Enumerate { limit: Some(0) })
+            .expect("enumerate 0");
+        assert_eq!(capped.answer.as_tuples().map(<[_]>::len), Some(0));
+        // Rebinding switches databases mid-connection.
+        client.bind_db("tiny").expect("rebind");
+        let count = client.query("T(?x)", Workload::Count).expect("count");
+        assert_eq!(count.answer.as_count(), Some(2));
+    });
+}

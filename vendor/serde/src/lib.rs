@@ -156,6 +156,30 @@ macro_rules! impl_signed {
 impl_unsigned!(u8, u16, u32, u64, usize);
 impl_signed!(i8, i16, i32, i64, isize);
 
+// `u128` exceeds the `Value` integer range: values that fit in `u64`
+// serialize as numbers, larger ones as decimal strings (lossless either
+// way). The serving layer's answer counts (`Answer::Count`) need this.
+impl Serialize for u128 {
+    fn to_value(&self) -> Value {
+        match u64::try_from(*self) {
+            Ok(n) => Value::U64(n),
+            Err(_) => Value::Str(self.to_string()),
+        }
+    }
+}
+
+impl Deserialize for u128 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::U64(n) => Ok(u128::from(*n)),
+            Value::Str(s) => s
+                .parse::<u128>()
+                .map_err(|_| Error::new(format!("`{s}` is not a u128"))),
+            _ => Err(Error::new("expected unsigned integer or string for u128")),
+        }
+    }
+}
+
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)
@@ -629,6 +653,19 @@ mod tests {
         assert!(json::from_str::<bool>("true").unwrap());
         let s = String::from("line\n\"quoted\" \\ tab\t");
         assert_eq!(json::from_str::<String>(&json::to_string(&s)).unwrap(), s);
+    }
+
+    #[test]
+    fn u128_roundtrips_with_string_spillover() {
+        for v in [0u128, 7, u128::from(u64::MAX)] {
+            let j = json::to_string(&v);
+            assert_eq!(json::from_str::<u128>(&j).unwrap(), v);
+        }
+        let big = u128::from(u64::MAX) + 1;
+        let j = json::to_string(&big);
+        assert_eq!(j, format!("\"{big}\""));
+        assert_eq!(json::from_str::<u128>(&j).unwrap(), big);
+        assert!(json::from_str::<u128>("\"banana\"").is_err());
     }
 
     #[test]
