@@ -1,0 +1,117 @@
+//! **Experiment E4 — the owned catalog API is free**: warm prepared
+//! re-execution through an owned, epoch-pinned catalog session
+//! ([`Engine::session_in`] on a published [`Catalog`] snapshot) must
+//! cost the same as through the `&Database` convenience shim
+//! ([`Engine::session`]) — the redesign moved the database behind an
+//! `Arc` pin, and an `Arc` deref on the run path is not allowed to show
+//! up. Gated at ≤ 10% overhead (the acceptance bound; measured ≈ 1.0×,
+//! both paths execute the identical per-run tree pass).
+//!
+//! The fixture matches `engine_prepared.rs`: a rank-3 hypercycle whose
+//! planning dominates execution, so if pinning had added per-run cost,
+//! the warm-run loop is where it would be visible. The headline ratio
+//! is min-of-rounds on both sides — warm loops are tight, so the min
+//! is the noise-free estimate.
+//!
+//! A second section reports (not gates) the hot-reload control plane:
+//! `Catalog::swap` latency — the full statistics rescan plus the
+//! pointer swap — and the post-swap re-prepare, i.e. what a reload
+//! actually costs the serving path.
+
+use cqd2::cq::generate::{canonical_query, planted_database};
+use cqd2::engine::{Catalog, Engine, Workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const WARM_RUNS: usize = 200;
+const ROUNDS: usize = 15;
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== E4: owned catalog sessions vs the borrowed-API shim ===");
+    let q = canonical_query(&cqd2::hypergraph::generators::hypercycle(8, 3));
+    let db = planted_database(&q, 6, 10, 17);
+    let engine = Engine::default();
+
+    // The `&Database` shim: what pre-catalog embedders called (and the
+    // borrowed-API baseline the acceptance bound names) — one detached
+    // snapshot, prepared once, re-run warm.
+    let shim_session = engine.session(&db);
+    let shim_prepared = shim_session.prepare(&q).expect("shim prepare");
+
+    // The owned path: the snapshot is published once in the catalog and
+    // pinned, epoch and all, by the session and the prepared handle.
+    let catalog = Catalog::new();
+    catalog.publish("bench", db.clone()).expect("publish");
+    let owned_session = engine.session_in(&catalog, "bench").expect("session_in");
+    let owned_prepared = owned_session.prepare(&q).expect("owned prepare");
+
+    // Same machinery, same answers.
+    let expected = shim_prepared.run(Workload::Boolean).answer.as_bool();
+    assert_eq!(
+        owned_prepared.run(Workload::Boolean).answer.as_bool(),
+        expected
+    );
+    assert_eq!(owned_prepared.epoch(), 0);
+
+    // Interleaved min-of-rounds: alternating the two paths inside each
+    // round cancels slow drift (thermal, scheduler) between them.
+    let mut shim_best = Duration::MAX;
+    let mut owned_best = Duration::MAX;
+    for _ in 0..ROUNDS {
+        let t = Instant::now();
+        for _ in 0..WARM_RUNS {
+            black_box(shim_prepared.run(Workload::Boolean));
+        }
+        shim_best = shim_best.min(t.elapsed());
+        let t = Instant::now();
+        for _ in 0..WARM_RUNS {
+            black_box(owned_prepared.run(Workload::Boolean));
+        }
+        owned_best = owned_best.min(t.elapsed());
+    }
+    let ratio = owned_best.as_secs_f64() / shim_best.as_secs_f64().max(1e-12);
+    println!(
+        "  borrowed-API shim ({WARM_RUNS} warm runs, best of {ROUNDS}): {shim_best:?}\n  \
+         owned catalog     ({WARM_RUNS} warm runs, best of {ROUNDS}): {owned_best:?}\n  \
+         owned / shim: {ratio:.3}×"
+    );
+    assert!(
+        ratio <= 1.10,
+        "owned epoch-pinned re-execution must stay within 10% of the \
+         borrowed-API baseline (got {ratio:.3}×: {owned_best:?} vs {shim_best:?})"
+    );
+
+    // Control plane, reported for the record: what a hot reload costs.
+    let t = Instant::now();
+    let swapped = catalog.swap("bench", db.clone()).expect("swap");
+    let swap_latency = t.elapsed();
+    assert_eq!(swapped.epoch(), 1);
+    let new_session = engine.session_in(&catalog, "bench").expect("session_in");
+    let t = Instant::now();
+    let reprepared = new_session.prepare(&q).expect("re-prepare");
+    let reprepare_latency = t.elapsed();
+    assert!(reprepared.cache_hit(), "same structure hits the plan cache");
+    // The pre-swap handle still answers — pinning, not locking.
+    assert_eq!(
+        owned_prepared.run(Workload::Boolean).answer.as_bool(),
+        expected
+    );
+    println!(
+        "  hot reload: swap (stats rescan + publish) {swap_latency:?}, \
+         post-swap re-prepare (plan-cache hit + bag rebuild) {reprepare_latency:?}"
+    );
+
+    // Criterion group: per-run latency of both paths.
+    let mut g = c.benchmark_group("engine_catalog");
+    g.bench_function("warm_run/borrowed_shim", |b| {
+        b.iter(|| black_box(shim_prepared.run(Workload::Boolean)));
+    });
+    g.bench_function("warm_run/owned_catalog", |b| {
+        b.iter(|| black_box(owned_prepared.run(Workload::Boolean)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

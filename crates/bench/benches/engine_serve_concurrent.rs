@@ -1,8 +1,8 @@
 //! **Experiment E3 — concurrent socket serving vs sequential batches**:
 //! N clients drive the same repeated-structure workload through a live
-//! `cqd2-serve` loopback server (per-database session + shared
-//! prepared-query cache, so bag materialization is paid once per query
-//! text) and are compared against `Engine::execute_batch` on a
+//! `cqd2-serve` loopback server (catalog-pinned owned sessions + shared
+//! epoch-keyed prepared cache, so bag materialization is paid once per
+//! query text) and are compared against `Engine::execute_batch` on a
 //! single-worker engine, which re-prepares — statistics scan,
 //! isomorphism translation, bag materialization — on every request.
 //!
@@ -15,8 +15,8 @@
 
 use cqd2::cq::generate::{canonical_query, planted_database};
 use cqd2::engine::server::client::Client;
-use cqd2::engine::server::{DbRegistry, Server, ServerConfig};
-use cqd2::engine::{textio, Engine, EngineConfig, Request, Workload};
+use cqd2::engine::server::{Server, ServerConfig};
+use cqd2::engine::{textio, Catalog, Engine, EngineConfig, Request, Workload};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -52,10 +52,10 @@ fn bench(c: &mut Criterion) {
     assert!(responses.iter().all(|r| r.answer.as_bool() == Some(true)));
 
     // --- Concurrent serving through the socket front-end. ---
-    let mut registry = DbRegistry::new();
-    registry
-        .load_str("bench", &textio::render_database(&db))
-        .expect("load bench db");
+    let catalog = Catalog::new();
+    catalog
+        .publish_str("bench", &textio::render_database(&db))
+        .expect("publish bench db");
     let engine_srv = Engine::default();
     let server = Server::bind(
         "127.0.0.1:0",
@@ -80,7 +80,7 @@ fn bench(c: &mut Criterion) {
     let mut concurrent = Duration::ZERO;
     let mut warm_client_latency = Duration::ZERO;
     std::thread::scope(|s| {
-        let run = s.spawn(|| server.run(&engine_srv, &registry).expect("server run"));
+        let run = s.spawn(|| server.run(&engine_srv, &catalog).expect("server run"));
         // Connect and warm each client (and the server's prepared
         // cache) before the timed window, mirroring the baseline's
         // warmed structure cache.

@@ -16,6 +16,12 @@
 //!     --db main --query 'R(?x, ?y), S(?y, ?z)' --count
 //! cargo run --release --bin cqd2-analyze -- client --addr 127.0.0.1:7878 \
 //!     --db main batch.txt   # Q:/directive lines, facts stay server-side
+//!
+//! # admin round-trips: hot-reload a served database (the server must
+//! # run with --allow-reload) and inspect the catalog's epochs
+//! cargo run --release --bin cqd2-analyze -- client reload --addr 127.0.0.1:7878 \
+//!     --db main new-facts.txt
+//! cargo run --release --bin cqd2-analyze -- client catalog --addr 127.0.0.1:7878
 //! ```
 //!
 //! `eval` flags: `--count` counts answers instead of deciding
@@ -180,11 +186,19 @@ fn run_eval(args: &[String]) {
 /// Flags: `--addr host:port` (required), `--db name` (required),
 /// `--query 'body'` and/or query-batch files (`Q:` + `@…` lines);
 /// `--count` / `--enumerate [--limit N]` set the mode for `--query`.
+/// Admin modes: `client reload --addr A --db NAME FACTS_FILE`
+/// hot-reloads a served database (server must run `--allow-reload`);
+/// `client catalog --addr A` prints the served names and epochs.
 #[cfg(feature = "serde")]
 fn run_client(args: &[String]) {
     use cqd2::engine::server::client::Client;
     use cqd2::engine::server::wire;
 
+    match args.first().map(String::as_str) {
+        Some("reload") => return run_client_reload(&args[1..]),
+        Some("catalog") => return run_client_catalog(&args[1..]),
+        _ => {}
+    }
     let mut addr: Option<String> = None;
     let mut db: Option<String> = None;
     let mut inline_query: Option<String> = None;
@@ -273,6 +287,92 @@ fn run_client(args: &[String]) {
             );
             print_tuples(&r.answer);
         }
+    }
+}
+
+/// `client reload`: publish a new snapshot for a served database over
+/// the wire. In-flight work keeps its pinned epoch; new queries see
+/// the new facts.
+#[cfg(feature = "serde")]
+fn run_client_reload(args: &[String]) {
+    use cqd2::engine::server::client::Client;
+
+    let mut addr: Option<String> = None;
+    let mut db: Option<String> = None;
+    let mut file: Option<&str> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value_of = |flag: &str| -> String {
+            iter.next()
+                .unwrap_or_else(|| exit_with(&format!("client reload: {flag} needs a value")))
+                .clone()
+        };
+        match arg.as_str() {
+            "--addr" => addr = Some(value_of("--addr")),
+            "--db" => db = Some(value_of("--db")),
+            flag if flag.starts_with("--") => {
+                exit_with(&format!("client reload: unknown flag {flag}"))
+            }
+            path if file.is_none() => file = Some(path),
+            extra => exit_with(&format!("client reload: unexpected argument `{extra}`")),
+        }
+    }
+    let addr = addr.unwrap_or_else(|| exit_with("client reload: --addr host:port is required"));
+    let db = db.unwrap_or_else(|| exit_with("client reload: --db name is required"));
+    let file = file.unwrap_or_else(|| exit_with("client reload: a facts file is required"));
+    let facts = std::fs::read_to_string(file)
+        .unwrap_or_else(|e| exit_with(&format!("client reload: cannot read {file}: {e}")));
+    let mut client = Client::connect(&addr)
+        .unwrap_or_else(|e| exit_with(&format!("client reload: cannot connect to {addr}: {e}")));
+    let reloaded = client
+        .reload(&db, &facts)
+        .unwrap_or_else(|e| exit_with(&format!("client reload: `{db}`: {e}")));
+    println!(
+        "reloaded `{}` to epoch {}: {} facts in {} relations",
+        reloaded.db, reloaded.epoch, reloaded.facts, reloaded.relations
+    );
+}
+
+/// `client catalog`: print the served databases, their epochs and
+/// sizes, and whether the server accepts reloads.
+#[cfg(feature = "serde")]
+fn run_client_catalog(args: &[String]) {
+    use cqd2::engine::server::client::Client;
+
+    let mut addr: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--addr" => {
+                addr = Some(
+                    iter.next()
+                        .unwrap_or_else(|| exit_with("client catalog: --addr needs a value"))
+                        .clone(),
+                )
+            }
+            other => exit_with(&format!("client catalog: unexpected argument `{other}`")),
+        }
+    }
+    let addr = addr.unwrap_or_else(|| exit_with("client catalog: --addr host:port is required"));
+    let mut client = Client::connect(&addr)
+        .unwrap_or_else(|e| exit_with(&format!("client catalog: cannot connect to {addr}: {e}")));
+    let info = client
+        .catalog_info()
+        .unwrap_or_else(|e| exit_with(&format!("client catalog: {e}")));
+    println!(
+        "{} database(s), reloads {}",
+        info.databases.len(),
+        if info.reload_enabled {
+            "enabled"
+        } else {
+            "disabled"
+        }
+    );
+    for d in &info.databases {
+        println!(
+            "  {}: epoch {}, {} facts in {} relations",
+            d.name, d.epoch, d.facts, d.relations
+        );
     }
 }
 

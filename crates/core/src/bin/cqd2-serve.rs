@@ -1,22 +1,29 @@
 //! `cqd2-serve` — the standalone serving daemon.
 //!
-//! Loads one or more named databases at startup, binds a TCP listener,
+//! Publishes one or more named databases into a versioned
+//! [`cqd2::engine::Catalog`] at startup, binds a TCP listener,
 //! and serves the `docs/PROTOCOL.md` wire protocol until SIGTERM /
 //! ctrl-c (or stdin EOF with `--shutdown-on-stdin-close`, for harnesses
 //! without signals):
 //!
 //! ```sh
 //! printf 'R(1, 2)\nS(2, 3)\nS(2, 4)\n' > facts.txt
-//! cargo run --release --bin cqd2-serve -- --listen 127.0.0.1:7878 --db main=facts.txt
+//! cargo run --release --bin cqd2-serve -- --listen 127.0.0.1:7878 \
+//!     --db main=facts.txt --allow-reload
 //!
 //! # then, from another shell:
 //! cargo run --release --bin cqd2-analyze -- client --addr 127.0.0.1:7878 \
 //!     --db main --query 'R(?x, ?y), S(?y, ?z)' --count
+//! # hot-reload `main` without restarting (requires --allow-reload):
+//! cargo run --release --bin cqd2-analyze -- client reload \
+//!     --addr 127.0.0.1:7878 --db main new-facts.txt
 //! ```
 //!
 //! Flags: `--listen addr:port` (default `127.0.0.1:7878`; port 0 lets
 //! the OS pick and prints the bound address), repeated `--db name=path`
-//! (facts-only files, see `cqd2::engine::textio::parse_database`),
+//! (facts-only files, see `cqd2::engine::textio::parse_database`;
+//! repeating a name is a startup error, never silent last-wins),
+//! `--allow-reload` (accept protocol-v2 `Reload` admin frames),
 //! `--workers N` (0 = available parallelism), `--queue N` (bounded
 //! request queue = the backpressure point), `--prepared N` (per-db
 //! prepared-query cache), `--cache N` (engine plan-cache capacity).
@@ -24,8 +31,8 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use cqd2::engine::server::{signal, DbRegistry, Server, ServerConfig};
-use cqd2::engine::{Engine, EngineConfig};
+use cqd2::engine::server::{signal, Server, ServerConfig};
+use cqd2::engine::{Catalog, Engine, EngineConfig};
 
 struct Args {
     listen: String,
@@ -57,8 +64,18 @@ fn parse_args(argv: &[String]) -> Args {
                 let Some((name, path)) = spec.split_once('=') else {
                     exit_with(&format!("--db expects name=path, got `{spec}`"));
                 };
+                // Repeated names are a configuration bug; refuse to
+                // start rather than silently serving whichever file
+                // came last under the shared name.
+                if args.dbs.iter().any(|(n, _)| n == name) {
+                    exit_with(&format!(
+                        "duplicate --db name `{name}` — each database needs a unique name \
+                         (use `cqd2-analyze client reload` to replace a running database)"
+                    ));
+                }
                 args.dbs.push((name.to_string(), path.to_string()));
             }
+            "--allow-reload" => args.config.allow_reload = true,
             "--workers" => args.config.workers = parse_num(&value_of("--workers"), "--workers"),
             "--queue" => {
                 args.config.queue_capacity = parse_num(&value_of("--queue"), "--queue").max(1)
@@ -71,8 +88,8 @@ fn parse_args(argv: &[String]) -> Args {
             "--help" | "-h" => {
                 println!(
                     "cqd2-serve --listen ADDR:PORT --db NAME=PATH [--db NAME=PATH …]\n\
-                     \x20          [--workers N] [--queue N] [--prepared N] [--cache N]\n\
-                     \x20          [--shutdown-on-stdin-close]"
+                     \x20          [--allow-reload] [--workers N] [--queue N] [--prepared N]\n\
+                     \x20          [--cache N] [--shutdown-on-stdin-close]"
                 );
                 std::process::exit(0);
             }
@@ -94,16 +111,17 @@ fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = parse_args(&argv);
 
-    let mut registry = DbRegistry::new();
+    let catalog = Catalog::new();
     for (name, path) in &args.dbs {
-        registry
-            .load_file(name, std::path::Path::new(path))
+        let text = std::fs::read_to_string(path)
             .unwrap_or_else(|e| exit_with(&format!("loading --db {name}={path}: {e}")));
-        let db = registry.db(registry.index_of(name).expect("just registered"));
+        let snapshot = catalog
+            .publish_str(name, &text)
+            .unwrap_or_else(|e| exit_with(&format!("loading --db {name}={path}: {e}")));
         eprintln!(
-            "cqd2-serve: loaded `{name}` from {path}: {} facts in {} relations",
-            db.size(),
-            db.relations().count()
+            "cqd2-serve: published `{name}` from {path}: {} facts in {} relations (epoch 0)",
+            snapshot.db().size(),
+            snapshot.db().relations().count()
         );
     }
 
@@ -123,24 +141,28 @@ fn main() {
     if args.shutdown_on_stdin_close {
         spawn_stdin_watch(handle.shutdown_flag());
     }
+    if args.config.allow_reload {
+        eprintln!("cqd2-serve: reloads enabled (--allow-reload)");
+    }
     // The line harnesses wait for before connecting.
-    println!("cqd2-serve: listening on {addr} (dbs: {})", {
-        let names: Vec<&str> = registry.names().collect();
-        names.join(", ")
-    });
+    println!(
+        "cqd2-serve: listening on {addr} (dbs: {})",
+        catalog.names().join(", ")
+    );
 
     let stats = server
-        .run(&engine, &registry)
+        .run(&engine, &catalog)
         .unwrap_or_else(|e| exit_with(&format!("server failed: {e}")));
     println!(
         "cqd2-serve: shutdown complete — {} connections, {} batches ({} queries, {} answered), \
-         {} overload-rejected, {} parse errors, prepared cache {} hits / {} misses",
+         {} overload-rejected, {} parse errors, {} reloads, prepared cache {} hits / {} misses",
         stats.connections,
         stats.batches,
         stats.queries,
         stats.answered,
         stats.rejected_overload,
         stats.parse_errors,
+        stats.reloads,
         stats.prepared_hits,
         stats.prepared_misses,
     );

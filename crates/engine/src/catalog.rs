@@ -1,0 +1,343 @@
+//! The versioned database catalog: named, epoch-pinned snapshots.
+//!
+//! The paper's amortization story — pay the `O(‖D‖^w)` GHD
+//! preprocessing once, answer cheaply forever after — only holds if the
+//! database a prepared handle was built against cannot change
+//! underneath it. The original serving API enforced that with borrows
+//! (`Session<'a>` froze the database for the handle's lifetime), which
+//! also froze the *server*: no database could ever be reloaded while a
+//! single handle existed. This module replaces the borrow with a pin:
+//!
+//! - a [`DatabaseSnapshot`] is an immutable `(name, epoch, database,
+//!   statistics)` quadruple, the statistics computed **once at publish
+//!   time** (`O(‖D‖)`) and shared by every session that pins the
+//!   snapshot;
+//! - a [`Catalog`] maps names to `Arc<DatabaseSnapshot>`s with a
+//!   monotonically increasing per-name **epoch**. [`Catalog::swap`]
+//!   atomically publishes a new snapshot for a name: readers that
+//!   already pinned the old `Arc` keep answering consistently against
+//!   it (constant-delay cursors included), new sessions see the new
+//!   epoch, and the old snapshot's memory is released when its last pin
+//!   drops;
+//! - the epoch is the invalidation token: caches keyed by `(query text,
+//!   epoch)` — like the server's prepared-query cache — go stale
+//!   *naturally* on a swap instead of serving answers from reloaded-away
+//!   data.
+//!
+//! ```
+//! use cqd2_engine::{Catalog, Engine, Workload};
+//! use cqd2_cq::Database;
+//!
+//! let catalog = Catalog::new();
+//! catalog.publish_str("main", "R(1, 2)\nS(2, 3)\n")?;
+//!
+//! let engine = Engine::default();
+//! let session = engine.session_in(&catalog, "main")?;
+//! let prepared = session.prepare(&cqd2_cq::ConjunctiveQuery::parse(&[
+//!     ("R", &["?x", "?y"]),
+//!     ("S", &["?y", "?z"]),
+//! ]))?;
+//! assert_eq!(prepared.run(Workload::Count).answer.as_count(), Some(1));
+//!
+//! // Hot reload: the swap does not disturb the pinned session…
+//! catalog.swap_str("main", "R(1, 2)\nS(2, 3)\nS(2, 4)\n")?;
+//! assert_eq!(prepared.run(Workload::Count).answer.as_count(), Some(1));
+//! assert_eq!(prepared.epoch(), 0);
+//! // …while a fresh session observes the new epoch and the new data.
+//! let fresh = engine.session_in(&catalog, "main")?;
+//! assert_eq!(fresh.epoch(), 1);
+//! # Ok::<(), cqd2_engine::EngineError>(())
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock};
+
+use cqd2_cq::stats::DatabaseStats;
+use cqd2_cq::Database;
+
+use crate::error::EngineError;
+use crate::textio;
+
+/// An immutable published state of one named database: the data, its
+/// statistics (computed once, at publish time), the name it is
+/// published under, and the epoch that publication got.
+///
+/// Snapshots are shared as `Arc<DatabaseSnapshot>`: a
+/// [`crate::Session`] pins one at creation and every
+/// [`crate::PreparedQuery`] prepared on the session keeps the pin, so
+/// in-flight work keeps a consistent view across any number of
+/// [`Catalog::swap`]s.
+#[derive(Debug)]
+pub struct DatabaseSnapshot {
+    name: String,
+    epoch: u64,
+    db: Database,
+    stats: DatabaseStats,
+}
+
+impl DatabaseSnapshot {
+    /// Publish-time construction: takes ownership of `db` and computes
+    /// its full statistics once (`O(‖D‖)`).
+    pub fn new(name: impl Into<String>, epoch: u64, db: Database) -> DatabaseSnapshot {
+        let stats = db.stats();
+        DatabaseSnapshot {
+            name: name.into(),
+            epoch,
+            db,
+            stats,
+        }
+    }
+
+    /// A snapshot that is not published in any catalog (what the
+    /// `&Database` convenience shim [`crate::Engine::session`] pins).
+    pub(crate) fn detached(db: Database) -> DatabaseSnapshot {
+        DatabaseSnapshot::new("", 0, db)
+    }
+
+    /// The name this snapshot was published under (empty for detached
+    /// snapshots).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The publication epoch: 0 for the first publish of a name, bumped
+    /// by one on every [`Catalog::swap`].
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The database.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// The statistics snapshot computed at publish time.
+    pub fn stats(&self) -> &DatabaseStats {
+        &self.stats
+    }
+}
+
+/// A mutable, versioned source of database snapshots: names map to
+/// [`Arc<DatabaseSnapshot>`]s, and [`Catalog::swap`] publishes a new
+/// snapshot for a name without disturbing readers of the old one.
+///
+/// All methods take `&self` (the map sits behind an `RwLock`), so one
+/// catalog is shared freely across server threads, reload handlers, and
+/// sessions. Lookups clone an `Arc` under the read lock — no data is
+/// copied, and writers block readers only for the map update itself,
+/// never for statistics computation (which happens before the lock is
+/// taken).
+#[derive(Default)]
+pub struct Catalog {
+    entries: RwLock<BTreeMap<String, Arc<DatabaseSnapshot>>>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Publish `db` under a *new* name at epoch 0. Rejects names that
+    /// are already published ([`EngineError::DuplicateDatabase`]) — use
+    /// [`Catalog::swap`] to replace an existing database, so that "load
+    /// two databases under one name by accident" is a loud startup
+    /// error, never a silent last-wins.
+    pub fn publish(
+        &self,
+        name: impl Into<String>,
+        db: Database,
+    ) -> Result<Arc<DatabaseSnapshot>, EngineError> {
+        let name = name.into();
+        // Statistics are computed outside the lock; the write lock is
+        // held only for the map insert.
+        let snapshot = Arc::new(DatabaseSnapshot::new(name.clone(), 0, db));
+        let mut entries = self.entries.write().expect("catalog poisoned");
+        if entries.contains_key(&name) {
+            return Err(EngineError::DuplicateDatabase(name));
+        }
+        entries.insert(name, Arc::clone(&snapshot));
+        Ok(snapshot)
+    }
+
+    /// Atomically publish a new snapshot for an *existing* name at the
+    /// next epoch. Sessions and prepared queries pinning the previous
+    /// snapshot are undisturbed — they keep answering against their
+    /// epoch until dropped; new sessions (and epoch-keyed caches) see
+    /// the new snapshot immediately.
+    pub fn swap(&self, name: &str, db: Database) -> Result<Arc<DatabaseSnapshot>, EngineError> {
+        // The statistics scan happens before the write lock so readers
+        // are blocked only for the pointer swap. The epoch is re-read
+        // under the lock, so concurrent swaps serialize cleanly.
+        let stats_ready = DatabaseSnapshot::new(name, 0, db);
+        let mut entries = self.entries.write().expect("catalog poisoned");
+        let Some(current) = entries.get(name) else {
+            return Err(EngineError::UnknownDatabase(name.to_string()));
+        };
+        let snapshot = Arc::new(DatabaseSnapshot {
+            epoch: current.epoch + 1,
+            ..stats_ready
+        });
+        entries.insert(name.to_string(), Arc::clone(&snapshot));
+        Ok(snapshot)
+    }
+
+    /// [`Catalog::publish`] from a facts-only database text
+    /// ([`textio::parse_database`]).
+    pub fn publish_str(
+        &self,
+        name: impl Into<String>,
+        text: &str,
+    ) -> Result<Arc<DatabaseSnapshot>, EngineError> {
+        let db = textio::parse_database(text)?;
+        self.publish(name, db)
+    }
+
+    /// [`Catalog::swap`] from a facts-only database text.
+    pub fn swap_str(&self, name: &str, text: &str) -> Result<Arc<DatabaseSnapshot>, EngineError> {
+        let db = textio::parse_database(text)?;
+        self.swap(name, db)
+    }
+
+    /// The current snapshot published under `name`, if any.
+    pub fn get(&self, name: &str) -> Option<Arc<DatabaseSnapshot>> {
+        self.entries
+            .read()
+            .expect("catalog poisoned")
+            .get(name)
+            .cloned()
+    }
+
+    /// Like [`Catalog::get`], but unknown names are a typed error.
+    pub fn snapshot(&self, name: &str) -> Result<Arc<DatabaseSnapshot>, EngineError> {
+        self.get(name)
+            .ok_or_else(|| EngineError::UnknownDatabase(name.to_string()))
+    }
+
+    /// All published names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.entries
+            .read()
+            .expect("catalog poisoned")
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    /// The current snapshot of every published name, sorted by name.
+    pub fn snapshots(&self) -> Vec<Arc<DatabaseSnapshot>> {
+        self.entries
+            .read()
+            .expect("catalog poisoned")
+            .values()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of published names.
+    pub fn len(&self) -> usize {
+        self.entries.read().expect("catalog poisoned").len()
+    }
+
+    /// Whether nothing is published.
+    pub fn is_empty(&self) -> bool {
+        self.entries.read().expect("catalog poisoned").is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_swap_and_epochs() {
+        let catalog = Catalog::new();
+        assert!(catalog.is_empty());
+        let first = catalog.publish_str("main", "R(1, 2)\n").unwrap();
+        assert_eq!((first.name(), first.epoch()), ("main", 0));
+        assert_eq!(first.db().size(), 1);
+        assert_eq!(first.stats().total_tuples(), 1);
+
+        // Duplicate publish is a typed error, not last-wins.
+        match catalog.publish_str("main", "R(9, 9)\n") {
+            Err(EngineError::DuplicateDatabase(name)) => assert_eq!(name, "main"),
+            other => panic!("{other:?}"),
+        }
+        // The failed publish did not disturb the entry.
+        assert_eq!(catalog.snapshot("main").unwrap().db().size(), 1);
+
+        // Swaps bump the epoch and leave the old Arc answering.
+        let second = catalog.swap_str("main", "R(1, 2)\nR(3, 4)\n").unwrap();
+        assert_eq!(second.epoch(), 1);
+        assert_eq!(second.db().size(), 2);
+        assert_eq!(first.db().size(), 1, "pinned snapshot undisturbed");
+        assert_eq!(catalog.swap_str("main", "R(5, 6)\n").unwrap().epoch(), 2);
+
+        // Swapping an unpublished name is a typed error.
+        match catalog.swap("ghost", Database::new()) {
+            Err(EngineError::UnknownDatabase(name)) => assert_eq!(name, "ghost"),
+            other => panic!("{other:?}"),
+        }
+        match catalog.snapshot("ghost") {
+            Err(EngineError::UnknownDatabase(_)) => {}
+            other => panic!("{other:?}"),
+        }
+
+        catalog.publish_str("aux", "T(7)\n").unwrap();
+        assert_eq!(catalog.names(), vec!["aux".to_string(), "main".to_string()]);
+        assert_eq!(catalog.len(), 2);
+        let snaps = catalog.snapshots();
+        assert_eq!(snaps.len(), 2);
+        assert_eq!(snaps[0].name(), "aux");
+    }
+
+    #[test]
+    fn swap_is_atomic_under_concurrent_readers() {
+        // Readers racing a stream of swaps must only ever observe fully
+        // published snapshots whose statistics match their data, with
+        // non-decreasing epochs.
+        let catalog = Catalog::new();
+        catalog.publish_str("hot", "R(0, 0)\n").unwrap();
+        let swaps = 200;
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                for i in 1..=swaps {
+                    let mut db = Database::new();
+                    db.insert_all("R", &(0..=i).map(|j| vec![j, j]).collect::<Vec<_>>());
+                    catalog.swap("hot", db).unwrap();
+                }
+            });
+            for _ in 0..2 {
+                scope.spawn(|| {
+                    let mut last_epoch = 0;
+                    for _ in 0..500 {
+                        let snap = catalog.snapshot("hot").unwrap();
+                        assert!(snap.epoch() >= last_epoch, "epochs are monotone");
+                        last_epoch = snap.epoch();
+                        // Stats were computed from exactly this data.
+                        assert_eq!(snap.stats().total_tuples(), snap.db().size());
+                        assert_eq!(snap.db().size() as u64, snap.epoch() + 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(catalog.snapshot("hot").unwrap().epoch(), swaps);
+    }
+
+    #[test]
+    fn parse_failures_surface_and_do_not_publish() {
+        let catalog = Catalog::new();
+        match catalog.publish_str("bad", "R(banana)\n") {
+            Err(EngineError::Parse(e)) => assert_eq!(e.line, Some(1)),
+            other => panic!("{other:?}"),
+        }
+        assert!(catalog.get("bad").is_none());
+        catalog.publish_str("ok", "R(1)\n").unwrap();
+        match catalog.swap_str("ok", "R(1\n") {
+            Err(EngineError::Parse(_)) => {}
+            other => panic!("{other:?}"),
+        }
+        // A failed swap leaves the current epoch serving.
+        assert_eq!(catalog.snapshot("ok").unwrap().epoch(), 0);
+    }
+}

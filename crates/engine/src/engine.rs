@@ -15,7 +15,7 @@
 //! [`Engine::execute_batch`] are thin compatibility shims over those
 //! handles (one session + one prepared query per call).
 
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use cqd2_cq::eval::with_sequential_bags;
@@ -26,7 +26,7 @@ use crate::cache::{CacheStats, PlanCache};
 use crate::error::EngineError;
 use crate::plan::{DataEstimate, PlannedQuery};
 use crate::planner::{Planner, PlannerConfig};
-use crate::session::Session;
+use crate::session::PreparedCore;
 
 /// The process-wide shared engine (see [`Engine::shared`] and
 /// [`Engine::shared_with_config`]).
@@ -152,9 +152,19 @@ pub struct Response {
     pub provenance: PlanProvenance,
 }
 
-/// The serving engine. Cheap to share: all methods take `&self`; the
-/// plan cache sits behind a mutex and is the only shared mutable state.
+/// The serving engine. A cheap-clone handle: the planner, plan cache,
+/// and configuration live behind one `Arc`, so clones share the cache
+/// and every clone is `Send + Sync + 'static`. That is what lets
+/// [`crate::Session`] and [`crate::PreparedQuery`] own their engine
+/// reference instead of borrowing it — the owned, lifetime-free serving
+/// handles the hot-reload [`crate::Catalog`] path requires. The plan
+/// cache sits behind a mutex and is the only shared mutable state.
+#[derive(Clone)]
 pub struct Engine {
+    inner: Arc<EngineInner>,
+}
+
+struct EngineInner {
     planner: Planner,
     cache: Mutex<PlanCache>,
     config: EngineConfig,
@@ -170,9 +180,11 @@ impl Engine {
     /// An engine with the given configuration.
     pub fn new(config: EngineConfig) -> Engine {
         Engine {
-            planner: Planner::new(config.planner.clone()),
-            cache: Mutex::new(PlanCache::new(config.cache_capacity)),
-            config,
+            inner: Arc::new(EngineInner {
+                planner: Planner::new(config.planner.clone()),
+                cache: Mutex::new(PlanCache::new(config.cache_capacity)),
+                config,
+            }),
         }
     }
 
@@ -213,7 +225,7 @@ impl Engine {
         &self,
         h: &cqd2_hypergraph::Hypergraph,
     ) -> (crate::planner::PlannedStructure, bool) {
-        let mut cache = self.cache.lock().expect("plan cache poisoned");
+        let mut cache = self.inner.cache.lock().expect("plan cache poisoned");
         if let Some(hit) = cache.lookup(h) {
             // Rebuild the analysis around the *translated* GHD.
             let mut structure = (*hit.structure).clone();
@@ -224,7 +236,7 @@ impl Engine {
         // duplicate the expensive analysis of one structure class. The
         // batch executor's parallelism comes from execution, which
         // dominates planning for warm workloads.
-        let structure = self.planner.plan_structure(h);
+        let structure = self.inner.planner.plan_structure(h);
         let stored = cache.insert(h, structure);
         ((*stored).clone(), false)
     }
@@ -264,19 +276,20 @@ impl Engine {
         (planned, cache_hit, start.elapsed())
     }
 
-    /// Serve one request: a compatibility shim that opens a throwaway
-    /// [`Session`] around query-scoped statistics (only the relations
-    /// the query's atoms name are scanned, so the per-request cost is
-    /// proportional to the data this query can touch), prepares the
-    /// query, and runs it once. Callers serving many requests against
-    /// one database should hold a [`Engine::session`] (one full
-    /// statistics snapshot) and re-run [`crate::PreparedQuery`] handles
-    /// instead — that is where the planning amortization lives.
+    /// Serve one request: a compatibility shim that prepares the query
+    /// against query-scoped statistics (only the relations the query's
+    /// atoms name are scanned, so the per-request cost is proportional
+    /// to the data this query can touch) and runs it once, borrowing
+    /// `req.db` for the duration of the call. Callers serving many
+    /// requests against one database should hold a [`Engine::session`]
+    /// (one full statistics snapshot) and re-run
+    /// [`crate::PreparedQuery`] handles instead — that is where the
+    /// planning amortization lives.
     pub fn serve(&self, req: &Request<'_>) -> Response {
         let scan_start = Instant::now();
         let stats = DatabaseStats::collect_for_query(req.db, req.query);
         let scan = scan_start.elapsed();
-        let mut resp = Self::serve_on(&self.session_with_stats(req.db, &stats), req);
+        let mut resp = self.serve_on(req, &stats);
         // The statistics scan is planning-side work this call paid.
         resp.provenance.planning += scan;
         resp
@@ -287,23 +300,24 @@ impl Engine {
     /// database instead of re-scanning per request; single-request
     /// callers with an unchanging database get the same amortization by
     /// calling `db.stats()` once and passing it here (or by holding a
-    /// [`Session`], which does exactly that).
+    /// [`crate::Session`], which pins a full snapshot).
     pub fn serve_with_stats(&self, req: &Request<'_>, stats: &DatabaseStats) -> Response {
-        Self::serve_on(&self.session_with_stats(req.db, stats), req)
+        self.serve_on(req, stats)
     }
 
-    /// One-shot serve over a session: prepare, consume the handle (no
-    /// bag-tree copy), and fold the planning and preprocessing cost this
-    /// call actually paid back into the provenance (prepared handles
-    /// report zero planning on their runs; preprocessing lands in
-    /// `execution`, where the old monolithic serve counted it).
-    fn serve_on(session: &Session<'_>, req: &Request<'_>) -> Response {
-        let prepared = session
-            .prepare(req.query)
+    /// One-shot serve: build the prepared core, consume it (no bag-tree
+    /// copy), and fold the planning and preprocessing cost this call
+    /// actually paid back into the provenance (prepared handles report
+    /// zero planning on their runs; preprocessing lands in `execution`,
+    /// where the old monolithic serve counted it). This borrows the
+    /// database directly — no snapshot is cloned or pinned — which is
+    /// what keeps the one-shot shims copy-free.
+    fn serve_on(&self, req: &Request<'_>, stats: &DatabaseStats) -> Response {
+        let core = PreparedCore::build(self, req.query, req.db, stats)
             .expect("prepared plan is valid for its own query");
-        let planning = prepared.planning_time();
-        let preprocessing = prepared.preprocessing_time();
-        let mut resp = prepared.run_once(req.workload);
+        let planning = core.planning;
+        let preprocessing = core.preprocessing;
+        let mut resp = core.run_once(req.db, req.workload);
         resp.provenance.planning = planning;
         resp.provenance.execution += preprocessing;
         resp
@@ -388,12 +402,16 @@ impl Engine {
 
     /// Plan-cache counters.
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.lock().expect("plan cache poisoned").stats()
+        self.inner
+            .cache
+            .lock()
+            .expect("plan cache poisoned")
+            .stats()
     }
 
     fn effective_workers(&self) -> usize {
-        if self.config.workers > 0 {
-            self.config.workers
+        if self.inner.config.workers > 0 {
+            self.inner.config.workers
         } else {
             std::thread::available_parallelism().map_or(1, |p| p.get())
         }

@@ -21,6 +21,13 @@ pub enum EngineError {
     Eval(EvalError),
     /// A workload file failed to parse (line-attributed).
     Parse(ParseError),
+    /// A [`crate::Catalog`] lookup or [`crate::Catalog::swap`] named a
+    /// database the catalog does not hold.
+    UnknownDatabase(String),
+    /// [`crate::Catalog::publish`] was given a name that is already
+    /// published (replace an existing database with
+    /// [`crate::Catalog::swap`] instead).
+    DuplicateDatabase(String),
     /// [`crate::Engine::shared_with_config`] lost the initialization
     /// race: the process-wide engine already existed (with whatever
     /// configuration first touched it), so the supplied configuration
@@ -33,6 +40,15 @@ impl std::fmt::Display for EngineError {
         match self {
             EngineError::Eval(e) => write!(f, "evaluation failed: {e}"),
             EngineError::Parse(e) => write!(f, "workload parse error: {e}"),
+            EngineError::UnknownDatabase(name) => {
+                write!(f, "no database `{name}` in the catalog")
+            }
+            EngineError::DuplicateDatabase(name) => {
+                write!(
+                    f,
+                    "database `{name}` is already published (swap to replace it)"
+                )
+            }
             EngineError::SharedEngineInitialized => write!(
                 f,
                 "the shared engine is already initialized; configuration not applied"
@@ -46,7 +62,9 @@ impl std::error::Error for EngineError {
         match self {
             EngineError::Eval(e) => Some(e),
             EngineError::Parse(e) => Some(e),
-            EngineError::SharedEngineInitialized => None,
+            EngineError::UnknownDatabase(_)
+            | EngineError::DuplicateDatabase(_)
+            | EngineError::SharedEngineInitialized => None,
         }
     }
 }

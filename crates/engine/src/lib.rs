@@ -14,21 +14,31 @@
 //!   isomorphism-invariant fingerprint; repeated-*shape* workloads pay
 //!   for decomposition once, and cached GHDs are translated along a
 //!   witness isomorphism into each incoming query's coordinates.
-//! - [`session`]: the **handle-based serving API** — [`Engine::session`]
-//!   wraps one database and snapshots its statistics once;
-//!   [`Session::prepare`] resolves a query's structure analysis and plan
-//!   once (through the cache); [`PreparedQuery::run`] re-executes at zero
-//!   planning cost, and [`PreparedQuery::cursor`] streams `Enumerate`
-//!   answers with constant delay after semijoin-reduction preprocessing.
+//! - [`catalog`]: the **versioned database catalog** — named databases
+//!   published as [`DatabaseSnapshot`]s (data + statistics, computed
+//!   once at publish time) with a per-name epoch; [`Catalog::swap`]
+//!   hot-reloads a database without disturbing pinned readers, and the
+//!   epoch is the invalidation token for prepared-handle caches.
+//! - [`session`]: the **owned, handle-based serving API** —
+//!   [`Engine::session_in`] pins a catalog snapshot ([`Engine::session`]
+//!   is the `&Database` convenience shim); [`Session::prepare`] resolves
+//!   a query's structure analysis and plan once (through the cache);
+//!   [`PreparedQuery::run`] re-executes at zero planning cost, and
+//!   [`PreparedQuery::cursor`] streams `Enumerate` answers with constant
+//!   delay after semijoin-reduction preprocessing. All handles are
+//!   lifetime-free: they stay valid across catalog swaps, scope ends,
+//!   and thread moves, answering consistently against their pinned
+//!   epoch.
 //! - [`engine`]: [`Engine::execute_batch`] evaluates batches of
 //!   `(query, db)` requests over shared databases with scoped worker
 //!   threads, returning per-request answers plus plan provenance.
 //!   `Engine::serve` and friends are compatibility shims over sessions.
 //! - [`server`] *(requires the `serde` feature)*: the **socket serving
 //!   front-end** — a thread-pool TCP server (`cqd2-serve`) framing the
-//!   workload text format, with per-database sessions, shared
-//!   prepared-query caches, a bounded queue with typed backpressure,
-//!   and graceful shutdown. See `docs/PROTOCOL.md`.
+//!   workload text format over a shared [`Catalog`], with per-batch
+//!   snapshot pinning, epoch-validated prepared-query caches, hot
+//!   `Reload` / `CatalogInfo` admin frames, a bounded queue with typed
+//!   backpressure, and graceful shutdown. See `docs/PROTOCOL.md`.
 //! - [`error`]: the typed [`EngineError`] hierarchy (a real
 //!   `std::error::Error` with source chains).
 //! - [`textio`]: a small text format for workload files (queries, facts,
@@ -59,6 +69,7 @@
 //! ```
 
 pub mod cache;
+pub mod catalog;
 pub mod engine;
 pub mod error;
 pub mod plan;
@@ -69,11 +80,12 @@ pub mod session;
 pub mod textio;
 
 pub use cache::{CacheStats, CachedPlan, PlanCache};
+pub use catalog::{Catalog, DatabaseSnapshot};
 pub use engine::{Answer, Engine, EngineConfig, PlanProvenance, Request, Response, Workload};
 pub use error::EngineError;
 pub use plan::{CostEstimate, DataEstimate, PlannedQuery, QueryPlan};
 pub use planner::{PlannedStructure, Planner, PlannerConfig};
 #[cfg(feature = "serde")]
-pub use server::{DbRegistry, Server, ServerConfig, ServerError, ServerHandle, ServerStats};
+pub use server::{Server, ServerConfig, ServerError, ServerHandle, ServerStats};
 pub use session::{AnswerCursor, PreparedQuery, Session};
 pub use textio::ParseError;

@@ -13,6 +13,12 @@
 //! println!("bound to {} ({} facts)", bound.db, bound.facts);
 //! let reply = client.request("@count\nQ: R(?x, ?y)\n").unwrap();
 //! println!("count = {:?}", reply.results[0].answer.as_count());
+//! // Admin round-trips (protocol v2): reload a database in place and
+//! // inspect the catalog's epochs.
+//! let reloaded = client.reload("main", "R(1, 2)\nR(5, 6)\n").unwrap();
+//! println!("`{}` now at epoch {}", reloaded.db, reloaded.epoch);
+//! let info = client.catalog_info().unwrap();
+//! println!("serving {} database(s)", info.databases.len());
 //! ```
 //!
 //! Errors the *server* signalled arrive as
@@ -26,7 +32,7 @@ use std::net::{TcpStream, ToSocketAddrs};
 
 use crate::engine::Workload;
 use crate::server::frame::{read_frame, write_frame, Frame, FrameType};
-use crate::server::wire::{self, WireBound, WireDone, WireResult};
+use crate::server::wire::{self, WireBound, WireCatalog, WireDone, WireReloaded, WireResult};
 use crate::server::ServerError;
 
 /// Client-side cap on accepted response payloads (tuples can be big).
@@ -132,6 +138,41 @@ impl Client {
             .results
             .pop()
             .ok_or_else(|| ServerError::Decode("empty batch reply".to_string()))
+    }
+
+    /// Hot-reload the named database with `facts` (a facts-only
+    /// database text): a protocol-v2 `Reload` admin frame. Requires the
+    /// server to run with `--allow-reload`; otherwise the typed
+    /// `Unauthorized` rejection surfaces as [`ServerError::Rejected`],
+    /// as do `UnknownDb` (name not served) and `Parse` (bad facts,
+    /// `line` naming the payload line) rejections.
+    ///
+    /// On success the returned [`WireReloaded`] carries the new
+    /// epoch: in-flight batches keep answering against the snapshot
+    /// they pinned; queries accepted after this point observe the new
+    /// data.
+    pub fn reload(&mut self, name: &str, facts: &str) -> Result<WireReloaded, ServerError> {
+        let payload = format!("{name}\n{facts}");
+        self.send(FrameType::Reload, payload.as_bytes())?;
+        let frame = self.read()?;
+        match frame.frame_type {
+            FrameType::Reloaded => decode(&frame),
+            FrameType::Error => Err(ServerError::Rejected(decode(&frame)?)),
+            other => Err(ServerError::UnexpectedFrame(other)),
+        }
+    }
+
+    /// Describe the server's catalog (served names, epochs, sizes, and
+    /// whether reloads are enabled): a protocol-v2 `CatalogInfo` admin
+    /// frame.
+    pub fn catalog_info(&mut self) -> Result<WireCatalog, ServerError> {
+        self.send(FrameType::CatalogInfo, b"")?;
+        let frame = self.read()?;
+        match frame.frame_type {
+            FrameType::Catalog => decode(&frame),
+            FrameType::Error => Err(ServerError::Rejected(decode(&frame)?)),
+            other => Err(ServerError::UnexpectedFrame(other)),
+        }
     }
 
     /// The sequence number of the most recent frame sent.

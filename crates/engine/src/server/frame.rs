@@ -23,8 +23,10 @@
 use std::io::{self, Read, Write};
 
 /// The protocol version this build speaks (the first byte of every
-/// frame).
-pub const PROTOCOL_VERSION: u8 = 1;
+/// frame). Version 2 added the catalog admin frames ([`FrameType::Reload`],
+/// [`FrameType::CatalogInfo`] and their responses); version-1 peers get
+/// a typed `Version` error frame, never undefined behavior.
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Frame header length: version byte + type byte + u32 payload length.
 pub const HEADER_LEN: usize = 6;
@@ -42,6 +44,16 @@ pub enum FrameType {
     /// database. Payload: `Q:` lines and `@…` directives
     /// ([`crate::textio::parse_queries`] syntax).
     Query = 0x02,
+    /// Client → server (admin, v2): hot-reload a named database. The
+    /// payload's first line is the database name; the remaining lines
+    /// are the new facts ([`crate::textio::parse_database`] syntax).
+    /// Requires the server to run with reloads enabled
+    /// (`--allow-reload`); rejected with an `Unauthorized` error frame
+    /// otherwise.
+    Reload = 0x03,
+    /// Client → server (admin, v2): describe the server's catalog.
+    /// Payload: empty.
+    CatalogInfo = 0x04,
     /// Server → client: the connection is bound. Payload: JSON
     /// [`crate::server::wire::WireBound`].
     Bound = 0x81,
@@ -51,6 +63,12 @@ pub enum FrameType {
     /// Server → client: a query batch is fully answered. Payload: JSON
     /// [`crate::server::wire::WireDone`].
     Done = 0x83,
+    /// Server → client (v2): a reload was published. Payload: JSON
+    /// [`crate::server::wire::WireReloaded`].
+    Reloaded = 0x84,
+    /// Server → client (v2): the catalog description. Payload: JSON
+    /// [`crate::server::wire::WireCatalog`].
+    Catalog = 0x85,
     /// Server → client: a typed error frame. Payload: JSON
     /// [`crate::server::wire::WireError`].
     Error = 0x7F,
@@ -62,9 +80,13 @@ impl FrameType {
         match b {
             0x01 => Some(FrameType::Bind),
             0x02 => Some(FrameType::Query),
+            0x03 => Some(FrameType::Reload),
+            0x04 => Some(FrameType::CatalogInfo),
             0x81 => Some(FrameType::Bound),
             0x82 => Some(FrameType::Result),
             0x83 => Some(FrameType::Done),
+            0x84 => Some(FrameType::Reloaded),
+            0x85 => Some(FrameType::Catalog),
             0x7F => Some(FrameType::Error),
             _ => None,
         }
@@ -338,6 +360,18 @@ mod tests {
         wrong_version[0] = 9;
         match read_frame(&mut Cursor::new(wrong_version), 1024) {
             Err(PollError::Frame(FrameError::Version(9))) => {}
+            other => panic!("{other:?}"),
+        }
+        // A protocol-1 peer against this protocol-2 build is the
+        // canonical version mismatch: typed, and the message names both
+        // versions.
+        let mut v1 = encode(FrameType::Bind, b"x");
+        v1[0] = 1;
+        match read_frame(&mut Cursor::new(v1), 1024) {
+            Err(PollError::Frame(e @ FrameError::Version(1))) => {
+                let msg = e.to_string();
+                assert!(msg.contains("version 1") && msg.contains('2'), "{msg}");
+            }
             other => panic!("{other:?}"),
         }
         let mut wrong_type = encode(FrameType::Bind, b"x");

@@ -4,9 +4,9 @@
 //! server: a standalone binary (`cqd2-serve`, in `crates/core`) speaks a
 //! length-prefixed framing of the workload-file text format over TCP,
 //! so many concurrent clients share one engine, one plan cache, and one
-//! set of materialized databases. The build environment is offline — no
-//! tokio, no mio — so concurrency is hand-rolled from blocking sockets
-//! and scoped threads:
+//! [`Catalog`] of named databases. The build environment is offline —
+//! no tokio, no mio — so concurrency is hand-rolled from blocking
+//! sockets and scoped threads:
 //!
 //! - an **acceptor** loop (non-blocking `accept` + shutdown polling)
 //!   spawns one reader thread per connection;
@@ -14,38 +14,49 @@
 //!   the connection to a named database, and enqueue query batches on a
 //!   **bounded job queue** ([`queue::JobQueue`]) — a full queue is
 //!   answered *immediately* with a typed `Overloaded` error frame
-//!   (backpressure), never buffered;
-//! - a **worker pool** drains the queue. Each database got a
-//!   [`crate::Session`] at startup (statistics snapshotted
-//!   once) and keeps a shared cache of [`crate::PreparedQuery`] handles
-//!   keyed by query text, so repeated queries skip planning *and* bag
-//!   materialization — the amortization the paper's `O(‖D‖^w)`
-//!   preprocessing bound makes worthwhile (and that
-//!   `benches/engine_serve_concurrent.rs` gates at ≥ 1.5× over
-//!   sequential batch execution);
+//!   (backpressure), never buffered. Each accepted batch **pins the
+//!   catalog's current snapshot** in an owned [`crate::Session`], so
+//!   its answers stay consistent even if a reload swaps the database
+//!   mid-execution;
+//! - a **worker pool** drains the queue. Each database name keeps a
+//!   shared cache of warm [`crate::PreparedQuery`] handles keyed by
+//!   query text **and validated by epoch**: repeated queries skip
+//!   planning *and* bag materialization — the amortization the paper's
+//!   `O(‖D‖^w)` preprocessing bound makes worthwhile (gated ≥ 1.5× by
+//!   `benches/engine_serve_concurrent.rs`) — and a handle prepared
+//!   against epoch N is never served once a reload publishes N+1;
+//! - **admin frames** (protocol v2): `Reload` atomically publishes a
+//!   new snapshot for a served name via [`Catalog::swap`] (enabled by
+//!   `ServerConfig::allow_reload` / `--allow-reload`; rejected with a
+//!   typed `Unauthorized` error otherwise), and `CatalogInfo` describes
+//!   the served names with their epochs;
 //! - **graceful shutdown**: a [`ServerHandle`] (or SIGINT/SIGTERM via
 //!   [`signal::install_shutdown_signals`]) flips an atomic flag; the
 //!   acceptor stops, accepted work drains, connections are notified
 //!   with a `ShuttingDown` error frame, and [`Server::run`] returns the
 //!   final [`ServerStats`].
 //!
-//! The wire protocol (frame layout, error codes, backpressure and
-//! shutdown semantics) is specified in `docs/PROTOCOL.md`;
+//! The wire protocol (frame layout, error codes, backpressure, reload
+//! and shutdown semantics) is specified in `docs/PROTOCOL.md`;
 //! [`client::Client`] implements it for scripted round-trips and the
 //! `cqd2-analyze client` subcommand.
 //!
 //! ```no_run
-//! use cqd2_engine::server::{DbRegistry, Server, ServerConfig};
-//! use cqd2_engine::Engine;
+//! use cqd2_engine::server::{Server, ServerConfig};
+//! use cqd2_engine::{Catalog, Engine};
 //!
-//! let mut registry = DbRegistry::new();
-//! registry.load_str("main", "R(1, 2)\nS(2, 3)\n").unwrap();
+//! let catalog = Catalog::new();
+//! catalog.publish_str("main", "R(1, 2)\nS(2, 3)\n").unwrap();
 //! let engine = Engine::default();
-//! let server = Server::bind("127.0.0.1:7878", ServerConfig::default()).unwrap();
+//! let config = ServerConfig {
+//!     allow_reload: true, // accept v2 `Reload` admin frames
+//!     ..ServerConfig::default()
+//! };
+//! let server = Server::bind("127.0.0.1:7878", config).unwrap();
 //! let handle = server.handle(); // hand to a signal handler / another thread
 //! cqd2_engine::server::signal::install_shutdown_signals(&handle);
-//! let stats = server.run(&engine, &registry).unwrap(); // blocks until shutdown
-//! println!("served {} queries", stats.answered);
+//! let stats = server.run(&engine, &catalog).unwrap(); // blocks until shutdown
+//! println!("served {} queries over {} reloads", stats.answered, stats.reloads);
 //! ```
 
 pub mod client;
@@ -62,8 +73,9 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use cqd2_cq::eval::with_sequential_bags;
-use cqd2_cq::{ConjunctiveQuery, Database};
+use cqd2_cq::ConjunctiveQuery;
 
+use crate::catalog::Catalog;
 use crate::engine::{Engine, Workload};
 use crate::error::EngineError;
 use crate::session::{PreparedQuery, Session};
@@ -71,7 +83,9 @@ use crate::textio::{self, ParseError};
 
 use frame::{FrameError, FrameReader, FrameType, PollError, ReadEvent};
 use queue::{JobQueue, PushError};
-use wire::{ErrorCode, WireBound, WireDone, WireError, WireResult};
+use wire::{
+    ErrorCode, WireBound, WireCatalog, WireCatalogDb, WireDone, WireError, WireReloaded, WireResult,
+};
 
 // ---------------------------------------------------------------------
 // Configuration.
@@ -97,6 +111,11 @@ pub struct ServerConfig {
     /// At shutdown, how long a connection waits for its in-flight
     /// batches to drain before closing anyway.
     pub drain_timeout: Duration,
+    /// Whether `Reload` admin frames are accepted (`--allow-reload`).
+    /// Off by default: a reload mutates served data, so it must be
+    /// opted into; without it, `Reload` gets a typed `Unauthorized`
+    /// error frame.
+    pub allow_reload: bool,
 }
 
 impl Default for ServerConfig {
@@ -108,6 +127,7 @@ impl Default for ServerConfig {
             max_frame_len: 16 * 1024 * 1024,
             poll_interval: Duration::from_millis(20),
             drain_timeout: Duration::from_secs(5),
+            allow_reload: false,
         }
     }
 }
@@ -125,14 +145,13 @@ pub enum ServerError {
     Io(io::Error),
     /// The peer violated the frame protocol.
     Frame(FrameError),
-    /// The engine failed while planning or evaluating.
+    /// The engine failed while planning, evaluating, or touching the
+    /// catalog (unknown or duplicate database names included).
     Engine(EngineError),
     /// A workload / database / query-batch text failed to parse.
     Parse(ParseError),
     /// A payload that should have been JSON did not decode.
     Decode(String),
-    /// [`DbRegistry::insert`] was given a name that is already taken.
-    DuplicateDatabase(String),
     /// The server answered with a typed error frame (client side).
     Rejected(WireError),
     /// The server sent a frame the client did not expect in this state.
@@ -147,9 +166,6 @@ impl std::fmt::Display for ServerError {
             ServerError::Engine(e) => write!(f, "engine error: {e}"),
             ServerError::Parse(e) => write!(f, "parse error: {e}"),
             ServerError::Decode(msg) => write!(f, "malformed JSON payload: {msg}"),
-            ServerError::DuplicateDatabase(name) => {
-                write!(f, "database `{name}` is already registered")
-            }
             ServerError::Rejected(e) => {
                 write!(
                     f,
@@ -208,87 +224,6 @@ impl From<PollError> for ServerError {
 }
 
 // ---------------------------------------------------------------------
-// Database registry.
-// ---------------------------------------------------------------------
-
-/// The named databases a server instance offers. Loaded once at
-/// startup; connections bind to entries by name and get the session
-/// (and its statistics snapshot) created for that database.
-#[derive(Default)]
-pub struct DbRegistry {
-    entries: Vec<(String, Database)>,
-}
-
-impl DbRegistry {
-    /// An empty registry.
-    pub fn new() -> DbRegistry {
-        DbRegistry::default()
-    }
-
-    /// Register `db` under `name`; names must be unique.
-    pub fn insert(&mut self, name: impl Into<String>, db: Database) -> Result<(), ServerError> {
-        let name = name.into();
-        if self.index_of(&name).is_some() {
-            return Err(ServerError::DuplicateDatabase(name));
-        }
-        self.entries.push((name, db));
-        Ok(())
-    }
-
-    /// Parse a facts-only database file body ([`textio::parse_database`])
-    /// and register it under `name`.
-    pub fn load_str(&mut self, name: impl Into<String>, text: &str) -> Result<(), ServerError> {
-        let db = textio::parse_database(text)?;
-        self.insert(name, db)
-    }
-
-    /// Read and register a facts-only database file from disk.
-    pub fn load_file(
-        &mut self,
-        name: impl Into<String>,
-        path: &std::path::Path,
-    ) -> Result<(), ServerError> {
-        let text = std::fs::read_to_string(path)?;
-        self.load_str(name, &text)
-    }
-
-    /// The index of `name`, if registered.
-    pub fn index_of(&self, name: &str) -> Option<usize> {
-        self.entries.iter().position(|(n, _)| n == name)
-    }
-
-    /// The `i`-th entry's name.
-    pub fn name(&self, i: usize) -> &str {
-        &self.entries[i].0
-    }
-
-    /// The `i`-th entry's database.
-    pub fn db(&self, i: usize) -> &Database {
-        &self.entries[i].1
-    }
-
-    /// All databases, in registration order.
-    pub fn databases(&self) -> impl Iterator<Item = &Database> {
-        self.entries.iter().map(|(_, db)| db)
-    }
-
-    /// All names, in registration order.
-    pub fn names(&self) -> impl Iterator<Item = &str> {
-        self.entries.iter().map(|(n, _)| n.as_str())
-    }
-
-    /// Number of registered databases.
-    pub fn len(&self) -> usize {
-        self.entries.len()
-    }
-
-    /// Whether no database is registered.
-    pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
-    }
-}
-
-// ---------------------------------------------------------------------
 // Stats.
 // ---------------------------------------------------------------------
 
@@ -307,6 +242,8 @@ struct StatsInner {
     internal_errors: AtomicU64,
     prepared_hits: AtomicU64,
     prepared_misses: AtomicU64,
+    reloads: AtomicU64,
+    rejected_unauthorized: AtomicU64,
 }
 
 impl StatsInner {
@@ -327,6 +264,8 @@ impl StatsInner {
             internal_errors: self.internal_errors.load(Ordering::Relaxed),
             prepared_hits: self.prepared_hits.load(Ordering::Relaxed),
             prepared_misses: self.prepared_misses.load(Ordering::Relaxed),
+            reloads: self.reloads.load(Ordering::Relaxed),
+            rejected_unauthorized: self.rejected_unauthorized.load(Ordering::Relaxed),
         }
     }
 }
@@ -355,27 +294,37 @@ pub struct ServerStats {
     pub internal_errors: u64,
     /// Executions that reused a warm prepared-query handle.
     pub prepared_hits: u64,
-    /// Executions that prepared (planned + materialized) fresh.
+    /// Executions that prepared (planned + materialized) fresh —
+    /// including re-prepares forced by an epoch bump after a reload.
     pub prepared_misses: u64,
+    /// Successful `Reload` publications ([`Catalog::swap`]s).
+    pub reloads: u64,
+    /// `Reload` frames rejected because the server runs without
+    /// `allow_reload`.
+    pub rejected_unauthorized: u64,
 }
 
 // ---------------------------------------------------------------------
 // Prepared-query cache.
 // ---------------------------------------------------------------------
 
-/// Per-database cache of warm [`PreparedQuery`] handles, keyed by the
-/// query's canonical rendering ([`ConjunctiveQuery::display`]). Bounded
-/// FIFO: when full, the oldest entry is evicted (repeated-workload
-/// serving re-prepares it on next use; the engine's isomorphism-keyed
-/// plan cache still amortizes the structure analysis underneath).
-struct PreparedCache<'s> {
+/// Per-database cache of warm, **owned** [`PreparedQuery`] handles,
+/// keyed by the query's canonical rendering
+/// ([`ConjunctiveQuery::display`]) and validated by catalog **epoch**:
+/// each handle pins the snapshot it was prepared against, and a lookup
+/// for a newer epoch treats the entry as stale — it is dropped on the
+/// spot, never served. Bounded FIFO: when full, the oldest entry is
+/// evicted (repeated-workload serving re-prepares it on next use; the
+/// engine's isomorphism-keyed plan cache still amortizes the structure
+/// analysis underneath).
+struct PreparedCache {
     capacity: usize,
-    map: HashMap<String, Arc<PreparedQuery<'s>>>,
+    map: HashMap<String, Arc<PreparedQuery>>,
     order: VecDeque<String>,
 }
 
-impl<'s> PreparedCache<'s> {
-    fn new(capacity: usize) -> PreparedCache<'s> {
+impl PreparedCache {
+    fn new(capacity: usize) -> PreparedCache {
         PreparedCache {
             capacity: capacity.max(1),
             map: HashMap::new(),
@@ -383,13 +332,34 @@ impl<'s> PreparedCache<'s> {
         }
     }
 
-    fn get(&self, key: &str) -> Option<Arc<PreparedQuery<'s>>> {
-        self.map.get(key).cloned()
+    /// The warm handle for `key` at exactly `epoch`. A handle from an
+    /// *older* epoch is stale (its data was reloaded away): it is
+    /// removed and the lookup misses, so the caller re-prepares against
+    /// its own pinned snapshot. A handle from a *newer* epoch also
+    /// misses — the caller is a lagging batch pinned to a pre-reload
+    /// snapshot — but stays cached: evicting it would make interleaved
+    /// old- and new-epoch batches ping-pong the entry and re-pay the
+    /// `O(‖D‖^width)` materialization on every lookup.
+    fn get(&mut self, key: &str, epoch: u64) -> Option<Arc<PreparedQuery>> {
+        match self.map.get(key) {
+            Some(p) if p.epoch() == epoch => Some(Arc::clone(p)),
+            Some(p) if p.epoch() < epoch => {
+                self.map.remove(key);
+                self.order.retain(|k| k != key);
+                None
+            }
+            _ => None,
+        }
     }
 
-    fn insert(&mut self, key: String, prepared: Arc<PreparedQuery<'s>>) {
-        if self.map.contains_key(&key) {
-            return; // another worker prepared the same text concurrently
+    fn insert(&mut self, key: String, prepared: Arc<PreparedQuery>) {
+        if let Some(existing) = self.map.get_mut(&key) {
+            // Another worker prepared the same text concurrently: keep
+            // whichever pins the newer epoch (ties keep the first).
+            if prepared.epoch() > existing.epoch() {
+                *existing = prepared;
+            }
+            return;
         }
         while self.map.len() >= self.capacity {
             match self.order.pop_front() {
@@ -401,6 +371,17 @@ impl<'s> PreparedCache<'s> {
         }
         self.order.push_back(key.clone());
         self.map.insert(key, prepared);
+    }
+
+    /// Drop every entry not pinning `current_epoch` (called after a
+    /// reload so stale bag trees release their memory eagerly instead
+    /// of waiting to be looked up). Returns how many were dropped.
+    fn purge_stale(&mut self, current_epoch: u64) -> usize {
+        let before = self.map.len();
+        self.map.retain(|_, p| p.epoch() == current_epoch);
+        let map = &self.map;
+        self.order.retain(|k| map.contains_key(k));
+        before - self.map.len()
     }
 }
 
@@ -454,11 +435,14 @@ struct QueryItem {
     workload: Workload,
 }
 
-/// One accepted `Query` frame: the batch, where to run it, where to
-/// answer.
-struct Job<'s> {
-    session: &'s Session<'s>,
-    prepared: &'s Mutex<PreparedCache<'s>>,
+/// One accepted `Query` frame: the batch, the owned session pinning the
+/// snapshot it runs against, where to answer.
+struct Job<'e> {
+    /// Owned session pinning the catalog snapshot that was current when
+    /// the batch was accepted — a concurrent reload cannot change what
+    /// this batch answers.
+    session: Session,
+    prepared: &'e Mutex<PreparedCache>,
     writer: Arc<ConnWriter>,
     request: u64,
     items: Vec<QueryItem>,
@@ -467,9 +451,12 @@ struct Job<'s> {
 /// Everything a connection thread needs, borrowed from [`Server::run`]'s
 /// stack (all threads are scoped, so plain references suffice).
 struct ConnCtx<'e> {
-    registry: &'e DbRegistry,
-    sessions: &'e [Session<'e>],
-    caches: &'e [Mutex<PreparedCache<'e>>],
+    engine: &'e Engine,
+    catalog: &'e Catalog,
+    /// The names served (snapshotted at startup — reloads swap content,
+    /// they never add or remove names).
+    names: &'e [String],
+    caches: &'e [Mutex<PreparedCache>],
     queue: &'e JobQueue<Job<'e>>,
     config: &'e ServerConfig,
     shutdown: &'e AtomicBool,
@@ -483,6 +470,12 @@ impl<'e> Clone for ConnCtx<'e> {
 }
 
 impl<'e> Copy for ConnCtx<'e> {}
+
+impl<'e> ConnCtx<'e> {
+    fn name_index(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+}
 
 // ---------------------------------------------------------------------
 // The server.
@@ -560,14 +553,16 @@ impl Server {
     }
 
     /// Serve until shutdown. Blocks the calling thread; all worker and
-    /// connection threads are scoped inside, so `engine` and `registry`
-    /// are plain borrows — no leaking, no `'static` bounds. One
-    /// [`Session`] is opened per registered database up front
-    /// (statistics snapshotted once for the server's lifetime), along
-    /// with one prepared-query cache per database.
+    /// connection threads are scoped inside, so `engine` and `catalog`
+    /// are plain borrows — no leaking, no `'static` bounds. The set of
+    /// served *names* is snapshotted here (one epoch-validated
+    /// prepared-query cache per name); the *content* behind each name
+    /// is resolved from the catalog per accepted batch, which is what
+    /// makes `Reload` visible to new work while in-flight batches keep
+    /// their pinned snapshots.
     ///
     /// Returns the final [`ServerStats`] once every thread has exited.
-    pub fn run(self, engine: &Engine, registry: &DbRegistry) -> io::Result<ServerStats> {
+    pub fn run(self, engine: &Engine, catalog: &Catalog) -> io::Result<ServerStats> {
         let Server {
             listener,
             config,
@@ -575,9 +570,8 @@ impl Server {
             stats,
         } = self;
         listener.set_nonblocking(true)?;
-        let sessions: Vec<Session<'_>> =
-            registry.databases().map(|db| engine.session(db)).collect();
-        let caches: Vec<Mutex<PreparedCache<'_>>> = sessions
+        let names: Vec<String> = catalog.names();
+        let caches: Vec<Mutex<PreparedCache>> = names
             .iter()
             .map(|_| Mutex::new(PreparedCache::new(config.prepared_capacity)))
             .collect();
@@ -597,8 +591,9 @@ impl Server {
                 scope.spawn(move || worker_loop(queue, stats, sequential_bags));
             }
             let ctx = ConnCtx {
-                registry,
-                sessions: &sessions,
+                engine,
+                catalog,
+                names: &names,
                 caches: &caches,
                 queue: &queue,
                 config: &config,
@@ -640,15 +635,16 @@ fn worker_loop(queue: &JobQueue<Job<'_>>, stats: &StatsInner, sequential_bags: b
 }
 
 /// Execute one accepted batch: resolve (or prepare) each query's warm
-/// handle, run it, frame the answer. Any error frame terminates the
-/// batch (no `Done` follows), matching the protocol's "error ends the
-/// request" rule.
+/// handle against the batch's pinned epoch, run it, frame the answer.
+/// Any error frame terminates the batch (no `Done` follows), matching
+/// the protocol's "error ends the request" rule.
 fn execute_job(job: Job<'_>, stats: &StatsInner, sequential_bags: bool) {
+    let epoch = job.session.epoch();
     let mut results = 0u64;
     for (index, item) in job.items.iter().enumerate() {
         let cached = {
-            let cache = job.prepared.lock().expect("prepared cache poisoned");
-            cache.get(&item.key)
+            let mut cache = job.prepared.lock().expect("prepared cache poisoned");
+            cache.get(&item.key, epoch)
         };
         let (prepared, prepared_hit) = match cached {
             Some(p) => (p, true),
@@ -657,7 +653,10 @@ fn execute_job(job: Job<'_>, stats: &StatsInner, sequential_bags: bool) {
                 // materialization are the expensive part, and other
                 // workers must stay free to hit the cache meanwhile. A
                 // concurrent duplicate prepare is possible and benign
-                // (first insert wins).
+                // (the cache keeps the newest epoch). The handle is
+                // prepared on the *pinned* session, so even a reload
+                // racing this prepare cannot mix epochs within the
+                // batch.
                 match job.session.prepare(&item.query) {
                     Ok(p) => {
                         let p = Arc::new(p);
@@ -755,8 +754,19 @@ fn conn_loop(ctx: ConnCtx<'_>, stream: TcpStream) {
                             return;
                         }
                     }
+                    FrameType::Reload => {
+                        handle_reload(ctx, &writer, seq, &f);
+                    }
+                    FrameType::CatalogInfo => {
+                        handle_catalog_info(ctx, &writer, seq);
+                    }
                     // Server→client frame types are never valid inbound.
-                    FrameType::Bound | FrameType::Result | FrameType::Done | FrameType::Error => {
+                    FrameType::Bound
+                    | FrameType::Result
+                    | FrameType::Done
+                    | FrameType::Reloaded
+                    | FrameType::Catalog
+                    | FrameType::Error => {
                         StatsInner::bump(&ctx.stats.protocol_errors);
                         let _ = writer.send_error(
                             Some(seq),
@@ -782,7 +792,7 @@ fn conn_loop(ctx: ConnCtx<'_>, stream: TcpStream) {
     }
 }
 
-/// Answer a `Bind` frame. Returns the newly bound shard index, or
+/// Answer a `Bind` frame. Returns the newly bound database index, or
 /// `None` if the bind failed (the connection keeps any previous bind).
 fn handle_bind(ctx: ConnCtx<'_>, writer: &ConnWriter, seq: u64, f: &frame::Frame) -> Option<usize> {
     let name = match f.text() {
@@ -793,26 +803,25 @@ fn handle_bind(ctx: ConnCtx<'_>, writer: &ConnWriter, seq: u64, f: &frame::Frame
             return None;
         }
     };
-    match ctx.registry.index_of(name) {
-        Some(i) => {
-            let db = ctx.registry.db(i);
+    match (ctx.name_index(name), ctx.catalog.get(name)) {
+        (Some(i), Some(snapshot)) => {
             let _ = writer.send_json(
                 FrameType::Bound,
                 &WireBound {
                     request: seq,
                     db: name.to_string(),
-                    facts: db.size() as u64,
-                    relations: db.relations().count() as u64,
+                    facts: snapshot.db().size() as u64,
+                    relations: snapshot.db().relations().count() as u64,
+                    epoch: snapshot.epoch(),
                 },
             );
             Some(i)
         }
-        None => {
-            let known: Vec<&str> = ctx.registry.names().collect();
+        _ => {
             let _ = writer.send_error(
                 Some(seq),
                 ErrorCode::UnknownDb,
-                format!("no database `{name}` (serving: {})", known.join(", ")),
+                format!("no database `{name}` (serving: {})", ctx.names.join(", ")),
                 None,
             );
             None
@@ -820,8 +829,9 @@ fn handle_bind(ctx: ConnCtx<'_>, writer: &ConnWriter, seq: u64, f: &frame::Frame
     }
 }
 
-/// Answer a `Query` frame: parse, then enqueue (or reject). Returns
-/// `false` when the connection must close (shutdown).
+/// Answer a `Query` frame: parse, pin the current snapshot, then
+/// enqueue (or reject). Returns `false` when the connection must close
+/// (shutdown).
 fn handle_query(
     ctx: ConnCtx<'_>,
     writer: &Arc<ConnWriter>,
@@ -829,7 +839,7 @@ fn handle_query(
     bound: Option<usize>,
     f: &frame::Frame,
 ) -> bool {
-    let Some(shard) = bound else {
+    let Some(db_index) = bound else {
         let _ = writer.send_error(
             Some(seq),
             ErrorCode::NotBound,
@@ -859,6 +869,18 @@ fn handle_query(
             return true;
         }
     };
+    // Pin the catalog's current snapshot *now*: the batch executes
+    // against exactly this epoch no matter how many reloads land while
+    // it waits in the queue or streams its results.
+    let session = match ctx.engine.session_in(ctx.catalog, &ctx.names[db_index]) {
+        Ok(s) => s,
+        Err(e) => {
+            // Unreachable while names never leave the catalog, but keep
+            // it a typed frame rather than a panic.
+            let _ = writer.send_error(Some(seq), ErrorCode::UnknownDb, e.to_string(), None);
+            return true;
+        }
+    };
     let items: Vec<QueryItem> = parsed
         .into_iter()
         .map(|(query, mode)| QueryItem {
@@ -870,8 +892,8 @@ fn handle_query(
     let n_queries = items.len() as u64;
     writer.pending.fetch_add(1, Ordering::SeqCst);
     let job = Job {
-        session: &ctx.sessions[shard],
-        prepared: &ctx.caches[shard],
+        session,
+        prepared: &ctx.caches[db_index],
         writer: Arc::clone(writer),
         request: seq,
         items,
@@ -909,6 +931,110 @@ fn handle_query(
     }
 }
 
+/// Answer a `Reload` admin frame: authorize, parse (first payload line
+/// = database name, rest = facts), swap the catalog, purge the name's
+/// stale prepared handles, answer `Reloaded`. Handled inline on the
+/// connection thread — reloads are rare control-plane work and must
+/// not compete with queries for worker slots (and the swap itself
+/// never blocks query execution: in-flight batches hold their own
+/// pins).
+fn handle_reload(ctx: ConnCtx<'_>, writer: &ConnWriter, seq: u64, f: &frame::Frame) {
+    if !ctx.config.allow_reload {
+        StatsInner::bump(&ctx.stats.rejected_unauthorized);
+        let _ = writer.send_error(
+            Some(seq),
+            ErrorCode::Unauthorized,
+            "this server does not accept reloads (start it with --allow-reload)",
+            None,
+        );
+        return;
+    }
+    let text = match f.text() {
+        Ok(t) => t,
+        Err(e) => {
+            StatsInner::bump(&ctx.stats.protocol_errors);
+            let _ = writer.send_error(Some(seq), ErrorCode::BadFrame, e.to_string(), None);
+            return;
+        }
+    };
+    let (name, facts) = match text.split_once('\n') {
+        Some((first, rest)) => (first.trim(), rest),
+        None => (text.trim(), ""),
+    };
+    // An unknown name is not a parse failure: answer the typed frame
+    // without touching any counter, exactly like `handle_bind`.
+    let Some(db_index) = ctx.name_index(name) else {
+        let _ = writer.send_error(
+            Some(seq),
+            ErrorCode::UnknownDb,
+            format!("no database `{name}` (serving: {})", ctx.names.join(", ")),
+            None,
+        );
+        return;
+    };
+    let snapshot = match ctx.catalog.swap_str(name, facts) {
+        Ok(s) => s,
+        Err(EngineError::Parse(e)) => {
+            StatsInner::bump(&ctx.stats.parse_errors);
+            let _ = writer.send_error(
+                Some(seq),
+                ErrorCode::Parse,
+                e.message.clone(),
+                // The facts start on payload line 2 (after the name
+                // line); report payload-relative lines.
+                e.line.map(|l| l as u64 + 1),
+            );
+            return;
+        }
+        Err(e) => {
+            StatsInner::bump(&ctx.stats.internal_errors);
+            let _ = writer.send_error(Some(seq), ErrorCode::Internal, e.to_string(), None);
+            return;
+        }
+    };
+    // Eagerly release the old epoch's pinned bag trees; lookups would
+    // drop them lazily anyway, but cold entries could linger.
+    ctx.caches[db_index]
+        .lock()
+        .expect("prepared cache poisoned")
+        .purge_stale(snapshot.epoch());
+    StatsInner::bump(&ctx.stats.reloads);
+    let _ = writer.send_json(
+        FrameType::Reloaded,
+        &WireReloaded {
+            request: seq,
+            db: name.to_string(),
+            epoch: snapshot.epoch(),
+            facts: snapshot.db().size() as u64,
+            relations: snapshot.db().relations().count() as u64,
+        },
+    );
+}
+
+/// Answer a `CatalogInfo` admin frame with the served names, their
+/// epochs, and whether reloads are enabled.
+fn handle_catalog_info(ctx: ConnCtx<'_>, writer: &ConnWriter, seq: u64) {
+    let databases = ctx
+        .names
+        .iter()
+        .filter_map(|name| ctx.catalog.get(name))
+        .map(|snapshot| WireCatalogDb {
+            name: snapshot.name().to_string(),
+            epoch: snapshot.epoch(),
+            facts: snapshot.db().size() as u64,
+            relations: snapshot.db().relations().count() as u64,
+        })
+        .collect();
+    let _ = writer.send_json(
+        FrameType::Catalog,
+        &WireCatalog {
+            request: seq,
+            reload_enabled: ctx.config.allow_reload,
+            databases,
+        },
+    );
+}
+
 /// At shutdown, wait (bounded) for this connection's accepted batches
 /// to be fully answered, then send `ShuttingDown` and close.
 fn drain_then_goodbye(ctx: ConnCtx<'_>, writer: &ConnWriter) {
@@ -922,37 +1048,20 @@ fn drain_then_goodbye(ctx: ConnCtx<'_>, writer: &ConnWriter) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cqd2_cq::Database;
 
-    #[test]
-    fn registry_rejects_duplicates_and_resolves_names() {
-        let mut reg = DbRegistry::new();
-        reg.load_str("a", "R(1, 2)\n").unwrap();
-        reg.load_str("b", "S(3)\n").unwrap();
-        assert!(matches!(
-            reg.load_str("a", "T(0)\n"),
-            Err(ServerError::DuplicateDatabase(_))
-        ));
-        assert_eq!(reg.index_of("b"), Some(1));
-        assert_eq!(reg.index_of("missing"), None);
-        assert_eq!(reg.name(0), "a");
-        assert_eq!(reg.db(0).size(), 1);
-        assert_eq!(reg.len(), 2);
-        assert!(!reg.is_empty());
-        // Database files reject workload syntax.
-        assert!(matches!(
-            reg.load_str("c", "Q: R(?x)\n"),
-            Err(ServerError::Parse(_))
-        ));
+    fn catalog_session(catalog: &Catalog, engine: &Engine, name: &str) -> Session {
+        engine.session_in(catalog, name).expect("session")
     }
 
     #[test]
     fn prepared_cache_is_bounded_fifo() {
-        // Exercise the eviction policy shape-only (no engine needed):
+        // Exercise the eviction policy shape-only (no server needed):
         // capacity clamps to ≥ 1 and FIFO-evicts.
         let engine = Engine::default();
-        let mut db = Database::new();
-        db.insert_all("R", &[vec![1, 2]]);
-        let session = engine.session(&db);
+        let catalog = Catalog::new();
+        catalog.publish_str("main", "R(1, 2)\n").unwrap();
+        let session = catalog_session(&catalog, &engine, "main");
         let mut cache = PreparedCache::new(2);
         let q1 = ConjunctiveQuery::parse(&[("R", &["?x", "?y"])]);
         let q2 = ConjunctiveQuery::parse(&[("R", &["?x", "?x"])]);
@@ -961,13 +1070,148 @@ mod tests {
             let p = Arc::new(session.prepare(q).unwrap());
             cache.insert(q.display(), p);
         }
-        assert!(cache.get(&q1.display()).is_none(), "oldest evicted");
-        assert!(cache.get(&q2.display()).is_some());
-        assert!(cache.get(&q3.display()).is_some());
+        assert!(cache.get(&q1.display(), 0).is_none(), "oldest evicted");
+        assert!(cache.get(&q2.display(), 0).is_some());
+        assert!(cache.get(&q3.display(), 0).is_some());
         // Re-inserting an existing key is a no-op, not a duplicate.
         let p = Arc::new(session.prepare(&q2).unwrap());
         cache.insert(q2.display(), p);
         assert_eq!(cache.map.len(), 2);
+    }
+
+    #[test]
+    fn prepared_cache_never_serves_a_stale_epoch() {
+        let engine = Engine::default();
+        let catalog = Catalog::new();
+        catalog.publish_str("main", "R(1, 2)\n").unwrap();
+        let q = ConjunctiveQuery::parse(&[("R", &["?x", "?y"])]);
+        let key = q.display();
+
+        let mut cache = PreparedCache::new(8);
+        let old = catalog_session(&catalog, &engine, "main");
+        cache.insert(key.clone(), Arc::new(old.prepare(&q).unwrap()));
+        assert_eq!(
+            cache
+                .get(&key, 0)
+                .expect("same epoch hits")
+                .run(Workload::Count)
+                .answer
+                .as_count(),
+            Some(1)
+        );
+
+        // Reload publishes epoch 1: the warm epoch-0 handle must not be
+        // served to epoch-1 sessions — and the stale entry is dropped.
+        catalog.swap_str("main", "R(1, 2)\nR(3, 4)\n").unwrap();
+        assert!(cache.get(&key, 1).is_none(), "stale handle served");
+        assert!(cache.map.is_empty(), "stale entry dropped on lookup");
+
+        // A fresh prepare against the new epoch repopulates, and
+        // answers from the new data.
+        let new = catalog_session(&catalog, &engine, "main");
+        cache.insert(key.clone(), Arc::new(new.prepare(&q).unwrap()));
+        assert_eq!(
+            cache
+                .get(&key, 1)
+                .expect("new epoch hits")
+                .run(Workload::Count)
+                .answer
+                .as_count(),
+            Some(2)
+        );
+
+        // A lagging batch pinned to an older epoch misses on the newer
+        // entry but must NOT evict it (that would ping-pong the cache
+        // between interleaved old- and new-epoch batches).
+        assert!(cache.get(&key, 0).is_none());
+        assert!(
+            cache.get(&key, 1).is_some(),
+            "older-epoch lookups must not evict newer handles"
+        );
+
+        // purge_stale drops everything from other epochs in one pass.
+        catalog.swap_str("main", "R(9, 9)\n").unwrap();
+        assert_eq!(cache.purge_stale(2), 1);
+        assert!(cache.map.is_empty() && cache.order.is_empty());
+    }
+
+    #[test]
+    fn prepared_cache_eviction_is_consistent_under_concurrent_clients() {
+        // Satellite coverage: many threads hammer one small cache with
+        // overlapping query texts across an epoch bump. Invariants: the
+        // cache never exceeds capacity, a lookup never returns a handle
+        // from a different epoch than asked for, and every served
+        // answer matches the epoch it was requested under.
+        let engine = Engine::default();
+        let catalog = Catalog::new();
+        catalog.publish_str("main", "R(1, 2)\nR(2, 3)\n").unwrap();
+        let queries: Vec<ConjunctiveQuery> = vec![
+            ConjunctiveQuery::parse(&[("R", &["?x", "?y"])]),
+            ConjunctiveQuery::parse(&[("R", &["?x", "?x"])]),
+            ConjunctiveQuery::parse(&[("R", &["?a", "?b"]), ("R", &["?b", "?c"])]),
+            ConjunctiveQuery::parse(&[("R", &["?a", "?b"]), ("R", &["?a", "?c"])]),
+        ];
+        let capacity = 2;
+        let cache = Mutex::new(PreparedCache::new(capacity));
+        let expected_by_epoch = |epoch: u64, q: &ConjunctiveQuery| -> u128 {
+            let session = catalog_session(&catalog, &engine, "main");
+            assert_eq!(session.epoch(), epoch);
+            session
+                .run(q, Workload::Count)
+                .unwrap()
+                .answer
+                .as_count()
+                .unwrap()
+        };
+        let expect0: Vec<u128> = queries.iter().map(|q| expected_by_epoch(0, q)).collect();
+
+        let barrier = std::sync::Barrier::new(8);
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let cache = &cache;
+                let catalog = &catalog;
+                let engine = &engine;
+                let queries = &queries;
+                let expect0 = &expect0;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    for i in 0..60 {
+                        let q = &queries[(t + i) % queries.len()];
+                        let key = q.display();
+                        // Pin like a worker does: session first, then
+                        // epoch-validated cache lookup.
+                        let session = engine.session_in(catalog, "main").unwrap();
+                        let epoch = session.epoch();
+                        let cached = cache.lock().unwrap().get(&key, epoch);
+                        let prepared = match cached {
+                            Some(p) => p,
+                            None => {
+                                let p = Arc::new(session.prepare(q).unwrap());
+                                let mut locked = cache.lock().unwrap();
+                                locked.insert(key.clone(), Arc::clone(&p));
+                                assert!(locked.map.len() <= capacity, "capacity exceeded");
+                                p
+                            }
+                        };
+                        assert_eq!(prepared.epoch(), epoch, "epoch mixed across handles");
+                        let got = prepared.run(Workload::Count).answer.as_count().unwrap();
+                        if epoch == 0 {
+                            assert_eq!(got, expect0[(t + i) % queries.len()]);
+                        } else {
+                            // After the swap the database is empty: every
+                            // count is 0, never a stale epoch-0 answer.
+                            assert_eq!(got, 0, "stale answer served after reload");
+                        }
+                        if t == 0 && i == 20 {
+                            catalog.swap("main", Database::new()).unwrap();
+                        }
+                    }
+                });
+            }
+        });
+        let final_len = cache.lock().unwrap().map.len();
+        assert!(final_len <= capacity);
     }
 
     #[test]
@@ -982,5 +1226,7 @@ mod tests {
             line: None,
         });
         assert!(e.to_string().contains("Overloaded"), "{e}");
+        let e = ServerError::from(EngineError::UnknownDatabase("x".into()));
+        assert!(e.to_string().contains("`x`"), "{e}");
     }
 }

@@ -11,7 +11,9 @@ use serde::{Deserialize, Serialize};
 use crate::engine::{Answer, Response, Workload};
 
 /// Payload of a [`crate::server::frame::FrameType::Bound`] frame: the
-/// connection is now bound to `db`.
+/// connection is now bound to `db`. `facts`/`relations`/`epoch`
+/// describe the catalog's *current* snapshot at bind time; each query
+/// batch pins whatever snapshot is current when the batch is accepted.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct WireBound {
     /// Sequence number of the `Bind` frame this answers.
@@ -22,6 +24,9 @@ pub struct WireBound {
     pub facts: u64,
     /// Number of relations in the database.
     pub relations: u64,
+    /// The catalog epoch of the snapshot described above (bumped by
+    /// every reload).
+    pub epoch: u64,
 }
 
 /// Payload of a [`crate::server::frame::FrameType::Result`] frame: one
@@ -74,6 +79,49 @@ pub struct WireDone {
     pub results: u64,
 }
 
+/// Payload of a [`crate::server::frame::FrameType::Reloaded`] frame:
+/// the catalog published a new snapshot for `db`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireReloaded {
+    /// Sequence number of the `Reload` frame this answers.
+    pub request: u64,
+    /// The reloaded database's name.
+    pub db: String,
+    /// The new snapshot's epoch (old epoch + 1). Sessions pinned to
+    /// older epochs keep answering consistently; new sessions see this
+    /// one.
+    pub epoch: u64,
+    /// Total facts in the new snapshot.
+    pub facts: u64,
+    /// Number of relations in the new snapshot.
+    pub relations: u64,
+}
+
+/// One database in a [`WireCatalog`] description.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireCatalogDb {
+    /// The published name.
+    pub name: String,
+    /// The current epoch (number of reloads since startup).
+    pub epoch: u64,
+    /// Total facts in the current snapshot.
+    pub facts: u64,
+    /// Number of relations in the current snapshot.
+    pub relations: u64,
+}
+
+/// Payload of a [`crate::server::frame::FrameType::Catalog`] frame:
+/// the server's current catalog, one entry per served name.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireCatalog {
+    /// Sequence number of the `CatalogInfo` frame this answers.
+    pub request: u64,
+    /// Whether this server accepts `Reload` frames (`--allow-reload`).
+    pub reload_enabled: bool,
+    /// The served databases, in name order.
+    pub databases: Vec<WireCatalogDb>,
+}
+
 /// Machine-readable error classes of a
 /// [`crate::server::frame::FrameType::Error`] frame. An error frame
 /// terminates the request it answers (no `Done` follows); whether the
@@ -105,6 +153,9 @@ pub enum ErrorCode {
     /// The engine failed internally while evaluating. Connection
     /// survives.
     Internal,
+    /// A `Reload` frame arrived but this server was not started with
+    /// reloads enabled (`--allow-reload`). Connection survives.
+    Unauthorized,
 }
 
 /// Payload of a [`crate::server::frame::FrameType::Error`] frame.
@@ -173,6 +224,56 @@ mod tests {
             serde::json::from_str::<WireResult>(&json).unwrap().answer,
             big_count.answer
         );
+    }
+
+    #[test]
+    fn admin_payloads_round_trip_as_json() {
+        let reloaded = WireReloaded {
+            request: 4,
+            db: "main".to_string(),
+            epoch: 3,
+            facts: 120,
+            relations: 2,
+        };
+        let json = serde::json::to_string(&reloaded);
+        assert_eq!(
+            serde::json::from_str::<WireReloaded>(&json).unwrap(),
+            reloaded
+        );
+
+        let catalog = WireCatalog {
+            request: 9,
+            reload_enabled: true,
+            databases: vec![
+                WireCatalogDb {
+                    name: "aux".to_string(),
+                    epoch: 0,
+                    facts: 1,
+                    relations: 1,
+                },
+                WireCatalogDb {
+                    name: "main".to_string(),
+                    epoch: 7,
+                    facts: 42,
+                    relations: 3,
+                },
+            ],
+        };
+        let json = serde::json::to_string(&catalog);
+        assert_eq!(
+            serde::json::from_str::<WireCatalog>(&json).unwrap(),
+            catalog
+        );
+
+        let err = WireError {
+            request: Some(2),
+            code: ErrorCode::Unauthorized,
+            message: "start it with --allow-reload".to_string(),
+            line: None,
+        };
+        let json = serde::json::to_string(&err);
+        assert!(json.contains("Unauthorized"), "{json}");
+        assert_eq!(serde::json::from_str::<WireError>(&json).unwrap(), err);
     }
 
     #[test]

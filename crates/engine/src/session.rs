@@ -1,4 +1,4 @@
-//! Sessions and prepared queries: the handle-based serving API.
+//! Sessions and prepared queries: the owned, handle-based serving API.
 //!
 //! The paper's message — and this engine's architecture — is that the
 //! expensive part of query answering is *reusable*: database statistics
@@ -7,9 +7,10 @@
 //! re-derived both on every call; this module splits them into handles
 //! that each pay their cost exactly once:
 //!
-//! - [`Session`] wraps one [`Database`] and snapshots its
-//!   [`DatabaseStats`] **once**, at creation. Every query prepared on
-//!   the session reuses the snapshot for its stats-driven plan choice.
+//! - [`Session`] pins one [`DatabaseSnapshot`] — the database plus the
+//!   statistics computed for it at publish time. Every query prepared
+//!   on the session reuses the snapshot for its stats-driven plan
+//!   choice.
 //! - [`PreparedQuery`] resolves the structure analysis (through the
 //!   engine's isomorphism-keyed plan cache), derives the per-workload
 //!   plans, and materializes the GHD bag tree **once**, at
@@ -23,10 +24,16 @@
 //!   with constant delay (Durand & Grandjean / Carmeli & Kröll's
 //!   enumeration regime).
 //!
-//! `Engine::serve` / `serve_with_stats` / `execute_batch` survive as
-//! thin compatibility shims over these handles.
+//! All three handles are **owned and lifetime-free**: a session holds a
+//! cheap clone of its [`Engine`] and an `Arc` pin on its snapshot, so
+//! handles outlive the scope that created them, cross threads, and —
+//! crucially — keep answering consistently against their pinned epoch
+//! while a [`crate::Catalog::swap`] hot-reloads the database for new
+//! sessions underneath them. `Engine::serve` / `serve_with_stats` /
+//! `execute_batch` survive as thin, borrow-only compatibility shims
+//! over the same machinery.
 
-use std::borrow::Cow;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use cqd2_cq::eval::{
@@ -35,29 +42,35 @@ use cqd2_cq::eval::{
 use cqd2_cq::stats::DatabaseStats;
 use cqd2_cq::{ConjunctiveQuery, Database};
 
+use crate::catalog::{Catalog, DatabaseSnapshot};
 use crate::engine::{Answer, Engine, PlanProvenance, Response, Workload};
 use crate::error::EngineError;
 use crate::plan::{DataEstimate, PlannedQuery, QueryPlan};
 
-/// A serving session over one database: the engine handle, the database,
-/// and a statistics snapshot computed once at session creation.
+/// A serving session over one database snapshot: a cheap clone of the
+/// engine handle plus an `Arc` pin on a [`DatabaseSnapshot`] (database
+/// + statistics, computed once at publish time).
 ///
-/// Sessions are cheap to keep around and share (`&Session` is all a
-/// [`PreparedQuery`] needs); the database is borrowed, so many sessions
-/// and prepared queries can serve one database without copies. A session
-/// *snapshots* statistics: if the database is mutated afterwards, plan
-/// choices keep following the stale snapshot (open a fresh session to
-/// re-snapshot).
-pub struct Session<'a> {
-    engine: &'a Engine,
-    db: &'a Database,
-    stats: Cow<'a, DatabaseStats>,
+/// Sessions are owned and lifetime-free: clone them, move them across
+/// threads, keep them in caches. The pinned snapshot is immutable — if
+/// the source [`Catalog`] entry is [`Catalog::swap`]ped afterwards,
+/// this session (and everything prepared on it) keeps answering
+/// against its pinned epoch; open a fresh session to observe the new
+/// one.
+#[derive(Clone)]
+pub struct Session {
+    engine: Engine,
+    snapshot: Arc<DatabaseSnapshot>,
 }
 
 impl Engine {
-    /// Open a [`Session`] on `db`, snapshotting its statistics once
-    /// (`O(‖D‖)`). All queries prepared on the session share the
-    /// snapshot.
+    /// Open a [`Session`] on a copy of `db`: convenience shim for
+    /// embedders holding a plain [`Database`]. The database is cloned
+    /// into a detached snapshot and its statistics computed once, both
+    /// `O(‖D‖)`, so the returned session owns everything it needs.
+    /// Serving loops with named, reloadable databases should publish
+    /// into a [`Catalog`] and use [`Engine::session_in`] instead —
+    /// that pins the already-published snapshot with no copy at all.
     ///
     /// ```
     /// use cqd2_engine::Engine;
@@ -68,58 +81,81 @@ impl Engine {
     /// let engine = Engine::default();
     /// let session = engine.session(&db);
     /// // The snapshot is taken here, once, and reused by every
-    /// // `prepare` on this session.
+    /// // `prepare` on this session. The session owns its copy: `db`
+    /// // is free immediately.
+    /// drop(db);
     /// assert_eq!(session.stats().total_tuples(), 2);
-    /// assert!(std::ptr::eq(session.db(), &db));
     /// ```
-    pub fn session<'a>(&'a self, db: &'a Database) -> Session<'a> {
+    pub fn session(&self, db: &Database) -> Session {
+        self.session_pinned(Arc::new(DatabaseSnapshot::detached(db.clone())))
+    }
+
+    /// Open a [`Session`] pinning `snapshot` — zero-copy: the snapshot's
+    /// statistics were computed when it was published.
+    pub fn session_pinned(&self, snapshot: Arc<DatabaseSnapshot>) -> Session {
         Session {
-            engine: self,
-            db,
-            stats: Cow::Owned(db.stats()),
+            engine: self.clone(),
+            snapshot,
         }
     }
 
-    /// A session around a caller-provided statistics snapshot (the batch
-    /// executor amortizes one snapshot per distinct database this way).
-    pub fn session_with_stats<'a>(
-        &'a self,
-        db: &'a Database,
-        stats: &'a DatabaseStats,
-    ) -> Session<'a> {
-        Session {
-            engine: self,
-            db,
-            stats: Cow::Borrowed(stats),
-        }
+    /// Open a [`Session`] on the current snapshot `catalog` publishes
+    /// under `name` — the catalog-backed constructor serving loops use.
+    /// The session pins the snapshot at its current epoch; a concurrent
+    /// [`Catalog::swap`] never disturbs it.
+    ///
+    /// ```
+    /// use cqd2_engine::{Catalog, Engine};
+    ///
+    /// let catalog = Catalog::new();
+    /// catalog.publish_str("main", "R(1, 2)\n")?;
+    /// let engine = Engine::default();
+    /// let session = engine.session_in(&catalog, "main")?;
+    /// assert_eq!(session.epoch(), 0);
+    /// assert!(engine.session_in(&catalog, "missing").is_err());
+    /// # Ok::<(), cqd2_engine::EngineError>(())
+    /// ```
+    pub fn session_in(&self, catalog: &Catalog, name: &str) -> Result<Session, EngineError> {
+        Ok(self.session_pinned(catalog.snapshot(name)?))
     }
 }
 
-impl<'a> Session<'a> {
+impl Session {
     /// The engine this session serves through.
-    pub fn engine(&self) -> &'a Engine {
-        self.engine
+    pub fn engine(&self) -> &Engine {
+        &self.engine
     }
 
-    /// The session's database.
-    pub fn db(&self) -> &'a Database {
-        self.db
+    /// The pinned database snapshot.
+    pub fn snapshot(&self) -> &Arc<DatabaseSnapshot> {
+        &self.snapshot
     }
 
-    /// The statistics snapshot taken at session creation.
+    /// The session's database (the pinned snapshot's).
+    pub fn db(&self) -> &Database {
+        self.snapshot.db()
+    }
+
+    /// The statistics computed when the pinned snapshot was published.
     pub fn stats(&self) -> &DatabaseStats {
-        &self.stats
+        self.snapshot.stats()
+    }
+
+    /// The pinned snapshot's epoch (0 for detached sessions opened via
+    /// [`Engine::session`]).
+    pub fn epoch(&self) -> u64 {
+        self.snapshot.epoch()
     }
 
     /// Prepare `q` for repeated execution: resolve the structure
-    /// analysis (cache-amortized), refine it with the session's
-    /// statistics snapshot, derive the plan for every workload kind, and
-    /// — on GHD plans — run the `O(‖D‖^width)` bag-materialization
+    /// analysis (cache-amortized), refine it with the pinned snapshot's
+    /// statistics, derive the plan for every workload kind, and — on
+    /// GHD plans — run the `O(‖D‖^width)` bag-materialization
     /// preprocessing, pinning the materialized bag tree in the handle
-    /// (sound because the session borrows the database immutably for its
-    /// whole lifetime). This is the only place planning or preprocessing
-    /// happens; the returned handle re-executes with just the cheap
-    /// per-run pass.
+    /// (sound because the handle also pins the immutable snapshot it
+    /// was built from). This is the only place planning or
+    /// preprocessing happens; the returned handle re-executes with just
+    /// the cheap per-run pass.
     ///
     /// This is also where all errors surface: an
     /// [`EngineError::Eval`] here means the resolved decomposition did
@@ -149,14 +185,63 @@ impl<'a> Session<'a> {
     /// assert_eq!(prepared.run(Workload::Boolean).answer.as_bool(), Some(true));
     /// # Ok::<(), cqd2_engine::EngineError>(())
     /// ```
-    pub fn prepare(&self, q: &ConjunctiveQuery) -> Result<PreparedQuery<'_>, EngineError> {
+    pub fn prepare(&self, q: &ConjunctiveQuery) -> Result<PreparedQuery, EngineError> {
+        let core = PreparedCore::build(&self.engine, q, self.db(), self.stats())?;
+        Ok(PreparedQuery {
+            snapshot: Arc::clone(&self.snapshot),
+            core,
+        })
+    }
+
+    /// Prepare-and-run in one call (one-shot convenience; serving loops
+    /// should hold the [`PreparedQuery`] instead). The planning and
+    /// preprocessing this call pays are folded back into the response's
+    /// provenance.
+    pub fn run(&self, q: &ConjunctiveQuery, workload: Workload) -> Result<Response, EngineError> {
+        let core = PreparedCore::build(&self.engine, q, self.db(), self.stats())?;
+        let planning = core.planning;
+        let preprocessing = core.preprocessing;
+        let mut resp = core.run_once(self.db(), workload);
+        // One-shot semantics: this call *did* plan and materialize.
+        resp.provenance.planning = planning;
+        resp.provenance.execution += preprocessing;
+        Ok(resp)
+    }
+}
+
+/// The engine-internal prepared state: plans derived for every
+/// workload and (on GHD plans) the materialized bag tree. This is the
+/// shared machinery under both the owned [`PreparedQuery`] handle
+/// (which pairs it with a snapshot pin) and the one-shot
+/// `Engine::serve` shims (which run it against a borrowed database —
+/// no snapshot, no copy).
+pub(crate) struct PreparedCore {
+    query: ConjunctiveQuery,
+    bool_plan: PlannedQuery,
+    count_plan: PlannedQuery,
+    /// The materialized bag tree (`None` = the plan is the naive join).
+    bags: Option<MaterializedBags>,
+    cache_hit: bool,
+    pub(crate) planning: Duration,
+    pub(crate) preprocessing: Duration,
+}
+
+impl PreparedCore {
+    /// Plan `q` against `db` (with `stats` driving the naive-vs-GHD
+    /// choice) and materialize the execution GHD's bag tree.
+    pub(crate) fn build(
+        engine: &Engine,
+        q: &ConjunctiveQuery,
+        db: &Database,
+        stats: &DatabaseStats,
+    ) -> Result<PreparedCore, EngineError> {
         let start = Instant::now();
-        let (structure, cache_hit) = self.engine.structure_for(&q.hypergraph());
+        let (structure, cache_hit) = engine.structure_for(&q.hypergraph());
         // Bounded-width structures get their plan refined by data: on
         // small databases the per-bag setup dominates and the estimate
         // flips the plan back to the naive join, with the numbers kept
         // in provenance.
-        let est = DataEstimate::compute(q, structure.ghd.as_ref(), &self.stats);
+        let est = DataEstimate::compute(q, structure.ghd.as_ref(), stats);
         let bool_plan = structure.bool_plan_with(Some(&est));
         let count_plan = structure.count_plan_with(Some(&est));
         // Which decomposition actually drives evaluation: the plan's own
@@ -173,11 +258,10 @@ impl<'a> Session<'a> {
         let planning = start.elapsed();
         let preprocess_start = Instant::now();
         let bags = match exec_ghd {
-            Some(ghd) => Some(MaterializedBags::build(q, self.db, ghd)?),
+            Some(ghd) => Some(MaterializedBags::build(q, db, ghd)?),
             None => None,
         };
-        Ok(PreparedQuery {
-            session: self,
+        Ok(PreparedCore {
             query: q.clone(),
             bool_plan,
             count_plan,
@@ -188,71 +272,7 @@ impl<'a> Session<'a> {
         })
     }
 
-    /// Prepare-and-run in one call (one-shot convenience; serving loops
-    /// should hold the [`PreparedQuery`] instead). The planning and
-    /// preprocessing this call pays are folded back into the response's
-    /// provenance.
-    pub fn run(&self, q: &ConjunctiveQuery, workload: Workload) -> Result<Response, EngineError> {
-        let prepared = self.prepare(q)?;
-        let planning = prepared.planning_time();
-        let preprocessing = prepared.preprocessing_time();
-        let mut resp = prepared.run_once(workload);
-        // One-shot semantics: this call *did* plan and materialize.
-        resp.provenance.planning = planning;
-        resp.provenance.execution += preprocessing;
-        Ok(resp)
-    }
-}
-
-/// A query prepared on a [`Session`]: structure analysis resolved (via
-/// the plan cache), plans derived for every workload, and — on GHD
-/// plans — the bag tree materialized, all exactly once at
-/// [`Session::prepare`].
-///
-/// [`PreparedQuery::run`] re-executes against the session's database
-/// with only the per-workload tree pass (semijoins / counting DP /
-/// enumeration) — no planning, no re-materialization;
-/// [`PreparedQuery::cursor`] streams enumeration answers without
-/// materializing the result set. The handle pins the materialized bag
-/// relations in memory (`O(‖D‖^width)` in the worst case); drop it to
-/// release them.
-pub struct PreparedQuery<'s> {
-    session: &'s Session<'s>,
-    query: ConjunctiveQuery,
-    bool_plan: PlannedQuery,
-    count_plan: PlannedQuery,
-    /// The materialized bag tree (`None` = the plan is the naive join).
-    bags: Option<MaterializedBags>,
-    cache_hit: bool,
-    planning: Duration,
-    preprocessing: Duration,
-}
-
-impl<'s> PreparedQuery<'s> {
-    /// The prepared query.
-    pub fn query(&self) -> &ConjunctiveQuery {
-        &self.query
-    }
-
-    /// Whether the structure analysis came from the plan cache.
-    pub fn cache_hit(&self) -> bool {
-        self.cache_hit
-    }
-
-    /// Time spent planning at [`Session::prepare`] (already paid; runs
-    /// report zero).
-    pub fn planning_time(&self) -> Duration {
-        self.planning
-    }
-
-    /// Time spent materializing the bag tree at [`Session::prepare`]
-    /// (zero for naive-join plans).
-    pub fn preprocessing_time(&self) -> Duration {
-        self.preprocessing
-    }
-
-    /// The plan a given workload will execute.
-    pub fn plan(&self, workload: Workload) -> &PlannedQuery {
+    fn plan(&self, workload: Workload) -> &PlannedQuery {
         match workload {
             Workload::Count => &self.count_plan,
             // Boolean evaluation and enumeration share the Yannakakis
@@ -261,49 +281,38 @@ impl<'s> PreparedQuery<'s> {
         }
     }
 
-    /// Execute the prepared plan for `workload`. No planning happens
-    /// here — provenance carries the resolved plan with a zero planning
-    /// duration (see [`PreparedQuery::planning_time`] for the cost paid
-    /// at prepare time). GHD passes run on a copy of the materialized
-    /// bag tree, leaving the handle reusable; one-shot callers should
-    /// use [`PreparedQuery::run_once`] to skip the copy.
-    ///
-    /// `Enumerate` materializes up to `limit` answers into
-    /// [`Answer::Tuples`]; use [`PreparedQuery::cursor`] to stream
-    /// instead.
-    pub fn run(&self, workload: Workload) -> Response {
-        let (q, db) = (&self.query, self.session.db);
+    /// Execute for `workload` against `db` (which must be the database
+    /// the core was built from), copying the bag tree so the core stays
+    /// reusable.
+    fn run(&self, db: &Database, workload: Workload) -> Response {
         let exec_start = Instant::now();
         let answer = match workload {
             Workload::Boolean => Answer::Bool(match &self.bags {
                 Some(bags) => bags.bcq(),
-                None => bcq_naive(q, db),
+                None => bcq_naive(&self.query, db),
             }),
             Workload::Count => Answer::Count(match &self.bags {
                 Some(bags) => bags.count(),
-                None => count_naive(q, db),
+                None => count_naive(&self.query, db),
             }),
-            Workload::Enumerate { limit } => Answer::Tuples(self.cursor(limit).collect()),
+            Workload::Enumerate { limit } => Answer::Tuples(self.cursor(db, limit).collect()),
         };
         self.response(workload, answer, exec_start)
     }
 
-    /// Execute once and consume the handle: the materialized bag tree
-    /// is passed over in place instead of copied. This is what the
-    /// one-shot `Engine::serve` shims use; serving loops keep the
-    /// handle and call [`PreparedQuery::run`].
-    pub fn run_once(mut self, workload: Workload) -> Response {
+    /// Execute once, consuming the core: the materialized bag tree is
+    /// passed over in place instead of copied.
+    pub(crate) fn run_once(mut self, db: &Database, workload: Workload) -> Response {
         let exec_start = Instant::now();
         let bags = self.bags.take();
-        let (q, db) = (&self.query, self.session.db);
         let answer = match workload {
             Workload::Boolean => Answer::Bool(match bags {
                 Some(bags) => bags.into_bcq(),
-                None => bcq_naive(q, db),
+                None => bcq_naive(&self.query, db),
             }),
             Workload::Count => Answer::Count(match bags {
                 Some(bags) => bags.into_count(),
-                None => count_naive(q, db),
+                None => count_naive(&self.query, db),
             }),
             Workload::Enumerate { limit } => {
                 let cursor = match bags {
@@ -313,7 +322,7 @@ impl<'s> PreparedQuery<'s> {
                     },
                     None => AnswerCursor {
                         inner: CursorInner::Buffered(
-                            enumerate_naive_limit(q, db, limit).into_iter(),
+                            enumerate_naive_limit(&self.query, db, limit).into_iter(),
                         ),
                         remaining: limit,
                     },
@@ -322,6 +331,19 @@ impl<'s> PreparedQuery<'s> {
             }
         };
         self.response(workload, answer, exec_start)
+    }
+
+    fn cursor(&self, db: &Database, limit: Option<usize>) -> AnswerCursor {
+        let inner = match &self.bags {
+            Some(bags) => CursorInner::Streaming(bags.enumerator()),
+            None => {
+                CursorInner::Buffered(enumerate_naive_limit(&self.query, db, limit).into_iter())
+            }
+        };
+        AnswerCursor {
+            inner,
+            remaining: limit,
+        }
     }
 
     /// Assemble the zero-planning per-run provenance.
@@ -336,6 +358,91 @@ impl<'s> PreparedQuery<'s> {
             },
         }
     }
+}
+
+/// A query prepared on a [`Session`]: structure analysis resolved (via
+/// the plan cache), plans derived for every workload, and — on GHD
+/// plans — the bag tree materialized, all exactly once at
+/// [`Session::prepare`].
+///
+/// The handle is owned and lifetime-free: it pins the session's
+/// [`DatabaseSnapshot`], so it stays valid — and keeps answering
+/// against its pinned epoch — across catalog swaps, thread moves, and
+/// the end of the scope that prepared it. [`PreparedQuery::run`]
+/// re-executes with only the per-workload tree pass (semijoins /
+/// counting DP / enumeration) — no planning, no re-materialization;
+/// [`PreparedQuery::cursor`] streams enumeration answers without
+/// materializing the result set. The handle pins the materialized bag
+/// relations in memory (`O(‖D‖^width)` in the worst case) plus the
+/// snapshot; drop it to release them.
+pub struct PreparedQuery {
+    snapshot: Arc<DatabaseSnapshot>,
+    core: PreparedCore,
+}
+
+impl PreparedQuery {
+    /// The prepared query.
+    pub fn query(&self) -> &ConjunctiveQuery {
+        &self.core.query
+    }
+
+    /// The database snapshot this handle was prepared against (and will
+    /// keep answering against, regardless of later catalog swaps).
+    pub fn snapshot(&self) -> &Arc<DatabaseSnapshot> {
+        &self.snapshot
+    }
+
+    /// The pinned snapshot's epoch — the invalidation token for caches
+    /// of warm prepared handles: a handle whose epoch is older than the
+    /// catalog's current epoch for the name answers consistently but
+    /// stales, and epoch-keyed caches stop serving it to new sessions.
+    pub fn epoch(&self) -> u64 {
+        self.snapshot.epoch()
+    }
+
+    /// Whether the structure analysis came from the plan cache.
+    pub fn cache_hit(&self) -> bool {
+        self.core.cache_hit
+    }
+
+    /// Time spent planning at [`Session::prepare`] (already paid; runs
+    /// report zero).
+    pub fn planning_time(&self) -> Duration {
+        self.core.planning
+    }
+
+    /// Time spent materializing the bag tree at [`Session::prepare`]
+    /// (zero for naive-join plans).
+    pub fn preprocessing_time(&self) -> Duration {
+        self.core.preprocessing
+    }
+
+    /// The plan a given workload will execute.
+    pub fn plan(&self, workload: Workload) -> &PlannedQuery {
+        self.core.plan(workload)
+    }
+
+    /// Execute the prepared plan for `workload`. No planning happens
+    /// here — provenance carries the resolved plan with a zero planning
+    /// duration (see [`PreparedQuery::planning_time`] for the cost paid
+    /// at prepare time). GHD passes run on a copy of the materialized
+    /// bag tree, leaving the handle reusable; one-shot callers should
+    /// use [`PreparedQuery::run_once`] to skip the copy.
+    ///
+    /// `Enumerate` materializes up to `limit` answers into
+    /// [`Answer::Tuples`]; use [`PreparedQuery::cursor`] to stream
+    /// instead.
+    pub fn run(&self, workload: Workload) -> Response {
+        self.core.run(self.snapshot.db(), workload)
+    }
+
+    /// Execute once and consume the handle: the materialized bag tree
+    /// is passed over in place instead of copied. Serving loops keep
+    /// the handle and call [`PreparedQuery::run`].
+    pub fn run_once(self, workload: Workload) -> Response {
+        let PreparedQuery { snapshot, core } = self;
+        core.run_once(snapshot.db(), workload)
+    }
 
     /// Open a streaming [`AnswerCursor`] over `q(D)`, yielding at most
     /// `limit` answers (`None` = all).
@@ -344,7 +451,9 @@ impl<'s> PreparedQuery<'s> {
     /// the already-materialized bag tree now, and then delivers answers
     /// with constant delay; on the naive route the backtracking search
     /// runs eagerly (stopping at `limit`) and the cursor drains the
-    /// buffer.
+    /// buffer. Either way the cursor is self-contained: it stays valid
+    /// (and keeps streaming the pinned epoch's answers) after the
+    /// handle is dropped or the catalog entry is swapped.
     ///
     /// ```
     /// use cqd2_engine::Engine;
@@ -367,16 +476,7 @@ impl<'s> PreparedQuery<'s> {
     /// # Ok::<(), cqd2_engine::EngineError>(())
     /// ```
     pub fn cursor(&self, limit: Option<usize>) -> AnswerCursor {
-        let inner = match &self.bags {
-            Some(bags) => CursorInner::Streaming(bags.enumerator()),
-            None => CursorInner::Buffered(
-                enumerate_naive_limit(&self.query, self.session.db, limit).into_iter(),
-            ),
-        };
-        AnswerCursor {
-            inner,
-            remaining: limit,
-        }
+        self.core.cursor(self.snapshot.db(), limit)
     }
 }
 
@@ -391,7 +491,7 @@ enum CursorInner {
 /// workload. Each item is a full assignment in `Var` id order (the
 /// layout [`cqd2_cq::eval::enumerate_naive`] uses); the iteration order
 /// is unspecified. The cursor stops after the `limit` it was opened
-/// with.
+/// with. Owned and lifetime-free, like the handles that open it.
 pub struct AnswerCursor {
     inner: CursorInner,
     remaining: Option<usize>,
@@ -506,5 +606,73 @@ mod tests {
         let resp = session.run(&q, Workload::Count).unwrap();
         assert_eq!(resp.answer.as_count(), Some(count_naive(&q, &db)));
         assert!(resp.provenance.planning > Duration::ZERO);
+    }
+
+    #[test]
+    fn handles_are_owned_and_outlive_their_sources() {
+        // The whole point of the redesign: no lifetime ties anything to
+        // the scope that created it.
+        let engine = Engine::default();
+        let q = canonical_query(&hyperchain(3, 2));
+        let db = planted_database(&q, 6, 18, 5);
+        let expected = enumerate_naive(&q, &db);
+        let expected_count = count_naive(&q, &db);
+
+        let (prepared, cursor) = {
+            let session = engine.session(&db);
+            let prepared = session.prepare(&q).unwrap();
+            let cursor = prepared.cursor(None);
+            (prepared, cursor)
+            // session dropped here; db borrow already released.
+        };
+        drop(db);
+        drop(engine);
+
+        // The handle still answers, on another thread, with no `'static`
+        // gymnastics — it owns its snapshot and its engine handle.
+        let handle = std::thread::spawn(move || {
+            assert_eq!(
+                prepared.run(Workload::Count).answer.as_count(),
+                Some(expected_count)
+            );
+            let mut streamed: Vec<_> = cursor.collect();
+            streamed.sort_unstable();
+            streamed
+        });
+        assert_eq!(handle.join().unwrap(), expected);
+    }
+
+    #[test]
+    fn catalog_sessions_pin_their_epoch_across_swaps() {
+        let engine = Engine::default();
+        let catalog = Catalog::new();
+        catalog
+            .publish_str("main", "R(1, 2)\nS(2, 3)\n")
+            .expect("publish");
+        let q = ConjunctiveQuery::parse(&[("R", &["?x", "?y"]), ("S", &["?y", "?z"])]);
+
+        let old_session = engine.session_in(&catalog, "main").unwrap();
+        let old_prepared = old_session.prepare(&q).unwrap();
+        assert_eq!(old_prepared.epoch(), 0);
+        // Open a cursor *before* the swap: in-flight enumeration.
+        let mut in_flight = old_prepared.cursor(None);
+
+        // Hot reload: one more S fact doubles the join's answers.
+        catalog
+            .swap_str("main", "R(1, 2)\nS(2, 3)\nS(2, 4)\n")
+            .expect("swap");
+
+        // The in-flight cursor and the old handle keep the old answers…
+        let first = in_flight.next().expect("old epoch had one answer");
+        assert_eq!(first, vec![1, 2, 3]);
+        assert!(in_flight.next().is_none(), "old epoch had exactly one");
+        assert_eq!(old_prepared.run(Workload::Count).answer.as_count(), Some(1));
+        assert_eq!(old_session.epoch(), 0);
+
+        // …while a fresh catalog session observes epoch 1 and new data.
+        let new_session = engine.session_in(&catalog, "main").unwrap();
+        assert_eq!(new_session.epoch(), 1);
+        let new_prepared = new_session.prepare(&q).unwrap();
+        assert_eq!(new_prepared.run(Workload::Count).answer.as_count(), Some(2));
     }
 }

@@ -1,6 +1,7 @@
-//! Serving demo: sessions and prepared queries through the
-//! `cqd2-engine` planner + plan cache, with plan provenance and
-//! streaming enumeration.
+//! Serving demo: the owned `Catalog`/`Session` API — epoch-pinned
+//! prepared queries through the `cqd2-engine` planner + plan cache,
+//! with plan provenance, streaming enumeration, and a hot reload that
+//! never disturbs in-flight handles.
 //!
 //! ```sh
 //! cargo run --release --example engine_serving
@@ -8,7 +9,8 @@
 
 use cqd2::cq::generate::{canonical_query, planted_database};
 use cqd2::cq::ConjunctiveQuery;
-use cqd2::engine::{Engine, EngineConfig, Workload};
+use cqd2::engine::textio::render_database;
+use cqd2::engine::{Catalog, Engine, EngineConfig, Workload};
 use cqd2::hypergraph::generators::{hyperchain, hypercycle};
 use cqd2::jigsaw::jigsaw;
 
@@ -25,15 +27,23 @@ fn main() {
     ];
 
     let engine = Engine::new(EngineConfig::default());
+    // One catalog holds every named database; publishing computes the
+    // statistics snapshot once, and every session pins the published
+    // `Arc<DatabaseSnapshot>` — no copies, no lifetimes.
+    let catalog = Catalog::new();
+    for (round, (tag, q)) in shapes.iter().enumerate() {
+        let db = planted_database(q, 6, 12, round as u64 + 7);
+        catalog.publish(*tag, db).expect("shape names are distinct");
+    }
+
     println!(
         "{:<10} {:>4} {:>10} {:<16} {:>6} {:>12} {:>12}",
         "request", "run", "answer", "strategy", "cache", "plan", "exec"
     );
     for (round, (tag, q)) in shapes.iter().enumerate() {
-        let db = planted_database(q, 6, 12, round as u64 + 7);
-        // One session per database: statistics are snapshotted here,
-        // once, and shared by everything prepared on the session.
-        let session = engine.session(&db);
+        // One session per database: it pins the published snapshot (and
+        // its epoch) for as long as the handle lives.
+        let session = engine.session_in(&catalog, tag).expect("published above");
         // One prepared query per query: structure analysis + plan are
         // resolved here, once (through the isomorphism-keyed cache).
         let prepared = session
@@ -77,6 +87,40 @@ fn main() {
             first_two.first()
         );
     }
+
+    // Hot reload: swap the chain database for a larger instance while a
+    // prepared handle is still alive. The old handle keeps its pinned
+    // epoch-0 snapshot; only sessions opened after the swap see the new
+    // data — amortization and consistency at once.
+    let (tag, q) = &shapes[0];
+    let old_session = engine.session_in(&catalog, tag).expect("published");
+    let old_prepared = old_session.prepare(q).expect("prepare");
+    let old_count = old_prepared.run(Workload::Count).answer.as_count().unwrap();
+    let bigger = planted_database(q, 9, 40, 99);
+    let reloaded = catalog
+        .swap_str(tag, &render_database(&bigger))
+        .expect("swap");
+    let new_session = engine.session_in(&catalog, tag).expect("published");
+    let new_count = new_session
+        .prepare(q)
+        .expect("prepare")
+        .run(Workload::Count)
+        .answer
+        .as_count()
+        .unwrap();
+    println!(
+        "\nhot reload of `{tag}`: epoch {} → {} facts; pinned handle still counts {}, \
+         fresh session counts {}",
+        reloaded.epoch(),
+        reloaded.db().size(),
+        old_prepared.run(Workload::Count).answer.as_count().unwrap(),
+        new_count,
+    );
+    assert_eq!(
+        old_prepared.run(Workload::Count).answer.as_count(),
+        Some(old_count),
+        "pinned handles never see a reload"
+    );
 
     let stats = engine.cache_stats();
     println!(

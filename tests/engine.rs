@@ -371,3 +371,61 @@ fn plans_roundtrip_through_json() {
         );
     }
 }
+
+#[test]
+fn catalog_reload_under_load_pins_inflight_enumeration() {
+    // Engine-level acceptance scenario for the versioned catalog: an
+    // in-flight enumeration pinned to epoch 0 completes with the old
+    // data's answers while a swap publishes epoch 1, and a session
+    // opened afterwards observes the new data — with the plan cache
+    // shared across both epochs (the structure didn't change).
+    use cqd2::engine::Catalog;
+
+    let q = canonical_query(&hyperchain(3, 2));
+    let old_db = planted_database(&q, 6, 30, 21);
+    let old_tuples = enumerate_naive(&q, &old_db);
+    let old_count = count_naive(&q, &old_db);
+    assert!(!old_tuples.is_empty());
+    let new_db = planted_database(&q, 5, 12, 22);
+    let new_count = count_naive(&q, &new_db);
+
+    let engine = Engine::default();
+    let catalog = Catalog::new();
+    catalog.publish("hot", old_db.clone()).expect("publish");
+
+    let old_session = engine.session_in(&catalog, "hot").expect("session");
+    let old_prepared = old_session.prepare(&q).expect("prepare");
+    let mut in_flight = old_prepared.cursor(None);
+    // Consume one answer: the cursor is genuinely mid-stream.
+    let first = in_flight.next().expect("at least one answer");
+
+    // Hot reload on another thread (the swap is atomic; the join makes
+    // the ordering deterministic for the assertions below).
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            catalog.swap("hot", new_db.clone()).expect("swap");
+        });
+    });
+    assert_eq!(catalog.snapshot("hot").unwrap().epoch(), 1);
+
+    // The in-flight cursor and the pinned handle finish on old data.
+    let mut streamed = vec![first];
+    streamed.extend(&mut in_flight);
+    streamed.sort_unstable();
+    assert_eq!(streamed, old_tuples, "in-flight cursor pinned to epoch 0");
+    assert_eq!(
+        old_prepared.run(Workload::Count).answer.as_count(),
+        Some(old_count)
+    );
+
+    // A fresh catalog session observes epoch 1 and the new answers.
+    let new_session = engine.session_in(&catalog, "hot").expect("session");
+    assert_eq!(new_session.epoch(), 1);
+    let new_prepared = new_session.prepare(&q).expect("prepare");
+    assert_eq!(
+        new_prepared.run(Workload::Count).answer.as_count(),
+        Some(new_count)
+    );
+    // Same structure class: the second prepare hit the plan cache.
+    assert!(new_prepared.cache_hit());
+}
