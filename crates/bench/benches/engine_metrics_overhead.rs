@@ -1,0 +1,93 @@
+//! **Observability overhead gate**: re-executing a warm
+//! [`PreparedQuery`] with the serving path's full per-query
+//! instrumentation — a [`QueryTrace`] span recorder plus a latency
+//! [`Histogram`] record — must stay within 5% of the bare
+//! [`PreparedQuery::run`] hot path.
+//!
+//! The fixture is the prepared-query bench's rank-3 hypercycle on 16
+//! vertices: the warm re-execution is microseconds-scale, which is the
+//! *worst* case for instrumentation overhead (any fixed cost is the
+//! largest fraction of total time). The headline ratio is measured
+//! outside the criterion sampling loop, min-of-passes on both sides to
+//! shed scheduler noise, and gated with an assert.
+
+use cqd2::cq::generate::{canonical_query, planted_database};
+use cqd2::engine::{Engine, EngineConfig, Histogram, QueryTrace, Workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== observability: instrumented vs bare warm re-execution ===");
+    let q = canonical_query(&cqd2::hypergraph::generators::hypercycle(8, 3));
+    let db = planted_database(&q, 6, 10, 17);
+    let batch = 500usize;
+    let passes = 7usize;
+
+    let engine = Engine::new(EngineConfig::default());
+    let session = engine.session(&db);
+    let prepared = session.prepare(&q).expect("planning cannot fail");
+    let expected = prepared.run(Workload::Boolean).answer.as_bool();
+    assert_eq!(expected, Some(true), "planted instance must be satisfiable");
+    let histogram = Histogram::new();
+
+    // Min-of-passes, interleaved: each pass times one bare batch and
+    // one instrumented batch back to back so both sides see the same
+    // machine conditions; the minimum is the least-disturbed pass.
+    let mut bare_best = Duration::MAX;
+    let mut traced_best = Duration::MAX;
+    for _ in 0..passes {
+        let t = Instant::now();
+        for _ in 0..batch {
+            black_box(prepared.run(Workload::Boolean));
+        }
+        bare_best = bare_best.min(t.elapsed());
+
+        let t = Instant::now();
+        for _ in 0..batch {
+            let started = Instant::now();
+            let mut trace = QueryTrace::new();
+            black_box(prepared.run_traced(Workload::Boolean, &mut trace));
+            black_box(&trace);
+            histogram.record_duration(started.elapsed());
+        }
+        traced_best = traced_best.min(t.elapsed());
+    }
+    let ratio = traced_best.as_secs_f64() / bare_best.as_secs_f64().max(1e-12);
+    println!(
+        "  bare       ({batch} × run):        {bare_best:?}\n  \
+         instrumented ({batch} × run_traced + histogram): {traced_best:?}\n  \
+         overhead: {:.2}%",
+        (ratio - 1.0) * 100.0
+    );
+    let snap = histogram.snapshot();
+    assert_eq!(
+        snap.count(),
+        (batch * passes) as u64,
+        "histogram must have recorded every instrumented run"
+    );
+    assert!(
+        ratio <= 1.05,
+        "per-query instrumentation must stay within 5% of the bare warm path \
+         (got {:.2}%: {traced_best:?} vs {bare_best:?})",
+        (ratio - 1.0) * 100.0
+    );
+
+    let mut g = c.benchmark_group("engine_metrics_overhead");
+    g.bench_function("bare/prepared_run", |b| {
+        b.iter(|| black_box(prepared.run(Workload::Boolean)));
+    });
+    g.bench_function("instrumented/run_traced_plus_histogram", |b| {
+        b.iter(|| {
+            let started = Instant::now();
+            let mut trace = QueryTrace::new();
+            black_box(prepared.run_traced(Workload::Boolean, &mut trace));
+            black_box(&trace);
+            histogram.record_duration(started.elapsed());
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

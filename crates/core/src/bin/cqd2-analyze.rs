@@ -186,9 +186,11 @@ fn run_eval(args: &[String]) {
 /// Flags: `--addr host:port` (required), `--db name` (required),
 /// `--query 'body'` and/or query-batch files (`Q:` + `@…` lines);
 /// `--count` / `--enumerate [--limit N]` set the mode for `--query`.
+/// `--trace` asks the server for per-phase span breakdowns.
 /// Admin modes: `client reload --addr A --db NAME FACTS_FILE`
 /// hot-reloads a served database (server must run `--allow-reload`);
-/// `client catalog --addr A` prints the served names and epochs.
+/// `client catalog --addr A` prints the served names and epochs;
+/// `client stats --addr A` prints the server's metrics snapshot.
 #[cfg(feature = "serde")]
 fn run_client(args: &[String]) {
     use cqd2::engine::server::client::Client;
@@ -197,6 +199,7 @@ fn run_client(args: &[String]) {
     match args.first().map(String::as_str) {
         Some("reload") => return run_client_reload(&args[1..]),
         Some("catalog") => return run_client_catalog(&args[1..]),
+        Some("stats") => return run_client_stats(&args[1..]),
         _ => {}
     }
     let mut addr: Option<String> = None;
@@ -204,6 +207,7 @@ fn run_client(args: &[String]) {
     let mut inline_query: Option<String> = None;
     let mut count = false;
     let mut enumerate = false;
+    let mut trace = false;
     let mut limit: Option<usize> = None;
     let mut files: Vec<&str> = Vec::new();
     let mut iter = args.iter();
@@ -219,6 +223,7 @@ fn run_client(args: &[String]) {
             "--query" => inline_query = Some(value_of("--query")),
             "--count" => count = true,
             "--enumerate" => enumerate = true,
+            "--trace" => trace = true,
             "--limit" => {
                 let value = value_of("--limit");
                 limit = Some(value.parse::<usize>().unwrap_or_else(|_| {
@@ -226,7 +231,8 @@ fn run_client(args: &[String]) {
                 }));
             }
             flag if flag.starts_with("--") => exit_with(&format!(
-                "client: unknown flag {flag} (try --addr, --db, --query, --count, --enumerate, --limit)"
+                "client: unknown flag {flag} (try --addr, --db, --query, --count, --enumerate, \
+                 --limit, --trace)"
             )),
             path => files.push(path),
         }
@@ -270,13 +276,18 @@ fn run_client(args: &[String]) {
         batches.push((path.to_string(), text));
     }
     for (tag, text) in batches {
+        let text = if trace {
+            format!("@trace\n{text}")
+        } else {
+            text
+        };
         let reply = client
             .request(&text)
             .unwrap_or_else(|e| exit_with(&format!("client: {tag}: {e}")));
         println!("{tag}: {} result(s)", reply.results.len());
         for r in &reply.results {
             println!(
-                "  q{}: {}  [{} | cache {} | prepared {} | plan {}ns | exec {}ns]",
+                "  q{}: {}  [{} | cache {} | prepared {} | plan {}ns | exec {}ns | server {}µs]",
                 r.index,
                 brief_answer(&r.answer),
                 r.strategy,
@@ -284,7 +295,17 @@ fn run_client(args: &[String]) {
                 if r.prepared_hit { "hit" } else { "miss" },
                 r.planning_ns,
                 r.execution_ns,
+                r.server_micros,
             );
+            if let Some(t) = &r.trace {
+                println!("      trace ({}µs in spans):", t.total_micros);
+                for span in &t.spans {
+                    match &span.detail {
+                        Some(d) => println!("        {:<12} {:>8}µs  {d}", span.phase, span.micros),
+                        None => println!("        {:<12} {:>8}µs", span.phase, span.micros),
+                    }
+                }
+            }
             print_tuples(&r.answer);
         }
     }
@@ -372,6 +393,81 @@ fn run_client_catalog(args: &[String]) {
         println!(
             "  {}: epoch {}, {} facts in {} relations",
             d.name, d.epoch, d.facts, d.relations
+        );
+    }
+}
+
+/// `client stats`: print the server's metrics snapshot — lifetime
+/// counters, live queue/connection gauges, and per-database latency
+/// quantiles. The output is line-oriented and stable so harnesses can
+/// grep it (`batches N`, `p99 Nµs`).
+#[cfg(feature = "serde")]
+fn run_client_stats(args: &[String]) {
+    use cqd2::engine::server::client::Client;
+
+    let mut addr: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--addr" => {
+                addr = Some(
+                    iter.next()
+                        .unwrap_or_else(|| exit_with("client stats: --addr needs a value"))
+                        .clone(),
+                )
+            }
+            other => exit_with(&format!("client stats: unexpected argument `{other}`")),
+        }
+    }
+    let addr = addr.unwrap_or_else(|| exit_with("client stats: --addr host:port is required"));
+    let mut client = Client::connect(&addr)
+        .unwrap_or_else(|e| exit_with(&format!("client stats: cannot connect to {addr}: {e}")));
+    let stats = client
+        .stats()
+        .unwrap_or_else(|e| exit_with(&format!("client stats: {e}")));
+    println!("uptime {}s", stats.uptime_micros / 1_000_000);
+    println!(
+        "connections {} ({} active)",
+        stats.connections, stats.active_connections
+    );
+    println!(
+        "frames {}, batches {}, queries {} ({} answered)",
+        stats.frames, stats.batches, stats.queries, stats.answered
+    );
+    println!(
+        "errors: {} overloaded, {} unauthorized, {} parse, {} protocol, {} internal",
+        stats.rejected_overload,
+        stats.rejected_unauthorized,
+        stats.parse_errors,
+        stats.protocol_errors,
+        stats.internal_errors
+    );
+    println!(
+        "prepared cache: {} hits / {} misses",
+        stats.prepared_hits, stats.prepared_misses
+    );
+    println!("reloads {}", stats.reloads);
+    println!(
+        "queue: depth {}, high-water {}, capacity {}",
+        stats.queue_depth, stats.queue_high_water, stats.queue_capacity
+    );
+    for d in &stats.databases {
+        println!(
+            "db {}: epoch {}, batches {}, queries {}, errors {}, overloads {}, \
+             prepared {}/{} hit/miss",
+            d.name,
+            d.epoch,
+            d.batches,
+            d.queries,
+            d.errors,
+            d.overloads,
+            d.prepared_hits,
+            d.prepared_misses
+        );
+        let h = &d.latency;
+        println!(
+            "db {}: latency over {} queries — p50 {}µs p90 {}µs p99 {}µs max {}µs mean {}µs",
+            d.name, h.count, h.p50_micros, h.p90_micros, h.p99_micros, h.max_micros, h.mean_micros
         );
     }
 }

@@ -26,7 +26,10 @@
 //! `--allow-reload` (accept protocol-v2 `Reload` admin frames),
 //! `--workers N` (0 = available parallelism), `--queue N` (bounded
 //! request queue = the backpressure point), `--prepared N` (per-db
-//! prepared-query cache), `--cache N` (engine plan-cache capacity).
+//! prepared-query cache), `--cache N` (engine plan-cache capacity),
+//! `--stats-interval SECS` (print a one-line metrics summary to stderr
+//! every SECS seconds; the same numbers the protocol `Stats` admin
+//! frame reports).
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -40,6 +43,7 @@ struct Args {
     config: ServerConfig,
     cache_capacity: usize,
     shutdown_on_stdin_close: bool,
+    stats_interval: Option<u64>,
 }
 
 fn parse_args(argv: &[String]) -> Args {
@@ -49,6 +53,7 @@ fn parse_args(argv: &[String]) -> Args {
         config: ServerConfig::default(),
         cache_capacity: EngineConfig::default().cache_capacity,
         shutdown_on_stdin_close: false,
+        stats_interval: None,
     };
     let mut iter = argv.iter();
     while let Some(arg) = iter.next() {
@@ -84,12 +89,19 @@ fn parse_args(argv: &[String]) -> Args {
                 args.config.prepared_capacity = parse_num(&value_of("--prepared"), "--prepared")
             }
             "--cache" => args.cache_capacity = parse_num(&value_of("--cache"), "--cache"),
+            "--stats-interval" => {
+                let secs = parse_num(&value_of("--stats-interval"), "--stats-interval");
+                if secs == 0 {
+                    exit_with("--stats-interval must be at least 1 second");
+                }
+                args.stats_interval = Some(secs as u64);
+            }
             "--shutdown-on-stdin-close" => args.shutdown_on_stdin_close = true,
             "--help" | "-h" => {
                 println!(
                     "cqd2-serve --listen ADDR:PORT --db NAME=PATH [--db NAME=PATH …]\n\
                      \x20          [--allow-reload] [--workers N] [--queue N] [--prepared N]\n\
-                     \x20          [--cache N] [--shutdown-on-stdin-close]"
+                     \x20          [--cache N] [--stats-interval SECS] [--shutdown-on-stdin-close]"
                 );
                 std::process::exit(0);
             }
@@ -144,6 +156,9 @@ fn main() {
     if args.config.allow_reload {
         eprintln!("cqd2-serve: reloads enabled (--allow-reload)");
     }
+    if let Some(secs) = args.stats_interval {
+        spawn_stats_dump(handle.clone(), secs);
+    }
     // The line harnesses wait for before connecting.
     println!(
         "cqd2-serve: listening on {addr} (dbs: {})",
@@ -166,6 +181,23 @@ fn main() {
         stats.prepared_hits,
         stats.prepared_misses,
     );
+}
+
+/// Print the server's one-line metrics summary to stderr every
+/// `secs` seconds until shutdown. The line is produced by the running
+/// server's own metrics registry, so it matches what a `Stats` admin
+/// frame would report at the same instant.
+fn spawn_stats_dump(handle: cqd2::engine::server::ServerHandle, secs: u64) {
+    let flag = handle.shutdown_flag();
+    std::thread::spawn(move || {
+        let interval = std::time::Duration::from_secs(secs);
+        while !flag.load(Ordering::SeqCst) {
+            std::thread::sleep(interval);
+            if let Some(line) = handle.stats_line() {
+                eprintln!("cqd2-serve: {line}");
+            }
+        }
+    });
 }
 
 /// Flip the shutdown flag when stdin reaches EOF (the parent process

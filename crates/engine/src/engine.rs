@@ -71,6 +71,18 @@ pub enum Workload {
     },
 }
 
+impl Workload {
+    /// Stable lowercase name of the workload (matching the `@…` text
+    /// directives), used in trace-span annotations and stats output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::Boolean => "boolean",
+            Workload::Count => "count",
+            Workload::Enumerate { .. } => "enumerate",
+        }
+    }
+}
+
 /// One unit of batch work: a query against a database. Databases are
 /// borrowed, so many requests can share one database without copies.
 #[derive(Clone, Copy)]

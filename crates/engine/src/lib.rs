@@ -39,6 +39,12 @@
 //!   snapshot pinning, epoch-validated prepared-query caches, hot
 //!   `Reload` / `CatalogInfo` admin frames, a bounded queue with typed
 //!   backpressure, and graceful shutdown. See `docs/PROTOCOL.md`.
+//! - [`metrics`]: zero-dependency observability primitives — lock-free
+//!   [`Counter`]s / [`Gauge`]s, a log-linear latency [`Histogram`] with
+//!   mergeable [`Snapshot`]s and p50/p90/p99 readout, and the
+//!   [`QueryTrace`] per-query span recorder the server threads through
+//!   the serve path (`queue_wait` / `parse` / `plan` / `materialize` /
+//!   `execute` / `serialize`).
 //! - [`error`]: the typed [`EngineError`] hierarchy (a real
 //!   `std::error::Error` with source chains).
 //! - [`textio`]: a small text format for workload files (queries, facts,
@@ -72,6 +78,7 @@ pub mod cache;
 pub mod catalog;
 pub mod engine;
 pub mod error;
+pub mod metrics;
 pub mod plan;
 pub mod planner;
 #[cfg(feature = "serde")]
@@ -83,6 +90,7 @@ pub use cache::{CacheStats, CachedPlan, PlanCache};
 pub use catalog::{Catalog, DatabaseSnapshot};
 pub use engine::{Answer, Engine, EngineConfig, PlanProvenance, Request, Response, Workload};
 pub use error::EngineError;
+pub use metrics::{Counter, Gauge, Histogram, Phase, QueryTrace, Snapshot, Span};
 pub use plan::{CostEstimate, DataEstimate, PlannedQuery, QueryPlan};
 pub use planner::{PlannedStructure, Planner, PlannerConfig};
 #[cfg(feature = "serde")]

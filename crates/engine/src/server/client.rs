@@ -32,7 +32,9 @@ use std::net::{TcpStream, ToSocketAddrs};
 
 use crate::engine::Workload;
 use crate::server::frame::{read_frame, write_frame, Frame, FrameType};
-use crate::server::wire::{self, WireBound, WireCatalog, WireDone, WireReloaded, WireResult};
+use crate::server::wire::{
+    self, WireBound, WireCatalog, WireDone, WireReloaded, WireResult, WireStats,
+};
 use crate::server::ServerError;
 
 /// Client-side cap on accepted response payloads (tuples can be big).
@@ -170,6 +172,20 @@ impl Client {
         let frame = self.read()?;
         match frame.frame_type {
             FrameType::Catalog => decode(&frame),
+            FrameType::Error => Err(ServerError::Rejected(decode(&frame)?)),
+            other => Err(ServerError::UnexpectedFrame(other)),
+        }
+    }
+
+    /// Fetch the server's metrics snapshot — lifetime counters, live
+    /// queue/connection gauges, and per-database latency histograms: a
+    /// protocol-v2 `Stats` admin frame (always authorized; stats are
+    /// read-only).
+    pub fn stats(&mut self) -> Result<WireStats, ServerError> {
+        self.send(FrameType::Stats, b"")?;
+        let frame = self.read()?;
+        match frame.frame_type {
+            FrameType::StatsReport => decode(&frame),
             FrameType::Error => Err(ServerError::Rejected(decode(&frame)?)),
             other => Err(ServerError::UnexpectedFrame(other)),
         }

@@ -54,6 +54,10 @@ pub enum FrameType {
     /// Client → server (admin, v2): describe the server's catalog.
     /// Payload: empty.
     CatalogInfo = 0x04,
+    /// Client → server (admin, v2): report the server's observability
+    /// snapshot — counters, queue depth/high-water, per-database
+    /// latency histograms. Payload: empty.
+    Stats = 0x05,
     /// Server → client: the connection is bound. Payload: JSON
     /// [`crate::server::wire::WireBound`].
     Bound = 0x81,
@@ -69,6 +73,9 @@ pub enum FrameType {
     /// Server → client (v2): the catalog description. Payload: JSON
     /// [`crate::server::wire::WireCatalog`].
     Catalog = 0x85,
+    /// Server → client (v2): the observability snapshot. Payload: JSON
+    /// [`crate::server::wire::WireStats`].
+    StatsReport = 0x86,
     /// Server → client: a typed error frame. Payload: JSON
     /// [`crate::server::wire::WireError`].
     Error = 0x7F,
@@ -82,11 +89,13 @@ impl FrameType {
             0x02 => Some(FrameType::Query),
             0x03 => Some(FrameType::Reload),
             0x04 => Some(FrameType::CatalogInfo),
+            0x05 => Some(FrameType::Stats),
             0x81 => Some(FrameType::Bound),
             0x82 => Some(FrameType::Result),
             0x83 => Some(FrameType::Done),
             0x84 => Some(FrameType::Reloaded),
             0x85 => Some(FrameType::Catalog),
+            0x86 => Some(FrameType::StatsReport),
             0x7F => Some(FrameType::Error),
             _ => None,
         }
@@ -352,6 +361,11 @@ mod tests {
         }
         assert_eq!(decoded.len(), 2);
         assert_eq!(decoded[0].text().unwrap(), "main");
+        // The stats admin pair occupies its reserved bytes.
+        assert_eq!(FrameType::from_byte(0x05), Some(FrameType::Stats));
+        assert_eq!(FrameType::from_byte(0x86), Some(FrameType::StatsReport));
+        let f = read_frame(&mut Cursor::new(encode(FrameType::Stats, b"")), 16).unwrap();
+        assert_eq!((f.frame_type, f.payload.len()), (FrameType::Stats, 0));
     }
 
     #[test]

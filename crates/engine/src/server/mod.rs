@@ -69,7 +69,7 @@ use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use cqd2_cq::eval::with_sequential_bags;
@@ -78,13 +78,15 @@ use cqd2_cq::ConjunctiveQuery;
 use crate::catalog::Catalog;
 use crate::engine::{Engine, Workload};
 use crate::error::EngineError;
+use crate::metrics::{Counter, Gauge, Histogram, Phase, QueryTrace, Snapshot};
 use crate::session::{PreparedQuery, Session};
 use crate::textio::{self, ParseError};
 
 use frame::{FrameError, FrameReader, FrameType, PollError, ReadEvent};
 use queue::{JobQueue, PushError};
 use wire::{
-    ErrorCode, WireBound, WireCatalog, WireCatalogDb, WireDone, WireError, WireReloaded, WireResult,
+    ErrorCode, WireBound, WireCatalog, WireCatalogDb, WireDbStats, WireDone, WireError,
+    WireHistogram, WireReloaded, WireResult, WireStats, WireTrace,
 };
 
 // ---------------------------------------------------------------------
@@ -224,49 +226,118 @@ impl From<PollError> for ServerError {
 }
 
 // ---------------------------------------------------------------------
-// Stats.
+// Stats and the metrics registry.
 // ---------------------------------------------------------------------
 
-/// Monotonic counters the serving loops update (atomics; one shared
-/// instance per server).
+/// Server-wide monotonic counters, built on the lock-free
+/// [`crate::metrics`] primitives (one shared instance per server).
 #[derive(Debug, Default)]
 struct StatsInner {
-    connections: AtomicU64,
-    frames: AtomicU64,
-    batches: AtomicU64,
-    queries: AtomicU64,
-    answered: AtomicU64,
-    rejected_overload: AtomicU64,
-    parse_errors: AtomicU64,
-    protocol_errors: AtomicU64,
-    internal_errors: AtomicU64,
-    prepared_hits: AtomicU64,
-    prepared_misses: AtomicU64,
-    reloads: AtomicU64,
-    rejected_unauthorized: AtomicU64,
+    connections: Counter,
+    frames: Counter,
+    batches: Counter,
+    queries: Counter,
+    answered: Counter,
+    rejected_overload: Counter,
+    parse_errors: Counter,
+    protocol_errors: Counter,
+    internal_errors: Counter,
+    prepared_hits: Counter,
+    prepared_misses: Counter,
+    reloads: Counter,
+    rejected_unauthorized: Counter,
 }
 
 impl StatsInner {
-    fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
-    }
-
     fn snapshot(&self) -> ServerStats {
         ServerStats {
-            connections: self.connections.load(Ordering::Relaxed),
-            frames: self.frames.load(Ordering::Relaxed),
-            batches: self.batches.load(Ordering::Relaxed),
-            queries: self.queries.load(Ordering::Relaxed),
-            answered: self.answered.load(Ordering::Relaxed),
-            rejected_overload: self.rejected_overload.load(Ordering::Relaxed),
-            parse_errors: self.parse_errors.load(Ordering::Relaxed),
-            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
-            internal_errors: self.internal_errors.load(Ordering::Relaxed),
-            prepared_hits: self.prepared_hits.load(Ordering::Relaxed),
-            prepared_misses: self.prepared_misses.load(Ordering::Relaxed),
-            reloads: self.reloads.load(Ordering::Relaxed),
-            rejected_unauthorized: self.rejected_unauthorized.load(Ordering::Relaxed),
+            connections: self.connections.get(),
+            frames: self.frames.get(),
+            batches: self.batches.get(),
+            queries: self.queries.get(),
+            answered: self.answered.get(),
+            rejected_overload: self.rejected_overload.get(),
+            parse_errors: self.parse_errors.get(),
+            protocol_errors: self.protocol_errors.get(),
+            internal_errors: self.internal_errors.get(),
+            prepared_hits: self.prepared_hits.get(),
+            prepared_misses: self.prepared_misses.get(),
+            reloads: self.reloads.get(),
+            rejected_unauthorized: self.rejected_unauthorized.get(),
         }
+    }
+}
+
+/// One served database's slice of the metrics registry: request/error
+/// counters plus the per-query server-latency histogram the serve path
+/// populates on every answer (traced or not).
+#[derive(Debug, Default)]
+struct DbMetrics {
+    batches: Counter,
+    queries: Counter,
+    errors: Counter,
+    overloads: Counter,
+    prepared_hits: Counter,
+    prepared_misses: Counter,
+    latency: Histogram,
+}
+
+/// The server's metrics registry: lifetime counters, the
+/// active-connections gauge, and one [`DbMetrics`] per served name
+/// (parallel to the name snapshot [`Server::run`] takes). Created when
+/// the server starts serving and shared with [`ServerHandle`] so stats
+/// can be read from outside the serving thread (the `--stats-interval`
+/// dump).
+#[derive(Debug)]
+struct ServerMetrics {
+    started: Instant,
+    totals: StatsInner,
+    active_connections: Gauge,
+    per_db: Vec<DbMetrics>,
+}
+
+impl ServerMetrics {
+    fn new(n_dbs: usize) -> ServerMetrics {
+        ServerMetrics {
+            started: Instant::now(),
+            totals: StatsInner::default(),
+            active_connections: Gauge::new(),
+            per_db: (0..n_dbs).map(|_| DbMetrics::default()).collect(),
+        }
+    }
+
+    /// The server-wide latency distribution: every database's histogram
+    /// merged into one [`Snapshot`].
+    fn merged_latency(&self) -> Snapshot {
+        let mut merged = Snapshot::empty();
+        for db in &self.per_db {
+            merged.merge(&db.latency.snapshot());
+        }
+        merged
+    }
+
+    /// The one-line summary `cqd2-serve --stats-interval` prints.
+    fn one_line(&self) -> String {
+        let t = self.totals.snapshot();
+        let lat = self.merged_latency();
+        format!(
+            "stats — uptime {}s, conns {} ({} active), batches {}, answered {}, \
+             overloaded {}, errors {}, prepared {}/{} hit/miss, reloads {}, \
+             latency p50 {}µs p99 {}µs max {}µs",
+            self.started.elapsed().as_secs(),
+            t.connections,
+            self.active_connections.value(),
+            t.batches,
+            t.answered,
+            t.rejected_overload,
+            t.parse_errors + t.protocol_errors + t.internal_errors,
+            t.prepared_hits,
+            t.prepared_misses,
+            t.reloads,
+            lat.p50(),
+            lat.p99(),
+            lat.max(),
+        )
     }
 }
 
@@ -422,6 +493,8 @@ impl ConnWriter {
                 code,
                 message: message.into(),
                 line,
+                queue_depth: None,
+                queue_capacity: None,
             },
         )
     }
@@ -436,7 +509,9 @@ struct QueryItem {
 }
 
 /// One accepted `Query` frame: the batch, the owned session pinning the
-/// snapshot it runs against, where to answer.
+/// snapshot it runs against, where to answer — plus the observability
+/// context (receipt/enqueue timestamps, the already-measured parse
+/// span, and whether the client asked for trace spans).
 struct Job<'e> {
     /// Owned session pinning the catalog snapshot that was current when
     /// the batch was accepted — a concurrent reload cannot change what
@@ -446,6 +521,19 @@ struct Job<'e> {
     writer: Arc<ConnWriter>,
     request: u64,
     items: Vec<QueryItem>,
+    /// Index of the bound database in the server's name snapshot (for
+    /// the per-database metrics slice).
+    db_index: usize,
+    /// When the `Query` frame was received — the zero point of every
+    /// `server_micros` this batch reports.
+    received_at: Instant,
+    /// When the batch was accepted onto the queue (queue-wait span).
+    enqueued_at: Instant,
+    /// Time the connection thread spent parsing the batch text.
+    parse: Duration,
+    /// Whether the batch carried `@trace`: attach a span breakdown to
+    /// every `Result` frame.
+    trace: bool,
 }
 
 /// Everything a connection thread needs, borrowed from [`Server::run`]'s
@@ -460,7 +548,7 @@ struct ConnCtx<'e> {
     queue: &'e JobQueue<Job<'e>>,
     config: &'e ServerConfig,
     shutdown: &'e AtomicBool,
-    stats: &'e StatsInner,
+    metrics: &'e ServerMetrics,
 }
 
 impl<'e> Clone for ConnCtx<'e> {
@@ -482,22 +570,27 @@ impl<'e> ConnCtx<'e> {
 // ---------------------------------------------------------------------
 
 /// A bound-but-not-yet-running server: holds the listening socket, the
-/// shutdown flag, and the stats counters. [`Server::run`] blocks the
-/// calling thread until shutdown.
+/// shutdown flag, and the (not-yet-initialized) metrics slot.
+/// [`Server::run`] blocks the calling thread until shutdown.
 pub struct Server {
     listener: TcpListener,
     config: ServerConfig,
     shutdown: Arc<AtomicBool>,
-    stats: Arc<StatsInner>,
+    /// Set by [`Server::run`] once the served names are known (the
+    /// registry holds one slice per name); handles cloned before that
+    /// see `None` from the stats accessors.
+    metrics: Arc<OnceLock<Arc<ServerMetrics>>>,
 }
 
 /// A cheap cloneable handle for stopping a running [`Server`] from
 /// another thread (or a signal handler — see
-/// [`signal::install_shutdown_signals`]).
+/// [`signal::install_shutdown_signals`]) and for reading its live
+/// serving statistics (the `--stats-interval` dump).
 #[derive(Clone)]
 pub struct ServerHandle {
     shutdown: Arc<AtomicBool>,
     addr: SocketAddr,
+    metrics: Arc<OnceLock<Arc<ServerMetrics>>>,
 }
 
 impl ServerHandle {
@@ -521,6 +614,19 @@ impl ServerHandle {
     pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
         Arc::clone(&self.shutdown)
     }
+
+    /// A live snapshot of the server's lifetime counters, or `None`
+    /// before [`Server::run`] has started serving.
+    pub fn stats(&self) -> Option<ServerStats> {
+        self.metrics.get().map(|m| m.totals.snapshot())
+    }
+
+    /// The one-line stats summary `cqd2-serve --stats-interval` prints
+    /// (counters + merged latency quantiles), or `None` before
+    /// [`Server::run`] has started serving.
+    pub fn stats_line(&self) -> Option<String> {
+        self.metrics.get().map(|m| m.one_line())
+    }
 }
 
 impl Server {
@@ -532,7 +638,7 @@ impl Server {
             listener,
             config,
             shutdown: Arc::new(AtomicBool::new(false)),
-            stats: Arc::new(StatsInner::default()),
+            metrics: Arc::new(OnceLock::new()),
         })
     }
 
@@ -549,6 +655,7 @@ impl Server {
                 .listener
                 .local_addr()
                 .expect("bound listener has an address"),
+            metrics: Arc::clone(&self.metrics),
         }
     }
 
@@ -567,7 +674,7 @@ impl Server {
             listener,
             config,
             shutdown,
-            stats,
+            metrics: metrics_slot,
         } = self;
         listener.set_nonblocking(true)?;
         let names: Vec<String> = catalog.names();
@@ -575,6 +682,10 @@ impl Server {
             .iter()
             .map(|_| Mutex::new(PreparedCache::new(config.prepared_capacity)))
             .collect();
+        // Publish the registry so handles (e.g. the `--stats-interval`
+        // dump thread) can read live stats while we serve.
+        let metrics: &ServerMetrics =
+            metrics_slot.get_or_init(|| Arc::new(ServerMetrics::new(names.len())));
         let queue: JobQueue<Job<'_>> = JobQueue::new(config.queue_capacity);
         let workers = if config.workers == 0 {
             std::thread::available_parallelism().map_or(1, |p| p.get())
@@ -587,8 +698,7 @@ impl Server {
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 let queue = &queue;
-                let stats = &stats;
-                scope.spawn(move || worker_loop(queue, stats, sequential_bags));
+                scope.spawn(move || worker_loop(queue, metrics, sequential_bags));
             }
             let ctx = ConnCtx {
                 engine,
@@ -598,12 +708,12 @@ impl Server {
                 queue: &queue,
                 config: &config,
                 shutdown: &shutdown,
-                stats: &stats,
+                metrics,
             };
             while !shutdown.load(Ordering::SeqCst) {
                 match listener.accept() {
                     Ok((stream, _peer)) => {
-                        StatsInner::bump(&stats.connections);
+                        metrics.totals.connections.inc();
                         scope.spawn(move || conn_loop(ctx, stream));
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -620,7 +730,7 @@ impl Server {
             // accepted. Connection threads observe the flag themselves.
             queue.close();
         });
-        Ok(stats.snapshot())
+        Ok(metrics.totals.snapshot())
     }
 }
 
@@ -628,17 +738,31 @@ impl Server {
 // Worker side.
 // ---------------------------------------------------------------------
 
-fn worker_loop(queue: &JobQueue<Job<'_>>, stats: &StatsInner, sequential_bags: bool) {
+fn worker_loop(queue: &JobQueue<Job<'_>>, metrics: &ServerMetrics, sequential_bags: bool) {
     while let Some(job) = queue.pop() {
-        execute_job(job, stats, sequential_bags);
+        execute_job(job, metrics, sequential_bags);
     }
+}
+
+/// Saturating whole-microseconds rendering of a duration.
+fn micros(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
 }
 
 /// Execute one accepted batch: resolve (or prepare) each query's warm
 /// handle against the batch's pinned epoch, run it, frame the answer.
 /// Any error frame terminates the batch (no `Done` follows), matching
 /// the protocol's "error ends the request" rule.
-fn execute_job(job: Job<'_>, stats: &StatsInner, sequential_bags: bool) {
+///
+/// Observability: every answered query stamps `server_micros` (receipt
+/// of the `Query` frame → the result handed to the socket) and records
+/// it into the database's latency histogram; when the batch carried
+/// `@trace`, a [`QueryTrace`] is assembled per query from disjoint
+/// phase sub-intervals (so the span sum never exceeds `server_micros`)
+/// and attached to the `Result` payload.
+fn execute_job(job: Job<'_>, metrics: &ServerMetrics, sequential_bags: bool) {
+    let db_metrics = &metrics.per_db[job.db_index];
+    let queue_wait = job.enqueued_at.elapsed();
     let epoch = job.session.epoch();
     let mut results = 0u64;
     for (index, item) in job.items.iter().enumerate() {
@@ -667,7 +791,8 @@ fn execute_job(job: Job<'_>, stats: &StatsInner, sequential_bags: bool) {
                         (p, false)
                     }
                     Err(e) => {
-                        StatsInner::bump(&stats.internal_errors);
+                        metrics.totals.internal_errors.inc();
+                        db_metrics.errors.inc();
                         let _ = job.writer.send_error(
                             Some(job.request),
                             ErrorCode::Internal,
@@ -681,29 +806,83 @@ fn execute_job(job: Job<'_>, stats: &StatsInner, sequential_bags: bool) {
             }
         };
         if prepared_hit {
-            StatsInner::bump(&stats.prepared_hits);
+            metrics.totals.prepared_hits.inc();
+            db_metrics.prepared_hits.inc();
         } else {
-            StatsInner::bump(&stats.prepared_misses);
+            metrics.totals.prepared_misses.inc();
+            db_metrics.prepared_misses.inc();
         }
-        let resp = if sequential_bags {
-            with_sequential_bags(|| prepared.run(item.workload))
-        } else {
-            prepared.run(item.workload)
+        // Assemble the trace (batch-level phases first) only when the
+        // client asked; the latency histograms are fed either way.
+        let mut trace = job.trace.then(QueryTrace::new);
+        if let Some(t) = trace.as_mut() {
+            t.record(Phase::QueueWait, queue_wait);
+            t.record(Phase::Parse, job.parse);
+            let provenance = format!(
+                "{} ({} | cache {} | prepared {})",
+                prepared.plan(item.workload).plan.strategy(),
+                item.workload.name(),
+                if prepared.cache_hit() { "hit" } else { "miss" },
+                if prepared_hit { "hit" } else { "miss" },
+            );
+            // Planning and materialization were paid at prepare time:
+            // they belong to this request only on a prepared-cache miss.
+            let (plan, materialize) = if prepared_hit {
+                (Duration::ZERO, Duration::ZERO)
+            } else {
+                (prepared.planning_time(), prepared.preprocessing_time())
+            };
+            t.record_with(Phase::Plan, plan, provenance);
+            t.record(Phase::Materialize, materialize);
+        }
+        let resp = match trace.as_mut() {
+            Some(t) if sequential_bags => {
+                with_sequential_bags(|| prepared.run_traced(item.workload, t))
+            }
+            Some(t) => prepared.run_traced(item.workload, t),
+            None if sequential_bags => with_sequential_bags(|| prepared.run(item.workload)),
+            None => prepared.run(item.workload),
         };
-        let wire = WireResult::from_response(job.request, index as u64, prepared_hit, &resp);
-        if job.writer.send_json(FrameType::Result, &wire).is_err() {
+        let mut wire = WireResult::from_response(job.request, index as u64, prepared_hit, &resp);
+        let payload = match trace {
+            Some(mut t) => {
+                // Measure serialization on the trace-less payload, then
+                // stamp `server_micros` *after* that (all phases are
+                // then completed sub-intervals of it) and re-encode
+                // with the trace attached. The double encode is paid
+                // only by traced batches.
+                let ser_start = Instant::now();
+                let _ = serde::json::to_string(&wire);
+                t.record(Phase::Serialize, ser_start.elapsed());
+                wire.server_micros = micros(job.received_at.elapsed());
+                wire.trace = Some(WireTrace::from_trace(&t));
+                serde::json::to_string(&wire)
+            }
+            None => {
+                wire.server_micros = micros(job.received_at.elapsed());
+                serde::json::to_string(&wire)
+            }
+        };
+        db_metrics.latency.record(wire.server_micros);
+        if job
+            .writer
+            .send(FrameType::Result, payload.as_bytes())
+            .is_err()
+        {
             // Client went away; drop the rest of the batch.
             job.writer.pending.fetch_sub(1, Ordering::SeqCst);
             return;
         }
         results += 1;
-        StatsInner::bump(&stats.answered);
+        metrics.totals.answered.inc();
+        db_metrics.queries.inc();
     }
     let _ = job.writer.send_json(
         FrameType::Done,
         &WireDone {
             request: job.request,
             results,
+            server_micros: micros(job.received_at.elapsed()),
         },
     );
     job.writer.pending.fetch_sub(1, Ordering::SeqCst);
@@ -713,7 +892,19 @@ fn execute_job(job: Job<'_>, stats: &StatsInner, sequential_bags: bool) {
 // Connection side.
 // ---------------------------------------------------------------------
 
+/// Decrements the active-connections gauge when a connection thread
+/// exits, whichever of `conn_loop`'s many return paths it takes.
+struct ActiveConnGuard<'e>(&'e Gauge);
+
+impl Drop for ActiveConnGuard<'_> {
+    fn drop(&mut self) {
+        self.0.dec();
+    }
+}
+
 fn conn_loop(ctx: ConnCtx<'_>, stream: TcpStream) {
+    ctx.metrics.active_connections.inc();
+    let _active = ActiveConnGuard(&ctx.metrics.active_connections);
     if stream
         .set_read_timeout(Some(ctx.config.poll_interval))
         .is_err()
@@ -743,22 +934,27 @@ fn conn_loop(ctx: ConnCtx<'_>, stream: TcpStream) {
             Ok(ReadEvent::Idle) => continue,
             Ok(ReadEvent::Closed) => return,
             Ok(ReadEvent::Frame(f)) => {
+                // The zero point of this request's `server_micros`.
+                let received_at = Instant::now();
                 seq += 1;
-                StatsInner::bump(&ctx.stats.frames);
+                ctx.metrics.totals.frames.inc();
                 match f.frame_type {
                     FrameType::Bind => {
-                        bound = handle_bind(ctx, &writer, seq, &f).or(bound);
+                        bound = handle_bind(ctx, &writer, seq, &f, received_at).or(bound);
                     }
                     FrameType::Query => {
-                        if !handle_query(ctx, &writer, seq, bound, &f) {
+                        if !handle_query(ctx, &writer, seq, bound, &f, received_at) {
                             return;
                         }
                     }
                     FrameType::Reload => {
-                        handle_reload(ctx, &writer, seq, &f);
+                        handle_reload(ctx, &writer, seq, &f, received_at);
                     }
                     FrameType::CatalogInfo => {
-                        handle_catalog_info(ctx, &writer, seq);
+                        handle_catalog_info(ctx, &writer, seq, received_at);
+                    }
+                    FrameType::Stats => {
+                        handle_stats(ctx, &writer, seq, received_at);
                     }
                     // Server→client frame types are never valid inbound.
                     FrameType::Bound
@@ -766,8 +962,9 @@ fn conn_loop(ctx: ConnCtx<'_>, stream: TcpStream) {
                     | FrameType::Done
                     | FrameType::Reloaded
                     | FrameType::Catalog
+                    | FrameType::StatsReport
                     | FrameType::Error => {
-                        StatsInner::bump(&ctx.stats.protocol_errors);
+                        ctx.metrics.totals.protocol_errors.inc();
                         let _ = writer.send_error(
                             Some(seq),
                             ErrorCode::BadFrame,
@@ -779,7 +976,7 @@ fn conn_loop(ctx: ConnCtx<'_>, stream: TcpStream) {
                 }
             }
             Err(PollError::Frame(e)) => {
-                StatsInner::bump(&ctx.stats.protocol_errors);
+                ctx.metrics.totals.protocol_errors.inc();
                 let code = match e {
                     FrameError::Version(_) => ErrorCode::Version,
                     _ => ErrorCode::BadFrame,
@@ -794,11 +991,17 @@ fn conn_loop(ctx: ConnCtx<'_>, stream: TcpStream) {
 
 /// Answer a `Bind` frame. Returns the newly bound database index, or
 /// `None` if the bind failed (the connection keeps any previous bind).
-fn handle_bind(ctx: ConnCtx<'_>, writer: &ConnWriter, seq: u64, f: &frame::Frame) -> Option<usize> {
+fn handle_bind(
+    ctx: ConnCtx<'_>,
+    writer: &ConnWriter,
+    seq: u64,
+    f: &frame::Frame,
+    received_at: Instant,
+) -> Option<usize> {
     let name = match f.text() {
         Ok(name) => name.trim(),
         Err(e) => {
-            StatsInner::bump(&ctx.stats.protocol_errors);
+            ctx.metrics.totals.protocol_errors.inc();
             let _ = writer.send_error(Some(seq), ErrorCode::BadFrame, e.to_string(), None);
             return None;
         }
@@ -813,6 +1016,7 @@ fn handle_bind(ctx: ConnCtx<'_>, writer: &ConnWriter, seq: u64, f: &frame::Frame
                     facts: snapshot.db().size() as u64,
                     relations: snapshot.db().relations().count() as u64,
                     epoch: snapshot.epoch(),
+                    server_micros: micros(received_at.elapsed()),
                 },
             );
             Some(i)
@@ -838,6 +1042,7 @@ fn handle_query(
     seq: u64,
     bound: Option<usize>,
     f: &frame::Frame,
+    received_at: Instant,
 ) -> bool {
     let Some(db_index) = bound else {
         let _ = writer.send_error(
@@ -848,18 +1053,21 @@ fn handle_query(
         );
         return true;
     };
+    let db_metrics = &ctx.metrics.per_db[db_index];
     let text = match f.text() {
         Ok(t) => t,
         Err(e) => {
-            StatsInner::bump(&ctx.stats.protocol_errors);
+            ctx.metrics.totals.protocol_errors.inc();
             let _ = writer.send_error(Some(seq), ErrorCode::BadFrame, e.to_string(), None);
             return true;
         }
     };
-    let parsed = match textio::parse_queries(text) {
-        Ok(p) => p,
+    let parse_started = Instant::now();
+    let batch = match textio::parse_query_batch(text) {
+        Ok(b) => b,
         Err(e) => {
-            StatsInner::bump(&ctx.stats.parse_errors);
+            ctx.metrics.totals.parse_errors.inc();
+            db_metrics.errors.inc();
             let _ = writer.send_error(
                 Some(seq),
                 ErrorCode::Parse,
@@ -869,6 +1077,7 @@ fn handle_query(
             return true;
         }
     };
+    let parse = parse_started.elapsed();
     // Pin the catalog's current snapshot *now*: the batch executes
     // against exactly this epoch no matter how many reloads land while
     // it waits in the queue or streams its results.
@@ -881,7 +1090,9 @@ fn handle_query(
             return true;
         }
     };
-    let items: Vec<QueryItem> = parsed
+    let trace = batch.trace;
+    let items: Vec<QueryItem> = batch
+        .queries
         .into_iter()
         .map(|(query, mode)| QueryItem {
             key: query.display(),
@@ -897,24 +1108,38 @@ fn handle_query(
         writer: Arc::clone(writer),
         request: seq,
         items,
+        db_index,
+        received_at,
+        enqueued_at: Instant::now(),
+        parse,
+        trace,
     };
     match ctx.queue.try_push(job) {
         Ok(()) => {
-            StatsInner::bump(&ctx.stats.batches);
-            ctx.stats.queries.fetch_add(n_queries, Ordering::Relaxed);
+            ctx.metrics.totals.batches.inc();
+            ctx.metrics.totals.queries.add(n_queries);
+            db_metrics.batches.inc();
             true
         }
         Err(PushError::Full(job)) => {
             job.writer.pending.fetch_sub(1, Ordering::SeqCst);
-            StatsInner::bump(&ctx.stats.rejected_overload);
-            let _ = writer.send_error(
-                Some(seq),
-                ErrorCode::Overloaded,
-                format!(
-                    "request queue full ({} pending batches) — retry later",
-                    ctx.config.queue_capacity
-                ),
-                None,
+            ctx.metrics.totals.rejected_overload.inc();
+            db_metrics.overloads.inc();
+            // The Overloaded frame carries the live queue picture so
+            // clients can make an informed backoff decision.
+            let _ = writer.send_json(
+                FrameType::Error,
+                &WireError {
+                    request: Some(seq),
+                    code: ErrorCode::Overloaded,
+                    message: format!(
+                        "request queue full ({} pending batches) — retry later",
+                        ctx.config.queue_capacity
+                    ),
+                    line: None,
+                    queue_depth: Some(ctx.queue.len() as u64),
+                    queue_capacity: Some(ctx.queue.capacity() as u64),
+                },
             );
             true
         }
@@ -938,9 +1163,15 @@ fn handle_query(
 /// not compete with queries for worker slots (and the swap itself
 /// never blocks query execution: in-flight batches hold their own
 /// pins).
-fn handle_reload(ctx: ConnCtx<'_>, writer: &ConnWriter, seq: u64, f: &frame::Frame) {
+fn handle_reload(
+    ctx: ConnCtx<'_>,
+    writer: &ConnWriter,
+    seq: u64,
+    f: &frame::Frame,
+    received_at: Instant,
+) {
     if !ctx.config.allow_reload {
-        StatsInner::bump(&ctx.stats.rejected_unauthorized);
+        ctx.metrics.totals.rejected_unauthorized.inc();
         let _ = writer.send_error(
             Some(seq),
             ErrorCode::Unauthorized,
@@ -952,7 +1183,7 @@ fn handle_reload(ctx: ConnCtx<'_>, writer: &ConnWriter, seq: u64, f: &frame::Fra
     let text = match f.text() {
         Ok(t) => t,
         Err(e) => {
-            StatsInner::bump(&ctx.stats.protocol_errors);
+            ctx.metrics.totals.protocol_errors.inc();
             let _ = writer.send_error(Some(seq), ErrorCode::BadFrame, e.to_string(), None);
             return;
         }
@@ -975,7 +1206,7 @@ fn handle_reload(ctx: ConnCtx<'_>, writer: &ConnWriter, seq: u64, f: &frame::Fra
     let snapshot = match ctx.catalog.swap_str(name, facts) {
         Ok(s) => s,
         Err(EngineError::Parse(e)) => {
-            StatsInner::bump(&ctx.stats.parse_errors);
+            ctx.metrics.totals.parse_errors.inc();
             let _ = writer.send_error(
                 Some(seq),
                 ErrorCode::Parse,
@@ -987,7 +1218,7 @@ fn handle_reload(ctx: ConnCtx<'_>, writer: &ConnWriter, seq: u64, f: &frame::Fra
             return;
         }
         Err(e) => {
-            StatsInner::bump(&ctx.stats.internal_errors);
+            ctx.metrics.totals.internal_errors.inc();
             let _ = writer.send_error(Some(seq), ErrorCode::Internal, e.to_string(), None);
             return;
         }
@@ -998,7 +1229,7 @@ fn handle_reload(ctx: ConnCtx<'_>, writer: &ConnWriter, seq: u64, f: &frame::Fra
         .lock()
         .expect("prepared cache poisoned")
         .purge_stale(snapshot.epoch());
-    StatsInner::bump(&ctx.stats.reloads);
+    ctx.metrics.totals.reloads.inc();
     let _ = writer.send_json(
         FrameType::Reloaded,
         &WireReloaded {
@@ -1007,13 +1238,14 @@ fn handle_reload(ctx: ConnCtx<'_>, writer: &ConnWriter, seq: u64, f: &frame::Fra
             epoch: snapshot.epoch(),
             facts: snapshot.db().size() as u64,
             relations: snapshot.db().relations().count() as u64,
+            server_micros: micros(received_at.elapsed()),
         },
     );
 }
 
 /// Answer a `CatalogInfo` admin frame with the served names, their
 /// epochs, and whether reloads are enabled.
-fn handle_catalog_info(ctx: ConnCtx<'_>, writer: &ConnWriter, seq: u64) {
+fn handle_catalog_info(ctx: ConnCtx<'_>, writer: &ConnWriter, seq: u64, received_at: Instant) {
     let databases = ctx
         .names
         .iter()
@@ -1031,6 +1263,63 @@ fn handle_catalog_info(ctx: ConnCtx<'_>, writer: &ConnWriter, seq: u64) {
             request: seq,
             reload_enabled: ctx.config.allow_reload,
             databases,
+            server_micros: micros(received_at.elapsed()),
+        },
+    );
+}
+
+/// Answer a `Stats` admin frame with the full server-wide metrics
+/// snapshot: lifetime counters, live queue/connection gauges, and the
+/// per-database request counters and latency histograms. Handled
+/// inline on the connection thread — reading atomics is cheap and must
+/// stay responsive even when every worker is busy.
+fn handle_stats(ctx: ConnCtx<'_>, writer: &ConnWriter, seq: u64, received_at: Instant) {
+    let totals = ctx.metrics.totals.snapshot();
+    let databases = ctx
+        .names
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            let db = &ctx.metrics.per_db[i];
+            WireDbStats {
+                name: name.clone(),
+                // Epoch is read live from the catalog: it reflects
+                // reloads that happened after the counters were bumped.
+                epoch: ctx.catalog.get(name).map(|s| s.epoch()).unwrap_or(0),
+                batches: db.batches.get(),
+                queries: db.queries.get(),
+                errors: db.errors.get(),
+                overloads: db.overloads.get(),
+                prepared_hits: db.prepared_hits.get(),
+                prepared_misses: db.prepared_misses.get(),
+                latency: WireHistogram::from_snapshot(&db.latency.snapshot()),
+            }
+        })
+        .collect();
+    let _ = writer.send_json(
+        FrameType::StatsReport,
+        &WireStats {
+            request: seq,
+            uptime_micros: micros(ctx.metrics.started.elapsed()),
+            connections: totals.connections,
+            active_connections: ctx.metrics.active_connections.value(),
+            frames: totals.frames,
+            batches: totals.batches,
+            queries: totals.queries,
+            answered: totals.answered,
+            rejected_overload: totals.rejected_overload,
+            rejected_unauthorized: totals.rejected_unauthorized,
+            parse_errors: totals.parse_errors,
+            protocol_errors: totals.protocol_errors,
+            internal_errors: totals.internal_errors,
+            prepared_hits: totals.prepared_hits,
+            prepared_misses: totals.prepared_misses,
+            reloads: totals.reloads,
+            queue_depth: ctx.queue.len() as u64,
+            queue_high_water: ctx.queue.high_water() as u64,
+            queue_capacity: ctx.queue.capacity() as u64,
+            databases,
+            server_micros: micros(received_at.elapsed()),
         },
     );
 }
@@ -1224,6 +1513,8 @@ mod tests {
             code: ErrorCode::Overloaded,
             message: "queue full".into(),
             line: None,
+            queue_depth: Some(4),
+            queue_capacity: Some(4),
         });
         assert!(e.to_string().contains("Overloaded"), "{e}");
         let e = ServerError::from(EngineError::UnknownDatabase("x".into()));

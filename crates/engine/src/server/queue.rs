@@ -26,6 +26,10 @@ pub enum PushError<T> {
 struct State<T> {
     jobs: VecDeque<T>,
     closed: bool,
+    /// Deepest the queue has ever been — updated under this mutex on
+    /// every accepted push, so it is exact (any accepted job implies a
+    /// high-water mark of at least 1).
+    high_water: usize,
 }
 
 /// The bounded queue. `T` is the server's job type; the queue itself is
@@ -43,6 +47,7 @@ impl<T> JobQueue<T> {
             state: Mutex::new(State {
                 jobs: VecDeque::new(),
                 closed: false,
+                high_water: 0,
             }),
             ready: Condvar::new(),
             capacity: capacity.max(1),
@@ -59,6 +64,7 @@ impl<T> JobQueue<T> {
             return Err(PushError::Full(job));
         }
         st.jobs.push_back(job);
+        st.high_water = st.high_water.max(st.jobs.len());
         drop(st);
         self.ready.notify_one();
         Ok(())
@@ -94,6 +100,18 @@ impl<T> JobQueue<T> {
     /// Whether the queue is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// High-water mark: the deepest the queue has ever been. Exact
+    /// (maintained under the queue lock), so it is ≥ 1 once any job
+    /// has been accepted.
+    pub fn high_water(&self) -> usize {
+        self.state.lock().expect("job queue poisoned").high_water
+    }
+
+    /// Capacity the queue was built with (after the minimum-1 clamp).
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 }
 
@@ -143,5 +161,23 @@ mod tests {
         let q = JobQueue::new(0);
         q.try_push(1).unwrap();
         assert!(matches!(q.try_push(2), Err(PushError::Full(2))));
+        assert_eq!(q.capacity(), 1);
+    }
+
+    #[test]
+    fn high_water_mark_tracks_peak_depth_not_current() {
+        let q = JobQueue::new(8);
+        assert_eq!(q.high_water(), 0);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.try_push(3).unwrap();
+        assert_eq!(q.high_water(), 3);
+        q.pop();
+        q.pop();
+        q.pop();
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.high_water(), 3, "the mark survives draining");
+        q.try_push(4).unwrap();
+        assert_eq!(q.high_water(), 3, "shallower refills do not move it");
     }
 }

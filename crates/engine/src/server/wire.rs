@@ -9,6 +9,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::engine::{Answer, Response, Workload};
+use crate::metrics::{QueryTrace, Snapshot};
 
 /// Payload of a [`crate::server::frame::FrameType::Bound`] frame: the
 /// connection is now bound to `db`. `facts`/`relations`/`epoch`
@@ -27,6 +28,10 @@ pub struct WireBound {
     /// The catalog epoch of the snapshot described above (bumped by
     /// every reload).
     pub epoch: u64,
+    /// Microseconds the request spent inside the server (receipt of the
+    /// client frame → this response handed to the socket). Subtracting
+    /// it from a client-measured round-trip isolates network time.
+    pub server_micros: u64,
 }
 
 /// Payload of a [`crate::server::frame::FrameType::Result`] frame: one
@@ -51,10 +56,20 @@ pub struct WireResult {
     pub planning_ns: u64,
     /// Nanoseconds of execution (the per-run tree pass).
     pub execution_ns: u64,
+    /// Microseconds this query spent inside the server, from receipt of
+    /// its `Query` frame to this response being handed to the socket
+    /// (so it includes queue wait and the batch's earlier queries).
+    pub server_micros: u64,
+    /// Per-phase span breakdown — present only when the batch carried
+    /// the `@trace` directive. The phases are disjoint sub-intervals of
+    /// the request's server residency, so their sum ≤ `server_micros`.
+    pub trace: Option<WireTrace>,
 }
 
 impl WireResult {
-    /// Assemble from an engine [`Response`].
+    /// Assemble from an engine [`Response`]. `server_micros` is zero
+    /// and `trace` absent until the server stamps them just before
+    /// sending.
     pub fn from_response(request: u64, index: u64, prepared_hit: bool, resp: &Response) -> Self {
         WireResult {
             request,
@@ -65,6 +80,54 @@ impl WireResult {
             prepared_hit,
             planning_ns: u64::try_from(resp.provenance.planning.as_nanos()).unwrap_or(u64::MAX),
             execution_ns: u64::try_from(resp.provenance.execution.as_nanos()).unwrap_or(u64::MAX),
+            server_micros: 0,
+            trace: None,
+        }
+    }
+}
+
+/// One phase of a [`WireTrace`] span breakdown.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireSpan {
+    /// Phase name: `queue_wait`, `parse`, `plan`, `materialize`,
+    /// `execute`, or `serialize` ([`crate::metrics::Phase::name`]).
+    pub phase: String,
+    /// Microseconds spent in the phase.
+    pub micros: u64,
+    /// Optional annotation (e.g. the chosen strategy and cache
+    /// provenance on `plan`).
+    pub detail: Option<String>,
+}
+
+/// The span breakdown attached to a [`WireResult`] when its batch
+/// carried `@trace`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireTrace {
+    /// Sum of the span durations in microseconds. Because the phases
+    /// are disjoint, this never exceeds the result's `server_micros`.
+    pub total_micros: u64,
+    /// The spans, in serve-path order.
+    pub spans: Vec<WireSpan>,
+}
+
+impl WireTrace {
+    /// Encode a recorded [`QueryTrace`]. The total is summed over the
+    /// already-truncated per-span microseconds (not truncated from the
+    /// exact `Duration` sum), so `total_micros == Σ spans[i].micros`
+    /// holds exactly on the wire.
+    pub fn from_trace(trace: &QueryTrace) -> WireTrace {
+        let spans: Vec<WireSpan> = trace
+            .spans()
+            .iter()
+            .map(|s| WireSpan {
+                phase: s.phase.name().to_string(),
+                micros: u64::try_from(s.duration.as_micros()).unwrap_or(u64::MAX),
+                detail: s.detail.clone(),
+            })
+            .collect();
+        WireTrace {
+            total_micros: spans.iter().map(|s| s.micros).sum(),
+            spans,
         }
     }
 }
@@ -77,6 +140,10 @@ pub struct WireDone {
     pub request: u64,
     /// How many `Result` frames were sent for the batch.
     pub results: u64,
+    /// Microseconds the whole batch spent inside the server, from
+    /// receipt of its `Query` frame to this `Done` being handed to the
+    /// socket.
+    pub server_micros: u64,
 }
 
 /// Payload of a [`crate::server::frame::FrameType::Reloaded`] frame:
@@ -95,6 +162,9 @@ pub struct WireReloaded {
     pub facts: u64,
     /// Number of relations in the new snapshot.
     pub relations: u64,
+    /// Microseconds the reload spent inside the server (parse +
+    /// statistics + publish).
+    pub server_micros: u64,
 }
 
 /// One database in a [`WireCatalog`] description.
@@ -120,6 +190,8 @@ pub struct WireCatalog {
     pub reload_enabled: bool,
     /// The served databases, in name order.
     pub databases: Vec<WireCatalogDb>,
+    /// Microseconds the request spent inside the server.
+    pub server_micros: u64,
 }
 
 /// Machine-readable error classes of a
@@ -172,6 +244,119 @@ pub struct WireError {
     /// For [`ErrorCode::Parse`]: the offending 1-based line of the
     /// payload text.
     pub line: Option<u64>,
+    /// For [`ErrorCode::Overloaded`]: the request queue's depth at
+    /// rejection time, so clients can calibrate their retry policy.
+    pub queue_depth: Option<u64>,
+    /// For [`ErrorCode::Overloaded`]: the queue's configured capacity.
+    pub queue_capacity: Option<u64>,
+}
+
+/// A latency distribution summary inside a [`WireStats`] report,
+/// rendered from a [`crate::metrics::Histogram`] snapshot. All values
+/// are microseconds; quantiles carry the histogram's ≤ 1.6% relative
+/// error, `max_micros` is exact.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireHistogram {
+    /// Samples recorded.
+    pub count: u64,
+    /// Median latency.
+    pub p50_micros: u64,
+    /// 90th-percentile latency.
+    pub p90_micros: u64,
+    /// 99th-percentile latency.
+    pub p99_micros: u64,
+    /// Exact maximum latency.
+    pub max_micros: u64,
+    /// Mean latency.
+    pub mean_micros: u64,
+}
+
+impl WireHistogram {
+    /// Summarize a histogram snapshot.
+    pub fn from_snapshot(snap: &Snapshot) -> WireHistogram {
+        WireHistogram {
+            count: snap.count(),
+            p50_micros: snap.p50(),
+            p90_micros: snap.p90(),
+            p99_micros: snap.p99(),
+            max_micros: snap.max(),
+            mean_micros: snap.mean(),
+        }
+    }
+}
+
+/// One served database's section of a [`WireStats`] report.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireDbStats {
+    /// The published name.
+    pub name: String,
+    /// The catalog's current epoch for the name.
+    pub epoch: u64,
+    /// Query batches accepted for this database.
+    pub batches: u64,
+    /// Individual queries answered against this database.
+    pub queries: u64,
+    /// Errors answered on this database's requests (parse + internal).
+    pub errors: u64,
+    /// Batches rejected with `Overloaded` while bound to this database.
+    pub overloads: u64,
+    /// Prepared-query cache hits.
+    pub prepared_hits: u64,
+    /// Prepared-query cache misses.
+    pub prepared_misses: u64,
+    /// Per-query server-latency distribution (receipt of the `Query`
+    /// frame → the query's `Result` frame handed to the socket).
+    pub latency: WireHistogram,
+}
+
+/// Payload of a [`crate::server::frame::FrameType::StatsReport`] frame:
+/// the server's observability snapshot — lifetime counters, queue
+/// gauges, and per-database latency histograms.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireStats {
+    /// Sequence number of the `Stats` frame this answers.
+    pub request: u64,
+    /// Microseconds since the server started serving.
+    pub uptime_micros: u64,
+    /// Connections accepted since startup.
+    pub connections: u64,
+    /// Connections currently open.
+    pub active_connections: u64,
+    /// Frames received.
+    pub frames: u64,
+    /// Query batches accepted.
+    pub batches: u64,
+    /// Individual queries received inside accepted batches.
+    pub queries: u64,
+    /// Individual queries answered with a `Result` frame.
+    pub answered: u64,
+    /// Batches rejected with `Overloaded`.
+    pub rejected_overload: u64,
+    /// `Parse` error frames sent.
+    pub parse_errors: u64,
+    /// Protocol (`Version` / `BadFrame`) error frames sent.
+    pub protocol_errors: u64,
+    /// `Internal` error frames sent.
+    pub internal_errors: u64,
+    /// Prepared-query cache hits (all databases).
+    pub prepared_hits: u64,
+    /// Prepared-query cache misses (all databases).
+    pub prepared_misses: u64,
+    /// Successful `Reload` frames.
+    pub reloads: u64,
+    /// `Reload` frames rejected with `Unauthorized`.
+    pub rejected_unauthorized: u64,
+    /// Jobs in the request queue right now.
+    pub queue_depth: u64,
+    /// Deepest the request queue has ever been (exact; ≥ 1 once any
+    /// batch has been accepted).
+    pub queue_high_water: u64,
+    /// The request queue's configured capacity.
+    pub queue_capacity: u64,
+    /// Per-database sections, in name order.
+    pub databases: Vec<WireDbStats>,
+    /// Microseconds this request spent inside the server.
+    pub server_micros: u64,
 }
 
 /// Render the workload mode directive for `w` (the inverse of
@@ -201,15 +386,40 @@ mod tests {
             prepared_hit: false,
             planning_ns: 0,
             execution_ns: 12_345,
+            server_micros: 640,
+            trace: Some(WireTrace {
+                total_micros: 27,
+                spans: vec![
+                    WireSpan {
+                        phase: "queue_wait".to_string(),
+                        micros: 12,
+                        detail: None,
+                    },
+                    WireSpan {
+                        phase: "execute".to_string(),
+                        micros: 15,
+                        detail: Some("ghd-yannakakis".to_string()),
+                    },
+                ],
+            }),
         };
         let json = serde::json::to_string(&result);
         assert_eq!(serde::json::from_str::<WireResult>(&json).unwrap(), result);
+        // An untraced result (`trace: null`) round-trips to `None`.
+        let plain = WireResult {
+            trace: None,
+            ..result.clone()
+        };
+        let json = serde::json::to_string(&plain);
+        assert_eq!(serde::json::from_str::<WireResult>(&json).unwrap(), plain);
 
         let err = WireError {
             request: Some(7),
             code: ErrorCode::Overloaded,
             message: "queue full".to_string(),
             line: None,
+            queue_depth: Some(64),
+            queue_capacity: Some(64),
         };
         let json = serde::json::to_string(&err);
         assert!(json.contains("Overloaded"), "{json}");
@@ -234,6 +444,7 @@ mod tests {
             epoch: 3,
             facts: 120,
             relations: 2,
+            server_micros: 88,
         };
         let json = serde::json::to_string(&reloaded);
         assert_eq!(
@@ -258,6 +469,7 @@ mod tests {
                     relations: 3,
                 },
             ],
+            server_micros: 12,
         };
         let json = serde::json::to_string(&catalog);
         assert_eq!(
@@ -270,10 +482,60 @@ mod tests {
             code: ErrorCode::Unauthorized,
             message: "start it with --allow-reload".to_string(),
             line: None,
+            queue_depth: None,
+            queue_capacity: None,
         };
         let json = serde::json::to_string(&err);
         assert!(json.contains("Unauthorized"), "{json}");
         assert_eq!(serde::json::from_str::<WireError>(&json).unwrap(), err);
+    }
+
+    #[test]
+    fn stats_report_round_trips_as_json() {
+        let hist = crate::metrics::Histogram::new();
+        for v in [100u64, 200, 300, 4_000] {
+            hist.record(v);
+        }
+        let latency = WireHistogram::from_snapshot(&hist.snapshot());
+        assert_eq!(latency.count, 4);
+        assert_eq!(latency.max_micros, 4_000);
+        assert!(latency.p50_micros <= latency.p99_micros);
+
+        let stats = WireStats {
+            request: 11,
+            uptime_micros: 5_000_000,
+            connections: 9,
+            active_connections: 2,
+            frames: 40,
+            batches: 12,
+            queries: 31,
+            answered: 30,
+            rejected_overload: 1,
+            parse_errors: 0,
+            protocol_errors: 0,
+            internal_errors: 0,
+            prepared_hits: 25,
+            prepared_misses: 6,
+            reloads: 1,
+            rejected_unauthorized: 0,
+            queue_depth: 0,
+            queue_high_water: 3,
+            queue_capacity: 64,
+            databases: vec![WireDbStats {
+                name: "main".to_string(),
+                epoch: 1,
+                batches: 12,
+                queries: 31,
+                errors: 0,
+                overloads: 1,
+                prepared_hits: 25,
+                prepared_misses: 6,
+                latency,
+            }],
+            server_micros: 45,
+        };
+        let json = serde::json::to_string(&stats);
+        assert_eq!(serde::json::from_str::<WireStats>(&json).unwrap(), stats);
     }
 
     #[test]

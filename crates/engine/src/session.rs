@@ -45,6 +45,7 @@ use cqd2_cq::{ConjunctiveQuery, Database};
 use crate::catalog::{Catalog, DatabaseSnapshot};
 use crate::engine::{Answer, Engine, PlanProvenance, Response, Workload};
 use crate::error::EngineError;
+use crate::metrics::{Phase, QueryTrace};
 use crate::plan::{DataEstimate, PlannedQuery, QueryPlan};
 
 /// A serving session over one database snapshot: a cheap clone of the
@@ -434,6 +435,23 @@ impl PreparedQuery {
     /// instead.
     pub fn run(&self, workload: Workload) -> Response {
         self.core.run(self.snapshot.db(), workload)
+    }
+
+    /// Execute like [`PreparedQuery::run`], additionally recording an
+    /// `execute` span — annotated with the strategy that ran — into
+    /// `trace`. This is the engine-level half of the serve path's
+    /// per-query tracing; the span is built from provenance the run
+    /// already measures, so the instrumentation adds only a `Vec` push
+    /// (`benches/engine_metrics_overhead.rs` gates the warm path
+    /// within 5% of [`PreparedQuery::run`]).
+    pub fn run_traced(&self, workload: Workload, trace: &mut QueryTrace) -> Response {
+        let resp = self.core.run(self.snapshot.db(), workload);
+        trace.record_with(
+            Phase::Execute,
+            resp.provenance.execution,
+            resp.provenance.planned.plan.strategy(),
+        );
+        resp
     }
 
     /// Execute once and consume the handle: the materialized bag tree

@@ -165,6 +165,12 @@ pub fn parse_workload(input: &str) -> Result<Workload, ParseError> {
             continue;
         }
         if let Some(body) = line.strip_prefix('@') {
+            if body.split_whitespace().next() == Some("trace") {
+                return Err(ParseError::at(
+                    lineno + 1,
+                    "`@trace` is only valid in a server query batch, not a workload file",
+                ));
+            }
             current_mode = Some(parse_directive(body).map_err(|e| ParseError::at(lineno + 1, e))?);
         } else if let Some(qtext) = line.strip_prefix("Q:") {
             queries.push(parse_query(qtext).map_err(|mut e| {
@@ -227,22 +233,46 @@ pub fn render_database(db: &Database) -> String {
     out
 }
 
-/// Parse a *query batch*: `Q:` lines and `@…` workload directives only,
-/// as carried by a `cqd2-serve` `Query` frame (the database is bound
-/// per connection, so ground facts are rejected). Returns the queries
-/// in order, each with the mode its preceding directives selected
-/// (`None` = no directive yet; the server defaults to `@boolean`).
-pub fn parse_queries(
-    input: &str,
-) -> Result<Vec<(ConjunctiveQuery, Option<QueryWorkload>)>, ParseError> {
+/// A parsed `cqd2-serve` query batch: the queries (with their selected
+/// workload modes) plus batch-level flags carried by directives.
+#[derive(Debug, Clone)]
+pub struct QueryBatch {
+    /// Queries in batch order, each with the mode its preceding
+    /// directives selected (`None` = no directive yet; the server
+    /// defaults to `@boolean`).
+    pub queries: Vec<(ConjunctiveQuery, Option<QueryWorkload>)>,
+    /// `true` when the batch contains an `@trace` directive: the server
+    /// attaches a per-query span breakdown to every `Result` frame of
+    /// the batch.
+    pub trace: bool,
+}
+
+/// Parse a *query batch*: `Q:` lines and `@…` directives only, as
+/// carried by a `cqd2-serve` `Query` frame (the database is bound per
+/// connection, so ground facts are rejected). Besides the workload
+/// directives, a batch may carry `@trace` — a batch-level flag asking
+/// the server to attach per-query trace spans to its responses.
+pub fn parse_query_batch(input: &str) -> Result<QueryBatch, ParseError> {
     let mut out = Vec::new();
     let mut current_mode: Option<QueryWorkload> = None;
+    let mut trace = false;
     for (lineno, raw) in input.lines().enumerate() {
         let line = strip_comment(raw).trim();
         if line.is_empty() {
             continue;
         }
         if let Some(body) = line.strip_prefix('@') {
+            let mut parts = body.split_whitespace();
+            if parts.next() == Some("trace") {
+                if let Some(junk) = parts.next() {
+                    return Err(ParseError::at(
+                        lineno + 1,
+                        format!("unexpected `{junk}` after directive"),
+                    ));
+                }
+                trace = true;
+                continue;
+            }
             current_mode = Some(parse_directive(body).map_err(|e| ParseError::at(lineno + 1, e))?);
         } else if let Some(qtext) = line.strip_prefix("Q:") {
             let q = parse_query(qtext).map_err(|mut e| {
@@ -261,7 +291,18 @@ pub fn parse_queries(
     if out.is_empty() {
         return Err(ParseError::whole_file("no `Q:` line found"));
     }
-    Ok(out)
+    Ok(QueryBatch {
+        queries: out,
+        trace,
+    })
+}
+
+/// [`parse_query_batch`] without the batch-level flags — kept for
+/// callers that only want the `(query, mode)` pairs.
+pub fn parse_queries(
+    input: &str,
+) -> Result<Vec<(ConjunctiveQuery, Option<QueryWorkload>)>, ParseError> {
+    parse_query_batch(input).map(|batch| batch.queries)
 }
 
 /// Parse one query body: a list of atoms separated by `,` (or `∧`, the
@@ -543,6 +584,28 @@ mod tests {
         assert!(err.message.contains("bound at"), "{err}");
         let err = parse_queries("# nothing\n").unwrap_err();
         assert_eq!(err.line, None);
+    }
+
+    #[test]
+    fn trace_directive_is_a_batch_flag_not_a_mode() {
+        let batch = parse_query_batch("@trace\n@count\nQ: R(?x, ?y)\n").unwrap();
+        assert!(batch.trace);
+        assert_eq!(batch.queries[0].1, Some(QueryWorkload::Count));
+        // Position is irrelevant; it flags the whole batch and does not
+        // disturb the workload mode in force.
+        let batch = parse_query_batch("@count\nQ: R(?x)\n@trace\nQ: S(?x)\n").unwrap();
+        assert!(batch.trace);
+        assert_eq!(batch.queries[1].1, Some(QueryWorkload::Count));
+        let batch = parse_query_batch("Q: R(?x)\n").unwrap();
+        assert!(!batch.trace);
+        // Junk after `@trace` is rejected like any other directive.
+        let err = parse_query_batch("@trace hard\nQ: R(?x)\n").unwrap_err();
+        assert_eq!(err.line, Some(1));
+        assert!(err.message.contains("unexpected `hard`"), "{err}");
+        // Workload files reject it with a pointed message.
+        let err = parse_workload("@trace\nQ: R(?x)\nR(1)\n").unwrap_err();
+        assert_eq!(err.line, Some(1));
+        assert!(err.message.contains("server query batch"), "{err}");
     }
 
     #[test]

@@ -169,6 +169,13 @@ fn full_queue_rejects_with_typed_overloaded_frames() {
                         serde::json::from_str(frame.text().expect("utf8")).expect("json");
                     assert_eq!(err.code, ErrorCode::Overloaded, "{err:?}");
                     assert!(err.request.is_some());
+                    // Overloaded rejections carry the live queue
+                    // picture for informed client backoff.
+                    assert_eq!(err.queue_capacity, Some(1), "{err:?}");
+                    assert!(
+                        err.queue_depth.is_some(),
+                        "Overloaded must report the queue depth: {err:?}"
+                    );
                     overloaded += 1;
                 }
                 other => panic!("unexpected {other:?}"),
@@ -546,6 +553,106 @@ fn reload_under_load_pins_inflight_batches_to_their_epoch() {
     // All in-flight answers were delivered despite the reload.
     assert_eq!(stats.answered, queries_in_batch + 1);
     assert_eq!(stats.reloads, 1);
+}
+
+#[test]
+fn stats_frame_reports_histograms_and_traces_break_down_latency() {
+    // The observability acceptance scenario: after a concurrent
+    // 8-client batch storm, a `Stats` admin frame must report per-
+    // database latency histograms with plausible quantiles, a queue
+    // high-water mark, and prepared-cache hits — and a `@trace` batch
+    // must return a span breakdown whose phase sum never exceeds the
+    // result's total `server_micros`.
+    let catalog = small_catalog();
+    let clients = 8;
+    let rounds = 6;
+    let ((), _) = with_server(test_config(), &catalog, |addr, _| {
+        std::thread::scope(|s| {
+            for c in 0..clients {
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    client.bind_db("main").expect("bind");
+                    for _ in 0..rounds {
+                        let reply = client
+                            .request(
+                                "@count\nQ: R(?x, ?y), S(?y, ?z)\n\
+                                 @boolean\nQ: R(?a, ?a)\n",
+                            )
+                            .unwrap_or_else(|e| panic!("client {c}: {e}"));
+                        assert_eq!(reply.results.len(), 2);
+                        // Every result is stamped with its server-side
+                        // wall time; untraced batches carry no spans.
+                        for r in &reply.results {
+                            assert!(r.trace.is_none());
+                        }
+                    }
+                });
+            }
+        });
+
+        let mut observer = Client::connect(addr).expect("stats connect");
+        let stats = observer.stats().expect("stats frame");
+        assert_eq!(stats.batches, clients * rounds);
+        assert_eq!(stats.answered, clients * rounds * 2);
+        assert!(
+            stats.queue_high_water >= 1,
+            "any accepted batch raises the high-water mark: {stats:?}"
+        );
+        assert!(stats.queue_high_water as usize <= stats.queue_capacity as usize);
+        assert!(stats.prepared_hits > 0, "warm serving must hit: {stats:?}");
+        assert!(stats.active_connections >= 1, "the observer is connected");
+        let main = stats.databases.iter().find(|d| d.name == "main").unwrap();
+        assert_eq!(main.batches, clients * rounds);
+        assert_eq!(main.queries, clients * rounds * 2);
+        assert!(main.prepared_hits > 0);
+        let h = &main.latency;
+        assert_eq!(
+            h.count,
+            clients * rounds * 2,
+            "every answered query lands in the histogram"
+        );
+        assert!(h.p50_micros <= h.p90_micros, "{h:?}");
+        assert!(h.p90_micros <= h.p99_micros, "{h:?}");
+        assert!(h.p99_micros <= h.max_micros, "{h:?}");
+        assert!(h.max_micros > 0, "answers cannot take zero time: {h:?}");
+        // The untouched database has an empty section.
+        let empty = stats.databases.iter().find(|d| d.name == "empty").unwrap();
+        assert_eq!((empty.batches, empty.latency.count), (0, 0));
+
+        // A `@trace` batch returns per-phase spans on every result.
+        observer.bind_db("main").expect("bind");
+        let reply = observer
+            .request("@trace\n@count\nQ: R(?x, ?y), S(?y, ?z)\n@boolean\nQ: R(?a, ?a)\n")
+            .expect("traced batch");
+        assert_eq!(reply.results.len(), 2);
+        for r in &reply.results {
+            let trace = r.trace.as_ref().expect("@trace attaches spans");
+            assert!(!trace.spans.is_empty());
+            let phase_sum: u64 = trace.spans.iter().map(|s| s.micros).sum();
+            assert_eq!(trace.total_micros, phase_sum);
+            assert!(
+                phase_sum <= r.server_micros,
+                "disjoint phases cannot exceed the total: {phase_sum} > {} in {trace:?}",
+                r.server_micros
+            );
+            let phases: Vec<&str> = trace.spans.iter().map(|s| s.phase.as_str()).collect();
+            for expected in ["queue_wait", "parse", "plan", "execute", "serialize"] {
+                assert!(phases.contains(&expected), "missing {expected}: {phases:?}");
+            }
+            let plan = trace.spans.iter().find(|s| s.phase == "plan").unwrap();
+            let detail = plan.detail.as_deref().expect("plan span is annotated");
+            assert!(
+                detail.contains("cache") && detail.contains("prepared"),
+                "plan detail names its cache provenance: {detail}"
+            );
+        }
+
+        // Tracing is per-batch: the next plain batch is span-free.
+        let reply = observer
+            .request("@count\nQ: R(?x, ?y), S(?y, ?z)\n")
+            .expect("plain batch");
+        assert!(reply.results[0].trace.is_none());
+    });
 }
 
 #[test]
