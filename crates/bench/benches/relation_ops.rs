@@ -76,10 +76,23 @@ fn bench(c: &mut Criterion) {
         "semijoin diverged"
     );
 
+    // The chunked mask-based filter must keep exactly the reference
+    // semijoin's rows (same order: both preserve self's row order).
+    let filtered = fr
+        .semijoin_filter(&fs)
+        .expect("the random fixture drops some rows");
+    assert_eq!(
+        filtered,
+        fr.semijoin_reference(&fs),
+        "chunked filter diverged"
+    );
+
     let old_join = best_of(3, || vr.join(&vs));
     let new_join = best_of(3, || fr.join(&fs));
     let old_semi = best_of(3, || vr.semijoin(&vs));
     let new_semi = best_of(3, || fr.semijoin(&fs));
+    let ref_filter = best_of(3, || fr.semijoin_reference(&fs));
+    let chunked_filter = best_of(3, || fr.semijoin_filter(&fs));
     // Construct + sort-dedup from raw (duplicate-carrying) tuples: the
     // row store clones one Vec per tuple, the kernel packs one buffer.
     let dup_tuples = make_tuples(120_000, 2, 300, 9);
@@ -106,9 +119,22 @@ fn bench(c: &mut Criterion) {
         "  dedup    120k rows : row-store {old_dedup:?}  columnar {new_dedup:?}  ({:.1}×)",
         ratio(old_dedup, new_dedup)
     );
+    println!(
+        "  filter   80k ⋉ 40k : reference {ref_filter:?}  chunked  {chunked_filter:?}  ({:.1}×)",
+        ratio(ref_filter, chunked_filter)
+    );
     assert!(
         new_join * 2 <= old_join,
         "columnar join ({new_join:?}) must be ≥ 2× faster than the row store ({old_join:?})"
+    );
+    // The chunked gather/hash/mask path vs the HashSet reference on the
+    // same columnar inputs: the floor is deliberately below the typical
+    // ~2× so scheduling noise cannot flake CI, while still catching a
+    // real regression to scalar per-row probing.
+    assert!(
+        chunked_filter.as_secs_f64() * 1.3 <= ref_filter.as_secs_f64(),
+        "chunked semijoin filter ({chunked_filter:?}) must be ≥ 1.3× over the \
+         HashSet reference ({ref_filter:?})"
     );
 
     let mut g = c.benchmark_group("relation_ops");
@@ -136,6 +162,12 @@ fn bench(c: &mut Criterion) {
     });
     g.bench_function("dedup/columnar_120k", |b| {
         b.iter(|| black_box(FlatRelation::from_rows(vec![x, y], &dup_tuples)))
+    });
+    g.bench_function("filter/reference_80k_40k", |b| {
+        b.iter(|| black_box(black_box(&fr).semijoin_reference(black_box(&fs))))
+    });
+    g.bench_function("filter/chunked_80k_40k", |b| {
+        b.iter(|| black_box(black_box(&fr).semijoin_filter(black_box(&fs))))
     });
     g.finish();
 }

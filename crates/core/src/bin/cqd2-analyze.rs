@@ -169,6 +169,14 @@ fn run_eval(args: &[String]) {
                 for line in resp.provenance.planned.explain().lines() {
                     println!("      {line}");
                 }
+                if let Some(bags) = &resp.provenance.bags {
+                    println!(
+                        "      bag execution: {} ({}/{} bags rewritten)",
+                        bags.mode.name(),
+                        bags.bags_rewritten,
+                        bags.bags_total,
+                    );
+                }
             }
             if json {
                 print_plan_json(resp);
@@ -446,6 +454,10 @@ fn run_client_stats(args: &[String]) {
         "prepared cache: {} hits / {} misses",
         stats.prepared_hits, stats.prepared_misses
     );
+    println!(
+        "bag overlay: {} / {} bags rewritten",
+        stats.bags_rewritten, stats.bags_total
+    );
     println!("reloads {}", stats.reloads);
     println!(
         "queue: depth {}, high-water {}, capacity {}",
@@ -463,6 +475,10 @@ fn run_client_stats(args: &[String]) {
             d.overloads,
             d.prepared_hits,
             d.prepared_misses
+        );
+        println!(
+            "db {}: bag overlay {} / {} bags rewritten",
+            d.name, d.bags_rewritten, d.bags_total
         );
         let h = &d.latency;
         println!(

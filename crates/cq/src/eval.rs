@@ -38,12 +38,14 @@
 
 use crate::database::Database;
 use crate::flat::FlatRelation;
+use crate::probe::{AggTable, KeyTable};
 use crate::query::{ConjunctiveQuery, Var};
 use cqd2_decomp::ghd::GhdError;
 use cqd2_decomp::widths::ghw_decomposition;
 use cqd2_decomp::Ghd;
 use cqd2_hypergraph::VertexId;
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
 
 // ---------------------------------------------------------------------
 // Typed evaluation errors.
@@ -268,6 +270,84 @@ pub fn with_sequential_bags<R>(f: impl FnOnce() -> R) -> R {
     })
 }
 
+/// Total bag-tree rows below which the per-level tree passes stay
+/// sequential: scoped-thread setup costs more than the semijoin probes
+/// it would parallelize.
+const PARALLEL_PASS_THRESHOLD: usize = 1 << 15;
+
+/// Sparsity of one overlay tree pass: how many bag nodes the pass
+/// actually rewrote, out of the tree's total. Warm prepared runs on
+/// join-consistent data rewrite **zero** nodes (every semijoin keeps
+/// every row), which is what makes copy-free re-execution pay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PassStats {
+    /// Nodes the pass rewrote (copied + filtered).
+    pub rewritten: usize,
+    /// Nodes in the bag tree.
+    pub total: usize,
+}
+
+/// A copy-on-rewrite view over a shared [`MaterializedBags`] tree: reads
+/// fall through to the base materialization; a pass that filters a node
+/// writes the filtered relation into a sparse local layer and leaves the
+/// base untouched. Tree passes built on this copy only the nodes they
+/// actually rewrite — the Boolean pass touches non-leaf parents at most
+/// (none at all when nothing drops), the counting DP touches merge
+/// targets — instead of cloning the whole tree per run.
+#[derive(Debug)]
+pub struct BagOverlay<'a> {
+    base: &'a MaterializedBags,
+    /// Sparse rewrite layer, indexed by node.
+    local: Vec<Option<Arc<FlatRelation>>>,
+}
+
+impl<'a> BagOverlay<'a> {
+    /// An overlay with an empty rewrite layer: every read sees `base`.
+    pub fn new(base: &'a MaterializedBags) -> BagOverlay<'a> {
+        BagOverlay {
+            base,
+            local: vec![None; base.relations.len()],
+        }
+    }
+
+    /// The current relation of node `u` (rewritten if the pass touched
+    /// it, the shared base otherwise).
+    pub fn rel(&self, u: usize) -> &FlatRelation {
+        match &self.local[u] {
+            Some(r) => r,
+            None => &self.base.relations[u],
+        }
+    }
+
+    /// Shared handle on node `u`'s current relation: an `Arc` bump, never
+    /// a buffer copy (enumerators keep untouched bags alive this way).
+    pub fn rel_shared(&self, u: usize) -> Arc<FlatRelation> {
+        match &self.local[u] {
+            Some(r) => Arc::clone(r),
+            None => Arc::clone(&self.base.relations[u]),
+        }
+    }
+
+    /// Has the running pass rewritten node `u`? (Cached base-side probe
+    /// tables are only valid while this is `false`.)
+    pub fn is_rewritten(&self, u: usize) -> bool {
+        self.local[u].is_some()
+    }
+
+    /// Install `rel` as node `u`'s rewritten relation.
+    pub fn set(&mut self, u: usize, rel: FlatRelation) {
+        self.local[u] = Some(Arc::new(rel));
+    }
+
+    /// Rewrite sparsity so far.
+    pub fn stats(&self) -> PassStats {
+        PassStats {
+            rewritten: self.local.iter().filter(|l| l.is_some()).count(),
+            total: self.local.len(),
+        }
+    }
+}
+
 /// The materialized bag tree of a `(query, database, GHD)` triple: one
 /// relation per bag (the `λ` cover joined with the bag's assigned
 /// atoms), rooted and ordered for tree passes.
@@ -276,12 +356,18 @@ pub fn with_sequential_bags<R>(f: impl FnOnce() -> R) -> R {
 /// the `O(‖D‖^width)` part. Build it once with
 /// [`MaterializedBags::build`] and run as many passes as needed:
 /// [`MaterializedBags::bcq`], [`MaterializedBags::count`], and
-/// [`MaterializedBags::enumerator`] each work on a copy of the bag
-/// relations (a flat-buffer memcpy, far cheaper than re-running the
-/// joins), so a prepared-query handle can re-execute against an
-/// unchanged database without re-materializing. The one-shot
-/// [`bcq_via_ghd`] / [`count_via_ghd`] / [`enumerate_via_ghd`] wrappers
-/// build and consume in place (no copy).
+/// [`MaterializedBags::enumerator`] run through a [`BagOverlay`] — reads
+/// fall through to the shared, immutable materialization and only the
+/// nodes a pass actually rewrites are copied, so warm re-execution (and
+/// any number of concurrent cursors) shares one bag tree with **zero
+/// per-run cloning**. Each node also lazily caches a probe table over
+/// its base relation (valid while a pass leaves the node unrewritten),
+/// so a warm run on join-consistent data is pure probing: no hash-table
+/// builds, no copies. On trees wide and large enough to pay for thread
+/// setup, the bottom-up semijoin pass and the counting DP fan out per
+/// tree level over the scoped-thread pool (nodes at one depth never
+/// read each other). The one-shot [`bcq_via_ghd`] / [`count_via_ghd`] /
+/// [`enumerate_via_ghd`] wrappers build and consume in place instead.
 ///
 /// ```
 /// use cqd2_cq::eval::MaterializedBags;
@@ -296,7 +382,7 @@ pub fn with_sequential_bags<R>(f: impl FnOnce() -> R) -> R {
 ///
 /// // Pay the O(‖D‖^width) preprocessing once…
 /// let bags = MaterializedBags::build(&q, &db, &ghd)?;
-/// // …then run as many cheap tree passes as needed.
+/// // …then run as many copy-free tree passes as needed.
 /// assert!(bags.bcq());
 /// assert_eq!(bags.count(), 2);
 /// assert_eq!(bags.enumerator().count(), 2);
@@ -304,11 +390,38 @@ pub fn with_sequential_bags<R>(f: impl FnOnce() -> R) -> R {
 /// ```
 #[derive(Debug, Clone)]
 pub struct MaterializedBags {
-    relations: Vec<FlatRelation>,
+    /// Per-bag relations, `Arc`-shared so overlays and enumerators can
+    /// hold untouched bags without copying buffers.
+    relations: Vec<Arc<FlatRelation>>,
     children: Vec<Vec<usize>>,
     /// Parent of each node (`usize::MAX` at the root).
     parents: Vec<usize>,
     post_order: Vec<usize>,
+    /// Nodes grouped by depth (`levels[0]` = `[root]`). Nodes within a
+    /// level are pairwise non-adjacent in the tree, so per-level pass
+    /// tasks touch disjoint state.
+    levels: Vec<Vec<usize>>,
+    /// For each non-root node `u`: the columns of `relations[u]` whose
+    /// variables also occur in the parent bag — the semijoin key, child
+    /// side. Resolved once at build; every pass rewrite preserves column
+    /// layout, so the positions stay valid all tree passes long.
+    up_key: Vec<Vec<usize>>,
+    /// The matching key columns in the parent's relation (same variable
+    /// order as `up_key`). Empty at the root.
+    parent_key: Vec<Vec<usize>>,
+    /// Lazily-built probe table per node, over the **base** relation,
+    /// keyed on `up_key` (what the parent's bottom-up semijoin probes).
+    /// Sound to reuse across runs because overlays never mutate the
+    /// base; passes consult it only while the node is unrewritten.
+    base_tables: Vec<OnceLock<KeyTable>>,
+    /// Lazily-built per-key multiplicity table per **leaf** node (the
+    /// counting DP's child aggregation with all-ones counts — leaves are
+    /// never rewritten by the DP, so this too survives across runs).
+    leaf_aggs: Vec<OnceLock<AggTable>>,
+    /// Lazily-built probe table per non-root node, over the **parent's**
+    /// base relation, keyed on `parent_key` (what the enumerator's
+    /// top-down semijoin probes when the parent is unrewritten).
+    down_tables: Vec<OnceLock<KeyTable>>,
     root: usize,
     /// `q.num_vars()` at build time (answer tuple width).
     num_vars: usize,
@@ -326,28 +439,297 @@ impl MaterializedBags {
     }
 
     /// Total rows across all materialized bag relations (the memory the
-    /// handle pins, and the copy cost each pass pays).
+    /// handle pins).
     pub fn total_rows(&self) -> usize {
-        self.relations.iter().map(FlatRelation::len).sum()
+        self.relations.iter().map(|r| r.len()).sum()
     }
 
-    /// Decide `q(D) ≠ ∅` on a copy of the bag relations (Prop. 2.2
-    /// semijoin pass).
+    /// Number of bag nodes in the tree.
+    pub fn num_bags(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// A detached deep copy: fresh relation buffers, empty probe-table
+    /// caches. This is the **clone-based execution baseline** — exactly
+    /// the per-run cost the overlay passes eliminate — kept public so
+    /// benches and differential tests can measure and compare against
+    /// it (`bags.deep_clone().into_bcq()` etc.).
+    pub fn deep_clone(&self) -> MaterializedBags {
+        MaterializedBags {
+            relations: self
+                .relations
+                .iter()
+                .map(|r| Arc::new(FlatRelation::clone(r)))
+                .collect(),
+            children: self.children.clone(),
+            parents: self.parents.clone(),
+            post_order: self.post_order.clone(),
+            levels: self.levels.clone(),
+            up_key: self.up_key.clone(),
+            parent_key: self.parent_key.clone(),
+            base_tables: (0..self.relations.len()).map(|_| OnceLock::new()).collect(),
+            leaf_aggs: (0..self.relations.len()).map(|_| OnceLock::new()).collect(),
+            down_tables: (0..self.relations.len()).map(|_| OnceLock::new()).collect(),
+            root: self.root,
+            num_vars: self.num_vars,
+        }
+    }
+
+    /// Decide `q(D) ≠ ∅` with an overlay Boolean pass (Prop. 2.2
+    /// bottom-up semijoins; copies only rewritten nodes).
     pub fn bcq(&self) -> bool {
-        self.clone().into_bcq()
+        self.bcq_with_stats().0
     }
 
-    /// Count `|q(D)|` on a copy of the bag relations (Prop. 4.14
-    /// junction-tree DP).
+    /// [`MaterializedBags::bcq`] plus the pass's rewrite sparsity.
+    pub fn bcq_with_stats(&self) -> (bool, PassStats) {
+        let mut ov = BagOverlay::new(self);
+        let ok = self.reduce_bottom_up(&mut ov);
+        (ok && !ov.rel(self.root).is_empty(), ov.stats())
+    }
+
+    /// Count `|q(D)|` with an overlay counting DP (Prop. 4.14
+    /// junction-tree DP; copies only merge targets).
     pub fn count(&self) -> u128 {
-        self.clone().into_count()
+        self.count_with_stats().0
     }
 
-    /// Open a streaming answer enumerator on a copy of the bag
-    /// relations (semijoin-reduce both ways, then constant-delay
-    /// enumeration).
+    /// [`MaterializedBags::count`] plus the pass's rewrite sparsity.
+    pub fn count_with_stats(&self) -> (u128, PassStats) {
+        let n = self.relations.len();
+        let mut ov = BagOverlay::new(self);
+        // Per-row subtree extension counts; `None` = all ones (leaves
+        // never allocate one).
+        let mut counts: Vec<Option<Vec<u128>>> = vec![None; n];
+        let workers = self.pass_workers();
+        for level in self.levels.iter().rev() {
+            let work: Vec<usize> = level
+                .iter()
+                .copied()
+                .filter(|&u| !self.children[u].is_empty())
+                .collect();
+            if workers > 1 && work.len() > 1 {
+                let results = crate::par::scoped_map(work.len(), workers, |i| {
+                    self.count_node(&ov, &counts, work[i])
+                });
+                for (&u, (rel, cnt)) in work.iter().zip(results) {
+                    ov.set(u, rel);
+                    counts[u] = Some(cnt);
+                }
+            } else {
+                for &u in &work {
+                    let (rel, cnt) = self.count_node(&ov, &counts, u);
+                    ov.set(u, rel);
+                    counts[u] = Some(cnt);
+                }
+            }
+        }
+        let total = match &counts[self.root] {
+            Some(c) => c.iter().sum(),
+            // A root with no children: every root row is one answer.
+            None => ov.rel(self.root).len() as u128,
+        };
+        (total, ov.stats())
+    }
+
+    /// Open a streaming answer enumerator through an overlay reduction
+    /// (semijoin-reduce both ways, then constant-delay enumeration).
+    /// Untouched bags are shared with the base tree by `Arc`, so any
+    /// number of concurrent cursors pin one materialization.
     pub fn enumerator(&self) -> GhdEnumerator {
-        self.clone().into_enumerator()
+        self.enumerator_with_stats().0
+    }
+
+    /// [`MaterializedBags::enumerator`] plus the reduction's rewrite
+    /// sparsity (both passes combined).
+    pub fn enumerator_with_stats(&self) -> (GhdEnumerator, PassStats) {
+        if self.relations.is_empty() {
+            return (GhdEnumerator::empty(), PassStats::default());
+        }
+        let mut ov = BagOverlay::new(self);
+        if !self.reduce_bottom_up(&mut ov) {
+            return (GhdEnumerator::empty(), ov.stats());
+        }
+        // Top-down pass (parents filter children): afterwards the tree
+        // is globally consistent — every surviving row extends to a full
+        // answer. Unrewritten parents probe through the cached
+        // parent-side table; rewritten ones build a fresh one.
+        for level in &self.levels {
+            for &u in level {
+                for &c in &self.children[u] {
+                    let filtered = if ov.is_rewritten(u) {
+                        let table = KeyTable::build(ov.rel(u), &self.parent_key[c]);
+                        ov.rel(c).semijoin_filter_with(&table, &self.up_key[c])
+                    } else {
+                        let table = self.down_tables[c].get_or_init(|| {
+                            KeyTable::build(&self.relations[u], &self.parent_key[c])
+                        });
+                        ov.rel(c).semijoin_filter_with(table, &self.up_key[c])
+                    };
+                    if let Some(f) = filtered {
+                        ov.set(c, f);
+                    }
+                }
+            }
+        }
+        let stats = ov.stats();
+        let rels: Vec<Arc<FlatRelation>> = (0..self.relations.len())
+            .map(|u| ov.rel_shared(u))
+            .collect();
+        (
+            build_enumerator(
+                rels,
+                &self.children,
+                &self.parents,
+                self.root,
+                self.num_vars,
+            ),
+            stats,
+        )
+    }
+
+    /// Worker count for per-level tree passes: parallel only when some
+    /// level has two or more nodes with children (otherwise levels are
+    /// single-task and threads pure overhead), the tree is big enough to
+    /// amortize thread setup, and the caller did not opt out via
+    /// [`with_sequential_bags`].
+    fn pass_workers(&self) -> usize {
+        let wide = self
+            .levels
+            .iter()
+            .any(|l| l.iter().filter(|&&u| !self.children[u].is_empty()).count() > 1);
+        if !wide
+            || self.total_rows() < PARALLEL_PASS_THRESHOLD
+            || SEQUENTIAL_BAGS.with(std::cell::Cell::get)
+        {
+            1
+        } else {
+            std::thread::available_parallelism().map_or(1, |p| p.get())
+        }
+    }
+
+    /// Bottom-up Yannakakis pass over the overlay, per level from the
+    /// deepest up. Returns `false` as soon as any bag is (or becomes)
+    /// empty — then `q(D) = ∅`.
+    fn reduce_bottom_up(&self, ov: &mut BagOverlay<'_>) -> bool {
+        if self.relations.iter().any(|r| r.is_empty()) {
+            return false;
+        }
+        let workers = self.pass_workers();
+        for level in self.levels.iter().rev() {
+            let work: Vec<usize> = level
+                .iter()
+                .copied()
+                .filter(|&u| !self.children[u].is_empty())
+                .collect();
+            if workers > 1 && work.len() > 1 {
+                let results =
+                    crate::par::scoped_map(work.len(), workers, |i| self.reduce_node(ov, work[i]));
+                let mut emptied = false;
+                for (&u, res) in work.iter().zip(results) {
+                    if let Some(rel) = res {
+                        emptied |= rel.is_empty();
+                        ov.set(u, rel);
+                    }
+                }
+                if emptied {
+                    return false;
+                }
+            } else {
+                for &u in &work {
+                    if let Some(rel) = self.reduce_node(ov, u) {
+                        let emptied = rel.is_empty();
+                        ov.set(u, rel);
+                        if emptied {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Semijoin node `u` against each of its children through the
+    /// overlay. `None` = every row survived every child (node unchanged,
+    /// nothing written). Unrewritten children probe through the cached
+    /// base-side table; rewritten ones build a fresh one.
+    fn reduce_node(&self, ov: &BagOverlay<'_>, u: usize) -> Option<FlatRelation> {
+        let mut cur: Option<FlatRelation> = None;
+        for &c in &self.children[u] {
+            let parent = match &cur {
+                Some(r) => r,
+                None => ov.rel(u),
+            };
+            let filtered = if ov.is_rewritten(c) {
+                let table = KeyTable::build(ov.rel(c), &self.up_key[c]);
+                parent.semijoin_filter_with(&table, &self.parent_key[c])
+            } else {
+                let table = self.base_tables[c]
+                    .get_or_init(|| KeyTable::build(&self.relations[c], &self.up_key[c]));
+                parent.semijoin_filter_with(table, &self.parent_key[c])
+            };
+            if let Some(f) = filtered {
+                let emptied = f.is_empty();
+                cur = Some(f);
+                if emptied {
+                    break;
+                }
+            }
+        }
+        cur
+    }
+
+    /// One counting-DP merge: fold node `u`'s children into `(filtered
+    /// relation, per-row counts)`. Children's aggregation tables come
+    /// from the per-leaf cache when possible (leaves are never rewritten
+    /// and their counts stay all-ones).
+    fn count_node(
+        &self,
+        ov: &BagOverlay<'_>,
+        counts: &[Option<Vec<u128>>],
+        u: usize,
+    ) -> (FlatRelation, Vec<u128>) {
+        let mut rel: Option<FlatRelation> = None;
+        let mut cnt: Option<Vec<u128>> = None;
+        for &c in &self.children[u] {
+            let parent = match &rel {
+                Some(r) => r,
+                None => ov.rel(u),
+            };
+            // `u` is merged here for the first time, so its incoming
+            // counts are all-ones until `cnt` is populated.
+            let fresh;
+            let agg: &AggTable = if self.children[c].is_empty() {
+                debug_assert!(!ov.is_rewritten(c) && counts[c].is_none());
+                self.leaf_aggs[c]
+                    .get_or_init(|| AggTable::build(&self.relations[c], &self.up_key[c], None))
+            } else {
+                fresh = AggTable::build(ov.rel(c), &self.up_key[c], counts[c].as_deref());
+                &fresh
+            };
+            let arity = parent.arity();
+            let key_cols = &self.parent_key[c];
+            let mut scratch = vec![0u64; key_cols.len()];
+            let mut data: Vec<u64> = Vec::with_capacity(parent.len() * arity);
+            let mut kept: Vec<u128> = Vec::with_capacity(parent.len());
+            for (i, t) in parent.iter().enumerate() {
+                for (s, &p) in scratch.iter_mut().zip(key_cols) {
+                    *s = t[p];
+                }
+                if let Some(sum) = agg.get(&scratch) {
+                    data.extend_from_slice(t);
+                    kept.push(cnt.as_ref().map_or(1, |v| v[i]) * sum);
+                }
+            }
+            let rows = kept.len();
+            rel = Some(FlatRelation::from_parts(parent.vars().to_vec(), rows, data));
+            cnt = Some(kept);
+        }
+        (
+            rel.expect("count_node called with children"),
+            cnt.expect("count_node called with children"),
+        )
     }
 }
 
@@ -444,11 +826,52 @@ fn build_bag_tree(
             }
         }
     }
+    // Depth levels (root = level 0) for the per-level parallel passes:
+    // nodes within one level are pairwise non-adjacent in the tree.
+    let mut levels: Vec<Vec<usize>> = vec![vec![root]];
+    loop {
+        let next: Vec<usize> = levels
+            .last()
+            .expect("at least the root level")
+            .iter()
+            .flat_map(|&u| children[u].iter().copied())
+            .collect();
+        if next.is_empty() {
+            break;
+        }
+        levels.push(next);
+    }
+    // Semijoin key columns along every tree edge, resolved once: the
+    // variables a child's relation shares with its parent's relation
+    // (in the child's column order), as positions on both sides. Pass
+    // rewrites preserve column layouts, so these stay valid for the
+    // lifetime of the handle.
+    let mut up_key: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut parent_key: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for u in 0..n {
+        let p = parents[u];
+        if p == usize::MAX {
+            continue;
+        }
+        let (child_rel, parent_rel) = (&relations[u], &relations[p]);
+        for (c, v) in child_rel.vars().iter().enumerate() {
+            if let Some(pc) = parent_rel.vars().iter().position(|w| w == v) {
+                up_key[u].push(c);
+                parent_key[u].push(pc);
+            }
+        }
+    }
     Ok(MaterializedBags {
-        relations,
+        relations: relations.into_iter().map(Arc::new).collect(),
         children,
         parents,
         post_order,
+        levels,
+        up_key,
+        parent_key,
+        base_tables: (0..n).map(|_| OnceLock::new()).collect(),
+        leaf_aggs: (0..n).map(|_| OnceLock::new()).collect(),
+        down_tables: (0..n).map(|_| OnceLock::new()).collect(),
         root,
         num_vars: q.num_vars(),
     })
@@ -462,23 +885,30 @@ pub fn bcq_via_ghd(q: &ConjunctiveQuery, db: &Database, ghd: &Ghd) -> Result<boo
 
 impl MaterializedBags {
     /// Consuming Boolean pass (bottom-up semijoins, early-out on
-    /// empty): like [`MaterializedBags::bcq`] but runs in place, for
-    /// one-shot callers that will not reuse the tree.
+    /// empty): like [`MaterializedBags::bcq`] but rewrites the tree in
+    /// place, sequentially — the one-shot and differential-baseline
+    /// path. Disjoint field borrows keep the hot loop allocation-free.
     pub fn into_bcq(mut self) -> bool {
-        let bt = &mut self;
-        for &u in &bt.post_order.clone() {
-            if bt.relations[u].is_empty() {
+        let MaterializedBags {
+            relations,
+            children,
+            post_order,
+            root,
+            ..
+        } = &mut self;
+        for &u in post_order.iter() {
+            if relations[u].is_empty() {
                 return false;
             }
-            for c in bt.children[u].clone() {
-                let filtered = bt.relations[u].semijoin(&bt.relations[c]);
-                bt.relations[u] = filtered;
-                if bt.relations[u].is_empty() {
+            for &c in &children[u] {
+                let filtered = relations[u].semijoin(&relations[c]);
+                relations[u] = Arc::new(filtered);
+                if relations[u].is_empty() {
                     return false;
                 }
             }
         }
-        !bt.relations[bt.root].is_empty()
+        !relations[*root].is_empty()
     }
 }
 
@@ -495,16 +925,22 @@ pub fn count_via_ghd(q: &ConjunctiveQuery, db: &Database, ghd: &Ghd) -> Result<u
 
 impl MaterializedBags {
     /// Consuming counting DP: like [`MaterializedBags::count`] but
-    /// runs in place, for one-shot callers.
+    /// rewrites the tree in place, sequentially — the one-shot and
+    /// differential-baseline path.
     pub fn into_count(mut self) -> u128 {
-        let bt = &mut self;
-        let mut counts: Vec<Vec<u128>> =
-            bt.relations.iter().map(|r| vec![1u128; r.len()]).collect();
-        for &u in &bt.post_order.clone() {
-            for &c in &bt.children[u].clone() {
+        let MaterializedBags {
+            relations,
+            children,
+            post_order,
+            root,
+            ..
+        } = &mut self;
+        let mut counts: Vec<Vec<u128>> = relations.iter().map(|r| vec![1u128; r.len()]).collect();
+        for &u in post_order.iter() {
+            for &c in &children[u] {
                 let (new_rel, new_counts) = {
-                    let parent = &bt.relations[u];
-                    let child = &bt.relations[c];
+                    let parent = &relations[u];
+                    let child = &relations[c];
                     // Shared variables between bags u and c, with key
                     // positions resolved once.
                     let shared: Vec<Var> = parent
@@ -569,11 +1005,11 @@ impl MaterializedBags {
                         kept,
                     )
                 };
-                bt.relations[u] = new_rel;
+                relations[u] = Arc::new(new_rel);
                 counts[u] = new_counts;
             }
         }
-        counts[bt.root].iter().sum()
+        counts[*root].iter().sum()
     }
 }
 
@@ -585,8 +1021,10 @@ impl MaterializedBags {
 /// enumeration (pre-order position).
 #[derive(Debug)]
 struct EnumLevel {
-    /// The fully semijoin-reduced bag relation.
-    rel: FlatRelation,
+    /// The fully semijoin-reduced bag relation. `Arc`-shared: bags the
+    /// reduction left untouched point straight into the prepared
+    /// materialization, so concurrent cursors pin one tree.
+    rel: Arc<FlatRelation>,
     /// Assignment slot (`Var` id) of each of `rel`'s columns.
     write: Vec<usize>,
     /// Assignment slots of the variables shared with the parent bag —
@@ -717,107 +1155,135 @@ pub fn enumerate_via_ghd(
 impl MaterializedBags {
     /// Consuming enumeration preprocessing (reduce the tree both ways,
     /// then wire up the per-bag probe indexes): like
-    /// [`MaterializedBags::enumerator`] but runs in place, for one-shot
-    /// callers.
+    /// [`MaterializedBags::enumerator`] but rewrites the tree in place,
+    /// sequentially — the one-shot and differential-baseline path.
     pub fn into_enumerator(mut self) -> GhdEnumerator {
-        let bt = &mut self;
-        if bt.relations.is_empty() {
+        let MaterializedBags {
+            relations,
+            children,
+            parents,
+            post_order,
+            root,
+            num_vars,
+            ..
+        } = &mut self;
+        if relations.is_empty() {
             return GhdEnumerator::empty();
         }
         // Bottom-up semijoin pass (children filter parents).
-        for &u in &bt.post_order.clone() {
-            if bt.relations[u].is_empty() {
+        for &u in post_order.iter() {
+            if relations[u].is_empty() {
                 return GhdEnumerator::empty();
             }
-            for c in bt.children[u].clone() {
-                let filtered = bt.relations[u].semijoin(&bt.relations[c]);
-                bt.relations[u] = filtered;
-                if bt.relations[u].is_empty() {
+            for &c in &children[u] {
+                let filtered = relations[u].semijoin(&relations[c]);
+                relations[u] = Arc::new(filtered);
+                if relations[u].is_empty() {
                     return GhdEnumerator::empty();
                 }
             }
         }
         // Top-down pass (parents filter children): afterwards the tree is
         // globally consistent — every surviving row extends to a full answer.
-        for &u in bt.post_order.clone().iter().rev() {
-            for c in bt.children[u].clone() {
-                let filtered = bt.relations[c].semijoin(&bt.relations[u]);
-                bt.relations[c] = filtered;
+        for &u in post_order.iter().rev() {
+            for &c in &children[u] {
+                let filtered = relations[c].semijoin(&relations[u]);
+                relations[c] = Arc::new(filtered);
             }
         }
-        // Every variable must be carried by some bag; a variable outside all
-        // bags (possible only for degenerate hand-built inputs) cannot be
-        // assigned, so — like the naive enumerator — there are no answers.
-        let mut covered = vec![false; bt.num_vars];
-        for rel in &bt.relations {
-            for v in rel.vars() {
-                covered[v.idx()] = true;
-            }
+        build_enumerator(
+            std::mem::take(relations),
+            children,
+            parents,
+            *root,
+            *num_vars,
+        )
+    }
+}
+
+/// Wire up a [`GhdEnumerator`] over an already fully semijoin-reduced
+/// bag tree: covered-variable check, pre-order, per-bag parent-key
+/// probe indexes. Shared by the overlay path
+/// ([`MaterializedBags::enumerator`]) and the consuming path
+/// ([`MaterializedBags::into_enumerator`]); `relations` holds the
+/// reduced relation of every node (untouched nodes as shared `Arc`s).
+fn build_enumerator(
+    relations: Vec<Arc<FlatRelation>>,
+    children: &[Vec<usize>],
+    parents: &[usize],
+    root: usize,
+    num_vars: usize,
+) -> GhdEnumerator {
+    // Every variable must be carried by some bag; a variable outside all
+    // bags (possible only for degenerate hand-built inputs) cannot be
+    // assigned, so — like the naive enumerator — there are no answers.
+    let mut covered = vec![false; num_vars];
+    for rel in &relations {
+        for v in rel.vars() {
+            covered[v.idx()] = true;
         }
-        if covered.iter().any(|c| !c) {
-            return GhdEnumerator::empty();
-        }
-        // Pre-order over the rooted tree, parents first.
-        let mut pre_order = Vec::with_capacity(bt.relations.len());
-        let mut stack = vec![bt.root];
-        while let Some(u) = stack.pop() {
-            pre_order.push(u);
-            stack.extend(bt.children[u].iter().copied());
-        }
-        // Each bag relation's columns are exactly its bag's variables,
-        // so parent-shared variables can be read off the relations.
-        let bag_slots: Vec<Vec<usize>> = bt
-            .relations
-            .iter()
-            .map(|r| r.vars().iter().map(|v| v.idx()).collect())
-            .collect();
-        // By the running-intersection property, every variable of bag `u`
-        // already assigned by an earlier (pre-order) bag also lives in `u`'s
-        // parent bag, so indexing each bag by its parent-shared columns is
-        // enough to keep the walk consistent.
-        let num_vars = bt.num_vars;
-        let levels: Vec<EnumLevel> = pre_order
-            .iter()
-            .map(|&u| {
-                let rel = std::mem::replace(&mut bt.relations[u], FlatRelation::unit());
-                let write: Vec<usize> = rel.vars().iter().map(|v| v.idx()).collect();
-                let parent_slots: &[usize] = if bt.parents[u] == usize::MAX {
-                    &[]
-                } else {
-                    &bag_slots[bt.parents[u]]
-                };
-                let key_cols: Vec<usize> = (0..rel.arity())
-                    .filter(|&c| parent_slots.contains(&rel.vars()[c].idx()))
-                    .collect();
-                let key_slots: Vec<usize> = key_cols.iter().map(|&c| rel.vars()[c].idx()).collect();
-                let mut index: HashMap<Box<[u64]>, Vec<u32>> = HashMap::with_capacity(rel.len());
-                let mut scratch: Vec<u64> = Vec::with_capacity(key_cols.len());
-                for (i, t) in rel.iter().enumerate() {
-                    scratch.clear();
-                    scratch.extend(key_cols.iter().map(|&c| t[c]));
-                    match index.get_mut(scratch.as_slice()) {
-                        Some(bucket) => bucket.push(i as u32),
-                        None => {
-                            index.insert(scratch.as_slice().into(), vec![i as u32]);
-                        }
+    }
+    if covered.iter().any(|c| !c) {
+        return GhdEnumerator::empty();
+    }
+    // Pre-order over the rooted tree, parents first.
+    let mut pre_order = Vec::with_capacity(relations.len());
+    let mut stack = vec![root];
+    while let Some(u) = stack.pop() {
+        pre_order.push(u);
+        stack.extend(children[u].iter().copied());
+    }
+    // Each bag relation's columns are exactly its bag's variables,
+    // so parent-shared variables can be read off the relations.
+    let bag_slots: Vec<Vec<usize>> = relations
+        .iter()
+        .map(|r| r.vars().iter().map(|v| v.idx()).collect())
+        .collect();
+    // By the running-intersection property, every variable of bag `u`
+    // already assigned by an earlier (pre-order) bag also lives in `u`'s
+    // parent bag, so indexing each bag by its parent-shared columns is
+    // enough to keep the walk consistent.
+    let levels: Vec<EnumLevel> = pre_order
+        .iter()
+        .map(|&u| {
+            let rel = Arc::clone(&relations[u]);
+            let write: Vec<usize> = rel.vars().iter().map(|v| v.idx()).collect();
+            let parent_slots: &[usize] = if parents[u] == usize::MAX {
+                &[]
+            } else {
+                &bag_slots[parents[u]]
+            };
+            let key_cols: Vec<usize> = (0..rel.arity())
+                .filter(|&c| parent_slots.contains(&rel.vars()[c].idx()))
+                .collect();
+            let key_slots: Vec<usize> = key_cols.iter().map(|&c| rel.vars()[c].idx()).collect();
+            let mut index: HashMap<Box<[u64]>, Vec<u32>> = HashMap::with_capacity(rel.len());
+            let mut scratch: Vec<u64> = Vec::with_capacity(key_cols.len());
+            for (i, t) in rel.iter().enumerate() {
+                scratch.clear();
+                scratch.extend(key_cols.iter().map(|&c| t[c]));
+                match index.get_mut(scratch.as_slice()) {
+                    Some(bucket) => bucket.push(i as u32),
+                    None => {
+                        index.insert(scratch.as_slice().into(), vec![i as u32]);
                     }
                 }
-                EnumLevel {
-                    rel,
-                    write,
-                    key_slots,
-                    index,
-                }
-            })
-            .collect();
-        GhdEnumerator {
-            choice: vec![0; levels.len()],
-            levels,
-            assignment: vec![0; num_vars],
-            scratch: Vec::new(),
-            started: false,
-            done: false,
-        }
+            }
+            EnumLevel {
+                rel,
+                write,
+                key_slots,
+                index,
+            }
+        })
+        .collect();
+    GhdEnumerator {
+        choice: vec![0; levels.len()],
+        levels,
+        assignment: vec![0; num_vars],
+        scratch: Vec::new(),
+        started: false,
+        done: false,
     }
 }
 

@@ -10,10 +10,18 @@
 //!   tuple, per hash key, and per projection;
 //! - resolves schemas (shared variables, key positions, output columns)
 //!   **once per operator**, not per tuple;
-//! - probes hash tables with **packed key slices** (a single-column fast
-//!   path keys directly on `u64`; multi-column keys are packed into a
-//!   reusable scratch buffer and probed by `&[u64]`, so the probe side
-//!   allocates nothing);
+//! - probes through the purpose-built `KeyTable` (crate-private, in
+//!   `crate::probe`)
+//!   (multiply–xor–shift hashing over flat `u32` chains — no SipHash, no
+//!   per-key boxing) with **packed key slices**, so the probe side
+//!   allocates nothing;
+//! - filters in **fixed-size chunks**: [`FlatRelation::semijoin_filter`]
+//!   first gathers and hashes key columns a chunk at a time (a
+//!   branch-free, autovectorization-friendly loop), records survivors in
+//!   a selection bitmask, and only then materializes output rows — and
+//!   returns `None` when *every* row survives, so unchanged inputs are
+//!   never copied at all (the enabler of the bag-tree overlay's
+//!   copy-free warm runs);
 //! - runs the sort-based dedup **only where an operator can introduce
 //!   duplicates**: binding an atom that drops positions (constants or
 //!   repeated variables) and projections that drop columns. Joins and
@@ -26,8 +34,14 @@
 //! all operators preserve it.
 
 use crate::database::Database;
+use crate::probe::KeyTable;
 use crate::query::{Atom, Term, Var};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
+
+/// Rows per chunk in the chunked filter path: big enough to amortize the
+/// loop split (gather+hash, then probe), small enough that the hash and
+/// key scratch buffers stay L1-resident.
+const FILTER_CHUNK: usize = 256;
 
 /// A columnar relation: variables as columns, tuples packed row-major
 /// into one flat buffer.
@@ -243,50 +257,22 @@ impl FlatRelation {
             .map(|&v| other.col(v).expect("shared"))
             .collect();
         check_row_index_fits(other.rows);
+        // Build side indexed once by a flat chained table ([`KeyTable`]:
+        // no SipHash, no per-key boxing); the probe side packs keys into
+        // a reusable scratch buffer and walks ascending-row-id chains, so
+        // match order (and output order) equals the insertion order the
+        // previous HashMap index produced.
+        let table = KeyTable::build(other, &other_key);
         let mut data = Vec::new();
         let mut rows = 0usize;
-        if shared.len() == 1 {
-            // Single-column fast path: key directly on the value.
-            let (sp, op) = (self_key[0], other_key[0]);
-            let mut index: HashMap<u64, Vec<u32>> = HashMap::with_capacity(other.rows);
-            for (i, s) in other.iter().enumerate() {
-                index.entry(s[op]).or_default().push(i as u32);
-            }
-            for r in self.iter() {
-                if let Some(matches) = index.get(&r[sp]) {
-                    for &j in matches {
-                        let s = other.row(j as usize);
-                        data.extend_from_slice(r);
-                        data.extend(other_extra.iter().map(|&p| s[p]));
-                        rows += 1;
-                    }
-                }
-            }
-        } else {
-            // Multi-column keys packed into a reusable scratch buffer;
-            // the probe side allocates nothing, the build side allocates
-            // one boxed key per *distinct* key.
-            let mut index: HashMap<Box<[u64]>, Vec<u32>> = HashMap::with_capacity(other.rows);
-            let mut scratch: Vec<u64> = Vec::with_capacity(shared.len());
-            for (i, s) in other.iter().enumerate() {
-                pack_key(&mut scratch, s, &other_key);
-                match index.get_mut(scratch.as_slice()) {
-                    Some(bucket) => bucket.push(i as u32),
-                    None => {
-                        index.insert(scratch.as_slice().into(), vec![i as u32]);
-                    }
-                }
-            }
-            for r in self.iter() {
-                pack_key(&mut scratch, r, &self_key);
-                if let Some(matches) = index.get(scratch.as_slice()) {
-                    for &j in matches {
-                        let s = other.row(j as usize);
-                        data.extend_from_slice(r);
-                        data.extend(other_extra.iter().map(|&p| s[p]));
-                        rows += 1;
-                    }
-                }
+        let mut scratch: Vec<u64> = Vec::with_capacity(shared.len());
+        for r in self.iter() {
+            pack_key(&mut scratch, r, &self_key);
+            for j in table.matches(&scratch) {
+                let s = other.row(j as usize);
+                data.extend_from_slice(r);
+                data.extend(other_extra.iter().map(|&p| s[p]));
+                rows += 1;
             }
         }
         FlatRelation {
@@ -297,8 +283,120 @@ impl FlatRelation {
     }
 
     /// Semijoin: keep the rows of `self` that join with some row of
-    /// `other`. Key positions resolve once; probing uses packed slices.
+    /// `other`. A thin wrapper over [`FlatRelation::semijoin_filter`]
+    /// that clones `self` when every row survives.
     pub fn semijoin(&self, other: &FlatRelation) -> FlatRelation {
+        match self.semijoin_filter(other) {
+            Some(filtered) => filtered,
+            None => self.clone(),
+        }
+    }
+
+    /// Chunked semijoin filter: `Some(filtered)` with the surviving rows,
+    /// or **`None` when every row survives** — the caller can keep using
+    /// `self` unchanged, paying no copy (the bag-tree overlay's warm runs
+    /// live on this).
+    ///
+    /// The filter runs in fixed-size chunks: key columns are gathered and
+    /// hashed in a branch-free loop, survivors recorded in a selection
+    /// bitmask, and output rows materialized only afterwards (and only if
+    /// something dropped).
+    pub fn semijoin_filter(&self, other: &FlatRelation) -> Option<FlatRelation> {
+        let shared: Vec<Var> = self
+            .vars
+            .iter()
+            .copied()
+            .filter(|&v| other.col(v).is_some())
+            .collect();
+        if shared.is_empty() {
+            // Vacuous sharing: a nonempty `other` keeps everything, an
+            // empty one drops everything.
+            return if other.is_empty() && !self.is_empty() {
+                Some(FlatRelation::empty(self.vars.clone()))
+            } else {
+                None
+            };
+        }
+        let self_key: Vec<usize> = shared
+            .iter()
+            .map(|&v| self.col(v).expect("shared"))
+            .collect();
+        let other_key: Vec<usize> = shared
+            .iter()
+            .map(|&v| other.col(v).expect("shared"))
+            .collect();
+        let table = KeyTable::build(other, &other_key);
+        self.semijoin_filter_with(&table, &self_key)
+    }
+
+    /// [`FlatRelation::semijoin_filter`] against a prebuilt probe table
+    /// (`table` keyed on the build side's shared columns, `self_key` the
+    /// matching columns of `self`, same variable order). Lets tree passes
+    /// reuse one table across runs when the build side is unchanged.
+    pub(crate) fn semijoin_filter_with(
+        &self,
+        table: &KeyTable,
+        self_key: &[usize],
+    ) -> Option<FlatRelation> {
+        debug_assert_eq!(table.key_width(), self_key.len());
+        let n = self.rows;
+        if n == 0 {
+            return None; // empty stays empty: unchanged
+        }
+        let arity = self.arity();
+        let k = self_key.len();
+        let mut mask = vec![0u64; n.div_ceil(64)];
+        let mut kept = 0usize;
+        let mut hashes = [0u64; FILTER_CHUNK];
+        let mut keys = vec![0u64; FILTER_CHUNK * k];
+        let mut base = 0usize;
+        while base < n {
+            let m = FILTER_CHUNK.min(n - base);
+            // Gather + hash: straight-line arithmetic over the strided
+            // buffer, no data-dependent branches.
+            if k == 1 {
+                let c = self_key[0];
+                for (j, (key, hash)) in keys[..m].iter_mut().zip(&mut hashes[..m]).enumerate() {
+                    let v = self.data[(base + j) * arity + c];
+                    *key = v;
+                    *hash = crate::probe::hash1(v);
+                }
+            } else {
+                for j in 0..m {
+                    let row = &self.data[(base + j) * arity..(base + j + 1) * arity];
+                    for (t, &c) in self_key.iter().enumerate() {
+                        keys[j * k + t] = row[c];
+                    }
+                    hashes[j] = crate::probe::hash_key(&keys[j * k..j * k + k]);
+                }
+            }
+            // Probe: set survivor bits in the selection mask.
+            for j in 0..m {
+                if table.contains_hashed(hashes[j], &keys[j * k..j * k + k]) {
+                    let i = base + j;
+                    mask[i >> 6] |= 1u64 << (i & 63);
+                    kept += 1;
+                }
+            }
+            base += m;
+        }
+        if kept == n {
+            return None; // all rows survive: unchanged
+        }
+        let mut data = Vec::with_capacity(kept * arity);
+        for i in 0..n {
+            if mask[i >> 6] >> (i & 63) & 1 == 1 {
+                data.extend_from_slice(&self.data[i * arity..(i + 1) * arity]);
+            }
+        }
+        Some(FlatRelation::from_parts(self.vars.clone(), kept, data))
+    }
+
+    /// Reference semijoin on std hashing (`HashSet`, SipHash): the
+    /// implementation [`FlatRelation::semijoin`] replaced, kept for
+    /// differential tests and as the baseline the `relation_ops` bench
+    /// gates the chunked path against.
+    pub fn semijoin_reference(&self, other: &FlatRelation) -> FlatRelation {
         let shared: Vec<Var> = self
             .vars
             .iter()
@@ -435,7 +533,7 @@ fn pack_key(scratch: &mut Vec<u64>, row: &[u64], pos: &[usize]) {
 /// Row indices inside hash buckets and the dedup permutation are `u32`
 /// (halving index-buffer memory); fail loudly rather than silently
 /// truncating on relations beyond 2^32 rows.
-fn check_row_index_fits(rows: usize) {
+pub(crate) fn check_row_index_fits(rows: usize) {
     assert!(
         rows <= u32::MAX as usize,
         "FlatRelation limited to 2^32 rows (got {rows})"
@@ -584,6 +682,56 @@ mod tests {
         // Multi-column semijoin key.
         let d = rel(&[0, 1], &[&[2, 3], &[9, 9]]);
         assert_eq!(sorted_tuples(&a.semijoin(&d)), vec![vec![2, 3]]);
+    }
+
+    #[test]
+    fn semijoin_filter_reports_unchanged_as_none() {
+        let a = rel(&[0, 1], &[&[1, 2], &[2, 3]]);
+        // Every row survives: no copy, `None`.
+        let all = rel(&[0], &[&[1], &[2]]);
+        assert!(a.semijoin_filter(&all).is_none());
+        // Some row drops: a filtered copy.
+        let some = rel(&[0], &[&[1]]);
+        let f = a.semijoin_filter(&some).unwrap();
+        assert_eq!(sorted_tuples(&f), vec![vec![1, 2]]);
+        // Vacuous sharing: nonempty other is unchanged, empty other
+        // empties a nonempty self.
+        let disjoint = rel(&[9], &[&[5]]);
+        assert!(a.semijoin_filter(&disjoint).is_none());
+        let e = FlatRelation::empty(vec![v(9)]);
+        assert!(a.semijoin_filter(&e).unwrap().is_empty());
+        // Empty self is unchanged by anything.
+        let es = FlatRelation::empty(vec![v(0)]);
+        assert!(es.semijoin_filter(&all).is_none());
+        assert!(es.semijoin_filter(&e).is_none());
+    }
+
+    #[test]
+    fn semijoin_matches_reference_across_shapes() {
+        // The chunked KeyTable path and the std-hash reference must be
+        // bit-identical (content *and* row order) on single- and
+        // multi-column keys, including above one chunk.
+        let mut xs = 0x9E3779B97F4A7C15u64;
+        let mut step = move || {
+            xs ^= xs << 13;
+            xs ^= xs >> 7;
+            xs ^= xs << 17;
+            xs
+        };
+        for (rows, dom) in [(3usize, 4u64), (700, 40), (1000, 9)] {
+            let left: Vec<Vec<u64>> = (0..rows)
+                .map(|_| vec![step() % dom, step() % dom, step() % dom])
+                .collect();
+            let right1: Vec<Vec<u64>> = (0..rows / 4 + 1).map(|_| vec![step() % dom]).collect();
+            let right2: Vec<Vec<u64>> = (0..rows / 2 + 1)
+                .map(|_| vec![step() % dom, step() % dom])
+                .collect();
+            let a = FlatRelation::from_rows(vec![v(0), v(1), v(2)], &left);
+            let single = FlatRelation::from_rows(vec![v(1)], &right1);
+            let multi = FlatRelation::from_rows(vec![v(0), v(2)], &right2);
+            assert_eq!(a.semijoin(&single), a.semijoin_reference(&single));
+            assert_eq!(a.semijoin(&multi), a.semijoin_reference(&multi));
+        }
     }
 
     #[test]

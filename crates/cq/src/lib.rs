@@ -36,6 +36,7 @@ pub mod flat;
 pub mod generate;
 pub mod hom;
 pub mod par;
+pub(crate) mod probe;
 pub mod query;
 pub mod relation;
 pub mod stats;
@@ -44,7 +45,7 @@ pub use database::Database;
 pub use eval::{
     bcq_auto, bcq_auto_with, bcq_naive, bcq_via_ghd, count_auto, count_auto_with, count_naive,
     count_via_ghd, enumerate_naive, enumerate_via_ghd, with_sequential_bags, EvalError,
-    GhdEnumerator, MaterializedBags,
+    GhdEnumerator, MaterializedBags, PassStats,
 };
 pub use flat::FlatRelation;
 pub use hom::{core_of, find_homomorphism, semantic_ghw};

@@ -142,6 +142,42 @@ impl Answer {
     }
 }
 
+/// How a run executed against its materialized bag tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BagMode {
+    /// Copy-free overlay passes over the shared, reusable
+    /// materialization: only rewritten nodes were copied
+    /// ([`crate::PreparedQuery::run`] and cursors).
+    Overlay,
+    /// Consuming in-place passes over a tree this run owned (one-shot
+    /// paths like [`Engine::serve`]): every node is the run's own copy.
+    Cloned,
+}
+
+impl BagMode {
+    /// Stable lowercase name, used in `--explain` output and stats.
+    pub fn name(self) -> &'static str {
+        match self {
+            BagMode::Overlay => "overlay",
+            BagMode::Cloned => "cloned",
+        }
+    }
+}
+
+/// How a run touched the materialized bag tree: execution mode plus the
+/// rewrite sparsity of its tree passes. Absent for naive-join plans,
+/// which have no bag tree. `bags_rewritten = 0` under [`BagMode::Overlay`]
+/// is the ideal warm case — the run was pure probing, no copies at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BagExecution {
+    /// Overlay (copy-free) or cloned (consuming) execution.
+    pub mode: BagMode,
+    /// Bag nodes the run's tree passes rewrote (copied + filtered).
+    pub bags_rewritten: usize,
+    /// Bag nodes in the materialized tree.
+    pub bags_total: usize,
+}
+
 /// Where a response's plan came from and what it cost.
 #[derive(Debug, Clone)]
 pub struct PlanProvenance {
@@ -153,6 +189,9 @@ pub struct PlanProvenance {
     pub planning: Duration,
     /// Time spent executing the plan against the database.
     pub execution: Duration,
+    /// Bag-tree execution mode and rewrite sparsity (`None` on naive
+    /// plans).
+    pub bags: Option<BagExecution>,
 }
 
 /// One request's outcome.

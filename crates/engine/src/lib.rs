@@ -88,7 +88,10 @@ pub mod textio;
 
 pub use cache::{CacheStats, CachedPlan, PlanCache};
 pub use catalog::{Catalog, DatabaseSnapshot};
-pub use engine::{Answer, Engine, EngineConfig, PlanProvenance, Request, Response, Workload};
+pub use engine::{
+    Answer, BagExecution, BagMode, Engine, EngineConfig, PlanProvenance, Request, Response,
+    Workload,
+};
 pub use error::EngineError;
 pub use metrics::{Counter, Gauge, Histogram, Phase, QueryTrace, Snapshot, Span};
 pub use plan::{CostEstimate, DataEstimate, PlannedQuery, QueryPlan};

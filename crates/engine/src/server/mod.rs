@@ -246,6 +246,8 @@ struct StatsInner {
     prepared_misses: Counter,
     reloads: Counter,
     rejected_unauthorized: Counter,
+    bags_rewritten: Counter,
+    bags_total: Counter,
 }
 
 impl StatsInner {
@@ -264,6 +266,8 @@ impl StatsInner {
             prepared_misses: self.prepared_misses.get(),
             reloads: self.reloads.get(),
             rejected_unauthorized: self.rejected_unauthorized.get(),
+            bags_rewritten: self.bags_rewritten.get(),
+            bags_total: self.bags_total.get(),
         }
     }
 }
@@ -279,6 +283,13 @@ struct DbMetrics {
     overloads: Counter,
     prepared_hits: Counter,
     prepared_misses: Counter,
+    /// Bag nodes the overlay tree passes rewrote (copied + filtered),
+    /// summed over every answered GHD-plan query.
+    bags_rewritten: Counter,
+    /// Bag nodes those passes visited in total; `rewritten / total` is
+    /// the production overlay-sparsity ratio (0 = ideal warm serving:
+    /// every run was pure probing over the shared materialization).
+    bags_total: Counter,
     latency: Histogram,
 }
 
@@ -323,7 +334,7 @@ impl ServerMetrics {
         format!(
             "stats — uptime {}s, conns {} ({} active), batches {}, answered {}, \
              overloaded {}, errors {}, prepared {}/{} hit/miss, reloads {}, \
-             latency p50 {}µs p99 {}µs max {}µs",
+             bags {}/{} rewritten, latency p50 {}µs p99 {}µs max {}µs",
             self.started.elapsed().as_secs(),
             t.connections,
             self.active_connections.value(),
@@ -334,6 +345,8 @@ impl ServerMetrics {
             t.prepared_hits,
             t.prepared_misses,
             t.reloads,
+            t.bags_rewritten,
+            t.bags_total,
             lat.p50(),
             lat.p99(),
             lat.max(),
@@ -373,6 +386,13 @@ pub struct ServerStats {
     /// `Reload` frames rejected because the server runs without
     /// `allow_reload`.
     pub rejected_unauthorized: u64,
+    /// Bag nodes rewritten (copied + filtered) by overlay tree passes
+    /// across all answered GHD-plan queries.
+    pub bags_rewritten: u64,
+    /// Bag nodes visited by those passes in total. The ratio
+    /// `bags_rewritten / bags_total` is the serving fleet's overlay
+    /// sparsity; 0 means every warm run was copy-free.
+    pub bags_total: u64,
 }
 
 // ---------------------------------------------------------------------
@@ -843,6 +863,17 @@ fn execute_job(job: Job<'_>, metrics: &ServerMetrics, sequential_bags: bool) {
             None if sequential_bags => with_sequential_bags(|| prepared.run(item.workload)),
             None => prepared.run(item.workload),
         };
+        // Overlay-sparsity accounting: how much of the prepared bag
+        // tree this run had to copy (0 rewritten = fully copy-free).
+        if let Some(bags) = &resp.provenance.bags {
+            metrics
+                .totals
+                .bags_rewritten
+                .add(bags.bags_rewritten as u64);
+            metrics.totals.bags_total.add(bags.bags_total as u64);
+            db_metrics.bags_rewritten.add(bags.bags_rewritten as u64);
+            db_metrics.bags_total.add(bags.bags_total as u64);
+        }
         let mut wire = WireResult::from_response(job.request, index as u64, prepared_hit, &resp);
         let payload = match trace {
             Some(mut t) => {
@@ -1292,6 +1323,8 @@ fn handle_stats(ctx: ConnCtx<'_>, writer: &ConnWriter, seq: u64, received_at: In
                 overloads: db.overloads.get(),
                 prepared_hits: db.prepared_hits.get(),
                 prepared_misses: db.prepared_misses.get(),
+                bags_rewritten: db.bags_rewritten.get(),
+                bags_total: db.bags_total.get(),
                 latency: WireHistogram::from_snapshot(&db.latency.snapshot()),
             }
         })
@@ -1315,6 +1348,8 @@ fn handle_stats(ctx: ConnCtx<'_>, writer: &ConnWriter, seq: u64, received_at: In
             prepared_hits: totals.prepared_hits,
             prepared_misses: totals.prepared_misses,
             reloads: totals.reloads,
+            bags_rewritten: totals.bags_rewritten,
+            bags_total: totals.bags_total,
             queue_depth: ctx.queue.len() as u64,
             queue_high_water: ctx.queue.high_water() as u64,
             queue_capacity: ctx.queue.capacity() as u64,

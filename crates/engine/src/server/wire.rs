@@ -304,6 +304,12 @@ pub struct WireDbStats {
     pub prepared_hits: u64,
     /// Prepared-query cache misses.
     pub prepared_misses: u64,
+    /// Bag nodes rewritten (copied + filtered) by overlay tree passes
+    /// over this database's prepared bag trees.
+    pub bags_rewritten: u64,
+    /// Bag nodes those passes visited in total; `rewritten / total` is
+    /// this database's overlay sparsity (0 = fully copy-free serving).
+    pub bags_total: u64,
     /// Per-query server-latency distribution (receipt of the `Query`
     /// frame → the query's `Result` frame handed to the socket).
     pub latency: WireHistogram,
@@ -346,6 +352,10 @@ pub struct WireStats {
     pub reloads: u64,
     /// `Reload` frames rejected with `Unauthorized`.
     pub rejected_unauthorized: u64,
+    /// Bag nodes rewritten by overlay tree passes (all databases).
+    pub bags_rewritten: u64,
+    /// Bag nodes visited by those passes in total (all databases).
+    pub bags_total: u64,
     /// Jobs in the request queue right now.
     pub queue_depth: u64,
     /// Deepest the request queue has ever been (exact; ≥ 1 once any
@@ -518,6 +528,8 @@ mod tests {
             prepared_misses: 6,
             reloads: 1,
             rejected_unauthorized: 0,
+            bags_rewritten: 3,
+            bags_total: 90,
             queue_depth: 0,
             queue_high_water: 3,
             queue_capacity: 64,
@@ -530,6 +542,8 @@ mod tests {
                 overloads: 1,
                 prepared_hits: 25,
                 prepared_misses: 6,
+                bags_rewritten: 3,
+                bags_total: 90,
                 latency,
             }],
             server_micros: 45,

@@ -43,7 +43,7 @@ use cqd2_cq::stats::DatabaseStats;
 use cqd2_cq::{ConjunctiveQuery, Database};
 
 use crate::catalog::{Catalog, DatabaseSnapshot};
-use crate::engine::{Answer, Engine, PlanProvenance, Response, Workload};
+use crate::engine::{Answer, BagExecution, BagMode, Engine, PlanProvenance, Response, Workload};
 use crate::error::EngineError;
 use crate::metrics::{Phase, QueryTrace};
 use crate::plan::{DataEstimate, PlannedQuery, QueryPlan};
@@ -283,29 +283,50 @@ impl PreparedCore {
     }
 
     /// Execute for `workload` against `db` (which must be the database
-    /// the core was built from), copying the bag tree so the core stays
-    /// reusable.
+    /// the core was built from) through a [`cqd2_cq::eval::BagOverlay`]:
+    /// the shared bag tree is never cloned — the pass copies only the
+    /// nodes it rewrites, and provenance reports how many that was.
     fn run(&self, db: &Database, workload: Workload) -> Response {
         let exec_start = Instant::now();
-        let answer = match workload {
-            Workload::Boolean => Answer::Bool(match &self.bags {
-                Some(bags) => bags.bcq(),
-                None => bcq_naive(&self.query, db),
-            }),
-            Workload::Count => Answer::Count(match &self.bags {
-                Some(bags) => bags.count(),
-                None => count_naive(&self.query, db),
-            }),
-            Workload::Enumerate { limit } => Answer::Tuples(self.cursor(db, limit).collect()),
+        let (answer, pass) = match workload {
+            Workload::Boolean => match &self.bags {
+                Some(bags) => {
+                    let (b, s) = bags.bcq_with_stats();
+                    (Answer::Bool(b), Some(s))
+                }
+                None => (Answer::Bool(bcq_naive(&self.query, db)), None),
+            },
+            Workload::Count => match &self.bags {
+                Some(bags) => {
+                    let (c, s) = bags.count_with_stats();
+                    (Answer::Count(c), Some(s))
+                }
+                None => (Answer::Count(count_naive(&self.query, db)), None),
+            },
+            Workload::Enumerate { limit } => {
+                let (cursor, pass) = self.cursor_with_stats(db, limit);
+                (Answer::Tuples(cursor.collect()), pass)
+            }
         };
-        self.response(workload, answer, exec_start)
+        let bags = pass.map(|s| BagExecution {
+            mode: BagMode::Overlay,
+            bags_rewritten: s.rewritten,
+            bags_total: s.total,
+        });
+        self.response(workload, answer, exec_start, bags)
     }
 
     /// Execute once, consuming the core: the materialized bag tree is
-    /// passed over in place instead of copied.
+    /// passed over in place instead of shared (provenance reports the
+    /// `cloned` mode — the run owned every node).
     pub(crate) fn run_once(mut self, db: &Database, workload: Workload) -> Response {
         let exec_start = Instant::now();
         let bags = self.bags.take();
+        let bag_exec = bags.as_ref().map(|b| BagExecution {
+            mode: BagMode::Cloned,
+            bags_rewritten: b.num_bags(),
+            bags_total: b.num_bags(),
+        });
         let answer = match workload {
             Workload::Boolean => Answer::Bool(match bags {
                 Some(bags) => bags.into_bcq(),
@@ -331,24 +352,47 @@ impl PreparedCore {
                 Answer::Tuples(cursor.collect())
             }
         };
-        self.response(workload, answer, exec_start)
+        self.response(workload, answer, exec_start, bag_exec)
     }
 
     fn cursor(&self, db: &Database, limit: Option<usize>) -> AnswerCursor {
-        let inner = match &self.bags {
-            Some(bags) => CursorInner::Streaming(bags.enumerator()),
-            None => {
-                CursorInner::Buffered(enumerate_naive_limit(&self.query, db, limit).into_iter())
+        self.cursor_with_stats(db, limit).0
+    }
+
+    /// Open a cursor plus — on the GHD route — the overlay reduction's
+    /// rewrite sparsity (`None` on the naive route).
+    fn cursor_with_stats(
+        &self,
+        db: &Database,
+        limit: Option<usize>,
+    ) -> (AnswerCursor, Option<cqd2_cq::PassStats>) {
+        let (inner, pass) = match &self.bags {
+            Some(bags) => {
+                let (e, s) = bags.enumerator_with_stats();
+                (CursorInner::Streaming(e), Some(s))
             }
+            None => (
+                CursorInner::Buffered(enumerate_naive_limit(&self.query, db, limit).into_iter()),
+                None,
+            ),
         };
-        AnswerCursor {
-            inner,
-            remaining: limit,
-        }
+        (
+            AnswerCursor {
+                inner,
+                remaining: limit,
+            },
+            pass,
+        )
     }
 
     /// Assemble the zero-planning per-run provenance.
-    fn response(&self, workload: Workload, answer: Answer, exec_start: Instant) -> Response {
+    fn response(
+        &self,
+        workload: Workload,
+        answer: Answer,
+        exec_start: Instant,
+        bags: Option<BagExecution>,
+    ) -> Response {
         Response {
             answer,
             provenance: PlanProvenance {
@@ -356,6 +400,7 @@ impl PreparedCore {
                 cache_hit: self.cache_hit,
                 planning: Duration::ZERO,
                 execution: exec_start.elapsed(),
+                bags,
             },
         }
     }
@@ -426,9 +471,10 @@ impl PreparedQuery {
     /// Execute the prepared plan for `workload`. No planning happens
     /// here — provenance carries the resolved plan with a zero planning
     /// duration (see [`PreparedQuery::planning_time`] for the cost paid
-    /// at prepare time). GHD passes run on a copy of the materialized
-    /// bag tree, leaving the handle reusable; one-shot callers should
-    /// use [`PreparedQuery::run_once`] to skip the copy.
+    /// at prepare time). GHD passes run **copy-free** through an overlay
+    /// over the shared materialized bag tree: only the nodes a pass
+    /// rewrites are copied (provenance's `bags` field reports how many),
+    /// and on join-consistent data warm runs copy nothing at all.
     ///
     /// `Enumerate` materializes up to `limit` answers into
     /// [`Answer::Tuples`]; use [`PreparedQuery::cursor`] to stream
@@ -465,13 +511,16 @@ impl PreparedQuery {
     /// Open a streaming [`AnswerCursor`] over `q(D)`, yielding at most
     /// `limit` answers (`None` = all).
     ///
-    /// On the GHD route this runs the semijoin reduction over a copy of
-    /// the already-materialized bag tree now, and then delivers answers
-    /// with constant delay; on the naive route the backtracking search
-    /// runs eagerly (stopping at `limit`) and the cursor drains the
-    /// buffer. Either way the cursor is self-contained: it stays valid
-    /// (and keeps streaming the pinned epoch's answers) after the
-    /// handle is dropped or the catalog entry is swapped.
+    /// On the GHD route this runs the semijoin reduction through an
+    /// overlay over the already-materialized bag tree now (bags the
+    /// reduction leaves untouched are shared with the handle by `Arc`,
+    /// not copied — any number of concurrent cursors pin one tree), and
+    /// then delivers answers with constant delay; on the naive route the
+    /// backtracking search runs eagerly (stopping at `limit`) and the
+    /// cursor drains the buffer. Either way the cursor is
+    /// self-contained: it stays valid (and keeps streaming the pinned
+    /// epoch's answers) after the handle is dropped or the catalog entry
+    /// is swapped.
     ///
     /// ```
     /// use cqd2_engine::Engine;

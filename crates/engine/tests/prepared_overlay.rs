@@ -1,0 +1,127 @@
+//! Engine-level differential tests for copy-free prepared re-execution:
+//! warm [`PreparedQuery`] runs (overlay passes over the shared bag tree)
+//! must answer exactly like the one-shot [`Engine::serve`] path (cloned
+//! consuming passes), report their execution mode in provenance, and
+//! support concurrent cursors streaming from ONE shared materialization.
+
+use cqd2_cq::generate::planted_database;
+use cqd2_cq::ConjunctiveQuery;
+use cqd2_engine::{BagMode, Engine, Request, Workload};
+
+/// A 7-atom acyclic degree-2 query with enough data that the planner's
+/// data estimate keeps the GHD plan (so runs actually exercise the bag
+/// tree, not the naive join).
+fn fixture() -> (ConjunctiveQuery, cqd2_cq::Database) {
+    let q = ConjunctiveQuery::parse(&[
+        ("A", &["?a", "?b"]),
+        ("B0", &["?a", "?c", "?d"]),
+        ("B1", &["?b", "?e", "?f"]),
+        ("C0", &["?c", "?g"]),
+        ("C1", &["?d", "?h"]),
+        ("C2", &["?e", "?i"]),
+        ("C3", &["?f", "?j"]),
+    ]);
+    // Sparse (domain ≫ matches per value) so the full answer set stays
+    // small enough to materialize, planted so it is never empty; big
+    // enough that the data estimate keeps the GHD plan.
+    let db = planted_database(&q, 500, 300, 3);
+    (q, db)
+}
+
+#[test]
+fn prepared_overlay_matches_one_shot_serve() {
+    let (q, db) = fixture();
+    let engine = Engine::default();
+    let session = engine.session(&db);
+    let prepared = session.prepare(&q).expect("planning cannot fail");
+
+    for workload in [Workload::Boolean, Workload::Count] {
+        let served = engine.serve(&Request {
+            query: &q,
+            db: &db,
+            workload,
+        });
+        let served_exec = served.provenance.bags.expect("GHD plan expected");
+        assert_eq!(
+            served_exec.mode,
+            BagMode::Cloned,
+            "one-shot runs consume a clone"
+        );
+        // Repeated warm runs: same answer every time, overlay mode, and
+        // rewrite sparsity within the tree.
+        for _ in 0..3 {
+            let run = prepared.run(workload);
+            assert_eq!(run.answer, served.answer, "{workload:?} diverged");
+            let exec = run.provenance.bags.expect("GHD plan expected");
+            assert_eq!(exec.mode, BagMode::Overlay, "prepared runs use overlays");
+            assert!(
+                exec.bags_rewritten <= exec.bags_total,
+                "sparsity out of range: {}/{}",
+                exec.bags_rewritten,
+                exec.bags_total
+            );
+            assert_eq!(exec.bags_total, served_exec.bags_total, "same tree");
+        }
+    }
+
+    // Enumerate: the prepared cursor streams exactly the one-shot
+    // answer set (order is unspecified — compare as sorted sets).
+    let served = engine.serve(&Request {
+        query: &q,
+        db: &db,
+        workload: Workload::Enumerate { limit: None },
+    });
+    let mut reference = served.answer.as_tuples().expect("tuples").to_vec();
+    reference.sort_unstable();
+    for _ in 0..2 {
+        let mut streamed: Vec<Vec<u64>> = prepared.cursor(None).collect();
+        streamed.sort_unstable();
+        assert_eq!(streamed, reference, "cursor stream diverged");
+    }
+}
+
+#[test]
+fn concurrent_cursors_share_one_materialization() {
+    let (q, db) = fixture();
+    let engine = Engine::default();
+    let session = engine.session(&db);
+    let prepared = session.prepare(&q).expect("planning cannot fail");
+    let mut reference: Vec<Vec<u64>> = prepared.cursor(None).collect();
+    reference.sort_unstable();
+    assert!(!reference.is_empty(), "fixture should have answers");
+
+    // Two threads each open a cursor against the SAME prepared handle
+    // (one shared bag tree underneath) and stream concurrently.
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out: Vec<Vec<u64>> = prepared.cursor(None).collect();
+                    out.sort_unstable();
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().expect("no panic"), reference);
+        }
+    });
+
+    // Interleaved cursors on one thread must not disturb each other,
+    // and a limited cursor caps without affecting a full one.
+    let mut c1 = prepared.cursor(None);
+    let mut c2 = prepared.cursor(None);
+    let mut out = Vec::new();
+    loop {
+        let a = c1.next();
+        assert_eq!(a, c2.next(), "interleaved cursors diverged");
+        match a {
+            Some(t) => out.push(t),
+            None => break,
+        }
+    }
+    out.sort_unstable();
+    assert_eq!(out, reference);
+    let capped = prepared.cursor(Some(3)).count();
+    assert_eq!(capped, reference.len().min(3));
+}

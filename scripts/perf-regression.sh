@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Perf-regression harness: run every speed-gated bench and print a
+# pass/fail summary.
+#
+# Each gated bench asserts its own floor (the gate) and exits nonzero
+# when a kernel or serving path regresses past it:
+#
+#   relation_ops             columnar join ≥ 2× row store;
+#                            chunked semijoin filter ≥ 1.3× reference
+#   engine_prepared          prepared re-execution ≥ 2× per-call serve
+#   engine_catalog           owned epoch-pinned API within 10% of the
+#                            borrowed baseline
+#   engine_overlay           overlay warm runs ≥ 2× clone-based
+#                            execution (cq tree and engine PreparedQuery)
+#   engine_metrics_overhead  per-query instrumentation within 5%
+#
+# This script just orchestrates: build once, run each gate, summarize.
+# Usage: scripts/perf-regression.sh [bench ...]   (default: all gates)
+
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+GATES=(relation_ops engine_prepared engine_catalog engine_overlay engine_metrics_overhead)
+if [ "$#" -gt 0 ]; then
+  GATES=("$@")
+fi
+
+LOG_DIR="${TMPDIR:-/tmp}/perf-regression"
+mkdir -p "$LOG_DIR"
+
+# Compile everything up front so build time never pollutes a measurement
+# and a compile error reads as a build failure, not a perf regression.
+echo "== building bench targets =="
+if ! cargo bench --no-run 2>&1 | tail -3; then
+  echo "FAIL: bench targets do not build" >&2
+  exit 1
+fi
+
+declare -a RESULTS=()
+FAILED=0
+for bench in "${GATES[@]}"; do
+  log="$LOG_DIR/$bench.log"
+  echo
+  echo "== $bench =="
+  if cargo bench -p cqd2-bench --bench "$bench" >"$log" 2>&1; then
+    RESULTS+=("PASS  $bench")
+    # Surface the bench's own headline numbers (its '===' banner block).
+    sed -n '/^===/,/^group:/p' "$log" | sed '$d'
+  else
+    RESULTS+=("FAIL  $bench")
+    FAILED=1
+    echo "--- last 30 lines of $log ---"
+    tail -30 "$log"
+  fi
+done
+
+echo
+echo "== perf-regression summary =="
+for line in "${RESULTS[@]}"; do
+  echo "  $line"
+done
+if [ "$FAILED" -ne 0 ]; then
+  echo "perf gates FAILED (full logs in $LOG_DIR)" >&2
+  exit 1
+fi
+echo "all perf gates passed"
