@@ -40,8 +40,61 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("eval") => run_eval(&args[1..]),
         Some("client") => run_client(&args[1..]),
+        Some("verify") => run_verify(&args[1..]),
         _ => run_analyze(args.first().map(String::as_str)),
     }
+}
+
+/// `verify`: plan every query of the given workload files and check the
+/// derived plans against the paper's structural invariants (valid GHD,
+/// width claim, strategy/structure-class consistency) — the same audit
+/// `CQD2_STRICT_VERIFY=1` runs inside `Session::prepare`, surfaced as a
+/// standalone command. Exits nonzero on the first violated invariant.
+fn run_verify(args: &[String]) {
+    let files: Vec<&String> = args
+        .iter()
+        .filter(|a| {
+            if a.starts_with("--") {
+                exit_with(&format!(
+                    "verify: unknown flag {a} (takes workload files only)"
+                ));
+            }
+            true
+        })
+        .collect();
+    if files.is_empty() {
+        exit_with("verify: no workload files given");
+    }
+    let engine = Engine::shared();
+    let mut checked = 0usize;
+    for path in files {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| exit_with(&format!("cannot read {path}: {e}")));
+        let parsed = cqd2::engine::textio::parse_workload(&text)
+            .unwrap_or_else(|e| exit_with(&format!("{path}: {e}")));
+        for (i, query) in parsed.queries.iter().enumerate() {
+            let report = engine
+                .verify_query(query)
+                .unwrap_or_else(|e| exit_with(&format!("{path} q{i}: INVALID — {e}")));
+            for plan in &report.plans {
+                let ghd = match (plan.width, plan.bags) {
+                    (Some(w), Some(b)) => format!(", ghd width {w} over {b} bags"),
+                    _ => String::new(),
+                };
+                println!(
+                    "{path} q{i}: {:?} plan ok — {}{ghd}{}",
+                    plan.workload,
+                    plan.strategy,
+                    if report.cache_hit { " [cached]" } else { "" },
+                );
+            }
+            checked += 1;
+        }
+    }
+    println!(
+        "verify: {checked} quer{} checked, all plans satisfy the paper's invariants",
+        if checked == 1 { "y" } else { "ies" }
+    );
 }
 
 fn run_analyze(path: Option<&str>) {

@@ -189,6 +189,7 @@ fn main() {
 /// frame would report at the same instant.
 fn spawn_stats_dump(handle: cqd2::engine::server::ServerHandle, secs: u64) {
     let flag = handle.shutdown_flag();
+    // cqd2-lint: allow(unscoped-spawn, reason = "daemon-lifetime stats dumper; exits with the process, nothing to join")
     std::thread::spawn(move || {
         let interval = std::time::Duration::from_secs(secs);
         while !flag.load(Ordering::SeqCst) {
@@ -204,6 +205,7 @@ fn spawn_stats_dump(handle: cqd2::engine::server::ServerHandle, secs: u64) {
 /// closed the pipe) — a portable stand-in for signals under test
 /// harnesses and CI runners that cannot deliver them.
 fn spawn_stdin_watch(flag: Arc<AtomicBool>) {
+    // cqd2-lint: allow(unscoped-spawn, reason = "blocks in stdin read until the parent closes the pipe; cannot be scoped")
     std::thread::spawn(move || {
         use std::io::Read;
         let mut sink = [0u8; 256];

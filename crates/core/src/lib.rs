@@ -123,7 +123,7 @@ pub fn reduce_instance(
     h: &Hypergraph,
     seq: &cqd2_dilution::DilutionSequence,
     instance: &cqd2_reduction::Instance,
-) -> Result<cqd2_reduction::ReductionReport, String> {
+) -> Result<cqd2_reduction::ReductionReport, cqd2_reduction::ReductionError> {
     cqd2_reduction::reduce_along(h, seq, instance)
 }
 

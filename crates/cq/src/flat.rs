@@ -143,6 +143,15 @@ impl FlatRelation {
         self.vars.iter().position(|&w| w == v)
     }
 
+    /// [`FlatRelation::col`] for variables the caller has already
+    /// established are present (shared-variable lists are computed by
+    /// intersecting both schemas first). Centralizing the panic keeps
+    /// the join kernels themselves free of `expect` calls.
+    fn col_must(&self, v: Var) -> usize {
+        // cqd2-lint: allow(panic-in-hot-path, reason = "callers intersect schemas before asking; absence is a join-kernel bug, not a data condition")
+        self.col(v).expect("variable present in schema")
+    }
+
     /// Bind `atom` against `db`: select tuples matching the atom's
     /// constants and repeated variables and project to one column per
     /// distinct variable. The per-position checks are resolved **once**
@@ -164,6 +173,7 @@ impl FlatRelation {
                 atom.terms
                     .iter()
                     .position(|t| matches!(t, Term::Var(w) if w == v))
+                    // cqd2-lint: allow(panic-in-hot-path, reason = "vars was extracted from these same terms")
                     .expect("var occurs")
             })
             .collect();
@@ -177,6 +187,7 @@ impl FlatRelation {
             match term {
                 Term::Const(c) => checks.push(Check::Const(i, *c)),
                 Term::Var(v) => {
+                    // cqd2-lint: allow(panic-in-hot-path, reason = "every variable term appears in the atom's var list")
                     let first = first_pos[vars.iter().position(|w| w == v).expect("var")];
                     if first != i {
                         checks.push(Check::SameAs(i, first));
@@ -248,14 +259,8 @@ impl FlatRelation {
             };
         }
 
-        let self_key: Vec<usize> = shared
-            .iter()
-            .map(|&v| self.col(v).expect("shared"))
-            .collect();
-        let other_key: Vec<usize> = shared
-            .iter()
-            .map(|&v| other.col(v).expect("shared"))
-            .collect();
+        let self_key: Vec<usize> = shared.iter().map(|&v| self.col_must(v)).collect();
+        let other_key: Vec<usize> = shared.iter().map(|&v| other.col_must(v)).collect();
         check_row_index_fits(other.rows);
         // Build side indexed once by a flat chained table ([`KeyTable`]:
         // no SipHash, no per-key boxing); the probe side packs keys into
@@ -317,14 +322,8 @@ impl FlatRelation {
                 None
             };
         }
-        let self_key: Vec<usize> = shared
-            .iter()
-            .map(|&v| self.col(v).expect("shared"))
-            .collect();
-        let other_key: Vec<usize> = shared
-            .iter()
-            .map(|&v| other.col(v).expect("shared"))
-            .collect();
+        let self_key: Vec<usize> = shared.iter().map(|&v| self.col_must(v)).collect();
+        let other_key: Vec<usize> = shared.iter().map(|&v| other.col_must(v)).collect();
         let table = KeyTable::build(other, &other_key);
         self.semijoin_filter_with(&table, &self_key)
     }
@@ -410,14 +409,8 @@ impl FlatRelation {
                 self.clone()
             };
         }
-        let self_key: Vec<usize> = shared
-            .iter()
-            .map(|&v| self.col(v).expect("shared"))
-            .collect();
-        let other_key: Vec<usize> = shared
-            .iter()
-            .map(|&v| other.col(v).expect("shared"))
-            .collect();
+        let self_key: Vec<usize> = shared.iter().map(|&v| self.col_must(v)).collect();
+        let other_key: Vec<usize> = shared.iter().map(|&v| other.col_must(v)).collect();
         let mut data = Vec::new();
         let mut rows = 0usize;
         if shared.len() == 1 {
@@ -458,10 +451,7 @@ impl FlatRelation {
     /// buffer clone); a strict prefix copies contiguous slices; only
     /// projections that *drop* columns pay the dedup sort.
     pub fn project(&self, keep: &[Var]) -> FlatRelation {
-        let pos: Vec<usize> = keep
-            .iter()
-            .map(|&v| self.col(v).expect("projection variable must exist"))
-            .collect();
+        let pos: Vec<usize> = keep.iter().map(|&v| self.col_must(v)).collect();
         if keep == self.vars.as_slice() {
             return self.clone();
         }

@@ -40,6 +40,7 @@ pub(crate) mod probe;
 pub mod query;
 pub mod relation;
 pub mod stats;
+pub mod sync;
 
 pub use database::Database;
 pub use eval::{
@@ -52,3 +53,4 @@ pub use hom::{core_of, find_homomorphism, semantic_ghw};
 pub use query::{Atom, ConjunctiveQuery, Term, Var};
 pub use relation::VRelation;
 pub use stats::{estimate_join_rows, estimate_naive_cost, DatabaseStats, RelationStats};
+pub use sync::{lock_or_poison, read_or_poison, wait_or_poison, write_or_poison};

@@ -1,0 +1,74 @@
+//! Poison-tolerant lock helpers for the serve path.
+//!
+//! A `std` mutex poisons when a holder panics, and every subsequent
+//! `.lock().unwrap()` then panics too — one worker's bug takes down
+//! every thread that touches the lock. The data these locks guard
+//! (plan caches, prepared-handle caches, the job queue, connection
+//! writers) is structurally valid at every intermediate step — caches
+//! may at worst lose or duplicate an entry, which serving re-derives —
+//! so the right policy is to keep serving with the data as it is
+//! rather than to cascade the panic.
+//!
+//! The `cqd2-lint` `panic-in-hot-path` lint enforces the policy
+//! mechanically: `.lock().unwrap()` / `.expect(...)` in serve-path
+//! files is a lint error; acquisitions go through these helpers
+//! instead.
+
+use std::sync::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Lock `m`, recovering the guard if the mutex is poisoned.
+pub fn lock_or_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Read-lock `l`, recovering the guard if the lock is poisoned.
+pub fn read_or_poison<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Write-lock `l`, recovering the guard if the lock is poisoned.
+pub fn write_or_poison<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Wait on `cv`, recovering the guard if the mutex poisoned while
+/// parked.
+pub fn wait_or_poison<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard)
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex, RwLock};
+
+    #[test]
+    fn lock_or_poison_survives_a_poisoned_mutex() {
+        let m = Arc::new(Mutex::new(7u32));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock().unwrap();
+            panic!("poison the lock");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        assert_eq!(*lock_or_poison(&m), 7);
+        *lock_or_poison(&m) = 8;
+        assert_eq!(*lock_or_poison(&m), 8);
+    }
+
+    #[test]
+    fn rwlock_helpers_survive_poison() {
+        let l = Arc::new(RwLock::new(vec![1, 2, 3]));
+        let l2 = Arc::clone(&l);
+        let _ = std::thread::spawn(move || {
+            let _guard = l2.write().unwrap();
+            panic!("poison the lock");
+        })
+        .join();
+        assert_eq!(read_or_poison(&l).len(), 3);
+        write_or_poison(&l).push(4);
+        assert_eq!(read_or_poison(&l).len(), 4);
+    }
+}

@@ -30,9 +30,11 @@ pub mod lower_bounds;
 pub mod lp;
 pub mod separators;
 pub mod tree_decomposition;
+pub mod verify;
 pub mod widths;
 
 pub use dual_bound::ghd_via_dual;
 pub use ghd::Ghd;
 pub use tree_decomposition::TreeDecomposition;
+pub use verify::{verify_ghd, verify_ghd_width, VerifyError};
 pub use widths::{fhw_exact, ghw_exact, treewidth_exact, WidthEstimate};

@@ -1,0 +1,459 @@
+//! Structural verification of GHDs and the plans built on them.
+//!
+//! The engine's correctness rests on the paper's structural invariants:
+//! a GHD's bag graph must be a connected tree, every query edge must be
+//! contained in some bag, every variable's bag set must induce a
+//! connected subtree (the running-intersection property), and every
+//! bag must actually be covered by its claimed `λ`-cover of at most
+//! the claimed width. A planner bug that breaks any of these silently
+//! produces *wrong answers* — the Yannakakis semijoin pass and the
+//! counting DP are only sound on valid decompositions.
+//!
+//! [`verify_ghd`] checks all of them and returns a typed
+//! [`VerifyError`] naming the violated invariant (and the witness bag
+//! / edge / variable), so a bad plan becomes a loud, matchable error
+//! instead of a wrong answer. The serving layer runs it once per
+//! prepared plan when strict verification is enabled
+//! (`CQD2_STRICT_VERIFY=1`; see `cqd2-engine`), and the
+//! `cqd2-analyze verify` subcommand exposes it on the command line.
+//!
+//! This module intentionally re-derives the checks instead of
+//! delegating to [`crate::TreeDecomposition::validate`]: the verifier
+//! is the *independent* auditor of what the planner built, so sharing
+//! code with the construction path would let one bug hide the other.
+
+use cqd2_hypergraph::Hypergraph;
+
+use crate::ghd::Ghd;
+
+/// A violated decomposition invariant, with the witness that violates
+/// it. Each variant corresponds to one clause of the GHD definition
+/// (paper, Section 2 and Appendix C) or to a claim the plan made about
+/// the decomposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The bag graph is not a connected tree over `bags` nodes: it has
+    /// `edges` edges where a tree needs `bags - 1`, or it is
+    /// disconnected / cyclic (the two are equivalent at the right edge
+    /// count). A decomposition with zero bags is also reported here.
+    NotATree {
+        /// Number of bag nodes.
+        bags: usize,
+        /// Number of tree edges found.
+        edges: usize,
+    },
+    /// Hypergraph edge `edge` is contained in no bag, so the semijoin
+    /// pass would never constrain the corresponding atom.
+    EdgeNotCovered {
+        /// Index of the uncovered hypergraph edge.
+        edge: usize,
+    },
+    /// The bags containing vertex `vertex` do not induce a connected
+    /// subtree — the running-intersection property fails, so joins
+    /// through the tree can invent tuples for this variable.
+    RunningIntersection {
+        /// The vertex whose bag set is disconnected.
+        vertex: u32,
+    },
+    /// Bag `bag` contains vertices outside the union of its `λ`-cover:
+    /// the cover does not cover `χ(bag)`, so the bag's materialized
+    /// relation would be unconstrained in `vertex`.
+    BagNotCovered {
+        /// Index of the under-covered bag.
+        bag: usize,
+        /// A vertex of the bag missed by every cover edge.
+        vertex: u32,
+    },
+    /// `covers` and `bags` disagree in length — some bag has no `λ` at
+    /// all.
+    CoverCountMismatch {
+        /// Number of bags.
+        bags: usize,
+        /// Number of covers.
+        covers: usize,
+    },
+    /// A cover references an edge id outside the hypergraph.
+    UnknownEdge {
+        /// Index of the bag whose cover is broken.
+        bag: usize,
+        /// The out-of-range edge id.
+        edge: u32,
+    },
+    /// A bag mentions a vertex id outside the hypergraph.
+    UnknownVertex {
+        /// Index of the offending bag.
+        bag: usize,
+        /// The out-of-range vertex id.
+        vertex: u32,
+    },
+    /// The decomposition's actual width exceeds what the plan claimed:
+    /// some `|λ_u| = actual > claimed`. Cost models and admission
+    /// decisions keyed to the claimed width would be lies.
+    WidthExceeded {
+        /// Width the plan claimed.
+        claimed: usize,
+        /// Largest `|λ_u|` actually present.
+        actual: usize,
+    },
+    /// The chosen strategy is inconsistent with the detected structure
+    /// class (e.g. a jigsaw-reduce certificate on a structure of degree
+    /// greater than 2, where Theorem 4.7 does not apply).
+    StrategyMismatch {
+        /// The strategy tag the plan carries.
+        strategy: String,
+        /// Why it does not fit the structure.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::NotATree { bags, edges } => write!(
+                f,
+                "bag graph is not a tree: {bags} bag(s) with {edges} edge(s) \
+                 (a tree needs exactly bags-1, connected)"
+            ),
+            VerifyError::EdgeNotCovered { edge } => {
+                write!(f, "query edge e{edge} is contained in no bag")
+            }
+            VerifyError::RunningIntersection { vertex } => write!(
+                f,
+                "running intersection violated: bags containing v{vertex} \
+                 are not connected in the tree"
+            ),
+            VerifyError::BagNotCovered { bag, vertex } => write!(
+                f,
+                "bag {bag} is not covered by its λ: vertex v{vertex} is in \
+                 χ(bag) but in no cover edge"
+            ),
+            VerifyError::CoverCountMismatch { bags, covers } => {
+                write!(f, "{bags} bag(s) but {covers} λ-cover(s)")
+            }
+            VerifyError::UnknownEdge { bag, edge } => {
+                write!(f, "bag {bag}'s cover references unknown edge e{edge}")
+            }
+            VerifyError::UnknownVertex { bag, vertex } => {
+                write!(f, "bag {bag} mentions unknown vertex v{vertex}")
+            }
+            VerifyError::WidthExceeded { claimed, actual } => write!(
+                f,
+                "plan claims width {claimed} but the decomposition has a \
+                 λ-cover of size {actual}"
+            ),
+            VerifyError::StrategyMismatch { strategy, reason } => {
+                write!(
+                    f,
+                    "strategy `{strategy}` does not fit the structure: {reason}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verify every structural invariant of `ghd` against `h`:
+///
+/// 1. every bag has a `λ`-cover ([`VerifyError::CoverCountMismatch`]);
+/// 2. bags and covers reference only real vertices / edges
+///    ([`VerifyError::UnknownVertex`], [`VerifyError::UnknownEdge`]);
+/// 3. the bag graph is a connected tree ([`VerifyError::NotATree`]);
+/// 4. every hypergraph edge is contained in some bag
+///    ([`VerifyError::EdgeNotCovered`]);
+/// 5. every vertex's bag set induces a connected subtree
+///    ([`VerifyError::RunningIntersection`]);
+/// 6. every bag is covered by the union of its `λ` edges
+///    ([`VerifyError::BagNotCovered`]).
+///
+/// Runs in `O(bags · (vertices + edges))` — negligible next to the
+/// `O(‖D‖^width)` bag materialization it guards.
+pub fn verify_ghd(h: &Hypergraph, ghd: &Ghd) -> Result<(), VerifyError> {
+    let bags = &ghd.td.bags;
+    let tree = &ghd.td.tree;
+    let n = bags.len();
+    if ghd.covers.len() != n {
+        return Err(VerifyError::CoverCountMismatch {
+            bags: n,
+            covers: ghd.covers.len(),
+        });
+    }
+    if n == 0 || tree.len() != n - 1 {
+        return Err(VerifyError::NotATree {
+            bags: n,
+            edges: tree.len(),
+        });
+    }
+    // Referential integrity before anything walks ids.
+    for (u, bag) in bags.iter().enumerate() {
+        for v in bag {
+            if v.idx() >= h.num_vertices() {
+                return Err(VerifyError::UnknownVertex {
+                    bag: u,
+                    vertex: v.0,
+                });
+            }
+        }
+    }
+    for (u, cover) in ghd.covers.iter().enumerate() {
+        for e in cover {
+            if e.idx() >= h.num_edges() {
+                return Err(VerifyError::UnknownEdge { bag: u, edge: e.0 });
+            }
+        }
+    }
+    for &(a, b) in tree {
+        if a >= n || b >= n {
+            return Err(VerifyError::NotATree {
+                bags: n,
+                edges: tree.len(),
+            });
+        }
+    }
+    // Connectivity: with exactly n-1 edges, connected ⇔ tree.
+    let mut adj = vec![Vec::new(); n];
+    for &(a, b) in tree {
+        adj[a].push(b);
+        adj[b].push(a);
+    }
+    let mut seen = vec![false; n];
+    let mut stack = vec![0usize];
+    seen[0] = true;
+    let mut reached = 1usize;
+    while let Some(u) = stack.pop() {
+        for &w in &adj[u] {
+            if !seen[w] {
+                seen[w] = true;
+                reached += 1;
+                stack.push(w);
+            }
+        }
+    }
+    if reached != n {
+        return Err(VerifyError::NotATree {
+            bags: n,
+            edges: tree.len(),
+        });
+    }
+    // Edge cover: every hypergraph edge inside some bag.
+    for e in h.edge_ids() {
+        let ev = h.edge(e);
+        // `contains` rather than binary search: the verifier must not
+        // assume the bags are sorted — that is a claim to check, not
+        // an invariant to lean on.
+        let covered = bags.iter().any(|bag| ev.iter().all(|v| bag.contains(v)));
+        if !covered {
+            return Err(VerifyError::EdgeNotCovered { edge: e.idx() });
+        }
+    }
+    // Running intersection: per vertex, its bag set is connected.
+    for v in h.vertices() {
+        let nodes: Vec<usize> = (0..n).filter(|&u| bags[u].contains(&v)).collect();
+        if nodes.len() <= 1 {
+            continue;
+        }
+        let in_set: Vec<bool> = {
+            let mut m = vec![false; n];
+            for &u in &nodes {
+                m[u] = true;
+            }
+            m
+        };
+        let mut seen = vec![false; n];
+        let mut stack = vec![nodes[0]];
+        seen[nodes[0]] = true;
+        let mut reached = 1usize;
+        while let Some(u) = stack.pop() {
+            for &w in &adj[u] {
+                if in_set[w] && !seen[w] {
+                    seen[w] = true;
+                    reached += 1;
+                    stack.push(w);
+                }
+            }
+        }
+        if reached != nodes.len() {
+            return Err(VerifyError::RunningIntersection { vertex: v.0 });
+        }
+    }
+    // λ-covers actually cover their bags.
+    for (u, (bag, cover)) in bags.iter().zip(&ghd.covers).enumerate() {
+        for v in bag {
+            let covered = cover.iter().any(|&e| h.edge(e).contains(v));
+            if !covered {
+                return Err(VerifyError::BagNotCovered {
+                    bag: u,
+                    vertex: v.0,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// [`verify_ghd`] plus the width claim: every `|λ_u|` must be at most
+/// `claimed_width` ([`VerifyError::WidthExceeded`] otherwise). This is
+/// the check a plan's cost model rests on — `O(‖D‖^width)` is only a
+/// bound if `width` is real.
+pub fn verify_ghd_width(
+    h: &Hypergraph,
+    ghd: &Ghd,
+    claimed_width: usize,
+) -> Result<(), VerifyError> {
+    verify_ghd(h, ghd)?;
+    let actual = ghd.width();
+    if actual > claimed_width {
+        return Err(VerifyError::WidthExceeded {
+            claimed: claimed_width,
+            actual,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree_decomposition::TreeDecomposition;
+    use cqd2_hypergraph::generators::{hyperchain, hypercycle};
+    use cqd2_hypergraph::{EdgeId, VertexId};
+
+    fn chain_ghd(n: usize) -> (Hypergraph, Ghd) {
+        let h = hyperchain(n, 2);
+        let bags: Vec<Vec<VertexId>> = h.edge_ids().map(|e| h.edge(e).to_vec()).collect();
+        let tree = (0..bags.len() - 1).map(|i| (i, i + 1)).collect();
+        let covers = (0..bags.len()).map(|i| vec![EdgeId(i as u32)]).collect();
+        let ghd = Ghd {
+            td: TreeDecomposition { bags, tree },
+            covers,
+        };
+        (h, ghd)
+    }
+
+    #[test]
+    fn valid_ghds_verify() {
+        let (h, ghd) = chain_ghd(5);
+        verify_ghd(&h, &ghd).unwrap();
+        verify_ghd_width(&h, &ghd, 1).unwrap();
+        // Claiming more width than needed is fine — claiming less is not.
+        verify_ghd_width(&h, &ghd, 3).unwrap();
+    }
+
+    #[test]
+    fn mutation_drop_bag_variable_is_bag_or_edge_error() {
+        let (h, mut ghd) = chain_ghd(4);
+        // Removing a vertex from an interior bag breaks either the edge
+        // cover or the running intersection, depending on which endpoint.
+        ghd.td.bags[1].pop();
+        let err = verify_ghd(&h, &ghd).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                VerifyError::EdgeNotCovered { .. } | VerifyError::RunningIntersection { .. }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn mutation_disconnect_tree_detected() {
+        let (h, mut ghd) = chain_ghd(5);
+        // Re-point an edge to create a cycle + an orphan: still n-1
+        // edges, but disconnected.
+        ghd.td.tree[0] = (1, 2);
+        assert!(matches!(
+            verify_ghd(&h, &ghd).unwrap_err(),
+            VerifyError::NotATree { .. }
+        ));
+        // Dropping an edge outright is also not a tree.
+        let (h, mut ghd) = chain_ghd(5);
+        ghd.td.tree.pop();
+        assert!(matches!(
+            verify_ghd(&h, &ghd).unwrap_err(),
+            VerifyError::NotATree { .. }
+        ));
+    }
+
+    #[test]
+    fn mutation_break_running_intersection_detected() {
+        // Path bags {0,1},{1,2},{2,3}: re-adding v0 to the last bag
+        // makes v0's bag set {0, 2}, which is disconnected.
+        let (h, mut ghd) = chain_ghd(3);
+        let v0 = ghd.td.bags[0][0];
+        ghd.td.bags[2].push(v0);
+        ghd.td.bags[2].sort_unstable();
+        // Keep the λ-cover covering the enlarged bag so the *first*
+        // failing invariant is running intersection.
+        ghd.covers[2] = vec![EdgeId(0), EdgeId(2)];
+        assert_eq!(
+            verify_ghd(&h, &ghd).unwrap_err(),
+            VerifyError::RunningIntersection { vertex: v0.0 }
+        );
+    }
+
+    #[test]
+    fn mutation_shrink_cover_detected() {
+        let h = hypercycle(4, 2);
+        let td = TreeDecomposition::trivial(&h);
+        let ghd = Ghd::from_td_exact(&h, td);
+        verify_ghd(&h, &ghd).unwrap();
+        let mut broken = ghd.clone();
+        broken.covers[0].pop();
+        assert!(matches!(
+            verify_ghd(&h, &broken).unwrap_err(),
+            VerifyError::BagNotCovered { bag: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn mutation_lie_about_width_detected() {
+        let h = hypercycle(4, 2);
+        let ghd = Ghd::from_td_exact(&h, TreeDecomposition::trivial(&h));
+        let actual = ghd.width();
+        assert!(actual >= 2);
+        assert_eq!(
+            verify_ghd_width(&h, &ghd, actual - 1).unwrap_err(),
+            VerifyError::WidthExceeded {
+                claimed: actual - 1,
+                actual
+            }
+        );
+    }
+
+    #[test]
+    fn referential_breakage_detected() {
+        let (h, ghd) = chain_ghd(3);
+        let mut unknown_vertex = ghd.clone();
+        unknown_vertex.td.bags[0].push(VertexId(99));
+        assert!(matches!(
+            verify_ghd(&h, &unknown_vertex).unwrap_err(),
+            VerifyError::UnknownVertex { bag: 0, vertex: 99 }
+        ));
+        let mut unknown_edge = ghd.clone();
+        unknown_edge.covers[1] = vec![EdgeId(77)];
+        assert!(matches!(
+            verify_ghd(&h, &unknown_edge).unwrap_err(),
+            VerifyError::UnknownEdge { bag: 1, edge: 77 }
+        ));
+        let mut missing_cover = ghd;
+        missing_cover.covers.pop();
+        assert!(matches!(
+            verify_ghd(&h, &missing_cover).unwrap_err(),
+            VerifyError::CoverCountMismatch { bags: 3, covers: 2 }
+        ));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = VerifyError::WidthExceeded {
+            claimed: 2,
+            actual: 3,
+        };
+        assert!(e.to_string().contains("claims width 2"), "{e}");
+        let e = VerifyError::StrategyMismatch {
+            strategy: "jigsaw-reduce".into(),
+            reason: "degree 3 > 2".into(),
+        };
+        assert!(e.to_string().contains("jigsaw-reduce"), "{e}");
+    }
+}

@@ -1,0 +1,288 @@
+//! Property-based tests for the GHD structural verifier.
+//!
+//! Two directions, per the verifier's contract:
+//!
+//! 1. **Soundness on valid inputs**: every GHD the library constructs
+//!    for a random degree-bounded hypergraph passes [`verify_ghd`] and
+//!    [`verify_ghd_width`] at its true width.
+//! 2. **Mutation rejection**: five classes of targeted corruption —
+//!    dropping a bag variable, disconnecting the tree, breaking the
+//!    running-intersection property, shrinking a `λ`-cover, and lying
+//!    about the width — are each rejected with the matching
+//!    [`VerifyError`] variant. A verifier that accepts any of these
+//!    would let a planner bug produce silently wrong answers.
+//!
+//! The vendored `proptest!` macro expands recursively over body tokens,
+//! so each property's logic lives in a plain helper returning
+//! `Result<(), String>` (an error describes the violated expectation)
+//! and the macro bodies stay one-liners.
+
+use cqd2_decomp::verify::{verify_ghd, verify_ghd_width, VerifyError};
+use cqd2_decomp::widths::ghw_decomposition;
+use cqd2_decomp::Ghd;
+use cqd2_hypergraph::generators::random_degree_bounded;
+use cqd2_hypergraph::{EdgeId, Hypergraph, VertexId};
+use proptest::prelude::*;
+
+/// A random small degree-≤-`max_degree` hypergraph and its GHD.
+fn decomposed(m: usize, max_degree: usize, seed: u64) -> Option<(Hypergraph, Ghd)> {
+    let h = random_degree_bounded(m, 3, max_degree, 0.6, seed);
+    if h.num_vertices() == 0 {
+        return None;
+    }
+    let ghd = ghw_decomposition(&h)?;
+    Some((h, ghd))
+}
+
+/// Bags of `ghd` that fully contain hypergraph edge `e` (by index).
+fn bags_containing_edge(h: &Hypergraph, ghd: &Ghd, e: usize) -> Vec<usize> {
+    let edge = h.edge(EdgeId(e as u32));
+    ghd.td
+        .bags
+        .iter()
+        .enumerate()
+        .filter(|(_, bag)| edge.iter().all(|v| bag.contains(v)))
+        .map(|(u, _)| u)
+        .collect()
+}
+
+/// Bags of `ghd` containing vertex `v`.
+fn bags_containing_vertex(ghd: &Ghd, v: VertexId) -> Vec<usize> {
+    ghd.td
+        .bags
+        .iter()
+        .enumerate()
+        .filter(|(_, bag)| bag.contains(&v))
+        .map(|(u, _)| u)
+        .collect()
+}
+
+/// Direction 1: library-built GHDs verify clean, at their width (and at
+/// any slacker claimed width — the claim is an upper bound).
+fn check_constructed_verifies(seed: u64, m: usize, deg: usize) -> Result<(), String> {
+    let Some((h, ghd)) = decomposed(m, deg, seed) else {
+        return Ok(());
+    };
+    verify_ghd(&h, &ghd).map_err(|e| format!("valid GHD rejected: {e}"))?;
+    verify_ghd_width(&h, &ghd, ghd.width()).map_err(|e| format!("true width rejected: {e}"))?;
+    verify_ghd_width(&h, &ghd, ghd.width() + 1).map_err(|e| format!("slack width rejected: {e}"))
+}
+
+/// Mutation class 1: drop a variable from the only bag containing one
+/// of its edges — the edge (or a sibling) loses its home bag.
+fn check_dropped_bag_variable(seed: u64, m: usize) -> Result<(), String> {
+    let Some((h, ghd)) = decomposed(m, 2, seed) else {
+        return Ok(());
+    };
+    for e in 0..h.num_edges() {
+        let [only] = bags_containing_edge(&h, &ghd, e).as_slice()[..] else {
+            continue;
+        };
+        let victim = h.edge(EdgeId(e as u32))[0];
+        let mut bad = ghd.clone();
+        bad.td.bags[only].retain(|v| *v != victim);
+        return match verify_ghd(&h, &bad) {
+            Err(VerifyError::EdgeNotCovered { .. }) => Ok(()),
+            other => Err(format!(
+                "dropping v{} from bag {only} gave {other:?}",
+                victim.0
+            )),
+        };
+    }
+    Ok(()) // no uniquely-placed edge in this draw
+}
+
+/// Mutation class 2: delete a tree edge — the bag graph stops being a
+/// connected tree.
+fn check_disconnected_tree(seed: u64, m: usize) -> Result<(), String> {
+    let Some((h, ghd)) = decomposed(m, 2, seed) else {
+        return Ok(());
+    };
+    if ghd.td.tree.is_empty() {
+        return Ok(());
+    }
+    let mut bad = ghd.clone();
+    bad.td.tree.pop();
+    let n = bad.td.bags.len();
+    let expect = VerifyError::NotATree {
+        bags: n,
+        edges: n - 2,
+    };
+    match verify_ghd(&h, &bad) {
+        Err(e) if e == expect => Ok(()),
+        other => Err(format!("expected {expect:?}, got {other:?}")),
+    }
+}
+
+/// Mutation class 3: copy a vertex into a bag that neither holds it nor
+/// touches its subtree — running intersection breaks for that vertex.
+fn check_broken_running_intersection(seed: u64, m: usize) -> Result<(), String> {
+    let Some((h, ghd)) = decomposed(m, 2, seed) else {
+        return Ok(());
+    };
+    let n = ghd.td.bags.len();
+    if n < 3 {
+        return Ok(());
+    }
+    let mut adj = vec![Vec::new(); n];
+    for &(a, b) in &ghd.td.tree {
+        adj[a].push(b);
+        adj[b].push(a);
+    }
+    for v in (0..h.num_vertices() as u32).map(VertexId) {
+        let home = bags_containing_vertex(&ghd, v);
+        if home.is_empty() {
+            continue;
+        }
+        let stranded =
+            (0..n).find(|u| !home.contains(u) && !adj[*u].iter().any(|w| home.contains(w)));
+        let Some(u) = stranded else { continue };
+        let mut bad = ghd.clone();
+        bad.td.bags[u].push(v);
+        bad.td.bags[u].sort_unstable();
+        let expect = VerifyError::RunningIntersection { vertex: v.0 };
+        return match verify_ghd(&h, &bad) {
+            Err(e) if e == expect => Ok(()),
+            other => Err(format!("expected {expect:?}, got {other:?}")),
+        };
+    }
+    Ok(()) // tree too tight to strand anything in this draw
+}
+
+/// Mutation class 4: empty a bag's λ-cover — the bag's variables go
+/// uncovered.
+fn check_shrunk_lambda_cover(seed: u64, m: usize) -> Result<(), String> {
+    let Some((h, ghd)) = decomposed(m, 2, seed) else {
+        return Ok(());
+    };
+    for u in 0..ghd.td.bags.len() {
+        if ghd.td.bags[u].is_empty() || ghd.covers[u].is_empty() {
+            continue;
+        }
+        let mut bad = ghd.clone();
+        bad.covers[u].clear();
+        return match verify_ghd(&h, &bad) {
+            Err(VerifyError::BagNotCovered { bag, .. }) if bag == u => Ok(()),
+            other => Err(format!("emptying λ of bag {u} gave {other:?}")),
+        };
+    }
+    Ok(())
+}
+
+/// Mutation class 5: claim width - 1 — rejected with both numbers.
+fn check_width_lie(seed: u64, m: usize, deg: usize) -> Result<(), String> {
+    let Some((h, ghd)) = decomposed(m, deg, seed) else {
+        return Ok(());
+    };
+    let w = ghd.width();
+    if w == 0 {
+        return Ok(());
+    }
+    let expect = VerifyError::WidthExceeded {
+        claimed: w - 1,
+        actual: w,
+    };
+    match verify_ghd_width(&h, &ghd, w - 1) {
+        Err(e) if e == expect => Ok(()),
+        other => Err(format!("expected {expect:?}, got {other:?}")),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn constructed_ghds_verify(seed in 0u64..300, m in 1usize..8, deg in 1usize..4) {
+        prop_assert_eq!(check_constructed_verifies(seed, m, deg), Ok(()));
+    }
+
+    #[test]
+    fn mutation_dropped_bag_variable_rejected(seed in 0u64..300, m in 1usize..8) {
+        prop_assert_eq!(check_dropped_bag_variable(seed, m), Ok(()));
+    }
+
+    #[test]
+    fn mutation_disconnected_tree_rejected(seed in 0u64..300, m in 2usize..8) {
+        prop_assert_eq!(check_disconnected_tree(seed, m), Ok(()));
+    }
+
+    #[test]
+    fn mutation_broken_running_intersection_rejected(seed in 0u64..300, m in 2usize..8) {
+        prop_assert_eq!(check_broken_running_intersection(seed, m), Ok(()));
+    }
+
+    #[test]
+    fn mutation_shrunk_lambda_cover_rejected(seed in 0u64..300, m in 1usize..8) {
+        prop_assert_eq!(check_shrunk_lambda_cover(seed, m), Ok(()));
+    }
+
+    #[test]
+    fn mutation_width_lie_rejected(seed in 0u64..300, m in 1usize..8, deg in 1usize..4) {
+        prop_assert_eq!(check_width_lie(seed, m, deg), Ok(()));
+    }
+}
+
+/// Deterministic spot checks so each mutation class is exercised even
+/// if a proptest draw happens to skip its precondition.
+#[test]
+fn mutation_classes_on_fixed_chain() {
+    use cqd2_hypergraph::generators::hyperchain;
+    let h = hyperchain(4, 3);
+    let ghd = ghw_decomposition(&h).expect("chain decomposes");
+    assert_eq!(verify_ghd(&h, &ghd), Ok(()));
+    let n = ghd.td.bags.len();
+    assert!(n >= 2, "chain of 4 edges has multiple bags");
+
+    // Disconnect.
+    let mut bad = ghd.clone();
+    bad.td.tree.pop();
+    assert!(matches!(
+        verify_ghd(&h, &bad),
+        Err(VerifyError::NotATree { .. })
+    ));
+
+    // Drop a variable used by a uniquely-placed edge.
+    for e in 0..h.num_edges() {
+        let containing = bags_containing_edge(&h, &ghd, e);
+        if let [only] = containing.as_slice() {
+            let victim = h.edge(EdgeId(e as u32))[0];
+            let mut bad = ghd.clone();
+            bad.td.bags[*only].retain(|v| *v != victim);
+            assert!(matches!(
+                verify_ghd(&h, &bad),
+                Err(VerifyError::EdgeNotCovered { .. })
+            ));
+            break;
+        }
+    }
+
+    // Shrink a cover.
+    let u = (0..n)
+        .find(|&u| !ghd.td.bags[u].is_empty() && !ghd.covers[u].is_empty())
+        .expect("some covered bag");
+    let mut bad = ghd.clone();
+    bad.covers[u].clear();
+    assert!(matches!(
+        verify_ghd(&h, &bad),
+        Err(VerifyError::BagNotCovered { bag, .. }) if bag == u
+    ));
+
+    // Lie about width.
+    let w = ghd.width();
+    assert!(w >= 1);
+    assert_eq!(
+        verify_ghd_width(&h, &ghd, w - 1),
+        Err(VerifyError::WidthExceeded {
+            claimed: w - 1,
+            actual: w
+        })
+    );
+
+    // Referential breakage is caught before anything walks ids.
+    let mut bad = ghd.clone();
+    bad.covers.pop();
+    assert!(matches!(
+        verify_ghd(&h, &bad),
+        Err(VerifyError::CoverCountMismatch { .. })
+    ));
+}

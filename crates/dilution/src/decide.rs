@@ -12,6 +12,7 @@
 //!   experiment V4).
 
 use crate::duality::{dilution_from_minor_map, dual_as_graph};
+use crate::error::DilutionError;
 use crate::ops::{DilutionOp, DilutionSequence};
 use crate::reduce_seq::reduction_sequence;
 use cqd2_hypergraph::{are_isomorphic, reduce, Graph, Hypergraph, VertexId};
@@ -144,17 +145,23 @@ pub fn decide_dilution_to_graph_dual(
     h: &Hypergraph,
     g: &Graph,
     minor_budget: u64,
-) -> Result<DilutionSearch, String> {
+) -> Result<DilutionSearch, DilutionError> {
     if h.max_degree() > 2 {
-        return Err("duality route requires a degree-2 host".into());
+        return Err(DilutionError::Unsupported(
+            "duality route requires a degree-2 host",
+        ));
     }
     if !g.is_connected() || g.num_edges() == 0 {
-        return Err("pattern must be connected with ≥ 1 edge".into());
+        return Err(DilutionError::Unsupported(
+            "pattern must be connected with ≥ 1 edge",
+        ));
     }
     let prefix = reduction_sequence(h)?;
-    let reduced = prefix.apply(h).map_err(|e| e.to_string())?;
+    let reduced = prefix.apply(h)?;
     if !reduce::is_reduced(&reduced) {
-        return Err("reduction did not produce a reduced hypergraph".into());
+        return Err(DilutionError::Construction(
+            "reduction did not produce a reduced hypergraph".to_string(),
+        ));
     }
     let hd = dual_as_graph(&reduced);
     // Iterative deepening on the branch-set cap: small models are found
@@ -191,13 +198,15 @@ pub fn verify_dilution(
     from: &Hypergraph,
     target: &Hypergraph,
     seq: &DilutionSequence,
-) -> Result<(), String> {
-    let run = seq.run(from).map_err(|e| e.to_string())?;
+) -> Result<(), DilutionError> {
+    let run = seq.run(from)?;
     for w in run.hypergraphs.windows(2) {
         crate::ops::check_step_invariants(&w[0], &w[1])?;
     }
     if !are_isomorphic(run.result(), target) {
-        return Err("sequence result is not isomorphic to the target".into());
+        return Err(DilutionError::Construction(
+            "sequence result is not isomorphic to the target".to_string(),
+        ));
     }
     Ok(())
 }

@@ -18,6 +18,7 @@
 //! (dilution checking ⟷ minor checking) and the structural half of
 //! Theorem 4.7.
 
+use crate::error::DilutionError;
 use crate::ops::{DilutionOp, DilutionRun, DilutionSequence};
 use cqd2_hypergraph::{
     dual, find_isomorphism, reduce::is_reduced, EdgeId, Graph, Hypergraph, VertexId,
@@ -54,22 +55,28 @@ pub fn dilution_from_minor_map(
     h: &Hypergraph,
     g: &Graph,
     mu: &MinorMap,
-) -> Result<(DilutionSequence, DilutionRun), String> {
+) -> Result<(DilutionSequence, DilutionRun), DilutionError> {
     if h.max_degree() > 2 {
-        return Err("host hypergraph must have degree ≤ 2".into());
+        return Err(DilutionError::Unsupported(
+            "host hypergraph must have degree ≤ 2",
+        ));
     }
     if !is_reduced(h) {
-        return Err("host hypergraph must be reduced (apply Lemma 3.6 first)".into());
+        return Err(DilutionError::Unsupported(
+            "host hypergraph must be reduced (apply Lemma 3.6 first)",
+        ));
     }
     if !g.is_connected() || g.num_edges() == 0 {
-        return Err("pattern graph must be connected with ≥ 1 edge".into());
+        return Err(DilutionError::Unsupported(
+            "pattern graph must be connected with ≥ 1 edge",
+        ));
     }
     let hd_graph = dual_as_graph(h);
     let mut mu = mu.clone();
-    mu.validate(g, &hd_graph).map_err(|e| e.to_string())?;
+    mu.validate(g, &hd_graph)?;
     if !mu.is_onto(&hd_graph) {
         mu.make_onto(&hd_graph);
-        mu.validate(g, &hd_graph).map_err(|e| e.to_string())?;
+        mu.validate(g, &hd_graph)?;
     }
 
     // δ(u): the branch set of u, as edges of h.
@@ -103,7 +110,11 @@ pub fn dilution_from_minor_map(
                 (a == Some(u as usize) && b == Some(v as usize))
                     || (a == Some(v as usize) && b == Some(u as usize))
             })
-            .ok_or_else(|| format!("no free connector vertex for pattern edge ({u},{v})"))?;
+            .ok_or_else(|| {
+                DilutionError::Construction(format!(
+                    "no free connector vertex for pattern edge ({u},{v})"
+                ))
+            })?;
         in_c[c.idx()] = true;
         connectors.push(c);
     }
@@ -140,7 +151,7 @@ pub fn dilution_from_minor_map(
             continue;
         }
         let op = DilutionOp::MergeOnVertex(cur_w);
-        let (next, t) = op.apply(&cur).map_err(|e| e.to_string())?;
+        let (next, t) = op.apply(&cur)?;
         seq.ops.push(op);
         cum = cum.then(&t);
         hypergraphs.push(next);
@@ -157,7 +168,7 @@ pub fn dilution_from_minor_map(
         };
         let cur = hypergraphs.last().expect("nonempty").clone();
         let op = DilutionOp::DeleteVertex(cur_w);
-        let (next, t) = op.apply(&cur).map_err(|e| e.to_string())?;
+        let (next, t) = op.apply(&cur)?;
         seq.ops.push(op);
         cum = cum.then(&t);
         hypergraphs.push(next);
@@ -168,9 +179,9 @@ pub fn dilution_from_minor_map(
     let result = hypergraphs.last().expect("nonempty");
     let (gd, _) = dual(&g.to_hypergraph());
     if !cqd2_hypergraph::are_isomorphic(result, &gd) {
-        return Err(format!(
+        return Err(DilutionError::Construction(format!(
             "construction did not reach g^d: got {result:?}, expected {gd:?}"
-        ));
+        )));
     }
     Ok((
         seq,
@@ -192,12 +203,16 @@ pub fn minor_map_from_dilution(
     h: &Hypergraph,
     g: &Graph,
     seq: &DilutionSequence,
-) -> Result<MinorMap, String> {
+) -> Result<MinorMap, DilutionError> {
     if h.max_degree() > 2 {
-        return Err("host hypergraph must have degree ≤ 2".into());
+        return Err(DilutionError::Unsupported(
+            "host hypergraph must have degree ≤ 2",
+        ));
     }
     if g.num_vertices() == 2 && g.num_edges() == 1 {
-        return Err("K2 has duplicate vertex types in the dual; unsupported".into());
+        return Err(DilutionError::Unsupported(
+            "K2 has duplicate vertex types in the dual; unsupported",
+        ));
     }
     // Replay the sequence, maintaining labels: for each current edge, the
     // set of original edges folded into it.
@@ -211,13 +226,15 @@ pub fn minor_map_from_dilution(
                     let found = cur
                         .edge_ids()
                         .find(|&e| e != f && cur.edge_proper_subset(f, e));
-                    found.ok_or("subedge deletion without superset")?
+                    found.ok_or_else(|| {
+                        DilutionError::Construction("subedge deletion without superset".to_string())
+                    })?
                 };
                 Some((f, sup))
             }
             _ => None,
         };
-        let (next, trace) = op.apply(&cur).map_err(|e| e.to_string())?;
+        let (next, trace) = op.apply(&cur)?;
         let mut new_labels: Vec<BTreeSet<EdgeId>> = vec![BTreeSet::new(); next.num_edges()];
         for (old, lbl) in labels.iter().enumerate() {
             if let Some(new) = trace.edge_map[old] {
@@ -225,7 +242,8 @@ pub fn minor_map_from_dilution(
             }
         }
         if let Some((f, sup)) = absorb {
-            let target = trace.edge_map[sup.idx()].ok_or("superset vanished")?;
+            let target = trace.edge_map[sup.idx()]
+                .ok_or_else(|| DilutionError::Construction("superset vanished".to_string()))?;
             let lbl = labels[f.idx()].clone();
             new_labels[target.idx()].extend(lbl);
         }
@@ -234,22 +252,28 @@ pub fn minor_map_from_dilution(
     }
     // Align the final hypergraph with g^d.
     let (gd, dm) = dual(&g.to_hypergraph());
-    let iso = find_isomorphism(&cur, &gd).ok_or("dilution result is not isomorphic to g^d")?;
+    let iso = find_isomorphism(&cur, &gd).ok_or_else(|| {
+        DilutionError::Construction("dilution result is not isomorphic to g^d".to_string())
+    })?;
     // For every vertex v of g, find the result edge mapping to v's dual
     // edge, and take its label as the branch set.
     let mut branch_sets: Vec<Vec<u32>> = vec![Vec::new(); g.num_vertices()];
     for (v, branch) in branch_sets.iter_mut().enumerate() {
-        let dual_edge = dm.vertex_to_edge[v].ok_or("pattern has an isolated vertex")?;
+        let dual_edge = dm.vertex_to_edge[v].ok_or_else(|| {
+            DilutionError::Construction("pattern has an isolated vertex".to_string())
+        })?;
         let result_edge = iso
             .edge_map
             .iter()
             .position(|&e| e == dual_edge)
-            .ok_or("isomorphism misses a dual edge")?;
+            .ok_or_else(|| {
+                DilutionError::Construction("isomorphism misses a dual edge".to_string())
+            })?;
         *branch = labels[result_edge].iter().map(|e| e.0).collect();
     }
     let mm = MinorMap { branch_sets };
     let hd_graph = dual_as_graph(h);
-    mm.validate(g, &hd_graph).map_err(|e| e.to_string())?;
+    mm.validate(g, &hd_graph)?;
     Ok(mm)
 }
 

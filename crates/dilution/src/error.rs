@@ -1,0 +1,80 @@
+//! Typed errors for the dilution machinery.
+//!
+//! These used to be `Result<_, String>` surfaces; the `cqd2-lint`
+//! `stringly-error` rule now bans that shape in public signatures, so
+//! every fallible public function in this crate reports a
+//! [`DilutionError`] — matchable, chainable, and still carrying the
+//! human-readable detail the strings used to.
+
+use cqd2_hypergraph::HgError;
+use cqd2_minors::minor_map::MinorMapError;
+
+/// What can go wrong constructing, replaying, or verifying dilutions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DilutionError {
+    /// An input violated a stated precondition (wrong degree, reducible
+    /// host, disconnected pattern, the `K₂` dual corner case, …).
+    Unsupported(&'static str),
+    /// A dilution operation failed to apply to the current hypergraph.
+    Op(HgError),
+    /// The supplied minor map does not model the pattern in the host.
+    MinorMap(MinorMapError),
+    /// A Lemma 3.2 invariant broke across a step (degree increased, or
+    /// `|V| + |E|` failed to strictly decrease).
+    Invariant(String),
+    /// A construction or its final cross-check failed (no connector
+    /// vertex for a pattern edge, sequence result not isomorphic to the
+    /// target, dilution-reduction disagreeing with direct reduction, …).
+    Construction(String),
+}
+
+impl std::fmt::Display for DilutionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DilutionError::Unsupported(what) => write!(f, "unsupported input: {what}"),
+            DilutionError::Op(e) => write!(f, "dilution operation failed: {e}"),
+            DilutionError::MinorMap(e) => write!(f, "minor map invalid: {e}"),
+            DilutionError::Invariant(what) => write!(f, "Lemma 3.2 invariant violated: {what}"),
+            DilutionError::Construction(what) => write!(f, "construction failed: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DilutionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DilutionError::Op(e) => Some(e),
+            DilutionError::MinorMap(e) => Some(e),
+            DilutionError::Unsupported(_)
+            | DilutionError::Invariant(_)
+            | DilutionError::Construction(_) => None,
+        }
+    }
+}
+
+impl From<HgError> for DilutionError {
+    fn from(e: HgError) -> DilutionError {
+        DilutionError::Op(e)
+    }
+}
+
+impl From<MinorMapError> for DilutionError {
+    fn from(e: MinorMapError) -> DilutionError {
+        DilutionError::MinorMap(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn display_and_source() {
+        let err = DilutionError::from(HgError::VertexOutOfRange(7));
+        assert!(err.to_string().contains("v7"), "{err}");
+        let dyn_err: &dyn std::error::Error = &err;
+        assert!(dyn_err.source().is_some());
+        assert!(DilutionError::Unsupported("degree > 2").source().is_none());
+    }
+}

@@ -31,10 +31,12 @@
 pub mod adler;
 pub mod decide;
 pub mod duality;
+pub mod error;
 pub mod ops;
 pub mod reduce_seq;
 
 pub use decide::{decide_dilution, DilutionSearch};
 pub use duality::{dilution_from_minor_map, minor_map_from_dilution};
+pub use error::DilutionError;
 pub use ops::{DilutionOp, DilutionSequence};
 pub use reduce_seq::reduction_sequence;

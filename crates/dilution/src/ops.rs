@@ -124,20 +124,26 @@ impl DilutionSequence {
 /// degree non-increasing and `|V| + |E|` strictly decreasing.
 /// (The third invariant, `ghw` non-increasing, is exercised in tests via
 /// the exact solver — it is too expensive for a runtime check.)
-pub fn check_step_invariants(before: &Hypergraph, after: &Hypergraph) -> Result<(), String> {
+pub fn check_step_invariants(
+    before: &Hypergraph,
+    after: &Hypergraph,
+) -> Result<(), crate::error::DilutionError> {
+    use crate::error::DilutionError;
     if after.max_degree() > before.max_degree() {
-        return Err(format!(
+        return Err(DilutionError::Invariant(format!(
             "degree increased: {} -> {}",
             before.max_degree(),
             after.max_degree()
-        ));
+        )));
     }
     let (b, a) = (
         before.num_vertices() + before.num_edges(),
         after.num_vertices() + after.num_edges(),
     );
     if a >= b {
-        return Err(format!("|V|+|E| did not strictly decrease: {b} -> {a}"));
+        return Err(DilutionError::Invariant(format!(
+            "|V|+|E| did not strictly decrease: {b} -> {a}"
+        )));
     }
     Ok(())
 }

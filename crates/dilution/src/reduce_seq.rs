@@ -10,20 +10,20 @@
 //! hypergraph is therefore not a dilution. [`reduction_sequence`] reports
 //! this explicitly.
 
+use crate::error::DilutionError;
 use crate::ops::{DilutionOp, DilutionSequence};
 use cqd2_hypergraph::{reduce, EdgeId, Hypergraph, VertexId};
 
 /// Build a dilution sequence from `h` to (an isomorphic copy of) its
 /// reduced hypergraph. Returns an error description in the degenerate
 /// empty-edge-only corner case.
-pub fn reduction_sequence(h: &Hypergraph) -> Result<DilutionSequence, String> {
+pub fn reduction_sequence(h: &Hypergraph) -> Result<DilutionSequence, DilutionError> {
     let has_nonempty = h.edge_ids().any(|e| !h.edge(e).is_empty());
     let has_empty = h.edge_ids().any(|e| h.edge(e).is_empty());
     if has_empty && !has_nonempty {
-        return Err(
-            "hypergraph's only edge(s) are empty: the reduced hypergraph is not a dilution"
-                .to_string(),
-        );
+        return Err(DilutionError::Unsupported(
+            "hypergraph's only edge(s) are empty: the reduced hypergraph is not a dilution",
+        ));
     }
     let mut ops = Vec::new();
     let mut cur = h.clone();
@@ -35,7 +35,7 @@ pub fn reduction_sequence(h: &Hypergraph) -> Result<DilutionSequence, String> {
         match victim {
             Some(v) => {
                 let op = DilutionOp::DeleteVertex(v);
-                let (next, _) = op.apply(&cur).map_err(|e| e.to_string())?;
+                let (next, _) = op.apply(&cur)?;
                 ops.push(op);
                 cur = next;
             }
@@ -48,7 +48,7 @@ pub fn reduction_sequence(h: &Hypergraph) -> Result<DilutionSequence, String> {
         let op = DilutionOp::DeleteSubedge(e);
         // Safe: a nonempty edge exists (deleting vertices of a duplicate
         // type never empties every edge: the representative remains).
-        let (next, _) = op.apply(&cur).map_err(|e| e.to_string())?;
+        let (next, _) = op.apply(&cur)?;
         ops.push(op);
         cur = next;
     }
@@ -75,12 +75,14 @@ fn find_redundant_vertex(h: &Hypergraph) -> Option<VertexId> {
 
 /// Convenience: apply [`reduction_sequence`] and return the final
 /// hypergraph, checking it is isomorphic to [`reduce::reduce`]'s output.
-pub fn reduce_via_dilution(h: &Hypergraph) -> Result<Hypergraph, String> {
+pub fn reduce_via_dilution(h: &Hypergraph) -> Result<Hypergraph, DilutionError> {
     let seq = reduction_sequence(h)?;
-    let result = seq.apply(h).map_err(|e| e.to_string())?;
+    let result = seq.apply(h)?;
     let (expected, _) = reduce::reduce(h);
     if !cqd2_hypergraph::are_isomorphic(&result, &expected) {
-        return Err("dilution-reduction disagrees with direct reduction".to_string());
+        return Err(DilutionError::Construction(
+            "dilution-reduction disagrees with direct reduction".to_string(),
+        ));
     }
     Ok(result)
 }

@@ -53,6 +53,7 @@ use std::collections::BTreeMap;
 use std::sync::{Arc, RwLock};
 
 use cqd2_cq::stats::DatabaseStats;
+use cqd2_cq::sync::{read_or_poison, write_or_poison};
 use cqd2_cq::Database;
 
 use crate::error::EngineError;
@@ -152,7 +153,7 @@ impl Catalog {
         // Statistics are computed outside the lock; the write lock is
         // held only for the map insert.
         let snapshot = Arc::new(DatabaseSnapshot::new(name.clone(), 0, db));
-        let mut entries = self.entries.write().expect("catalog poisoned");
+        let mut entries = write_or_poison(&self.entries);
         if entries.contains_key(&name) {
             return Err(EngineError::DuplicateDatabase(name));
         }
@@ -170,7 +171,7 @@ impl Catalog {
         // are blocked only for the pointer swap. The epoch is re-read
         // under the lock, so concurrent swaps serialize cleanly.
         let stats_ready = DatabaseSnapshot::new(name, 0, db);
-        let mut entries = self.entries.write().expect("catalog poisoned");
+        let mut entries = write_or_poison(&self.entries);
         let Some(current) = entries.get(name) else {
             return Err(EngineError::UnknownDatabase(name.to_string()));
         };
@@ -201,11 +202,7 @@ impl Catalog {
 
     /// The current snapshot published under `name`, if any.
     pub fn get(&self, name: &str) -> Option<Arc<DatabaseSnapshot>> {
-        self.entries
-            .read()
-            .expect("catalog poisoned")
-            .get(name)
-            .cloned()
+        read_or_poison(&self.entries).get(name).cloned()
     }
 
     /// Like [`Catalog::get`], but unknown names are a typed error.
@@ -216,32 +213,22 @@ impl Catalog {
 
     /// All published names, sorted.
     pub fn names(&self) -> Vec<String> {
-        self.entries
-            .read()
-            .expect("catalog poisoned")
-            .keys()
-            .cloned()
-            .collect()
+        read_or_poison(&self.entries).keys().cloned().collect()
     }
 
     /// The current snapshot of every published name, sorted by name.
     pub fn snapshots(&self) -> Vec<Arc<DatabaseSnapshot>> {
-        self.entries
-            .read()
-            .expect("catalog poisoned")
-            .values()
-            .cloned()
-            .collect()
+        read_or_poison(&self.entries).values().cloned().collect()
     }
 
     /// Number of published names.
     pub fn len(&self) -> usize {
-        self.entries.read().expect("catalog poisoned").len()
+        read_or_poison(&self.entries).len()
     }
 
     /// Whether nothing is published.
     pub fn is_empty(&self) -> bool {
-        self.entries.read().expect("catalog poisoned").is_empty()
+        read_or_poison(&self.entries).is_empty()
     }
 }
 

@@ -42,6 +42,26 @@ pub struct EngineConfig {
     /// Worker threads for [`Engine::execute_batch`]; 0 means "use
     /// available parallelism".
     pub workers: usize,
+    /// Verify every derived plan against the paper's structural
+    /// invariants at prepare time (see [`crate::verify`]): a planner
+    /// bug then surfaces as a typed [`crate::EngineError::Verify`]
+    /// instead of a silently wrong answer. The check runs once per
+    /// prepared plan — never per run — so warm serving cost is
+    /// unchanged. Defaults to the `CQD2_STRICT_VERIFY` environment
+    /// variable (`1` / `true` enables).
+    pub strict_verify: bool,
+}
+
+impl EngineConfig {
+    /// Whether `CQD2_STRICT_VERIFY` asks for strict plan verification.
+    pub fn strict_verify_from_env() -> bool {
+        std::env::var("CQD2_STRICT_VERIFY")
+            .map(|v| {
+                let v = v.trim();
+                v == "1" || v.eq_ignore_ascii_case("true")
+            })
+            .unwrap_or(false)
+    }
 }
 
 impl Default for EngineConfig {
@@ -50,6 +70,7 @@ impl Default for EngineConfig {
             planner: PlannerConfig::default(),
             cache_capacity: 10_000,
             workers: 0,
+            strict_verify: EngineConfig::strict_verify_from_env(),
         }
     }
 }
@@ -276,7 +297,7 @@ impl Engine {
         &self,
         h: &cqd2_hypergraph::Hypergraph,
     ) -> (crate::planner::PlannedStructure, bool) {
-        let mut cache = self.inner.cache.lock().expect("plan cache poisoned");
+        let mut cache = cqd2_cq::sync::lock_or_poison(&self.inner.cache);
         if let Some(hit) = cache.lookup(h) {
             // Rebuild the analysis around the *translated* GHD.
             let mut structure = (*hit.structure).clone();
@@ -365,6 +386,7 @@ impl Engine {
     /// what keeps the one-shot shims copy-free.
     fn serve_on(&self, req: &Request<'_>, stats: &DatabaseStats) -> Response {
         let core = PreparedCore::build(self, req.query, req.db, stats)
+            // cqd2-lint: allow(panic-in-hot-path, reason = "infallible shim API: prepare on a query's own plan only fails on an engine bug; Session::prepare is the fallible surface")
             .expect("prepared plan is valid for its own query");
         let planning = core.planning;
         let preprocessing = core.preprocessing;
@@ -381,6 +403,7 @@ impl Engine {
             db,
             workload: Workload::Boolean,
         };
+        // cqd2-lint: allow(panic-in-hot-path, reason = "a Boolean request always yields Answer::Bool by construction")
         self.serve(&req).answer.as_bool().expect("boolean workload")
     }
 
@@ -391,6 +414,7 @@ impl Engine {
             db,
             workload: Workload::Count,
         };
+        // cqd2-lint: allow(panic-in-hot-path, reason = "a Count request always yields Answer::Count by construction")
         self.serve(&req).answer.as_count().expect("count workload")
     }
 
@@ -411,6 +435,7 @@ impl Engine {
         self.serve(&req)
             .answer
             .into_tuples()
+            // cqd2-lint: allow(panic-in-hot-path, reason = "an Enumerate request always yields Answer::Tuples by construction")
             .expect("enumerate workload")
     }
 
@@ -453,11 +478,13 @@ impl Engine {
 
     /// Plan-cache counters.
     pub fn cache_stats(&self) -> CacheStats {
-        self.inner
-            .cache
-            .lock()
-            .expect("plan cache poisoned")
-            .stats()
+        cqd2_cq::sync::lock_or_poison(&self.inner.cache).stats()
+    }
+
+    /// Whether this engine verifies plans at prepare time (see
+    /// [`EngineConfig::strict_verify`]).
+    pub fn strict_verify(&self) -> bool {
+        self.inner.config.strict_verify
     }
 
     fn effective_workers(&self) -> usize {

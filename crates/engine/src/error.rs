@@ -6,6 +6,7 @@
 //! the stringly-typed `Result<_, String>` the engine started with.
 
 use cqd2_cq::eval::EvalError;
+use cqd2_decomp::verify::VerifyError;
 
 use crate::textio::ParseError;
 
@@ -21,6 +22,12 @@ pub enum EngineError {
     Eval(EvalError),
     /// A workload file failed to parse (line-attributed).
     Parse(ParseError),
+    /// Strict plan verification ([`crate::EngineConfig::strict_verify`]
+    /// / `CQD2_STRICT_VERIFY=1`) rejected a derived plan: the named
+    /// structural invariant from the paper does not hold, so executing
+    /// the plan could produce wrong answers. Always an engine/planner
+    /// bug — the typed variant makes it loud and matchable.
+    Verify(VerifyError),
     /// A [`crate::Catalog`] lookup or [`crate::Catalog::swap`] named a
     /// database the catalog does not hold.
     UnknownDatabase(String),
@@ -40,6 +47,7 @@ impl std::fmt::Display for EngineError {
         match self {
             EngineError::Eval(e) => write!(f, "evaluation failed: {e}"),
             EngineError::Parse(e) => write!(f, "workload parse error: {e}"),
+            EngineError::Verify(e) => write!(f, "plan verification failed: {e}"),
             EngineError::UnknownDatabase(name) => {
                 write!(f, "no database `{name}` in the catalog")
             }
@@ -62,6 +70,7 @@ impl std::error::Error for EngineError {
         match self {
             EngineError::Eval(e) => Some(e),
             EngineError::Parse(e) => Some(e),
+            EngineError::Verify(e) => Some(e),
             EngineError::UnknownDatabase(_)
             | EngineError::DuplicateDatabase(_)
             | EngineError::SharedEngineInitialized => None,
@@ -78,6 +87,12 @@ impl From<EvalError> for EngineError {
 impl From<ParseError> for EngineError {
     fn from(e: ParseError) -> EngineError {
         EngineError::Parse(e)
+    }
+}
+
+impl From<VerifyError> for EngineError {
+    fn from(e: VerifyError) -> EngineError {
+        EngineError::Verify(e)
     }
 }
 

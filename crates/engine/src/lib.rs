@@ -85,6 +85,7 @@ pub mod planner;
 pub mod server;
 pub mod session;
 pub mod textio;
+pub mod verify;
 
 pub use cache::{CacheStats, CachedPlan, PlanCache};
 pub use catalog::{Catalog, DatabaseSnapshot};
@@ -100,3 +101,4 @@ pub use planner::{PlannedStructure, Planner, PlannerConfig};
 pub use server::{Server, ServerConfig, ServerError, ServerHandle, ServerStats};
 pub use session::{AnswerCursor, PreparedQuery, Session};
 pub use textio::ParseError;
+pub use verify::{verify_planned, VerifiedPlan, VerifyReport};

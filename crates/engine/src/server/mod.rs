@@ -73,6 +73,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use cqd2_cq::eval::with_sequential_bags;
+use cqd2_cq::sync::lock_or_poison;
 use cqd2_cq::ConjunctiveQuery;
 
 use crate::catalog::Catalog;
@@ -491,7 +492,7 @@ struct ConnWriter {
 
 impl ConnWriter {
     fn send(&self, frame_type: FrameType, payload: &[u8]) -> io::Result<()> {
-        let mut stream = self.stream.lock().expect("connection writer poisoned");
+        let mut stream = lock_or_poison(&self.stream);
         frame::write_frame(&mut *stream, frame_type, payload)
     }
 
@@ -594,6 +595,9 @@ impl<'e> ConnCtx<'e> {
 /// [`Server::run`] blocks the calling thread until shutdown.
 pub struct Server {
     listener: TcpListener,
+    /// Resolved once at [`Server::bind`] time, so handles never need a
+    /// fallible `local_addr` syscall after the fact.
+    addr: SocketAddr,
     config: ServerConfig,
     shutdown: Arc<AtomicBool>,
     /// Set by [`Server::run`] once the served names are known (the
@@ -654,8 +658,10 @@ impl Server {
     /// pick (see [`Server::local_addr`]).
     pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
         Ok(Server {
             listener,
+            addr,
             config,
             shutdown: Arc::new(AtomicBool::new(false)),
             metrics: Arc::new(OnceLock::new()),
@@ -664,17 +670,14 @@ impl Server {
 
     /// The bound listening address.
     pub fn local_addr(&self) -> io::Result<SocketAddr> {
-        self.listener.local_addr()
+        Ok(self.addr)
     }
 
     /// A shutdown handle for this server.
     pub fn handle(&self) -> ServerHandle {
         ServerHandle {
             shutdown: Arc::clone(&self.shutdown),
-            addr: self
-                .listener
-                .local_addr()
-                .expect("bound listener has an address"),
+            addr: self.addr,
             metrics: Arc::clone(&self.metrics),
         }
     }
@@ -692,6 +695,7 @@ impl Server {
     pub fn run(self, engine: &Engine, catalog: &Catalog) -> io::Result<ServerStats> {
         let Server {
             listener,
+            addr: _,
             config,
             shutdown,
             metrics: metrics_slot,
@@ -787,7 +791,7 @@ fn execute_job(job: Job<'_>, metrics: &ServerMetrics, sequential_bags: bool) {
     let mut results = 0u64;
     for (index, item) in job.items.iter().enumerate() {
         let cached = {
-            let mut cache = job.prepared.lock().expect("prepared cache poisoned");
+            let mut cache = lock_or_poison(job.prepared);
             cache.get(&item.key, epoch)
         };
         let (prepared, prepared_hit) = match cached {
@@ -804,10 +808,7 @@ fn execute_job(job: Job<'_>, metrics: &ServerMetrics, sequential_bags: bool) {
                 match job.session.prepare(&item.query) {
                     Ok(p) => {
                         let p = Arc::new(p);
-                        job.prepared
-                            .lock()
-                            .expect("prepared cache poisoned")
-                            .insert(item.key.clone(), Arc::clone(&p));
+                        lock_or_poison(job.prepared).insert(item.key.clone(), Arc::clone(&p));
                         (p, false)
                     }
                     Err(e) => {
@@ -1256,10 +1257,7 @@ fn handle_reload(
     };
     // Eagerly release the old epoch's pinned bag trees; lookups would
     // drop them lazily anyway, but cold entries could linger.
-    ctx.caches[db_index]
-        .lock()
-        .expect("prepared cache poisoned")
-        .purge_stale(snapshot.epoch());
+    lock_or_poison(&ctx.caches[db_index]).purge_stale(snapshot.epoch());
     ctx.metrics.totals.reloads.inc();
     let _ = writer.send_json(
         FrameType::Reloaded,

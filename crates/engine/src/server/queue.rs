@@ -13,6 +13,8 @@
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 
+use cqd2_cq::sync::{lock_or_poison, wait_or_poison};
+
 /// Why a push was refused. The job comes back to the caller in both
 /// cases (so it can be answered with a typed error frame).
 #[derive(Debug)]
@@ -56,7 +58,7 @@ impl<T> JobQueue<T> {
 
     /// Enqueue without blocking; a full or closed queue returns the job.
     pub fn try_push(&self, job: T) -> Result<(), PushError<T>> {
-        let mut st = self.state.lock().expect("job queue poisoned");
+        let mut st = lock_or_poison(&self.state);
         if st.closed {
             return Err(PushError::Closed(job));
         }
@@ -73,7 +75,7 @@ impl<T> JobQueue<T> {
     /// Block until a job is available (`Some`) or the queue is closed
     /// and fully drained (`None`).
     pub fn pop(&self) -> Option<T> {
-        let mut st = self.state.lock().expect("job queue poisoned");
+        let mut st = lock_or_poison(&self.state);
         loop {
             if let Some(job) = st.jobs.pop_front() {
                 return Some(job);
@@ -81,20 +83,20 @@ impl<T> JobQueue<T> {
             if st.closed {
                 return None;
             }
-            st = self.ready.wait(st).expect("job queue poisoned");
+            st = wait_or_poison(&self.ready, st);
         }
     }
 
     /// Close the queue: pending jobs still drain through [`JobQueue::pop`],
     /// new pushes fail, and blocked workers wake up.
     pub fn close(&self) {
-        self.state.lock().expect("job queue poisoned").closed = true;
+        lock_or_poison(&self.state).closed = true;
         self.ready.notify_all();
     }
 
     /// Jobs currently queued (diagnostic).
     pub fn len(&self) -> usize {
-        self.state.lock().expect("job queue poisoned").jobs.len()
+        lock_or_poison(&self.state).jobs.len()
     }
 
     /// Whether the queue is empty.
@@ -106,7 +108,7 @@ impl<T> JobQueue<T> {
     /// (maintained under the queue lock), so it is ≥ 1 once any job
     /// has been accepted.
     pub fn high_water(&self) -> usize {
-        self.state.lock().expect("job queue poisoned").high_water
+        lock_or_poison(&self.state).high_water
     }
 
     /// Capacity the queue was built with (after the minimum-1 clamp).

@@ -237,7 +237,8 @@ impl PreparedCore {
         stats: &DatabaseStats,
     ) -> Result<PreparedCore, EngineError> {
         let start = Instant::now();
-        let (structure, cache_hit) = engine.structure_for(&q.hypergraph());
+        let h = q.hypergraph();
+        let (structure, cache_hit) = engine.structure_for(&h);
         // Bounded-width structures get their plan refined by data: on
         // small databases the per-bag setup dominates and the estimate
         // flips the plan back to the naive join, with the numbers kept
@@ -256,6 +257,18 @@ impl PreparedCore {
             QueryPlan::JigsawReduce { .. } => structure.ghd.as_ref(),
             QueryPlan::NaiveJoin => None,
         };
+        // Strict verification: audit every plan this prepare derived
+        // (and the decomposition evaluation will actually use) against
+        // the paper's structural invariants — once, here, never per
+        // run. A violation is a planner bug surfaced as a typed error
+        // instead of a wrong answer served from the cache forever.
+        if engine.strict_verify() {
+            crate::verify::verify_planned(&h, &bool_plan)?;
+            crate::verify::verify_planned(&h, &count_plan)?;
+            if let Some(ghd) = exec_ghd {
+                cqd2_decomp::verify::verify_ghd(&h, ghd)?;
+            }
+        }
         let planning = start.elapsed();
         let preprocess_start = Instant::now();
         let bags = match exec_ghd {

@@ -1,0 +1,212 @@
+//! Engine-side plan verification: the paper's invariants, checked at
+//! prepare time.
+//!
+//! [`cqd2_decomp::verify`] audits a GHD's structure; this module lifts
+//! that audit to whole [`QueryPlan`]s — the claimed width must hold,
+//! the decomposition must be valid *for the query's hypergraph*, and
+//! the chosen strategy must be consistent with the structure class the
+//! planner detected (a jigsaw hardness certificate only makes sense on
+//! degree-2 structures, Theorem 4.7's hypothesis).
+//!
+//! With strict verification enabled ([`crate::EngineConfig`]'s
+//! `strict_verify`, or `CQD2_STRICT_VERIFY=1` in the environment),
+//! [`crate::Session::prepare`] runs [`verify_planned`] on every plan it
+//! derives — once per prepared query, never per run — and surfaces a
+//! violation as [`crate::EngineError::Verify`] instead of letting a
+//! planner bug produce silently wrong answers. `cqd2-analyze verify`
+//! exposes the same check on the command line.
+
+use cqd2_cq::ConjunctiveQuery;
+use cqd2_decomp::verify::{verify_ghd, verify_ghd_width, VerifyError};
+use cqd2_hypergraph::Hypergraph;
+
+use crate::engine::{Engine, Workload};
+use crate::error::EngineError;
+use crate::plan::{PlannedQuery, QueryPlan};
+
+/// Verify one derived plan against the query's hypergraph. This is the
+/// engine half of the two-layer verifier: structural GHD checks are
+/// delegated to [`cqd2_decomp::verify_ghd`]; the width claim and the
+/// strategy/structure-class consistency are checked here.
+pub fn verify_planned(h: &Hypergraph, planned: &PlannedQuery) -> Result<(), VerifyError> {
+    match &planned.plan {
+        QueryPlan::NaiveJoin => Ok(()),
+        QueryPlan::GhdYannakakis { ghd, width } => verify_ghd_width(h, ghd, *width),
+        QueryPlan::CountingDp { ghd } => verify_ghd(h, ghd),
+        QueryPlan::JigsawReduce { n, .. } => {
+            // Theorem 4.7 lives in the degree-2 world: a jigsaw
+            // certificate on a higher-degree structure means the
+            // planner routed the query into the wrong regime.
+            if h.max_degree() > 2 {
+                return Err(VerifyError::StrategyMismatch {
+                    strategy: planned.plan.strategy().to_string(),
+                    reason: format!(
+                        "jigsaw certificate (n={n}) requires degree ≤ 2, structure has degree {}",
+                        h.max_degree()
+                    ),
+                });
+            }
+            if *n < 2 {
+                return Err(VerifyError::StrategyMismatch {
+                    strategy: planned.plan.strategy().to_string(),
+                    reason: format!("jigsaw dimension n={n} certifies nothing (need n ≥ 2)"),
+                });
+            }
+            Ok(())
+        }
+    }
+}
+
+/// The outcome of verifying one workload's plan — what
+/// `cqd2-analyze verify` prints per line.
+#[derive(Debug, Clone)]
+pub struct VerifiedPlan {
+    /// Which workload the plan serves.
+    pub workload: Workload,
+    /// The strategy tag (`naive-join`, `ghd-yannakakis`, …).
+    pub strategy: &'static str,
+    /// The decomposition's width, when the plan carries a GHD.
+    pub width: Option<usize>,
+    /// Number of bags in the decomposition, when the plan carries one.
+    pub bags: Option<usize>,
+}
+
+/// A fully verified query: every workload's plan passed
+/// [`verify_planned`].
+#[derive(Debug, Clone)]
+pub struct VerifyReport {
+    /// One entry per workload plan checked.
+    pub plans: Vec<VerifiedPlan>,
+    /// Whether the structure analysis came from the plan cache.
+    pub cache_hit: bool,
+}
+
+impl Engine {
+    /// Plan `q` (structure-only, cache-amortized) and verify every
+    /// derived plan against the paper's invariants, returning what was
+    /// checked. This is the engine surface behind
+    /// `cqd2-analyze verify`; serving loops get the same checks
+    /// implicitly at [`crate::Session::prepare`] when strict
+    /// verification is on.
+    pub fn verify_query(&self, q: &ConjunctiveQuery) -> Result<VerifyReport, EngineError> {
+        let h = q.hypergraph();
+        let (structure, cache_hit) = self.structure_for(&h);
+        let mut plans = Vec::new();
+        for (workload, planned) in [
+            (Workload::Boolean, structure.bool_plan()),
+            (Workload::Count, structure.count_plan()),
+        ] {
+            verify_planned(&h, &planned).map_err(EngineError::Verify)?;
+            let ghd = planned.plan.ghd().or(structure.ghd.as_ref());
+            plans.push(VerifiedPlan {
+                workload,
+                strategy: planned.plan.strategy(),
+                width: ghd.map(cqd2_decomp::Ghd::width),
+                bags: ghd.map(|g| g.td.bags.len()),
+            });
+        }
+        // The jigsaw fallback evaluates through the best structural GHD
+        // even though the plan is the hardness certificate — that GHD
+        // must hold up too, it is what materialization will use.
+        if let Some(g) = structure.ghd.as_ref() {
+            verify_ghd(&h, g).map_err(EngineError::Verify)?;
+        }
+        Ok(VerifyReport { plans, cache_hit })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqd2_cq::generate::canonical_query;
+    use cqd2_decomp::{Ghd, TreeDecomposition};
+    use cqd2_hypergraph::generators::{hyperchain, hypercycle};
+
+    use crate::plan::CostEstimate;
+
+    fn planned(plan: QueryPlan) -> PlannedQuery {
+        PlannedQuery {
+            plan,
+            cost: CostEstimate {
+                db_exponent: 1.0,
+                planning_units: 0.0,
+                data: None,
+            },
+            notes: vec![],
+        }
+    }
+
+    #[test]
+    fn engine_plans_verify_clean() {
+        let engine = Engine::default();
+        for h in [hyperchain(4, 2), hypercycle(5, 2)] {
+            let q = canonical_query(&h);
+            let report = engine.verify_query(&q).unwrap();
+            assert_eq!(report.plans.len(), 2);
+            assert!(report.plans.iter().all(|p| p.width.is_some()));
+        }
+        // Second verification of the same structure hits the cache.
+        assert!(
+            engine
+                .verify_query(&canonical_query(&hyperchain(4, 2)))
+                .unwrap()
+                .cache_hit
+        );
+    }
+
+    #[test]
+    fn lying_width_claim_is_rejected() {
+        let h = hypercycle(4, 2);
+        let ghd = Ghd::from_td_exact(&h, TreeDecomposition::trivial(&h));
+        let actual = ghd.width();
+        let lie = planned(QueryPlan::GhdYannakakis {
+            ghd,
+            width: actual - 1,
+        });
+        assert!(matches!(
+            verify_planned(&h, &lie).unwrap_err(),
+            VerifyError::WidthExceeded { .. }
+        ));
+    }
+
+    #[test]
+    fn foreign_ghd_is_rejected() {
+        // A decomposition built for a different hypergraph misses edges
+        // of this one.
+        let h = hypercycle(5, 2);
+        let other = hyperchain(3, 2);
+        let foreign = Ghd::from_td_exact(&other, TreeDecomposition::trivial(&other));
+        let width = foreign.width();
+        let err = verify_planned(
+            &h,
+            &planned(QueryPlan::GhdYannakakis {
+                ghd: foreign,
+                width,
+            }),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                VerifyError::EdgeNotCovered { .. } | VerifyError::UnknownVertex { .. }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn jigsaw_strategy_on_high_degree_structure_is_rejected() {
+        use cqd2_dilution::DilutionSequence;
+        // A degree-3 structure can never carry a Theorem 4.7 certificate.
+        let h = Hypergraph::new(4, &[vec![0, 1], vec![1, 2], vec![1, 3]]).unwrap();
+        assert!(h.max_degree() > 2);
+        let bogus = planned(QueryPlan::JigsawReduce {
+            sequence: DilutionSequence { ops: vec![] },
+            n: 3,
+        });
+        assert!(matches!(
+            verify_planned(&h, &bogus).unwrap_err(),
+            VerifyError::StrategyMismatch { .. }
+        ));
+    }
+}

@@ -1,0 +1,84 @@
+//! Typed errors for the jigsaw extraction pipeline.
+//!
+//! The Theorem 4.7 / Lemma D.4 constructions chain dilution machinery,
+//! hypergraph surgery, and witness validation; [`JigsawError`] gives
+//! each failure source a matchable variant (the public surfaces used to
+//! return `Result<_, String>`, which the `cqd2-lint` `stringly-error`
+//! rule now bans).
+
+use cqd2_dilution::DilutionError;
+use cqd2_hypergraph::HgError;
+
+use crate::prejigsaw::PreJigsawError;
+
+/// What can go wrong extracting jigsaws and pre-jigsaws.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JigsawError {
+    /// An input violated a stated precondition (degree > 2, …).
+    Unsupported(&'static str),
+    /// The underlying dilution construction or verification failed.
+    Dilution(DilutionError),
+    /// Hypergraph surgery (induced sub-hypergraph, …) failed.
+    Hypergraph(HgError),
+    /// The constructed pre-jigsaw witness failed Definition 5.1.
+    Witness(PreJigsawError),
+    /// A Lemma D.4 construction step failed (bad grid description,
+    /// missing dual source vertex, no clean connecting path, …).
+    Construction(String),
+}
+
+impl std::fmt::Display for JigsawError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JigsawError::Unsupported(what) => write!(f, "unsupported input: {what}"),
+            JigsawError::Dilution(e) => write!(f, "dilution step failed: {e}"),
+            JigsawError::Hypergraph(e) => write!(f, "hypergraph operation failed: {e}"),
+            JigsawError::Witness(e) => write!(f, "pre-jigsaw witness invalid: {e}"),
+            JigsawError::Construction(what) => write!(f, "construction failed: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for JigsawError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JigsawError::Dilution(e) => Some(e),
+            JigsawError::Hypergraph(e) => Some(e),
+            JigsawError::Witness(e) => Some(e),
+            JigsawError::Unsupported(_) | JigsawError::Construction(_) => None,
+        }
+    }
+}
+
+impl From<DilutionError> for JigsawError {
+    fn from(e: DilutionError) -> JigsawError {
+        JigsawError::Dilution(e)
+    }
+}
+
+impl From<HgError> for JigsawError {
+    fn from(e: HgError) -> JigsawError {
+        JigsawError::Hypergraph(e)
+    }
+}
+
+impl From<PreJigsawError> for JigsawError {
+    fn from(e: PreJigsawError) -> JigsawError {
+        JigsawError::Witness(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn display_and_source() {
+        let err = JigsawError::from(PreJigsawError::BadPi);
+        assert!(err.to_string().contains("witness"), "{err}");
+        let dyn_err: &dyn std::error::Error = &err;
+        assert!(dyn_err.source().is_some());
+        assert!(JigsawError::Unsupported("degree > 2").source().is_none());
+    }
+}

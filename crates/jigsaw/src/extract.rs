@@ -20,6 +20,7 @@ use cqd2_dilution::DilutionSequence;
 use cqd2_hypergraph::{dual, generators::grid_graph, Graph, Hypergraph};
 use cqd2_minors::grid::find_grid_minor;
 
+use crate::error::JigsawError;
 use crate::jigsaw::jigsaw;
 
 /// Result of the Theorem 4.7 extraction.
@@ -39,12 +40,14 @@ pub fn extract_jigsaw(
     h: &Hypergraph,
     max_n: usize,
     minor_budget: u64,
-) -> Result<Option<JigsawExtraction>, String> {
+) -> Result<Option<JigsawExtraction>, JigsawError> {
     if h.max_degree() > 2 {
-        return Err("Theorem 4.7 pipeline requires degree ≤ 2".into());
+        return Err(JigsawError::Unsupported(
+            "Theorem 4.7 pipeline requires degree ≤ 2",
+        ));
     }
     let prefix = reduction_sequence(h)?;
-    let reduced = prefix.apply(h).map_err(|e| e.to_string())?;
+    let reduced = prefix.apply(h)?;
     let hd = dual_as_graph(&reduced);
     // Largest grid first.
     for n in (2..=max_n).rev() {

@@ -12,10 +12,12 @@
 //!   via Lemma 4.4. Also generators for "decorated" degree-2 families that
 //!   hide jigsaws, used by the experiments.
 
+pub mod error;
 pub mod extract;
 pub mod jigsaw;
 pub mod prejigsaw;
 
+pub use error::JigsawError;
 pub use extract::{extract_jigsaw, JigsawExtraction};
 pub use jigsaw::{jigsaw, jigsaw_dimension};
 pub use prejigsaw::PreJigsawWitness;

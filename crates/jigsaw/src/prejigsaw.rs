@@ -15,6 +15,7 @@ use cqd2_hypergraph::{dual, EdgeId, Hypergraph, VertexId};
 use cqd2_minors::expressive::ExpressiveMinor;
 use std::collections::BTreeSet;
 
+use crate::error::JigsawError;
 use crate::jigsaw::jigsaw;
 
 /// A witness that a hypergraph is an `n × m`-pre-jigsaw.
@@ -47,6 +48,32 @@ pub enum PreJigsawError {
     /// A vertex of `H` is outside `π` image and all paths (condition 4).
     UncoveredVertex(u32),
 }
+
+impl std::fmt::Display for PreJigsawError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PreJigsawError::BadPi => write!(f, "π is not an injective map of the jigsaw vertices"),
+            PreJigsawError::OverlappingGroups => write!(f, "o-groups overlap (condition 1)"),
+            PreJigsawError::UncoveredEdge(e) => {
+                write!(f, "edge e{e} is in no o-group (condition 2)")
+            }
+            PreJigsawError::BadPath(e, u, v) => {
+                write!(
+                    f,
+                    "missing or dirty path for pair ({u},{v}) of jigsaw edge {e} (condition 3)"
+                )
+            }
+            PreJigsawError::UncoveredVertex(v) => {
+                write!(
+                    f,
+                    "vertex v{v} is outside the π-image and all paths (condition 4)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PreJigsawError {}
 
 impl PreJigsawWitness {
     /// Validate per Definition 5.1 against `h`.
@@ -185,7 +212,7 @@ pub fn prejigsaw_from_expressive(
     n: usize,
     m: usize,
     expressive: &ExpressiveMinor,
-) -> Result<(Hypergraph, PreJigsawWitness), String> {
+) -> Result<(Hypergraph, PreJigsawWitness), JigsawError> {
     let (hd, _) = dual(h);
     // Dualize: jigsaw vertices = grid edges; π(x) = the H-vertex whose
     // incidence set is the dual edge ρ(x).
@@ -215,9 +242,9 @@ pub fn prejigsaw_from_expressive(
     let mut pi: Vec<Option<VertexId>> = vec![None; j.num_vertices()];
     for (idx, &(a, b)) in expressive.pattern_edges.iter().enumerate() {
         let key = (a.min(b), a.max(b));
-        let jv = *grid_edge_to_jigsaw_vertex
-            .get(&key)
-            .ok_or("pattern edges do not form the expected grid")?;
+        let jv = *grid_edge_to_jigsaw_vertex.get(&key).ok_or_else(|| {
+            JigsawError::Construction("pattern edges do not form the expected grid".to_string())
+        })?;
         // ρ maps to an edge of H^d; edges of H^d are vertex types of H.
         let rho_edge = expressive.rho[idx];
         let hv = h
@@ -227,13 +254,17 @@ pub fn prejigsaw_from_expressive(
                 let de: Vec<u32> = hd.edge(rho_edge).iter().map(|x| x.0).collect();
                 iv == de
             })
-            .ok_or("dual edge has no source vertex (H not reduced?)")?;
+            .ok_or_else(|| {
+                JigsawError::Construction(
+                    "dual edge has no source vertex (H not reduced?)".to_string(),
+                )
+            })?;
         pi[jv] = Some(hv);
     }
     let pi: Vec<VertexId> = pi
         .into_iter()
         .collect::<Option<Vec<_>>>()
-        .ok_or("incomplete π")?;
+        .ok_or_else(|| JigsawError::Construction("incomplete π".to_string()))?;
 
     // o: jigsaw edge (cell) -> μ(cell) ⊆ V(H^d) = E(H).
     let o: Vec<Vec<EdgeId>> = expressive
@@ -254,8 +285,9 @@ pub fn prejigsaw_from_expressive(
         for a in 0..vs.len() {
             for b in (a + 1)..vs.len() {
                 let (u, v) = (vs[a].idx(), vs[b].idx());
-                let path = bfs_in_group(h, pi[u], pi[v], &group, &pi_set)
-                    .ok_or_else(|| format!("no clean path for pair ({u},{v})"))?;
+                let path = bfs_in_group(h, pi[u], pi[v], &group, &pi_set).ok_or_else(|| {
+                    JigsawError::Construction(format!("no clean path for pair ({u},{v})"))
+                })?;
                 for w in &path {
                     keep.insert(*w);
                 }
@@ -269,7 +301,7 @@ pub fn prejigsaw_from_expressive(
     // restricted to the kept vertices; drop edges that became empty or
     // subsumed... For the witness we work on the induced hypergraph.
     let keep_vec: Vec<VertexId> = keep.iter().copied().collect();
-    let (trimmed, trace) = h.induced(&keep_vec).map_err(|e| e.to_string())?;
+    let (trimmed, trace) = h.induced(&keep_vec)?;
     // Remap the witness into the trimmed hypergraph.
     let remap_v = |v: VertexId| trace.vertex_map[v.idx()].expect("kept");
     let pi2: Vec<VertexId> = pi.iter().map(|&v| remap_v(v)).collect();
@@ -299,7 +331,7 @@ pub fn prejigsaw_from_expressive(
         o: o2,
         paths: paths2,
     };
-    witness.validate(&trimmed).map_err(|e| format!("{e:?}"))?;
+    witness.validate(&trimmed)?;
     Ok((trimmed, witness))
 }
 

@@ -1,0 +1,345 @@
+//! A minimal Rust lexer for lint purposes.
+//!
+//! [`mask`] produces a copy of the source in which comment text and
+//! string-literal *contents* are blanked out (newlines preserved, string
+//! delimiters kept), so the rule patterns in [`crate::rules`] can match
+//! against code without being fooled by text that merely *talks about*
+//! `unwrap()` or `panic!`. Line comments are additionally captured
+//! verbatim so `// cqd2-lint: allow(...)` annotations can be parsed.
+//!
+//! This is not a full lexer — it only understands the token classes
+//! that can hide code-looking text: line comments, nested block
+//! comments, string literals (plain, byte, raw with any `#` count),
+//! and char literals (distinguished from lifetimes).
+
+/// One captured line comment: the 1-indexed line it starts on and its
+/// full text including the leading `//`.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub line: usize,
+    pub text: String,
+}
+
+/// The result of masking a source file.
+#[derive(Debug)]
+pub struct Masked {
+    /// Source text with comments and string contents blanked.
+    pub code: String,
+    /// Every line comment, in order of appearance.
+    pub comments: Vec<Comment>,
+}
+
+impl Masked {
+    /// The masked code split into lines (0-indexed; line `n` of the
+    /// file is `lines()[n - 1]`).
+    pub fn lines(&self) -> Vec<&str> {
+        self.code.lines().collect()
+    }
+}
+
+/// Blank comments and string contents out of `src`. The returned code
+/// has the same line structure as the input (every `\n` is preserved),
+/// so byte-offset-free, line-based rules stay aligned with the
+/// original file.
+pub fn mask(src: &str) -> Masked {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out: Vec<char> = Vec::with_capacity(chars.len());
+    let mut comments: Vec<Comment> = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                out.push('\n');
+                i += 1;
+            }
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                let start = i;
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+                comments.push(Comment {
+                    line,
+                    text: chars[start..i].iter().collect(),
+                });
+                out.extend(std::iter::repeat_n(' ', i - start));
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                let mut depth = 1usize;
+                out.push(' ');
+                out.push(' ');
+                i += 2;
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        out.push(' ');
+                        out.push(' ');
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        out.push(' ');
+                        out.push(' ');
+                        i += 2;
+                    } else {
+                        if chars[i] == '\n' {
+                            line += 1;
+                            out.push('\n');
+                        } else {
+                            out.push(' ');
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                i = blank_plain_string(&chars, i, &mut out, &mut line);
+            }
+            'r' | 'b' => {
+                let prev_is_ident = i > 0 && is_ident_char(chars[i - 1]);
+                if !prev_is_ident {
+                    if let Some((prefix_len, hashes)) = raw_string_prefix(&chars, i) {
+                        // Emit the prefix (including the opening quote).
+                        for k in 0..prefix_len {
+                            out.push(chars[i + k]);
+                        }
+                        i += prefix_len;
+                        i = blank_raw_string(&chars, i, hashes, &mut out, &mut line);
+                        continue;
+                    }
+                }
+                out.push(c);
+                i += 1;
+            }
+            '\'' => {
+                if let Some(len) = char_literal_len(&chars, i) {
+                    out.push('\'');
+                    for &ch in &chars[(i + 1)..(i + len - 1)] {
+                        if ch == '\n' {
+                            line += 1;
+                            out.push('\n');
+                        } else {
+                            out.push(' ');
+                        }
+                    }
+                    out.push('\'');
+                    i += len;
+                } else {
+                    out.push('\'');
+                    i += 1;
+                }
+            }
+            _ => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+
+    Masked {
+        code: out.into_iter().collect(),
+        comments,
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Blank a `"..."` string starting at the opening quote; returns the
+/// index just past the closing quote.
+fn blank_plain_string(
+    chars: &[char],
+    start: usize,
+    out: &mut Vec<char>,
+    line: &mut usize,
+) -> usize {
+    out.push('"');
+    let mut i = start + 1;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => {
+                out.push(' ');
+                if let Some(&next) = chars.get(i + 1) {
+                    if next == '\n' {
+                        *line += 1;
+                        out.push('\n');
+                    } else {
+                        out.push(' ');
+                    }
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            '"' => {
+                out.push('"');
+                return i + 1;
+            }
+            '\n' => {
+                *line += 1;
+                out.push('\n');
+                i += 1;
+            }
+            _ => {
+                out.push(' ');
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Detect `r"`, `r#"`, `br"`, `br##"`, `b"` … at `chars[i]`. Returns
+/// `(prefix_len_including_opening_quote, hash_count)`.
+fn raw_string_prefix(chars: &[char], i: usize) -> Option<(usize, usize)> {
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    let raw = chars.get(j) == Some(&'r');
+    if raw {
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    if raw {
+        while chars.get(j) == Some(&'#') {
+            hashes += 1;
+            j += 1;
+        }
+    }
+    if chars.get(j) == Some(&'"') {
+        // `b"` without `r` is an ordinary (escaped) byte string; treat
+        // it as raw-with-0-hashes only when `r` was present. For plain
+        // `b"` fall through to the normal string path via a 0-hash raw
+        // marker *only if raw*, else signal no raw prefix and let the
+        // caller emit `b` and hit `"` next iteration.
+        if raw {
+            return Some((j - i + 1, hashes));
+        }
+        return None;
+    }
+    None
+}
+
+/// Blank a raw string body starting just past the opening quote until
+/// `"` followed by `hashes` `#`s. Returns the index past the closer.
+fn blank_raw_string(
+    chars: &[char],
+    mut i: usize,
+    hashes: usize,
+    out: &mut Vec<char>,
+    line: &mut usize,
+) -> usize {
+    while i < chars.len() {
+        if chars[i] == '"' {
+            let mut ok = true;
+            for k in 0..hashes {
+                if chars.get(i + 1 + k) != Some(&'#') {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                out.push('"');
+                for _ in 0..hashes {
+                    out.push('#');
+                }
+                return i + 1 + hashes;
+            }
+        }
+        if chars[i] == '\n' {
+            *line += 1;
+            out.push('\n');
+        } else {
+            out.push(' ');
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Length (in chars, including both quotes) of a char literal starting
+/// at `chars[i] == '\''`, or `None` if this is a lifetime.
+fn char_literal_len(chars: &[char], i: usize) -> Option<usize> {
+    match chars.get(i + 1) {
+        Some('\\') => {
+            // Escaped char: scan to the closing quote (covers \u{…}).
+            let mut j = i + 2;
+            while j < chars.len() && j < i + 14 {
+                if chars[j] == '\'' {
+                    return Some(j - i + 1);
+                }
+                j += 1;
+            }
+            None
+        }
+        Some(&c) => {
+            if chars.get(i + 2) == Some(&'\'') && c != '\'' {
+                Some(3)
+            } else {
+                None // `'a>` or `'static` — a lifetime
+            }
+        }
+        None => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_comments_are_blanked_and_captured() {
+        let m = mask("let x = 1; // has .unwrap() in text\nlet y = 2;\n");
+        assert!(!m.code.contains("unwrap"));
+        assert!(m.code.contains("let y = 2;"));
+        assert_eq!(m.comments.len(), 1);
+        assert_eq!(m.comments[0].line, 1);
+        assert!(m.comments[0].text.contains(".unwrap()"));
+    }
+
+    #[test]
+    fn nested_block_comments_and_line_structure() {
+        let src = "a /* outer /* inner */ still */ b\nc\n";
+        let m = mask(src);
+        assert!(m.code.contains('a'));
+        assert!(m.code.contains('b'));
+        assert!(!m.code.contains("inner"));
+        assert_eq!(m.code.matches('\n').count(), src.matches('\n').count());
+    }
+
+    #[test]
+    fn strings_keep_delimiters_but_lose_contents() {
+        let m = mask(r#"let s = "calls .expect( here"; s.len();"#);
+        assert!(!m.code.contains(".expect("));
+        assert!(m.code.contains("\""));
+        assert!(m.code.contains("s.len();"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = "let s = r##\"panic!(\"boom\")\"##; done();";
+        let m = mask(src);
+        assert!(!m.code.contains("panic!"));
+        assert!(m.code.contains("done();"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) { let q = '\"'; let n = '\\n'; g(q, n); }";
+        let m = mask(src);
+        // The quote char literal must not open a string.
+        assert!(m.code.contains("g(q, n);"));
+        assert!(m.code.contains("&'a str"));
+    }
+
+    #[test]
+    fn escaped_quote_inside_string() {
+        let m = mask(r#"let s = "he said \".unwrap()\" loudly"; after();"#);
+        assert!(!m.code.contains(".unwrap()"));
+        assert!(m.code.contains("after();"));
+    }
+}

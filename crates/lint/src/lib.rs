@@ -1,0 +1,144 @@
+//! `cqd2-lint` — workspace-specific static analysis.
+//!
+//! A dependency-free lint pass over every `.rs` file in the workspace,
+//! enforcing the project's correctness conventions:
+//!
+//! | lint | rule |
+//! |------|------|
+//! | `panic-in-hot-path` | no `unwrap`/`expect`/`panic!`/`unreachable!` in serve-path code |
+//! | `stringly-error` | no `Result<_, String>` in `pub` signatures |
+//! | `print-in-lib` | no `println!`/`eprintln!` in library code |
+//! | `todo-markers` | no `todo!`/`unimplemented!`/`dbg!` in shipped code |
+//! | `unscoped-spawn` | no `std::thread::spawn` outside scoped helpers |
+//! | `malformed-allow` | `cqd2-lint:` annotations must parse |
+//!
+//! Suppress a finding with a mandatory-reason annotation on the same
+//! line, or on its own line directly above:
+//!
+//! ```text
+//! // cqd2-lint: allow(panic-in-hot-path, reason = "why this cannot fire")
+//! ```
+//!
+//! Run `cargo run -p cqd2-lint -- --explain <lint>` for the rationale
+//! behind each rule.
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{classify, is_hot_path, lint_by_name, parse_allow, scan_source};
+pub use rules::{Allow, FileKind, Finding, Lint, LINTS};
+
+use std::path::{Path, PathBuf};
+
+/// Directories never descended into when walking the workspace.
+///
+/// - `target/`, `.git/`, `.claude/`: build output and metadata.
+/// - `vendor/`: offline stand-ins for external crates — they imitate
+///   third-party APIs and are not held to this project's conventions.
+/// - `crates/lint/tests/fixtures/`: intentionally-violating inputs for
+///   the linter's own tests.
+const SKIP_DIRS: &[&str] = &["target", ".git", ".claude", "vendor", "fixtures"];
+
+/// Collect every lintable `.rs` file under `root`, as workspace-relative
+/// forward-slash paths, sorted for deterministic output.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    walk(root, root, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Lint the whole workspace rooted at `root`. Unreadable files are
+/// skipped (non-UTF-8 content has nothing for these rules to match).
+pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for rel in workspace_files(root)? {
+        let Ok(src) = std::fs::read_to_string(root.join(&rel)) else {
+            continue;
+        };
+        let rel_str = rel
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        findings.extend(scan_source(&rel_str, &src));
+    }
+    findings
+        .sort_by(|a, b| (a.file.clone(), a.line, a.lint).cmp(&(b.file.clone(), b.line, b.lint)));
+    Ok(findings)
+}
+
+/// Render findings as JSON (an array of objects), dependency-free.
+pub fn findings_to_json(findings: &[Finding]) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    let mut out = String::from("[\n");
+    for (i, f) in findings.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"file\": \"{}\", \"line\": {}, \"lint\": \"{}\", \"message\": \"{}\"}}{}\n",
+            esc(&f.file),
+            f.line,
+            f.lint,
+            esc(&f.message),
+            if i + 1 < findings.len() { "," } else { "" }
+        ));
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes() {
+        let f = vec![Finding {
+            file: "a.rs".to_string(),
+            line: 3,
+            lint: "todo-markers",
+            message: "has \"quotes\" and\nnewline".to_string(),
+        }];
+        let j = findings_to_json(&f);
+        assert!(j.contains("\\\"quotes\\\""));
+        assert!(j.contains("\\n"));
+        assert!(j.starts_with('[') && j.ends_with(']'));
+    }
+
+    #[test]
+    fn empty_json_is_valid() {
+        assert_eq!(findings_to_json(&[]), "[\n]");
+    }
+}

@@ -1,0 +1,127 @@
+//! CLI for `cqd2-lint`.
+//!
+//! ```text
+//! cargo run -p cqd2-lint --              # lint the workspace, human output
+//! cargo run -p cqd2-lint -- --check      # same, but quiet on success (CI)
+//! cargo run -p cqd2-lint -- --json       # machine-readable findings
+//! cargo run -p cqd2-lint -- --explain panic-in-hot-path
+//! cargo run -p cqd2-lint -- --root /path/to/workspace
+//! ```
+//!
+//! Exit status: 0 when clean, 1 when any finding is reported, 2 on
+//! usage or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use cqd2_lint::{findings_to_json, lint_by_name, scan_workspace, LINTS};
+
+fn usage() -> &'static str {
+    "usage: cqd2-lint [--root <dir>] [--json] [--check] [--explain <lint>] [--list]\n\
+     \n\
+     --root <dir>     workspace root to lint (default: current directory)\n\
+     --json           emit findings as a JSON array\n\
+     --check          CI mode: print nothing on success, findings on failure\n\
+     --explain <lint> print the rationale for one lint and exit\n\
+     --list           list all lints with one-line summaries"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut check = false;
+    let mut i = 0usize;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" => {
+                i += 1;
+                let Some(dir) = args.get(i) else {
+                    eprintln!("--root requires a directory\n{}", usage());
+                    return ExitCode::from(2);
+                };
+                root = PathBuf::from(dir);
+            }
+            "--json" => json = true,
+            "--check" => check = true,
+            "--list" => {
+                for l in LINTS {
+                    println!("{:<20} {}", l.name, l.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--explain" => {
+                i += 1;
+                let Some(name) = args.get(i) else {
+                    eprintln!("--explain requires a lint name\n{}", usage());
+                    return ExitCode::from(2);
+                };
+                let Some(lint) = lint_by_name(name) else {
+                    eprintln!("unknown lint `{name}`; known lints:");
+                    for l in LINTS {
+                        eprintln!("  {}", l.name);
+                    }
+                    return ExitCode::from(2);
+                };
+                println!("{}: {}\n\n{}", lint.name, lint.summary, lint.explain);
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+
+    let findings = match scan_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cqd2-lint: cannot walk {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!("{}", findings_to_json(&findings));
+    } else if findings.is_empty() {
+        if !check {
+            println!("cqd2-lint: workspace clean");
+        }
+    } else {
+        for f in &findings {
+            println!("{}:{}: [{}] {}", f.file, f.line, f.lint, f.message);
+        }
+        println!(
+            "cqd2-lint: {} finding{} ({} lint{}); run with `--explain <lint>` for rationale",
+            findings.len(),
+            if findings.len() == 1 { "" } else { "s" },
+            {
+                let mut names: Vec<&str> = findings.iter().map(|f| f.lint).collect();
+                names.sort_unstable();
+                names.dedup();
+                names.len()
+            },
+            {
+                let mut names: Vec<&str> = findings.iter().map(|f| f.lint).collect();
+                names.sort_unstable();
+                names.dedup();
+                if names.len() == 1 {
+                    ""
+                } else {
+                    "s"
+                }
+            },
+        );
+    }
+
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

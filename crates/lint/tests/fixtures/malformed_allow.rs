@@ -1,0 +1,18 @@
+// Fixture: annotations that mention the marker but do not parse.
+// Scanned under `crates/cq/src/fixture.rs`.
+
+fn a() {}
+// cqd2-lint: allow(panic-in-hot-path)
+fn missing_reason() {}
+
+// cqd2-lint: allow(no-such-lint, reason = "unknown lint name")
+fn unknown_lint() {}
+
+// cqd2-lint: allow(todo-markers, reason = )
+fn unquoted_reason() {}
+
+// cqd2-lint: suppress(todo-markers, reason = "wrong verb")
+fn wrong_verb() {}
+
+/// Doc text may mention `cqd2-lint: allow(...)` without being an annotation.
+fn documented() {}

@@ -1,0 +1,29 @@
+// Fixture: every banned panic form in serve-path code, one per line.
+// Scanned under the pseudo-path `crates/engine/src/server/fixture.rs`.
+
+fn violations(x: Option<u8>, r: Result<u8, ()>) -> u8 {
+    let a = x.unwrap();
+    let b = r.expect("boom");
+    if a == b {
+        panic!("equal");
+    }
+    unreachable!("never");
+}
+
+fn suppressed(x: Option<u8>) -> u8 {
+    // cqd2-lint: allow(panic-in-hot-path, reason = "fixture: provably present by construction")
+    x.unwrap()
+}
+
+fn suppressed_same_line(x: Option<u8>) -> u8 {
+    x.unwrap() // cqd2-lint: allow(panic-in-hot-path, reason = "fixture: same-line annotation")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_panic() {
+        let v: Vec<u8> = Vec::new();
+        v.first().unwrap();
+    }
+}

@@ -1,0 +1,19 @@
+// Fixture: stdout/stderr writes in library code.
+// Scanned under `crates/cq/src/fixture.rs` (lib) and
+// `crates/core/src/bin/fixture.rs` (bin — prints allowed there).
+
+fn noisy() {
+    println!("to stdout");
+    eprintln!("to stderr");
+    print!("partial");
+    eprint!("partial err");
+}
+
+fn quiet() {
+    // cqd2-lint: allow(print-in-lib, reason = "fixture: suppression is honored")
+    println!("sanctioned");
+}
+
+fn mentions_in_string() -> &'static str {
+    "println!(not code)"
+}

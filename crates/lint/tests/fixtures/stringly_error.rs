@@ -1,0 +1,36 @@
+// Fixture: stringly-typed public error surfaces.
+// Scanned under the pseudo-path `crates/cq/src/fixture.rs`.
+
+pub fn bad_flat(x: u8) -> Result<u8, String> {
+    Err(format!("{x}"))
+}
+
+pub fn bad_generic<T: Clone>(
+    x: T,
+) -> Result<(T, usize), String> {
+    Ok((x, 0))
+}
+
+pub(crate) fn bad_crate_visible() -> Result<(), String> {
+    Ok(())
+}
+
+// Private stringly functions are tolerated (not part of the API).
+fn private_ok() -> Result<u8, String> {
+    Ok(0)
+}
+
+// Typed errors are the house style.
+pub fn good_typed() -> Result<u8, std::num::ParseIntError> {
+    "7".parse()
+}
+
+// A String in the Ok position is fine.
+pub fn good_ok_string() -> Result<String, std::num::ParseIntError> {
+    Ok(String::new())
+}
+
+// cqd2-lint: allow(stringly-error, reason = "fixture: suppression is honored")
+pub fn suppressed() -> Result<u8, String> {
+    Ok(0)
+}

@@ -1,0 +1,19 @@
+// Fixture: leftover development markers.
+// Scanned under `crates/cq/src/fixture.rs`.
+
+fn unfinished(flag: bool) -> u8 {
+    if flag {
+        todo!("finish me")
+    } else {
+        unimplemented!()
+    }
+}
+
+fn debugging(x: u8) -> u8 {
+    dbg!(x)
+}
+
+fn suppressed() -> u8 {
+    // cqd2-lint: allow(todo-markers, reason = "fixture: suppression is honored")
+    todo!("sanctioned")
+}

@@ -1,0 +1,22 @@
+// Fixture: detached threads vs scoped threads.
+// Scanned under `crates/engine/src/fixture.rs`.
+
+fn detached() {
+    std::thread::spawn(|| {});
+}
+
+fn also_detached() {
+    use std::thread;
+    thread::spawn(|| {});
+}
+
+fn scoped_is_fine(data: &[u8]) {
+    std::thread::scope(|s| {
+        s.spawn(|| data.len());
+    });
+}
+
+fn daemon() {
+    // cqd2-lint: allow(unscoped-spawn, reason = "fixture: daemon-lifetime thread")
+    std::thread::spawn(|| loop {});
+}

@@ -1,0 +1,84 @@
+//! Typed errors for the Theorem 3.4 / 4.15 reduction.
+//!
+//! Formerly `Result<_, String>` surfaces; the `cqd2-lint`
+//! `stringly-error` rule bans that shape, so reduction failures are now
+//! matchable variants with the replay detail preserved.
+
+use cqd2_hypergraph::HgError;
+
+/// What can go wrong reducing an instance along a dilution sequence, or
+/// verifying the result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReductionError {
+    /// Replaying the dilution sequence on the host failed.
+    Dilution(HgError),
+    /// The supplied instance is not bound to the dilution's result
+    /// hypergraph.
+    NotBound,
+    /// The reverse walk hit a state inconsistent with the recorded
+    /// traces (a vertex or edge vanished, a merge target was isolated,
+    /// a deleted subedge had no superset, …).
+    Replay(String),
+    /// Theorem 4.15 violated: answer cardinalities differ.
+    NotParsimonious { original: usize, reduced: usize },
+    /// Theorem 3.4 violated: the projected answer set differs from the
+    /// original answer set.
+    ProjectionMismatch { projected: usize, original: usize },
+}
+
+impl std::fmt::Display for ReductionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReductionError::Dilution(e) => write!(f, "dilution replay failed: {e}"),
+            ReductionError::NotBound => {
+                write!(f, "instance is not bound to the dilution result")
+            }
+            ReductionError::Replay(what) => write!(f, "reverse walk inconsistent: {what}"),
+            ReductionError::NotParsimonious { original, reduced } => write!(
+                f,
+                "not parsimonious: |q(D_q)| = {original} but |p(D_p)| = {reduced}"
+            ),
+            ReductionError::ProjectionMismatch {
+                projected,
+                original,
+            } => write!(
+                f,
+                "projection mismatch: projected {projected} distinct vs original {original} distinct"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReductionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReductionError::Dilution(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<HgError> for ReductionError {
+    fn from(e: HgError) -> ReductionError {
+        ReductionError::Dilution(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn display_and_source() {
+        let err = ReductionError::from(HgError::VertexOutOfRange(3));
+        assert!(err.to_string().contains("v3"), "{err}");
+        assert!(err.source().is_some());
+        assert!(ReductionError::NotBound.source().is_none());
+        let p = ReductionError::NotParsimonious {
+            original: 4,
+            reduced: 5,
+        };
+        assert!(p.to_string().contains('4') && p.to_string().contains('5'));
+    }
+}

@@ -24,11 +24,13 @@
 //! brute-force enumeration on small instances — this is the executable
 //! content of Theorems 3.4 and 4.15.
 
+pub mod error;
 pub mod instance;
 pub mod reverse;
 pub mod selfjoin;
 pub mod verify;
 
+pub use error::ReductionError;
 pub use instance::Instance;
 pub use reverse::{reduce_along, ReductionReport};
 pub use selfjoin::eliminate_self_joins;

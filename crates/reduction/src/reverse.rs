@@ -1,5 +1,6 @@
 //! The reverse-walk of a dilution sequence: the heart of Theorem 3.4.
 
+use crate::error::ReductionError;
 use crate::instance::Instance;
 use cqd2_cq::Database;
 use cqd2_dilution::{DilutionOp, DilutionSequence};
@@ -29,11 +30,11 @@ pub fn reduce_along(
     h: &Hypergraph,
     seq: &DilutionSequence,
     instance_m: &Instance,
-) -> Result<ReductionReport, String> {
-    let run = seq.run(h).map_err(|e| e.to_string())?;
+) -> Result<ReductionReport, ReductionError> {
+    let run = seq.run(h)?;
     let m = run.result();
     if !instance_m.is_bound_to(m) {
-        return Err("instance is not bound to the dilution result".into());
+        return Err(ReductionError::NotBound);
     }
     let mut cur = instance_m.clone();
     let mut weights = vec![cur.db_weight()];
@@ -74,7 +75,7 @@ fn reverse_step(
     inst: &Instance,
     level: usize,
     next_star: &mut u64,
-) -> Result<Instance, String> {
+) -> Result<Instance, ReductionError> {
     let prefix = format!("L{level}_");
     let mut db = Database::new();
 
@@ -88,18 +89,19 @@ fn reverse_step(
     };
     // Column position of h_i-vertex `u` (mapped through `trace`) within
     // the sorted vertex list of `e_next`.
-    let col_of = |u: VertexId, e_next: EdgeId| -> Result<usize, String> {
-        let mapped = trace.vertex_map[u.idx()]
-            .ok_or_else(|| format!("vertex v{} vanished unexpectedly", u.0))?;
-        h_next
-            .edge(e_next)
-            .binary_search(&mapped)
-            .map_err(|_| format!("vertex v{} not in image edge e{}", u.0, e_next.0))
+    let col_of = |u: VertexId, e_next: EdgeId| -> Result<usize, ReductionError> {
+        let mapped = trace.vertex_map[u.idx()].ok_or_else(|| {
+            ReductionError::Replay(format!("vertex v{} vanished unexpectedly", u.0))
+        })?;
+        h_next.edge(e_next).binary_search(&mapped).map_err(|_| {
+            ReductionError::Replay(format!("vertex v{} not in image edge e{}", u.0, e_next.0))
+        })
     };
     // Plain copy of edge `e` of h_i from its image edge (variables
     // relabelled; used for all unaffected atoms).
-    let copy_relabel = |db: &mut Database, e: EdgeId| -> Result<(), String> {
-        let e_next = trace.edge_map[e.idx()].ok_or("copied edge vanished")?;
+    let copy_relabel = |db: &mut Database, e: EdgeId| -> Result<(), ReductionError> {
+        let e_next = trace.edge_map[e.idx()]
+            .ok_or_else(|| ReductionError::Replay("copied edge vanished".into()))?;
         let cols: Vec<usize> = h_i
             .edge(e)
             .iter()
@@ -124,7 +126,8 @@ fn reverse_step(
             for e in h_i.edge_ids() {
                 if h_i.edge_contains(e, v) {
                     // S_e = R_pre(e) × {(★0)} at v's position.
-                    let e_next = trace.edge_map[e.idx()].ok_or("edge vanished")?;
+                    let e_next = trace.edge_map[e.idx()]
+                        .ok_or_else(|| ReductionError::Replay("edge vanished".into()))?;
                     let name = format!("{prefix}{}", e.idx());
                     let positions: Vec<Option<usize>> = h_i
                         .edge(e)
@@ -136,7 +139,7 @@ fn reverse_step(
                                 col_of(u, e_next).map(Some)
                             }
                         })
-                        .collect::<Result<_, String>>()?;
+                        .collect::<Result<_, ReductionError>>()?;
                     for t in tuples_of(e_next) {
                         let row: Vec<u64> = positions
                             .iter()
@@ -155,9 +158,12 @@ fn reverse_step(
         DilutionOp::MergeOnVertex(v) => {
             let iv: Vec<EdgeId> = h_i.incident_edges(v).to_vec();
             if iv.is_empty() {
-                return Err("merge on isolated vertex in replay".into());
+                return Err(ReductionError::Replay(
+                    "merge on isolated vertex in replay".into(),
+                ));
             }
-            let em = trace.edge_map[iv[0].idx()].ok_or("merged edge vanished")?;
+            let em = trace.edge_map[iv[0].idx()]
+                .ok_or_else(|| ReductionError::Replay("merged edge vanished".into()))?;
             let base_tuples: Vec<Vec<u64>> = tuples_of(em).to_vec();
             // R': extend each tuple by a distinct key constant for v.
             let keys: Vec<u64> = (0..base_tuples.len() as u64)
@@ -177,7 +183,7 @@ fn reverse_step(
                                 col_of(u, em).map(Some)
                             }
                         })
-                        .collect::<Result<_, String>>()?;
+                        .collect::<Result<_, ReductionError>>()?;
                     for (ti, t) in base_tuples.iter().enumerate() {
                         let row: Vec<u64> = positions
                             .iter()
@@ -202,8 +208,11 @@ fn reverse_step(
                     let sup = h_i
                         .edge_ids()
                         .find(|&g| g != f && h_i.edge_proper_subset(f, g))
-                        .ok_or("deleted edge has no superset")?;
-                    let sup_next = trace.edge_map[sup.idx()].ok_or("superset vanished")?;
+                        .ok_or_else(|| {
+                            ReductionError::Replay("deleted edge has no superset".into())
+                        })?;
+                    let sup_next = trace.edge_map[sup.idx()]
+                        .ok_or_else(|| ReductionError::Replay("superset vanished".into()))?;
                     let cols: Vec<usize> = h_i
                         .edge(f)
                         .iter()

@@ -2,6 +2,7 @@
 //! instances: the answer sets agree up to projection, with equal
 //! cardinality (parsimony).
 
+use crate::error::ReductionError;
 use crate::instance::Instance;
 use crate::reverse::ReductionReport;
 use cqd2_cq::eval::enumerate_naive;
@@ -9,17 +10,19 @@ use std::collections::BTreeSet;
 
 /// Verify `π_{vars(q)}(p(D_p)) = q(D_q)` and `|p(D_p)| = |q(D_q)|` by
 /// enumeration. Suitable for test-sized instances only.
-pub fn verify_reduction(original: &Instance, report: &ReductionReport) -> Result<(), String> {
+pub fn verify_reduction(
+    original: &Instance,
+    report: &ReductionReport,
+) -> Result<(), ReductionError> {
     let q_solutions = enumerate_naive(&original.query, &original.db);
     let p_solutions = enumerate_naive(&report.instance.query, &report.instance.db);
 
     // Parsimony (Theorem 4.15): exact cardinality match.
     if q_solutions.len() != p_solutions.len() {
-        return Err(format!(
-            "not parsimonious: |q(D_q)| = {} but |p(D_p)| = {}",
-            q_solutions.len(),
-            p_solutions.len()
-        ));
+        return Err(ReductionError::NotParsimonious {
+            original: q_solutions.len(),
+            reduced: p_solutions.len(),
+        });
     }
 
     // Projection identity (Theorem 3.4).
@@ -35,11 +38,10 @@ pub fn verify_reduction(original: &Instance, report: &ReductionReport) -> Result
         .collect();
     let original_set: BTreeSet<Vec<u64>> = q_solutions.into_iter().collect();
     if projected != original_set {
-        return Err(format!(
-            "projection mismatch: projected {} distinct vs original {} distinct",
-            projected.len(),
-            original_set.len()
-        ));
+        return Err(ReductionError::ProjectionMismatch {
+            projected: projected.len(),
+            original: original_set.len(),
+        });
     }
     Ok(())
 }
