@@ -1,0 +1,158 @@
+//! **Experiment E7 — cold start from a `.cqds` snapshot**: publishing a
+//! database from a binary snapshot (one read, checksum-verified decode,
+//! persisted statistics — `cqd2::engine::store`, layout in
+//! `docs/SNAPSHOT.md`) must beat the text path (parse the facts file,
+//! rebuild the relations, rerun the statistics pass) by **≥ 2×** on a
+//! ≥ 10⁵-row database. That is the acceptance bound the store was built
+//! against: startup cost proportional to reading the file, not to
+//! re-deriving what the writer already knew.
+//!
+//! Both sides run end-to-end through the catalog publish the server
+//! performs at startup — file bytes → published, stats-ready snapshot —
+//! and both are checked to publish the *same* database before any
+//! timing. The headline ratio is min-of-rounds on both sides,
+//! interleaved so slow drift cancels.
+
+use cqd2::cq::Database;
+use cqd2::engine::textio::{parse_database, render_database};
+use cqd2::engine::{store, Catalog};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const ROUNDS: usize = 10;
+/// ≥ 10⁵ rows across the fixture's relations (the acceptance floor).
+const ROWS_PER_RELATION: usize = 35_000;
+const RELATIONS: usize = 3;
+
+/// xorshift64* — deterministic fixture data without a rand dependency.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    x.wrapping_mul(2685821657736338717)
+}
+
+/// Build the fixture database: 3 relations × 35k rows of arity 3 —
+/// 105k tuples, bulk-loaded in sorted order so setup is O(n log n).
+fn fixture() -> Database {
+    let mut state = 0x9E3779B97F4A7C15u64;
+    let mut db = Database::new();
+    for r in 0..RELATIONS {
+        let mut tuples: Vec<Vec<u64>> = (0..ROWS_PER_RELATION)
+            .map(|_| (0..3).map(|_| xorshift(&mut state) % 50_000).collect())
+            .collect();
+        tuples.sort_unstable();
+        tuples.dedup();
+        db.insert_sorted_relation(&format!("R{r}"), 3, tuples)
+            .expect("fresh relation");
+    }
+    assert!(db.size() >= 100_000, "fixture must have >= 1e5 rows");
+    db
+}
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== E7: snapshot cold start vs text re-parse + re-stats ===");
+    let db = fixture();
+    let total_rows = db.size();
+
+    // Persist both representations to real files: the comparison is
+    // file-on-disk to published-database, the server's startup path.
+    let dir = std::env::temp_dir();
+    let snap_path = dir.join(format!("cqd2-bench-snapshot-{}.cqds", std::process::id()));
+    let text_path = dir.join(format!("cqd2-bench-snapshot-{}.txt", std::process::id()));
+    let snap_bytes = store::write_snapshot(snap_path.to_str().expect("utf-8 path"), &db)
+        .expect("write snapshot");
+    let text = render_database(&db);
+    std::fs::write(&text_path, &text).expect("write text");
+    println!(
+        "  fixture: {total_rows} rows in {RELATIONS} relations \
+         ({snap_bytes} snapshot bytes, {} text bytes)",
+        text.len()
+    );
+
+    // Correctness first: both cold-start routes publish the same
+    // database with the same statistics.
+    let from_snap =
+        store::read_snapshot(snap_path.to_str().expect("utf-8 path")).expect("read snapshot");
+    let from_text = parse_database(&std::fs::read_to_string(&text_path).expect("read text"))
+        .expect("parse text");
+    assert_eq!(from_snap.db, from_text, "routes must agree on the data");
+    assert_eq!(
+        from_snap.stats,
+        from_text.stats(),
+        "persisted stats must match"
+    );
+
+    // Interleaved min-of-rounds over the full cold-start sequence:
+    // read the file, build the database, end with a stats-ready
+    // published catalog entry.
+    let mut snap_best = Duration::MAX;
+    let mut text_best = Duration::MAX;
+    for round in 0..ROUNDS {
+        let t = Instant::now();
+        let catalog = Catalog::new();
+        let bytes = std::fs::read(&snap_path).expect("read snapshot file");
+        let file = store::decode_snapshot(&bytes).expect("decode");
+        let snapshot = catalog
+            .publish_with_stats("cold", file.db, file.stats)
+            .expect("publish from snapshot");
+        assert_eq!(snapshot.db().size(), total_rows);
+        snap_best = snap_best.min(t.elapsed());
+        black_box(catalog);
+
+        let t = Instant::now();
+        let catalog = Catalog::new();
+        let text = std::fs::read_to_string(&text_path).expect("read text file");
+        let snapshot = catalog
+            .publish_str("cold", &text)
+            .expect("publish from text");
+        assert_eq!(snapshot.db().size(), total_rows);
+        text_best = text_best.min(t.elapsed());
+        black_box(catalog);
+        black_box(round);
+    }
+    let speedup = text_best.as_secs_f64() / snap_best.as_secs_f64().max(1e-12);
+    println!(
+        "  snapshot cold start (best of {ROUNDS}): {snap_best:?}\n  \
+         text cold start     (best of {ROUNDS}): {text_best:?}\n  \
+         text / snapshot: {speedup:.2}×"
+    );
+    assert!(
+        speedup >= 2.0,
+        "snapshot load must be >= 2x faster than text re-parse + re-stats \
+         (got {speedup:.2}x: {snap_best:?} vs {text_best:?})"
+    );
+
+    // Criterion group: the two cold-start routes, file to published.
+    let mut g = c.benchmark_group("engine_snapshot");
+    g.sample_size(10);
+    g.bench_function("cold_start/snapshot", |b| {
+        b.iter(|| {
+            let catalog = Catalog::new();
+            let bytes = std::fs::read(&snap_path).expect("read");
+            let file = store::decode_snapshot(&bytes).expect("decode");
+            black_box(
+                catalog
+                    .publish_with_stats("cold", file.db, file.stats)
+                    .expect("publish"),
+            );
+        });
+    });
+    g.bench_function("cold_start/text", |b| {
+        b.iter(|| {
+            let catalog = Catalog::new();
+            let text = std::fs::read_to_string(&text_path).expect("read");
+            black_box(catalog.publish_str("cold", &text).expect("publish"));
+        });
+    });
+    g.finish();
+
+    std::fs::remove_file(&snap_path).ok();
+    std::fs::remove_file(&text_path).ok();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -22,6 +22,15 @@
 //! cargo run --release --bin cqd2-analyze -- client reload --addr 127.0.0.1:7878 \
 //!     --db main new-facts.txt
 //! cargo run --release --bin cqd2-analyze -- client catalog --addr 127.0.0.1:7878
+//!
+//! # snapshot store: convert facts to the binary .cqds format and back
+//! cargo run --release --bin cqd2-analyze -- snapshot save facts.txt db.cqds
+//! cargo run --release --bin cqd2-analyze -- snapshot inspect db.cqds
+//! cargo run --release --bin cqd2-analyze -- snapshot load db.cqds
+//!
+//! # reload a served database from a server-local snapshot file
+//! cargo run --release --bin cqd2-analyze -- client reload --addr 127.0.0.1:7878 \
+//!     --db main --snapshot /var/lib/cqd2/main.cqds
 //! ```
 //!
 //! `eval` flags: `--count` counts answers instead of deciding
@@ -41,7 +50,82 @@ fn main() {
         Some("eval") => run_eval(&args[1..]),
         Some("client") => run_client(&args[1..]),
         Some("verify") => run_verify(&args[1..]),
+        Some("snapshot") => run_snapshot(&args[1..]),
         _ => run_analyze(args.first().map(String::as_str)),
+    }
+}
+
+/// `snapshot`: convert between the text facts format and the binary
+/// `.cqds` snapshot store (see `docs/SNAPSHOT.md`).
+///
+/// - `snapshot save FACTS.txt OUT.cqds` — parse a facts file and write
+///   it as a checksummed snapshot with persisted statistics.
+/// - `snapshot load FILE.cqds` — decode a snapshot end to end (checksum
+///   and invariant verification included) and print what it holds.
+/// - `snapshot inspect FILE.cqds` — validate and print the header and
+///   table of contents without materializing any tuples.
+fn run_snapshot(args: &[String]) {
+    use cqd2::engine::store;
+    match args.first().map(String::as_str) {
+        Some("save") => {
+            let [facts_path, out_path] = &args[1..] else {
+                exit_with("snapshot save: usage — snapshot save FACTS.txt OUT.cqds");
+            };
+            let text = std::fs::read_to_string(facts_path)
+                .unwrap_or_else(|e| exit_with(&format!("cannot read {facts_path}: {e}")));
+            let db = cqd2::engine::textio::parse_database(&text)
+                .unwrap_or_else(|e| exit_with(&format!("{facts_path}: {e}")));
+            let bytes = store::write_snapshot(out_path, &db)
+                .unwrap_or_else(|e| exit_with(&format!("snapshot save: {e}")));
+            println!(
+                "saved {out_path}: {} facts in {} relations, {bytes} bytes",
+                db.size(),
+                db.relations().count()
+            );
+        }
+        Some("load") => {
+            let [path] = &args[1..] else {
+                exit_with("snapshot load: usage — snapshot load FILE.cqds");
+            };
+            let file = store::read_snapshot(path)
+                .unwrap_or_else(|e| exit_with(&format!("snapshot load: {e}")));
+            println!(
+                "loaded {path}: {} facts in {} relations (flags {:#010x})",
+                file.db.size(),
+                file.db.relations().count(),
+                file.flags
+            );
+            for (name, rs) in file.stats.relations() {
+                let distinct: Vec<String> = rs.distinct.iter().map(usize::to_string).collect();
+                println!(
+                    "  {name}: {} rows, distinct per column [{}]",
+                    rs.cardinality,
+                    distinct.join(", ")
+                );
+            }
+        }
+        Some("inspect") => {
+            let [path] = &args[1..] else {
+                exit_with("snapshot inspect: usage — snapshot inspect FILE.cqds");
+            };
+            let summary = store::inspect_snapshot(path)
+                .unwrap_or_else(|e| exit_with(&format!("snapshot inspect: {e}")));
+            println!(
+                "{path}: format v{}, flags {:#010x}, {} bytes, {} relations, {} tuples",
+                summary.version,
+                summary.flags,
+                summary.file_len,
+                summary.relations.len(),
+                summary.total_tuples
+            );
+            for r in &summary.relations {
+                println!(
+                    "  {}: arity {}, {} rows, section at byte {}",
+                    r.name, r.arity, r.rows, r.offset
+                );
+            }
+        }
+        _ => exit_with("snapshot: usage — snapshot save|load|inspect …"),
     }
 }
 
@@ -374,13 +458,17 @@ fn run_client(args: &[String]) {
 
 /// `client reload`: publish a new snapshot for a served database over
 /// the wire. In-flight work keeps its pinned epoch; new queries see
-/// the new facts.
+/// the new facts. With `--snapshot`, the positional argument is a
+/// **server-local** `.cqds` file path instead of a client-side facts
+/// file — the server loads it from its own filesystem, nothing is
+/// uploaded.
 #[cfg(feature = "serde")]
 fn run_client_reload(args: &[String]) {
     use cqd2::engine::server::client::Client;
 
     let mut addr: Option<String> = None;
     let mut db: Option<String> = None;
+    let mut snapshot = false;
     let mut file: Option<&str> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -392,6 +480,7 @@ fn run_client_reload(args: &[String]) {
         match arg.as_str() {
             "--addr" => addr = Some(value_of("--addr")),
             "--db" => db = Some(value_of("--db")),
+            "--snapshot" => snapshot = true,
             flag if flag.starts_with("--") => {
                 exit_with(&format!("client reload: unknown flag {flag}"))
             }
@@ -401,14 +490,26 @@ fn run_client_reload(args: &[String]) {
     }
     let addr = addr.unwrap_or_else(|| exit_with("client reload: --addr host:port is required"));
     let db = db.unwrap_or_else(|| exit_with("client reload: --db name is required"));
-    let file = file.unwrap_or_else(|| exit_with("client reload: a facts file is required"));
-    let facts = std::fs::read_to_string(file)
-        .unwrap_or_else(|e| exit_with(&format!("client reload: cannot read {file}: {e}")));
+    let file = file.unwrap_or_else(|| {
+        exit_with(if snapshot {
+            "client reload: a server-local snapshot path is required"
+        } else {
+            "client reload: a facts file is required"
+        })
+    });
     let mut client = Client::connect(&addr)
         .unwrap_or_else(|e| exit_with(&format!("client reload: cannot connect to {addr}: {e}")));
-    let reloaded = client
-        .reload(&db, &facts)
-        .unwrap_or_else(|e| exit_with(&format!("client reload: `{db}`: {e}")));
+    let reloaded = if snapshot {
+        client
+            .reload_snapshot(&db, file)
+            .unwrap_or_else(|e| exit_with(&format!("client reload: `{db}`: {e}")))
+    } else {
+        let facts = std::fs::read_to_string(file)
+            .unwrap_or_else(|e| exit_with(&format!("client reload: cannot read {file}: {e}")));
+        client
+            .reload(&db, &facts)
+            .unwrap_or_else(|e| exit_with(&format!("client reload: `{db}`: {e}")))
+    };
     println!(
         "reloaded `{}` to epoch {}: {} facts in {} relations",
         reloaded.db, reloaded.epoch, reloaded.facts, reloaded.relations

@@ -21,9 +21,16 @@
 //!
 //! Flags: `--listen addr:port` (default `127.0.0.1:7878`; port 0 lets
 //! the OS pick and prints the bound address), repeated `--db name=path`
-//! (facts-only files, see `cqd2::engine::textio::parse_database`;
-//! repeating a name is a startup error, never silent last-wins),
+//! (the file format is sniffed: binary `.cqds` snapshots — see
+//! `docs/SNAPSHOT.md` and `cqd2-analyze snapshot save` — load with
+//! their persisted statistics and skip the publish-time stats pass;
+//! anything else parses as a facts-only text file, see
+//! `cqd2::engine::textio::parse_database`; repeating a name is a
+//! startup error, never silent last-wins),
 //! `--allow-reload` (accept protocol-v2 `Reload` admin frames),
+//! `--plans path` (plan-store spill: preload the engine's plan cache
+//! from `path` at startup when the file exists and the catalog epochs
+//! still match, and spill the cache back at shutdown),
 //! `--workers N` (0 = available parallelism), `--queue N` (bounded
 //! request queue = the backpressure point), `--prepared N` (per-db
 //! prepared-query cache), `--cache N` (engine plan-cache capacity),
@@ -35,7 +42,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use cqd2::engine::server::{signal, Server, ServerConfig};
-use cqd2::engine::{Catalog, Engine, EngineConfig};
+use cqd2::engine::{store, Catalog, Engine, EngineConfig};
 
 struct Args {
     listen: String,
@@ -44,6 +51,7 @@ struct Args {
     cache_capacity: usize,
     shutdown_on_stdin_close: bool,
     stats_interval: Option<u64>,
+    plans: Option<String>,
 }
 
 fn parse_args(argv: &[String]) -> Args {
@@ -54,6 +62,7 @@ fn parse_args(argv: &[String]) -> Args {
         cache_capacity: EngineConfig::default().cache_capacity,
         shutdown_on_stdin_close: false,
         stats_interval: None,
+        plans: None,
     };
     let mut iter = argv.iter();
     while let Some(arg) = iter.next() {
@@ -81,6 +90,7 @@ fn parse_args(argv: &[String]) -> Args {
                 args.dbs.push((name.to_string(), path.to_string()));
             }
             "--allow-reload" => args.config.allow_reload = true,
+            "--plans" => args.plans = Some(value_of("--plans")),
             "--workers" => args.config.workers = parse_num(&value_of("--workers"), "--workers"),
             "--queue" => {
                 args.config.queue_capacity = parse_num(&value_of("--queue"), "--queue").max(1)
@@ -100,8 +110,11 @@ fn parse_args(argv: &[String]) -> Args {
             "--help" | "-h" => {
                 println!(
                     "cqd2-serve --listen ADDR:PORT --db NAME=PATH [--db NAME=PATH …]\n\
-                     \x20          [--allow-reload] [--workers N] [--queue N] [--prepared N]\n\
-                     \x20          [--cache N] [--stats-interval SECS] [--shutdown-on-stdin-close]"
+                     \x20          [--allow-reload] [--plans PATH] [--workers N] [--queue N]\n\
+                     \x20          [--prepared N] [--cache N] [--stats-interval SECS]\n\
+                     \x20          [--shutdown-on-stdin-close]\n\
+                     \x20 --db paths may be text facts files or binary .cqds snapshots\n\
+                     \x20 (sniffed by magic; see docs/SNAPSHOT.md)"
                 );
                 std::process::exit(0);
             }
@@ -125,22 +138,59 @@ fn main() {
 
     let catalog = Catalog::new();
     for (name, path) in &args.dbs {
-        let text = std::fs::read_to_string(path)
+        let bytes = std::fs::read(path)
             .unwrap_or_else(|e| exit_with(&format!("loading --db {name}={path}: {e}")));
-        let snapshot = catalog
-            .publish_str(name, &text)
-            .unwrap_or_else(|e| exit_with(&format!("loading --db {name}={path}: {e}")));
-        eprintln!(
-            "cqd2-serve: published `{name}` from {path}: {} facts in {} relations (epoch 0)",
-            snapshot.db().size(),
-            snapshot.db().relations().count()
-        );
+        // Format sniff: `.cqds` snapshots carry a magic prefix; anything
+        // else is treated as a facts-only text file.
+        if store::is_snapshot(&bytes) {
+            let file = store::decode_snapshot(&bytes)
+                .unwrap_or_else(|e| exit_with(&format!("loading --db {name}={path}: {e}")));
+            let snapshot = catalog
+                .publish_with_stats(name, file.db, file.stats)
+                .unwrap_or_else(|e| exit_with(&format!("loading --db {name}={path}: {e}")));
+            eprintln!(
+                "cqd2-serve: published `{name}` from snapshot {path}: {} facts in {} relations \
+                 (epoch 0, stats persisted)",
+                snapshot.db().size(),
+                snapshot.db().relations().count()
+            );
+        } else {
+            let text = String::from_utf8(bytes).unwrap_or_else(|_| {
+                exit_with(&format!(
+                    "loading --db {name}={path}: not a .cqds snapshot and not UTF-8 text"
+                ))
+            });
+            let snapshot = catalog
+                .publish_str(name, &text)
+                .unwrap_or_else(|e| exit_with(&format!("loading --db {name}={path}: {e}")));
+            eprintln!(
+                "cqd2-serve: published `{name}` from {path}: {} facts in {} relations (epoch 0)",
+                snapshot.db().size(),
+                snapshot.db().relations().count()
+            );
+        }
     }
 
     let engine = Engine::new(EngineConfig {
         cache_capacity: args.cache_capacity,
         ..EngineConfig::default()
     });
+    if let Some(plans_path) = &args.plans {
+        if std::path::Path::new(plans_path).exists() {
+            match store::load_plans(plans_path, &engine, &catalog) {
+                Ok(load) if load.stale => eprintln!(
+                    "cqd2-serve: plan store {plans_path} is stale (catalog epochs changed); ignored"
+                ),
+                Ok(load) => {
+                    eprintln!(
+                        "cqd2-serve: preloaded {} plan(s) from {plans_path}",
+                        load.loaded
+                    )
+                }
+                Err(e) => eprintln!("cqd2-serve: ignoring plan store {plans_path}: {e}"),
+            }
+        }
+    }
     let server = Server::bind(&args.listen, args.config.clone())
         .unwrap_or_else(|e| exit_with(&format!("cannot bind {}: {e}", args.listen)));
     let addr = server.local_addr().expect("bound listener has an address");
@@ -168,6 +218,12 @@ fn main() {
     let stats = server
         .run(&engine, &catalog)
         .unwrap_or_else(|e| exit_with(&format!("server failed: {e}")));
+    if let Some(plans_path) = &args.plans {
+        match store::save_plans(plans_path, &engine, &catalog) {
+            Ok(count) => eprintln!("cqd2-serve: spilled {count} plan(s) to {plans_path}"),
+            Err(e) => eprintln!("cqd2-serve: could not spill plans to {plans_path}: {e}"),
+        }
+    }
     println!(
         "cqd2-serve: shutdown complete — {} connections, {} batches ({} queries, {} answered), \
          {} overload-rejected, {} parse errors, {} reloads, prepared cache {} hits / {} misses",

@@ -106,6 +106,41 @@ impl FlatRelation {
         &self.vars
     }
 
+    /// The contiguous row-major buffer: `rows * arity` values, row `i`
+    /// occupying `data[i * arity .. (i + 1) * arity]`. This is the
+    /// exact layout the snapshot store persists (section-aligned, so a
+    /// bulk read restores it without per-tuple work) — byte-for-byte
+    /// comparable across a save/load round trip.
+    pub fn data(&self) -> &[u64] {
+        &self.data
+    }
+
+    /// Rebuild a relation from a persisted row-major buffer. The shape
+    /// (`data.len() == rows * vars.len()`) and the kernel's
+    /// distinct-rows invariant (rows strictly increasing
+    /// lexicographically — the canonical order every constructor
+    /// establishes) are verified in `O(data.len())`; `None` means the
+    /// buffer does not describe a valid relation and must not enter
+    /// the kernel.
+    pub fn from_flat(vars: Vec<Var>, rows: usize, data: Vec<u64>) -> Option<FlatRelation> {
+        let arity = vars.len();
+        if arity == 0 {
+            if rows > 1 || !data.is_empty() {
+                return None;
+            }
+            return Some(FlatRelation { vars, rows, data });
+        }
+        if data.len() != rows.checked_mul(arity)? {
+            return None;
+        }
+        for i in 1..rows {
+            if data[(i - 1) * arity..i * arity] >= data[i * arity..(i + 1) * arity] {
+                return None;
+            }
+        }
+        Some(FlatRelation { vars, rows, data })
+    }
+
     /// Number of columns.
     pub fn arity(&self) -> usize {
         self.vars.len()
@@ -559,6 +594,23 @@ mod tests {
         assert_eq!(r.len(), 2);
         assert_eq!(r.row(0).len(), 2);
         assert_eq!(r.iter().count(), 2);
+    }
+
+    #[test]
+    fn flat_buffer_round_trips_through_from_flat() {
+        let r = rel(&[0, 1], &[&[3, 4], &[1, 2]]);
+        // from_rows dedup-sorted the rows, so the buffer is canonical.
+        assert_eq!(r.data(), &[1, 2, 3, 4]);
+        let back = FlatRelation::from_flat(r.vars().to_vec(), r.len(), r.data().to_vec())
+            .expect("canonical buffer round-trips");
+        assert_eq!(back, r);
+        // Shape mismatch, unsorted rows, and duplicates are all rejected.
+        assert!(FlatRelation::from_flat(vec![v(0), v(1)], 2, vec![1, 2, 3]).is_none());
+        assert!(FlatRelation::from_flat(vec![v(0), v(1)], 2, vec![3, 4, 1, 2]).is_none());
+        assert!(FlatRelation::from_flat(vec![v(0)], 2, vec![5, 5]).is_none());
+        // Nullary relations: the empty tuple at most once, no buffer.
+        assert!(FlatRelation::from_flat(vec![], 1, vec![]).is_some());
+        assert!(FlatRelation::from_flat(vec![], 2, vec![]).is_none());
     }
 
     #[test]

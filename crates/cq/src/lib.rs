@@ -42,7 +42,7 @@ pub mod relation;
 pub mod stats;
 pub mod sync;
 
-pub use database::Database;
+pub use database::{BulkLoadError, Database};
 pub use eval::{
     bcq_auto, bcq_auto_with, bcq_naive, bcq_via_ghd, count_auto, count_auto_with, count_naive,
     count_via_ghd, enumerate_naive, enumerate_via_ghd, with_sequential_bags, EvalError,

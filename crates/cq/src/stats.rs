@@ -76,6 +76,25 @@ impl DatabaseStats {
         }
     }
 
+    /// Reassemble a snapshot from persisted per-relation statistics
+    /// (the snapshot store's load path: statistics are computed once at
+    /// save time and carried in the file, so publishing a loaded
+    /// database skips the `O(‖D‖)` collection pass entirely).
+    /// `total_tuples` is recomputed from the cardinalities, so it can
+    /// never disagree with the parts.
+    pub fn from_parts(relations: BTreeMap<String, RelationStats>) -> DatabaseStats {
+        let total_tuples = relations.values().map(|r| r.cardinality).sum();
+        DatabaseStats {
+            relations,
+            total_tuples,
+        }
+    }
+
+    /// Iterate over `(name, statistics)` pairs, in name order.
+    pub fn relations(&self) -> impl Iterator<Item = (&str, &RelationStats)> {
+        self.relations.iter().map(|(n, r)| (n.as_str(), r))
+    }
+
     /// Statistics of one relation, if present.
     pub fn relation(&self, name: &str) -> Option<&RelationStats> {
         self.relations.get(name)
@@ -180,6 +199,18 @@ mod tests {
         assert_eq!(s.distinct, vec![2, 1]);
         assert_eq!(stats.total_tuples(), 6);
         assert!(stats.relation("T").is_none());
+    }
+
+    #[test]
+    fn from_parts_rebuilds_a_collected_snapshot() {
+        let collected = fixture().stats();
+        let parts: BTreeMap<String, RelationStats> = collected
+            .relations()
+            .map(|(n, r)| (n.to_string(), r.clone()))
+            .collect();
+        let rebuilt = DatabaseStats::from_parts(parts);
+        assert_eq!(rebuilt, collected);
+        assert_eq!(rebuilt.total_tuples(), 6);
     }
 
     #[test]

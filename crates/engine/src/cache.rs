@@ -187,6 +187,32 @@ impl PlanCache {
         self.entries -= 1;
     }
 
+    /// Is the structure class of `h` already cached? Unlike
+    /// [`PlanCache::lookup`] this bumps no counters and refreshes no LRU
+    /// stamps — it is the plan store's preload dedup probe, and must not
+    /// distort the serving hit/miss statistics.
+    pub fn contains(&self, h: &Hypergraph) -> bool {
+        let key = fingerprint(h);
+        self.buckets.get(&key).is_some_and(|bucket| {
+            bucket
+                .iter()
+                .any(|e| find_isomorphism(&e.representative, h).is_some())
+        })
+    }
+
+    /// Clone out every cached structure class as `(representative,
+    /// analysis)` pairs, LRU-oldest first (so a capacity-truncating
+    /// consumer keeps the hottest classes last-written). This is the
+    /// plan store's spill surface; counters are untouched.
+    pub fn export(&self) -> Vec<(Hypergraph, PlannedStructure)> {
+        let mut entries: Vec<&CacheEntry> = self.buckets.values().flatten().collect();
+        entries.sort_by_key(|e| e.last_used);
+        entries
+            .iter()
+            .map(|e| (e.representative.clone(), (*e.structure).clone()))
+            .collect()
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> CacheStats {
         CacheStats {

@@ -89,6 +89,26 @@ impl DatabaseSnapshot {
         }
     }
 
+    /// Construction from *precomputed* statistics: what the snapshot
+    /// store uses — a `.cqds` file carries the statistics persisted at
+    /// save time, so publishing a loaded database skips the `O(‖D‖)`
+    /// collection pass entirely. The caller vouches that `stats`
+    /// describes `db`; inside this crate that is the store's load path,
+    /// whose checksums protect the pair together.
+    pub fn with_stats(
+        name: impl Into<String>,
+        epoch: u64,
+        db: Database,
+        stats: DatabaseStats,
+    ) -> DatabaseSnapshot {
+        DatabaseSnapshot {
+            name: name.into(),
+            epoch,
+            db,
+            stats,
+        }
+    }
+
     /// A snapshot that is not published in any catalog (what the
     /// `&Database` convenience shim [`crate::Engine::session`] pins).
     pub(crate) fn detached(db: Database) -> DatabaseSnapshot {
@@ -178,6 +198,47 @@ impl Catalog {
         let snapshot = Arc::new(DatabaseSnapshot {
             epoch: current.epoch + 1,
             ..stats_ready
+        });
+        entries.insert(name.to_string(), Arc::clone(&snapshot));
+        Ok(snapshot)
+    }
+
+    /// [`Catalog::publish`] with precomputed statistics
+    /// ([`DatabaseSnapshot::with_stats`]): no statistics pass runs, not
+    /// even outside the lock. This is the snapshot store's publish path.
+    pub fn publish_with_stats(
+        &self,
+        name: impl Into<String>,
+        db: Database,
+        stats: DatabaseStats,
+    ) -> Result<Arc<DatabaseSnapshot>, EngineError> {
+        let name = name.into();
+        let snapshot = Arc::new(DatabaseSnapshot::with_stats(name.clone(), 0, db, stats));
+        let mut entries = write_or_poison(&self.entries);
+        if entries.contains_key(&name) {
+            return Err(EngineError::DuplicateDatabase(name));
+        }
+        entries.insert(name, Arc::clone(&snapshot));
+        Ok(snapshot)
+    }
+
+    /// [`Catalog::swap`] with precomputed statistics (the snapshot
+    /// store's reload path). Same epoch discipline as [`Catalog::swap`];
+    /// on error the current snapshot keeps serving.
+    pub fn swap_with_stats(
+        &self,
+        name: &str,
+        db: Database,
+        stats: DatabaseStats,
+    ) -> Result<Arc<DatabaseSnapshot>, EngineError> {
+        let ready = DatabaseSnapshot::with_stats(name, 0, db, stats);
+        let mut entries = write_or_poison(&self.entries);
+        let Some(current) = entries.get(name) else {
+            return Err(EngineError::UnknownDatabase(name.to_string()));
+        };
+        let snapshot = Arc::new(DatabaseSnapshot {
+            epoch: current.epoch + 1,
+            ..ready
         });
         entries.insert(name.to_string(), Arc::clone(&snapshot));
         Ok(snapshot)

@@ -481,6 +481,36 @@ impl Engine {
         cqd2_cq::sync::lock_or_poison(&self.inner.cache).stats()
     }
 
+    /// Clone out every cached structure class as `(representative,
+    /// analysis)` pairs (see [`PlanCache::export`]). This is the plan
+    /// store's spill surface; hit/miss counters are untouched.
+    pub fn export_plans(
+        &self,
+    ) -> Vec<(
+        cqd2_hypergraph::Hypergraph,
+        crate::planner::PlannedStructure,
+    )> {
+        cqd2_cq::sync::lock_or_poison(&self.inner.cache).export()
+    }
+
+    /// Seed the plan cache with a previously exported analysis, keyed by
+    /// its representative hypergraph. Returns `false` (and stores
+    /// nothing) when the structure class is already cached — preloading
+    /// never evicts or duplicates live entries, and bumps no hit/miss
+    /// counters.
+    pub fn preload_plan(
+        &self,
+        representative: &cqd2_hypergraph::Hypergraph,
+        structure: crate::planner::PlannedStructure,
+    ) -> bool {
+        let mut cache = cqd2_cq::sync::lock_or_poison(&self.inner.cache);
+        if cache.contains(representative) {
+            return false;
+        }
+        cache.insert(representative, structure);
+        true
+    }
+
     /// Whether this engine verifies plans at prepare time (see
     /// [`EngineConfig::strict_verify`]).
     pub fn strict_verify(&self) -> bool {

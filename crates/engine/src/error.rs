@@ -8,6 +8,7 @@
 use cqd2_cq::eval::EvalError;
 use cqd2_decomp::verify::VerifyError;
 
+use crate::store::StoreError;
 use crate::textio::ParseError;
 
 /// What can go wrong inside the serving engine.
@@ -35,6 +36,12 @@ pub enum EngineError {
     /// published (replace an existing database with
     /// [`crate::Catalog::swap`] instead).
     DuplicateDatabase(String),
+    /// A snapshot or plan-store file could not be read, written, or
+    /// decoded (see [`crate::store`]). Carried as a typed variant so
+    /// the server's reload path can distinguish a bad file from a bad
+    /// request — and so a failed [`crate::store::swap_snapshot`]
+    /// provably left the old epoch serving.
+    Store(StoreError),
     /// [`crate::Engine::shared_with_config`] lost the initialization
     /// race: the process-wide engine already existed (with whatever
     /// configuration first touched it), so the supplied configuration
@@ -57,6 +64,7 @@ impl std::fmt::Display for EngineError {
                     "database `{name}` is already published (swap to replace it)"
                 )
             }
+            EngineError::Store(e) => write!(f, "snapshot store: {e}"),
             EngineError::SharedEngineInitialized => write!(
                 f,
                 "the shared engine is already initialized; configuration not applied"
@@ -71,6 +79,7 @@ impl std::error::Error for EngineError {
             EngineError::Eval(e) => Some(e),
             EngineError::Parse(e) => Some(e),
             EngineError::Verify(e) => Some(e),
+            EngineError::Store(e) => Some(e),
             EngineError::UnknownDatabase(_)
             | EngineError::DuplicateDatabase(_)
             | EngineError::SharedEngineInitialized => None,
@@ -93,6 +102,12 @@ impl From<ParseError> for EngineError {
 impl From<VerifyError> for EngineError {
     fn from(e: VerifyError) -> EngineError {
         EngineError::Verify(e)
+    }
+}
+
+impl From<StoreError> for EngineError {
+    fn from(e: StoreError) -> EngineError {
+        EngineError::Store(e)
     }
 }
 

@@ -39,6 +39,13 @@
 //!   snapshot pinning, epoch-validated prepared-query caches, hot
 //!   `Reload` / `CatalogInfo` admin frames, a bounded queue with typed
 //!   backpressure, and graceful shutdown. See `docs/PROTOCOL.md`.
+//! - [`store`]: the **persistent snapshot + plan store** — a versioned,
+//!   checksummed `.cqds` binary format laying each relation out as the
+//!   kernel's contiguous `FlatRelation` buffer (mmap-ready sections,
+//!   statistics persisted alongside, so publishing a loaded snapshot
+//!   skips the statistics pass), plus a serde-gated plan-cache spill
+//!   keyed by hypergraph fingerprint with catalog epochs as the
+//!   invalidation token. See `docs/SNAPSHOT.md`.
 //! - [`metrics`]: zero-dependency observability primitives — lock-free
 //!   [`Counter`]s / [`Gauge`]s, a log-linear latency [`Histogram`] with
 //!   mergeable [`Snapshot`]s and p50/p90/p99 readout, and the
@@ -84,6 +91,7 @@ pub mod planner;
 #[cfg(feature = "serde")]
 pub mod server;
 pub mod session;
+pub mod store;
 pub mod textio;
 pub mod verify;
 
@@ -100,5 +108,6 @@ pub use planner::{PlannedStructure, Planner, PlannerConfig};
 #[cfg(feature = "serde")]
 pub use server::{Server, ServerConfig, ServerError, ServerHandle, ServerStats};
 pub use session::{AnswerCursor, PreparedQuery, Session};
+pub use store::{SnapshotFile, SnapshotSummary, StoreError};
 pub use textio::ParseError;
 pub use verify::{verify_planned, VerifiedPlan, VerifyReport};

@@ -164,6 +164,17 @@ impl Client {
         }
     }
 
+    /// Hot-reload the named database from a **server-local** snapshot
+    /// file (`.cqds`, see [`crate::store`]): a protocol-v2 `Reload`
+    /// admin frame whose payload names a path instead of carrying
+    /// facts. The path is resolved by the server process — nothing is
+    /// uploaded. A missing, corrupt, or version-skewed file surfaces as
+    /// a typed `Store` rejection ([`ServerError::Rejected`]) and the
+    /// previously published epoch keeps serving.
+    pub fn reload_snapshot(&mut self, name: &str, path: &str) -> Result<WireReloaded, ServerError> {
+        self.reload(name, &format!("@snapshot {path}"))
+    }
+
     /// Describe the server's catalog (served names, epochs, sizes, and
     /// whether reloads are enabled): a protocol-v2 `CatalogInfo` admin
     /// frame.

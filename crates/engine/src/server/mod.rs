@@ -247,6 +247,7 @@ struct StatsInner {
     prepared_misses: Counter,
     reloads: Counter,
     rejected_unauthorized: Counter,
+    store_errors: Counter,
     bags_rewritten: Counter,
     bags_total: Counter,
 }
@@ -267,6 +268,7 @@ impl StatsInner {
             prepared_misses: self.prepared_misses.get(),
             reloads: self.reloads.get(),
             rejected_unauthorized: self.rejected_unauthorized.get(),
+            store_errors: self.store_errors.get(),
             bags_rewritten: self.bags_rewritten.get(),
             bags_total: self.bags_total.get(),
         }
@@ -387,6 +389,10 @@ pub struct ServerStats {
     /// `Reload` frames rejected because the server runs without
     /// `allow_reload`.
     pub rejected_unauthorized: u64,
+    /// `Reload { path }` frames rejected because the named snapshot
+    /// file was missing, unreadable, corrupt, or version-skewed (the
+    /// old epoch kept serving every time).
+    pub store_errors: u64,
     /// Bag nodes rewritten (copied + filtered) by overlay tree passes
     /// across all answered GHD-plan queries.
     pub bags_rewritten: u64,
@@ -1235,8 +1241,37 @@ fn handle_reload(
         );
         return;
     };
-    let snapshot = match ctx.catalog.swap_str(name, facts) {
+    // Payload form 2: `@snapshot <path>` names a server-local `.cqds`
+    // file to swap in ([`crate::store`]) instead of inline facts. The
+    // `@` sigil cannot collide with facts text (the facts grammar
+    // rejects `@` lines), and the path is resolved by the *server*
+    // process — the client ships a name, never file contents.
+    let swapped = match facts.trim().strip_prefix("@snapshot") {
+        Some(path) => {
+            let path = path.trim();
+            if path.is_empty() {
+                ctx.metrics.totals.protocol_errors.inc();
+                let _ = writer.send_error(
+                    Some(seq),
+                    ErrorCode::BadFrame,
+                    "@snapshot needs a server-local file path",
+                    None,
+                );
+                return;
+            }
+            crate::store::swap_snapshot(ctx.catalog, name, path)
+        }
+        None => ctx.catalog.swap_str(name, facts),
+    };
+    let snapshot = match swapped {
         Ok(s) => s,
+        Err(EngineError::Store(e)) => {
+            // A bad file is the operator's problem, not the server's:
+            // typed code, old epoch untouched and still serving.
+            ctx.metrics.totals.store_errors.inc();
+            let _ = writer.send_error(Some(seq), ErrorCode::Store, e.to_string(), None);
+            return;
+        }
         Err(EngineError::Parse(e)) => {
             ctx.metrics.totals.parse_errors.inc();
             let _ = writer.send_error(
@@ -1346,6 +1381,7 @@ fn handle_stats(ctx: ConnCtx<'_>, writer: &ConnWriter, seq: u64, received_at: In
             prepared_hits: totals.prepared_hits,
             prepared_misses: totals.prepared_misses,
             reloads: totals.reloads,
+            store_errors: totals.store_errors,
             bags_rewritten: totals.bags_rewritten,
             bags_total: totals.bags_total,
             queue_depth: ctx.queue.len() as u64,

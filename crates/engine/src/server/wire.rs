@@ -228,6 +228,11 @@ pub enum ErrorCode {
     /// A `Reload` frame arrived but this server was not started with
     /// reloads enabled (`--allow-reload`). Connection survives.
     Unauthorized,
+    /// A `Reload` frame named a snapshot file (`@snapshot <path>`) the
+    /// server could not use: missing, unreadable, not a snapshot,
+    /// version-skewed, or corrupt. The previously published epoch keeps
+    /// serving. Connection survives.
+    Store,
 }
 
 /// Payload of a [`crate::server::frame::FrameType::Error`] frame.
@@ -352,6 +357,9 @@ pub struct WireStats {
     pub reloads: u64,
     /// `Reload` frames rejected with `Unauthorized`.
     pub rejected_unauthorized: u64,
+    /// `Reload { path }` frames rejected with `Store` (bad snapshot
+    /// file; the old epoch kept serving).
+    pub store_errors: u64,
     /// Bag nodes rewritten by overlay tree passes (all databases).
     pub bags_rewritten: u64,
     /// Bag nodes visited by those passes in total (all databases).
@@ -528,6 +536,7 @@ mod tests {
             prepared_misses: 6,
             reloads: 1,
             rejected_unauthorized: 0,
+            store_errors: 0,
             bags_rewritten: 3,
             bags_total: 90,
             queue_depth: 0,

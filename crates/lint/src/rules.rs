@@ -34,7 +34,7 @@ pub const LINTS: &[Lint] = &[
     Lint {
         name: "panic-in-hot-path",
         summary: "no unwrap/expect/panic!/unreachable! in serve-path code",
-        explain: "The serve path (crates/engine/src/{engine,catalog,session}.rs, \
+        explain: "The serve path (crates/engine/src/{engine,catalog,session,store}.rs, \
 crates/engine/src/server/, crates/cq/src/{eval,flat,probe}.rs) answers live queries: \
 a panic there kills a worker thread, poisons shared mutexes, and turns one bad request \
 into a denial of service for every connection. Return a typed error (EngineError, \
@@ -130,6 +130,7 @@ pub fn is_hot_path(rel_path: &str) -> bool {
         "crates/engine/src/engine.rs",
         "crates/engine/src/catalog.rs",
         "crates/engine/src/session.rs",
+        "crates/engine/src/store.rs",
         "crates/cq/src/eval.rs",
         "crates/cq/src/flat.rs",
         "crates/cq/src/probe.rs",

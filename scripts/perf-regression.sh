@@ -13,6 +13,8 @@
 #   engine_overlay           overlay warm runs ≥ 2× clone-based
 #                            execution (cq tree and engine PreparedQuery)
 #   engine_metrics_overhead  per-query instrumentation within 5%
+#   engine_snapshot          .cqds cold start ≥ 2× text re-parse +
+#                            re-stats on a ≥ 1e5-row database
 #
 # This script just orchestrates: build once, run each gate, summarize.
 # Usage: scripts/perf-regression.sh [bench ...]   (default: all gates)
@@ -20,7 +22,7 @@
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
-GATES=(relation_ops engine_prepared engine_catalog engine_overlay engine_metrics_overhead)
+GATES=(relation_ops engine_prepared engine_catalog engine_overlay engine_metrics_overhead engine_snapshot)
 if [ "$#" -gt 0 ]; then
   GATES=("$@")
 fi

@@ -714,3 +714,134 @@ fn inflight_results_after_reload_carry_old_answers() {
         assert_eq!(frame.frame_type, FrameType::Done);
     });
 }
+
+#[test]
+fn snapshot_reload_under_load_pins_inflight_batches_and_rejects_bad_paths() {
+    // The `Reload { path }` acceptance scenario: a server-local `.cqds`
+    // snapshot is swapped in while an enumeration batch is mid-flight —
+    // the in-flight batch finishes on its pinned epoch, fresh queries
+    // see the snapshot's data, and every bad path (missing file, not a
+    // snapshot, empty path) is a typed rejection that leaves the old
+    // epoch serving.
+    let q = canonical_query(&hyperchain(3, 2));
+    let old_db = planted_database(&q, 6, 24, 7);
+    let new_db = planted_database(&q, 6, 24, 99);
+    let new_count = count_naive(&q, &new_db);
+    assert_ne!(
+        count_naive(&q, &old_db),
+        new_count,
+        "fixture databases must be distinguishable"
+    );
+
+    let dir = std::env::temp_dir();
+    let snap_path = dir.join(format!("cqd2-e2e-reload-{}.cqds", std::process::id()));
+    let snap_path = snap_path.to_str().expect("temp path is UTF-8").to_string();
+    cqd2::engine::store::write_snapshot(&snap_path, &new_db).expect("write snapshot");
+    let junk_path = dir.join(format!("cqd2-e2e-junk-{}.txt", std::process::id()));
+    let junk_path = junk_path.to_str().expect("temp path is UTF-8").to_string();
+    std::fs::write(&junk_path, "R(1, 2)\nnot a snapshot\n").expect("write junk");
+
+    let catalog = Catalog::new();
+    catalog
+        .publish_str("hot", &textio::render_database(&old_db))
+        .expect("publish hot");
+    let config = ServerConfig {
+        // One worker: the batch executes sequentially, so results
+        // stream one by one while the snapshot reload lands in between.
+        workers: 1,
+        allow_reload: true,
+        ..test_config()
+    };
+    let queries_in_batch = 6u64;
+    let ((), stats) = with_server(config, &catalog, |addr, _| {
+        let mut client = Client::connect(addr).expect("connect");
+        client.bind_db("hot").expect("bind");
+        let batch = {
+            let mut text = String::new();
+            for _ in 0..queries_in_batch {
+                text.push_str(&format!("@enumerate\nQ: {}\n", q.display()));
+            }
+            text
+        };
+        client
+            .send(FrameType::Query, batch.as_bytes())
+            .expect("send batch");
+        let first = client.read().expect("first result");
+        assert_eq!(first.frame_type, FrameType::Result);
+
+        // Concurrent admin connection swaps in the snapshot file.
+        let mut admin = Client::connect(addr).expect("admin connect");
+        let reloaded = admin
+            .reload_snapshot("hot", &snap_path)
+            .expect("snapshot reload");
+        assert_eq!(reloaded.epoch, 1);
+        assert_eq!(reloaded.facts as usize, new_db.size());
+
+        // The in-flight batch still drains completely on epoch 0.
+        let mut results = 1u64;
+        loop {
+            let frame = client.read().expect("frame");
+            match frame.frame_type {
+                FrameType::Result => results += 1,
+                FrameType::Done => break,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(results, queries_in_batch);
+
+        // A fresh query on the same connection observes the snapshot.
+        let after = client
+            .query(&q.display(), Workload::Count)
+            .expect("query after snapshot reload");
+        assert_eq!(after.answer.as_count(), Some(new_count));
+
+        // Bad path #1: missing file — typed Store rejection, old epoch
+        // keeps serving, connection survives.
+        let err = match admin.reload_snapshot("hot", "/nonexistent/ghost.cqds") {
+            Err(cqd2::engine::server::ServerError::Rejected(e)) => e,
+            other => panic!("missing snapshot accepted: {other:?}"),
+        };
+        assert_eq!(err.code, ErrorCode::Store);
+        assert!(err.message.contains("ghost.cqds"), "{err:?}");
+
+        // Bad path #2: a real file that is not a snapshot.
+        let err = match admin.reload_snapshot("hot", &junk_path) {
+            Err(cqd2::engine::server::ServerError::Rejected(e)) => e,
+            other => panic!("junk file accepted: {other:?}"),
+        };
+        assert_eq!(err.code, ErrorCode::Store);
+
+        // Bad path #3: `@snapshot` with no path is a malformed frame.
+        let err = match admin.reload("hot", "@snapshot") {
+            Err(cqd2::engine::server::ServerError::Rejected(e)) => e,
+            other => panic!("empty path accepted: {other:?}"),
+        };
+        assert_eq!(err.code, ErrorCode::BadFrame);
+
+        // None of the failures bumped the epoch; the connection still
+        // answers with the snapshot's data.
+        let info = admin.catalog_info().expect("catalog info");
+        let hot = info.databases.iter().find(|d| d.name == "hot").unwrap();
+        assert_eq!(hot.epoch, 1, "failed snapshot reloads must not publish");
+        let again = admin_query_count(&mut admin, &q);
+        assert_eq!(again, Some(new_count));
+    });
+    assert_eq!(stats.reloads, 1, "only the successful swap counts");
+    assert_eq!(
+        stats.store_errors, 2,
+        "both file failures were typed Store errors"
+    );
+
+    std::fs::remove_file(&snap_path).ok();
+    std::fs::remove_file(&junk_path).ok();
+}
+
+/// Bind-and-count helper for the snapshot reload test's final probe.
+fn admin_query_count(admin: &mut Client, q: &cqd2::cq::ConjunctiveQuery) -> Option<u128> {
+    admin.bind_db("hot").expect("bind");
+    admin
+        .query(&q.display(), Workload::Count)
+        .expect("count")
+        .answer
+        .as_count()
+}

@@ -1,0 +1,224 @@
+//! Corruption robustness for the `.cqds` snapshot store: **every**
+//! mutation of a valid snapshot must surface as a typed
+//! [`StoreError`] — never a panic, never an attempt to allocate
+//! attacker-controlled amounts of memory.
+//!
+//! The sweeps are systematic, not sampled: every single-byte flip and
+//! every truncation length of a real snapshot is tried. Structural
+//! attacks (oversized counts, out-of-bounds offsets, zero arities) are
+//! patched into the file and *resealed* with valid checksums so they
+//! reach the structural validators instead of being caught by the
+//! checksum line of defense.
+//!
+//! Version-skew and reserved-flag semantics (the forward-compatibility
+//! contract) ride along: a bumped writer version is rejected naming
+//! both versions, and unknown flag bits survive a round-trip untouched.
+
+use cqd2::cq::Database;
+use cqd2::engine::store::{
+    decode_snapshot, encode_snapshot, encode_snapshot_with, inspect_bytes, reseal, StoreError,
+    FORMAT_VERSION,
+};
+
+/// A small but structurally rich database: multiple relations, an empty
+/// relation, a wide row, extreme values.
+fn sample_db() -> Database {
+    let mut db = Database::new();
+    db.insert("R", &[1, 2]);
+    db.insert("R", &[3, 4]);
+    db.insert("R", &[u64::MAX, 0]);
+    db.insert("S", &[7]);
+    db.insert("Wide", &[1, 2, 3, 4, u64::MAX]);
+    db.insert_sorted_relation("Empty", 2, Vec::new())
+        .expect("fresh name");
+    db
+}
+
+/// Decode + inspect under `catch_unwind`: the sweep's job is proving
+/// *absence of panics*, so a panic is reported with the mutation that
+/// caused it rather than as a bare test abort.
+fn must_fail_typed(bytes: &[u8], what: &str) {
+    let owned = bytes.to_vec();
+    let result = std::panic::catch_unwind(move || {
+        let decode_err = decode_snapshot(&owned).err();
+        let inspect_err = inspect_bytes(&owned).err();
+        (decode_err, inspect_err)
+    });
+    match result {
+        Err(_) => panic!("{what}: PANICKED instead of returning a typed error"),
+        Ok((decode_err, inspect_err)) => {
+            assert!(decode_err.is_some(), "{what}: decode_snapshot accepted it");
+            assert!(inspect_err.is_some(), "{what}: inspect_bytes accepted it");
+        }
+    }
+}
+
+#[test]
+fn every_single_byte_flip_is_rejected() {
+    let bytes = encode_snapshot(&sample_db());
+    decode_snapshot(&bytes).expect("pristine snapshot decodes");
+    for i in 0..bytes.len() {
+        let mut mutated = bytes.clone();
+        mutated[i] ^= 0xFF;
+        must_fail_typed(&mutated, &format!("byte {i} flipped"));
+    }
+}
+
+#[test]
+fn every_single_bit_flip_in_the_header_is_rejected() {
+    let bytes = encode_snapshot(&sample_db());
+    for i in 0..64.min(bytes.len()) {
+        for bit in 0..8 {
+            let mut mutated = bytes.clone();
+            mutated[i] ^= 1 << bit;
+            must_fail_typed(&mutated, &format!("header byte {i} bit {bit} flipped"));
+        }
+    }
+}
+
+#[test]
+fn every_truncation_is_rejected() {
+    let bytes = encode_snapshot(&sample_db());
+    for len in 0..bytes.len() {
+        must_fail_typed(&bytes[..len], &format!("truncated to {len} bytes"));
+    }
+}
+
+#[test]
+fn appended_garbage_is_rejected() {
+    let mut bytes = encode_snapshot(&sample_db());
+    bytes.extend_from_slice(b"trailing junk the header never promised");
+    must_fail_typed(&bytes, "bytes appended past file_len");
+}
+
+/// Patch little-endian words into a resealed copy so the mutation gets
+/// past both checksums and must be caught by structural validation.
+fn patched(bytes: &[u8], offset: usize, word: &[u8]) -> Vec<u8> {
+    let mut out = bytes.to_vec();
+    out[offset..offset + word.len()].copy_from_slice(word);
+    reseal(&mut out);
+    out
+}
+
+#[test]
+fn resealed_structural_attacks_are_rejected_without_oom() {
+    // Single relation keeps the TOC layout predictable:
+    // header 0..64, then name_len u32 @64, name "R" @68, arity u32 @69,
+    // rows u64 @73, data_offset u64 @81, distinct [u64; 2] @89.
+    let mut db = Database::new();
+    db.insert("R", &[1, 2]);
+    db.insert("R", &[3, 4]);
+    db.insert("R", &[5, 6]);
+    let bytes = encode_snapshot(&db);
+    decode_snapshot(&bytes).expect("pristine snapshot decodes");
+
+    // relation_count = u32::MAX: must be rejected by arithmetic/bounds
+    // checks, not by allocating a four-billion-entry TOC.
+    must_fail_typed(
+        &patched(&bytes, 16, &u32::MAX.to_le_bytes()),
+        "relation_count = u32::MAX (resealed)",
+    );
+
+    // name_len far past the end of the file.
+    must_fail_typed(
+        &patched(&bytes, 64, &0x7FFF_FFFFu32.to_le_bytes()),
+        "name_len = 2 GiB (resealed)",
+    );
+
+    // arity over MAX_ARITY — and the rows × arity product overflowing.
+    must_fail_typed(
+        &patched(&bytes, 69, &u32::MAX.to_le_bytes()),
+        "arity = u32::MAX (resealed)",
+    );
+
+    // arity = 0 with rows = 3: the zero-size-section OOM guard (a
+    // zero-arity relation holds at most one logical row).
+    must_fail_typed(
+        &patched(&bytes, 69, &0u32.to_le_bytes()),
+        "arity = 0 with rows = 3 (resealed)",
+    );
+
+    // rows = u64::MAX: section size must be computed with checked
+    // arithmetic, never allocated speculatively.
+    must_fail_typed(
+        &patched(&bytes, 73, &u64::MAX.to_le_bytes()),
+        "rows = u64::MAX (resealed)",
+    );
+
+    // data_offset past the end of the file, and misaligned.
+    must_fail_typed(
+        &patched(&bytes, 81, &u64::MAX.to_le_bytes()),
+        "data_offset = u64::MAX (resealed)",
+    );
+    let misaligned = u64::from_le_bytes(bytes[81..89].try_into().expect("8 bytes")) + 8;
+    must_fail_typed(
+        &patched(&bytes, 81, &misaligned.to_le_bytes()),
+        "data_offset misaligned (resealed)",
+    );
+
+    // distinct count exceeding the row count.
+    must_fail_typed(
+        &patched(&bytes, 89, &u64::MAX.to_le_bytes()),
+        "distinct > rows (resealed)",
+    );
+
+    // file_len lying about the length (shorter and longer), resealed.
+    must_fail_typed(
+        &patched(&bytes, 24, &64u64.to_le_bytes()),
+        "file_len = header only (resealed)",
+    );
+    must_fail_typed(
+        &patched(&bytes, 24, &u64::MAX.to_le_bytes()),
+        "file_len = u64::MAX (resealed)",
+    );
+}
+
+#[test]
+fn version_skew_is_rejected_naming_both_versions() {
+    let db = sample_db();
+    let future = encode_snapshot_with(&db, FORMAT_VERSION + 1, 0);
+    match decode_snapshot(&future) {
+        Err(StoreError::Version { found, supported }) => {
+            assert_eq!(found, FORMAT_VERSION + 1);
+            assert_eq!(supported, FORMAT_VERSION);
+            let message = StoreError::Version { found, supported }.to_string();
+            assert!(
+                message.contains("version 2") && message.contains("version 1"),
+                "error must name both versions, got: {message}"
+            );
+        }
+        other => panic!("future version accepted or mistyped: {other:?}"),
+    }
+    // A *flipped version byte* (without resealing) is corruption, not
+    // skew: the checksum catches it before the version check runs.
+    let mut flipped = encode_snapshot(&db);
+    flipped[8] ^= 0xFF;
+    match decode_snapshot(&flipped) {
+        Err(StoreError::Corrupt { .. }) => {}
+        other => panic!("flipped version byte should be Corrupt, got: {other:?}"),
+    }
+}
+
+#[test]
+fn reserved_flags_round_trip_untouched() {
+    let db = sample_db();
+    let flagged = encode_snapshot_with(&db, FORMAT_VERSION, 0xDEAD_BEEF);
+    let file = decode_snapshot(&flagged).expect("unknown flags are tolerated");
+    assert_eq!(file.flags, 0xDEAD_BEEF, "reserved flag bits must survive");
+    assert_eq!(file.db, db, "flags must not perturb the payload");
+    let summary = inspect_bytes(&flagged).expect("flagged snapshot inspects");
+    assert_eq!(summary.flags, 0xDEAD_BEEF);
+}
+
+#[test]
+fn io_failures_surface_as_typed_errors() {
+    let missing = "/nonexistent/cqd2-no-such-dir/db.cqds";
+    match cqd2::engine::store::read_snapshot(missing) {
+        Err(StoreError::Io { path, .. }) => assert_eq!(path, missing),
+        other => panic!("missing file should be Io, got: {other:?}"),
+    }
+    match cqd2::engine::store::inspect_snapshot(missing) {
+        Err(StoreError::Io { .. }) => {}
+        other => panic!("missing file should be Io, got: {other:?}"),
+    }
+}
