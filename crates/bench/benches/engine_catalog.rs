@@ -81,6 +81,7 @@ fn bench(c: &mut Criterion) {
         "owned epoch-pinned re-execution must stay within 10% of the \
          borrowed-API baseline (got {ratio:.3}×: {owned_best:?} vs {shim_best:?})"
     );
+    println!("GATE engine_catalog/owned_overhead ratio={ratio:.3} floor=1.10 cmp=le status=PASS");
 
     // Control plane, reported for the record: what a hot reload costs.
     let t = Instant::now();

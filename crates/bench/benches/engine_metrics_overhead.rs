@@ -72,6 +72,9 @@ fn bench(c: &mut Criterion) {
          (got {:.2}%: {traced_best:?} vs {bare_best:?})",
         (ratio - 1.0) * 100.0
     );
+    println!(
+        "GATE engine_metrics_overhead/instrumentation ratio={ratio:.3} floor=1.05 cmp=le status=PASS"
+    );
 
     let mut g = c.benchmark_group("engine_metrics_overhead");
     g.bench_function("bare/prepared_run", |b| {

@@ -192,6 +192,10 @@ fn bench(c: &mut Criterion) {
         overlay * 2 <= cloned,
         "overlay bcq ({overlay:?}) must be ≥ 2× over the clone baseline ({cloned:?})"
     );
+    println!(
+        "GATE engine_overlay/cq_tree ratio={:.3} floor=2.0 cmp=ge status=PASS",
+        ratio(cloned, overlay)
+    );
 
     // Engine level: a warm PreparedQuery::run must hit the same overlay
     // path — provenance says so — and beat a clone-based baseline over
@@ -246,6 +250,10 @@ fn bench(c: &mut Criterion) {
     assert!(
         warm * 2 <= engine_cloned,
         "warm prepared run ({warm:?}) must be ≥ 2× over the clone baseline ({engine_cloned:?})"
+    );
+    println!(
+        "GATE engine_overlay/prepared_run ratio={:.3} floor=2.0 cmp=ge status=PASS",
+        ratio(engine_cloned, warm)
     );
 
     let mut g = c.benchmark_group("engine_overlay");

@@ -66,6 +66,7 @@ fn bench(c: &mut Criterion) {
         "prepared re-execution must be at least 2× over per-call serve \
          (got {speedup:.2}×: {prepared_time:?} vs {unprepared:?})"
     );
+    println!("GATE engine_prepared/warm_handle ratio={speedup:.3} floor=2.0 cmp=ge status=PASS");
 
     let mut g = c.benchmark_group("engine_prepared");
     g.bench_function("unprepared/serve_per_call", |b| {

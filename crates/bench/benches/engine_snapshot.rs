@@ -125,6 +125,7 @@ fn bench(c: &mut Criterion) {
         "snapshot load must be >= 2x faster than text re-parse + re-stats \
          (got {speedup:.2}x: {snap_best:?} vs {text_best:?})"
     );
+    println!("GATE engine_snapshot/cold_start ratio={speedup:.3} floor=2.0 cmp=ge status=PASS");
 
     // Criterion group: the two cold-start routes, file to published.
     let mut g = c.benchmark_group("engine_snapshot");

@@ -136,6 +136,14 @@ fn bench(c: &mut Criterion) {
         "chunked semijoin filter ({chunked_filter:?}) must be ≥ 1.3× over the \
          HashSet reference ({ref_filter:?})"
     );
+    println!(
+        "GATE relation_ops/columnar_join ratio={:.3} floor=2.0 cmp=ge status=PASS",
+        ratio(old_join, new_join)
+    );
+    println!(
+        "GATE relation_ops/chunked_filter ratio={:.3} floor=1.3 cmp=ge status=PASS",
+        ratio(ref_filter, chunked_filter)
+    );
 
     let mut g = c.benchmark_group("relation_ops");
     g.bench_function("join/row_store_80k_40k", |b| {

@@ -23,6 +23,11 @@
 //!     --db main new-facts.txt
 //! cargo run --release --bin cqd2-analyze -- client catalog --addr 127.0.0.1:7878
 //!
+//! # incremental update: apply an @insert/@delete delta script — only
+//! # touched relations are rebuilt, warm prepared handles stay warm
+//! cargo run --release --bin cqd2-analyze -- client delta --addr 127.0.0.1:7878 \
+//!     --db main changes.delta
+//!
 //! # snapshot store: convert facts to the binary .cqds format and back
 //! cargo run --release --bin cqd2-analyze -- snapshot save facts.txt db.cqds
 //! cargo run --release --bin cqd2-analyze -- snapshot inspect db.cqds
@@ -334,6 +339,8 @@ fn run_eval(args: &[String]) {
 /// `--trace` asks the server for per-phase span breakdowns.
 /// Admin modes: `client reload --addr A --db NAME FACTS_FILE`
 /// hot-reloads a served database (server must run `--allow-reload`);
+/// `client delta --addr A --db NAME DELTA_FILE` applies an incremental
+/// `@insert`/`@delete` batch (same gate, structural-sharing publish);
 /// `client catalog --addr A` prints the served names and epochs;
 /// `client stats --addr A` prints the server's metrics snapshot.
 #[cfg(feature = "serde")]
@@ -343,6 +350,7 @@ fn run_client(args: &[String]) {
 
     match args.first().map(String::as_str) {
         Some("reload") => return run_client_reload(&args[1..]),
+        Some("delta") => return run_client_delta(&args[1..]),
         Some("catalog") => return run_client_catalog(&args[1..]),
         Some("stats") => return run_client_stats(&args[1..]),
         _ => {}
@@ -516,6 +524,63 @@ fn run_client_reload(args: &[String]) {
     );
 }
 
+/// `client delta`: apply an incremental update batch to a served
+/// database over the wire. The positional argument is a delta-script
+/// file — `@insert` / `@delete` section directives followed by fact
+/// lines. Unlike `client reload`, the server only rebuilds the touched
+/// relations (everything else is structurally shared into the new
+/// epoch) and migrates warm prepared handles instead of purging them.
+#[cfg(feature = "serde")]
+fn run_client_delta(args: &[String]) {
+    use cqd2::engine::server::client::Client;
+
+    let mut addr: Option<String> = None;
+    let mut db: Option<String> = None;
+    let mut file: Option<&str> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value_of = |flag: &str| -> String {
+            iter.next()
+                .unwrap_or_else(|| exit_with(&format!("client delta: {flag} needs a value")))
+                .clone()
+        };
+        match arg.as_str() {
+            "--addr" => addr = Some(value_of("--addr")),
+            "--db" => db = Some(value_of("--db")),
+            flag if flag.starts_with("--") => {
+                exit_with(&format!("client delta: unknown flag {flag}"))
+            }
+            path if file.is_none() => file = Some(path),
+            extra => exit_with(&format!("client delta: unexpected argument `{extra}`")),
+        }
+    }
+    let addr = addr.unwrap_or_else(|| exit_with("client delta: --addr host:port is required"));
+    let db = db.unwrap_or_else(|| exit_with("client delta: --db name is required"));
+    let file = file.unwrap_or_else(|| {
+        exit_with("client delta: a delta-script file (@insert/@delete sections) is required")
+    });
+    let script = std::fs::read_to_string(file)
+        .unwrap_or_else(|e| exit_with(&format!("client delta: cannot read {file}: {e}")));
+    let mut client = Client::connect(&addr)
+        .unwrap_or_else(|e| exit_with(&format!("client delta: cannot connect to {addr}: {e}")));
+    let applied = client
+        .delta(&db, &script)
+        .unwrap_or_else(|e| exit_with(&format!("client delta: `{db}`: {e}")));
+    println!(
+        "delta applied to `{}`: epoch {}, +{} −{} facts (now {}), touched [{}]",
+        applied.db,
+        applied.epoch,
+        applied.inserted,
+        applied.deleted,
+        applied.facts,
+        applied.relations_touched.join(", "),
+    );
+    println!(
+        "  prepared handles: {} migrated warm, {} re-prepared, {} bag(s) re-materialized in {}µs",
+        applied.prepared_warm, applied.prepared_reprepared, applied.bags_remat, applied.server_micros,
+    );
+}
+
 /// `client catalog`: print the served databases, their epochs and
 /// sizes, and whether the server accepts reloads.
 #[cfg(feature = "serde")]
@@ -614,6 +679,14 @@ fn run_client_stats(args: &[String]) {
     );
     println!("reloads {}", stats.reloads);
     println!(
+        "deltas: {} applied (+{} −{} facts), {} rejected, {} bags re-materialized warm",
+        stats.delta_batches,
+        stats.facts_inserted,
+        stats.facts_deleted,
+        stats.delta_errors,
+        stats.bags_remat
+    );
+    println!(
         "queue: depth {}, high-water {}, capacity {}",
         stats.queue_depth, stats.queue_high_water, stats.queue_capacity
     );
@@ -634,6 +707,12 @@ fn run_client_stats(args: &[String]) {
             "db {}: bag overlay {} / {} bags rewritten",
             d.name, d.bags_rewritten, d.bags_total
         );
+        if d.delta_batches > 0 {
+            println!(
+                "db {}: deltas {} (+{} −{} facts), {} bags re-materialized warm",
+                d.name, d.delta_batches, d.facts_inserted, d.facts_deleted, d.bags_remat
+            );
+        }
         let h = &d.latency;
         println!(
             "db {}: latency over {} queries — p50 {}µs p90 {}µs p99 {}µs max {}µs mean {}µs",

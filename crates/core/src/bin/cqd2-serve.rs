@@ -17,6 +17,10 @@
 //! # hot-reload `main` without restarting (requires --allow-reload):
 //! cargo run --release --bin cqd2-analyze -- client reload \
 //!     --addr 127.0.0.1:7878 --db main new-facts.txt
+//! # or apply an incremental @insert/@delete delta — only touched
+//! # relations are rebuilt, warm prepared handles stay warm:
+//! cargo run --release --bin cqd2-analyze -- client delta \
+//!     --addr 127.0.0.1:7878 --db main changes.delta
 //! ```
 //!
 //! Flags: `--listen addr:port` (default `127.0.0.1:7878`; port 0 lets
@@ -27,7 +31,9 @@
 //! anything else parses as a facts-only text file, see
 //! `cqd2::engine::textio::parse_database`; repeating a name is a
 //! startup error, never silent last-wins),
-//! `--allow-reload` (accept protocol-v2 `Reload` admin frames),
+//! `--allow-reload` (accept protocol-v2 `Reload` *and* incremental
+//! `Delta` admin frames — both mutate served data, so they share the
+//! gate),
 //! `--plans path` (plan-store spill: preload the engine's plan cache
 //! from `path` at startup when the file exists and the catalog epochs
 //! still match, and spill the cache back at shutdown),
@@ -114,7 +120,8 @@ fn parse_args(argv: &[String]) -> Args {
                      \x20          [--prepared N] [--cache N] [--stats-interval SECS]\n\
                      \x20          [--shutdown-on-stdin-close]\n\
                      \x20 --db paths may be text facts files or binary .cqds snapshots\n\
-                     \x20 (sniffed by magic; see docs/SNAPSHOT.md)"
+                     \x20 (sniffed by magic; see docs/SNAPSHOT.md)\n\
+                     \x20 --allow-reload gates both Reload and incremental Delta admin frames"
                 );
                 std::process::exit(0);
             }
@@ -178,8 +185,10 @@ fn main() {
     if let Some(plans_path) = &args.plans {
         if std::path::Path::new(plans_path).exists() {
             match store::load_plans(plans_path, &engine, &catalog) {
-                Ok(load) if load.stale => eprintln!(
-                    "cqd2-serve: plan store {plans_path} is stale (catalog epochs changed); ignored"
+                Ok(load) if load.stale > 0 => eprintln!(
+                    "cqd2-serve: preloaded {} plan(s) from {plans_path}, \
+                     skipped {} stale record(s) (catalog epochs moved)",
+                    load.loaded, load.stale
                 ),
                 Ok(load) => {
                     eprintln!(
@@ -204,7 +213,7 @@ fn main() {
         spawn_stdin_watch(handle.shutdown_flag());
     }
     if args.config.allow_reload {
-        eprintln!("cqd2-serve: reloads enabled (--allow-reload)");
+        eprintln!("cqd2-serve: reloads and deltas enabled (--allow-reload)");
     }
     if let Some(secs) = args.stats_interval {
         spawn_stats_dump(handle.clone(), secs);

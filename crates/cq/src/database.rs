@@ -1,6 +1,13 @@
 //! Databases: sets of ground relational atoms, stored per relation.
+//!
+//! Relations are held behind [`Arc`]s so snapshots produced by the
+//! delta kernel ([`crate::delta`]) share untouched relations
+//! structurally: applying a small batch of fact changes to one relation
+//! clones one `Arc` per *untouched* relation and rebuilds only the
+//! touched ones.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A stored relation: a set of tuples of a fixed arity.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -22,7 +29,7 @@ pub struct StoredRelation {
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct Database {
-    relations: BTreeMap<String, StoredRelation>,
+    relations: BTreeMap<String, Arc<StoredRelation>>,
 }
 
 #[cfg(feature = "serde")]
@@ -49,7 +56,12 @@ impl serde::Deserialize for Database {
             rel.tuples.sort_unstable();
             rel.tuples.dedup();
         }
-        Ok(Database { relations })
+        Ok(Database {
+            relations: relations
+                .into_iter()
+                .map(|(name, rel)| (name, Arc::new(rel)))
+                .collect(),
+        })
     }
 }
 
@@ -124,15 +136,18 @@ impl Database {
         let rel = self
             .relations
             .entry(relation.to_string())
-            .or_insert_with(|| StoredRelation {
-                arity: tuple.len(),
-                tuples: Vec::new(),
+            .or_insert_with(|| {
+                Arc::new(StoredRelation {
+                    arity: tuple.len(),
+                    tuples: Vec::new(),
+                })
             });
         assert_eq!(
             rel.arity,
             tuple.len(),
             "arity mismatch for relation {relation}"
         );
+        let rel = Arc::make_mut(rel);
         if let Err(pos) = rel.tuples.binary_search_by(|t| t.as_slice().cmp(tuple)) {
             rel.tuples.insert(pos, tuple.to_vec());
         }
@@ -182,18 +197,41 @@ impl Database {
             }
         }
         self.relations
-            .insert(relation.to_string(), StoredRelation { arity, tuples });
+            .insert(relation.to_string(), Arc::new(StoredRelation { arity, tuples }));
         Ok(())
     }
 
     /// The relation, if present.
     pub fn relation(&self, name: &str) -> Option<&StoredRelation> {
+        self.relations.get(name).map(Arc::as_ref)
+    }
+
+    /// The relation's shared handle, if present. Two snapshots related
+    /// by a delta share untouched relations — `Arc::ptr_eq` on these
+    /// handles is the structural-sharing witness the update plane's
+    /// tests assert.
+    pub fn relation_arc(&self, name: &str) -> Option<&Arc<StoredRelation>> {
         self.relations.get(name)
     }
 
     /// Iterate over `(name, relation)` pairs.
     pub fn relations(&self) -> impl Iterator<Item = (&str, &StoredRelation)> {
+        self.relations.iter().map(|(n, r)| (n.as_str(), r.as_ref()))
+    }
+
+    /// Iterate over `(name, shared handle)` pairs — the delta kernel's
+    /// view, where untouched handles are cloned into the next snapshot.
+    pub fn relation_arcs(&self) -> impl Iterator<Item = (&str, &Arc<StoredRelation>)> {
         self.relations.iter().map(|(n, r)| (n.as_str(), r))
+    }
+
+    /// Assemble a database from shared relation handles. The caller
+    /// vouches that every relation upholds the sorted-distinct invariant
+    /// — this is the delta kernel's publish path, whose merge produces
+    /// exactly that form (and whose untouched handles came out of a
+    /// database that already upheld it).
+    pub(crate) fn from_shared(relations: BTreeMap<String, Arc<StoredRelation>>) -> Database {
+        Database { relations }
     }
 
     /// Total number of tuples (`‖D‖` up to constant factors).

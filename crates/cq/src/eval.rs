@@ -415,18 +415,76 @@ pub struct MaterializedBags {
     /// keyed on `up_key` (what the parent's bottom-up semijoin probes).
     /// Sound to reuse across runs because overlays never mutate the
     /// base; passes consult it only while the node is unrewritten.
-    base_tables: Vec<OnceLock<KeyTable>>,
+    /// `Arc`'d so [`MaterializedBags::refresh`] can share a clean node's
+    /// filled table with the refreshed tree instead of rebuilding it.
+    base_tables: Vec<OnceLock<Arc<KeyTable>>>,
     /// Lazily-built per-key multiplicity table per **leaf** node (the
     /// counting DP's child aggregation with all-ones counts — leaves are
     /// never rewritten by the DP, so this too survives across runs).
-    leaf_aggs: Vec<OnceLock<AggTable>>,
+    leaf_aggs: Vec<OnceLock<Arc<AggTable>>>,
     /// Lazily-built probe table per non-root node, over the **parent's**
     /// base relation, keyed on `parent_key` (what the enumerator's
     /// top-down semijoin probes when the parent is unrewritten).
-    down_tables: Vec<OnceLock<KeyTable>>,
+    down_tables: Vec<OnceLock<Arc<KeyTable>>>,
+    /// Per-bag materialization recipe, retained so
+    /// [`MaterializedBags::refresh`] can re-run exactly the build-time
+    /// join/project sequence for a dirty bag against a new database.
+    recipes: Vec<BagRecipe>,
     root: usize,
     /// `q.num_vars()` at build time (answer tuple width).
     num_vars: usize,
+}
+
+/// What it takes to re-materialize one bag: the atom indices joined as
+/// the `λ` cover, the bag's variables (the projection between cover and
+/// assigned joins), and the atoms assigned to the bag. All three are
+/// data-independent — re-running the recipe against any database yields
+/// a relation with the **same column layout**, which is what keeps the
+/// tree's resolved semijoin keys (`up_key` / `parent_key`) valid across
+/// a refresh.
+#[derive(Debug, Clone)]
+struct BagRecipe {
+    /// Atom indices of the cover's edge representatives, in cover order.
+    cover_atoms: Vec<usize>,
+    /// The bag's variables, in bag order.
+    bag_vars: Vec<Var>,
+    /// Atom indices assigned to this bag, in assignment order.
+    assigned_atoms: Vec<usize>,
+}
+
+impl BagRecipe {
+    /// Every atom index this bag's materialization reads.
+    fn atoms(&self) -> impl Iterator<Item = usize> + '_ {
+        self.cover_atoms
+            .iter()
+            .chain(&self.assigned_atoms)
+            .copied()
+    }
+}
+
+/// Run one bag's recipe: join the cover representatives, project to the
+/// bag's variables, then join the assigned atoms. `bound` resolves an
+/// atom index to its bound relation.
+fn materialize_bag<'a>(
+    recipe: &BagRecipe,
+    bound: impl Fn(usize) -> &'a FlatRelation,
+) -> FlatRelation {
+    let mut rel = FlatRelation::unit();
+    for &ai in &recipe.cover_atoms {
+        rel = rel.join(bound(ai));
+    }
+    // Project to bag variables (cover may reach outside the bag).
+    let keep: Vec<Var> = recipe
+        .bag_vars
+        .iter()
+        .copied()
+        .filter(|v| rel.vars().contains(v))
+        .collect();
+    rel = rel.project(&keep);
+    for &ai in &recipe.assigned_atoms {
+        rel = rel.join(bound(ai));
+    }
+    rel
 }
 
 impl MaterializedBags {
@@ -472,9 +530,146 @@ impl MaterializedBags {
             base_tables: (0..self.relations.len()).map(|_| OnceLock::new()).collect(),
             leaf_aggs: (0..self.relations.len()).map(|_| OnceLock::new()).collect(),
             down_tables: (0..self.relations.len()).map(|_| OnceLock::new()).collect(),
+            recipes: self.recipes.clone(),
             root: self.root,
             num_vars: self.num_vars,
         }
+    }
+
+    /// **Warm maintenance** after a delta: rebuild only the bags whose
+    /// materialization reads a relation in `dirty`, sharing every clean
+    /// bag's relation (an `Arc` bump, no buffer copy) *and* its filled
+    /// probe-table caches with `self`. `q` must be the query this tree
+    /// was built for and `db` the post-delta database; `dirty` holds the
+    /// names of the relations the delta touched.
+    ///
+    /// Dirty bags re-run their retained build recipe, which reproduces
+    /// the build-time column layout exactly, so the tree shape and the
+    /// resolved semijoin keys carry over unchanged. Cache carry-over
+    /// follows each table's validity domain: a node's up-probe table and
+    /// leaf aggregation move over iff the node itself is clean; a node's
+    /// down-probe table (built over its *parent's* relation) moves over
+    /// iff the parent is clean.
+    ///
+    /// Returns the refreshed tree plus the maintenance sparsity: how
+    /// many bags were re-materialized out of the total. `rewritten == 0`
+    /// means the delta did not intersect this query at all and the
+    /// refreshed tree is a pure share of `self`.
+    pub fn refresh(
+        &self,
+        q: &ConjunctiveQuery,
+        db: &Database,
+        dirty: &[String],
+    ) -> (MaterializedBags, PassStats) {
+        let n = self.relations.len();
+        let is_dirty_rel = |name: &str| dirty.iter().any(|d| d == name);
+        let dirty_bag: Vec<bool> = self
+            .recipes
+            .iter()
+            .map(|r| r.atoms().any(|ai| is_dirty_rel(&q.atoms[ai].relation)))
+            .collect();
+        // Re-bind only the atoms the dirty bags actually read; clean
+        // relations are never scanned.
+        let mut bound: Vec<Option<FlatRelation>> = (0..q.atoms.len()).map(|_| None).collect();
+        for (u, recipe) in self.recipes.iter().enumerate() {
+            if !dirty_bag[u] {
+                continue;
+            }
+            for ai in recipe.atoms() {
+                if bound[ai].is_none() {
+                    bound[ai] = Some(FlatRelation::bind(&q.atoms[ai], db));
+                }
+            }
+        }
+        let dirty_nodes: Vec<usize> = (0..n).filter(|&u| dirty_bag[u]).collect();
+        let bound_tuples: usize = bound.iter().flatten().map(FlatRelation::len).sum();
+        let parallel = dirty_nodes.len() > 1
+            && bound_tuples >= PARALLEL_BAG_THRESHOLD
+            && !SEQUENTIAL_BAGS.with(std::cell::Cell::get);
+        let workers = if parallel {
+            std::thread::available_parallelism().map_or(1, |p| p.get())
+        } else {
+            1
+        };
+        let remat: Vec<FlatRelation> =
+            crate::par::scoped_map(dirty_nodes.len(), workers, |i| {
+                materialize_bag(&self.recipes[dirty_nodes[i]], |ai| {
+                    bound[ai]
+                        .as_ref()
+                        // cqd2-lint: allow(panic-in-hot-path, reason = "every atom a dirty bag reads was bound in the loop above")
+                        .expect("dirty bag atom bound")
+                })
+            });
+        let mut relations: Vec<Arc<FlatRelation>> =
+            self.relations.iter().map(Arc::clone).collect();
+        for (i, rel) in remat.into_iter().enumerate() {
+            let u = dirty_nodes[i];
+            debug_assert_eq!(
+                rel.vars(),
+                self.relations[u].vars(),
+                "recipe re-run must reproduce the bag's column layout"
+            );
+            relations[u] = Arc::new(rel);
+        }
+        // Carry over the caches whose validity domain stayed clean.
+        let seed_key = |src: &OnceLock<Arc<KeyTable>>, valid: bool| {
+            let lock = OnceLock::new();
+            if valid {
+                if let Some(t) = src.get() {
+                    let _ = lock.set(Arc::clone(t));
+                }
+            }
+            lock
+        };
+        let base_tables: Vec<OnceLock<Arc<KeyTable>>> = (0..n)
+            .map(|c| seed_key(&self.base_tables[c], !dirty_bag[c]))
+            .collect();
+        let down_tables: Vec<OnceLock<Arc<KeyTable>>> = (0..n)
+            .map(|c| {
+                let p = self.parents[c];
+                seed_key(&self.down_tables[c], p != usize::MAX && !dirty_bag[p])
+            })
+            .collect();
+        let leaf_aggs: Vec<OnceLock<Arc<AggTable>>> = (0..n)
+            .map(|c| {
+                let lock = OnceLock::new();
+                if !dirty_bag[c] {
+                    if let Some(t) = self.leaf_aggs[c].get() {
+                        let _ = lock.set(Arc::clone(t));
+                    }
+                }
+                lock
+            })
+            .collect();
+        let stats = PassStats {
+            rewritten: dirty_nodes.len(),
+            total: n,
+        };
+        (
+            MaterializedBags {
+                relations,
+                children: self.children.clone(),
+                parents: self.parents.clone(),
+                post_order: self.post_order.clone(),
+                levels: self.levels.clone(),
+                up_key: self.up_key.clone(),
+                parent_key: self.parent_key.clone(),
+                base_tables,
+                leaf_aggs,
+                down_tables,
+                recipes: self.recipes.clone(),
+                root: self.root,
+                num_vars: self.num_vars,
+            },
+            stats,
+        )
+    }
+
+    /// `Arc` identity of bag `u`'s materialized relation — the witness
+    /// differential tests use to assert that a refresh shared (rather
+    /// than rebuilt) a clean bag.
+    pub fn bag_arc(&self, u: usize) -> &Arc<FlatRelation> {
+        &self.relations[u]
     }
 
     /// Decide `q(D) ≠ ∅` with an overlay Boolean pass (Prop. 2.2
@@ -564,7 +759,7 @@ impl MaterializedBags {
                         ov.rel(c).semijoin_filter_with(&table, &self.up_key[c])
                     } else {
                         let table = self.down_tables[c].get_or_init(|| {
-                            KeyTable::build(&self.relations[u], &self.parent_key[c])
+                            Arc::new(KeyTable::build(&self.relations[u], &self.parent_key[c]))
                         });
                         ov.rel(c).semijoin_filter_with(table, &self.up_key[c])
                     };
@@ -668,7 +863,7 @@ impl MaterializedBags {
                 parent.semijoin_filter_with(&table, &self.parent_key[c])
             } else {
                 let table = self.base_tables[c]
-                    .get_or_init(|| KeyTable::build(&self.relations[c], &self.up_key[c]));
+                    .get_or_init(|| Arc::new(KeyTable::build(&self.relations[c], &self.up_key[c])));
                 parent.semijoin_filter_with(table, &self.parent_key[c])
             };
             if let Some(f) = filtered {
@@ -705,7 +900,7 @@ impl MaterializedBags {
             let agg: &AggTable = if self.children[c].is_empty() {
                 debug_assert!(!ov.is_rewritten(c) && counts[c].is_none());
                 self.leaf_aggs[c]
-                    .get_or_init(|| AggTable::build(&self.relations[c], &self.up_key[c], None))
+                    .get_or_init(|| Arc::new(AggTable::build(&self.relations[c], &self.up_key[c], None)))
             } else {
                 fresh = AggTable::build(ov.rel(c), &self.up_key[c], counts[c].as_deref());
                 &fresh
@@ -770,26 +965,19 @@ fn build_bag_tree(
     // Materialize each bag: join cover representatives, project to bag,
     // then join all assigned atoms. Bags depend only on the shared
     // `bound` relations, never on each other, so on databases big enough
-    // to amortize thread setup the bags materialize concurrently.
+    // to amortize thread setup the bags materialize concurrently. The
+    // recipe (which atoms, joined in which order, projected to which
+    // variables) is retained on the handle so `refresh` can re-run it
+    // per dirty bag after a delta.
     let n = ghd.td.bags.len();
-    let materialize = |u: usize| -> FlatRelation {
-        let bag_vars: Vec<Var> = ghd.td.bags[u].iter().map(|v| Var(v.0)).collect();
-        let mut rel = FlatRelation::unit();
-        for &e in &ghd.covers[u] {
-            rel = rel.join(&bound[edge_rep[e.idx()]]);
-        }
-        // Project to bag variables (cover may reach outside the bag).
-        let keep: Vec<Var> = bag_vars
-            .iter()
-            .copied()
-            .filter(|v| rel.vars().contains(v))
-            .collect();
-        rel = rel.project(&keep);
-        for &ai in &assigned[u] {
-            rel = rel.join(&bound[ai]);
-        }
-        rel
-    };
+    let recipes: Vec<BagRecipe> = (0..n)
+        .map(|u| BagRecipe {
+            cover_atoms: ghd.covers[u].iter().map(|e| edge_rep[e.idx()]).collect(),
+            bag_vars: ghd.td.bags[u].iter().map(|v| Var(v.0)).collect(),
+            assigned_atoms: assigned[u].clone(),
+        })
+        .collect();
+    let materialize = |u: usize| materialize_bag(&recipes[u], |ai| &bound[ai]);
     // Gate parallelism on the tuples the *query* actually touches (the
     // bound atom relations), not the whole database — a big unrelated
     // relation must not trigger thread spawns for a microsecond join.
@@ -877,6 +1065,7 @@ fn build_bag_tree(
         base_tables: (0..n).map(|_| OnceLock::new()).collect(),
         leaf_aggs: (0..n).map(|_| OnceLock::new()).collect(),
         down_tables: (0..n).map(|_| OnceLock::new()).collect(),
+        recipes,
         root,
         num_vars: q.num_vars(),
     })
@@ -1336,6 +1525,7 @@ pub fn count_auto_with(q: &ConjunctiveQuery, db: &Database, ghd: Option<&Ghd>) -
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::delta::DatabaseDelta;
     use crate::generate::{canonical_query, planted_database, random_database};
     use cqd2_hypergraph::generators::{hyperchain, hypercycle};
 
@@ -1559,5 +1749,120 @@ mod tests {
         db.insert_all("S", &[vec![7], vec![8]]);
         assert_eq!(count_naive(&q, &db), 6);
         assert_eq!(count_auto(&q, &db), 6);
+    }
+
+    /// Three-atom chain: R–S–T decomposes into a multi-bag tree, so a
+    /// delta to one relation dirties a proper subset of bags.
+    fn chain_query() -> ConjunctiveQuery {
+        ConjunctiveQuery::parse(&[
+            ("R", &["?x", "?y"]),
+            ("S", &["?y", "?z"]),
+            ("T", &["?z", "?w"]),
+        ])
+    }
+
+    #[test]
+    fn refresh_rebuilds_only_dirty_bags_and_matches_fresh_build() {
+        let q = chain_query();
+        let mut db = Database::new();
+        db.insert_all("R", &[vec![1, 2], vec![4, 5], vec![7, 8]]);
+        db.insert_all("S", &[vec![2, 3], vec![5, 6]]);
+        db.insert_all("T", &[vec![3, 30], vec![6, 60], vec![6, 61]]);
+        let ghd = ghw_decomposition(&q.hypergraph()).unwrap();
+        let bags = MaterializedBags::build(&q, &db, &ghd).unwrap();
+        // Warm the caches with a full pass mix before refreshing.
+        assert!(bags.bcq());
+        assert!(bags.count() > 0);
+
+        // Delta: grow T, leave R and S untouched.
+        let mut delta = DatabaseDelta::new();
+        delta.insert("T", vec![3, 31]);
+        delta.delete("T", vec![6, 61]);
+        let applied = db.apply_delta(&delta).unwrap();
+        let (warm, stats) = bags.refresh(&q, &applied.db, &applied.touched);
+
+        // Only the bags reading T were re-materialized.
+        assert!(stats.rewritten >= 1, "delta must dirty at least one bag");
+        assert!(
+            stats.rewritten < stats.total,
+            "a single-relation delta must keep some bag clean"
+        );
+        // Clean bags are shared by Arc identity, dirty ones are not.
+        let mut shared = 0;
+        for u in 0..bags.num_bags() {
+            if Arc::ptr_eq(bags.bag_arc(u), warm.bag_arc(u)) {
+                shared += 1;
+            }
+        }
+        assert_eq!(shared, stats.total - stats.rewritten);
+
+        // The refreshed tree answers exactly like a cold rebuild.
+        let fresh = MaterializedBags::build(&q, &applied.db, &ghd).unwrap();
+        assert_eq!(warm.bcq(), fresh.bcq());
+        assert_eq!(warm.count(), fresh.count());
+        let mut a: Vec<_> = warm.enumerator().collect();
+        let mut b: Vec<_> = fresh.enumerator().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        assert_eq!(b, enumerate_naive(&q, &applied.db));
+    }
+
+    #[test]
+    fn refresh_with_disjoint_delta_shares_everything() {
+        let q = chain_query();
+        let mut db = Database::new();
+        db.insert_all("R", &[vec![1, 2]]);
+        db.insert_all("S", &[vec![2, 3]]);
+        db.insert_all("T", &[vec![3, 4]]);
+        db.insert_all("Unrelated", &[vec![9]]);
+        let ghd = ghw_decomposition(&q.hypergraph()).unwrap();
+        let bags = MaterializedBags::build(&q, &db, &ghd).unwrap();
+        let mut delta = DatabaseDelta::new();
+        delta.insert("Unrelated", vec![10]);
+        let applied = db.apply_delta(&delta).unwrap();
+        let (warm, stats) = bags.refresh(&q, &applied.db, &applied.touched);
+        assert_eq!(stats.rewritten, 0);
+        for u in 0..bags.num_bags() {
+            assert!(Arc::ptr_eq(bags.bag_arc(u), warm.bag_arc(u)));
+        }
+        assert!(warm.bcq());
+    }
+
+    #[test]
+    fn refresh_carries_clean_caches_and_stays_correct_across_rounds() {
+        // Several delta rounds against a planted instance, comparing the
+        // warm-refreshed tree against cold rebuilds each round (caches
+        // from prior rounds must never leak stale rows into answers).
+        let q = chain_query();
+        let mut db = planted_database(&q, 40, 120, 17);
+        let ghd = ghw_decomposition(&q.hypergraph()).unwrap();
+        let mut warm = MaterializedBags::build(&q, &db, &ghd).unwrap();
+        for round in 0u64..4 {
+            // Warm every cache family: bcq (base_tables), count
+            // (leaf_aggs), enumerator (down_tables).
+            let _ = warm.bcq();
+            let _ = warm.count();
+            let _ = warm.enumerator().count();
+            let target = if round % 2 == 0 { "R" } else { "S" };
+            let mut delta = DatabaseDelta::new();
+            delta.insert(target, vec![1000 + round, 2000 + round]);
+            if let Some(t) = db.relation(target).and_then(|r| r.tuples.first()) {
+                delta.delete(target, t.clone());
+            }
+            let applied = db.apply_delta(&delta).unwrap();
+            let (next, stats) = warm.refresh(&q, &applied.db, &applied.touched);
+            assert!(stats.rewritten > 0);
+            let fresh = MaterializedBags::build(&q, &applied.db, &ghd).unwrap();
+            assert_eq!(next.count(), fresh.count(), "round {round}");
+            assert_eq!(next.bcq(), fresh.bcq(), "round {round}");
+            assert_eq!(
+                next.enumerator().count(),
+                fresh.enumerator().count(),
+                "round {round}"
+            );
+            db = applied.db;
+            warm = next;
+        }
     }
 }

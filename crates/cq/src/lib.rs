@@ -31,6 +31,7 @@
 //!   benchmark harness.
 
 pub mod database;
+pub mod delta;
 pub mod eval;
 pub mod flat;
 pub mod generate;
@@ -43,6 +44,7 @@ pub mod stats;
 pub mod sync;
 
 pub use database::{BulkLoadError, Database};
+pub use delta::{DatabaseDelta, DeltaApplied, DeltaError, RelationDelta};
 pub use eval::{
     bcq_auto, bcq_auto_with, bcq_naive, bcq_via_ghd, count_auto, count_auto_with, count_naive,
     count_via_ghd, enumerate_naive, enumerate_via_ghd, with_sequential_bags, EvalError,

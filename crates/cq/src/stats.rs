@@ -25,6 +25,24 @@ pub struct RelationStats {
     pub distinct: Vec<usize>,
 }
 
+impl RelationStats {
+    /// Collect statistics of one stored relation (one pass per column).
+    /// This is the delta path's unit of work: after a delta, only the
+    /// touched relations are re-collected and the rest of the snapshot's
+    /// per-relation statistics are reused as-is.
+    pub fn collect(rel: &crate::database::StoredRelation) -> RelationStats {
+        let mut distinct = Vec::with_capacity(rel.arity);
+        for col in 0..rel.arity {
+            let values: HashSet<u64> = rel.tuples.iter().map(|t| t[col]).collect();
+            distinct.push(values.len());
+        }
+        RelationStats {
+            cardinality: rel.tuples.len(),
+            distinct,
+        }
+    }
+}
+
 /// A statistics snapshot of a whole database.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -56,19 +74,8 @@ impl DatabaseStats {
             if !include(name) {
                 continue;
             }
-            let mut distinct = Vec::with_capacity(rel.arity);
-            for col in 0..rel.arity {
-                let values: HashSet<u64> = rel.tuples.iter().map(|t| t[col]).collect();
-                distinct.push(values.len());
-            }
             total_tuples += rel.tuples.len();
-            relations.insert(
-                name.to_string(),
-                RelationStats {
-                    cardinality: rel.tuples.len(),
-                    distinct,
-                },
-            );
+            relations.insert(name.to_string(), RelationStats::collect(rel));
         }
         DatabaseStats {
             relations,
@@ -88,6 +95,28 @@ impl DatabaseStats {
             relations,
             total_tuples,
         }
+    }
+
+    /// Statistics for the post-delta database `db`, derived from this
+    /// (pre-delta, full) snapshot by re-collecting **only** the
+    /// relations in `touched` (sorted, as
+    /// [`crate::delta::DeltaApplied::touched`] yields them) and reusing
+    /// every other relation's statistics as-is. Relations this snapshot
+    /// never saw are collected fresh, and relations no longer in `db`
+    /// are dropped, so the result always describes exactly `db`.
+    pub fn updated_for(&self, db: &Database, touched: &[String]) -> DatabaseStats {
+        let mut relations = BTreeMap::new();
+        for (name, rel) in db.relations() {
+            let is_touched = touched
+                .binary_search_by(|t| t.as_str().cmp(name))
+                .is_ok();
+            let stats = match self.relation(name) {
+                Some(existing) if !is_touched => existing.clone(),
+                _ => RelationStats::collect(rel),
+            };
+            relations.insert(name.to_string(), stats);
+        }
+        DatabaseStats::from_parts(relations)
     }
 
     /// Iterate over `(name, statistics)` pairs, in name order.

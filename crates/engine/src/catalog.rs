@@ -244,6 +244,59 @@ impl Catalog {
         Ok(snapshot)
     }
 
+    /// Apply a delta batch to the database published under `name` and
+    /// publish the result at the next epoch — the **incremental** swap.
+    ///
+    /// Unlike [`Catalog::swap`], neither the data nor the statistics
+    /// are rebuilt from scratch:
+    ///
+    /// - the merge ([`cqd2_cq::Database::apply_delta`]) rebuilds only
+    ///   the relations the delta touches; every untouched relation is
+    ///   carried into the new snapshot as the **same `Arc`** (assert
+    ///   with [`cqd2_cq::Database::relation_arc`] + `Arc::ptr_eq`);
+    /// - statistics are stitched ([`DatabaseStats::updated_for`]): only
+    ///   the touched relations are re-scanned.
+    ///
+    /// The whole batch validates before anything publishes — a typed
+    /// [`EngineError::Delta`] (unknown relation, arity mismatch) leaves
+    /// the current epoch serving, untouched. Merge and statistics run
+    /// outside the write lock; if another publish lands in between, the
+    /// merge retries against the newer snapshot, so concurrent deltas
+    /// serialize cleanly without holding the lock across `O(‖Δ‖)` work.
+    pub fn apply_delta(
+        &self,
+        name: &str,
+        delta: &cqd2_cq::DatabaseDelta,
+    ) -> Result<crate::delta::DeltaOutcome, EngineError> {
+        loop {
+            let current = self.snapshot(name)?;
+            // Merge + statistics stitch, outside any lock.
+            let applied = current.db().apply_delta(delta)?;
+            let stats = current.stats().updated_for(&applied.db, &applied.touched);
+            let ready = DatabaseSnapshot::with_stats(name, 0, applied.db, stats);
+            let mut entries = write_or_poison(&self.entries);
+            let Some(live) = entries.get(name) else {
+                return Err(EngineError::UnknownDatabase(name.to_string()));
+            };
+            if !Arc::ptr_eq(live, &current) {
+                // A concurrent publish won; redo the merge on top of it.
+                continue;
+            }
+            let snapshot = Arc::new(DatabaseSnapshot {
+                epoch: live.epoch + 1,
+                ..ready
+            });
+            entries.insert(name.to_string(), Arc::clone(&snapshot));
+            return Ok(crate::delta::DeltaOutcome {
+                snapshot,
+                previous: current,
+                touched: applied.touched,
+                inserted: applied.inserted,
+                deleted: applied.deleted,
+            });
+        }
+    }
+
     /// [`Catalog::publish`] from a facts-only database text
     /// ([`textio::parse_database`]).
     pub fn publish_str(

@@ -213,6 +213,12 @@ pub struct PlanProvenance {
     /// Bag-tree execution mode and rewrite sparsity (`None` on naive
     /// plans).
     pub bags: Option<BagExecution>,
+    /// How this handle crossed the most recent delta epoch, if it was
+    /// maintained rather than freshly prepared: `warm-overlay` when the
+    /// bag tree was refreshed in place ([`crate::PreparedQuery::rebase`]),
+    /// `re-prepared` when the server fell back to a full prepare.
+    /// `None` on handles that never crossed a delta.
+    pub maintenance: Option<crate::delta::MaintenanceClass>,
 }
 
 /// One request's outcome.
@@ -297,8 +303,21 @@ impl Engine {
         &self,
         h: &cqd2_hypergraph::Hypergraph,
     ) -> (crate::planner::PlannedStructure, bool) {
+        self.structure_for_in(h, None)
+    }
+
+    /// [`Engine::structure_for`], attributing the cache entry to the
+    /// named catalog database. The prepare path passes the pinned
+    /// snapshot's name so the plan spill can invalidate per name: a
+    /// delta that bumps one database's epoch only stales the spilled
+    /// plans that were actually prepared against it.
+    pub fn structure_for_in(
+        &self,
+        h: &cqd2_hypergraph::Hypergraph,
+        db: Option<&str>,
+    ) -> (crate::planner::PlannedStructure, bool) {
         let mut cache = cqd2_cq::sync::lock_or_poison(&self.inner.cache);
-        if let Some(hit) = cache.lookup(h) {
+        if let Some(hit) = cache.lookup_in(h, db) {
             // Rebuild the analysis around the *translated* GHD.
             let mut structure = (*hit.structure).clone();
             structure.ghd = hit.ghd;
@@ -309,7 +328,8 @@ impl Engine {
         // batch executor's parallelism comes from execution, which
         // dominates planning for warm workloads.
         let structure = self.inner.planner.plan_structure(h);
-        let stored = cache.insert(h, structure);
+        let dbs: Vec<String> = db.map(str::to_string).into_iter().collect();
+        let stored = cache.insert_in(h, structure, &dbs);
         ((*stored).clone(), false)
     }
 
@@ -385,7 +405,7 @@ impl Engine {
     /// database directly — no snapshot is cloned or pinned — which is
     /// what keeps the one-shot shims copy-free.
     fn serve_on(&self, req: &Request<'_>, stats: &DatabaseStats) -> Response {
-        let core = PreparedCore::build(self, req.query, req.db, stats)
+        let core = PreparedCore::build(self, req.query, req.db, stats, None)
             // cqd2-lint: allow(panic-in-hot-path, reason = "infallible shim API: prepare on a query's own plan only fails on an engine bug; Session::prepare is the fallible surface")
             .expect("prepared plan is valid for its own query");
         let planning = core.planning;
@@ -493,6 +513,19 @@ impl Engine {
         cqd2_cq::sync::lock_or_poison(&self.inner.cache).export()
     }
 
+    /// [`Engine::export_plans`] with each entry's database-attribution
+    /// set (see [`PlanCache::export_attributed`]) — the plan store's
+    /// per-name-invalidation spill surface.
+    pub fn export_plans_attributed(
+        &self,
+    ) -> Vec<(
+        cqd2_hypergraph::Hypergraph,
+        crate::planner::PlannedStructure,
+        Vec<String>,
+    )> {
+        cqd2_cq::sync::lock_or_poison(&self.inner.cache).export_attributed()
+    }
+
     /// Seed the plan cache with a previously exported analysis, keyed by
     /// its representative hypergraph. Returns `false` (and stores
     /// nothing) when the structure class is already cached — preloading
@@ -503,11 +536,23 @@ impl Engine {
         representative: &cqd2_hypergraph::Hypergraph,
         structure: crate::planner::PlannedStructure,
     ) -> bool {
+        self.preload_plan_for(representative, structure, &[])
+    }
+
+    /// [`Engine::preload_plan`] with database attribution preserved:
+    /// `dbs` seeds the entry's attribution set, so a spill → load →
+    /// spill round-trip keeps per-name staleness intact.
+    pub fn preload_plan_for(
+        &self,
+        representative: &cqd2_hypergraph::Hypergraph,
+        structure: crate::planner::PlannedStructure,
+        dbs: &[String],
+    ) -> bool {
         let mut cache = cqd2_cq::sync::lock_or_poison(&self.inner.cache);
         if cache.contains(representative) {
             return false;
         }
-        cache.insert(representative, structure);
+        cache.insert_in(representative, structure, dbs);
         true
     }
 

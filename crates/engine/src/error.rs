@@ -23,6 +23,12 @@ pub enum EngineError {
     Eval(EvalError),
     /// A workload file failed to parse (line-attributed).
     Parse(ParseError),
+    /// A delta batch was rejected by the update plane before anything
+    /// was published: it named an unknown relation or carried a tuple
+    /// of the wrong arity (see [`cqd2_cq::DeltaError`]). The serving
+    /// epoch is guaranteed unmoved — deltas validate wholesale before
+    /// any merge.
+    Delta(cqd2_cq::DeltaError),
     /// Strict plan verification ([`crate::EngineConfig::strict_verify`]
     /// / `CQD2_STRICT_VERIFY=1`) rejected a derived plan: the named
     /// structural invariant from the paper does not hold, so executing
@@ -54,6 +60,7 @@ impl std::fmt::Display for EngineError {
         match self {
             EngineError::Eval(e) => write!(f, "evaluation failed: {e}"),
             EngineError::Parse(e) => write!(f, "workload parse error: {e}"),
+            EngineError::Delta(e) => write!(f, "delta rejected: {e}"),
             EngineError::Verify(e) => write!(f, "plan verification failed: {e}"),
             EngineError::UnknownDatabase(name) => {
                 write!(f, "no database `{name}` in the catalog")
@@ -78,6 +85,7 @@ impl std::error::Error for EngineError {
         match self {
             EngineError::Eval(e) => Some(e),
             EngineError::Parse(e) => Some(e),
+            EngineError::Delta(e) => Some(e),
             EngineError::Verify(e) => Some(e),
             EngineError::Store(e) => Some(e),
             EngineError::UnknownDatabase(_)
@@ -96,6 +104,12 @@ impl From<EvalError> for EngineError {
 impl From<ParseError> for EngineError {
     fn from(e: ParseError) -> EngineError {
         EngineError::Parse(e)
+    }
+}
+
+impl From<cqd2_cq::DeltaError> for EngineError {
+    fn from(e: cqd2_cq::DeltaError) -> EngineError {
+        EngineError::Delta(e)
     }
 }
 

@@ -19,6 +19,14 @@
 //!   once at publish time) with a per-name epoch; [`Catalog::swap`]
 //!   hot-reloads a database without disturbing pinned readers, and the
 //!   epoch is the invalidation token for prepared-handle caches.
+//! - [`delta`]: the **incremental update plane** —
+//!   [`Catalog::apply_delta`] publishes a batch of fact
+//!   inserts/deletes as the next epoch with **structural sharing**
+//!   (only touched relations rebuilt and re-scanned for statistics,
+//!   everything else `Arc`-carried), and [`PreparedQuery::rebase`]
+//!   migrates warm handles across the epoch by re-materializing only
+//!   the dirty bag spine; the achieved [`MaintenanceClass`]
+//!   (`warm-overlay` / `re-prepared`) lands in plan provenance.
 //! - [`session`]: the **owned, handle-based serving API** —
 //!   [`Engine::session_in`] pins a catalog snapshot ([`Engine::session`]
 //!   is the `&Database` convenience shim); [`Session::prepare`] resolves
@@ -37,8 +45,9 @@
 //!   front-end** — a thread-pool TCP server (`cqd2-serve`) framing the
 //!   workload text format over a shared [`Catalog`], with per-batch
 //!   snapshot pinning, epoch-validated prepared-query caches, hot
-//!   `Reload` / `CatalogInfo` admin frames, a bounded queue with typed
-//!   backpressure, and graceful shutdown. See `docs/PROTOCOL.md`.
+//!   `Reload` / `Delta` / `CatalogInfo` admin frames (deltas migrate
+//!   the warm caches instead of purging them), a bounded queue with
+//!   typed backpressure, and graceful shutdown. See `docs/PROTOCOL.md`.
 //! - [`store`]: the **persistent snapshot + plan store** — a versioned,
 //!   checksummed `.cqds` binary format laying each relation out as the
 //!   kernel's contiguous `FlatRelation` buffer (mmap-ready sections,
@@ -55,8 +64,9 @@
 //! - [`error`]: the typed [`EngineError`] hierarchy (a real
 //!   `std::error::Error` with source chains).
 //! - [`textio`]: a small text format for workload files (queries, facts,
-//!   and `@boolean` / `@count` / `@enumerate` workload directives),
-//!   shared by the `cqd2-analyze eval` subcommand and the examples.
+//!   and `@boolean` / `@count` / `@enumerate` workload directives) and
+//!   delta scripts (`@insert` / `@delete` sections of facts),
+//!   shared by the `cqd2-analyze` subcommands and the examples.
 //!
 //! ```
 //! use cqd2_engine::{Engine, Workload};
@@ -83,6 +93,7 @@
 
 pub mod cache;
 pub mod catalog;
+pub mod delta;
 pub mod engine;
 pub mod error;
 pub mod metrics;
@@ -97,6 +108,7 @@ pub mod verify;
 
 pub use cache::{CacheStats, CachedPlan, PlanCache};
 pub use catalog::{Catalog, DatabaseSnapshot};
+pub use delta::{apply_delta_text, DeltaOutcome, MaintenanceClass};
 pub use engine::{
     Answer, BagExecution, BagMode, Engine, EngineConfig, PlanProvenance, Request, Response,
     Workload,

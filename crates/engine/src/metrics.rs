@@ -191,6 +191,7 @@ impl Histogram {
             .collect::<Vec<_>>()
             .into_boxed_slice()
             .try_into()
+            // cqd2-lint: allow(panic-in-hot-path, reason = "construction-time only (not per request) and the vec length is BUCKETS by the range above")
             .unwrap_or_else(|_| unreachable!("vec length is BUCKETS by construction"));
         Histogram {
             buckets,

@@ -33,7 +33,7 @@ use std::net::{TcpStream, ToSocketAddrs};
 use crate::engine::Workload;
 use crate::server::frame::{read_frame, write_frame, Frame, FrameType};
 use crate::server::wire::{
-    self, WireBound, WireCatalog, WireDone, WireReloaded, WireResult, WireStats,
+    self, WireBound, WireCatalog, WireDeltaApplied, WireDone, WireReloaded, WireResult, WireStats,
 };
 use crate::server::ServerError;
 
@@ -159,6 +159,31 @@ impl Client {
         let frame = self.read()?;
         match frame.frame_type {
             FrameType::Reloaded => decode(&frame),
+            FrameType::Error => Err(ServerError::Rejected(decode(&frame)?)),
+            other => Err(ServerError::UnexpectedFrame(other)),
+        }
+    }
+
+    /// Apply an incremental delta batch to the named database: a
+    /// protocol-v2 `Delta` admin frame whose payload is the database
+    /// name followed by a delta script — `@insert` / `@delete` section
+    /// directives and fact lines, the [`crate::textio::parse_delta`]
+    /// syntax. Unlike [`Client::reload`], only the touched relations
+    /// are rebuilt server-side: everything else is structurally shared
+    /// into the new epoch, and warm prepared handles are migrated
+    /// across it instead of purged.
+    ///
+    /// Requires the server to run with `--allow-reload`. A malformed
+    /// script surfaces as a typed `Parse` rejection and a batch the
+    /// delta kernel refuses (unknown relation, arity mismatch) as a
+    /// typed `Delta` rejection — in both cases the previously published
+    /// epoch keeps serving unmoved.
+    pub fn delta(&mut self, name: &str, script: &str) -> Result<WireDeltaApplied, ServerError> {
+        let payload = format!("{name}\n{script}");
+        self.send(FrameType::Delta, payload.as_bytes())?;
+        let frame = self.read()?;
+        match frame.frame_type {
+            FrameType::DeltaApplied => decode(&frame),
             FrameType::Error => Err(ServerError::Rejected(decode(&frame)?)),
             other => Err(ServerError::UnexpectedFrame(other)),
         }

@@ -58,6 +58,17 @@ pub enum FrameType {
     /// snapshot — counters, queue depth/high-water, per-database
     /// latency histograms. Payload: empty.
     Stats = 0x05,
+    /// Client → server (admin, v2): apply a delta batch to a named
+    /// database. The payload's first line is the database name; the
+    /// remaining lines are a delta script — `@insert` / `@delete`
+    /// section directives followed by fact lines
+    /// ([`crate::textio::parse_delta`] syntax). The merge is
+    /// incremental: untouched relations are structurally shared into
+    /// the new epoch, and warm prepared-query cache entries are
+    /// refreshed in place rather than purged. Requires reloads enabled
+    /// (`--allow-reload`); rejected with an `Unauthorized` error frame
+    /// otherwise.
+    Delta = 0x06,
     /// Server → client: the connection is bound. Payload: JSON
     /// [`crate::server::wire::WireBound`].
     Bound = 0x81,
@@ -76,6 +87,10 @@ pub enum FrameType {
     /// Server → client (v2): the observability snapshot. Payload: JSON
     /// [`crate::server::wire::WireStats`].
     StatsReport = 0x86,
+    /// Server → client (v2): a delta batch was applied and the next
+    /// epoch published. Payload: JSON
+    /// [`crate::server::wire::WireDeltaApplied`].
+    DeltaApplied = 0x87,
     /// Server → client: a typed error frame. Payload: JSON
     /// [`crate::server::wire::WireError`].
     Error = 0x7F,
@@ -90,12 +105,14 @@ impl FrameType {
             0x03 => Some(FrameType::Reload),
             0x04 => Some(FrameType::CatalogInfo),
             0x05 => Some(FrameType::Stats),
+            0x06 => Some(FrameType::Delta),
             0x81 => Some(FrameType::Bound),
             0x82 => Some(FrameType::Result),
             0x83 => Some(FrameType::Done),
             0x84 => Some(FrameType::Reloaded),
             0x85 => Some(FrameType::Catalog),
             0x86 => Some(FrameType::StatsReport),
+            0x87 => Some(FrameType::DeltaApplied),
             0x7F => Some(FrameType::Error),
             _ => None,
         }
@@ -364,6 +381,9 @@ mod tests {
         // The stats admin pair occupies its reserved bytes.
         assert_eq!(FrameType::from_byte(0x05), Some(FrameType::Stats));
         assert_eq!(FrameType::from_byte(0x86), Some(FrameType::StatsReport));
+        // The delta admin pair too.
+        assert_eq!(FrameType::from_byte(0x06), Some(FrameType::Delta));
+        assert_eq!(FrameType::from_byte(0x87), Some(FrameType::DeltaApplied));
         let f = read_frame(&mut Cursor::new(encode(FrameType::Stats, b"")), 16).unwrap();
         assert_eq!((f.frame_type, f.payload.len()), (FrameType::Stats, 0));
     }

@@ -28,8 +28,12 @@
 //! - **admin frames** (protocol v2): `Reload` atomically publishes a
 //!   new snapshot for a served name via [`Catalog::swap`] (enabled by
 //!   `ServerConfig::allow_reload` / `--allow-reload`; rejected with a
-//!   typed `Unauthorized` error otherwise), and `CatalogInfo` describes
-//!   the served names with their epochs;
+//!   typed `Unauthorized` error otherwise), `Delta` merges a batch of
+//!   fact inserts/deletes incrementally via [`Catalog::apply_delta`]
+//!   (same gate) — untouched relations are `Arc`-shared into the new
+//!   epoch and warm prepared handles are migrated across it instead of
+//!   purged — and `CatalogInfo` describes the served names with their
+//!   epochs;
 //! - **graceful shutdown**: a [`ServerHandle`] (or SIGINT/SIGTERM via
 //!   [`signal::install_shutdown_signals`]) flips an atomic flag; the
 //!   acceptor stops, accepted work drains, connections are notified
@@ -250,6 +254,11 @@ struct StatsInner {
     store_errors: Counter,
     bags_rewritten: Counter,
     bags_total: Counter,
+    delta_batches: Counter,
+    facts_inserted: Counter,
+    facts_deleted: Counter,
+    bags_remat: Counter,
+    delta_errors: Counter,
 }
 
 impl StatsInner {
@@ -271,6 +280,11 @@ impl StatsInner {
             store_errors: self.store_errors.get(),
             bags_rewritten: self.bags_rewritten.get(),
             bags_total: self.bags_total.get(),
+            delta_batches: self.delta_batches.get(),
+            facts_inserted: self.facts_inserted.get(),
+            facts_deleted: self.facts_deleted.get(),
+            bags_remat: self.bags_remat.get(),
+            delta_errors: self.delta_errors.get(),
         }
     }
 }
@@ -293,6 +307,15 @@ struct DbMetrics {
     /// the production overlay-sparsity ratio (0 = ideal warm serving:
     /// every run was pure probing over the shared materialization).
     bags_total: Counter,
+    /// Delta batches successfully merged into this database.
+    delta_batches: Counter,
+    /// Facts those deltas inserted (no-op inserts excluded).
+    facts_inserted: Counter,
+    /// Facts those deltas deleted (no-op deletes excluded).
+    facts_deleted: Counter,
+    /// Bag-tree nodes re-materialized while migrating this database's
+    /// prepared handles warm across delta epochs (dirty spines only).
+    bags_remat: Counter,
     latency: Histogram,
 }
 
@@ -337,7 +360,8 @@ impl ServerMetrics {
         format!(
             "stats — uptime {}s, conns {} ({} active), batches {}, answered {}, \
              overloaded {}, errors {}, prepared {}/{} hit/miss, reloads {}, \
-             bags {}/{} rewritten, latency p50 {}µs p99 {}µs max {}µs",
+             deltas {} (+{} −{} facts), bags {}/{} rewritten, \
+             latency p50 {}µs p99 {}µs max {}µs",
             self.started.elapsed().as_secs(),
             t.connections,
             self.active_connections.value(),
@@ -348,6 +372,9 @@ impl ServerMetrics {
             t.prepared_hits,
             t.prepared_misses,
             t.reloads,
+            t.delta_batches,
+            t.facts_inserted,
+            t.facts_deleted,
             t.bags_rewritten,
             t.bags_total,
             lat.p50(),
@@ -400,6 +427,19 @@ pub struct ServerStats {
     /// `bags_rewritten / bags_total` is the serving fleet's overlay
     /// sparsity; 0 means every warm run was copy-free.
     pub bags_total: u64,
+    /// Successful `Delta` frame applications (structural-sharing epoch
+    /// publications).
+    pub delta_batches: u64,
+    /// Facts inserted by delta batches (no-op inserts excluded).
+    pub facts_inserted: u64,
+    /// Facts deleted by delta batches (no-op deletes excluded).
+    pub facts_deleted: u64,
+    /// Bag-tree nodes re-materialized by warm prepared-handle
+    /// migrations across delta epochs.
+    pub bags_remat: u64,
+    /// `Delta` frames rejected by the delta kernel (unknown relation or
+    /// arity mismatch); the serving epoch stayed unmoved every time.
+    pub delta_errors: u64,
 }
 
 // ---------------------------------------------------------------------
@@ -481,6 +521,68 @@ impl PreparedCache {
         self.order.retain(|k| map.contains_key(k));
         before - self.map.len()
     }
+
+    /// Migrate this cache across a delta epoch *without* purging it —
+    /// the whole point of the update plane. Entries pinned to the
+    /// pre-delta epoch are rebased warm ([`PreparedQuery::rebase`]:
+    /// only the bags whose relations the delta touched are
+    /// re-materialized; the clean spine keeps its `Arc`s and probe
+    /// caches). Handles that cannot rebase (naive-plan cores carry no
+    /// bag tree) are re-prepared via `reprepare` and marked
+    /// `re-prepared`; entries from even older epochs are dropped as in
+    /// [`PreparedCache::purge_stale`].
+    fn refresh_after_delta(
+        &mut self,
+        outcome: &crate::delta::DeltaOutcome,
+        reprepare: impl Fn(&ConjunctiveQuery) -> Option<PreparedQuery>,
+    ) -> DeltaCacheRefresh {
+        let mut refresh = DeltaCacheRefresh::default();
+        let previous = outcome.previous.epoch();
+        let mut dropped: Vec<String> = Vec::new();
+        for (key, entry) in self.map.iter_mut() {
+            if entry.epoch() > previous {
+                continue; // already at (or past) the new epoch
+            }
+            if entry.epoch() < previous {
+                dropped.push(key.clone()); // was stale before this delta
+                continue;
+            }
+            match entry.rebase(&outcome.snapshot, &outcome.touched) {
+                Some((warm, pass)) => {
+                    *entry = Arc::new(warm);
+                    refresh.warm += 1;
+                    refresh.bags_remat += pass.rewritten as u64;
+                }
+                None => match reprepare(entry.query()) {
+                    Some(mut fresh) => {
+                        fresh.mark_re_prepared();
+                        *entry = Arc::new(fresh);
+                        refresh.reprepared += 1;
+                    }
+                    None => dropped.push(key.clone()),
+                },
+            }
+        }
+        for key in &dropped {
+            self.map.remove(key);
+        }
+        let map = &self.map;
+        self.order.retain(|k| map.contains_key(k));
+        refresh
+    }
+}
+
+/// What [`PreparedCache::refresh_after_delta`] did to a database's warm
+/// handles — reported in the `DeltaApplied` frame and folded into the
+/// delta metrics.
+#[derive(Debug, Default, Clone, Copy)]
+struct DeltaCacheRefresh {
+    /// Handles migrated warm (dirty-spine refresh, `warm-overlay`).
+    warm: u64,
+    /// Handles re-prepared from scratch (`re-prepared`).
+    reprepared: u64,
+    /// Bag nodes re-materialized across all warm migrations.
+    bags_remat: u64,
 }
 
 // ---------------------------------------------------------------------
@@ -988,6 +1090,9 @@ fn conn_loop(ctx: ConnCtx<'_>, stream: TcpStream) {
                     FrameType::Reload => {
                         handle_reload(ctx, &writer, seq, &f, received_at);
                     }
+                    FrameType::Delta => {
+                        handle_delta(ctx, &writer, seq, &f, received_at);
+                    }
                     FrameType::CatalogInfo => {
                         handle_catalog_info(ctx, &writer, seq, received_at);
                     }
@@ -1001,6 +1106,7 @@ fn conn_loop(ctx: ConnCtx<'_>, stream: TcpStream) {
                     | FrameType::Reloaded
                     | FrameType::Catalog
                     | FrameType::StatsReport
+                    | FrameType::DeltaApplied
                     | FrameType::Error => {
                         ctx.metrics.totals.protocol_errors.inc();
                         let _ = writer.send_error(
@@ -1307,6 +1413,130 @@ fn handle_reload(
     );
 }
 
+/// Answer a `Delta` admin frame: authorize (deltas mutate served data,
+/// so they ride the same `--allow-reload` gate), parse (first payload
+/// line = database name, rest = an `@insert` / `@delete` delta script),
+/// merge incrementally via [`Catalog::apply_delta`] — untouched
+/// relations are `Arc`-shared into the new epoch — then migrate the
+/// name's warm prepared handles across the epoch instead of purging
+/// them ([`PreparedCache::refresh_after_delta`]), and answer
+/// `DeltaApplied`. Every rejection (unknown name, parse failure, delta
+/// kernel refusal) leaves the previously published epoch serving
+/// unmoved: the whole batch validates before any merge.
+fn handle_delta(
+    ctx: ConnCtx<'_>,
+    writer: &ConnWriter,
+    seq: u64,
+    f: &frame::Frame,
+    received_at: Instant,
+) {
+    if !ctx.config.allow_reload {
+        ctx.metrics.totals.rejected_unauthorized.inc();
+        let _ = writer.send_error(
+            Some(seq),
+            ErrorCode::Unauthorized,
+            "this server does not accept deltas (start it with --allow-reload)",
+            None,
+        );
+        return;
+    }
+    let text = match f.text() {
+        Ok(t) => t,
+        Err(e) => {
+            ctx.metrics.totals.protocol_errors.inc();
+            let _ = writer.send_error(Some(seq), ErrorCode::BadFrame, e.to_string(), None);
+            return;
+        }
+    };
+    let (name, script) = match text.split_once('\n') {
+        Some((first, rest)) => (first.trim(), rest),
+        None => (text.trim(), ""),
+    };
+    let Some(db_index) = ctx.name_index(name) else {
+        let _ = writer.send_error(
+            Some(seq),
+            ErrorCode::UnknownDb,
+            format!("no database `{name}` (serving: {})", ctx.names.join(", ")),
+            None,
+        );
+        return;
+    };
+    let db_metrics = &ctx.metrics.per_db[db_index];
+    let outcome = match crate::delta::apply_delta_text(ctx.catalog, name, script) {
+        Ok(o) => o,
+        Err(EngineError::Parse(e)) => {
+            ctx.metrics.totals.parse_errors.inc();
+            db_metrics.errors.inc();
+            let _ = writer.send_error(
+                Some(seq),
+                ErrorCode::Parse,
+                e.message.clone(),
+                // The delta script starts on payload line 2 (after the
+                // name line); report payload-relative lines.
+                e.line.map(|l| l as u64 + 1),
+            );
+            return;
+        }
+        Err(EngineError::Delta(e)) => {
+            // The delta kernel validated the whole batch and refused it
+            // (unknown relation / arity mismatch) before merging
+            // anything: typed code, old epoch untouched and serving.
+            ctx.metrics.totals.delta_errors.inc();
+            db_metrics.errors.inc();
+            let _ = writer.send_error(
+                Some(seq),
+                ErrorCode::Delta,
+                format!("delta rejected: {e}"),
+                None,
+            );
+            return;
+        }
+        Err(e) => {
+            ctx.metrics.totals.internal_errors.inc();
+            db_metrics.errors.inc();
+            let _ = writer.send_error(Some(seq), ErrorCode::Internal, e.to_string(), None);
+            return;
+        }
+    };
+    // Migrate the warm handles instead of purging them: only bags whose
+    // relations the delta touched are re-materialized; naive-plan
+    // handles re-prepare (cheap — the plan cache still holds their
+    // structure analysis) and are marked `re-prepared`.
+    let refresh = {
+        let mut cache = lock_or_poison(&ctx.caches[db_index]);
+        cache.refresh_after_delta(&outcome, |q| {
+            ctx.engine
+                .session_in(ctx.catalog, name)
+                .ok()
+                .and_then(|s| s.prepare(q).ok())
+        })
+    };
+    ctx.metrics.totals.delta_batches.inc();
+    ctx.metrics.totals.facts_inserted.add(outcome.inserted as u64);
+    ctx.metrics.totals.facts_deleted.add(outcome.deleted as u64);
+    ctx.metrics.totals.bags_remat.add(refresh.bags_remat);
+    db_metrics.delta_batches.inc();
+    db_metrics.facts_inserted.add(outcome.inserted as u64);
+    db_metrics.facts_deleted.add(outcome.deleted as u64);
+    db_metrics.bags_remat.add(refresh.bags_remat);
+    let _ = writer.send_json(
+        FrameType::DeltaApplied,
+        &wire::WireDeltaApplied {
+            request: seq,
+            db: name.to_string(),
+            epoch: outcome.snapshot.epoch(),
+            inserted: outcome.inserted as u64,
+            deleted: outcome.deleted as u64,
+            relations_touched: outcome.touched.clone(),
+            facts: outcome.snapshot.db().size() as u64,
+            prepared_warm: refresh.warm,
+            prepared_reprepared: refresh.reprepared,
+            bags_remat: refresh.bags_remat,
+            server_micros: micros(received_at.elapsed()),
+        },
+    );
+}
+
 /// Answer a `CatalogInfo` admin frame with the served names, their
 /// epochs, and whether reloads are enabled.
 fn handle_catalog_info(ctx: ConnCtx<'_>, writer: &ConnWriter, seq: u64, received_at: Instant) {
@@ -1358,6 +1588,10 @@ fn handle_stats(ctx: ConnCtx<'_>, writer: &ConnWriter, seq: u64, received_at: In
                 prepared_misses: db.prepared_misses.get(),
                 bags_rewritten: db.bags_rewritten.get(),
                 bags_total: db.bags_total.get(),
+                delta_batches: db.delta_batches.get(),
+                facts_inserted: db.facts_inserted.get(),
+                facts_deleted: db.facts_deleted.get(),
+                bags_remat: db.bags_remat.get(),
                 latency: WireHistogram::from_snapshot(&db.latency.snapshot()),
             }
         })
@@ -1384,6 +1618,11 @@ fn handle_stats(ctx: ConnCtx<'_>, writer: &ConnWriter, seq: u64, received_at: In
             store_errors: totals.store_errors,
             bags_rewritten: totals.bags_rewritten,
             bags_total: totals.bags_total,
+            delta_batches: totals.delta_batches,
+            facts_inserted: totals.facts_inserted,
+            facts_deleted: totals.facts_deleted,
+            bags_remat: totals.bags_remat,
+            delta_errors: totals.delta_errors,
             queue_depth: ctx.queue.len() as u64,
             queue_high_water: ctx.queue.high_water() as u64,
             queue_capacity: ctx.queue.capacity() as u64,

@@ -167,6 +167,44 @@ pub struct WireReloaded {
     pub server_micros: u64,
 }
 
+/// Payload of a [`crate::server::frame::FrameType::DeltaApplied`]
+/// frame: the catalog merged a delta batch into `db` and published a
+/// new epoch by structural sharing (untouched relations are the same
+/// `Arc`s as the previous snapshot's).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireDeltaApplied {
+    /// Sequence number of the `Delta` frame this answers.
+    pub request: u64,
+    /// The database the delta was applied to.
+    pub db: String,
+    /// The new snapshot's epoch (old epoch + 1).
+    pub epoch: u64,
+    /// Facts actually inserted (inserting an already-present fact is an
+    /// uncounted no-op).
+    pub inserted: u64,
+    /// Facts actually deleted (deleting an absent fact is an uncounted
+    /// no-op; deletes win over inserts within one batch).
+    pub deleted: u64,
+    /// Names of the relations the batch touched, in name order. Every
+    /// relation *not* listed here is structurally shared with the
+    /// previous epoch.
+    pub relations_touched: Vec<String>,
+    /// Total facts in the new snapshot.
+    pub facts: u64,
+    /// Prepared-query cache entries migrated warm across the epoch
+    /// (dirty-spine refresh; provenance `warm-overlay`).
+    pub prepared_warm: u64,
+    /// Prepared-query cache entries that fell back to a full re-prepare
+    /// (naive-plan handles; provenance `re-prepared`).
+    pub prepared_reprepared: u64,
+    /// Bag-tree nodes re-materialized across all warm migrations (the
+    /// dirty spines; every other bag was `Arc`-shared).
+    pub bags_remat: u64,
+    /// Microseconds the delta spent inside the server (parse + validate
+    /// + merge + stats + publish + cache refresh).
+    pub server_micros: u64,
+}
+
 /// One database in a [`WireCatalog`] description.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct WireCatalogDb {
@@ -233,6 +271,11 @@ pub enum ErrorCode {
     /// version-skewed, or corrupt. The previously published epoch keeps
     /// serving. Connection survives.
     Store,
+    /// A `Delta` frame was rejected by the delta kernel (unknown
+    /// relation or arity mismatch). Deltas validate wholesale before any
+    /// merge, so the previously published epoch keeps serving unchanged.
+    /// Connection survives.
+    Delta,
 }
 
 /// Payload of a [`crate::server::frame::FrameType::Error`] frame.
@@ -315,6 +358,15 @@ pub struct WireDbStats {
     /// Bag nodes those passes visited in total; `rewritten / total` is
     /// this database's overlay sparsity (0 = fully copy-free serving).
     pub bags_total: u64,
+    /// Delta batches successfully applied to this database.
+    pub delta_batches: u64,
+    /// Facts inserted by those deltas (no-op inserts excluded).
+    pub facts_inserted: u64,
+    /// Facts deleted by those deltas (no-op deletes excluded).
+    pub facts_deleted: u64,
+    /// Bag-tree nodes re-materialized while migrating this database's
+    /// prepared handles warm across delta epochs.
+    pub bags_remat: u64,
     /// Per-query server-latency distribution (receipt of the `Query`
     /// frame → the query's `Result` frame handed to the socket).
     pub latency: WireHistogram,
@@ -364,6 +416,18 @@ pub struct WireStats {
     pub bags_rewritten: u64,
     /// Bag nodes visited by those passes in total (all databases).
     pub bags_total: u64,
+    /// Successful `Delta` frames (all databases).
+    pub delta_batches: u64,
+    /// Facts inserted by delta batches (all databases; no-ops excluded).
+    pub facts_inserted: u64,
+    /// Facts deleted by delta batches (all databases; no-ops excluded).
+    pub facts_deleted: u64,
+    /// Bag-tree nodes re-materialized by warm prepared-handle
+    /// migrations across delta epochs (all databases).
+    pub bags_remat: u64,
+    /// `Delta` frames rejected with [`ErrorCode::Delta`] (the epoch kept
+    /// serving unmoved).
+    pub delta_errors: u64,
     /// Jobs in the request queue right now.
     pub queue_depth: u64,
     /// Deepest the request queue has ever been (exact; ≥ 1 once any
@@ -470,6 +534,37 @@ mod tests {
             reloaded
         );
 
+        let applied = WireDeltaApplied {
+            request: 6,
+            db: "main".to_string(),
+            epoch: 4,
+            inserted: 17,
+            deleted: 3,
+            relations_touched: vec!["R".to_string(), "S".to_string()],
+            facts: 134,
+            prepared_warm: 2,
+            prepared_reprepared: 1,
+            bags_remat: 5,
+            server_micros: 41,
+        };
+        let json = serde::json::to_string(&applied);
+        assert_eq!(
+            serde::json::from_str::<WireDeltaApplied>(&json).unwrap(),
+            applied
+        );
+
+        let delta_err = WireError {
+            request: Some(5),
+            code: ErrorCode::Delta,
+            message: "delta rejected: unknown relation `Ghost`".to_string(),
+            line: None,
+            queue_depth: None,
+            queue_capacity: None,
+        };
+        let json = serde::json::to_string(&delta_err);
+        assert!(json.contains("Delta"), "{json}");
+        assert_eq!(serde::json::from_str::<WireError>(&json).unwrap(), delta_err);
+
         let catalog = WireCatalog {
             request: 9,
             reload_enabled: true,
@@ -539,6 +634,11 @@ mod tests {
             store_errors: 0,
             bags_rewritten: 3,
             bags_total: 90,
+            delta_batches: 2,
+            facts_inserted: 40,
+            facts_deleted: 8,
+            bags_remat: 4,
+            delta_errors: 1,
             queue_depth: 0,
             queue_high_water: 3,
             queue_capacity: 64,
@@ -553,6 +653,10 @@ mod tests {
                 prepared_misses: 6,
                 bags_rewritten: 3,
                 bags_total: 90,
+                delta_batches: 2,
+                facts_inserted: 40,
+                facts_deleted: 8,
+                bags_remat: 4,
                 latency,
             }],
             server_micros: 45,

@@ -142,6 +142,15 @@ impl Session {
         self.snapshot.stats()
     }
 
+    /// The catalog name this session's snapshot was published under,
+    /// or `None` for detached sessions ([`Engine::session`] pins an
+    /// unnamed snapshot). Feeds plan-cache attribution so the plan
+    /// store can invalidate spilled plans per database name.
+    fn db_name(&self) -> Option<&str> {
+        let name = self.snapshot.name();
+        (!name.is_empty()).then_some(name)
+    }
+
     /// The pinned snapshot's epoch (0 for detached sessions opened via
     /// [`Engine::session`]).
     pub fn epoch(&self) -> u64 {
@@ -187,7 +196,7 @@ impl Session {
     /// # Ok::<(), cqd2_engine::EngineError>(())
     /// ```
     pub fn prepare(&self, q: &ConjunctiveQuery) -> Result<PreparedQuery, EngineError> {
-        let core = PreparedCore::build(&self.engine, q, self.db(), self.stats())?;
+        let core = PreparedCore::build(&self.engine, q, self.db(), self.stats(), self.db_name())?;
         Ok(PreparedQuery {
             snapshot: Arc::clone(&self.snapshot),
             core,
@@ -199,7 +208,7 @@ impl Session {
     /// preprocessing this call pays are folded back into the response's
     /// provenance.
     pub fn run(&self, q: &ConjunctiveQuery, workload: Workload) -> Result<Response, EngineError> {
-        let core = PreparedCore::build(&self.engine, q, self.db(), self.stats())?;
+        let core = PreparedCore::build(&self.engine, q, self.db(), self.stats(), self.db_name())?;
         let planning = core.planning;
         let preprocessing = core.preprocessing;
         let mut resp = core.run_once(self.db(), workload);
@@ -223,6 +232,9 @@ pub(crate) struct PreparedCore {
     /// The materialized bag tree (`None` = the plan is the naive join).
     bags: Option<MaterializedBags>,
     cache_hit: bool,
+    /// How the core crossed the most recent delta epoch (`None` =
+    /// freshly prepared); surfaced in every response's provenance.
+    maintenance: Option<crate::delta::MaintenanceClass>,
     pub(crate) planning: Duration,
     pub(crate) preprocessing: Duration,
 }
@@ -235,10 +247,11 @@ impl PreparedCore {
         q: &ConjunctiveQuery,
         db: &Database,
         stats: &DatabaseStats,
+        db_name: Option<&str>,
     ) -> Result<PreparedCore, EngineError> {
         let start = Instant::now();
         let h = q.hypergraph();
-        let (structure, cache_hit) = engine.structure_for(&h);
+        let (structure, cache_hit) = engine.structure_for_in(&h, db_name);
         // Bounded-width structures get their plan refined by data: on
         // small databases the per-bag setup dominates and the estimate
         // flips the plan back to the naive join, with the numbers kept
@@ -281,9 +294,39 @@ impl PreparedCore {
             count_plan,
             bags,
             cache_hit,
+            maintenance: None,
             planning,
             preprocessing: preprocess_start.elapsed(),
         })
+    }
+
+    /// Warm-maintain this core across a delta: refresh the bag tree
+    /// against the post-delta `db`, re-materializing only the bags that
+    /// read a relation in `touched` and sharing everything else (bag
+    /// relations *and* filled probe-table caches) with `self` by `Arc`.
+    /// `None` when there is no bag tree to refresh (naive-join plans) —
+    /// the caller should fall back to a full prepare.
+    pub(crate) fn rebase_warm(
+        &self,
+        db: &Database,
+        touched: &[String],
+    ) -> Option<(PreparedCore, cqd2_cq::PassStats)> {
+        let bags = self.bags.as_ref()?;
+        let refresh_start = Instant::now();
+        let (refreshed, pass) = bags.refresh(&self.query, db, touched);
+        Some((
+            PreparedCore {
+                query: self.query.clone(),
+                bool_plan: self.bool_plan.clone(),
+                count_plan: self.count_plan.clone(),
+                bags: Some(refreshed),
+                cache_hit: self.cache_hit,
+                maintenance: Some(crate::delta::MaintenanceClass::WarmOverlay),
+                planning: Duration::ZERO,
+                preprocessing: refresh_start.elapsed(),
+            },
+            pass,
+        ))
     }
 
     fn plan(&self, workload: Workload) -> &PlannedQuery {
@@ -414,6 +457,7 @@ impl PreparedCore {
                 planning: Duration::ZERO,
                 execution: exec_start.elapsed(),
                 bags,
+                maintenance: self.maintenance,
             },
         }
     }
@@ -557,6 +601,54 @@ impl PreparedQuery {
     /// ```
     pub fn cursor(&self, limit: Option<usize>) -> AnswerCursor {
         self.core.cursor(self.snapshot.db(), limit)
+    }
+
+    /// **Warm migration across a delta epoch**: produce a handle pinned
+    /// to the post-delta `snapshot` by refreshing this handle's bag
+    /// tree in place — only the bags reading a relation in `touched`
+    /// (the names [`crate::Catalog::apply_delta`] reports) are
+    /// re-materialized; clean bags and their filled probe-table caches
+    /// are shared with this handle by `Arc`, so the migrated handle
+    /// starts as warm as this one. Plans are carried over unchanged
+    /// (the structure did not move; only the data did).
+    ///
+    /// Returns the migrated handle plus the maintenance sparsity (how
+    /// many bags were rewritten out of the total — surfaced as
+    /// `BagExecution` would be, and recorded as
+    /// [`crate::MaintenanceClass::WarmOverlay`] in every subsequent
+    /// response's provenance). `None` when this handle has no bag tree
+    /// (naive-join plans): prepare a fresh handle on the new snapshot
+    /// instead and tag it with [`PreparedQuery::mark_re_prepared`].
+    ///
+    /// This handle is untouched either way — it keeps answering at its
+    /// pinned epoch, so open cursors stay consistent.
+    pub fn rebase(
+        &self,
+        snapshot: &Arc<DatabaseSnapshot>,
+        touched: &[String],
+    ) -> Option<(PreparedQuery, cqd2_cq::PassStats)> {
+        let (core, pass) = self.core.rebase_warm(snapshot.db(), touched)?;
+        Some((
+            PreparedQuery {
+                snapshot: Arc::clone(snapshot),
+                core,
+            },
+            pass,
+        ))
+    }
+
+    /// Tag this handle as the product of a full re-prepare after a
+    /// delta (the fallback when [`PreparedQuery::rebase`] returned
+    /// `None`): subsequent responses carry
+    /// [`crate::MaintenanceClass::RePrepared`] in their provenance.
+    pub fn mark_re_prepared(&mut self) {
+        self.core.maintenance = Some(crate::delta::MaintenanceClass::RePrepared);
+    }
+
+    /// How this handle crossed the most recent delta epoch (`None` =
+    /// freshly prepared, never maintained).
+    pub fn maintenance(&self) -> Option<crate::delta::MaintenanceClass> {
+        self.core.maintenance
     }
 }
 

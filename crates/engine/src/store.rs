@@ -18,12 +18,16 @@
 //!   ([`publish_snapshot`] / [`swap_snapshot`]).
 //! - `save_plans` / `load_plans` *(requires the `serde` feature)*:
 //!   spill the engine's isomorphism-keyed plan cache to JSON and
-//!   preload it on the next start. The spill records the catalog's
-//!   `name → epoch` map as its invalidation token: if any served
-//!   database has moved on, the whole spill is considered stale and
-//!   nothing is preloaded (plans are structure-only, but the
-//!   epoch token guarantees the warm cache corresponds to the data
-//!   generation it was observed against).
+//!   preload it on the next start. Each record carries the catalog
+//!   names it was prepared against, and the spill stamps the catalog's
+//!   `name → epoch` map at save time; at load, staleness is judged
+//!   **per record** — a record is skipped only when a database *it*
+//!   names has moved to a different epoch (or vanished), so a delta
+//!   to one database keeps every other database's warm plans.
+//!   Unattributed records fall back to the conservative all-epochs
+//!   rule (plans are structure-only, but the epoch stamps guarantee
+//!   the warm cache corresponds to the data generation it was
+//!   observed against).
 //!
 //! Every way a file can be wrong — bad magic, future version, flipped
 //! byte, truncation, oversized length field, unsorted tuples — is a
@@ -618,7 +622,9 @@ mod plans {
     use crate::planner::PlannedStructure;
 
     /// Spill-format version (independent of the `.cqds` binary format).
-    const PLAN_SPILL_VERSION: u64 = 1;
+    /// v2 added per-record database attribution (`PlanRecord::dbs`),
+    /// replacing v1's whole-file epoch token with per-record staleness.
+    const PLAN_SPILL_VERSION: u64 = 2;
 
     /// One cached structure class, flattened for JSON. The
     /// representative hypergraph *is* the isomorphism-invariant key:
@@ -637,10 +643,19 @@ mod plans {
         num_edges: usize,
         notes: Vec<String>,
         planning_micros: u64,
+        /// Catalog names this structure class was prepared against
+        /// (sorted). Staleness is judged per record: the record loads
+        /// iff every named database is still published at the epoch
+        /// the spill stamped for it. Empty = structure-only planning
+        /// with no database attribution, judged against *all* epochs
+        /// (the conservative v1 rule).
+        dbs: Vec<String>,
     }
 
     /// The spill file: a version stamp, the catalog epochs observed at
-    /// save time (the invalidation token), and the plans.
+    /// save time (the per-record staleness reference — each record's
+    /// `dbs` names are checked against these stamps at load), and the
+    /// plans.
     #[derive(Debug, Clone)]
     #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
     struct PlanSpill {
@@ -655,9 +670,20 @@ mod plans {
         /// Structures preloaded into the cache (already-cached
         /// isomorphs are skipped, not double-counted).
         pub loaded: usize,
-        /// The spill's epoch token did not match the catalog: the file
-        /// was ignored wholesale.
-        pub stale: bool,
+        /// Records skipped because a database they were prepared
+        /// against has moved on (epoch drift or unpublished). A delta
+        /// to one database stales only that database's plans; the
+        /// rest of the spill still loads.
+        pub stale: usize,
+    }
+
+    /// Minimal first-pass decode of a spill file: just the version
+    /// stamp, so format skew reports as [`StoreError::Version`] rather
+    /// than a missing-field parse error from the full record shape.
+    #[derive(Debug, Clone)]
+    #[cfg_attr(feature = "serde", derive(serde::Deserialize))]
+    struct SpillVersionProbe {
+        version: u64,
     }
 
     /// Spill the engine's plan cache to `path` as JSON, stamping the
@@ -675,9 +701,9 @@ mod plans {
             .map(|s| (s.name().to_string(), s.epoch()))
             .collect();
         let plans: Vec<PlanRecord> = engine
-            .export_plans()
+            .export_plans_attributed()
             .into_iter()
-            .map(|(representative, s)| PlanRecord {
+            .map(|(representative, s, dbs)| PlanRecord {
                 representative,
                 ghd: s.ghd,
                 ghd_exact: s.ghd_exact,
@@ -687,6 +713,7 @@ mod plans {
                 num_edges: s.num_edges,
                 notes: s.notes,
                 planning_micros: s.planning_time.as_micros() as u64,
+                dbs,
             })
             .collect();
         let count = plans.len();
@@ -701,10 +728,14 @@ mod plans {
     }
 
     /// Load a plan spill from `path` and preload the engine's cache.
-    /// The spill is applied only when its version matches and **every**
-    /// epoch it recorded still matches `catalog` — any drift means the
-    /// serving data moved on and the warm cache is discarded whole
-    /// (`stale: true`) rather than partially trusted.
+    /// Staleness is judged **per record** against the epochs stamped
+    /// at save time: a record loads iff every database it was prepared
+    /// against is still published at its stamped epoch. Unattributed
+    /// records (empty `dbs`) fall back to the conservative rule — they
+    /// load only when *every* stamped epoch still matches the catalog.
+    /// Skipped records are counted in [`PlanLoad::stale`]; the rest of
+    /// the spill still loads, so a delta to one database no longer
+    /// discards every other database's warm plans.
     pub fn load_plans(
         path: impl AsRef<Path>,
         engine: &Engine,
@@ -712,27 +743,38 @@ mod plans {
     ) -> Result<PlanLoad, StoreError> {
         let path = path.as_ref();
         let text = std::fs::read_to_string(path).map_err(|e| StoreError::io(path, &e))?;
-        let spill: PlanSpill = serde::json::from_str(&text)
+        let probe: SpillVersionProbe = serde::json::from_str(&text)
             .map_err(|e| StoreError::corrupt(0, format!("plan spill: {e}")))?;
-        if spill.version != PLAN_SPILL_VERSION {
+        if probe.version != PLAN_SPILL_VERSION {
             return Err(StoreError::Version {
-                found: spill.version as u32,
+                found: probe.version as u32,
                 supported: PLAN_SPILL_VERSION as u32,
             });
         }
+        let spill: PlanSpill = serde::json::from_str(&text)
+            .map_err(|e| StoreError::corrupt(0, format!("plan spill: {e}")))?;
         let current: BTreeMap<String, u64> = catalog
             .snapshots()
             .iter()
             .map(|s| (s.name().to_string(), s.epoch()))
             .collect();
-        if spill.epochs != current {
-            return Ok(PlanLoad {
-                loaded: 0,
-                stale: true,
-            });
-        }
+        let all_epochs_match = spill.epochs == current;
         let mut loaded = 0;
+        let mut stale = 0;
         for rec in spill.plans {
+            let fresh = if rec.dbs.is_empty() {
+                all_epochs_match
+            } else {
+                rec.dbs.iter().all(|name| {
+                    spill.epochs.get(name).is_some_and(|stamped| {
+                        current.get(name) == Some(stamped)
+                    })
+                })
+            };
+            if !fresh {
+                stale += 1;
+                continue;
+            }
             let structure = PlannedStructure {
                 ghd: rec.ghd,
                 ghd_exact: rec.ghd_exact,
@@ -742,14 +784,11 @@ mod plans {
                 notes: rec.notes,
                 planning_time: Duration::from_micros(rec.planning_micros),
             };
-            if engine.preload_plan(&rec.representative, structure) {
+            if engine.preload_plan_for(&rec.representative, structure, &rec.dbs) {
                 loaded += 1;
             }
         }
-        Ok(PlanLoad {
-            loaded,
-            stale: false,
-        })
+        Ok(PlanLoad { loaded, stale })
     }
 }
 
@@ -897,6 +936,113 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert_eq!(catalog.snapshot("main").unwrap().epoch(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[cfg(feature = "serde")]
+    #[test]
+    fn plan_spill_invalidates_per_database_name() {
+        use cqd2_cq::ConjunctiveQuery;
+        let path = std::env::temp_dir().join(format!(
+            "cqd2-plan-spill-per-name-{}.json",
+            std::process::id()
+        ));
+
+        let catalog = Catalog::new();
+        catalog.publish_str("a", "R(1, 2)\nS(2, 3)\n").unwrap();
+        catalog
+            .publish_str("b", "R(1, 2)\nS(2, 3)\nT(3, 4)\n")
+            .unwrap();
+        let engine = crate::engine::Engine::default();
+
+        // Distinct hypergraph shapes → distinct cache entries, each
+        // attributed to the database its session was pinned to.
+        let q_a = ConjunctiveQuery::parse(&[("R", &["?x", "?y"]), ("S", &["?y", "?z"])]);
+        let q_b = ConjunctiveQuery::parse(&[
+            ("R", &["?x", "?y"]),
+            ("S", &["?y", "?z"]),
+            ("T", &["?z", "?w"]),
+        ]);
+        engine
+            .session_in(&catalog, "a")
+            .unwrap()
+            .prepare(&q_a)
+            .unwrap();
+        engine
+            .session_in(&catalog, "b")
+            .unwrap()
+            .prepare(&q_b)
+            .unwrap();
+        assert_eq!(save_plans(&path, &engine, &catalog).unwrap(), 2);
+
+        // Delta one database: only its plans go stale on reload.
+        crate::delta::apply_delta_text(&catalog, "a", "@insert\nR(7, 8)\n").unwrap();
+
+        let fresh = crate::engine::Engine::default();
+        let load = load_plans(&path, &fresh, &catalog).unwrap();
+        assert_eq!(load, PlanLoad { loaded: 1, stale: 1 });
+        // The survivor is b's entry, attribution intact — so a second
+        // spill → load round-trip still invalidates per name.
+        let kept = fresh.export_plans_attributed();
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].2, vec!["b".to_string()]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[cfg(feature = "serde")]
+    #[test]
+    fn plan_spill_unattributed_records_use_the_conservative_rule() {
+        use cqd2_cq::ConjunctiveQuery;
+        let path = std::env::temp_dir().join(format!(
+            "cqd2-plan-spill-unattributed-{}.json",
+            std::process::id()
+        ));
+
+        let catalog = Catalog::new();
+        catalog.publish_str("a", "R(1, 2)\nS(2, 3)\n").unwrap();
+        let engine = crate::engine::Engine::default();
+        // A detached session pins an unnamed snapshot → the cached
+        // structure carries no attribution.
+        let q = ConjunctiveQuery::parse(&[("R", &["?x", "?y"]), ("S", &["?y", "?z"])]);
+        let db = catalog.snapshot("a").unwrap().db().clone();
+        engine.session(&db).prepare(&q).unwrap();
+        assert_eq!(save_plans(&path, &engine, &catalog).unwrap(), 1);
+
+        // All stamped epochs still match → the record loads.
+        let fresh = crate::engine::Engine::default();
+        assert_eq!(
+            load_plans(&path, &fresh, &catalog).unwrap(),
+            PlanLoad { loaded: 1, stale: 0 }
+        );
+
+        // Any epoch drift stales an unattributed record (it could have
+        // been observed against any of the served databases).
+        crate::delta::apply_delta_text(&catalog, "a", "@insert\nR(9, 9)\n").unwrap();
+        let fresh2 = crate::engine::Engine::default();
+        assert_eq!(
+            load_plans(&path, &fresh2, &catalog).unwrap(),
+            PlanLoad { loaded: 0, stale: 1 }
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[cfg(feature = "serde")]
+    #[test]
+    fn plan_spill_version_skew_is_a_typed_error() {
+        let path = std::env::temp_dir().join(format!(
+            "cqd2-plan-spill-version-{}.json",
+            std::process::id()
+        ));
+        std::fs::write(&path, "{\"version\": 1, \"epochs\": {}, \"plans\": []}").unwrap();
+        let catalog = Catalog::new();
+        let engine = crate::engine::Engine::default();
+        match load_plans(&path, &engine, &catalog) {
+            Err(StoreError::Version {
+                found: 1,
+                supported: 2,
+            }) => {}
+            other => panic!("{other:?}"),
+        }
         let _ = std::fs::remove_file(&path);
     }
 }

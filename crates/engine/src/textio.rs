@@ -215,6 +215,108 @@ pub fn parse_database(input: &str) -> Result<Database, ParseError> {
     Ok(facts.db)
 }
 
+/// Parse a *delta script*: `@insert` / `@delete` section directives,
+/// each followed by fact lines in the usual syntax (comments and blank
+/// lines ignored). The directives switch the polarity of subsequent
+/// facts and may repeat; a fact line before the first directive is an
+/// error, as is any other directive. This is the wire payload of the
+/// protocol's `Delta` frame and the argument of
+/// `cqd2-analyze client delta`.
+///
+/// ```text
+/// @insert
+/// R(1, 2)
+/// S(2, 3)
+/// @delete
+/// R(9, 9)
+/// ```
+///
+/// Semantics (enforced by [`cqd2_cq::Database::apply_delta`], not
+/// here): deltas modify *existing* relations, inserts of present and
+/// deletes of absent tuples are no-ops, and deletes win over inserts of
+/// the same tuple within one batch.
+pub fn parse_delta(input: &str) -> Result<cqd2_cq::DatabaseDelta, ParseError> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Polarity {
+        Insert,
+        Delete,
+    }
+    let mut delta = cqd2_cq::DatabaseDelta::new();
+    let mut polarity: Option<Polarity> = None;
+    // relation → (first-seen arity, 1-based line), across both polarities.
+    let mut arities: std::collections::HashMap<String, (usize, usize)> =
+        std::collections::HashMap::new();
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(body) = line.strip_prefix('@') {
+            let mut parts = body.split_whitespace();
+            polarity = match parts.next() {
+                Some("insert") => Some(Polarity::Insert),
+                Some("delete") => Some(Polarity::Delete),
+                Some(other) => {
+                    return Err(ParseError::at(
+                        lineno + 1,
+                        format!("unknown delta directive `@{other}` (try @insert or @delete)"),
+                    ));
+                }
+                None => {
+                    return Err(ParseError::at(lineno + 1, "empty directive (`@` with no name)"));
+                }
+            };
+            if let Some(junk) = parts.next() {
+                return Err(ParseError::at(
+                    lineno + 1,
+                    format!("unexpected `{junk}` after delta directive"),
+                ));
+            }
+            continue;
+        }
+        let Some(polarity) = polarity else {
+            return Err(ParseError::at(
+                lineno + 1,
+                "delta facts must follow an @insert or @delete directive",
+            ));
+        };
+        let (rel, terms) = parse_atom_text(line).map_err(|mut e| {
+            e.line = Some(lineno + 1);
+            e
+        })?;
+        let tuple: Vec<u64> = terms
+            .iter()
+            .map(|t| {
+                t.parse::<u64>().map_err(|_| {
+                    ParseError::at(lineno + 1, format!("fact term `{t}` is not a u64"))
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        let (first_arity, first_line) = *arities
+            .entry(rel.clone())
+            .or_insert((tuple.len(), lineno + 1));
+        if tuple.len() != first_arity {
+            return Err(ParseError::at(
+                lineno + 1,
+                format!(
+                    "relation `{rel}` has {} terms here but {first_arity} on line {first_line}",
+                    tuple.len()
+                ),
+            ));
+        }
+        match polarity {
+            Polarity::Insert => delta.insert(&rel, tuple),
+            Polarity::Delete => delta.delete(&rel, tuple),
+        }
+    }
+    if delta.is_empty() {
+        return Err(ParseError::whole_file(
+            "empty delta (no facts under @insert or @delete)",
+        ));
+    }
+    Ok(delta)
+}
+
 /// Render `db` as a facts-only database file — the inverse of
 /// [`parse_database`] (round-trips exactly: tuples are already stored
 /// deduplicated in lexicographic order). This is how programmatically

@@ -125,17 +125,36 @@ pub fn classify(rel_path: &str) -> FileKind {
 }
 
 /// Is this file part of the serve path, where panics are banned?
+///
+/// The engine crate is hot *by directory*: everything under
+/// `crates/engine/src/` (including `server/` and new modules like
+/// `delta.rs`) is serve-path unless explicitly excluded below — so a
+/// new engine module is born covered instead of silently cold. The
+/// exclusions are planning-/parse-time code that runs before a plan
+/// is cached, never per request.
 pub fn is_hot_path(rel_path: &str) -> bool {
+    /// Engine modules that are *not* on the per-request serve path.
+    const COLD: &[&str] = &[
+        // Structure planning: runs once per structure class, result
+        // cached; panics surface at prepare time, not per query.
+        "crates/engine/src/planner.rs",
+        // Strict plan verification: opt-in audit at prepare time.
+        "crates/engine/src/verify.rs",
+        // Text parsing: load/admin-frame boundary, line-attributed
+        // errors by design.
+        "crates/engine/src/textio.rs",
+    ];
+    /// Kernel files in other crates that the serve path executes.
     const HOT: &[&str] = &[
-        "crates/engine/src/engine.rs",
-        "crates/engine/src/catalog.rs",
-        "crates/engine/src/session.rs",
-        "crates/engine/src/store.rs",
         "crates/cq/src/eval.rs",
         "crates/cq/src/flat.rs",
         "crates/cq/src/probe.rs",
+        "crates/cq/src/delta.rs",
     ];
-    HOT.contains(&rel_path) || rel_path.starts_with("crates/engine/src/server/")
+    if rel_path.starts_with("crates/engine/src/") {
+        return !COLD.contains(&rel_path);
+    }
+    HOT.contains(&rel_path)
 }
 
 /// A parsed suppression annotation.
@@ -693,6 +712,23 @@ mod tests {
         // Suppressed by an annotation on the preceding line.
         let src_ok = "fn f(x: Option<u8>) {\n    // cqd2-lint: allow(panic-in-hot-path, reason = \"seeded\")\n    x.unwrap();\n}\n";
         assert!(scan_source("crates/engine/src/engine.rs", src_ok).is_empty());
+    }
+
+    #[test]
+    fn hot_path_is_the_engine_directory_minus_cold_exclusions() {
+        // The engine crate is hot by directory: a brand-new module is
+        // covered without touching the lint.
+        assert!(is_hot_path("crates/engine/src/delta.rs"));
+        assert!(is_hot_path("crates/engine/src/some_future_module.rs"));
+        assert!(is_hot_path("crates/engine/src/server/mod.rs"));
+        // Planning-/parse-time modules are explicitly cold.
+        assert!(!is_hot_path("crates/engine/src/planner.rs"));
+        assert!(!is_hot_path("crates/engine/src/verify.rs"));
+        assert!(!is_hot_path("crates/engine/src/textio.rs"));
+        // Kernel files in other crates stay on the explicit list.
+        assert!(is_hot_path("crates/cq/src/delta.rs"));
+        assert!(is_hot_path("crates/cq/src/eval.rs"));
+        assert!(!is_hot_path("crates/cq/src/generate.rs"));
     }
 
     #[test]

@@ -31,9 +31,16 @@ fn with_server<R>(
     let mut stats = None;
     std::thread::scope(|s| {
         let run = s.spawn(|| server.run(&engine, catalog).expect("server run"));
-        outcome = Some(f(addr, &handle));
+        // Shut the server down even when `f` panics: without this the
+        // scope would wait forever for the server thread and turn an
+        // assertion failure into a hang.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(addr, &handle)));
         handle.shutdown();
         stats = Some(run.join().expect("server thread"));
+        match result {
+            Ok(r) => outcome = Some(r),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
     });
     (outcome.unwrap(), stats.unwrap())
 }
@@ -465,6 +472,186 @@ fn reload_requires_authorization() {
     });
     assert_eq!(stats.rejected_unauthorized, 1);
     assert_eq!(stats.reloads, 0);
+}
+
+#[test]
+fn delta_roundtrip_merges_incrementally_and_rejections_leave_epoch_unmoved() {
+    let catalog = small_catalog();
+    let config = ServerConfig {
+        allow_reload: true,
+        ..test_config()
+    };
+    let ((), stats) = with_server(config, &catalog, |addr, _| {
+        let mut client = Client::connect(addr).expect("connect");
+        client.bind_db("main").expect("bind");
+
+        // Warm the prepared cache at epoch 0.
+        let first = client
+            .query("R(?x, ?y), S(?y, ?z)", Workload::Count)
+            .expect("query");
+        assert_eq!(first.answer.as_count(), Some(3));
+        let warm = client
+            .query("R(?x, ?y), S(?y, ?z)", Workload::Count)
+            .expect("warm query");
+        assert!(warm.prepared_hit);
+
+        // Apply a delta: two S inserts, one S delete — R is untouched
+        // and therefore structurally shared into the new epoch.
+        let applied = client
+            .delta("main", "@insert\nS(2, 9)\nS(2, 10)\n@delete\nS(3, 5)\n")
+            .expect("delta");
+        assert_eq!((applied.epoch, applied.inserted, applied.deleted), (1, 2, 1));
+        assert_eq!(applied.relations_touched, vec!["S".to_string()]);
+        assert_eq!(applied.facts, 6);
+        // This fixture is tiny, so its plans are naive joins with no
+        // bag tree to refresh: the cache migrates by re-preparing.
+        assert_eq!(applied.prepared_warm, 0);
+        assert!(applied.prepared_reprepared >= 1, "{applied:?}");
+
+        // The very next query sees the new data — and unlike a reload,
+        // it is still a prepared-cache HIT: the handle was migrated
+        // across the epoch, not purged.
+        let after = client
+            .query("R(?x, ?y), S(?y, ?z)", Workload::Count)
+            .expect("query after delta");
+        assert_eq!(after.answer.as_count(), Some(4), "new data visible");
+        assert!(
+            after.prepared_hit,
+            "delta must keep the prepared cache warm: {after:?}"
+        );
+
+        // Typed rejections, each leaving the epoch unmoved: a parse
+        // failure (payload line 1 is the name, the bad fact is line 3)…
+        let err = match client.delta("main", "@insert\nS(banana)\n") {
+            Err(cqd2::engine::server::ServerError::Rejected(e)) => e,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(err.code, ErrorCode::Parse);
+        assert_eq!(err.line, Some(3), "{err:?}");
+        // …a delta the kernel refuses wholesale (unknown relation)…
+        let err = match client.delta("main", "@insert\nGhost(1)\n") {
+            Err(cqd2::engine::server::ServerError::Rejected(e)) => e,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(err.code, ErrorCode::Delta);
+        assert!(err.message.contains("Ghost"), "{err:?}");
+        // …an arity mismatch on a real relation…
+        let err = match client.delta("main", "@delete\nR(1)\n") {
+            Err(cqd2::engine::server::ServerError::Rejected(e)) => e,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(err.code, ErrorCode::Delta, "{err:?}");
+        // …and an unknown database name.
+        let err = match client.delta("ghost", "@insert\nR(1, 1)\n") {
+            Err(cqd2::engine::server::ServerError::Rejected(e)) => e,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(err.code, ErrorCode::UnknownDb);
+
+        // None of the rejections published anything.
+        let info = client.catalog_info().expect("catalog info");
+        let main = info.databases.iter().find(|d| d.name == "main").unwrap();
+        assert_eq!((main.epoch, main.facts), (1, 6));
+
+        // The Stats frame reports the delta plane's counters.
+        let report = client.stats().expect("stats");
+        assert_eq!(report.delta_batches, 1);
+        assert_eq!((report.facts_inserted, report.facts_deleted), (2, 1));
+        assert_eq!(report.delta_errors, 2, "kernel refusals only");
+        let main = report.databases.iter().find(|d| d.name == "main").unwrap();
+        assert_eq!(main.delta_batches, 1);
+        assert_eq!((main.facts_inserted, main.facts_deleted), (2, 1));
+    });
+    assert_eq!(stats.delta_batches, 1);
+    assert_eq!(stats.delta_errors, 2);
+    assert_eq!(stats.parse_errors, 1);
+}
+
+#[test]
+fn delta_requires_authorization() {
+    let catalog = small_catalog();
+    // Deltas mutate served data, so they ride the reload gate — off by
+    // default.
+    let ((), stats) = with_server(test_config(), &catalog, |addr, _| {
+        let mut client = Client::connect(addr).expect("connect");
+        let err = match client.delta("main", "@insert\nR(9, 9)\n") {
+            Err(cqd2::engine::server::ServerError::Rejected(e)) => e,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(err.code, ErrorCode::Unauthorized, "{err:?}");
+        assert!(err.message.contains("--allow-reload"), "{err:?}");
+        // Request-level rejection: the connection survives, the data is
+        // untouched.
+        client.bind_db("main").expect("bind");
+        let count = client.query("R(?x, ?y)", Workload::Count).expect("query");
+        assert_eq!(count.answer.as_count(), Some(2));
+    });
+    assert_eq!(stats.rejected_unauthorized, 1);
+    assert_eq!(stats.delta_batches, 0);
+}
+
+#[test]
+fn delta_migrates_ghd_prepared_handles_warm_over_the_wire() {
+    // A planted fixture large enough that the data estimate keeps the
+    // GHD plan: the server-side cache migration must go through the
+    // warm-overlay path (dirty-spine refresh), not a re-prepare.
+    let q = cqd2::cq::ConjunctiveQuery::parse(&[
+        ("R", &["?x", "?y"]),
+        ("S", &["?y", "?z"]),
+        ("U", &["?z", "?w"]),
+    ]);
+    let db = planted_database(&q, 60, 400, 5);
+    let before = count_naive(&q, &db);
+    let z = db.relation("S").unwrap().tuples[0][1];
+    let catalog = Catalog::new();
+    catalog.publish("hot", db).expect("publish");
+    let config = ServerConfig {
+        allow_reload: true,
+        workers: 1,
+        ..test_config()
+    };
+    let ((), stats) = with_server(config, &catalog, |addr, _| {
+        let mut client = Client::connect(addr).expect("connect");
+        client.bind_db("hot").expect("bind");
+        let query_text = "R(?x, ?y), S(?y, ?z), U(?z, ?w)";
+
+        // Warm the handle (plan + bag tree) at epoch 0.
+        let first = client.query(query_text, Workload::Count).expect("query");
+        assert_eq!(first.answer.as_count(), Some(before));
+        let warm = client.query(query_text, Workload::Count).expect("warm");
+        assert!(warm.prepared_hit);
+        // Counts route through the counting-DP strategy — still a
+        // GHD-decomposed plan with a bag tree, i.e. warm-overlay
+        // eligible (the point of this test); `naive-join` would not be.
+        assert_eq!(warm.strategy, "counting-dp", "{warm:?}");
+
+        // Graft a fresh U edge onto a live S endpoint: only U's bag
+        // spine is dirty; the server migrates the handle warm.
+        let applied = client
+            .delta("hot", &format!("@insert\nU({z}, 999999)\n"))
+            .expect("delta");
+        assert_eq!(applied.epoch, 1);
+        assert_eq!(applied.relations_touched, vec!["U".to_string()]);
+        assert!(applied.prepared_warm >= 1, "{applied:?}");
+        assert_eq!(applied.prepared_reprepared, 0, "{applied:?}");
+        assert!(
+            applied.bags_remat >= 1,
+            "the dirty spine re-materializes: {applied:?}"
+        );
+
+        // The migrated handle serves the post-delta answer as a hit.
+        let after = client.query(query_text, Workload::Count).expect("after");
+        assert!(after.prepared_hit, "{after:?}");
+        let got = after.answer.as_count().expect("count");
+        assert!(got > before, "grafted edge adds answers: {before} -> {got}");
+
+        let report = client.stats().expect("stats");
+        assert!(report.bags_remat >= 1, "{report:?}");
+        let hot = report.databases.iter().find(|d| d.name == "hot").unwrap();
+        assert!(hot.bags_remat >= 1);
+    });
+    assert_eq!(stats.delta_batches, 1);
+    assert!(stats.bags_remat >= 1, "{stats:?}");
 }
 
 #[test]

@@ -3,7 +3,7 @@
 //! The build environment has no registry access, so this vendored crate
 //! supports the subset of proptest the workspace's property tests use:
 //! the `proptest! { #![proptest_config(…)] #[test] fn f(x in strategy) {…} }`
-//! macro, integer-range and `any::<T>()` strategies,
+//! macro, integer-range, `any::<T>()`, and tuple strategies,
 //! `proptest::collection::vec`, and `prop_assert!` / `prop_assert_eq!` /
 //! `prop_assume!`. Cases are generated from a PRNG seeded per test-function
 //! name, so runs are deterministic. Failing inputs are reported via
@@ -110,6 +110,23 @@ impl<T: Arbitrary> Strategy for Any<T> {
 /// The unconstrained strategy for `T` (proptest's `any::<T>()`).
 pub fn any<T: Arbitrary>() -> Any<T> {
     Any(std::marker::PhantomData)
+}
+
+// Tuples of strategies sample component-wise, as in proptest.
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
 }
 
 /// Collection strategies.
